@@ -1,0 +1,184 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section V) against the simulated SW26010, then measures
+   the cost centers behind the Table II tuning-time claim with bechamel
+   microbenchmarks.
+
+   Run: dune exec bench/main.exe
+   A single section: dune exec bench/main.exe -- fig7 *)
+
+let section title = Printf.printf "\n===== %s =====\n\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Paper experiment reproductions                                      *)
+
+let table1 () =
+  section "Table I: model parameters";
+  Format.printf "%a@." Sw_arch.Params.pp Sw_arch.Params.default
+
+let fig6 () =
+  section "Fig 6: model accuracy across the benchmark suite";
+  let rows = Sw_experiments.Fig6.run () in
+  Sw_experiments.Fig6.print rows;
+  Printf.printf "paper: 5%% average error, 9.6%% max (BFS)\n"
+
+let fig7 () =
+  section "Fig 7: K-Means DMA granularity effects";
+  Sw_experiments.Fig7.print_a (Sw_experiments.Fig7.run_a ());
+  Printf.printf
+    "paper: up to 20%% faster as granularity shrinks 256 -> 32; Gloads spike below 16\n\n";
+  Sw_experiments.Fig7.print_b (Sw_experiments.Fig7.run_b ());
+  Printf.printf "paper: normalized time per element falls as the partition grows\n"
+
+let fig8 () =
+  section "Fig 8: double-buffer benefit on N-body";
+  Sw_experiments.Fig8.print (Sw_experiments.Fig8.run ());
+  Printf.printf "paper: 3.7%% measured improvement, predicted within 3.3%%\n"
+
+let fig9_10 () =
+  section "Fig 9/10: WRF kernels vs #active_CPEs";
+  let dyn = Sw_experiments.Fig9_10.run_dynamics () in
+  let phys = Sw_experiments.Fig9_10.run_physics () in
+  Sw_experiments.Fig9_10.print_fig9 dyn;
+  print_newline ();
+  Sw_experiments.Fig9_10.print_fig9 phys;
+  Printf.printf
+    "paper: dynamics peaks below 64 CPEs (48 beats 64 by ~10%%); physics keeps scaling\n\n";
+  Sw_experiments.Fig9_10.print_fig10 dyn;
+  print_newline ();
+  Sw_experiments.Fig9_10.print_fig10 phys
+
+let table2 () =
+  section "Table II: static vs empirical auto-tuning";
+  Sw_experiments.Table2.print (Sw_experiments.Table2.run ());
+  Printf.printf
+    "paper: 1.67x-3.77x speedups, 26x-43x tuning-time savings, <6%% quality loss, same pick on \
+     3/5 kernels\n"
+
+(* ------------------------------------------------------------------ *)
+(* Extensions beyond the paper's figures                                *)
+
+let fig4 () =
+  section "Fig 4: overlap scenarios as simulated timelines";
+  Sw_experiments.Fig4_timeline.print (Sw_experiments.Fig4_timeline.run_compute_bound ());
+  Sw_experiments.Fig4_timeline.print (Sw_experiments.Fig4_timeline.run_memory_bound ())
+
+let coalescing () =
+  section "Gload coalescing on irregular kernels";
+  Sw_experiments.Coalescing.print (Sw_experiments.Coalescing.run ())
+
+let ablation () =
+  section "Ablation: what each modeling ingredient buys";
+  Sw_experiments.Ablation_study.print (Sw_experiments.Ablation_study.run ())
+
+let model_comparison () =
+  section "Model comparison: swpm vs Roofline (Section VI)";
+  Sw_experiments.Model_comparison.print_suite (Sw_experiments.Model_comparison.run_suite ());
+  print_newline ();
+  Sw_experiments.Model_comparison.print_sweep (Sw_experiments.Model_comparison.run_fig7_sweep ())
+
+let input_sensitivity () =
+  section "Input sensitivity (Section V-D)";
+  Sw_experiments.Input_sensitivity.print (Sw_experiments.Input_sensitivity.run ())
+
+let hybrid () =
+  section "Hybrid model: static + one lightweight profile (Section III-F)";
+  Sw_experiments.Hybrid_study.print (Sw_experiments.Hybrid_study.run ())
+
+let gflops () =
+  section "Achieved GFlops, hand-picked vs statically tuned (Section V-D)";
+  Sw_experiments.Gflops.print (Sw_experiments.Gflops.run ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: the cost centers behind Table II          *)
+
+let microbench () =
+  section "Microbenchmarks (bechamel): variant-assessment cost centers";
+  let open Bechamel in
+  let params = Sw_arch.Params.default in
+  let config = Sw_sim.Config.default params in
+  let entry = Sw_workloads.Registry.find_exn "kmeans" in
+  let kernel = entry.Sw_workloads.Registry.build ~scale:1.0 in
+  let variant = entry.Sw_workloads.Registry.variant in
+  let summary =
+    match Sw_swacc.Lower.summarize params kernel variant with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  let lowered = Sw_swacc.Lower.lower_exn params kernel variant in
+  let tests =
+    [
+      (* static assessment: what the static tuner pays per variant *)
+      Test.make ~name:"summarize+predict (static tuner)"
+        (Staged.stage (fun () ->
+             match Sw_swacc.Lower.summarize params kernel variant with
+             | Ok s -> ignore (Swpm.Predict.run params s)
+             | Error msg -> failwith msg));
+      (* model evaluation alone *)
+      Test.make ~name:"predict (model only)"
+        (Staged.stage (fun () -> ignore (Swpm.Predict.run params summary)));
+      (* full compile: what both tuners pay to build a runnable variant *)
+      Test.make ~name:"lower (full compile)"
+        (Staged.stage (fun () -> ignore (Sw_swacc.Lower.lower_exn params kernel variant)));
+      (* a profiling run: what only the empirical tuner pays *)
+      Test.make ~name:"simulate (empirical tuner)"
+        (Staged.stage (fun () ->
+             ignore (Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs)));
+      (* per-block static scheduling, the model's T_comp input *)
+      Test.make ~name:"schedule block"
+        (Staged.stage (fun () ->
+             let block = Sw_swacc.Codegen.block ~unroll:4 kernel.Sw_swacc.Kernel.body in
+             ignore (Sw_isa.Schedule.avg_ilp params block)));
+    ]
+  in
+  let benchmark test =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+    let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ ns ] ->
+            let pretty =
+              if ns >= 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+              else if ns >= 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+              else Printf.sprintf "%8.0f ns" ns
+            in
+            Printf.printf "  %-36s %s/run\n%!" name pretty
+        | Some _ | None -> Printf.printf "  %-36s (no estimate)\n%!" name)
+      results
+  in
+  List.iter benchmark tests
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ("table1", table1);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9_10);
+    ("table2", table2);
+    ("fig4", fig4);
+    ("coalescing", coalescing);
+    ("ablation", ablation);
+    ("model-comparison", model_comparison);
+    ("input-sensitivity", input_sensitivity);
+    ("gflops", gflops);
+    ("hybrid", hybrid);
+    ("micro", microbench);
+  ]
+
+let () =
+  let wanted = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  match wanted with
+  | None -> List.iter (fun (_, f) -> f ()) all
+  | Some name -> (
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S; available: %s\n" name
+            (String.concat ", " (List.map fst all));
+          exit 1)

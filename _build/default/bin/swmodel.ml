@@ -1,0 +1,344 @@
+(* swmodel: command-line front end.
+
+   Predict, simulate and tune SWACC kernels on the simulated SW26010,
+   and regenerate the paper's experiments. *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Workload scale factor (1.0 = default evaluation size)." in
+  Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let kernel_arg =
+  let doc = "Kernel name (see $(b,swmodel list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let cgs_arg =
+  let doc = "Core groups to use (1-4)." in
+  Arg.(value & opt int 1 & info [ "cgs" ] ~docv:"N" ~doc)
+
+let grain_arg =
+  let doc = "Copy granularity in elements (the tile intrinsic)." in
+  Arg.(value & opt (some int) None & info [ "grain" ] ~docv:"G" ~doc)
+
+let unroll_arg =
+  let doc = "Loop unroll factor." in
+  Arg.(value & opt (some int) None & info [ "unroll" ] ~docv:"U" ~doc)
+
+let cpes_arg =
+  let doc = "Active CPEs." in
+  Arg.(value & opt (some int) None & info [ "cpes" ] ~docv:"N" ~doc)
+
+let db_arg =
+  let doc = "Enable double buffering." in
+  Arg.(value & flag & info [ "double-buffer" ] ~doc)
+
+let params_of_cgs cgs = Sw_arch.Params.with_cgs Sw_arch.Params.default cgs
+
+let variant_of entry grain unroll cpes db =
+  let base = entry.Sw_workloads.Registry.variant in
+  {
+    Sw_swacc.Kernel.grain = Option.value grain ~default:base.Sw_swacc.Kernel.grain;
+    unroll = Option.value unroll ~default:base.Sw_swacc.Kernel.unroll;
+    active_cpes = Option.value cpes ~default:base.Sw_swacc.Kernel.active_cpes;
+    double_buffer = db || base.Sw_swacc.Kernel.double_buffer;
+  }
+
+let lower_entry params entry scale variant =
+  let kernel = entry.Sw_workloads.Registry.build ~scale in
+  Sw_swacc.Lower.lower_exn params kernel variant
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Sw_workloads.Registry.entry) ->
+        Printf.printf "%-14s %-9s %s\n" e.name
+          (match e.kind with Sw_workloads.Registry.Regular -> "regular" | Irregular -> "irregular")
+          e.description)
+      Sw_workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available kernels.") Term.(const run $ const ())
+
+let table1_cmd =
+  let run () = Format.printf "%a@." Sw_arch.Params.pp Sw_arch.Params.default in
+  Cmd.v (Cmd.info "table1" ~doc:"Print the Table I machine parameters.") Term.(const run $ const ())
+
+let predict_cmd =
+  let run name scale cgs grain unroll cpes db =
+    let entry = Sw_workloads.Registry.find_exn name in
+    let params = params_of_cgs cgs in
+    let lowered = lower_entry params entry scale (variant_of entry grain unroll cpes db) in
+    Format.printf "%a@.@.%a@." Sw_swacc.Lowered.pp_summary lowered.Sw_swacc.Lowered.summary
+      Swpm.Predict.pp
+      (Swpm.Predict.predict_lowered params lowered)
+  in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Statically predict a kernel's execution time.")
+    Term.(const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg)
+
+let simulate_cmd =
+  let run name scale cgs grain unroll cpes db =
+    let entry = Sw_workloads.Registry.find_exn name in
+    let params = params_of_cgs cgs in
+    let lowered = lower_entry params entry scale (variant_of entry grain unroll cpes db) in
+    let config = Sw_sim.Config.default params in
+    let row = Swpm.Accuracy.evaluate config lowered in
+    Format.printf "%a@.@.Prediction:@.%a@.@.error: %.1f%%@." Sw_sim.Metrics.pp
+      row.Swpm.Accuracy.measured Swpm.Predict.pp row.Swpm.Accuracy.predicted
+      (Swpm.Accuracy.error row *. 100.0)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a kernel and compare against the model.")
+    Term.(const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg)
+
+let tune_cmd =
+  let run name scale method_name =
+    let entry = Sw_workloads.Registry.find_exn name in
+    let params = Sw_arch.Params.default in
+    let config = Sw_sim.Config.default params in
+    let kernel = entry.Sw_workloads.Registry.build ~scale in
+    let points =
+      Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
+        ~unrolls:entry.Sw_workloads.Registry.unrolls ()
+    in
+    let method_ =
+      match method_name with
+      | "static" -> Sw_tuning.Tuner.Static
+      | "empirical" -> Sw_tuning.Tuner.Empirical
+      | other -> invalid_arg (Printf.sprintf "unknown method %S (static|empirical)" other)
+    in
+    let outcome = Sw_tuning.Tuner.tune ~method_ config kernel ~points in
+    Format.printf "%a@." Sw_tuning.Tuner.pp_outcome outcome
+  in
+  let method_arg =
+    Arg.(value & opt string "static" & info [ "method" ] ~docv:"METHOD" ~doc:"static or empirical")
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Auto-tune a kernel's tile size and unroll factor.")
+    Term.(const run $ kernel_arg $ scale_arg $ method_arg)
+
+let fig6_cmd =
+  let run scale =
+    Sw_experiments.Fig6.print (Sw_experiments.Fig6.run ~scale ())
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Reproduce Fig. 6: model accuracy over the suite.")
+    Term.(const run $ scale_arg)
+
+let fig7_cmd =
+  let run () =
+    Sw_experiments.Fig7.print_a (Sw_experiments.Fig7.run_a ());
+    print_newline ();
+    Sw_experiments.Fig7.print_b (Sw_experiments.Fig7.run_b ())
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Reproduce Fig. 7: K-Means DMA granularity and partition sweeps.")
+    Term.(const run $ const ())
+
+let fig8_cmd =
+  let run scale = Sw_experiments.Fig8.print (Sw_experiments.Fig8.run ~scale ()) in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Reproduce Fig. 8: double-buffer benefit on N-body.")
+    Term.(const run $ scale_arg)
+
+let fig9_cmd =
+  let run scale =
+    let dyn = Sw_experiments.Fig9_10.run_dynamics ~scale () in
+    let phys = Sw_experiments.Fig9_10.run_physics ~scale () in
+    Sw_experiments.Fig9_10.print_fig9 dyn;
+    print_newline ();
+    Sw_experiments.Fig9_10.print_fig9 phys
+  in
+  Cmd.v
+    (Cmd.info "fig9" ~doc:"Reproduce Fig. 9: WRF kernels vs #active_CPEs.")
+    Term.(const run $ scale_arg)
+
+let fig10_cmd =
+  let run scale =
+    let dyn = Sw_experiments.Fig9_10.run_dynamics ~scale () in
+    let phys = Sw_experiments.Fig9_10.run_physics ~scale () in
+    Sw_experiments.Fig9_10.print_fig10 dyn;
+    print_newline ();
+    Sw_experiments.Fig9_10.print_fig10 phys
+  in
+  Cmd.v
+    (Cmd.info "fig10" ~doc:"Reproduce Fig. 10: WRF measured time breakdown.")
+    Term.(const run $ scale_arg)
+
+let table2_cmd =
+  let run scale = Sw_experiments.Table2.print (Sw_experiments.Table2.run ~scale ()) in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Reproduce Table II: static vs empirical auto-tuning.")
+    Term.(const run $ scale_arg)
+
+let asm_cmd =
+  let run name scale grain unroll cpes db annotate cpe_index =
+    let entry = Sw_workloads.Registry.find_exn name in
+    let params = Sw_arch.Params.default in
+    let lowered = lower_entry params entry scale (variant_of entry grain unroll cpes db) in
+    let programs = lowered.Sw_swacc.Lowered.programs in
+    if cpe_index < 0 || cpe_index >= Array.length programs then
+      invalid_arg (Printf.sprintf "CPE %d out of range (0..%d)" cpe_index (Array.length programs - 1));
+    let annotate = if annotate then Some params else None in
+    print_string (Sw_isa.Asm.render_program ?annotate programs.(cpe_index))
+  in
+  let annotate_arg =
+    Arg.(value & flag & info [ "annotate" ] ~doc:"Include predicted issue cycles and ILP.")
+  in
+  let cpe_index_arg =
+    Arg.(value & opt int 0 & info [ "cpe" ] ~docv:"N" ~doc:"Which CPE's program to print.")
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Print a lowered kernel's CPE program as annotated assembly.")
+    Term.(
+      const run $ kernel_arg $ scale_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg
+      $ annotate_arg $ cpe_index_arg)
+
+let timeline_cmd =
+  let run name scale grain unroll cpes db =
+    let entry = Sw_workloads.Registry.find_exn name in
+    let params = Sw_arch.Params.default in
+    let lowered = lower_entry params entry scale (variant_of entry grain unroll cpes db) in
+    let config = Sw_sim.Config.default params in
+    let metrics, trace = Sw_sim.Engine.run_traced config lowered.Sw_swacc.Lowered.programs in
+    print_string
+      (Sw_sim.Trace.render ~width:100 ~max_cpes:16 ~makespan:metrics.Sw_sim.Metrics.cycles trace);
+    Format.printf "makespan %a@." Sw_util.Units.pp_cycles metrics.Sw_sim.Metrics.cycles
+  in
+  Cmd.v
+    (Cmd.info "timeline" ~doc:"Render a simulated per-CPE activity timeline (Fig. 4 style).")
+    Term.(const run $ kernel_arg $ scale_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg)
+
+let ablation_cmd =
+  let run scale = Sw_experiments.Ablation_study.print (Sw_experiments.Ablation_study.run ~scale ()) in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Measure the accuracy cost of each modeling ingredient.")
+    Term.(const run $ scale_arg)
+
+let compare_cmd =
+  let run scale =
+    Sw_experiments.Model_comparison.print_suite (Sw_experiments.Model_comparison.run_suite ~scale ());
+    print_newline ();
+    Sw_experiments.Model_comparison.print_sweep (Sw_experiments.Model_comparison.run_fig7_sweep ())
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare the paper's model against Roofline.")
+    Term.(const run $ scale_arg)
+
+let sensitivity_cmd =
+  let run () = Sw_experiments.Input_sensitivity.print (Sw_experiments.Input_sensitivity.run ()) in
+  Cmd.v
+    (Cmd.info "sensitivity" ~doc:"Model error across input scales (Section V-D).")
+    Term.(const run $ const ())
+
+let gflops_cmd =
+  let run scale = Sw_experiments.Gflops.print (Sw_experiments.Gflops.run ~scale ()) in
+  Cmd.v
+    (Cmd.info "gflops" ~doc:"Achieved GFlops: hand-picked vs statically tuned variants.")
+    Term.(const run $ scale_arg)
+
+let coalescing_cmd =
+  let run scale = Sw_experiments.Coalescing.print (Sw_experiments.Coalescing.run ~scale ()) in
+  Cmd.v
+    (Cmd.info "coalescing" ~doc:"Gload coalescing on the irregular kernels.")
+    Term.(const run $ scale_arg)
+
+let csv_out_arg =
+  let doc = "Write the sweep as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "o"; "csv" ] ~docv:"FILE" ~doc)
+
+let sweep_cmd =
+  let run name scale what csv_out =
+    let entry = Sw_workloads.Registry.find_exn name in
+    let params = Sw_arch.Params.default in
+    let config = Sw_sim.Config.default params in
+    let kernel = entry.Sw_workloads.Registry.build ~scale in
+    let base = entry.Sw_workloads.Registry.variant in
+    let points =
+      match what with
+      | "grain" ->
+          List.map
+            (fun g -> (g, { base with Sw_swacc.Kernel.grain = g }))
+            entry.Sw_workloads.Registry.grains
+      | "unroll" ->
+          List.map
+            (fun u -> (u, { base with Sw_swacc.Kernel.unroll = u }))
+            entry.Sw_workloads.Registry.unrolls
+      | "cpes" ->
+          List.map
+            (fun c -> (c, { base with Sw_swacc.Kernel.active_cpes = c }))
+            [ 8; 16; 32; 48; 64 ]
+      | other -> invalid_arg (Printf.sprintf "unknown sweep %S (grain|unroll|cpes)" other)
+    in
+    let doc = Sw_util.Csv.create [ what; "measured_cycles"; "predicted_cycles"; "error" ] in
+    let t =
+      Sw_util.Table.create
+        ~title:(Printf.sprintf "%s sweep over %s" what name)
+        [
+          (what, Sw_util.Table.Right);
+          ("measured", Sw_util.Table.Right);
+          ("predicted", Sw_util.Table.Right);
+          ("error", Sw_util.Table.Right);
+        ]
+    in
+    List.iter
+      (fun (x, variant) ->
+        match Sw_swacc.Lower.lower params kernel variant with
+        | Error msg -> Sw_util.Table.add_row t [ string_of_int x; "infeasible: " ^ msg; ""; "" ]
+        | Ok lowered ->
+            let row = Swpm.Accuracy.evaluate config lowered in
+            let meas = row.Swpm.Accuracy.measured.Sw_sim.Metrics.cycles in
+            let pred = row.Swpm.Accuracy.predicted.Swpm.Predict.t_total in
+            Sw_util.Csv.add_floats doc
+              [ float_of_int x; meas; pred; Swpm.Accuracy.error row ];
+            Sw_util.Table.add_row t
+              [
+                string_of_int x;
+                Sw_util.Table.cell_f meas;
+                Sw_util.Table.cell_f pred;
+                Sw_util.Table.cell_pct (Swpm.Accuracy.error row);
+              ])
+      points;
+    Sw_util.Table.print t;
+    match csv_out with
+    | Some path ->
+        Sw_util.Csv.save doc path;
+        Printf.printf "wrote %s
+" path
+    | None -> ()
+  in
+  let what_arg =
+    Arg.(value & opt string "grain" & info [ "over" ] ~docv:"DIM" ~doc:"grain, unroll or cpes")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep one tuning dimension, printing measured vs predicted.")
+    Term.(const run $ kernel_arg $ scale_arg $ what_arg $ csv_out_arg)
+
+let main =
+  let info = Cmd.info "swmodel" ~doc:"SW26010 static performance model and auto-tuner." in
+  Cmd.group info
+    [
+      list_cmd;
+      table1_cmd;
+      predict_cmd;
+      simulate_cmd;
+      tune_cmd;
+      fig6_cmd;
+      fig7_cmd;
+      fig8_cmd;
+      fig9_cmd;
+      fig10_cmd;
+      table2_cmd;
+      asm_cmd;
+      timeline_cmd;
+      ablation_cmd;
+      compare_cmd;
+      sensitivity_cmd;
+      gflops_cmd;
+      coalescing_cmd;
+      sweep_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/autotune_stencil.ml: Format List Stdlib String Sw_arch Sw_sim Sw_swacc Sw_tuning Sw_workloads Swpm

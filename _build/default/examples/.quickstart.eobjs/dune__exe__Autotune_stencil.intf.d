@@ -1,0 +1,1 @@
+examples/autotune_stencil.mli:

@@ -1,0 +1,1 @@
+examples/dma_granularity.ml: Format List Sw_arch Sw_sim Sw_swacc Sw_workloads Swpm

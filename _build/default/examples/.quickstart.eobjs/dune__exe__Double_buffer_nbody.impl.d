@@ -1,0 +1,1 @@
+examples/double_buffer_nbody.ml: Format Sw_arch Sw_sim Sw_swacc Sw_workloads Swpm

@@ -1,0 +1,1 @@
+examples/irregular_bfs.ml: Format Sw_arch Sw_sim Sw_swacc Sw_util Sw_workloads Swpm

@@ -1,0 +1,1 @@
+examples/kmeans_app.ml: Body Format Kernel Layout List Lower Printf Sw_arch Sw_sim Sw_swacc Sw_workloads Swpm

@@ -1,0 +1,1 @@
+examples/loopnest_matvec.ml: Body Format Kernel List Loopnest Lower Spm_alloc Sw_arch Sw_sim Sw_swacc Sw_util Swpm

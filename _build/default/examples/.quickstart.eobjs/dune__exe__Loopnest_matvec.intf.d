@@ -1,0 +1,1 @@
+examples/loopnest_matvec.mli:

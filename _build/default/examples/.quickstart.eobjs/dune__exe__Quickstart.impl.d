@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Sw_arch Sw_sim Sw_swacc Sw_util Swpm

@@ -1,0 +1,1 @@
+examples/wrf_active_cpes.ml: Format List Printf Sw_arch Sw_sim Sw_swacc Sw_workloads Swpm

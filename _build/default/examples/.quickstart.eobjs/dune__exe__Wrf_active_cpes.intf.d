@@ -1,0 +1,1 @@
+examples/wrf_active_cpes.mli:

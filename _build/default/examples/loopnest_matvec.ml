@@ -1,0 +1,59 @@
+(* Writing a kernel the way SWACC sources look: as a loop nest.
+
+     for i = 0 .. rows-1           (distributed over CPEs)
+       for j = 0 .. cols-1
+         acc += A[i][j] * x[j]
+       y[i] = acc
+
+   The Loopnest front end derives the whole copy plan — A streams
+   per-row, x stays SPM-resident per chunk, y is copy-out — and the rest
+   of the toolchain (placement, prediction, simulation, tuning) applies
+   unchanged. *)
+
+open Sw_swacc
+
+let rows = 8192
+
+let cols = 512
+
+let () =
+  let params = Sw_arch.Params.default in
+  let arrays =
+    [ Loopnest.array_ "A" `IJ; Loopnest.array_ "x" `J; Loopnest.array_ ~elem_bytes:8 "y" `I ]
+  in
+  let body =
+    [
+      Body.Accum ("acc", Body.OAdd, Body.Mul (Body.load "A", Body.load "x"));
+      Body.Store ("y", Body.Acc "acc");
+    ]
+  in
+  let kernel = Loopnest.compile ~name:"matvec" ~outer:rows ~inner:cols ~arrays ~body () in
+
+  (* what did the front end decide? *)
+  List.iter
+    (fun (c : Kernel.copy_spec) ->
+      Format.printf "array %-4s %-5s %-11s %d B per %s@." c.Kernel.array_name
+        (match c.Kernel.direction with
+        | Kernel.In -> "in"
+        | Kernel.Out -> "out"
+        | Kernel.Inout -> "inout")
+        (match c.Kernel.freq with
+        | Kernel.Per_element -> "streamed"
+        | Kernel.Per_chunk -> "SPM-resident")
+        c.Kernel.bytes_per_elem
+        (match c.Kernel.freq with Kernel.Per_element -> "row" | Kernel.Per_chunk -> "chunk"))
+    kernel.Kernel.copies;
+
+  (* pick the chunk size with the SPM placement in view *)
+  let variant = { Kernel.grain = 8; unroll = 4; active_cpes = 64; double_buffer = false } in
+  (match Spm_alloc.plan params kernel variant with
+  | Ok plan -> Format.printf "@.%a@.@." Spm_alloc.pp plan
+  | Error msg -> Format.printf "placement failed: %s@." msg);
+
+  let lowered = Lower.lower_exn params kernel variant in
+  let config = Sw_sim.Config.default params in
+  let row = Swpm.Accuracy.evaluate config lowered in
+  Format.printf "predicted %a, measured %a (%.1f%% error)@." Sw_util.Units.pp_cycles
+    row.Swpm.Accuracy.predicted.Swpm.Predict.t_total Sw_util.Units.pp_cycles
+    row.Swpm.Accuracy.measured.Sw_sim.Metrics.cycles
+    (Swpm.Accuracy.error row *. 100.0)

@@ -1,0 +1,1 @@
+lib/arch/mem_req.ml: List Stdlib

@@ -1,0 +1,1 @@
+lib/arch/params.ml: Format

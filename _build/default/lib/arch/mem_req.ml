@@ -1,0 +1,55 @@
+type access =
+  | Contiguous of { addr : int; bytes : int }
+  | Strided of { addr : int; row_bytes : int; stride : int; rows : int }
+
+let contiguous ~addr ~bytes =
+  if bytes <= 0 then invalid_arg "Mem_req.contiguous: bytes must be positive";
+  if addr < 0 then invalid_arg "Mem_req.contiguous: addr must be non-negative";
+  Contiguous { addr; bytes }
+
+let strided ~addr ~row_bytes ~stride ~rows =
+  if row_bytes <= 0 || rows <= 0 then invalid_arg "Mem_req.strided: sizes must be positive";
+  if addr < 0 then invalid_arg "Mem_req.strided: addr must be non-negative";
+  if stride < row_bytes then invalid_arg "Mem_req.strided: stride must cover row_bytes";
+  if rows = 1 then Contiguous { addr; bytes = row_bytes }
+  else Strided { addr; row_bytes; stride; rows }
+
+let payload_bytes = function
+  | Contiguous { bytes; _ } -> bytes
+  | Strided { row_bytes; rows; _ } -> row_bytes * rows
+
+let chunks = function
+  | Contiguous { addr; bytes } -> [ (addr, bytes) ]
+  | Strided { addr; row_bytes; stride; rows } ->
+      List.init rows (fun i -> (addr + (i * stride), row_bytes))
+
+let blocks_touched ~trans_size ~addr ~bytes =
+  let first = addr / trans_size in
+  let last = (addr + bytes - 1) / trans_size in
+  last - first + 1
+
+let transactions ~trans_size access =
+  List.fold_left
+    (fun acc (addr, bytes) -> acc + blocks_touched ~trans_size ~addr ~bytes)
+    0 (chunks access)
+
+let ceil_div a b = (a + b - 1) / b
+
+let mrt_model ~trans_size access =
+  List.fold_left (fun acc (_, bytes) -> acc + Stdlib.max 1 (ceil_div bytes trans_size)) 0 (chunks access)
+
+let iter_transactions ~trans_size access f =
+  let visit_chunk (addr, bytes) =
+    let first = addr / trans_size in
+    let last = (addr + bytes - 1) / trans_size in
+    for b = first to last do
+      f (b * trans_size)
+    done
+  in
+  List.iter visit_chunk (chunks access)
+
+let wasted_fraction ~trans_size access =
+  let moved = transactions ~trans_size access * trans_size in
+  1.0 -. (float_of_int (payload_bytes access) /. float_of_int moved)
+
+let route_cg ~trans_size ~n_cgs block_addr = block_addr / trans_size mod n_cgs

@@ -1,0 +1,52 @@
+(** Memory request shapes and DRAM-transaction arithmetic.
+
+    The CPEs of SW26010 access main memory in units of DRAM transactions
+    ({!Params.t.trans_size} bytes).  This module computes, for a given
+    request shape, how many transactions the hardware actually performs
+    ([transactions], alignment-aware — what the simulator charges) and how
+    many the paper's Equation 5 predicts ([mrt_model], a per-chunk
+    ceiling that ignores alignment).  The gap between the two is one
+    genuine source of model error. *)
+
+type access =
+  | Contiguous of { addr : int; bytes : int }
+      (** One consecutive chunk starting at byte address [addr]. *)
+  | Strided of { addr : int; row_bytes : int; stride : int; rows : int }
+      (** [rows] chunks of [row_bytes] bytes, consecutive chunks
+          [stride] bytes apart.  Models SWACC stride DMA, which issues
+          one transfer per consecutive chunk. *)
+
+val contiguous : addr:int -> bytes:int -> access
+(** Smart constructor; requires [bytes > 0] and [addr >= 0]. *)
+
+val strided : addr:int -> row_bytes:int -> stride:int -> rows:int -> access
+(** Smart constructor; requires positive sizes and [stride >= row_bytes]. *)
+
+val payload_bytes : access -> int
+(** Useful bytes moved by the request. *)
+
+val chunks : access -> (int * int) list
+(** Consecutive (address, bytes) chunks making up the request, in order.
+    A [Contiguous] request is a single chunk. *)
+
+val transactions : trans_size:int -> access -> int
+(** Alignment-aware transaction count: number of distinct
+    [trans_size]-aligned blocks touched, summed per chunk. *)
+
+val mrt_model : trans_size:int -> access -> int
+(** Equation 5: per chunk, [ceil (bytes / trans_size)], at least one per
+    chunk; alignment is ignored. *)
+
+val iter_transactions : trans_size:int -> access -> (int -> unit) -> unit
+(** Call the function with the block-aligned address of every transaction
+    the request touches (used by the simulator to route transactions to
+    memory controllers). *)
+
+val wasted_fraction : trans_size:int -> access -> float
+(** Fraction of transferred DRAM bytes that are not payload
+    (1 - payload / (transactions * trans_size)). *)
+
+val route_cg : trans_size:int -> n_cgs:int -> int -> int
+(** [route_cg ~trans_size ~n_cgs block_addr] maps a transaction block to
+    a core-group memory controller; cross-section memory interleaves
+    blocks round-robin across CGs. *)

@@ -1,0 +1,87 @@
+type t = {
+  freq_hz : float;
+  mem_bw_bytes_per_s : float;
+  trans_size : int;
+  l_base : int;
+  delta_delay : int;
+  l_float : int;
+  l_fixed : int;
+  l_spm : int;
+  l_div_sqrt : int;
+  cpes_per_cg : int;
+  spm_bytes : int;
+  gload_max_bytes : int;
+  n_cgs : int;
+  noc_extra_latency : int;
+  max_ilp : int;
+}
+
+let default =
+  {
+    freq_hz = 1.45e9;
+    mem_bw_bytes_per_s = 32e9;
+    trans_size = 256;
+    l_base = 220;
+    delta_delay = 50;
+    l_float = 9;
+    l_fixed = 1;
+    l_spm = 3;
+    l_div_sqrt = 34;
+    cpes_per_cg = 64;
+    spm_bytes = 64 * 1024;
+    gload_max_bytes = 32;
+    n_cgs = 1;
+    noc_extra_latency = 12;
+    max_ilp = 8;
+  }
+
+let with_cgs p n =
+  if n < 1 || n > 4 then invalid_arg "Params.with_cgs: n must be in 1..4";
+  { p with n_cgs = n }
+
+let validate p =
+  let check cond msg acc = match acc with Error _ -> acc | Ok _ -> if cond then acc else Error msg in
+  Ok p
+  |> check (p.freq_hz > 0.) "freq_hz must be positive"
+  |> check (p.mem_bw_bytes_per_s > 0.) "mem_bw must be positive"
+  |> check (p.trans_size > 0 && p.trans_size land (p.trans_size - 1) = 0)
+       "trans_size must be a positive power of two"
+  |> check (p.l_base > 0) "l_base must be positive"
+  |> check (p.delta_delay >= 0) "delta_delay must be non-negative"
+  |> check (p.l_float > 0 && p.l_fixed > 0 && p.l_spm > 0 && p.l_div_sqrt > 0)
+       "instruction latencies must be positive"
+  |> check (p.cpes_per_cg > 0) "cpes_per_cg must be positive"
+  |> check (p.spm_bytes > 0) "spm_bytes must be positive"
+  |> check (p.gload_max_bytes > 0 && p.gload_max_bytes <= p.trans_size)
+       "gload_max_bytes must be in 1..trans_size"
+  |> check (p.n_cgs >= 1 && p.n_cgs <= 4) "n_cgs must be in 1..4"
+  |> check (p.max_ilp >= 1) "max_ilp must be at least 1"
+
+let bytes_per_cycle p = p.mem_bw_bytes_per_s /. p.freq_hz
+
+let cycles_per_transaction p = float_of_int p.trans_size /. bytes_per_cycle p
+
+let total_mem_bw_bytes_per_s p = p.mem_bw_bytes_per_s *. float_of_int p.n_cgs
+
+let total_cpes p = p.cpes_per_cg * p.n_cgs
+
+let peak_flops_per_cg p =
+  (* Each CPE can retire one 4-wide FMA vector op per cycle: 8 flops. *)
+  float_of_int p.cpes_per_cg *. p.freq_hz *. 8.0
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "mem_bw         : %.1f GB/s per CG@," (p.mem_bw_bytes_per_s /. 1e9);
+  Format.fprintf fmt "Freq           : %.2f GHz@," (p.freq_hz /. 1e9);
+  Format.fprintf fmt "Trans_size     : %d bytes@," p.trans_size;
+  Format.fprintf fmt "Delta_delay    : %d cycles@," p.delta_delay;
+  Format.fprintf fmt "L_base         : %d cycles@," p.l_base;
+  Format.fprintf fmt "L_floating     : %d cycles@," p.l_float;
+  Format.fprintf fmt "L_fixed        : %d cycles@," p.l_fixed;
+  Format.fprintf fmt "L_SPM          : %d cycles@," p.l_spm;
+  Format.fprintf fmt "L_div/sqrt     : %d cycles@," p.l_div_sqrt;
+  Format.fprintf fmt "CPEs per CG    : %d@," p.cpes_per_cg;
+  Format.fprintf fmt "SPM            : %d KiB@," (p.spm_bytes / 1024);
+  Format.fprintf fmt "Gload max      : %d bytes@," p.gload_max_bytes;
+  Format.fprintf fmt "Core groups    : %d@," p.n_cgs;
+  Format.fprintf fmt "Max ILP        : %d@]" p.max_ilp

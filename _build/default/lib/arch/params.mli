@@ -1,0 +1,53 @@
+(** Machine parameters of the SW26010 processor (Table I of the paper).
+
+    One value of type {!t} describes the machine configuration both the
+    cycle-level simulator ({!Sw_sim}) and the static performance model
+    ({!Swpm}) operate on.  Defaults reproduce Table I. *)
+
+type t = {
+  freq_hz : float;  (** Processor frequency (1.45 GHz). *)
+  mem_bw_bytes_per_s : float;  (** Memory bandwidth per core group (32 GB/s). *)
+  trans_size : int;  (** DRAM transaction size in bytes (256). *)
+  l_base : int;  (** Baseline latency of a memory access, cycles (220). *)
+  delta_delay : int;  (** Extra delay per additional transaction in one request, cycles (50). *)
+  l_float : int;  (** Floating point operation latency, cycles (9). *)
+  l_fixed : int;  (** Fixed point operation latency, cycles (1). *)
+  l_spm : int;  (** SPM access latency, cycles (3). *)
+  l_div_sqrt : int;  (** Divide / square-root latency, cycles (34, unpipelined). *)
+  cpes_per_cg : int;  (** Computing processing elements per core group (64). *)
+  spm_bytes : int;  (** Scratchpad capacity per CPE (64 KiB). *)
+  gload_max_bytes : int;  (** Maximum bytes per Gload request (32). *)
+  n_cgs : int;  (** Core groups in use (1-4). *)
+  noc_extra_latency : int;  (** Extra cycles for a cross-CG transaction over the crossbar NoC. *)
+  max_ilp : int;  (** Maximum pipelined compute instructions (8). *)
+}
+
+val default : t
+(** Table I values, one core group. *)
+
+val with_cgs : t -> int -> t
+(** [with_cgs p n] selects [n] core groups (1-4); memory bandwidth in the
+    model scales linearly with [n] per the paper's Section V-C3. *)
+
+val validate : t -> (t, string) result
+(** Check invariants (positive latencies, power-related sanity). *)
+
+val bytes_per_cycle : t -> float
+(** Sustained memory bytes per cycle for one core group. *)
+
+val cycles_per_transaction : t -> float
+(** Cycles between transaction completions at full bandwidth
+    ([trans_size / bytes_per_cycle], ~11.6 with defaults). *)
+
+val total_mem_bw_bytes_per_s : t -> float
+(** Aggregate bandwidth over all selected core groups. *)
+
+val total_cpes : t -> int
+(** [cpes_per_cg * n_cgs]. *)
+
+val peak_flops_per_cg : t -> float
+(** Peak double-precision FLOP/s of one core group, assuming 8-wide
+    pipelined FMA issue on each CPE (765 GFlops in the paper). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the parameter table (the Table I reproduction). *)

@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Equations List Predict Stdlib Sw_arch Sw_swacc

@@ -1,0 +1,1 @@
+lib/core/ablation.mli: Predict Sw_arch Sw_swacc

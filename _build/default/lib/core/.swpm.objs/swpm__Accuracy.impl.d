@@ -1,0 +1,1 @@
+lib/core/accuracy.ml: Array Format List Option Predict Sw_sim Sw_swacc Sw_util

@@ -1,0 +1,1 @@
+lib/core/accuracy.mli: Format Predict Sw_sim Sw_swacc

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Equations Predict Stdlib Sw_arch Sw_swacc

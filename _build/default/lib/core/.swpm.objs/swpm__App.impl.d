@@ -1,0 +1,1 @@
+lib/core/app.ml: Format List Predict Sw_sim Sw_swacc Sw_util

@@ -1,0 +1,1 @@
+lib/core/app.mli: Format Sw_arch Sw_sim Sw_swacc

@@ -1,0 +1,1 @@
+lib/core/equations.ml: List Stdlib Sw_arch Sw_isa Sw_swacc

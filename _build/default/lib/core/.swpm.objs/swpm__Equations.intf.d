@@ -1,0 +1,1 @@
+lib/core/equations.mli: Sw_arch Sw_swacc

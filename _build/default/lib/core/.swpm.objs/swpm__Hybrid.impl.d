@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Equations Predict Stdlib Sw_sim Sw_swacc

@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Predict Sw_arch Sw_sim Sw_swacc

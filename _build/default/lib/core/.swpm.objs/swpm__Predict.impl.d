@@ -1,0 +1,1 @@
+lib/core/predict.ml: Equations Format Stdlib Sw_swacc Sw_util

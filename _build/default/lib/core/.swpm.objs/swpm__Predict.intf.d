@@ -1,0 +1,1 @@
+lib/core/predict.mli: Format Sw_arch Sw_swacc

@@ -1,0 +1,1 @@
+lib/core/roofline.ml: Float Format List Stdlib Sw_arch Sw_isa Sw_swacc Sw_util

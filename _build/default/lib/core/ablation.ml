@@ -1,0 +1,91 @@
+module Lowered = Sw_swacc.Lowered
+module Params = Sw_arch.Params
+
+type variant = Full | No_overlap | Full_overlap | Bytes_not_transactions | Ungrouped_requests
+
+let all = [ Full; No_overlap; Full_overlap; Bytes_not_transactions; Ungrouped_requests ]
+
+let name = function
+  | Full -> "full"
+  | No_overlap -> "no-overlap"
+  | Full_overlap -> "full-overlap"
+  | Bytes_not_transactions -> "bytes-not-transactions"
+  | Ungrouped_requests -> "ungrouped-requests"
+
+let describe = function
+  | Full -> "the paper's model"
+  | No_overlap -> "drop Eqs. 7-12 (additive T_mem + T_comp)"
+  | Full_overlap -> "assume perfect overlap (max of T_mem, T_comp)"
+  | Bytes_not_transactions -> "charge payload bytes instead of DRAM transactions (no Eq. 5)"
+  | Ungrouped_requests -> "one request per array transfer (no copy-intrinsic grouping)"
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Bytes-based memory times: requests pay for their payload only. *)
+let bytes_model params (s : Lowered.summary) =
+  let active = float_of_int s.Lowered.active_cpes in
+  let bytes_per_cycle = Params.total_mem_bw_bytes_per_s params /. params.Params.freq_hz in
+  let l_base = float_of_int params.Params.l_base in
+  let request payload =
+    Stdlib.max l_base (active *. float_of_int payload /. bytes_per_cycle)
+  in
+  let t_dma =
+    List.fold_left
+      (fun acc (g : Lowered.dma_group) -> acc +. (g.Lowered.count *. request g.Lowered.payload_bytes))
+      0.0 s.Lowered.dma_groups
+  in
+  let t_g = float_of_int s.Lowered.gload_count *. request (Stdlib.max 1 s.Lowered.gload_bytes) in
+  (t_dma, t_g)
+
+let ungroup (s : Lowered.summary) =
+  let dma_groups =
+    List.map
+      (fun (g : Lowered.dma_group) ->
+        let n = Stdlib.max 1 g.Lowered.transfers in
+        {
+          Lowered.payload_bytes = Stdlib.max 1 (g.Lowered.payload_bytes / n);
+          mrt = Stdlib.max 1 (ceil_div g.Lowered.mrt n);
+          count = g.Lowered.count *. float_of_int n;
+          transfers = 1;
+        })
+      s.Lowered.dma_groups
+  in
+  { s with Lowered.dma_groups }
+
+let predict variant params (s : Lowered.summary) =
+  match variant with
+  | Full -> Predict.run params s
+  | Ungrouped_requests -> Predict.run params (ungroup s)
+  | No_overlap ->
+      let p = Predict.run params s in
+      { p with Predict.t_total = p.Predict.t_mem +. p.Predict.t_comp; t_overlap = 0.0 }
+  | Full_overlap ->
+      let p = Predict.run params s in
+      {
+        p with
+        Predict.t_total = Stdlib.max p.Predict.t_mem p.Predict.t_comp;
+        t_overlap = Stdlib.min p.Predict.t_mem p.Predict.t_comp;
+      }
+  | Bytes_not_transactions ->
+      let p = Predict.run params s in
+      let t_dma, t_g = bytes_model params s in
+      let t_mem = t_dma +. t_g in
+      (* keep the paper's overlap structure, applied to the bytes-based
+         memory times *)
+      let dma_ov =
+        Equations.overlapable ~ng:p.Predict.ng_dma ~n_reqs:p.Predict.n_dma_reqs ~total:t_dma
+      in
+      let g_ov =
+        Equations.overlapable ~ng:p.Predict.ng_g
+          ~n_reqs:(float_of_int s.Lowered.gload_count)
+          ~total:t_g
+      in
+      let t_overlap = Equations.t_overlap ~t_comp:p.Predict.t_comp ~dma_ov ~g_ov in
+      {
+        p with
+        Predict.t_dma;
+        t_g;
+        t_mem;
+        t_overlap;
+        t_total = Equations.t_total ~t_mem ~t_comp:p.Predict.t_comp ~t_overlap -. p.Predict.db_gain;
+      }

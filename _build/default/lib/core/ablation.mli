@@ -1,0 +1,35 @@
+(** Model ablations: the same prediction with one design ingredient
+    removed.
+
+    The paper attributes its accuracy to a handful of modeling choices —
+    virtual-group overlap (Eqs. 7-10), transaction-level memory
+    accounting (Eq. 5), treating one copy intrinsic as one request, and
+    the Gload transaction waste.  Each ablation disables exactly one of
+    them so the accuracy cost of that choice can be measured against the
+    simulator (the [ablation] bench section does this across the whole
+    suite). *)
+
+type variant =
+  | Full  (** The paper's model, unchanged. *)
+  | No_overlap
+      (** Drop Eqs. 7-12: T_total = T_mem + T_comp.  What a naive
+          additive model would predict. *)
+  | Full_overlap
+      (** Assume perfect overlap: T_total = max(T_mem, T_comp).  What a
+          bottleneck-only (roofline-style) model predicts. *)
+  | Bytes_not_transactions
+      (** Replace Eq. 5's transaction counting with raw payload bytes:
+          requests smaller than a transaction stop paying for the full
+          transaction, and Gloads cost only their bytes. *)
+  | Ungrouped_requests
+      (** Treat every array's transfer as its own request instead of one
+          request per copy intrinsic (Section III-C's grouping). *)
+
+val all : variant list
+
+val name : variant -> string
+
+val describe : variant -> string
+
+val predict : variant -> Sw_arch.Params.t -> Sw_swacc.Lowered.summary -> Predict.t
+(** Predict under the ablated model.  [Full] equals {!Predict.run}. *)

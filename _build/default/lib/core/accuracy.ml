@@ -1,0 +1,56 @@
+type row = { name : string; predicted : Predict.t; measured : Sw_sim.Metrics.t }
+
+let evaluate ?name config (lowered : Sw_swacc.Lowered.t) =
+  let predicted = Predict.predict_lowered config.Sw_sim.Config.params lowered in
+  let measured = Sw_sim.Engine.run config lowered.programs in
+  { name = Option.value name ~default:lowered.kernel_name; predicted; measured }
+
+let error row =
+  Sw_util.Stats.relative_error ~predicted:row.predicted.Predict.t_total
+    ~actual:row.measured.Sw_sim.Metrics.cycles
+
+let mape rows =
+  Sw_util.Stats.mape
+    (Array.of_list
+       (List.map
+          (fun r -> (r.predicted.Predict.t_total, r.measured.Sw_sim.Metrics.cycles))
+          rows))
+
+let max_error rows = Sw_util.Stats.maximum (Array.of_list (List.map error rows))
+
+let pp_table fmt rows =
+  let t =
+    Sw_util.Table.create ~title:"Model accuracy (predicted vs simulated)"
+      [
+        ("kernel", Sw_util.Table.Left);
+        ("pred Kcyc", Sw_util.Table.Right);
+        ("meas Kcyc", Sw_util.Table.Right);
+        ("T_dma", Sw_util.Table.Right);
+        ("T_g", Sw_util.Table.Right);
+        ("T_comp", Sw_util.Table.Right);
+        ("overlap", Sw_util.Table.Right);
+        ("error", Sw_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      let p = r.predicted in
+      Sw_util.Table.add_row t
+        [
+          r.name;
+          Sw_util.Table.cell_f (p.Predict.t_total /. 1e3);
+          Sw_util.Table.cell_f (r.measured.Sw_sim.Metrics.cycles /. 1e3);
+          Sw_util.Table.cell_f (p.Predict.t_dma /. 1e3);
+          Sw_util.Table.cell_f (p.Predict.t_g /. 1e3);
+          Sw_util.Table.cell_f (p.Predict.t_comp /. 1e3);
+          Sw_util.Table.cell_f (p.Predict.t_overlap /. 1e3);
+          Sw_util.Table.cell_pct (error r);
+        ])
+    rows;
+  (match rows with
+  | [] -> ()
+  | _ :: _ ->
+      Sw_util.Table.add_sep t;
+      Sw_util.Table.add_row t
+        [ "average"; ""; ""; ""; ""; ""; ""; Sw_util.Table.cell_pct (mape rows) ]);
+  Format.pp_print_string fmt (Sw_util.Table.render t)

@@ -1,0 +1,29 @@
+(** Model-vs-simulator accuracy evaluation (the Fig. 6 methodology).
+
+    Predicts a lowered kernel with the static model, "measures" it on
+    the cycle-level simulator, and reports relative errors.  The paper
+    reports 5% average error with a 9.6% maximum on irregular BFS; the
+    same comparison against our simulated hardware is what the Fig. 6
+    bench regenerates. *)
+
+type row = {
+  name : string;
+  predicted : Predict.t;
+  measured : Sw_sim.Metrics.t;
+}
+
+val evaluate : ?name:string -> Sw_sim.Config.t -> Sw_swacc.Lowered.t -> row
+(** Predict and simulate one lowered kernel ([name] defaults to the
+    kernel's). *)
+
+val error : row -> float
+(** Relative error of [t_total] against the measured makespan. *)
+
+val mape : row list -> float
+(** Mean absolute relative error over rows. *)
+
+val max_error : row list -> float
+
+val pp_table : Format.formatter -> row list -> unit
+(** Paper-style table: per-kernel predicted/measured breakdown and
+    error. *)

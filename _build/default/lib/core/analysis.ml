@@ -1,0 +1,27 @@
+module Lowered = Sw_swacc.Lowered
+
+let smaller_dma_gain params (s : Lowered.summary) ~n_reqs_after =
+  if n_reqs_after <= 0 then invalid_arg "Analysis.smaller_dma_gain: request count must be positive";
+  let n_before = Lowered.dma_requests_per_cpe s in
+  if n_before <= 0.0 then 0.0
+  else begin
+    let t_dma = Equations.t_dma params ~active_cpes:s.active_cpes s.dma_groups in
+    ((1.0 /. n_before) -. (1.0 /. float_of_int n_reqs_after)) *. t_dma
+  end
+
+let double_buffer_gain params (s : Lowered.summary) =
+  let pred = Predict.run params { s with double_buffered = false } in
+  Stdlib.max 0.0
+    (Stdlib.min (pred.Predict.t_dma /. pred.Predict.ng_dma) (pred.Predict.t_comp -. pred.Predict.t_overlap))
+
+let fewer_cpes_gain params (s : Lowered.summary) ~reduction_fraction =
+  if reduction_fraction < 0.0 || reduction_fraction >= 1.0 then
+    invalid_arg "Analysis.fewer_cpes_gain: fraction must be in [0, 1)";
+  let t_dma = Equations.t_dma params ~active_cpes:s.active_cpes s.dma_groups in
+  let t_comp = Equations.t_comp params s.computes in
+  reduction_fraction *. Stdlib.max 0.0 (t_dma -. t_comp)
+
+let gload_waste_fraction (p : Sw_arch.Params.t) ~bytes_per_gload =
+  if bytes_per_gload <= 0 || bytes_per_gload > p.trans_size then
+    invalid_arg "Analysis.gload_waste_fraction: bytes out of range";
+  1.0 -. (float_of_int bytes_per_gload /. float_of_int p.trans_size)

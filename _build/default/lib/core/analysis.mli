@@ -1,0 +1,28 @@
+(** Model-derived optimization-effect analyses (Section IV).
+
+    Each function predicts the cycles saved by a program transformation
+    {e without} lowering or simulating the transformed program — the
+    "directly analyzing the effects of some optimizations" use of the
+    model. *)
+
+val smaller_dma_gain :
+  Sw_arch.Params.t -> Sw_swacc.Lowered.summary -> n_reqs_after:int -> float
+(** Equation 13: time saved by splitting the same DMA traffic into
+    [n_reqs_after] requests (more, smaller requests overlap better).
+    Non-positive when [n_reqs_after] does not exceed the current request
+    count. *)
+
+val double_buffer_gain : Sw_arch.Params.t -> Sw_swacc.Lowered.summary -> float
+(** Equation 14: upper bound on the double-buffer benefit —
+    [min (T_DMA / NG_DMA) (T_comp - T_overlap)].  Evaluated on the
+    non-double-buffered summary. *)
+
+val fewer_cpes_gain :
+  Sw_arch.Params.t -> Sw_swacc.Lowered.summary -> reduction_fraction:float -> float
+(** Equation 15: time saved by using fewer active CPEs:
+    [fraction * max 0 (T_DMA - T_comp)].  [reduction_fraction] is the
+    fraction of CPEs removed (e.g. 0.25 when going 64 -> 48). *)
+
+val gload_waste_fraction : Sw_arch.Params.t -> bytes_per_gload:int -> float
+(** Fraction of DRAM bandwidth wasted by Gloads of the given size
+    (Section II-A / V-B discussion): [1 - bytes / trans_size]. *)

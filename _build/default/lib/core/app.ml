@@ -1,0 +1,67 @@
+type stage = { stage_name : string; lowered : Sw_swacc.Lowered.t }
+
+type t = { stages : stage list; launch_overhead_cycles : float }
+
+let make ?(launch_overhead_cycles = 5000.0) stages =
+  if stages = [] then invalid_arg "App.make: empty application";
+  if launch_overhead_cycles < 0.0 then invalid_arg "App.make: negative launch overhead";
+  {
+    stages = List.map (fun (stage_name, lowered) -> { stage_name; lowered }) stages;
+    launch_overhead_cycles;
+  }
+
+type report = {
+  per_stage : (string * float * float) list;
+  predicted_total : float;
+  measured_total : float;
+  error : float;
+}
+
+let launches t = float_of_int (List.length t.stages) *. t.launch_overhead_cycles
+
+let predict params t =
+  List.fold_left
+    (fun acc stage ->
+      acc +. (Predict.predict_lowered params stage.lowered).Predict.t_total)
+    0.0 t.stages
+  +. launches t
+
+let simulate config t =
+  List.fold_left
+    (fun acc stage ->
+      acc
+      +. (Sw_sim.Engine.run config stage.lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles)
+    0.0 t.stages
+  +. launches t
+
+let evaluate (config : Sw_sim.Config.t) t =
+  let params = config.Sw_sim.Config.params in
+  let per_stage =
+    List.map
+      (fun stage ->
+        let predicted = (Predict.predict_lowered params stage.lowered).Predict.t_total in
+        let measured =
+          (Sw_sim.Engine.run config stage.lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles
+        in
+        (stage.stage_name, predicted, measured))
+      t.stages
+  in
+  let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 per_stage in
+  let predicted_total = sum (fun (_, p, _) -> p) +. launches t in
+  let measured_total = sum (fun (_, _, m) -> m) +. launches t in
+  {
+    per_stage;
+    predicted_total;
+    measured_total;
+    error = Sw_util.Stats.relative_error ~predicted:predicted_total ~actual:measured_total;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (name, p, m) ->
+      Format.fprintf fmt "%-20s predicted %10.0f   measured %10.0f   (%.1f%%)@," name p m
+        (Sw_util.Stats.relative_error ~predicted:p ~actual:m *. 100.0))
+    r.per_stage;
+  Format.fprintf fmt "%-20s predicted %10.0f   measured %10.0f   (%.1f%%)@]" "total (with launches)"
+    r.predicted_total r.measured_total (r.error *. 100.0)

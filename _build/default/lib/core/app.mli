@@ -1,0 +1,40 @@
+(** Multi-kernel applications.
+
+    Real programs (the WRF runs, the Rodinia apps) launch a sequence of
+    CPE kernels from the MPE.  The paper's model scopes to one kernel
+    and treats the MPE as a pure launcher (Section III-F); this module
+    composes whole applications from lowered kernels, charging a fixed
+    MPE launch overhead per stage, so end-to-end times can be predicted
+    and simulated stage by stage. *)
+
+type stage = { stage_name : string; lowered : Sw_swacc.Lowered.t }
+
+type t = {
+  stages : stage list;
+  launch_overhead_cycles : float;
+      (** MPE-side athread spawn/join cost charged per stage. *)
+}
+
+val make : ?launch_overhead_cycles:float -> (string * Sw_swacc.Lowered.t) list -> t
+(** Default launch overhead: 5000 cycles (a few microseconds at
+    1.45 GHz).
+    @raise Invalid_argument on an empty stage list. *)
+
+type report = {
+  per_stage : (string * float * float) list;  (** name, predicted, measured. *)
+  predicted_total : float;
+  measured_total : float;
+  error : float;
+}
+
+val predict : Sw_arch.Params.t -> t -> float
+(** End-to-end predicted cycles: per-stage model predictions plus
+    launches. *)
+
+val simulate : Sw_sim.Config.t -> t -> float
+(** End-to-end simulated cycles (stages are serialized by the MPE, so
+    the makespans add). *)
+
+val evaluate : Sw_sim.Config.t -> t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,41 @@
+module Params = Sw_arch.Params
+
+let cycles_per_transaction (p : Params.t) =
+  float_of_int p.trans_size *. p.freq_hz /. Params.total_mem_bw_bytes_per_s p
+
+let l_avg (p : Params.t) ~mrt = float_of_int p.l_base +. ((mrt -. 1.0) *. float_of_int p.delta_delay)
+
+let l_mem_bw p ~active_cpes ~mrt =
+  float_of_int (active_cpes * mrt) *. cycles_per_transaction p
+
+let request_time p ~active_cpes ~mrt =
+  Stdlib.max (l_avg p ~mrt:(float_of_int mrt)) (l_mem_bw p ~active_cpes ~mrt)
+
+let t_dma p ~active_cpes groups =
+  List.fold_left
+    (fun acc (g : Sw_swacc.Lowered.dma_group) ->
+      acc +. (g.count *. request_time p ~active_cpes ~mrt:g.mrt))
+    0.0 groups
+
+let t_gload p ~active_cpes ~count = float_of_int count *. request_time p ~active_cpes ~mrt:1
+
+let t_comp p computes =
+  List.fold_left
+    (fun acc (c : Sw_swacc.Lowered.compute_summary) ->
+      acc +. Sw_isa.Schedule.iterated_cycles p c.block ~trips:c.trips)
+    0.0 computes
+
+let mrp p ~active_cpes ~avg_mrt =
+  let raw = l_avg p ~mrt:avg_mrt /. (cycles_per_transaction p *. avg_mrt) in
+  Stdlib.max 1.0 (Stdlib.min (float_of_int active_cpes) raw)
+
+let ng p ~active_cpes ~avg_mrt =
+  Stdlib.max 1.0 (float_of_int active_cpes /. mrp p ~active_cpes ~avg_mrt)
+
+let overlapable ~ng ~n_reqs ~total =
+  if n_reqs <= 0.0 then 0.0
+  else (1.0 -. (1.0 /. ng)) *. (1.0 -. (1.0 /. n_reqs)) *. total
+
+let t_overlap ~t_comp ~dma_ov ~g_ov = Stdlib.min t_comp (dma_ov +. g_ov)
+
+let t_total ~t_mem ~t_comp ~t_overlap = t_mem +. t_comp -. t_overlap

@@ -1,0 +1,56 @@
+(** The paper's performance-model equations (Section III), as pure
+    functions of Table-I parameters and static request facts.
+
+    Notation follows the paper: MRT is the number of DRAM transactions
+    of one request (Eq. 5); MRP is the memory request parallelism — how
+    many concurrent requests saturate the bandwidth during one request
+    latency (Eq. 10); NG is the number of "virtual groups" of CPEs
+    (Eq. 9); a request's effective latency is the larger of its baseline
+    latency and its bandwidth-limited serving duration (Eq. 3-4).
+
+    Bandwidth scales linearly with the number of core groups in use
+    (Section V-C3), so all bandwidth-derived quantities use the total
+    bandwidth of [params.n_cgs] core groups. *)
+
+val cycles_per_transaction : Sw_arch.Params.t -> float
+(** Machine-wide cycles between transaction completions at full
+    bandwidth: [Trans_size * Freq / (mem_bw * n_cgs)]. *)
+
+val l_avg : Sw_arch.Params.t -> mrt:float -> float
+(** Equation 11: [L_base + (MRT - 1) * delta_delay]. *)
+
+val l_mem_bw : Sw_arch.Params.t -> active_cpes:int -> mrt:int -> float
+(** Equation 4: bandwidth-limited duration of one request wave —
+    [active_CPEs * MRT * cycles_per_transaction]. *)
+
+val request_time : Sw_arch.Params.t -> active_cpes:int -> mrt:int -> float
+(** Equation 3 (one request): [max (l_avg mrt) (l_mem_bw)]. *)
+
+val t_dma : Sw_arch.Params.t -> active_cpes:int -> Sw_swacc.Lowered.dma_group list -> float
+(** Equation 3 summed over all logical DMA requests of one CPE. *)
+
+val t_gload : Sw_arch.Params.t -> active_cpes:int -> count:int -> float
+(** Gload request time: [count * request_time ~mrt:1] (Gloads always
+    occupy one transaction, Section III-C). *)
+
+val t_comp : Sw_arch.Params.t -> Sw_swacc.Lowered.compute_summary list -> float
+(** Equation 6 via the static schedule (the compiler-annotation route:
+    [Σ #t * L_t / avg_ILP] equals the annotated block time). *)
+
+val mrp : Sw_arch.Params.t -> active_cpes:int -> avg_mrt:float -> float
+(** Equation 10, clamped to [\[1, active_cpes\]]: requests that fully
+    use the bandwidth during one average request latency. *)
+
+val ng : Sw_arch.Params.t -> active_cpes:int -> avg_mrt:float -> float
+(** Equation 9: [active_cpes / mrp], at least 1. *)
+
+val overlapable :
+  ng:float -> n_reqs:float -> total:float -> float
+(** Equation 8: [(1 - 1/NG) * (1 - 1/#reqs) * total]; 0 when there are
+    no requests. *)
+
+val t_overlap : t_comp:float -> dma_ov:float -> g_ov:float -> float
+(** Equation 7: [min t_comp (dma_ov + g_ov)]. *)
+
+val t_total : t_mem:float -> t_comp:float -> t_overlap:float -> float
+(** Equations 1-2. *)

@@ -1,0 +1,46 @@
+type calibration = { gload_factor : float; profile_cycles : float }
+
+let no_calibration = { gload_factor = 1.0; profile_cycles = 0.0 }
+
+let calibrate config (lowered : Sw_swacc.Lowered.t) =
+  let params = config.Sw_sim.Config.params in
+  let s = lowered.Sw_swacc.Lowered.summary in
+  if s.Sw_swacc.Lowered.gload_count = 0 then no_calibration
+  else begin
+    let static = Predict.run params s in
+    let measured = Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs in
+    (* attribute the non-compute, non-DMA part of the measured makespan
+       to the Gload path and compare it with the static T_g *)
+    let static_non_g = static.Predict.t_total -. static.Predict.t_g in
+    let measured_g = Stdlib.max 0.0 (measured.Sw_sim.Metrics.cycles -. static_non_g) in
+    let factor = if static.Predict.t_g > 0.0 then measured_g /. static.Predict.t_g else 1.0 in
+    {
+      gload_factor = Stdlib.min 1.5 (Stdlib.max 0.1 factor);
+      profile_cycles = measured.Sw_sim.Metrics.cycles;
+    }
+  end
+
+let predict params (s : Sw_swacc.Lowered.summary) ~calibration =
+  let p = Predict.run params s in
+  if s.Sw_swacc.Lowered.gload_count = 0 || calibration.gload_factor = 1.0 then p
+  else begin
+    let t_g = p.Predict.t_g *. calibration.gload_factor in
+    let t_mem = p.Predict.t_dma +. t_g in
+    let g_ov =
+      Equations.overlapable ~ng:p.Predict.ng_g
+        ~n_reqs:(float_of_int s.Sw_swacc.Lowered.gload_count)
+        ~total:t_g
+    in
+    let dma_ov =
+      Equations.overlapable ~ng:p.Predict.ng_dma ~n_reqs:p.Predict.n_dma_reqs
+        ~total:p.Predict.t_dma
+    in
+    let t_overlap = Equations.t_overlap ~t_comp:p.Predict.t_comp ~dma_ov ~g_ov in
+    {
+      p with
+      Predict.t_g;
+      t_mem;
+      t_overlap;
+      t_total = Equations.t_total ~t_mem ~t_comp:p.Predict.t_comp ~t_overlap -. p.Predict.db_gain;
+    }
+  end

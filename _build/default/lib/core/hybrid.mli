@@ -1,0 +1,31 @@
+(** Hybrid prediction: the static model plus one lightweight profile.
+
+    Section III-F of the paper marks workload imbalance as unmodelled
+    and suggests that "combination with some lightweight profiling is a
+    feasible way to complement the static model".  This module
+    implements that suggestion: the static model takes the longest
+    per-CPE path for Gload counts, which overpredicts badly when the
+    counts are skewed (under bandwidth sharing the fleet equalizes); a
+    single cheap profiling run — here, a reduced-scale simulation —
+    measures how much of the longest-path Gload time is real, and the
+    calibration transfers to the full-size prediction. *)
+
+type calibration = {
+  gload_factor : float;
+      (** Measured/static ratio of the Gload component (1.0 = the static
+          model was right; < 1 = imbalance made the max path
+          pessimistic). *)
+  profile_cycles : float;  (** Cost of the profiling run, simulated cycles. *)
+}
+
+val no_calibration : calibration
+(** [gload_factor = 1]: hybrid collapses to the static model. *)
+
+val calibrate : Sw_sim.Config.t -> Sw_swacc.Lowered.t -> calibration
+(** Run the given (small) lowering once and compare its measured
+    behaviour with the static prediction to extract the Gload factor.
+    Kernels without Gloads calibrate to {!no_calibration}. *)
+
+val predict :
+  Sw_arch.Params.t -> Sw_swacc.Lowered.summary -> calibration:calibration -> Predict.t
+(** The static model with the Gload term scaled by the calibration. *)

@@ -1,0 +1,79 @@
+module Lowered = Sw_swacc.Lowered
+
+type scenario = Compute_bound | Memory_bound
+
+type t = {
+  t_total : float;
+  t_mem : float;
+  t_dma : float;
+  t_g : float;
+  t_comp : float;
+  t_overlap : float;
+  scenario : scenario;
+  ng_dma : float;
+  mrp_dma : float;
+  ng_g : float;
+  mrp_g : float;
+  n_dma_reqs : float;
+  avg_mrt_dma : float;
+  db_gain : float;
+}
+
+let run params (s : Lowered.summary) =
+  let active = s.active_cpes in
+  let t_comp = Equations.t_comp params s.computes in
+  let t_dma = Equations.t_dma params ~active_cpes:active s.dma_groups in
+  let t_g = Equations.t_gload params ~active_cpes:active ~count:s.gload_count in
+  let n_dma_reqs = Lowered.dma_requests_per_cpe s in
+  let avg_mrt_dma = Lowered.avg_mrt s in
+  let mrp_dma = Equations.mrp params ~active_cpes:active ~avg_mrt:avg_mrt_dma in
+  let ng_dma = Equations.ng params ~active_cpes:active ~avg_mrt:avg_mrt_dma in
+  let mrp_g = Equations.mrp params ~active_cpes:active ~avg_mrt:1.0 in
+  let ng_g = Equations.ng params ~active_cpes:active ~avg_mrt:1.0 in
+  let dma_ov = Equations.overlapable ~ng:ng_dma ~n_reqs:n_dma_reqs ~total:t_dma in
+  let g_ov = Equations.overlapable ~ng:ng_g ~n_reqs:(float_of_int s.gload_count) ~total:t_g in
+  let t_overlap = Equations.t_overlap ~t_comp ~dma_ov ~g_ov in
+  let t_mem = t_dma +. t_g in
+  let scenario = if dma_ov +. g_ov < t_comp then Compute_bound else Memory_bound in
+  let base_total = Equations.t_total ~t_mem ~t_comp ~t_overlap in
+  (* Equation 14: double buffering can save at most the copy-in time of
+     one virtual group, bounded by the computation still exposed.  With
+     k chunks per CPE only k-1 prefetches exist, so the saving scales by
+     (k-1)/k — zero when there is nothing to prefetch. *)
+  let db_gain =
+    if not s.double_buffered then 0.0
+    else begin
+      let chunks = Stdlib.max 1.0 (n_dma_reqs /. 2.0) in
+      let finite = (chunks -. 1.0) /. chunks in
+      Stdlib.max 0.0 (finite *. Stdlib.min (t_dma /. ng_dma) (t_comp -. t_overlap))
+    end
+  in
+  {
+    t_total = base_total -. db_gain;
+    t_mem;
+    t_dma;
+    t_g;
+    t_comp;
+    t_overlap;
+    scenario;
+    ng_dma;
+    mrp_dma;
+    ng_g;
+    mrp_g;
+    n_dma_reqs;
+    avg_mrt_dma;
+    db_gain;
+  }
+
+let predict_lowered params (l : Lowered.t) = run params l.summary
+
+let us t ~freq_hz = Sw_util.Units.cycles_to_us ~freq_hz t.t_total
+
+let pp fmt t =
+  let scenario = match t.scenario with Compute_bound -> "1 (compute-bound)" | Memory_bound -> "2 (memory-bound)" in
+  Format.fprintf fmt
+    "@[<v>T_total   : %a@,T_mem     : %a (DMA %a + Gload %a)@,T_comp    : %a@,T_overlap : \
+     %a@,scenario  : %s@,NG_dma    : %.2f (MRP %.2f, %.1f reqs, avg MRT %.2f)@,db gain   : %a@]"
+    Sw_util.Units.pp_cycles t.t_total Sw_util.Units.pp_cycles t.t_mem Sw_util.Units.pp_cycles t.t_dma
+    Sw_util.Units.pp_cycles t.t_g Sw_util.Units.pp_cycles t.t_comp Sw_util.Units.pp_cycles t.t_overlap
+    scenario t.ng_dma t.mrp_dma t.n_dma_reqs t.avg_mrt_dma Sw_util.Units.pp_cycles t.db_gain

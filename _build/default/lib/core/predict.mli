@@ -1,0 +1,43 @@
+(** Static execution-time prediction for a lowered kernel.
+
+    This is the model's top level: given a machine configuration and the
+    static summary a lowering produced, predict the kernel's execution
+    time and its breakdown — without running anything. *)
+
+type scenario =
+  | Compute_bound
+      (** Scenario 1 (Fig. 4a): computation exceeds the overlappable
+          memory time; memory has idle cycles. *)
+  | Memory_bound
+      (** Scenario 2 (Fig. 4b): memory requests cover the computation
+          completely. *)
+
+type t = {
+  t_total : float;  (** Equation 1, cycles. *)
+  t_mem : float;  (** Equation 2. *)
+  t_dma : float;
+  t_g : float;
+  t_comp : float;
+  t_overlap : float;
+  scenario : scenario;
+  ng_dma : float;  (** Virtual groups for DMA requests (Eq. 9). *)
+  mrp_dma : float;  (** Eq. 10. *)
+  ng_g : float;
+  mrp_g : float;
+  n_dma_reqs : float;
+  avg_mrt_dma : float;  (** Eq. 12. *)
+  db_gain : float;
+      (** Predicted double-buffer saving (Eq. 14) — subtracted from
+          [t_total] when the summary is double-buffered, otherwise 0. *)
+}
+
+val run : Sw_arch.Params.t -> Sw_swacc.Lowered.summary -> t
+(** Evaluate the model. *)
+
+val predict_lowered : Sw_arch.Params.t -> Sw_swacc.Lowered.t -> t
+(** Convenience: [run] on the artifact's summary. *)
+
+val us : t -> freq_hz:float -> float
+(** Predicted microseconds. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+module Lowered = Sw_swacc.Lowered
+module Params = Sw_arch.Params
+
+type t = {
+  flops : float;
+  bytes : float;
+  arithmetic_intensity : float;
+  peak_flops_per_cycle : float;
+  bandwidth_bytes_per_cycle : float;
+  attainable_flops_per_cycle : float;
+  memory_bound : bool;
+  predicted_cycles : float;
+}
+
+(* Peak: one P0 FMA per cycle per CPE (2 flops), times the vector
+   lanes. *)
+let peak_flops_per_cycle_of ?(vector_width = 1) ~active_cpes () =
+  2.0 *. float_of_int active_cpes *. float_of_int vector_width
+
+let bandwidth_bytes_per_cycle_of params =
+  Params.total_mem_bw_bytes_per_s params /. params.Params.freq_hz
+
+let ridge_intensity params ~active_cpes =
+  peak_flops_per_cycle_of ~active_cpes () /. bandwidth_bytes_per_cycle_of params
+
+let analyze params (s : Lowered.summary) =
+  let flops =
+    List.fold_left
+      (fun acc (c : Lowered.compute_summary) ->
+        acc
+        +. (float_of_int (Sw_isa.Instr.Counts.flops (Sw_isa.Instr.count c.Lowered.block))
+           *. float_of_int c.Lowered.trips))
+      0.0 s.Lowered.computes
+    *. float_of_int s.Lowered.active_cpes
+    *. float_of_int s.Lowered.vector_width
+  in
+  let dma_bytes =
+    List.fold_left
+      (fun acc (g : Lowered.dma_group) ->
+        acc +. (float_of_int g.Lowered.payload_bytes *. g.Lowered.count))
+      0.0 s.Lowered.dma_groups
+    *. float_of_int s.Lowered.active_cpes
+  in
+  let gload_bytes =
+    float_of_int (s.Lowered.gload_count * s.Lowered.gload_bytes)
+    *. float_of_int s.Lowered.active_cpes
+  in
+  let bytes = dma_bytes +. gload_bytes in
+  let peak =
+    peak_flops_per_cycle_of ~vector_width:s.Lowered.vector_width
+      ~active_cpes:s.Lowered.active_cpes ()
+  in
+  let bw = bandwidth_bytes_per_cycle_of params in
+  let ai = if bytes > 0.0 then flops /. bytes else Float.infinity in
+  let attainable = Stdlib.min peak (ai *. bw) in
+  let memory_bound = ai *. bw < peak in
+  let predicted_cycles =
+    if flops > 0.0 then flops /. attainable
+    else if bytes > 0.0 then bytes /. bw
+    else 0.0
+  in
+  {
+    flops;
+    bytes;
+    arithmetic_intensity = ai;
+    peak_flops_per_cycle = peak;
+    bandwidth_bytes_per_cycle = bw;
+    attainable_flops_per_cycle = attainable;
+    memory_bound;
+    predicted_cycles;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>flops      : %.3e@,bytes      : %.3e@,intensity  : %.3f flops/B@,roofs      : %.1f \
+     flops/cyc vs %.1f B/cyc@,attainable : %.2f flops/cyc (%s-bound)@,time       : %a@]"
+    t.flops t.bytes t.arithmetic_intensity t.peak_flops_per_cycle t.bandwidth_bytes_per_cycle
+    t.attainable_flops_per_cycle
+    (if t.memory_bound then "memory" else "compute")
+    Sw_util.Units.pp_cycles t.predicted_cycles

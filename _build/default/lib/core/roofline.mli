@@ -1,0 +1,33 @@
+(** A Roofline model for the SW26010 core group — the comparison point
+    of Section VI.
+
+    Roofline predicts the attainable performance of a kernel from its
+    arithmetic intensity alone: [min (peak_flops, AI * bandwidth)].  It
+    is an upper-bound tool, deliberately blind to request granularity,
+    latency, overlap scheduling and transaction waste — which is exactly
+    why the paper's effects (Fig. 7's granularity gains with unchanged
+    AI, Fig. 9's fewer-CPEs-is-faster) are invisible to it.  The
+    [model-comparison] bench section quantifies this. *)
+
+type t = {
+  flops : float;  (** Floating-point operations of the whole kernel. *)
+  bytes : float;  (** Payload bytes moved (DMA + Gloads). *)
+  arithmetic_intensity : float;  (** [flops / bytes]. *)
+  peak_flops_per_cycle : float;  (** Compute roof for the active CPEs. *)
+  bandwidth_bytes_per_cycle : float;  (** Memory roof. *)
+  attainable_flops_per_cycle : float;  (** [min peak (AI * bw)]. *)
+  memory_bound : bool;
+  predicted_cycles : float;
+      (** Time at the attainable rate — Roofline's (optimistic)
+          execution-time reading. *)
+}
+
+val analyze : Sw_arch.Params.t -> Sw_swacc.Lowered.summary -> t
+(** Build the Roofline reading of a lowered kernel.  Flops come from
+    the compiled blocks (FMA counts 2); bytes are useful payload, since
+    Roofline reasons about algorithmic traffic. *)
+
+val ridge_intensity : Sw_arch.Params.t -> active_cpes:int -> float
+(** Arithmetic intensity at which the two roofs meet. *)
+
+val pp : Format.formatter -> t -> unit

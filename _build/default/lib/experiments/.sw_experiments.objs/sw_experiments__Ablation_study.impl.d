@@ -1,0 +1,1 @@
+lib/experiments/ablation_study.ml: Array List Sw_arch Sw_sim Sw_swacc Sw_util Sw_workloads Swpm

@@ -1,0 +1,1 @@
+lib/experiments/ablation_study.mli: Sw_arch Swpm

@@ -1,0 +1,1 @@
+lib/experiments/coalescing.mli: Sw_arch

@@ -1,0 +1,1 @@
+lib/experiments/fig4_timeline.ml: Printf Sw_arch Sw_sim Sw_swacc Swpm

@@ -1,0 +1,1 @@
+lib/experiments/fig4_timeline.mli: Sw_arch Sw_sim Swpm

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Format List Printf Sw_arch Sw_sim Sw_swacc Sw_util Sw_workloads Swpm

@@ -1,0 +1,1 @@
+lib/experiments/fig6.mli: Sw_arch Sw_util Swpm

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: List Printf Sw_arch Sw_sim Sw_swacc Sw_util Sw_workloads Swpm

@@ -1,0 +1,1 @@
+lib/experiments/fig7.mli: Sw_arch Sw_sim Sw_util Swpm

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Float Format Sw_arch Sw_sim Sw_swacc Sw_util Sw_workloads Swpm

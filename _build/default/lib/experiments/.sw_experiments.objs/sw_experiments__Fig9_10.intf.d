@@ -1,0 +1,1 @@
+lib/experiments/fig9_10.mli: Sw_sim Sw_util Swpm

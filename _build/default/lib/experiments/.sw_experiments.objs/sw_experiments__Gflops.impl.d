@@ -1,0 +1,1 @@
+lib/experiments/gflops.ml: List Printf Sw_arch Sw_sim Sw_swacc Sw_tuning Sw_util Sw_workloads Swpm

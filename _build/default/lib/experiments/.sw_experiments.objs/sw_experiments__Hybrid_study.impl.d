@@ -1,0 +1,1 @@
+lib/experiments/hybrid_study.ml: Body Kernel Layout Printf Sw_arch Sw_sim Sw_swacc Sw_util Sw_workloads Swpm

@@ -1,0 +1,1 @@
+lib/experiments/hybrid_study.mli: Sw_arch Sw_swacc

@@ -1,0 +1,1 @@
+lib/experiments/input_sensitivity.ml: List Printf Sw_arch Sw_sim Sw_swacc Sw_util Sw_workloads Swpm

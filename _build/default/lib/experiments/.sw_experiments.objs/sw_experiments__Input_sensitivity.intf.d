@@ -1,0 +1,1 @@
+lib/experiments/input_sensitivity.mli: Sw_arch

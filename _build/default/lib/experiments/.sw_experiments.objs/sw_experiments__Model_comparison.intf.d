@@ -1,0 +1,1 @@
+lib/experiments/model_comparison.mli: Sw_arch

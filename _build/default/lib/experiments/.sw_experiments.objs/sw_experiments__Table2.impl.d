@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Float List Printf Stdlib Sw_arch Sw_sim Sw_swacc Sw_tuning Sw_util Sw_workloads

@@ -1,0 +1,1 @@
+lib/experiments/table2.mli: Sw_arch Sw_tuning Sw_util

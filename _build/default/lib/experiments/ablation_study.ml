@@ -1,0 +1,53 @@
+type row = {
+  variant : Swpm.Ablation.variant;
+  mape : float;
+  max_error : float;
+  per_kernel : (string * float) list;
+}
+
+let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) () =
+  let config = Sw_sim.Config.default params in
+  (* lower and simulate once per kernel; re-predict per ablation *)
+  let prepared =
+    List.map
+      (fun (e : Sw_workloads.Registry.entry) ->
+        let kernel = e.build ~scale in
+        let lowered = Sw_swacc.Lower.lower_exn params kernel e.variant in
+        let measured = Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs in
+        (e.name, lowered.Sw_swacc.Lowered.summary, measured.Sw_sim.Metrics.cycles))
+      Sw_workloads.Registry.rodinia
+  in
+  List.map
+    (fun variant ->
+      let per_kernel =
+        List.map
+          (fun (name, summary, actual) ->
+            let predicted = (Swpm.Ablation.predict variant params summary).Swpm.Predict.t_total in
+            (name, Sw_util.Stats.relative_error ~predicted ~actual))
+          prepared
+      in
+      let errs = Array.of_list (List.map snd per_kernel) in
+      { variant; mape = Sw_util.Stats.mean errs; max_error = Sw_util.Stats.maximum errs; per_kernel })
+    Swpm.Ablation.all
+
+let print rows =
+  let t =
+    Sw_util.Table.create ~title:"Ablation: accuracy cost of each modeling ingredient"
+      [
+        ("model variant", Sw_util.Table.Left);
+        ("avg error", Sw_util.Table.Right);
+        ("max error", Sw_util.Table.Right);
+        ("what it removes", Sw_util.Table.Left);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Sw_util.Table.add_row t
+        [
+          Swpm.Ablation.name r.variant;
+          Sw_util.Table.cell_pct r.mape;
+          Sw_util.Table.cell_pct r.max_error;
+          Swpm.Ablation.describe r.variant;
+        ])
+    rows;
+  Sw_util.Table.print t

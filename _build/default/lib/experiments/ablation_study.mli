@@ -1,0 +1,18 @@
+(** Ablation study: how much accuracy each modeling ingredient buys.
+
+    Runs every Rodinia-style kernel under each {!Swpm.Ablation.variant}
+    and reports the suite-average error against the simulator.  The
+    paper's thesis — that the careful treatment of memory contention,
+    transactions and overlap is what makes a static model precise — is
+    visible as the gap between [full] and the ablated rows. *)
+
+type row = {
+  variant : Swpm.Ablation.variant;
+  mape : float;  (** Suite-average relative error. *)
+  max_error : float;
+  per_kernel : (string * float) list;
+}
+
+val run : ?scale:float -> ?params:Sw_arch.Params.t -> unit -> row list
+
+val print : row list -> unit

@@ -1,0 +1,20 @@
+(** Gload coalescing on the irregular kernels.
+
+    The paper's Fig. 6 discussion concludes that irregular computations
+    "suffer from the overhead of Gload (a waste of memory transactions)
+    and need further optimizations to coalesce memory accesses".  This
+    experiment applies {!Sw_swacc.Kernel.coalesce_gloads} to the
+    Gload-dominated kernels and reports measured and predicted
+    improvement per coalescing factor. *)
+
+type row = {
+  name : string;
+  factor : int;
+  measured : float;
+  predicted : float;
+  speedup_vs_uncoalesced : float;
+}
+
+val run : ?scale:float -> ?params:Sw_arch.Params.t -> unit -> row list
+
+val print : row list -> unit

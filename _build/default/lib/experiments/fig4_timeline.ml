@@ -1,0 +1,56 @@
+type result = {
+  scenario : string;
+  metrics : Sw_sim.Metrics.t;
+  timeline : string;
+  predicted : Swpm.Predict.t;
+}
+
+(* a plain streaming kernel whose compute weight we can dial *)
+let kernel ~body_trips =
+  let n = 64 * 8 (* 8 chunks per CPE at grain 1 *) in
+  let layout = Sw_swacc.Layout.create () in
+  let copy name dir =
+    {
+      Sw_swacc.Kernel.array_name = name;
+      bytes_per_elem = 4096;
+      direction = dir;
+      freq = Sw_swacc.Kernel.Per_element;
+      layout = Sw_swacc.Kernel.Contiguous;
+      base_addr = Sw_swacc.Layout.alloc layout ~bytes:(4096 * n);
+    }
+  in
+  let body =
+    [ Sw_swacc.Body.Accum ("s", Sw_swacc.Body.OAdd, Sw_swacc.Body.load "src") ]
+  in
+  Sw_swacc.Kernel.make ~name:"fig4" ~n_elements:n
+    ~copies:[ copy "src" Sw_swacc.Kernel.In; copy "dst" Sw_swacc.Kernel.Out ]
+    ~body ~body_trips_per_element:body_trips ()
+
+let run_scenario ~params ~name ~body_trips =
+  let variant = { Sw_swacc.Kernel.grain = 1; unroll = 1; active_cpes = 64; double_buffer = false } in
+  let lowered = Sw_swacc.Lower.lower_exn params (kernel ~body_trips) variant in
+  let config = Sw_sim.Config.default params in
+  let metrics, trace = Sw_sim.Engine.run_traced config lowered.Sw_swacc.Lowered.programs in
+  let timeline =
+    Sw_sim.Trace.render ~width:72 ~max_cpes:8 ~makespan:metrics.Sw_sim.Metrics.cycles trace
+  in
+  let predicted = Swpm.Predict.run params lowered.Sw_swacc.Lowered.summary in
+  { scenario = name; metrics; timeline; predicted }
+
+let run_compute_bound ?(params = Sw_arch.Params.default) () =
+  run_scenario ~params ~name:"Scenario 1 (compute-bound: memory idles between waves)"
+    ~body_trips:4096
+
+let run_memory_bound ?(params = Sw_arch.Params.default) () =
+  run_scenario ~params ~name:"Scenario 2 (memory-bound: compute hides in the copy waves)"
+    ~body_trips:64
+
+let print r =
+  Printf.printf "%s\n" r.scenario;
+  print_string r.timeline;
+  let s = match r.predicted.Swpm.Predict.scenario with
+    | Swpm.Predict.Compute_bound -> "1 (compute-bound)"
+    | Swpm.Predict.Memory_bound -> "2 (memory-bound)"
+  in
+  Printf.printf "model classifies this as scenario %s; measured %.0f cycles, predicted %.0f\n\n" s
+    r.metrics.Sw_sim.Metrics.cycles r.predicted.Swpm.Predict.t_total

@@ -1,0 +1,21 @@
+(** Figure 4, made visible: simulated timelines of the two overlap
+    scenarios.
+
+    Scenario 1 (compute-bound): when the last virtual group finishes its
+    copy-in, early groups are still computing — memory idles.
+    Scenario 2 (memory-bound): computation hides completely inside the
+    staggered copy waves.  We build one synthetic streaming kernel per
+    scenario and render the per-CPE activity from a traced simulation. *)
+
+type result = {
+  scenario : string;
+  metrics : Sw_sim.Metrics.t;
+  timeline : string;
+  predicted : Swpm.Predict.t;
+}
+
+val run_compute_bound : ?params:Sw_arch.Params.t -> unit -> result
+
+val run_memory_bound : ?params:Sw_arch.Params.t -> unit -> result
+
+val print : result -> unit

@@ -1,0 +1,37 @@
+let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) () =
+  let config = Sw_sim.Config.default params in
+  List.map
+    (fun (e : Sw_workloads.Registry.entry) ->
+      let kernel = e.build ~scale in
+      let lowered = Sw_swacc.Lower.lower_exn params kernel e.variant in
+      Swpm.Accuracy.evaluate ~name:e.name config lowered)
+    Sw_workloads.Registry.rodinia
+
+let print rows =
+  Format.printf "%a@." Swpm.Accuracy.pp_table rows;
+  Format.printf "average error: %.1f%%, max error: %.1f%%@."
+    (Swpm.Accuracy.mape rows *. 100.0)
+    (Swpm.Accuracy.max_error rows *. 100.0)
+
+let csv rows =
+  let doc =
+    Sw_util.Csv.create
+      [ "kernel"; "predicted_cycles"; "measured_cycles"; "t_dma"; "t_g"; "t_comp"; "t_overlap"; "error" ]
+  in
+  List.iter
+    (fun (r : Swpm.Accuracy.row) ->
+      let p = r.predicted in
+      Sw_util.Csv.add_row doc
+        ([ r.name ]
+        @ List.map (Printf.sprintf "%.6g")
+            [
+              p.Swpm.Predict.t_total;
+              r.measured.Sw_sim.Metrics.cycles;
+              p.Swpm.Predict.t_dma;
+              p.Swpm.Predict.t_g;
+              p.Swpm.Predict.t_comp;
+              p.Swpm.Predict.t_overlap;
+              Swpm.Accuracy.error r;
+            ]))
+    rows;
+  doc

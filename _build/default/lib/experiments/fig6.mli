@@ -1,0 +1,14 @@
+(** Figure 6: model accuracy over the benchmark suite.
+
+    For every kernel in the registry's Rodinia set, lower the default
+    variant, predict with the static model, simulate, and report the
+    breakdown and the relative error.  The paper reports 5% average
+    error and a 9.6% maximum (BFS). *)
+
+val run : ?scale:float -> ?params:Sw_arch.Params.t -> unit -> Swpm.Accuracy.row list
+
+val print : Swpm.Accuracy.row list -> unit
+
+val csv : Swpm.Accuracy.row list -> Sw_util.Csv.t
+(** Columns: kernel, predicted, measured, t_dma, t_g, t_comp, t_overlap,
+    error. *)

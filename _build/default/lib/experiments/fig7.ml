@@ -1,0 +1,96 @@
+type point = {
+  x : int;
+  predicted : Swpm.Predict.t;
+  measured : Sw_sim.Metrics.t;
+  gloads : int;
+}
+
+let cpes = 64
+
+let evaluate params kernel ~x ~grain =
+  let variant =
+    { Sw_swacc.Kernel.grain; unroll = 4; active_cpes = cpes; double_buffer = false }
+  in
+  let lowered = Sw_swacc.Lower.lower_exn params kernel variant in
+  let config = Sw_sim.Config.default params in
+  let row = Swpm.Accuracy.evaluate config lowered in
+  {
+    x;
+    predicted = row.Swpm.Accuracy.predicted;
+    measured = row.Swpm.Accuracy.measured;
+    gloads = lowered.Sw_swacc.Lowered.summary.Sw_swacc.Lowered.gload_count;
+  }
+
+(* (a): 256 elements per CPE, granularity sweeps 256 down to 8. *)
+let run_a ?(params = Sw_arch.Params.default) () =
+  let elems_per_cpe = 256 in
+  let scale = float_of_int (cpes * elems_per_cpe) /. float_of_int Sw_workloads.Kmeans.base_points in
+  let kernel = Sw_workloads.Kmeans.kernel ~scale in
+  List.map (fun g -> evaluate params kernel ~x:g ~grain:g) [ 256; 128; 64; 32; 16; 8 ]
+
+(* (b): granularity 256, partition per CPE sweeps up. *)
+let run_b ?(params = Sw_arch.Params.default) () =
+  List.map
+    (fun partition ->
+      let scale = float_of_int (cpes * partition) /. float_of_int Sw_workloads.Kmeans.base_points in
+      let kernel = Sw_workloads.Kmeans.kernel ~scale in
+      evaluate params kernel ~x:partition ~grain:256)
+    [ 256; 512; 1024; 2048; 4096; 8192 ]
+
+let table title ~x_label ~normalize points =
+  let t =
+    Sw_util.Table.create ~title
+      [
+        (x_label, Sw_util.Table.Right);
+        ("meas Kcyc", Sw_util.Table.Right);
+        ("pred Kcyc", Sw_util.Table.Right);
+        ("normalized", Sw_util.Table.Right);
+        ("gloads/CPE", Sw_util.Table.Right);
+        ("error", Sw_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      let meas = p.measured.Sw_sim.Metrics.cycles in
+      Sw_util.Table.add_row t
+        [
+          string_of_int p.x;
+          Sw_util.Table.cell_f (meas /. 1e3);
+          Sw_util.Table.cell_f (p.predicted.Swpm.Predict.t_total /. 1e3);
+          Sw_util.Table.cell_f ~dec:3 (normalize p meas);
+          string_of_int p.gloads;
+          Sw_util.Table.cell_pct
+            (Sw_util.Stats.relative_error ~predicted:p.predicted.Swpm.Predict.t_total ~actual:meas);
+        ])
+    points;
+  Sw_util.Table.print t
+
+let print_a points =
+  match points with
+  | [] -> ()
+  | first :: _ ->
+      let base = first.measured.Sw_sim.Metrics.cycles in
+      table "Fig 7(a): K-Means vs DMA granularity (256 elems/CPE)" ~x_label:"elems/req"
+        ~normalize:(fun _ m -> m /. base)
+        points
+
+let print_b points =
+  table "Fig 7(b): K-Means vs data partition per CPE (granularity 256)" ~x_label:"elems/CPE"
+    ~normalize:(fun p m -> m /. float_of_int p.x /. 1e3)
+    points
+
+let csv points =
+  let doc =
+    Sw_util.Csv.create [ "x"; "measured_cycles"; "predicted_cycles"; "gloads_per_cpe" ]
+  in
+  List.iter
+    (fun p ->
+      Sw_util.Csv.add_row doc
+        [
+          string_of_int p.x;
+          Printf.sprintf "%.6g" p.measured.Sw_sim.Metrics.cycles;
+          Printf.sprintf "%.6g" p.predicted.Swpm.Predict.t_total;
+          string_of_int p.gloads;
+        ])
+    points;
+  doc

@@ -1,0 +1,30 @@
+(** Figure 7: the effect of DMA request granularity on K-Means.
+
+    (a) Fixed 256 data elements per CPE; the copy granularity (elements
+    per DMA request) sweeps down from 256 to 8.  More, smaller requests
+    overlap better (Eq. 8 / Eq. 13) until — below 16 elements — the
+    native compiler's register spills add Gload requests and the curve
+    turns back up.
+
+    (b) Fixed granularity of 256; the data partition per CPE grows, so
+    the number of requests per CPE grows and the per-element time
+    drops. *)
+
+type point = {
+  x : int;  (** Granularity (a) or elements per CPE (b). *)
+  predicted : Swpm.Predict.t;
+  measured : Sw_sim.Metrics.t;
+  gloads : int;  (** Gload requests per CPE (spill artifact visibility). *)
+}
+
+val run_a : ?params:Sw_arch.Params.t -> unit -> point list
+(** Granularity sweep, largest first (the paper's leftmost bar is 256). *)
+
+val run_b : ?params:Sw_arch.Params.t -> unit -> point list
+(** Partition sweep: 256..8192 elements per CPE. *)
+
+val print_a : point list -> unit
+
+val print_b : point list -> unit
+
+val csv : point list -> Sw_util.Csv.t

@@ -1,0 +1,46 @@
+type result = {
+  baseline_cycles : float;
+  db_cycles : float;
+  measured_gain : float;
+  predicted_gain : float;
+  measured_pct : float;
+  gain_error : float;
+}
+
+let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) () =
+  let kernel = Sw_workloads.Nbody.kernel ~scale in
+  let base_variant = Sw_workloads.Nbody.variant in
+  let db_variant = { base_variant with Sw_swacc.Kernel.double_buffer = true } in
+  let config = Sw_sim.Config.default params in
+  let run_variant v =
+    let lowered = Sw_swacc.Lower.lower_exn params kernel v in
+    (lowered, (Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles)
+  in
+  let base_lowered, baseline_cycles = run_variant base_variant in
+  let _, db_cycles = run_variant db_variant in
+  let measured_gain = baseline_cycles -. db_cycles in
+  let predicted_gain =
+    Swpm.Analysis.double_buffer_gain params base_lowered.Sw_swacc.Lowered.summary
+  in
+  let gain_error =
+    if measured_gain = 0.0 then Float.abs predicted_gain
+    else Float.abs (predicted_gain -. measured_gain) /. baseline_cycles
+  in
+  {
+    baseline_cycles;
+    db_cycles;
+    measured_gain;
+    predicted_gain;
+    measured_pct = measured_gain /. baseline_cycles;
+    gain_error;
+  }
+
+let print r =
+  let freq = Sw_arch.Params.default.Sw_arch.Params.freq_hz in
+  let us c = Sw_util.Units.cycles_to_us ~freq_hz:freq c in
+  Format.printf
+    "Fig 8: double buffering on N-body@.  baseline   : %.0f cycles (%.0f us)@.  double-buf : \
+     %.0f cycles (%.0f us)@.  measured gain : %.0f cycles (%.1f%%)@.  predicted gain (Eq 14): \
+     %.0f cycles@.  prediction error (of total): %.1f%%@."
+    r.baseline_cycles (us r.baseline_cycles) r.db_cycles (us r.db_cycles) r.measured_gain
+    (r.measured_pct *. 100.0) r.predicted_gain (r.gain_error *. 100.0)

@@ -1,0 +1,19 @@
+(** Figure 8: double-buffer benefit on N-body, predicted vs measured.
+
+    The paper measures a 3.7% improvement (1142us to 1100us) and the
+    model predicts the saving with 3.3% error.  We simulate the
+    synchronous and double-buffered lowerings and compare the measured
+    saving with Equation 14. *)
+
+type result = {
+  baseline_cycles : float;
+  db_cycles : float;
+  measured_gain : float;  (** Cycles saved by double buffering. *)
+  predicted_gain : float;  (** Equation 14 on the baseline summary. *)
+  measured_pct : float;  (** Saving as a fraction of the baseline. *)
+  gain_error : float;  (** Relative error of the predicted saving. *)
+}
+
+val run : ?scale:float -> ?params:Sw_arch.Params.t -> unit -> result
+
+val print : result -> unit

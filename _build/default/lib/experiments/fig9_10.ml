@@ -1,0 +1,117 @@
+type point = { active : int; predicted : Swpm.Predict.t; measured : Sw_sim.Metrics.t }
+
+type series = { kernel_name : string; points : point list }
+
+let ceil_div a b = (a + b - 1) / b
+
+let params_for ~active = Sw_arch.Params.with_cgs Sw_arch.Params.default (ceil_div active 64)
+
+let evaluate ~active ~variant kernel =
+  let params = params_for ~active in
+  let variant = { variant with Sw_swacc.Kernel.active_cpes = active } in
+  let lowered = Sw_swacc.Lower.lower_exn params kernel variant in
+  let row = Swpm.Accuracy.evaluate (Sw_sim.Config.default params) lowered in
+  { active; predicted = row.Swpm.Accuracy.predicted; measured = row.Swpm.Accuracy.measured }
+
+let run_dynamics ?(scale = 1.0) () =
+  let points =
+    List.map
+      (fun active ->
+        let kernel = Sw_workloads.Wrf_dynamics.kernel ~active ~scale () in
+        evaluate ~active ~variant:Sw_workloads.Wrf_dynamics.variant kernel)
+      Sw_workloads.Wrf_dynamics.supported_active
+  in
+  { kernel_name = "WRF dynamics (memory-intensive)"; points }
+
+let run_physics ?(scale = 1.0) () =
+  let kernel = Sw_workloads.Wrf_physics.kernel ~scale in
+  let points =
+    List.map
+      (fun active -> evaluate ~active ~variant:Sw_workloads.Wrf_physics.variant kernel)
+      [ 8; 16; 32; 48; 64; 96; 128; 192; 256 ]
+  in
+  { kernel_name = "WRF physics (computation-intensive)"; points }
+
+let best_active s =
+  match s.points with
+  | [] -> invalid_arg "Fig9_10.best_active: empty series"
+  | first :: _ ->
+      fst
+        (List.fold_left
+           (fun (ba, bc) p ->
+             let c = p.measured.Sw_sim.Metrics.cycles in
+             if c < bc then (p.active, c) else (ba, bc))
+           (first.active, first.measured.Sw_sim.Metrics.cycles)
+           s.points)
+
+let print_fig9 s =
+  let t =
+    Sw_util.Table.create
+      ~title:(Printf.sprintf "Fig 9: %s vs #active_CPEs" s.kernel_name)
+      [
+        ("CPEs", Sw_util.Table.Right);
+        ("meas Kcyc", Sw_util.Table.Right);
+        ("pred Kcyc", Sw_util.Table.Right);
+        ("error", Sw_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      let meas = p.measured.Sw_sim.Metrics.cycles in
+      Sw_util.Table.add_row t
+        [
+          string_of_int p.active;
+          Sw_util.Table.cell_f (meas /. 1e3);
+          Sw_util.Table.cell_f (p.predicted.Swpm.Predict.t_total /. 1e3);
+          Sw_util.Table.cell_pct
+            (Sw_util.Stats.relative_error ~predicted:p.predicted.Swpm.Predict.t_total ~actual:meas);
+        ])
+    s.points;
+  Sw_util.Table.print t;
+  Printf.printf "best measured #active_CPEs: %d\n" (best_active s)
+
+let print_fig10 s =
+  let t =
+    Sw_util.Table.create
+      ~title:(Printf.sprintf "Fig 10: %s measured breakdown" s.kernel_name)
+      [
+        ("CPEs", Sw_util.Table.Right);
+        ("total Kcyc", Sw_util.Table.Right);
+        ("comp Kcyc", Sw_util.Table.Right);
+        ("dma-wait Kcyc", Sw_util.Table.Right);
+        ("gload Kcyc", Sw_util.Table.Right);
+        ("bw util", Sw_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      let m = p.measured in
+      Sw_util.Table.add_row t
+        [
+          string_of_int p.active;
+          Sw_util.Table.cell_f (m.Sw_sim.Metrics.cycles /. 1e3);
+          Sw_util.Table.cell_f (m.Sw_sim.Metrics.comp_cycles /. 1e3);
+          Sw_util.Table.cell_f (m.Sw_sim.Metrics.dma_wait_cycles /. 1e3);
+          Sw_util.Table.cell_f (m.Sw_sim.Metrics.gload_cycles /. 1e3);
+          Sw_util.Table.cell_pct (Sw_sim.Metrics.bandwidth_utilization m);
+        ])
+    s.points;
+  Sw_util.Table.print t
+
+let csv s =
+  let doc =
+    Sw_util.Csv.create
+      [ "active_cpes"; "measured_cycles"; "predicted_cycles"; "comp_cycles"; "dma_wait_cycles" ]
+  in
+  List.iter
+    (fun p ->
+      Sw_util.Csv.add_floats doc
+        [
+          float_of_int p.active;
+          p.measured.Sw_sim.Metrics.cycles;
+          p.predicted.Swpm.Predict.t_total;
+          p.measured.Sw_sim.Metrics.comp_cycles;
+          p.measured.Sw_sim.Metrics.dma_wait_cycles;
+        ])
+    s.points;
+  doc

@@ -1,0 +1,33 @@
+(** Figures 9 and 10: the effect of [#active_CPEs] on the WRF kernels.
+
+    The memory-intensive dynamics kernel peaks below 64 CPEs: more CPEs
+    shrink each DMA slice under the DRAM transaction size and waste
+    bandwidth on padding (Section IV-3).  The compute-intensive physics
+    kernel keeps improving.  Above 64 CPEs, additional core groups add
+    bandwidth (cross-section memory).
+
+    Fig. 9 compares predicted and measured times across the sweep;
+    Fig. 10 is the measured breakdown (computation, DMA wait, Gload). *)
+
+type point = {
+  active : int;
+  predicted : Swpm.Predict.t;
+  measured : Sw_sim.Metrics.t;
+}
+
+type series = { kernel_name : string; points : point list }
+
+val run_dynamics : ?scale:float -> unit -> series
+
+val run_physics : ?scale:float -> unit -> series
+
+val best_active : series -> int
+(** The active-CPE count with the lowest measured time. *)
+
+val print_fig9 : series -> unit
+(** Predicted vs measured time per active-CPE count. *)
+
+val print_fig10 : series -> unit
+(** Measured breakdown per active-CPE count. *)
+
+val csv : series -> Sw_util.Csv.t

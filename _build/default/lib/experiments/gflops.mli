@@ -1,0 +1,22 @@
+(** Achieved floating-point throughput: hand-picked vs model-tuned
+    configurations (the Section V-D WRF-physics comparison, where the
+    model's configuration beat the prior hand-tuned work 500 vs 421
+    GFlops on one core group).
+
+    For each kernel we report simulated GFlops under (a) the
+    repository's hand-picked default variant and (b) the variant the
+    static tuner selects, on one core group. *)
+
+type row = {
+  name : string;
+  hand_gflops : float;
+  tuned_gflops : float;
+  vector_gflops : float;
+      (** Tuned variant recompiled for the 4-wide vector unit. *)
+  improvement : float;  (** [tuned / hand]. *)
+  peak_fraction : float;  (** Vector GFlops over the vector peak. *)
+}
+
+val run : ?scale:float -> ?kernels:string list -> unit -> row list
+
+val print : row list -> unit

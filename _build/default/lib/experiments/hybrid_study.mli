@@ -1,0 +1,23 @@
+(** The Section III-F hybrid: static + lightweight profiling, on a
+    deliberately imbalanced workload.
+
+    A skewed BFS variant clusters hub nodes so one CPE owns them all:
+    the longest per-CPE Gload path far exceeds the mean and the pure
+    static model overpredicts.  One reduced-scale profiling run
+    calibrates the Gload term; the calibration transfers to the full
+    size. *)
+
+type result = {
+  static_error : float;  (** Pure static model, full size. *)
+  hybrid_error : float;  (** Calibrated at quarter scale, applied at full size. *)
+  profile_fraction : float;
+      (** Profiling cost as a fraction of one full-size run. *)
+  gload_factor : float;
+}
+
+val run : ?params:Sw_arch.Params.t -> unit -> result
+
+val skewed_bfs : scale:float -> Sw_swacc.Kernel.t
+(** The imbalanced workload (exposed for tests). *)
+
+val print : result -> unit

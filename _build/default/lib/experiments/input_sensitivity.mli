@@ -1,0 +1,12 @@
+(** Input sensitivity of the model (Section V-D, last paragraph).
+
+    The paper argues that on a software-managed memory the model's
+    accuracy does not depend on the input size — memory behaviour is
+    precisely analyzable whatever the domain.  We sweep each kernel's
+    scale across 16x and report the error at every size. *)
+
+type row = { name : string; errors : (float * float) list  (** (scale, error) *) }
+
+val run : ?params:Sw_arch.Params.t -> ?scales:float list -> ?kernels:string list -> unit -> row list
+
+val print : row list -> unit

@@ -1,0 +1,35 @@
+(** The paper's model vs. Roofline (Section VI).
+
+    Two demonstrations:
+
+    - across the suite, Roofline's time reading is a loose lower bound
+      while the paper's model tracks the simulator;
+    - on the Fig. 7a sweep, arithmetic intensity is constant, so
+      Roofline predicts a flat line — it cannot see the granularity
+      gains or the spill cliff the paper's model captures. *)
+
+type suite_row = {
+  name : string;
+  measured : float;
+  swpm_predicted : float;
+  roofline_predicted : float;
+  swpm_error : float;
+  roofline_error : float;
+  intensity : float;
+}
+
+val run_suite : ?scale:float -> ?params:Sw_arch.Params.t -> unit -> suite_row list
+
+type sweep_row = {
+  granularity : int;
+  sweep_measured : float;
+  sweep_swpm : float;
+  sweep_roofline : float;
+}
+
+val run_fig7_sweep : ?params:Sw_arch.Params.t -> unit -> sweep_row list
+(** The K-Means granularity sweep, re-read through both models. *)
+
+val print_suite : suite_row list -> unit
+
+val print_sweep : sweep_row list -> unit

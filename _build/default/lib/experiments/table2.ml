@@ -1,0 +1,114 @@
+type row = {
+  name : string;
+  data_size : string;
+  static : Sw_tuning.Tuner.outcome;
+  empirical : Sw_tuning.Tuner.outcome;
+  savings : float;
+  quality_loss : float;
+  same_pick : bool;
+}
+
+let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) () =
+  let config = Sw_sim.Config.default params in
+  List.map
+    (fun (e : Sw_workloads.Registry.entry) ->
+      let kernel = e.build ~scale in
+      let points = Sw_tuning.Space.enumerate ~grains:e.grains ~unrolls:e.unrolls () in
+      (* the default for speedup comparison follows the prior
+         optimization guideline the paper quotes in Section IV-1:
+         enlarge the DMA granularity and use as much SPM as possible —
+         the largest feasible grain, with no unrolling *)
+      let default =
+        let largest =
+          List.fold_left
+            (fun acc g ->
+              let v = { Sw_swacc.Kernel.grain = g; unroll = 1; active_cpes = 64; double_buffer = false } in
+              if Sw_swacc.Lower.spm_required kernel v <= params.Sw_arch.Params.spm_bytes then
+                Stdlib.max acc g
+              else acc)
+            1 e.grains
+        in
+        { Sw_swacc.Kernel.grain = largest; unroll = 1; active_cpes = 64; double_buffer = false }
+      in
+      let static = Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Static ~default config kernel ~points in
+      let empirical =
+        Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Empirical ~default config kernel ~points
+      in
+      let savings =
+        if static.Sw_tuning.Tuner.tuning_host_s > 0.0 then
+          empirical.Sw_tuning.Tuner.tuning_host_s /. static.Sw_tuning.Tuner.tuning_host_s
+        else Float.infinity
+      in
+      {
+        name = e.name;
+        data_size = Printf.sprintf "%d" (kernel.Sw_swacc.Kernel.n_elements);
+        static;
+        empirical;
+        savings;
+        quality_loss = Sw_tuning.Tuner.quality_loss ~static ~empirical;
+        same_pick = static.Sw_tuning.Tuner.best = empirical.Sw_tuning.Tuner.best;
+      })
+    Sw_workloads.Registry.tuning_subset
+
+let print rows =
+  let t =
+    Sw_util.Table.create ~title:"Table II: static vs empirical auto-tuning"
+      [
+        ("kernel", Sw_util.Table.Left);
+        ("n", Sw_util.Table.Right);
+        ("static speedup", Sw_util.Table.Right);
+        ("empirical speedup", Sw_util.Table.Right);
+        ("static time", Sw_util.Table.Right);
+        ("empirical time", Sw_util.Table.Right);
+        ("savings", Sw_util.Table.Right);
+        ("quality loss", Sw_util.Table.Right);
+        ("same pick", Sw_util.Table.Left);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Sw_util.Table.add_row t
+        [
+          r.name;
+          r.data_size;
+          Sw_util.Table.cell_x r.static.Sw_tuning.Tuner.speedup;
+          Sw_util.Table.cell_x r.empirical.Sw_tuning.Tuner.speedup;
+          Printf.sprintf "%.3fs" r.static.Sw_tuning.Tuner.tuning_host_s;
+          Printf.sprintf "%.3fs" r.empirical.Sw_tuning.Tuner.tuning_host_s;
+          (if Float.is_integer r.savings && Float.is_finite r.savings then
+             Printf.sprintf "%.0fx" r.savings
+           else Printf.sprintf "%.1fx" r.savings);
+          Sw_util.Table.cell_pct r.quality_loss;
+          (if r.same_pick then "yes" else "no");
+        ])
+    rows;
+  Sw_util.Table.print t
+
+let csv rows =
+  let doc =
+    Sw_util.Csv.create
+      [
+        "kernel";
+        "static_speedup";
+        "empirical_speedup";
+        "static_host_s";
+        "empirical_host_s";
+        "savings";
+        "quality_loss";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Sw_util.Csv.add_row doc
+        ([ r.name ]
+        @ List.map (Printf.sprintf "%.6g")
+            [
+              r.static.Sw_tuning.Tuner.speedup;
+              r.empirical.Sw_tuning.Tuner.speedup;
+              r.static.Sw_tuning.Tuner.tuning_host_s;
+              r.empirical.Sw_tuning.Tuner.tuning_host_s;
+              r.savings;
+              r.quality_loss;
+            ]))
+    rows;
+  doc

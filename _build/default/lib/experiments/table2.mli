@@ -1,0 +1,24 @@
+(** Table II: static vs dynamic (empirical) auto-tuning.
+
+    For each of the five loop-rich kernels, both tuners search the same
+    tile-size x unroll-factor space.  The paper reports 1.67x-3.77x
+    speedups, 26x-43x tuning-time savings, and under-6% quality loss;
+    our equivalents are host-time ratios (the empirical tuner must
+    simulate every variant, the static tuner only compiles and asks the
+    model). *)
+
+type row = {
+  name : string;
+  data_size : string;  (** Evaluation size, for the record. *)
+  static : Sw_tuning.Tuner.outcome;
+  empirical : Sw_tuning.Tuner.outcome;
+  savings : float;  (** Empirical tuning time / static tuning time. *)
+  quality_loss : float;
+  same_pick : bool;  (** Both tuners chose the same variant. *)
+}
+
+val run : ?scale:float -> ?params:Sw_arch.Params.t -> unit -> row list
+
+val print : row list -> unit
+
+val csv : row list -> Sw_util.Csv.t

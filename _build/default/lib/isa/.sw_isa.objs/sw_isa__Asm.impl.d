@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Buffer Instr List Printf Program Schedule String Sw_arch

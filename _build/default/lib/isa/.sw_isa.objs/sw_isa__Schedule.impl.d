@@ -1,0 +1,1 @@
+lib/isa/schedule.ml: Array Hashtbl Instr List Stdlib

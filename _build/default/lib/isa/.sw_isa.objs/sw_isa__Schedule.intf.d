@@ -1,0 +1,1 @@
+lib/isa/schedule.mli: Instr Sw_arch

@@ -1,0 +1,225 @@
+module Mem_req = Sw_arch.Mem_req
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let render_instr buf ?issue (i : Instr.t) =
+  let srcs = String.concat ", " (List.map (Printf.sprintf "r%d") i.Instr.srcs) in
+  (match i.Instr.dst with
+  | Some d ->
+      Buffer.add_string buf (Printf.sprintf "  r%d <- %s" d (Instr.klass_name i.Instr.klass));
+      if srcs <> "" then Buffer.add_string buf (" " ^ srcs)
+  | None ->
+      Buffer.add_string buf (Printf.sprintf "  %s" (Instr.klass_name i.Instr.klass));
+      if srcs <> "" then Buffer.add_string buf (" " ^ srcs));
+  (match issue with
+  | Some c -> Buffer.add_string buf (Printf.sprintf "   ; issue %d" c)
+  | None -> ());
+  Buffer.add_char buf '\n'
+
+let render_block ?annotate block =
+  let buf = Buffer.create 256 in
+  (match annotate with
+  | Some params ->
+      let s = Schedule.once params block in
+      Array.iteri (fun idx i -> render_instr buf ~issue:s.Schedule.issue.(idx) i) block;
+      Buffer.add_string buf
+        (Printf.sprintf "  ; block: %.1f cycles/iteration steady, avg ILP %.2f\n"
+           (Schedule.steady_cycles params block)
+           (Schedule.avg_ilp params block))
+  | None -> Array.iter (fun i -> render_instr buf i) block);
+  Buffer.contents buf
+
+let render_access access =
+  match access with
+  | Mem_req.Contiguous { addr; bytes } -> Printf.sprintf "contig:addr=0x%x,bytes=%d" addr bytes
+  | Mem_req.Strided { addr; row_bytes; stride; rows } ->
+      Printf.sprintf "strided:addr=0x%x,row=%d,stride=%d,rows=%d" addr row_bytes stride rows
+
+let rec render_items ?annotate buf indent items =
+  let pad = String.make indent ' ' in
+  Array.iter
+    (fun item ->
+      match item with
+      | Program.Dma_issue { dir; accesses; tag } ->
+          let op = match dir with Program.Get -> "dma.get" | Program.Put -> "dma.put" in
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s tag=%d %s\n" pad op tag
+               (String.concat " " (List.map render_access accesses)))
+      | Program.Dma_wait tag -> Buffer.add_string buf (Printf.sprintf "%sdma.wait tag=%d\n" pad tag)
+      | Program.Dma_wait_all -> Buffer.add_string buf (Printf.sprintf "%sdma.waitall\n" pad)
+      | Program.Gload { addr; bytes } ->
+          Buffer.add_string buf (Printf.sprintf "%sgload addr=0x%x bytes=%d\n" pad addr bytes)
+      | Program.Gstore { addr; bytes } ->
+          Buffer.add_string buf (Printf.sprintf "%sgstore addr=0x%x bytes=%d\n" pad addr bytes)
+      | Program.Compute { block; trips } ->
+          Buffer.add_string buf (Printf.sprintf "%scompute trips=%d {\n" pad trips);
+          Buffer.add_string buf (render_block ?annotate block);
+          Buffer.add_string buf (Printf.sprintf "%s}\n" pad)
+      | Program.Repeat { trips; body } ->
+          Buffer.add_string buf (Printf.sprintf "%srepeat %d {\n" pad trips);
+          render_items ?annotate buf (indent + 2) body;
+          Buffer.add_string buf (Printf.sprintf "%s}\n" pad))
+    items
+
+let render_program ?annotate program =
+  let buf = Buffer.create 1024 in
+  render_items ?annotate buf 0 program;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let strip_comment s = match String.index_opt s ';' with Some i -> String.sub s 0 i | None -> s
+
+let tokens_of s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let int_of ~line s =
+  match int_of_string_opt s with Some v -> v | None -> fail line (Printf.sprintf "bad integer %S" s)
+
+(* key=value, value possibly 0x-prefixed *)
+let kv ~line s =
+  match String.index_opt s '=' with
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> fail line (Printf.sprintf "expected key=value, got %S" s)
+
+let kv_int ~line ~key s =
+  let k, v = kv ~line s in
+  if k <> key then fail line (Printf.sprintf "expected %s=..., got %S" key s);
+  int_of ~line v
+
+let parse_fields ~line spec =
+  (* "contig:addr=0x0,bytes=128" -> (kind, assoc) *)
+  match String.index_opt spec ':' with
+  | None -> fail line (Printf.sprintf "expected kind:fields, got %S" spec)
+  | Some i ->
+      let kind = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let assoc = List.map (kv ~line) (String.split_on_char ',' rest) in
+      (kind, assoc)
+
+let parse_access ~line spec =
+  let kind, fields = parse_fields ~line spec in
+  let get key =
+    match List.assoc_opt key fields with
+    | Some v -> int_of ~line v
+    | None -> fail line (Printf.sprintf "missing field %s in %S" key spec)
+  in
+  match kind with
+  | "contig" -> Mem_req.contiguous ~addr:(get "addr") ~bytes:(get "bytes")
+  | "strided" ->
+      Mem_req.strided ~addr:(get "addr") ~row_bytes:(get "row") ~stride:(get "stride")
+        ~rows:(get "rows")
+  | other -> fail line (Printf.sprintf "unknown access kind %S" other)
+
+let klass_of_name ~line = function
+  | "fadd" -> Instr.Fadd
+  | "fmul" -> Instr.Fmul
+  | "fmadd" -> Instr.Fmadd
+  | "fdiv" -> Instr.Fdiv
+  | "fsqrt" -> Instr.Fsqrt
+  | "fcmp" -> Instr.Fcmp
+  | "ialu" -> Instr.Ialu
+  | "spm_ld" -> Instr.Spm_load
+  | "spm_st" -> Instr.Spm_store
+  | "gload" -> Instr.Gload_use
+  | other -> fail line (Printf.sprintf "unknown instruction %S" other)
+
+let reg_of ~line s =
+  let s = if String.length s > 0 && s.[String.length s - 1] = ',' then String.sub s 0 (String.length s - 1) else s in
+  if String.length s < 2 || s.[0] <> 'r' then fail line (Printf.sprintf "expected register, got %S" s);
+  int_of ~line (String.sub s 1 (String.length s - 1))
+
+let parse_instr ~line text =
+  match tokens_of text with
+  | dst :: "<-" :: name :: srcs ->
+      Instr.make (klass_of_name ~line name) ~dst:(reg_of ~line dst) (List.map (reg_of ~line) srcs)
+  | name :: srcs -> Instr.make (klass_of_name ~line name) (List.map (reg_of ~line) srcs)
+  | [] -> fail line "empty instruction"
+
+(* line cursor over the input *)
+type cursor = { lines : string array; mutable pos : int }
+
+let next_significant cur =
+  let rec go () =
+    if cur.pos >= Array.length cur.lines then None
+    else begin
+      let raw = cur.lines.(cur.pos) in
+      cur.pos <- cur.pos + 1;
+      let text = String.trim (strip_comment raw) in
+      if text = "" then go () else Some (cur.pos, text)
+    end
+  in
+  go ()
+
+let rec parse_seq cur ~in_block acc =
+  match next_significant cur with
+  | None ->
+      if in_block then fail (Array.length cur.lines) "unexpected end of input, missing '}'"
+      else List.rev acc
+  | Some (line, text) -> (
+      if text = "}" then
+        if in_block then List.rev acc else fail line "unexpected '}'"
+      else begin
+        match tokens_of text with
+        | ("dma.get" | "dma.put") :: tag :: accesses ->
+            let dir = if String.length text >= 7 && String.sub text 0 7 = "dma.get" then Program.Get else Program.Put in
+            let tag = kv_int ~line ~key:"tag" tag in
+            if accesses = [] then fail line "dma request with no transfers";
+            let accesses = List.map (parse_access ~line) accesses in
+            parse_seq cur ~in_block (Program.Dma_issue { dir; accesses; tag } :: acc)
+        | [ "dma.wait"; tag ] ->
+            parse_seq cur ~in_block (Program.Dma_wait (kv_int ~line ~key:"tag" tag) :: acc)
+        | [ "dma.waitall" ] -> parse_seq cur ~in_block (Program.Dma_wait_all :: acc)
+        | [ "gload"; addr; bytes ] ->
+            let item =
+              Program.Gload
+                { addr = kv_int ~line ~key:"addr" addr; bytes = kv_int ~line ~key:"bytes" bytes }
+            in
+            parse_seq cur ~in_block (item :: acc)
+        | [ "gstore"; addr; bytes ] ->
+            let item =
+              Program.Gstore
+                { addr = kv_int ~line ~key:"addr" addr; bytes = kv_int ~line ~key:"bytes" bytes }
+            in
+            parse_seq cur ~in_block (item :: acc)
+        | [ "compute"; trips; "{" ] ->
+            let trips = kv_int ~line ~key:"trips" trips in
+            let block = parse_instrs cur [] in
+            parse_seq cur ~in_block (Program.Compute { block; trips } :: acc)
+        | [ "repeat"; trips; "{" ] ->
+            let trips = int_of ~line trips in
+            let body = Array.of_list (parse_seq cur ~in_block:true []) in
+            parse_seq cur ~in_block (Program.Repeat { trips; body } :: acc)
+        | _ -> fail line (Printf.sprintf "unrecognized item %S" text)
+      end)
+
+and parse_instrs cur acc =
+  match next_significant cur with
+  | None -> fail (Array.length cur.lines) "unexpected end of input inside compute block"
+  | Some (line, text) ->
+      if text = "}" then Array.of_list (List.rev acc)
+      else parse_instrs cur (parse_instr ~line text :: acc)
+
+let cursor_of input = { lines = Array.of_list (String.split_on_char '\n' input); pos = 0 }
+
+let parse_program input =
+  match parse_seq (cursor_of input) ~in_block:false [] with
+  | items -> Ok (Array.of_list items)
+  | exception Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+let parse_block input =
+  let cur = cursor_of input in
+  let rec go acc =
+    match next_significant cur with
+    | None -> Array.of_list (List.rev acc)
+    | Some (line, text) -> go (parse_instr ~line text :: acc)
+  in
+  match go [] with
+  | block -> Ok block
+  | exception Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)

@@ -1,0 +1,149 @@
+type reg = int
+
+type klass =
+  | Fadd
+  | Fmul
+  | Fmadd
+  | Fdiv
+  | Fsqrt
+  | Fcmp
+  | Ialu
+  | Spm_load
+  | Spm_store
+  | Gload_use
+
+type t = { klass : klass; dst : reg option; srcs : reg list }
+
+let make klass ?dst srcs = { klass; dst; srcs }
+
+let latency (p : Sw_arch.Params.t) = function
+  | Fadd | Fmul | Fmadd | Fcmp -> p.l_float
+  | Fdiv | Fsqrt -> p.l_div_sqrt
+  | Ialu -> p.l_fixed
+  | Spm_load | Spm_store -> p.l_spm
+  | Gload_use -> 0
+
+let pipe = function
+  | Fadd | Fmul | Fmadd | Fdiv | Fsqrt | Fcmp | Ialu -> `P0
+  | Spm_load | Spm_store | Gload_use -> `P1
+
+let pipelined = function
+  | Fdiv | Fsqrt -> false
+  | Fadd | Fmul | Fmadd | Fcmp | Ialu | Spm_load | Spm_store | Gload_use -> true
+
+let is_compute = function
+  | Fadd | Fmul | Fmadd | Fdiv | Fsqrt | Fcmp | Ialu | Spm_load | Spm_store -> true
+  | Gload_use -> false
+
+let klass_name = function
+  | Fadd -> "fadd"
+  | Fmul -> "fmul"
+  | Fmadd -> "fmadd"
+  | Fdiv -> "fdiv"
+  | Fsqrt -> "fsqrt"
+  | Fcmp -> "fcmp"
+  | Ialu -> "ialu"
+  | Spm_load -> "spm_ld"
+  | Spm_store -> "spm_st"
+  | Gload_use -> "gload"
+
+let pp fmt i =
+  let dst = match i.dst with Some r -> Printf.sprintf "r%d <- " r | None -> "" in
+  let srcs = String.concat ", " (List.map (Printf.sprintf "r%d") i.srcs) in
+  Format.fprintf fmt "%s%s %s" dst (klass_name i.klass) srcs
+
+module Reggen = struct
+  type gen = { mutable next : int }
+
+  let create () = { next = 0 }
+
+  let fresh g =
+    let r = g.next in
+    g.next <- r + 1;
+    r
+end
+
+module Counts = struct
+  type t = {
+    fadd : int;
+    fmul : int;
+    fmadd : int;
+    fdiv : int;
+    fsqrt : int;
+    fcmp : int;
+    ialu : int;
+    spm_load : int;
+    spm_store : int;
+    gload_use : int;
+  }
+
+  let zero =
+    {
+      fadd = 0;
+      fmul = 0;
+      fmadd = 0;
+      fdiv = 0;
+      fsqrt = 0;
+      fcmp = 0;
+      ialu = 0;
+      spm_load = 0;
+      spm_store = 0;
+      gload_use = 0;
+    }
+
+  let add a b =
+    {
+      fadd = a.fadd + b.fadd;
+      fmul = a.fmul + b.fmul;
+      fmadd = a.fmadd + b.fmadd;
+      fdiv = a.fdiv + b.fdiv;
+      fsqrt = a.fsqrt + b.fsqrt;
+      fcmp = a.fcmp + b.fcmp;
+      ialu = a.ialu + b.ialu;
+      spm_load = a.spm_load + b.spm_load;
+      spm_store = a.spm_store + b.spm_store;
+      gload_use = a.gload_use + b.gload_use;
+    }
+
+  let scale a k =
+    {
+      fadd = a.fadd * k;
+      fmul = a.fmul * k;
+      fmadd = a.fmadd * k;
+      fdiv = a.fdiv * k;
+      fsqrt = a.fsqrt * k;
+      fcmp = a.fcmp * k;
+      ialu = a.ialu * k;
+      spm_load = a.spm_load * k;
+      spm_store = a.spm_store * k;
+      gload_use = a.gload_use * k;
+    }
+
+  let work_cycles (p : Sw_arch.Params.t) c =
+    let f = float_of_int in
+    (f (c.fadd + c.fmul + c.fmadd + c.fcmp) *. f p.l_float)
+    +. (f (c.fdiv + c.fsqrt) *. f p.l_div_sqrt)
+    +. (f c.ialu *. f p.l_fixed)
+    +. (f (c.spm_load + c.spm_store) *. f p.l_spm)
+
+  let flops c = c.fadd + c.fmul + (2 * c.fmadd) + c.fdiv + c.fsqrt
+
+  let total_compute c =
+    c.fadd + c.fmul + c.fmadd + c.fdiv + c.fsqrt + c.fcmp + c.ialu + c.spm_load + c.spm_store
+end
+
+let count instrs =
+  Array.fold_left
+    (fun (acc : Counts.t) i ->
+      match i.klass with
+      | Fadd -> { acc with fadd = acc.fadd + 1 }
+      | Fmul -> { acc with fmul = acc.fmul + 1 }
+      | Fmadd -> { acc with fmadd = acc.fmadd + 1 }
+      | Fdiv -> { acc with fdiv = acc.fdiv + 1 }
+      | Fsqrt -> { acc with fsqrt = acc.fsqrt + 1 }
+      | Fcmp -> { acc with fcmp = acc.fcmp + 1 }
+      | Ialu -> { acc with ialu = acc.ialu + 1 }
+      | Spm_load -> { acc with spm_load = acc.spm_load + 1 }
+      | Spm_store -> { acc with spm_store = acc.spm_store + 1 }
+      | Gload_use -> { acc with gload_use = acc.gload_use + 1 })
+    Counts.zero instrs

@@ -1,0 +1,87 @@
+(** CPE instruction set abstraction.
+
+    A CPE is an in-order, dual-issue core: pipeline P0 executes
+    arithmetic (floating point, fixed point, divide/sqrt), pipeline P1
+    executes data motion (SPM load/store and global "ld/st" — Gload).
+    Instructions carry virtual registers so the scheduler can recover the
+    dependence structure the native compiler's annotated assembly would
+    expose. *)
+
+type reg = int
+(** Virtual register id.  Fresh ids come from {!Reggen}. *)
+
+type klass =
+  | Fadd  (** Floating add/sub — pipelined, [l_float] cycles. *)
+  | Fmul  (** Floating multiply — pipelined, [l_float] cycles. *)
+  | Fmadd  (** Fused multiply-add — pipelined, [l_float] cycles. *)
+  | Fdiv  (** Floating divide — unpipelined, [l_div_sqrt] cycles. *)
+  | Fsqrt  (** Square root — unpipelined, [l_div_sqrt] cycles. *)
+  | Fcmp  (** Floating compare — pipelined, [l_float] cycles, P0. *)
+  | Ialu  (** Fixed-point op — [l_fixed] cycle, P0. *)
+  | Spm_load  (** SPM load — [l_spm] cycles, P1. *)
+  | Spm_store  (** SPM store — [l_spm] cycles, P1. *)
+  | Gload_use  (** Use point of a Gload result: scheduling placeholder with
+                   zero static latency (its cost is modelled as memory
+                   time, not computation time). Issues on P1. *)
+
+type t = { klass : klass; dst : reg option; srcs : reg list }
+
+val make : klass -> ?dst:reg -> reg list -> t
+
+val latency : Sw_arch.Params.t -> klass -> int
+(** Static latency from Table I ({!Gload_use} is 0 — see above). *)
+
+val pipe : klass -> [ `P0 | `P1 ]
+(** Which issue pipeline the class uses. *)
+
+val pipelined : klass -> bool
+(** Whether subsequent instructions of this class can issue the next
+    cycle (divide and sqrt are not pipelined). *)
+
+val is_compute : klass -> bool
+(** True for the classes the paper counts in T_comp: floating point,
+    fixed point and SPM accesses; false for {!Gload_use}. *)
+
+val klass_name : klass -> string
+
+val pp : Format.formatter -> t -> unit
+
+module Reggen : sig
+  type gen
+
+  val create : unit -> gen
+
+  val fresh : gen -> reg
+end
+
+module Counts : sig
+  type t = {
+    fadd : int;
+    fmul : int;
+    fmadd : int;
+    fdiv : int;
+    fsqrt : int;
+    fcmp : int;
+    ialu : int;
+    spm_load : int;
+    spm_store : int;
+    gload_use : int;
+  }
+
+  val zero : t
+
+  val add : t -> t -> t
+
+  val scale : t -> int -> t
+
+  val work_cycles : Sw_arch.Params.t -> t -> float
+  (** [Σ_t #t × L_t] over the compute classes (numerator of Eq. 6). *)
+
+  val flops : t -> int
+  (** Floating-point operations represented (FMA counts as 2). *)
+
+  val total_compute : t -> int
+end
+
+val count : t array -> Counts.t
+(** Per-class instruction histogram of a block. *)

@@ -1,0 +1,74 @@
+type t = { issue : int array; completion : int }
+
+type scoreboard = {
+  ready : (Instr.reg, int) Hashtbl.t;
+  mutable p0_free : int;
+  mutable p1_free : int;
+  mutable prev_issue : int;
+  mutable completion : int;
+}
+
+let fresh_scoreboard () =
+  { ready = Hashtbl.create 64; p0_free = 0; p1_free = 0; prev_issue = 0; completion = 0 }
+
+let reg_ready sb r = match Hashtbl.find_opt sb.ready r with Some c -> c | None -> 0
+
+(* Issue one instruction in order; returns its issue cycle. *)
+let issue_instr params sb (i : Instr.t) =
+  let srcs_ready = List.fold_left (fun acc r -> Stdlib.max acc (reg_ready sb r)) 0 i.srcs in
+  let pipe_free = match Instr.pipe i.klass with `P0 -> sb.p0_free | `P1 -> sb.p1_free in
+  let cycle = Stdlib.max (Stdlib.max srcs_ready pipe_free) sb.prev_issue in
+  let lat = Instr.latency params i.klass in
+  let occupancy = if Instr.pipelined i.klass then 1 else lat in
+  (match Instr.pipe i.klass with
+  | `P0 -> sb.p0_free <- cycle + occupancy
+  | `P1 -> sb.p1_free <- cycle + occupancy);
+  sb.prev_issue <- cycle;
+  (match i.dst with Some r -> Hashtbl.replace sb.ready r (cycle + lat) | None -> ());
+  sb.completion <- Stdlib.max sb.completion (cycle + lat);
+  cycle
+
+let run_pass params sb block =
+  Array.map (fun i -> issue_instr params sb i) block
+
+let once params block =
+  let sb = fresh_scoreboard () in
+  let issue = run_pass params sb block in
+  { issue; completion = sb.completion }
+
+(* Warm the scoreboard with two passes, then measure the third: by then
+   issue timing is periodic for any fixed dependence structure. *)
+let steady_cycles params block =
+  if Array.length block = 0 then 0.0
+  else begin
+    let sb = fresh_scoreboard () in
+    let _ = run_pass params sb block in
+    let _ = run_pass params sb block in
+    let c2 = sb.completion in
+    let start2 = sb.prev_issue in
+    let _ = run_pass params sb block in
+    let c3 = sb.completion in
+    let delta = c3 - c2 in
+    (* A block whose completion is bounded by latency rather than issue
+       pressure can report delta 0 when results are never consumed across
+       iterations; fall back to issue-slot pressure. *)
+    if delta > 0 then float_of_int delta
+    else float_of_int (Stdlib.max 1 (sb.prev_issue - start2))
+  end
+
+let iterated_cycles params block ~trips =
+  if trips <= 0 || Array.length block = 0 then 0.0
+  else begin
+    let first = float_of_int (once params block).completion in
+    if trips = 1 then first
+    else first +. (float_of_int (trips - 1) *. steady_cycles params block)
+  end
+
+let avg_ilp params block =
+  let counts = Instr.count block in
+  let work = Instr.Counts.work_cycles params counts in
+  if work <= 0.0 then 1.0
+  else begin
+    let per_iter = steady_cycles params block in
+    if per_iter <= 0.0 then 1.0 else Stdlib.max 1.0 (work /. per_iter)
+  end

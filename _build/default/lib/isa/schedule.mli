@@ -1,0 +1,34 @@
+(** Static instruction scheduling for a CPE basic block.
+
+    This stands in for the SW26010 native compiler's annotated assembly:
+    the paper's model reads predicted issue cycles, block execution time
+    and average ILP from compiler annotations; we recompute the same
+    facts with an in-order, dual-issue scoreboard (pipeline P0 for
+    arithmetic, P1 for data motion; one instruction per pipe per cycle;
+    divide/sqrt occupy P0 unpipelined).
+
+    Loop iteration costs use steady-state analysis: re-running the block
+    through the scoreboard lets upward-exposed register reads express
+    loop-carried dependences (e.g. reduction accumulators) while
+    freshly-written registers behave as if renamed per iteration. *)
+
+type t = {
+  issue : int array;  (** Issue cycle of every instruction (one pass). *)
+  completion : int;  (** Cycle when the last result is available. *)
+}
+
+val once : Sw_arch.Params.t -> Instr.t array -> t
+(** Schedule a single execution of the block from a cold scoreboard. *)
+
+val steady_cycles : Sw_arch.Params.t -> Instr.t array -> float
+(** Cycles per iteration once the loop reaches steady state. *)
+
+val iterated_cycles : Sw_arch.Params.t -> Instr.t array -> trips:int -> float
+(** Predicted cycles for [trips] back-to-back executions:
+    first-iteration cost plus [(trips-1)] steady-state iterations.
+    [trips = 0] is 0. *)
+
+val avg_ilp : Sw_arch.Params.t -> Instr.t array -> float
+(** Average instruction-level parallelism of the steady-state schedule:
+    [Σ #t × L_t / steady_cycles] (the paper's avg_ILP).  Blocks with no
+    compute instructions report 1. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Config Hashtbl List Metrics Printf Stdlib Sw_arch Sw_isa Sw_util Trace

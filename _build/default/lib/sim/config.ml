@@ -1,0 +1,23 @@
+type t = {
+  params : Sw_arch.Params.t;
+  dma_issue_cost : int;
+  dma_wait_cost : int;
+  loop_overhead : int;
+  start_jitter : int;
+  seed : int;
+  max_events : int;
+}
+
+let default params =
+  {
+    params;
+    dma_issue_cost = 24;
+    dma_wait_cost = 8;
+    loop_overhead = 3;
+    start_jitter = 48;
+    seed = 0x5117;
+    max_events = 200_000_000;
+  }
+
+let ideal params =
+  { (default params) with dma_issue_cost = 0; dma_wait_cost = 0; loop_overhead = 0; start_jitter = 0 }

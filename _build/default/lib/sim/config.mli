@@ -1,0 +1,29 @@
+(** Simulation configuration.
+
+    Beyond the architectural parameters ({!Sw_arch.Params}), the
+    simulator charges small CPE-side costs the static model deliberately
+    ignores (DMA-issue instruction sequences, wait polling, loop
+    control) and skews CPE start times slightly.  These are the
+    second-order effects that make "measured" differ from "predicted"
+    in realistic ways. *)
+
+type t = {
+  params : Sw_arch.Params.t;
+  dma_issue_cost : int;
+      (** CPE cycles consumed by the DMA-issue instruction sequence
+          (athread_get/put setup), default 24. *)
+  dma_wait_cost : int;  (** CPE cycles for a completed wait, default 8. *)
+  loop_overhead : int;
+      (** CPE cycles of loop control per [Repeat] iteration, default 3. *)
+  start_jitter : int;
+      (** Maximum per-CPE start-time skew in cycles (deterministic,
+          seeded), default 48. *)
+  seed : int;  (** Seed for the jitter generator. *)
+  max_events : int;  (** Hard safety cap on processed events. *)
+}
+
+val default : Sw_arch.Params.t -> t
+
+val ideal : Sw_arch.Params.t -> t
+(** Zero overheads and zero jitter — useful in tests that check the
+    simulator against closed-form expectations. *)

@@ -1,0 +1,353 @@
+module Program = Sw_isa.Program
+module Mem_req = Sw_arch.Mem_req
+
+exception Deadlock of string
+
+exception Event_limit
+
+(* One DMA request: transaction counts per memory controller, plus
+   completion bookkeeping. *)
+type req = {
+  r_cpe : int;
+  r_tag : int;
+  per_mc : int array;  (* transactions routed to each controller *)
+  m_total : int;
+  remote : bool;  (* touches a controller other than the home CG *)
+}
+
+type gload_pending = { g_addr : int; g_bytes : int; g_start : float }
+
+type blocked =
+  | Not_blocked
+  | On_tag of int * float
+  | On_all of float
+  | On_gload of gload_pending
+
+type frame = { body : Program.item array; mutable idx : int; mutable remaining : int }
+
+type cpe = {
+  id : int;
+  home_cg : int;
+  mutable now : float;
+  mutable stack : frame list;
+  outstanding : (int, int ref) Hashtbl.t;
+  mutable outstanding_total : int;
+  mutable blocked : blocked;
+  mutable engine_free : float;
+  mutable comp : float;
+  mutable gload_wait : float;
+  mutable dma_wait : float;
+  mutable finished : bool;
+  mutable finish_time : float;
+}
+
+(* A controller grants bandwidth to requests in admission order:
+   [bw_clock] is the time up to which the bandwidth is committed.  A
+   request of [m] transactions commits [m * cycles_per_transaction] of
+   bandwidth-time and streams from its grant at the DMA engine's
+   [delta_delay] per transaction — so roughly [delta/ttx] requests are
+   in flight at saturation, which is the paper's MRP. *)
+type mc = { mutable bw_clock : float; mutable busy : float }
+
+type ev = Step of int | Req_admit of req | Gload_mc of int | Req_done of req
+
+type state = {
+  config : Config.t;
+  recorder : (Trace.span -> unit) option;
+  cpes : cpe array;
+  mcs : mc array;
+  events : ev Sw_util.Heap.t;
+  block_costs : (Sw_isa.Instr.t array, float * float) Hashtbl.t;
+  mutable transactions : int;
+  mutable payload_bytes : int;
+  mutable dma_requests : int;
+  mutable gload_requests : int;
+  mutable processed : int;
+}
+
+let compute_cost st block trips =
+  if trips <= 0 then 0.0
+  else begin
+    let once, steady =
+      match Hashtbl.find_opt st.block_costs block with
+      | Some pair -> pair
+      | None ->
+          let once = float_of_int (Sw_isa.Schedule.once st.config.params block).completion in
+          let steady = Sw_isa.Schedule.steady_cycles st.config.params block in
+          Hashtbl.add st.block_costs block (once, steady);
+          (once, steady)
+    in
+    once +. (float_of_int (trips - 1) *. steady)
+  end
+
+let route_counts (p : Sw_arch.Params.t) accesses =
+  let counts = Array.make p.n_cgs 0 in
+  List.iter
+    (fun access ->
+      Mem_req.iter_transactions ~trans_size:p.trans_size access (fun block_addr ->
+          let mc = Mem_req.route_cg ~trans_size:p.trans_size ~n_cgs:p.n_cgs block_addr in
+          counts.(mc) <- counts.(mc) + 1))
+    accesses;
+  counts
+
+(* Grant [m] transactions of bandwidth on one controller at time [t];
+   returns the grant time. *)
+let grant st mc_id ~at ~m =
+  let p = st.config.params in
+  let mc = st.mcs.(mc_id) in
+  let start = Stdlib.max mc.bw_clock at in
+  let ttx = Sw_arch.Params.cycles_per_transaction p in
+  mc.bw_clock <- start +. (float_of_int m *. ttx);
+  mc.busy <- mc.busy +. (float_of_int m *. ttx);
+  st.transactions <- st.transactions + m;
+  start
+
+let outstanding_for cpe tag =
+  match Hashtbl.find_opt cpe.outstanding tag with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add cpe.outstanding tag r;
+      r
+
+let rec run_cpe st cpe =
+  match cpe.stack with
+  | [] ->
+      cpe.finished <- true;
+      cpe.finish_time <- cpe.now
+  | frame :: rest ->
+      if frame.idx >= Array.length frame.body then begin
+        frame.remaining <- frame.remaining - 1;
+        if frame.remaining > 0 then begin
+          frame.idx <- 0;
+          cpe.now <- cpe.now +. float_of_int st.config.loop_overhead
+        end
+        else cpe.stack <- rest;
+        run_cpe st cpe
+      end
+      else begin
+        let item = frame.body.(frame.idx) in
+        frame.idx <- frame.idx + 1;
+        match item with
+        | Program.Compute { block; trips } ->
+            let cost = compute_cost st block trips in
+            (match st.recorder with
+            | Some record when cost > 0.0 ->
+                record { Trace.cpe = cpe.id; kind = Trace.Compute; t0 = cpe.now; t1 = cpe.now +. cost }
+            | Some _ | None -> ());
+            cpe.now <- cpe.now +. cost;
+            cpe.comp <- cpe.comp +. cost;
+            run_cpe st cpe
+        | Program.Repeat { trips; body } ->
+            if trips > 0 && Array.length body > 0 then begin
+              cpe.now <- cpe.now +. float_of_int st.config.loop_overhead;
+              cpe.stack <- { body; idx = 0; remaining = trips } :: cpe.stack
+            end;
+            run_cpe st cpe
+        | Program.Dma_issue ({ tag; _ } as d) ->
+            cpe.now <- cpe.now +. float_of_int st.config.dma_issue_cost;
+            let p = st.config.params in
+            let per_mc = route_counts p d.Program.accesses in
+            let m_total = Array.fold_left ( + ) 0 per_mc in
+            let remote =
+              Array.exists (fun i -> i) (Array.mapi (fun i m -> m > 0 && i <> cpe.home_cg) per_mc)
+            in
+            let arrival = Stdlib.max cpe.engine_free cpe.now in
+            (* the engine busies itself for the stream length; refined at
+               admission when the grant is later than the arrival *)
+            cpe.engine_free <- arrival +. (float_of_int m_total *. float_of_int p.delta_delay);
+            let counter = outstanding_for cpe tag in
+            incr counter;
+            cpe.outstanding_total <- cpe.outstanding_total + 1;
+            st.dma_requests <- st.dma_requests + 1;
+            st.payload_bytes <- st.payload_bytes + Program.dma_payload d;
+            let req = { r_cpe = cpe.id; r_tag = tag; per_mc; m_total; remote } in
+            Sw_util.Heap.push st.events arrival (Req_admit req);
+            run_cpe st cpe
+        | Program.Dma_wait tag ->
+            let counter = outstanding_for cpe tag in
+            if !counter = 0 then begin
+              cpe.now <- cpe.now +. float_of_int st.config.dma_wait_cost;
+              run_cpe st cpe
+            end
+            else cpe.blocked <- On_tag (tag, cpe.now)
+        | Program.Dma_wait_all ->
+            if cpe.outstanding_total = 0 then begin
+              cpe.now <- cpe.now +. float_of_int st.config.dma_wait_cost;
+              run_cpe st cpe
+            end
+            else cpe.blocked <- On_all cpe.now
+        | Program.Gload { addr; bytes } | Program.Gstore { addr; bytes } ->
+            st.gload_requests <- st.gload_requests + 1;
+            st.payload_bytes <- st.payload_bytes + bytes;
+            cpe.blocked <- On_gload { g_addr = addr; g_bytes = bytes; g_start = cpe.now };
+            Sw_util.Heap.push st.events cpe.now (Gload_mc cpe.id)
+      end
+
+let resume_after_wait st cpe ~at =
+  match cpe.blocked with
+  | On_tag (_, start) | On_all start ->
+      (match st.recorder with
+      | Some record when at > start ->
+          record { Trace.cpe = cpe.id; kind = Trace.Dma_stall; t0 = start; t1 = at }
+      | Some _ | None -> ());
+      cpe.dma_wait <- cpe.dma_wait +. Stdlib.max 0.0 (at -. start);
+      cpe.now <- Stdlib.max at start +. float_of_int st.config.dma_wait_cost;
+      cpe.blocked <- Not_blocked;
+      Sw_util.Heap.push st.events cpe.now (Step cpe.id)
+  | Not_blocked | On_gload _ -> ()
+
+let handle_req_done st req ~at =
+  let cpe = st.cpes.(req.r_cpe) in
+  let counter = outstanding_for cpe req.r_tag in
+  assert (!counter > 0);
+  decr counter;
+  cpe.outstanding_total <- cpe.outstanding_total - 1;
+  match cpe.blocked with
+  | On_tag (tag, _) when tag = req.r_tag && !counter = 0 -> resume_after_wait st cpe ~at
+  | On_all _ when cpe.outstanding_total = 0 -> resume_after_wait st cpe ~at
+  | Not_blocked | On_tag _ | On_all _ | On_gload _ -> ()
+
+let handle_admit st req ~at =
+  let p = st.config.params in
+  let cpe = st.cpes.(req.r_cpe) in
+  (* bandwidth grant on every controller the request touches *)
+  let latest_grant = ref at in
+  Array.iteri
+    (fun mc_id m -> if m > 0 then latest_grant := Stdlib.max !latest_grant (grant st mc_id ~at ~m))
+    req.per_mc;
+  let stream_tail = float_of_int ((req.m_total - 1) * p.delta_delay) in
+  let noc = if req.remote then float_of_int p.noc_extra_latency else 0.0 in
+  let completion = !latest_grant +. stream_tail +. float_of_int p.l_base +. noc in
+  (* the CPE's DMA engine is occupied until the stream drains *)
+  cpe.engine_free <- Stdlib.max cpe.engine_free (!latest_grant +. stream_tail);
+  Sw_util.Heap.push st.events completion (Req_done req)
+
+let handle_event st ~at = function
+  | Step id ->
+      let cpe = st.cpes.(id) in
+      if not cpe.finished then run_cpe st cpe
+  | Req_admit req -> handle_admit st req ~at
+  | Req_done req -> handle_req_done st req ~at
+  | Gload_mc id -> (
+      let cpe = st.cpes.(id) in
+      match cpe.blocked with
+      | On_gload { g_addr; g_bytes = _; g_start } ->
+          let p = st.config.params in
+          let block_addr = g_addr / p.trans_size * p.trans_size in
+          let mc_id = Mem_req.route_cg ~trans_size:p.trans_size ~n_cgs:p.n_cgs block_addr in
+          let start = grant st mc_id ~at ~m:1 in
+          let noc = if mc_id <> cpe.home_cg then float_of_int p.noc_extra_latency else 0.0 in
+          let completion = start +. float_of_int p.l_base +. noc in
+          (match st.recorder with
+          | Some record ->
+              record { Trace.cpe = cpe.id; kind = Trace.Gload_stall; t0 = g_start; t1 = completion }
+          | None -> ());
+          cpe.gload_wait <- cpe.gload_wait +. (completion -. g_start);
+          cpe.now <- completion;
+          cpe.blocked <- Not_blocked;
+          Sw_util.Heap.push st.events completion (Step id)
+      | Not_blocked | On_tag _ | On_all _ ->
+          invalid_arg "Engine: Gload_mc event for a CPE not blocked on a gload")
+
+let run_internal ?recorder (config : Config.t) programs =
+  let p = config.params in
+  (match Sw_arch.Params.validate p with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Engine.run: invalid params: " ^ msg));
+  let n = Array.length programs in
+  if n = 0 then invalid_arg "Engine.run: no programs";
+  if n > Sw_arch.Params.total_cpes p then
+    invalid_arg
+      (Printf.sprintf "Engine.run: %d programs but only %d CPEs configured" n
+         (Sw_arch.Params.total_cpes p));
+  Array.iteri
+    (fun i prog ->
+      match Program.validate p prog with
+      | Ok () -> ()
+      | Error msg -> invalid_arg (Printf.sprintf "Engine.run: program %d invalid: %s" i msg))
+    programs;
+  let prng = Sw_util.Prng.create config.seed in
+  let cpes =
+    Array.init n (fun i ->
+        let jitter =
+          if config.start_jitter > 0 then
+            float_of_int (Sw_util.Prng.int prng (config.start_jitter + 1))
+          else 0.0
+        in
+        {
+          id = i;
+          home_cg = i / p.cpes_per_cg;
+          now = jitter;
+          stack =
+            (if Array.length programs.(i) = 0 then []
+             else [ { body = programs.(i); idx = 0; remaining = 1 } ]);
+          outstanding = Hashtbl.create 4;
+          outstanding_total = 0;
+          blocked = Not_blocked;
+          engine_free = 0.0;
+          comp = 0.0;
+          gload_wait = 0.0;
+          dma_wait = 0.0;
+          finished = false;
+          finish_time = 0.0;
+        })
+  in
+  let st =
+    {
+      config;
+      recorder;
+      cpes;
+      mcs = Array.init p.n_cgs (fun _ -> { bw_clock = 0.0; busy = 0.0 });
+      events = Sw_util.Heap.create ();
+      block_costs = Hashtbl.create 16;
+      transactions = 0;
+      payload_bytes = 0;
+      dma_requests = 0;
+      gload_requests = 0;
+      processed = 0;
+    }
+  in
+  Array.iter (fun cpe -> Sw_util.Heap.push st.events cpe.now (Step cpe.id)) cpes;
+  let rec loop () =
+    match Sw_util.Heap.pop st.events with
+    | None ->
+        if Array.exists (fun c -> not c.finished) st.cpes then
+          raise
+            (Deadlock
+               (Printf.sprintf "event queue empty with unfinished CPEs (first: %d)"
+                  (let found = ref (-1) in
+                   Array.iteri
+                     (fun i c -> if (not c.finished) && !found < 0 then found := i)
+                     st.cpes;
+                   !found)))
+    | Some (at, ev) ->
+        st.processed <- st.processed + 1;
+        if st.processed > config.max_events then raise Event_limit;
+        handle_event st ~at ev;
+        loop ()
+  in
+  loop ();
+  let finish = Array.map (fun c -> c.finish_time) cpes in
+  let maxf f = Array.fold_left (fun acc c -> Stdlib.max acc (f c)) 0.0 cpes in
+  {
+    Metrics.cycles = Array.fold_left Stdlib.max 0.0 finish;
+    per_cpe_finish = finish;
+    comp_cycles = maxf (fun c -> c.comp);
+    dma_wait_cycles = maxf (fun c -> c.dma_wait);
+    gload_cycles = maxf (fun c -> c.gload_wait);
+    comp_cycles_sum = Array.fold_left (fun acc c -> acc +. c.comp) 0.0 cpes;
+    transactions = st.transactions;
+    payload_bytes = st.payload_bytes;
+    dma_requests = st.dma_requests;
+    gload_requests = st.gload_requests;
+    mc_busy_cycles = Array.map (fun mc -> mc.busy) st.mcs;
+    events = st.processed;
+  }
+
+let run config programs = run_internal config programs
+
+let run_traced config programs =
+  let spans = ref [] in
+  let metrics = run_internal ~recorder:(fun s -> spans := s :: !spans) config programs in
+  (metrics, List.rev !spans)

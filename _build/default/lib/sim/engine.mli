@@ -1,0 +1,40 @@
+(** Discrete-event, transaction-level simulator of SW26010 core groups.
+
+    This is the repository's stand-in for the real hardware: it executes
+    one {!Sw_isa.Program.t} per active CPE and measures wall-clock cycles.
+    Mechanisms modelled:
+
+    - per-CPE in-order execution using the static schedule for compute
+      blocks (the cache-less CPE makes compute timing deterministic);
+    - per-CPE DMA engines that emit one DRAM transaction every
+      [delta_delay] cycles per request;
+    - one FCFS memory controller per core group serving one [trans_size]
+      transaction every [trans_size / bytes_per_cycle] cycles (the
+      bandwidth limit), with [l_base] round-trip latency;
+    - blocking Gload/Gstore requests that occupy a full transaction no
+      matter how few bytes they move;
+    - round-robin cross-section memory across core groups, with a small
+      NoC penalty for remote transactions;
+    - CPE-side overheads for DMA issue/wait and loop control, plus
+      deterministic start-time jitter (see {!Config}).
+
+    Calibration (covered by tests): with zero overheads, a single
+    1-transaction DMA completes in [l_base] cycles; an [n]-transaction
+    request in [l_base + (n-1) * delta_delay] cycles; sustained
+    throughput equals [mem_bw]. *)
+
+exception Deadlock of string
+(** Raised when no event can make progress (e.g. waiting on a DMA tag
+    that was never issued). *)
+
+exception Event_limit
+(** Raised when [max_events] is exceeded. *)
+
+val run : Config.t -> Sw_isa.Program.t array -> Metrics.t
+(** [run config programs] simulates [programs] (element [i] runs on
+    CPE [i], which belongs to core group [i / cpes_per_cg]).  Programs
+    must pass {!Sw_isa.Program.validate}. *)
+
+val run_traced : Config.t -> Sw_isa.Program.t array -> Metrics.t * Trace.t
+(** Like {!run}, additionally recording per-CPE activity spans (compute,
+    DMA stalls, Gload stalls) for {!Trace.render}. *)

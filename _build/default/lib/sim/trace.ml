@@ -1,0 +1,47 @@
+type kind = Compute | Dma_stall | Gload_stall
+
+type span = { cpe : int; kind : kind; t0 : float; t1 : float }
+
+type t = span list
+
+let total spans kind =
+  List.fold_left (fun acc s -> if s.kind = kind then acc +. (s.t1 -. s.t0) else acc) 0.0 spans
+
+let busy_fraction spans ~cpe ~makespan =
+  if makespan <= 0.0 then 0.0
+  else
+    List.fold_left (fun acc s -> if s.cpe = cpe then acc +. (s.t1 -. s.t0) else acc) 0.0 spans
+    /. makespan
+
+let glyph = function Compute -> 'C' | Dma_stall -> 'D' | Gload_stall -> 'g'
+
+let render ?(width = 72) ?(max_cpes = 16) ~makespan spans =
+  if makespan <= 0.0 then "(empty trace)\n"
+  else begin
+    let n_cpes =
+      List.fold_left (fun acc s -> Stdlib.max acc (s.cpe + 1)) 0 spans |> Stdlib.min max_cpes
+    in
+    let rows = Array.init n_cpes (fun _ -> Bytes.make width '.') in
+    let col t = Stdlib.min (width - 1) (int_of_float (t /. makespan *. float_of_int width)) in
+    List.iter
+      (fun s ->
+        if s.cpe < n_cpes then begin
+          let c0 = col s.t0 and c1 = col s.t1 in
+          for c = c0 to c1 do
+            (* stalls overwrite compute on shared cells so phase
+               boundaries stay visible *)
+            let cur = Bytes.get rows.(s.cpe) c in
+            if cur = '.' || s.kind <> Compute then Bytes.set rows.(s.cpe) c (glyph s.kind)
+          done
+        end)
+      spans;
+    let buf = Buffer.create (n_cpes * (width + 12)) in
+    Array.iteri
+      (fun i row ->
+        Buffer.add_string buf (Printf.sprintf "cpe %2d |%s|\n" i (Bytes.to_string row)))
+      rows;
+    Buffer.add_string buf
+      (Printf.sprintf "        C compute, D dma stall, g gload stall; 1 col = %.0f cycles\n"
+         (makespan /. float_of_int width));
+    Buffer.contents buf
+  end

@@ -1,0 +1,28 @@
+(** Execution traces: what each CPE was doing when.
+
+    {!Engine.run_traced} records one span per activity — compute
+    segments, DMA-wait stalls, Gload stalls — which {!render} turns into
+    an ASCII timeline, one row per CPE.  The staggered virtual groups of
+    the paper's Figure 4 are directly visible in these timelines (see
+    the [fig4] bench section). *)
+
+type kind =
+  | Compute
+  | Dma_stall  (** Blocked in a DMA wait. *)
+  | Gload_stall  (** Blocked on a Gload/Gstore round trip. *)
+
+type span = { cpe : int; kind : kind; t0 : float; t1 : float }
+
+type t = span list
+(** In completion order. *)
+
+val total : t -> kind -> float
+(** Summed duration of one activity across all CPEs. *)
+
+val busy_fraction : t -> cpe:int -> makespan:float -> float
+(** Fraction of the makespan this CPE spent in any recorded span. *)
+
+val render : ?width:int -> ?max_cpes:int -> makespan:float -> t -> string
+(** ASCII timeline: ['C'] compute, ['D'] DMA stall, ['g'] Gload stall,
+    ['.'] idle/other.  [width] defaults to 72 columns, [max_cpes] to 16
+    rows. *)

@@ -1,0 +1,1 @@
+lib/swacc/body.ml: Hashtbl List

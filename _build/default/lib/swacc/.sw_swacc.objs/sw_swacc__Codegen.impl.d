@@ -1,0 +1,1 @@
+lib/swacc/codegen.ml: Array Body Hashtbl List Stdlib Sw_isa

@@ -1,0 +1,1 @@
+lib/swacc/codegen.mli: Body Sw_isa

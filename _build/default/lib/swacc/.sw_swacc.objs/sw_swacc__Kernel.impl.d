@@ -1,0 +1,1 @@
+lib/swacc/kernel.ml: Body List Printf Stdlib

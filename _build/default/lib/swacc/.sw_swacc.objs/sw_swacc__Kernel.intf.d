@@ -1,0 +1,1 @@
+lib/swacc/kernel.mli: Body

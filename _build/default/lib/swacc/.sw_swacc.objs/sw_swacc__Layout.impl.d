@@ -1,0 +1,1 @@
+lib/swacc/layout.ml:

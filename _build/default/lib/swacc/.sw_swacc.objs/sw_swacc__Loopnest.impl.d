@@ -1,0 +1,1 @@
+lib/swacc/loopnest.ml: Body Kernel Layout List Printf

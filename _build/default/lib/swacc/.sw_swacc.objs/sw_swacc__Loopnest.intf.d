@@ -1,0 +1,1 @@
+lib/swacc/loopnest.mli: Body Kernel

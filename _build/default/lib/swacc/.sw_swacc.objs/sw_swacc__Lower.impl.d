@@ -1,0 +1,1 @@
+lib/swacc/lower.ml: Array Codegen Hashtbl Kernel List Lowered Printf Result Stdlib Sw_arch Sw_isa

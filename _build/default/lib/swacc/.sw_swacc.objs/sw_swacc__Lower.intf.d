@@ -1,0 +1,1 @@
+lib/swacc/lower.mli: Kernel Lowered Sw_arch

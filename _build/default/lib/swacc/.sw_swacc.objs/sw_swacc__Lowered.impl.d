@@ -1,0 +1,1 @@
+lib/swacc/lowered.ml: Array Format List Sw_isa

@@ -1,0 +1,1 @@
+lib/swacc/lowered.mli: Format Sw_isa

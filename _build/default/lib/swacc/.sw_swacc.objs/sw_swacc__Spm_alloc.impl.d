@@ -1,0 +1,1 @@
+lib/swacc/spm_alloc.ml: Format Kernel List Printf Sw_arch

@@ -1,0 +1,1 @@
+lib/swacc/spm_alloc.mli: Format Kernel Sw_arch

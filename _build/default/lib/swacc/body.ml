@@ -1,0 +1,115 @@
+type expr =
+  | Const of float
+  | Load of string * int
+  | Param of string
+  | Acc of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Fma of expr * expr * expr
+  | Max of expr * expr
+  | Min of expr * expr
+  | Sqrt of expr
+  | Neg of expr
+  | Abs of expr
+  | Int_work of int * expr
+
+type op = OAdd | OMul | OMax | OMin
+
+type stmt = Store of string * expr | Accum of string * op * expr | Eval of expr
+
+type t = stmt list
+
+let rec expr_flops = function
+  | Const _ | Load _ | Param _ | Acc _ -> 0
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Max (a, b) | Min (a, b) ->
+      1 + expr_flops a + expr_flops b
+  | Fma (a, b, c) -> 2 + expr_flops a + expr_flops b + expr_flops c
+  | Sqrt e | Neg e | Abs e -> 1 + expr_flops e
+  | Int_work (_, e) -> expr_flops e
+
+let load name = Load (name, 0)
+
+let load_at name k = Load (name, k)
+
+let rec expr_loads = function
+  | Load _ -> 1
+  | Const _ | Param _ | Acc _ -> 0
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Max (a, b) | Min (a, b) ->
+      expr_loads a + expr_loads b
+  | Fma (a, b, c) -> expr_loads a + expr_loads b + expr_loads c
+  | Sqrt e | Neg e | Abs e | Int_work (_, e) -> expr_loads e
+
+let stmt_expr = function Store (_, e) | Accum (_, _, e) | Eval e -> e
+
+let op_flops = function OAdd | OMul | OMax | OMin -> 1
+
+let flops_per_iter body =
+  List.fold_left
+    (fun acc stmt ->
+      let extra = match stmt with Accum (_, op, _) -> op_flops op | Store _ | Eval _ -> 0 in
+      acc + extra + expr_flops (stmt_expr stmt))
+    0 body
+
+let loads_per_iter body = List.fold_left (fun acc s -> acc + expr_loads (stmt_expr s)) 0 body
+
+let stores_per_iter body =
+  List.fold_left (fun acc s -> match s with Store _ -> acc + 1 | Accum _ | Eval _ -> acc) 0 body
+
+let dedup_in_order names =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then false
+      else begin
+        Hashtbl.add seen n ();
+        true
+      end)
+    names
+
+let rec expr_names pick = function
+  | Const _ -> []
+  | Load (n, _) -> pick (`Load n)
+  | Param n -> pick (`Param n)
+  | Acc n -> pick (`Acc n)
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Max (a, b) | Min (a, b) ->
+      expr_names pick a @ expr_names pick b
+  | Fma (a, b, c) -> expr_names pick a @ expr_names pick b @ expr_names pick c
+  | Sqrt e | Neg e | Abs e | Int_work (_, e) -> expr_names pick e
+
+let accumulators body =
+  let pick = function `Acc n -> [ n ] | `Load _ | `Param _ -> [] in
+  let from_exprs = List.concat_map (fun s -> expr_names pick (stmt_expr s)) body in
+  let from_stmts =
+    List.filter_map (fun s -> match s with Accum (n, _, _) -> Some n | Store _ | Eval _ -> None) body
+  in
+  dedup_in_order (from_exprs @ from_stmts)
+
+let loaded_arrays body =
+  let pick = function `Load n -> [ n ] | `Param _ | `Acc _ -> [] in
+  dedup_in_order (List.concat_map (fun s -> expr_names pick (stmt_expr s)) body)
+
+let stored_arrays body =
+  dedup_in_order
+    (List.filter_map (fun s -> match s with Store (n, _) -> Some n | Accum _ | Eval _ -> None) body)
+
+let params body =
+  let pick = function `Param n -> [ n ] | `Load _ | `Acc _ -> [] in
+  dedup_in_order (List.concat_map (fun s -> expr_names pick (stmt_expr s)) body)
+
+let validate body =
+  if body = [] then Error "empty body"
+  else begin
+    let rec bad_int_work = function
+      | Int_work (n, _) when n < 0 -> true
+      | Const _ | Load _ | Param _ | Acc _ -> false
+      | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Max (a, b) | Min (a, b) ->
+          bad_int_work a || bad_int_work b
+      | Fma (a, b, c) -> bad_int_work a || bad_int_work b || bad_int_work c
+      | Sqrt e | Neg e | Abs e | Int_work (_, e) -> bad_int_work e
+    in
+    if List.exists (fun s -> bad_int_work (stmt_expr s)) body then
+      Error "Int_work with negative count"
+    else Ok ()
+  end

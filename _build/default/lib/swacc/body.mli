@@ -1,0 +1,70 @@
+(** Kernel body expressions.
+
+    A body describes one innermost iteration of a SWACC kernel as a small
+    expression DAG over values held in SPM, scalar parameters and named
+    accumulators.  {!Codegen} turns a body into a CPE instruction block;
+    the instruction mix and dependence structure determine the kernel's
+    computational cost and ILP. *)
+
+type expr =
+  | Const of float  (** Literal, materialized outside the loop. *)
+  | Load of string * int
+      (** Value of a tiled array element read from SPM: array name plus
+          an access label (e.g. a stencil offset) distinguishing
+          different elements of the same array within one iteration.
+          Two [Load]s with the same name and label are the same value
+          and are CSE'd by {!Codegen}. *)
+  | Param of string  (** Loop-invariant scalar held in a register. *)
+  | Acc of string  (** Current value of a named accumulator. *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Fma of expr * expr * expr  (** [Fma (a, b, c)] is [a * b + c]. *)
+  | Max of expr * expr
+  | Min of expr * expr
+  | Sqrt of expr
+  | Neg of expr
+  | Abs of expr
+  | Int_work of int * expr
+      (** [Int_work (n, e)]: value of [e], plus [n] fixed-point
+          instructions of address/index arithmetic around it (models
+          integer-heavy kernels like BFS frontier bookkeeping). *)
+
+type op = OAdd | OMul | OMax | OMin
+
+val load : string -> expr
+(** [load a] is [Load (a, 0)]. *)
+
+val load_at : string -> int -> expr
+(** [load_at a k] is [Load (a, k)]. *)
+
+type stmt =
+  | Store of string * expr  (** Write an SPM-resident array element. *)
+  | Accum of string * op * expr  (** [acc <- acc op expr] (loop-carried). *)
+  | Eval of expr  (** Evaluate for its cost only. *)
+
+type t = stmt list
+
+val flops_per_iter : t -> int
+(** Floating-point operations per iteration (FMA counts as 2). *)
+
+val loads_per_iter : t -> int
+(** SPM loads per iteration. *)
+
+val stores_per_iter : t -> int
+
+val accumulators : t -> string list
+(** Distinct accumulator names, in first-use order. *)
+
+val loaded_arrays : t -> string list
+(** Distinct array names read via [Load], in first-use order. *)
+
+val stored_arrays : t -> string list
+(** Distinct array names written via [Store], in first-use order. *)
+
+val params : t -> string list
+(** Distinct parameter names, in first-use order. *)
+
+val validate : t -> (unit, string) result
+(** Reject empty bodies and [Int_work] with negative counts. *)

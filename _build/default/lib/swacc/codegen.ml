@@ -1,0 +1,173 @@
+module Instr = Sw_isa.Instr
+
+type state = {
+  gen : Instr.Reggen.gen;
+  instrs : Instr.t list ref;  (* reversed *)
+  params : (string, Instr.reg) Hashtbl.t;
+  consts : (float, Instr.reg) Hashtbl.t;
+  accs : (string * int, Instr.reg) Hashtbl.t;  (* (name, unroll copy) *)
+  shared : (Body.expr, Instr.reg) Hashtbl.t;
+      (* value numbering, reset per unroll copy: structurally equal
+         sub-expressions are the same value (Loads carry access labels)
+         and are computed once, as any real compiler would arrange *)
+  induction : Instr.reg;
+  ialu_per_access : int;
+}
+
+let emit st i = st.instrs := i :: !(st.instrs)
+
+let fresh st = Instr.Reggen.fresh st.gen
+
+let lookup tbl key make =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+      let r = make () in
+      Hashtbl.add tbl key r;
+      r
+
+(* Address arithmetic for one SPM access: a short chain of fixed-point
+   instructions rooted at the induction variable. *)
+let address_of st =
+  let rec chain src n =
+    if n = 0 then src
+    else begin
+      let dst = fresh st in
+      emit st (Instr.make Instr.Ialu ~dst [ src ]);
+      chain dst (n - 1)
+    end
+  in
+  chain st.induction (Stdlib.max 0 st.ialu_per_access)
+
+let rec eval st ~copy (e : Body.expr) : Instr.reg =
+  match e with
+  | Body.Const c -> lookup st.consts c (fun () -> fresh st)
+  | Body.Param name -> lookup st.params name (fun () -> fresh st)
+  | Body.Acc name -> lookup st.accs (name, copy) (fun () -> fresh st)
+  | Body.Load _ | Body.Add _ | Body.Sub _ | Body.Mul _ | Body.Div _ | Body.Max _ | Body.Min _
+  | Body.Fma _ | Body.Sqrt _ | Body.Neg _ | Body.Abs _ | Body.Int_work _ -> (
+      match Hashtbl.find_opt st.shared e with
+      | Some reg -> reg
+      | None ->
+          let reg = eval_fresh st ~copy e in
+          Hashtbl.add st.shared e reg;
+          reg)
+
+and eval_fresh st ~copy (e : Body.expr) : Instr.reg =
+  match e with
+  | Body.Const _ | Body.Param _ | Body.Acc _ -> eval st ~copy e
+  | Body.Load _ ->
+      let addr = address_of st in
+      let dst = fresh st in
+      emit st (Instr.make Instr.Spm_load ~dst [ addr ]);
+      dst
+  | Body.Add (a, b) -> binop st ~copy Instr.Fadd a b
+  | Body.Sub (a, b) -> binop st ~copy Instr.Fadd a b
+  | Body.Mul (a, b) -> binop st ~copy Instr.Fmul a b
+  | Body.Div (a, b) -> binop st ~copy Instr.Fdiv a b
+  | Body.Max (a, b) | Body.Min (a, b) -> binop st ~copy Instr.Fcmp a b
+  | Body.Fma (a, b, c) ->
+      let ra = eval st ~copy a in
+      let rb = eval st ~copy b in
+      let rc = eval st ~copy c in
+      let dst = fresh st in
+      emit st (Instr.make Instr.Fmadd ~dst [ ra; rb; rc ]);
+      dst
+  | Body.Sqrt e ->
+      let r = eval st ~copy e in
+      let dst = fresh st in
+      emit st (Instr.make Instr.Fsqrt ~dst [ r ]);
+      dst
+  | Body.Neg e | Body.Abs e ->
+      let r = eval st ~copy e in
+      let dst = fresh st in
+      emit st (Instr.make Instr.Fadd ~dst [ r ]);
+      dst
+  | Body.Int_work (n, e) ->
+      let rec ints src k =
+        if k = 0 then ()
+        else begin
+          let dst = fresh st in
+          emit st (Instr.make Instr.Ialu ~dst [ src ]);
+          ints dst (k - 1)
+        end
+      in
+      ints st.induction n;
+      eval st ~copy e
+
+and binop st ~copy klass a b =
+  let ra = eval st ~copy a in
+  let rb = eval st ~copy b in
+  let dst = fresh st in
+  emit st (Instr.make klass ~dst [ ra; rb ]);
+  dst
+
+let op_klass = function
+  | Body.OAdd -> Instr.Fadd
+  | Body.OMul -> Instr.Fmul
+  | Body.OMax | Body.OMin -> Instr.Fcmp
+
+let gen_stmt st ~copy (s : Body.stmt) =
+  match s with
+  | Body.Store (_, e) ->
+      let r = eval st ~copy e in
+      let addr = address_of st in
+      emit st (Instr.make Instr.Spm_store [ addr; r ])
+  | Body.Accum (name, op, e) ->
+      let r = eval st ~copy e in
+      let acc = lookup st.accs (name, copy) (fun () -> fresh st) in
+      emit st (Instr.make (op_klass op) ~dst:acc [ acc; r ])
+  | Body.Eval e -> ignore (eval st ~copy e)
+
+let block ?(ialu_per_access = 1) ?(loop_ialu = 2) ~unroll body =
+  if unroll < 1 then invalid_arg "Codegen.block: unroll must be >= 1";
+  (match Body.validate body with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Codegen.block: " ^ msg));
+  let gen = Instr.Reggen.create () in
+  let induction = Instr.Reggen.fresh gen in
+  let st =
+    {
+      gen;
+      instrs = ref [];
+      params = Hashtbl.create 8;
+      consts = Hashtbl.create 8;
+      accs = Hashtbl.create 8;
+      shared = Hashtbl.create 16;
+      induction;
+      ialu_per_access;
+    }
+  in
+  (* Generate each unroll copy separately, then interleave the copies
+     round-robin.  On an in-order core, emitting copies back-to-back
+     would serialize on each copy's dependence chain; interleaving is
+     what a scheduling compiler does so the chains overlap — the
+     mechanism by which unrolling actually raises ILP. *)
+  let copies =
+    List.init unroll (fun copy ->
+        Hashtbl.reset st.shared;
+        st.instrs := [];
+        List.iter (gen_stmt st ~copy) body;
+        Array.of_list (List.rev !(st.instrs)))
+  in
+  st.instrs := [];
+  let longest = List.fold_left (fun acc c -> Stdlib.max acc (Array.length c)) 0 copies in
+  for i = 0 to longest - 1 do
+    List.iter (fun c -> if i < Array.length c then emit st c.(i)) copies
+  done;
+  (* Loop control: an induction-variable chain executed once per
+     unrolled iteration — the fixed overhead unrolling amortizes. *)
+  let rec loop_ctl src k =
+    if k > 0 then begin
+      let dst = if k = 1 then st.induction else fresh st in
+      emit st (Instr.make Instr.Ialu ~dst [ src ]);
+      loop_ctl dst (k - 1)
+    end
+  in
+  loop_ctl st.induction (Stdlib.max 0 loop_ialu);
+  Array.of_list (List.rev !(st.instrs))
+
+let trips_for ~total_iters ~unroll =
+  if unroll < 1 then invalid_arg "Codegen.trips_for: unroll must be >= 1";
+  if total_iters < 0 then invalid_arg "Codegen.trips_for: negative iterations";
+  (total_iters / unroll, total_iters mod unroll)

@@ -1,0 +1,32 @@
+(** Code generation: body DAG to CPE instruction block.
+
+    Mirrors what the SWACC source-to-source compiler plus the native
+    compiler produce for an innermost loop body: SPM loads/stores with
+    address arithmetic, floating-point operations in SSA-style virtual
+    registers, loop-control fixed-point instructions, and loop-carried
+    registers for accumulators.
+
+    Unrolling replicates the body [unroll] times with fresh temporaries
+    and gives each replica its own accumulator registers, so reduction
+    chains split into [unroll] independent chains — the mechanism by
+    which unrolling raises ILP on an in-order core. *)
+
+val block :
+  ?ialu_per_access:int ->
+  ?loop_ialu:int ->
+  unroll:int ->
+  Body.t ->
+  Sw_isa.Instr.t array
+(** [block ~unroll body] generates one unrolled iteration.
+
+    @param ialu_per_access fixed-point address instructions per SPM
+    access (default 1).
+    @param loop_ialu fixed-point loop-control instructions per unrolled
+    iteration (default 2).
+    @raise Invalid_argument if [unroll < 1] or the body is invalid. *)
+
+val trips_for :
+  total_iters:int -> unroll:int -> int * int
+(** [trips_for ~total_iters ~unroll] is [(unrolled_trips, remainder)]:
+    how many times the unrolled block runs and how many left-over
+    original iterations remain. *)

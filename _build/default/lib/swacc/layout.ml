@@ -1,0 +1,13 @@
+type t = { align : int; mutable next : int }
+
+let create ?(align = 256) () =
+  if align <= 0 then invalid_arg "Layout.create: align must be positive";
+  { align; next = 0 }
+
+let alloc t ~bytes =
+  if bytes <= 0 then invalid_arg "Layout.alloc: bytes must be positive";
+  let base = (t.next + t.align - 1) / t.align * t.align in
+  t.next <- base + bytes;
+  base
+
+let used_bytes t = t.next

@@ -1,0 +1,16 @@
+(** Main-memory layout: assigns base addresses to kernel arrays.
+
+    A simple bump allocator; allocations are aligned to the DRAM
+    transaction size so that well-formed chunk copies do not straddle
+    extra transactions accidentally. *)
+
+type t
+
+val create : ?align:int -> unit -> t
+(** [create ()] starts an empty address space ([align] defaults to 256). *)
+
+val alloc : t -> bytes:int -> int
+(** Reserve [bytes] and return the (aligned) base address. *)
+
+val used_bytes : t -> int
+(** Total reserved bytes including alignment padding. *)

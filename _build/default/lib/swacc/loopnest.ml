@@ -1,0 +1,78 @@
+type array_decl = {
+  name : string;
+  elem_bytes : int;
+  indexed_by : [ `I | `IJ | `J ];
+}
+
+let array_ ?(elem_bytes = 4) name indexed_by =
+  if elem_bytes <= 0 then invalid_arg "Loopnest.array_: elem_bytes must be positive";
+  { name; elem_bytes; indexed_by }
+
+let bytes_per_outer_elem decl ~inner =
+  match decl.indexed_by with
+  | `I -> decl.elem_bytes
+  | `IJ | `J -> decl.elem_bytes * inner
+
+let spm_estimate ~arrays ~inner ~grain =
+  List.fold_left
+    (fun acc decl ->
+      match decl.indexed_by with
+      | `J -> acc + bytes_per_outer_elem decl ~inner
+      | `I | `IJ -> acc + (grain * bytes_per_outer_elem decl ~inner))
+    0 arrays
+
+let compile ~name ~outer ~inner ~arrays ~body ?gloads ?ialu_per_access () =
+  if outer <= 0 || inner <= 0 then invalid_arg "Loopnest.compile: extents must be positive";
+  let find n = List.find_opt (fun d -> d.name = n) arrays in
+  let loaded = Body.loaded_arrays body and stored = Body.stored_arrays body in
+  List.iter
+    (fun n ->
+      match find n with
+      | None -> invalid_arg (Printf.sprintf "Loopnest.compile: array %s not declared" n)
+      | Some _ -> ())
+    (loaded @ stored);
+  List.iter
+    (fun n ->
+      match find n with
+      | Some { indexed_by = `J; _ } ->
+          invalid_arg
+            (Printf.sprintf
+               "Loopnest.compile: store to shared array %s races across CPEs" n)
+      | Some _ | None -> ())
+    stored;
+  let layout = Layout.create () in
+  let copies =
+    List.filter_map
+      (fun decl ->
+        let is_read = List.mem decl.name loaded and is_written = List.mem decl.name stored in
+        if (not is_read) && not is_written then None
+        else begin
+          let direction =
+            match (is_read, is_written) with
+            | true, true -> Kernel.Inout
+            | true, false -> Kernel.In
+            | false, true -> Kernel.Out
+            | false, false -> assert false
+          in
+          let freq = match decl.indexed_by with `J -> Kernel.Per_chunk | `I | `IJ -> Kernel.Per_element in
+          let bytes_per_elem = bytes_per_outer_elem decl ~inner in
+          let total_bytes =
+            match freq with
+            | Kernel.Per_chunk -> bytes_per_elem
+            | Kernel.Per_element -> bytes_per_elem * outer
+          in
+          Some
+            {
+              Kernel.array_name = decl.name;
+              bytes_per_elem;
+              direction;
+              freq;
+              layout = Kernel.Contiguous;
+              base_addr = Layout.alloc layout ~bytes:total_bytes;
+            }
+        end)
+      arrays
+  in
+  if copies = [] then invalid_arg "Loopnest.compile: the body touches no declared array";
+  Kernel.make ~name ~n_elements:outer ~copies ~body ~body_trips_per_element:inner ?gloads
+    ?ialu_per_access ()

@@ -1,0 +1,52 @@
+(** Loop-nest front end.
+
+    SWACC programs are loop nests over arrays (Figure 3); this module
+    lets a kernel be declared that way and compiles it to a {!Kernel.t}.
+    A nest is the canonical two-level SWACC shape:
+
+    {v
+    #pragma acc parallel loop copyin(...) copyout(...)
+    for i = 0 .. outer-1        (distributed over CPEs)
+      for j = 0 .. inner-1      (per-element work)
+        body(i, j)
+    v}
+
+    Arrays are declared with the indices they use; the compilation
+    derives the copy plan the SWACC compiler would:
+
+    - [`I]-indexed arrays carry one element per outer iteration;
+    - [`IJ]-indexed arrays carry an inner-extent row per outer iteration;
+    - [`J]-indexed arrays are shared across outer iterations and stay
+      SPM-resident per chunk;
+
+    and directions come from how the body touches each array (loads =>
+    copy-in, stores => copy-out, both => both). *)
+
+type array_decl = {
+  name : string;
+  elem_bytes : int;
+  indexed_by : [ `I | `IJ | `J ];
+}
+
+val array_ : ?elem_bytes:int -> string -> [ `I | `IJ | `J ] -> array_decl
+(** Declaration helper; [elem_bytes] defaults to 4 (f32). *)
+
+val compile :
+  name:string ->
+  outer:int ->
+  inner:int ->
+  arrays:array_decl list ->
+  body:Body.t ->
+  ?gloads:Kernel.gload_spec ->
+  ?ialu_per_access:int ->
+  unit ->
+  Kernel.t
+(** Compile the nest to a kernel (allocating main memory for every
+    array).
+
+    @raise Invalid_argument when the body references an undeclared
+    array, stores to a [`J]-indexed (shared) array — a cross-CPE race —
+    or the extents are non-positive. *)
+
+val spm_estimate : arrays:array_decl list -> inner:int -> grain:int -> int
+(** SPM bytes a chunk would need, before compiling. *)

@@ -1,0 +1,29 @@
+(** Lowering: kernel + tuning variant to per-CPE programs.
+
+    Mirrors the SWACC compiler's CPE-side code generation (Figure 3 of
+    the paper): per chunk, issue one DMA per consecutive region of each
+    copied-in array, wait, run the computation (with per-element Gloads
+    for irregular kernels), issue the copy-out DMAs, wait.  The
+    double-buffer variant issues the next chunk's copy-in before
+    computing on the current one, using two SPM buffers and four DMA
+    tags.
+
+    Lowering fails (with [Error]) rather than silently producing an
+    infeasible program when the chunk does not fit the SPM or the
+    variant asks for more CPEs than the machine has. *)
+
+val lower :
+  Sw_arch.Params.t -> Kernel.t -> Kernel.variant -> (Lowered.t, string) result
+
+val lower_exn : Sw_arch.Params.t -> Kernel.t -> Kernel.variant -> Lowered.t
+(** @raise Invalid_argument when {!lower} returns [Error]. *)
+
+val summarize :
+  Sw_arch.Params.t -> Kernel.t -> Kernel.variant -> (Lowered.summary, string) result
+(** The compile-time half of {!lower}: generate code blocks and the
+    static summary without materializing per-CPE programs.  This is all
+    a static tuner needs to assess a variant, and is what makes model
+    assessment so much cheaper than a profiling run. *)
+
+val spm_required : Kernel.t -> Kernel.variant -> int
+(** SPM bytes the variant needs (doubled under double buffering). *)

@@ -1,0 +1,60 @@
+type buffer = { array_name : string; offset : int; bytes : int; double_buffered : bool }
+
+type t = { buffers : buffer list; used_bytes : int; free_bytes : int }
+
+let align8 n = (n + 7) / 8 * 8
+
+let plan (params : Sw_arch.Params.t) (kernel : Kernel.t) (variant : Kernel.variant) =
+  if variant.Kernel.grain <= 0 then Error "grain must be positive"
+  else begin
+    let next = ref 0 in
+    let buffers =
+      List.map
+        (fun (c : Kernel.copy_spec) ->
+          let chunk_bytes =
+            match c.Kernel.freq with
+            | Kernel.Per_chunk -> c.Kernel.bytes_per_elem
+            | Kernel.Per_element -> c.Kernel.bytes_per_elem * variant.Kernel.grain
+          in
+          (* Per_chunk arrays are reloaded in place; per-element buffers
+             double under double buffering *)
+          let double_buffered =
+            variant.Kernel.double_buffer && c.Kernel.freq = Kernel.Per_element
+          in
+          let footprint = if double_buffered then 2 * chunk_bytes else chunk_bytes in
+          let offset = !next in
+          next := align8 (offset + footprint);
+          { array_name = c.Kernel.array_name; offset; bytes = chunk_bytes; double_buffered })
+        kernel.Kernel.copies
+    in
+    let used_bytes = !next in
+    if used_bytes > params.Sw_arch.Params.spm_bytes then
+      Error
+        (Printf.sprintf "placement needs %d B but the SPM holds %d B" used_bytes
+           params.Sw_arch.Params.spm_bytes)
+    else Ok { buffers; used_bytes; free_bytes = params.Sw_arch.Params.spm_bytes - used_bytes }
+  end
+
+let find t name = List.find_opt (fun b -> b.array_name = name) t.buffers
+
+let footprint b = if b.double_buffered then 2 * b.bytes else b.bytes
+
+let check_disjoint t =
+  let spans =
+    List.sort compare (List.map (fun b -> (b.offset, b.offset + footprint b)) t.buffers)
+  in
+  let rec ok = function
+    | (_, e1) :: ((s2, _) :: _ as rest) -> e1 <= s2 && ok rest
+    | [ _ ] | [] -> true
+  in
+  ok spans
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>SPM placement (%d B used, %d B free):@," t.used_bytes t.free_bytes;
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "  [0x%04x, 0x%04x) %-12s %d B%s@," b.offset
+        (b.offset + footprint b) b.array_name b.bytes
+        (if b.double_buffered then " x2 (double-buffered)" else ""))
+    t.buffers;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,34 @@
+(** SPM placement: concrete scratchpad offsets for a kernel variant.
+
+    Lowering checks that a chunk fits the 64 KiB scratchpad; this module
+    computes the actual placement the SWACC compiler would emit — one
+    buffer per copied array (two under double buffering), plus the
+    residency of [Per_chunk] arrays.  The map is what a code generator
+    targeting real hardware would need, and it makes SPM pressure
+    inspectable (see [swmodel predict]'s summary and the tests). *)
+
+type buffer = {
+  array_name : string;
+  offset : int;  (** Byte offset within the SPM. *)
+  bytes : int;  (** Buffer size (one chunk's worth for this array). *)
+  double_buffered : bool;  (** Second copy lives at [offset + bytes]. *)
+}
+
+type t = {
+  buffers : buffer list;
+  used_bytes : int;
+  free_bytes : int;
+}
+
+val plan :
+  Sw_arch.Params.t -> Kernel.t -> Kernel.variant -> (t, string) result
+(** Compute the placement, failing like {!Lower.lower} when the variant
+    does not fit. *)
+
+val find : t -> string -> buffer option
+
+val check_disjoint : t -> bool
+(** Buffers (including double-buffer shadows) never overlap — exposed
+    for property tests. *)
+
+val pp : Format.formatter -> t -> unit

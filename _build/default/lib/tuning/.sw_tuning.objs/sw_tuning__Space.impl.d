@@ -1,0 +1,1 @@
+lib/tuning/space.ml: List Sw_arch Sw_swacc

@@ -1,0 +1,1 @@
+lib/tuning/space.mli: Sw_arch Sw_swacc

@@ -1,0 +1,1 @@
+lib/tuning/tuner.ml: Format List Space Sw_arch Sw_sim Sw_swacc Sw_util Swpm Sys

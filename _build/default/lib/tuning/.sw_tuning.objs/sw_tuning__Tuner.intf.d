@@ -1,0 +1,1 @@
+lib/tuning/tuner.mli: Format Space Sw_sim Sw_swacc

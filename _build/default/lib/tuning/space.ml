@@ -1,0 +1,22 @@
+type point = { grain : int; unroll : int; double_buffer : bool }
+
+let enumerate ~grains ~unrolls ?(double_buffers = [ false ]) () =
+  List.concat_map
+    (fun grain ->
+      List.concat_map
+        (fun unroll -> List.map (fun double_buffer -> { grain; unroll; double_buffer }) double_buffers)
+        unrolls)
+    grains
+
+let to_variant p ~active_cpes =
+  { Sw_swacc.Kernel.grain = p.grain; unroll = p.unroll; active_cpes; double_buffer = p.double_buffer }
+
+let feasible params kernel ~active_cpes points =
+  List.filter
+    (fun p ->
+      Sw_swacc.Lower.spm_required kernel (to_variant p ~active_cpes)
+      <= params.Sw_arch.Params.spm_bytes)
+    points
+
+let size ~grains ~unrolls ?(double_buffers = [ false ]) () =
+  List.length grains * List.length unrolls * List.length double_buffers

@@ -1,0 +1,22 @@
+(** Tuning search space: the cartesian product of copy granularities
+    (the paper's [tile]), unroll factors, and optionally double
+    buffering — the dimensions Section V-D searches.
+
+    Infeasible points (SPM overflow) are kept in the enumeration and
+    rejected by lowering, exactly as a real tuner discovers them at
+    compile time; {!feasible} pre-filters when wanted. *)
+
+type point = { grain : int; unroll : int; double_buffer : bool }
+
+val enumerate :
+  grains:int list -> unrolls:int list -> ?double_buffers:bool list -> unit -> point list
+(** All combinations, in deterministic order.  [double_buffers] defaults
+    to [\[false\]]. *)
+
+val to_variant : point -> active_cpes:int -> Sw_swacc.Kernel.variant
+
+val feasible :
+  Sw_arch.Params.t -> Sw_swacc.Kernel.t -> active_cpes:int -> point list -> point list
+(** Points whose chunk fits the SPM. *)
+
+val size : grains:int list -> unrolls:int list -> ?double_buffers:bool list -> unit -> int

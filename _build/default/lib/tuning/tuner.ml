@@ -1,0 +1,90 @@
+type method_ = Static | Empirical
+
+type outcome = {
+  method_ : method_;
+  best : Sw_swacc.Kernel.variant;
+  best_cycles : float;
+  default_cycles : float;
+  speedup : float;
+  tuning_host_s : float;
+  machine_time_us : float;
+  evaluated : int;
+  infeasible : int;
+}
+
+let simulate config programs = (Sw_sim.Engine.run config programs).Sw_sim.Metrics.cycles
+
+let tune ~method_ ?(active_cpes = 64) ?default (config : Sw_sim.Config.t) kernel ~points =
+  let params = config.Sw_sim.Config.params in
+  let t0 = Sys.time () in
+  let machine_time_us = ref 0.0 in
+  let evaluated = ref 0 and infeasible = ref 0 in
+  let assess point =
+    let variant = Space.to_variant point ~active_cpes in
+    match method_ with
+    | Static -> (
+        (* the static tuner only compiles: blocks + static summary *)
+        match Sw_swacc.Lower.summarize params kernel variant with
+        | Error _ ->
+            incr infeasible;
+            None
+        | Ok summary ->
+            incr evaluated;
+            Some (point, (Swpm.Predict.run params summary).Swpm.Predict.t_total))
+    | Empirical -> (
+        (* the empirical tuner compiles the full program and runs it *)
+        match Sw_swacc.Lower.lower params kernel variant with
+        | Error _ ->
+            incr infeasible;
+            None
+        | Ok lowered ->
+            incr evaluated;
+            let cycles = simulate config lowered.Sw_swacc.Lowered.programs in
+            machine_time_us :=
+              !machine_time_us
+              +. Sw_util.Units.cycles_to_us ~freq_hz:params.Sw_arch.Params.freq_hz cycles;
+            Some (point, cycles))
+  in
+  let scored = List.filter_map assess points in
+  let tuning_host_s = Sys.time () -. t0 in
+  match scored with
+  | [] -> invalid_arg "Tuner.tune: no feasible point in the search space"
+  | (p0, s0) :: rest ->
+      let best_point, _ =
+        List.fold_left (fun (bp, bs) (p, s) -> if s < bs then (p, s) else (bp, bs)) (p0, s0) rest
+      in
+      let best_variant = Space.to_variant best_point ~active_cpes in
+      let run_variant variant =
+        let lowered = Sw_swacc.Lower.lower_exn params kernel variant in
+        simulate config lowered.Sw_swacc.Lowered.programs
+      in
+      let best_cycles = run_variant best_variant in
+      let default_variant =
+        match default with
+        | Some v -> v
+        | None -> Space.to_variant { p0 with unroll = 1; double_buffer = false } ~active_cpes
+      in
+      let default_cycles = run_variant default_variant in
+      {
+        method_;
+        best = best_variant;
+        best_cycles;
+        default_cycles;
+        speedup = default_cycles /. best_cycles;
+        tuning_host_s;
+        machine_time_us = !machine_time_us;
+        evaluated = !evaluated;
+        infeasible = !infeasible;
+      }
+
+let quality_loss ~static ~empirical =
+  (static.best_cycles -. empirical.best_cycles) /. empirical.best_cycles
+
+let pp_outcome fmt o =
+  let m = match o.method_ with Static -> "static" | Empirical -> "empirical" in
+  Format.fprintf fmt
+    "@[<v>%s tuner: best grain=%d unroll=%d db=%b@,speedup %.2fx (%.0f -> %.0f cycles)@,host %.3f \
+     s, machine %.0f us, %d evaluated, %d infeasible@]"
+    m o.best.Sw_swacc.Kernel.grain o.best.Sw_swacc.Kernel.unroll o.best.Sw_swacc.Kernel.double_buffer
+    o.speedup o.default_cycles o.best_cycles o.tuning_host_s o.machine_time_us o.evaluated
+    o.infeasible

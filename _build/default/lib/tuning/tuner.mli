@@ -1,0 +1,53 @@
+(** The two auto-tuners of Section V-D.
+
+    Both walk the same search space and differ only in how a code
+    variant is assessed:
+
+    - the {e empirical} (dynamic) tuner compiles (lowers) each variant
+      and runs it — here, on the cycle-level simulator, our stand-in for
+      the machine;
+    - the {e static} tuner compiles each variant and asks the
+      performance model, never executing anything.
+
+    Tuning cost is measured in host seconds ([Sys.time]) and, for the
+    empirical tuner, also in simulated machine time — the quantity that
+    on the real TaihuLight made dynamic tuning take hours. *)
+
+type method_ = Static | Empirical
+
+type outcome = {
+  method_ : method_;
+  best : Sw_swacc.Kernel.variant;
+  best_cycles : float;
+      (** Simulated cycles of the chosen variant (quality measure; for
+          the static tuner this one validation run is {e not} part of
+          the tuning cost). *)
+  default_cycles : float;  (** Simulated cycles of the default variant. *)
+  speedup : float;  (** [default_cycles / best_cycles]. *)
+  tuning_host_s : float;  (** Host CPU seconds spent assessing variants. *)
+  machine_time_us : float;
+      (** Simulated machine microseconds consumed by profiling runs
+          (0 for the static tuner). *)
+  evaluated : int;  (** Variants assessed. *)
+  infeasible : int;  (** Variants rejected at compile time (SPM). *)
+}
+
+val tune :
+  method_:method_ ->
+  ?active_cpes:int ->
+  ?default:Sw_swacc.Kernel.variant ->
+  Sw_sim.Config.t ->
+  Sw_swacc.Kernel.t ->
+  points:Space.point list ->
+  outcome
+(** Search [points] and return the outcome.  [default] defaults to the
+    first feasible point with unroll 1; [active_cpes] to one core
+    group's 64.
+
+    @raise Invalid_argument if no point is feasible. *)
+
+val quality_loss : static:outcome -> empirical:outcome -> float
+(** Relative slowdown of the static tuner's pick vs the empirical one's:
+    [(static.best_cycles - empirical.best_cycles) / empirical.best_cycles]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,34 @@
+type t = { header : string list; mutable rows : string list list (* reversed *) }
+
+let create header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then invalid_arg "Csv.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let add_floats t row = add_row t (List.map (Printf.sprintf "%.6g") row)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  else s
+
+let line row = String.concat "," (List.map escape row)
+
+let to_string t =
+  let rows = List.rev t.rows in
+  String.concat "\n" (line t.header :: List.map line rows) ^ "\n"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))

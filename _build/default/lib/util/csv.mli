@@ -1,0 +1,23 @@
+(** Minimal CSV emission for experiment series (figure data points).
+
+    Values containing commas, quotes or newlines are quoted per RFC 4180
+    so the output loads cleanly into plotting tools. *)
+
+type t
+
+val create : string list -> t
+(** [create header] starts a document with the given column names. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row; arity must match the header. *)
+
+val add_floats : t -> float list -> unit
+(** Convenience: formats every value with ["%.6g"]. *)
+
+val to_string : t -> string
+
+val save : t -> string -> unit
+(** [save t path] writes the document to [path]. *)
+
+val escape : string -> string
+(** Quote a single field if needed (exposed for tests). *)

@@ -1,0 +1,22 @@
+(** Minimal binary min-heap, used as the discrete-event queue of the
+    simulator.  Ties are broken by insertion order so simulations are
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority v] inserts [v] with the given priority. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element (FIFO among equal
+    priorities). *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,64 @@
+let sum a =
+  (* Kahan compensated summation keeps accuracy reports stable even for
+     long benchmark series. *)
+  let total = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    a;
+  !total
+
+let mean a =
+  assert (Array.length a > 0);
+  sum a /. float_of_int (Array.length a)
+
+let geomean a =
+  assert (Array.length a > 0);
+  let logs = Array.map (fun x -> assert (x > 0.0); log x) a in
+  exp (mean logs)
+
+let stddev a =
+  let m = mean a in
+  let sq = Array.map (fun x -> (x -. m) ** 2.0) a in
+  sqrt (mean sq)
+
+let minimum a =
+  assert (Array.length a > 0);
+  Array.fold_left Stdlib.min a.(0) a
+
+let maximum a =
+  assert (Array.length a > 0);
+  Array.fold_left Stdlib.max a.(0) a
+
+let percentile a p =
+  assert (Array.length a > 0 && p >= 0.0 && p <= 100.0);
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median a = percentile a 50.0
+
+let relative_error ~predicted ~actual =
+  assert (actual <> 0.0);
+  Float.abs (predicted -. actual) /. Float.abs actual
+
+let mape pairs =
+  assert (Array.length pairs > 0);
+  let errs = Array.map (fun (p, a) -> relative_error ~predicted:p ~actual:a) pairs in
+  mean errs
+
+let weighted_mean pairs =
+  let wsum = sum (Array.map snd pairs) in
+  assert (wsum > 0.0);
+  sum (Array.map (fun (v, w) -> v *. w) pairs) /. wsum

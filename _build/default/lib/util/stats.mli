@@ -1,0 +1,32 @@
+(** Small statistics helpers used by accuracy reports and benchmarks. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+val median : float array -> float
+(** Median (does not mutate its argument). *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0,100\]], linear interpolation. *)
+
+val relative_error : predicted:float -> actual:float -> float
+(** [|predicted - actual| / actual]. Requires [actual <> 0]. *)
+
+val mape : (float * float) array -> float
+(** Mean absolute percentage error over (predicted, actual) pairs. *)
+
+val sum : float array -> float
+(** Compensated (Kahan) summation. *)
+
+val weighted_mean : (float * float) array -> float
+(** [(value, weight)] pairs; requires positive total weight. *)

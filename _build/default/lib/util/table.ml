@@ -1,0 +1,67 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title cols =
+  { title; headers = List.map fst cols; aligns = List.map snd cols; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cells = t.headers :: List.filter_map (function Cells c -> Some c | Separator -> None) rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let note_row cells =
+    List.iteri (fun i c -> widths.(i) <- Stdlib.max widths.(i) (String.length c)) cells
+  in
+  List.iter note_row all_cells;
+  let buf = Buffer.create 256 in
+  let sep_line () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_row cells =
+    List.iteri
+      (fun i c ->
+        let align = List.nth t.aligns i in
+        Buffer.add_string buf ("| " ^ pad align widths.(i) c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | Some title -> Buffer.add_string buf (title ^ "\n")
+  | None -> ());
+  sep_line ();
+  emit_row t.headers;
+  sep_line ();
+  List.iter (function Cells c -> emit_row c | Separator -> sep_line ()) rows;
+  sep_line ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f ?(dec = 2) x = Printf.sprintf "%.*f" dec x
+
+let cell_pct r = Printf.sprintf "%.1f%%" (r *. 100.0)
+
+let cell_x r = Printf.sprintf "%.2fx" r

@@ -1,0 +1,32 @@
+(** ASCII table rendering for experiment reports.
+
+    Benchmarks print paper-style tables; this module keeps the formatting
+    in one place so every figure/table reproduction looks uniform. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; the row length must match the header. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : t -> string
+(** Render to a string (trailing newline included). *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_f : ?dec:int -> float -> string
+(** Format a float cell with [dec] decimals (default 2). *)
+
+val cell_pct : float -> string
+(** Format a ratio as a percentage with one decimal, e.g. [0.053 -> "5.3%"]. *)
+
+val cell_x : float -> string
+(** Format a speedup factor, e.g. ["2.41x"]. *)

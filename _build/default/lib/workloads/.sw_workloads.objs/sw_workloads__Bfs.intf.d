@@ -1,0 +1,1 @@
+lib/workloads/bfs.mli: Sw_swacc

@@ -1,0 +1,1 @@
+lib/workloads/build_util.ml: Int64 List Stdlib Sw_swacc

@@ -1,0 +1,1 @@
+lib/workloads/build_util.mli: Sw_swacc

@@ -1,0 +1,1 @@
+lib/workloads/cfd.mli: Sw_swacc

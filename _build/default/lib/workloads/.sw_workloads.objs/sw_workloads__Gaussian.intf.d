@@ -1,0 +1,1 @@
+lib/workloads/gaussian.mli: Sw_swacc

@@ -1,0 +1,1 @@
+lib/workloads/hotspot.ml: Body Build_util Kernel Layout Sw_swacc

@@ -1,0 +1,1 @@
+lib/workloads/leukocyte.mli: Sw_swacc

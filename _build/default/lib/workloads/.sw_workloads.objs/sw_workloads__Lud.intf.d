@@ -1,0 +1,1 @@
+lib/workloads/lud.mli: Sw_swacc

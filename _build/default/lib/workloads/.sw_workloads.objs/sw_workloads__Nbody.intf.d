@@ -1,0 +1,1 @@
+lib/workloads/nbody.mli: Sw_swacc

@@ -1,0 +1,1 @@
+lib/workloads/nw.mli: Sw_swacc

@@ -1,0 +1,1 @@
+lib/workloads/pathfinder.ml: Body Build_util Kernel Layout Sw_swacc

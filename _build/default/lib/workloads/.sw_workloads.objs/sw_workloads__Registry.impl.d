@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Backprop Bfs Btree Cfd Gaussian Hotspot Kmeans Knn Lavamd Leukocyte List Lud Nbody Nw Pathfinder Srad Streamcluster Sw_swacc Vadd Wrf_dynamics Wrf_physics

@@ -1,0 +1,1 @@
+lib/workloads/vadd.ml: Body Build_util Kernel Layout Sw_swacc

@@ -1,0 +1,1 @@
+lib/workloads/vadd.mli: Sw_swacc

@@ -1,0 +1,1 @@
+lib/workloads/wrf_dynamics.ml: Body Build_util Kernel Layout List Printf Sw_swacc

@@ -1,0 +1,1 @@
+lib/workloads/wrf_dynamics.mli: Sw_swacc

@@ -1,0 +1,1 @@
+lib/workloads/wrf_physics.ml: Body Build_util Kernel Layout Sw_swacc

@@ -1,0 +1,1 @@
+lib/workloads/wrf_physics.mli: Sw_swacc

@@ -1,0 +1,31 @@
+(* Backpropagation weight adjustment (Rodinia): every input unit updates
+   its row of weights toward the hidden layer. *)
+
+open Sw_swacc
+
+let hidden = 16
+
+let base_units = 65536
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_units in
+  let layout = Layout.create () in
+  let input = Build_util.copy layout ~name:"input" ~bytes_per_elem:4 ~n_elements:n Kernel.In in
+  let weights =
+    Build_util.copy layout ~name:"weights" ~bytes_per_elem:(hidden * 4) ~n_elements:n Kernel.Inout
+  in
+  let delta =
+    Build_util.copy layout ~name:"delta" ~bytes_per_elem:(hidden * 4) ~n_elements:n
+      ~freq:Kernel.Per_chunk Kernel.In
+  in
+  let open Body in
+  let adjust = Fma (Param "eta", Mul (load "delta", load "input"), Mul (Param "momentum", load "weights")) in
+  let body = [ Store ("weights", Add (load "weights", adjust)) ] in
+  Kernel.make ~name:"backprop" ~n_elements:n ~copies:[ input; weights; delta ] ~body
+    ~body_trips_per_element:hidden ()
+
+let variant = { Kernel.grain = 128; unroll = 4; active_cpes = 64; double_buffer = false }
+
+let grains = [ 16; 32; 64; 128; 256 ]
+
+let unrolls = [ 1; 2; 4; 8 ]

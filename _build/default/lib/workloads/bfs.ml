@@ -1,0 +1,47 @@
+(* Breadth-first search (Rodinia): the paper's worst case (9.6% error).
+   Neighbor lookups are data-dependent Gloads into the edge and visited
+   arrays — conventional blocking cannot stage them through the SPM —
+   and per-node degrees vary, so CPEs are imbalanced. *)
+
+open Sw_swacc
+
+let base_nodes = 16384
+
+let min_degree = 1
+
+let degree_spread = 12
+
+let degree_of ~seed node = min_degree + (Build_util.hash2 seed node mod degree_spread)
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_nodes in
+  let layout = Layout.create () in
+  let offsets =
+    Build_util.copy layout ~name:"row_offsets" ~bytes_per_elem:8 ~n_elements:n Kernel.In
+  in
+  let frontier =
+    Build_util.copy layout ~name:"frontier" ~bytes_per_elem:4 ~n_elements:n Kernel.Out
+  in
+  (* edge + visited arrays live in main memory and are only reachable by
+     Gload; allocate a region to draw addresses from *)
+  let edge_region_bytes = n * 8 * 8 in
+  let edge_base = Layout.alloc layout ~bytes:edge_region_bytes in
+  let seed = 0xBF5 in
+  let gloads =
+    {
+      Kernel.g_bytes = 8;
+      count_for = (fun node -> degree_of ~seed node);
+      addr_for =
+        (fun node j -> edge_base + (Build_util.hash2 (seed + 1 + j) node mod (edge_region_bytes / 8) * 8));
+    }
+  in
+  let open Body in
+  (* frontier bookkeeping is fixed-point only: no flops in BFS *)
+  let body = [ Eval (Int_work (6, Const 0.0)) ] in
+  Kernel.make ~name:"bfs" ~n_elements:n ~copies:[ offsets; frontier ] ~body ~gloads ()
+
+let variant = { Kernel.grain = 256; unroll = 1; active_cpes = 64; double_buffer = false }
+
+let grains = [ 64; 128; 256; 512 ]
+
+let unrolls = [ 1; 2 ]

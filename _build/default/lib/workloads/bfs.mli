@@ -1,0 +1,24 @@
+(** Breadth-first search (Rodinia) — Gload-dominated and imbalanced,
+    the paper's worst case. *)
+
+val base_nodes : int
+
+val min_degree : int
+
+val degree_spread : int
+
+val degree_of : seed:int -> int -> int
+(** Deterministic per-node degree (exposed for tests). *)
+
+val kernel : scale:float -> Sw_swacc.Kernel.t
+(** Build the kernel at the given scale (1.0 = the documented
+    evaluation size). *)
+
+val variant : Sw_swacc.Kernel.variant
+(** Hand-tuned default configuration. *)
+
+val grains : int list
+(** Tuning search space: copy granularities. *)
+
+val unrolls : int list
+(** Tuning search space: unroll factors. *)

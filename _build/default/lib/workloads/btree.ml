@@ -1,0 +1,47 @@
+(* B+tree point queries (Rodinia): each query walks the tree from root
+   to leaf — one 32-byte node fetch per level, address depending on the
+   key.  Gload-dominated with per-query compare work. *)
+
+open Sw_swacc
+
+let base_queries = 8192
+
+let levels = 4
+
+let node_bytes = 32
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_queries in
+  let layout = Layout.create () in
+  let queries =
+    Build_util.copy layout ~name:"queries" ~bytes_per_elem:8 ~n_elements:n Kernel.In
+  in
+  let results =
+    Build_util.copy layout ~name:"results" ~bytes_per_elem:8 ~n_elements:n Kernel.Out
+  in
+  let tree_bytes = 1 lsl 22 in
+  let tree_base = Layout.alloc layout ~bytes:tree_bytes in
+  let seed = 0xB7EE in
+  let gloads =
+    {
+      Kernel.g_bytes = node_bytes;
+      count_for = (fun _ -> levels);
+      addr_for =
+        (fun query level ->
+          (* upper levels are shared (few distinct nodes), leaves spread out *)
+          let fanout = 1 lsl (4 * (level + 1)) in
+          let slot = Build_util.hash2 (seed + level) query mod fanout in
+          tree_base + (slot * node_bytes mod tree_bytes));
+    }
+  in
+  let open Body in
+  let body =
+    [ Accum ("found", OMax, Int_work (10, Max (Param "key", Const 0.0))) ]
+  in
+  Kernel.make ~name:"b+tree" ~n_elements:n ~copies:[ queries; results ] ~body ~gloads ()
+
+let variant = { Kernel.grain = 512; unroll = 1; active_cpes = 64; double_buffer = false }
+
+let grains = [ 128; 256; 512; 1024 ]
+
+let unrolls = [ 1; 2 ]

@@ -1,0 +1,40 @@
+(* CFD Euler solver flux computation (Rodinia): per-cell flux from
+   density, momentum and energy.  Regular streaming with a beefy body
+   (divide + square root for the speed of sound). *)
+
+open Sw_swacc
+
+let base_cells = 32768
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_cells in
+  let layout = Layout.create () in
+  let copy name bytes dir = Build_util.copy layout ~name ~bytes_per_elem:bytes ~n_elements:n dir in
+  let density = copy "density" 4 Kernel.In in
+  let momentum = copy "momentum" 12 Kernel.In in
+  let energy = copy "energy" 4 Kernel.In in
+  let fluxes = copy "fluxes" 16 Kernel.Out in
+  let open Body in
+  let rho = load "density" in
+  let mx = load_at "momentum" 0 and my = load_at "momentum" 1 and mz = load_at "momentum" 2 in
+  let e = load "energy" in
+  let inv_rho = Div (Const 1.0, rho) in
+  let ke = Mul (Fma (mx, mx, Fma (my, my, Mul (mz, mz))), Mul (Const 0.5, inv_rho)) in
+  let pressure = Mul (Param "gamma_m1", Sub (e, ke)) in
+  let speed = Sqrt (Mul (Param "gamma", Mul (pressure, inv_rho))) in
+  let body =
+    [
+      Store ("fluxes", Fma (mx, Mul (mx, inv_rho), pressure));
+      Store ("fluxes", Mul (my, Mul (mx, inv_rho)));
+      Store ("fluxes", Mul (mz, Mul (mx, inv_rho)));
+      Store ("fluxes", Mul (Add (e, pressure), Mul (mx, inv_rho)));
+      Accum ("max_speed", OMax, Add (speed, Abs (Mul (mx, inv_rho))));
+    ]
+  in
+  Kernel.make ~name:"cfd" ~n_elements:n ~copies:[ density; momentum; energy; fluxes ] ~body ()
+
+let variant = { Kernel.grain = 32; unroll = 2; active_cpes = 64; double_buffer = false }
+
+let grains = [ 16; 32; 64; 128; 256; 512 ]
+
+let unrolls = [ 1; 2; 4 ]

@@ -1,0 +1,39 @@
+(* Gaussian elimination (Rodinia): row reduction against the pivot row,
+   like LUD but carrying the augmented right-hand side and written with
+   explicit multiplier recomputation per row. *)
+
+open Sw_swacc
+
+let columns = 1024
+
+let row_bytes = columns * 4
+
+let base_rows = 512
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_rows in
+  let layout = Layout.create () in
+  let rows =
+    Build_util.copy layout ~name:"rows" ~bytes_per_elem:row_bytes ~n_elements:n Kernel.Inout
+  in
+  let rhs = Build_util.copy layout ~name:"rhs" ~bytes_per_elem:4 ~n_elements:n Kernel.Inout in
+  let pivot =
+    Build_util.copy layout ~name:"pivot" ~bytes_per_elem:(row_bytes + 4) ~n_elements:n
+      ~freq:Kernel.Per_chunk Kernel.In
+  in
+  let open Body in
+  let multiplier = Div (load_at "rows" (-1), Param "pivot_diag") in
+  let body =
+    [
+      Store ("rows", Sub (load "rows", Mul (multiplier, load "pivot")));
+      Accum ("rhs_acc", OAdd, Mul (multiplier, load_at "pivot" 1));
+    ]
+  in
+  Kernel.make ~name:"gaussian" ~n_elements:n ~copies:[ rows; rhs; pivot ] ~body
+    ~body_trips_per_element:columns ()
+
+let variant = { Kernel.grain = 2; unroll = 2; active_cpes = 64; double_buffer = false }
+
+let grains = [ 1; 2; 4 ]
+
+let unrolls = [ 1; 2; 4 ]

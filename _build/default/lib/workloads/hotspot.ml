@@ -1,0 +1,47 @@
+(* HotSpot thermal simulation (Rodinia): 5-point stencil over the chip
+   temperature grid plus the power density.  One element is one grid
+   row; halo rows ride along per chunk. *)
+
+open Sw_swacc
+
+let columns = 512
+
+let row_bytes = columns * 4
+
+let base_rows = 1024
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_rows in
+  let layout = Layout.create () in
+  let temp =
+    Build_util.copy layout ~name:"temp" ~bytes_per_elem:row_bytes ~n_elements:n Kernel.In
+  in
+  let power =
+    Build_util.copy layout ~name:"power" ~bytes_per_elem:row_bytes ~n_elements:n Kernel.In
+  in
+  let halo =
+    Build_util.copy layout ~name:"halo" ~bytes_per_elem:(2 * row_bytes) ~n_elements:n
+      ~freq:Kernel.Per_chunk Kernel.In
+  in
+  let out =
+    Build_util.copy layout ~name:"temp_out" ~bytes_per_elem:row_bytes ~n_elements:n Kernel.Out
+  in
+  let open Body in
+  let center = load "temp" in
+  let north = load_at "halo" 0 and south = load_at "halo" 1 in
+  let east = load_at "temp" 1 and west = load_at "temp" (-1) in
+  let delta =
+    Fma
+      ( Param "rx",
+        Sub (Add (east, west), Mul (Const 2.0, center)),
+        Fma (Param "ry", Sub (Add (north, south), Mul (Const 2.0, center)), load "power") )
+  in
+  let body = [ Store ("temp_out", Fma (Param "dt", delta, center)) ] in
+  Kernel.make ~name:"hotspot" ~n_elements:n ~copies:[ temp; power; halo; out ] ~body
+    ~body_trips_per_element:columns ()
+
+let variant = { Kernel.grain = 2; unroll = 2; active_cpes = 64; double_buffer = false }
+
+let grains = [ 1; 2; 4; 8 ]
+
+let unrolls = [ 1; 2; 4 ]

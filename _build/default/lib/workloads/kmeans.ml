@@ -1,0 +1,45 @@
+(* K-Means (Rodinia): distance of every point to every cluster centroid.
+   Regular and DMA-friendly: points stream through the SPM while the
+   centroids stay resident per chunk — the paper's "near perfect
+   prediction" case and the subject of the Fig. 7 DMA-granularity
+   study. *)
+
+open Sw_swacc
+
+let features = 32
+
+let clusters = 8
+
+let elem_bytes = features * 4 (* one f32 feature row per point *)
+
+let base_points = 16384
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_points in
+  let layout = Layout.create () in
+  let points =
+    Build_util.copy layout ~name:"points" ~bytes_per_elem:elem_bytes ~n_elements:n Kernel.In
+  in
+  let centroids =
+    Build_util.copy layout ~name:"centroids" ~bytes_per_elem:(clusters * features * 4) ~n_elements:n
+      ~freq:Kernel.Per_chunk Kernel.In
+  in
+  let assign =
+    Build_util.copy layout ~name:"assign" ~bytes_per_elem:4 ~n_elements:n Kernel.Out
+  in
+  (* innermost iteration: one feature of one (point, centroid) pair *)
+  let diff = Body.Sub (Body.load "points", Body.load "centroids") in
+  let body = [ Body.Accum ("dist", Body.OAdd, Body.Mul (diff, diff)) ] in
+  (* below 16 points per copy the native compiler runs out of registers
+     and spills through Gloads (the paper's Fig. 7a discovery) *)
+  let spill_gloads grain = if grain < 16 then grain else 0 in
+  Kernel.make ~name:"kmeans" ~n_elements:n
+    ~copies:[ points; centroids; assign ]
+    ~body ~body_trips_per_element:(clusters * features) ~spill_gloads ()
+
+let variant =
+  { Kernel.grain = 64; unroll = 4; active_cpes = 64; double_buffer = false }
+
+let grains = [ 8; 16; 32; 64; 128; 256 ]
+
+let unrolls = [ 1; 2; 4; 8 ]

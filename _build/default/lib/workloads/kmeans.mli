@@ -1,0 +1,24 @@
+(** K-Means distance kernel (Rodinia) — the Fig. 7 study subject. *)
+
+val features : int
+
+val clusters : int
+
+val elem_bytes : int
+(** Bytes per point (one f32 per feature). *)
+
+val base_points : int
+(** Points at [scale = 1.0]. *)
+
+val kernel : scale:float -> Sw_swacc.Kernel.t
+(** Build the kernel at the given scale (1.0 = the documented
+    evaluation size). *)
+
+val variant : Sw_swacc.Kernel.variant
+(** Hand-tuned default configuration. *)
+
+val grains : int list
+(** Tuning search space: copy granularities. *)
+
+val unrolls : int list
+(** Tuning search space: unroll factors. *)

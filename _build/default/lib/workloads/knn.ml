@@ -1,0 +1,32 @@
+(* k-Nearest-Neighbors (Rodinia nn): distance from every record to the
+   query point, followed by a running-minimum selection.  A thin body
+   over a wide record stream — bandwidth-bound with compare-heavy
+   arithmetic. *)
+
+open Sw_swacc
+
+let record_bytes = 8 (* latitude, longitude as f32 *)
+
+let base_records = 262144
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_records in
+  let layout = Layout.create () in
+  let records =
+    Build_util.copy layout ~name:"records" ~bytes_per_elem:record_bytes ~n_elements:n Kernel.In
+  in
+  let distances =
+    Build_util.copy layout ~name:"distances" ~bytes_per_elem:4 ~n_elements:n Kernel.Out
+  in
+  let open Body in
+  let dlat = Sub (load_at "records" 0, Param "qlat") in
+  let dlon = Sub (load_at "records" 1, Param "qlon") in
+  let d2 = Fma (dlat, dlat, Mul (dlon, dlon)) in
+  let body = [ Store ("distances", d2); Accum ("best", OMin, d2) ] in
+  Kernel.make ~name:"knn" ~n_elements:n ~copies:[ records; distances ] ~body ()
+
+let variant = { Kernel.grain = 512; unroll = 4; active_cpes = 64; double_buffer = false }
+
+let grains = [ 64; 128; 256; 512; 1024 ]
+
+let unrolls = [ 1; 2; 4; 8 ]

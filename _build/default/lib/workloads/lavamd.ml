@@ -1,0 +1,55 @@
+(* LavaMD (Rodinia): particle interactions within a 3D box and its
+   neighbor boxes.  Each element is one particle; the home box's
+   neighborhood (27 boxes of particles) stays SPM-resident per chunk,
+   which makes the kernel FMA-dense like N-body but with a larger
+   resident set. *)
+
+open Sw_swacc
+
+let particles_per_box = 64
+
+let neighbor_particles = 27 * particles_per_box
+
+let particle_bytes = 16 (* x, y, z, charge as f32 *)
+
+let base_particles = 8192
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_particles in
+  let layout = Layout.create () in
+  let particles =
+    Build_util.copy layout ~name:"particles" ~bytes_per_elem:particle_bytes ~n_elements:n
+      Kernel.In
+  in
+  let neighborhood =
+    Build_util.copy layout ~name:"neighborhood"
+      ~bytes_per_elem:(neighbor_particles * particle_bytes) ~n_elements:n ~freq:Kernel.Per_chunk
+      Kernel.In
+  in
+  let forces =
+    Build_util.copy layout ~name:"forces" ~bytes_per_elem:16 ~n_elements:n Kernel.Out
+  in
+  let open Body in
+  let dx = Sub (load_at "neighborhood" 0, load_at "particles" 0) in
+  let dy = Sub (load_at "neighborhood" 1, load_at "particles" 1) in
+  let dz = Sub (load_at "neighborhood" 2, load_at "particles" 2) in
+  let r2 = Fma (dx, dx, Fma (dy, dy, Fma (dz, dz, Param "a2"))) in
+  (* exp(-r2) via a pipelined polynomial approximation *)
+  let u = Fma (r2, Param "e1", Param "e0") in
+  let s = Mul (load_at "neighborhood" 3, Mul (u, u)) in
+  let body =
+    [
+      Accum ("fx", OAdd, Mul (dx, s));
+      Accum ("fy", OAdd, Mul (dy, s));
+      Accum ("fz", OAdd, Mul (dz, s));
+      Accum ("fe", OAdd, Mul (r2, s));
+    ]
+  in
+  Kernel.make ~name:"lavamd" ~n_elements:n ~copies:[ particles; neighborhood; forces ] ~body
+    ~body_trips_per_element:neighbor_particles ()
+
+let variant = { Kernel.grain = 4; unroll = 2; active_cpes = 64; double_buffer = false }
+
+let grains = [ 1; 2; 4; 8 ]
+
+let unrolls = [ 1; 2; 4 ]

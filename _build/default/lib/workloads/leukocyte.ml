@@ -1,0 +1,47 @@
+(* Leukocyte tracking (Rodinia): GICOV stencil sampled along ellipse
+   contours — sample coordinates are data-dependent, so the image is
+   fetched with Gloads rather than staged through the SPM. *)
+
+open Sw_swacc
+
+let samples = 12
+
+let base_cells = 4096
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_cells in
+  let layout = Layout.create () in
+  let coords =
+    Build_util.copy layout ~name:"coords" ~bytes_per_elem:8 ~n_elements:n Kernel.In
+  in
+  let gicov =
+    Build_util.copy layout ~name:"gicov" ~bytes_per_elem:4 ~n_elements:n Kernel.Out
+  in
+  let image_bytes = 1 lsl 21 in
+  let image_base = Layout.alloc layout ~bytes:image_bytes in
+  let seed = 0x1E0 in
+  let gloads =
+    {
+      Kernel.g_bytes = 16;
+      count_for = (fun _ -> samples);
+      addr_for =
+        (fun cell j -> image_base + (Build_util.hash2 (seed + j) cell mod (image_bytes / 16) * 16));
+    }
+  in
+  let open Body in
+  let grad = Fma (Param "sin_t", load_at "coords" 0, Mul (Param "cos_t", load_at "coords" 1)) in
+  let body =
+    [
+      Accum ("sum", OAdd, grad);
+      Accum ("sum_sq", OAdd, Mul (grad, grad));
+      Store ("gicov", Div (Mul (Acc "sum", Acc "sum"), Max (Sqrt (Acc "sum_sq"), Param "eps")));
+    ]
+  in
+  Kernel.make ~name:"leukocyte" ~n_elements:n ~copies:[ coords; gicov ] ~body
+    ~body_trips_per_element:samples ~gloads ()
+
+let variant = { Kernel.grain = 256; unroll = 1; active_cpes = 64; double_buffer = false }
+
+let grains = [ 64; 128; 256; 512 ]
+
+let unrolls = [ 1; 2 ]

@@ -1,0 +1,32 @@
+(* LU decomposition row elimination (Rodinia): every row is updated
+   against a pivot row held in the SPM.  Rows stream in and out
+   (Inout), so copy-out traffic equals copy-in traffic. *)
+
+open Sw_swacc
+
+let columns = 512
+
+let row_bytes = columns * 4
+
+let base_rows = 512
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_rows in
+  let layout = Layout.create () in
+  let rows =
+    Build_util.copy layout ~name:"rows" ~bytes_per_elem:row_bytes ~n_elements:n Kernel.Inout
+  in
+  let pivot =
+    Build_util.copy layout ~name:"pivot" ~bytes_per_elem:row_bytes ~n_elements:n
+      ~freq:Kernel.Per_chunk Kernel.In
+  in
+  let open Body in
+  let body = [ Store ("rows", Sub (load "rows", Mul (Param "factor", load "pivot"))) ] in
+  Kernel.make ~name:"lud" ~n_elements:n ~copies:[ rows; pivot ] ~body
+    ~body_trips_per_element:columns ()
+
+let variant = { Kernel.grain = 8; unroll = 4; active_cpes = 64; double_buffer = false }
+
+let grains = [ 1; 2; 4; 8 ]
+
+let unrolls = [ 1; 2; 4; 8 ]

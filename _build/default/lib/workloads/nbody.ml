@@ -1,0 +1,52 @@
+(* N-body gravitational interaction (the paper's double-buffer case
+   study, Fig. 8): each body accumulates acceleration against a tile of
+   bodies resident in the SPM.  The interaction loop dominates, so the
+   double-buffer benefit is bounded by one virtual group's copy-in time
+   (Eq. 14) — a few percent, exactly what the paper measures. *)
+
+open Sw_swacc
+
+let tile = 512
+
+let body_bytes = 16 (* x, y, z, mass as f32 *)
+
+let base_bodies = 4096
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_bodies in
+  let layout = Layout.create () in
+  let bodies =
+    Build_util.copy layout ~name:"bodies" ~bytes_per_elem:body_bytes ~n_elements:n Kernel.In
+  in
+  let others =
+    Build_util.copy layout ~name:"tile" ~bytes_per_elem:(tile * body_bytes) ~n_elements:n
+      ~freq:Kernel.Per_chunk Kernel.In
+  in
+  let accel =
+    Build_util.copy layout ~name:"accel" ~bytes_per_elem:12 ~n_elements:n Kernel.Out
+  in
+  let open Body in
+  let dx = Sub (load_at "tile" 0, load_at "bodies" 0) in
+  let dy = Sub (load_at "tile" 1, load_at "bodies" 1) in
+  let dz = Sub (load_at "tile" 2, load_at "bodies" 2) in
+  let r2 = Fma (dx, dx, Fma (dy, dy, Fma (dz, dz, Param "softening"))) in
+  (* hand-optimized N-body replaces div+sqrt with a pipelined Newton
+     reciprocal-sqrt approximation, keeping the interaction loop on the
+     fully pipelined float unit *)
+  let u = Fma (r2, Param "nr_a", Param "nr_b") in
+  let inv_r3 = Mul (load_at "tile" 3 (* mass *), Mul (u, Mul (u, u))) in
+  let body =
+    [
+      Accum ("ax", OAdd, Mul (dx, inv_r3));
+      Accum ("ay", OAdd, Mul (dy, inv_r3));
+      Accum ("az", OAdd, Mul (dz, inv_r3));
+    ]
+  in
+  Kernel.make ~name:"nbody" ~n_elements:n ~copies:[ bodies; others; accel ] ~body
+    ~body_trips_per_element:tile ()
+
+let variant = { Kernel.grain = 1; unroll = 2; active_cpes = 64; double_buffer = false }
+
+let grains = [ 1; 2; 4; 8; 16 ]
+
+let unrolls = [ 1; 2; 4 ]

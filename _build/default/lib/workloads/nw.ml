@@ -1,0 +1,34 @@
+(* Needleman-Wunsch sequence alignment (Rodinia): dynamic-programming
+   score rows against a reference row kept in the SPM. *)
+
+open Sw_swacc
+
+let columns = 2048
+
+let row_bytes = columns * 4
+
+let base_rows = 512
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_rows in
+  let layout = Layout.create () in
+  let score =
+    Build_util.copy layout ~name:"score" ~bytes_per_elem:row_bytes ~n_elements:n Kernel.Inout
+  in
+  let reference =
+    Build_util.copy layout ~name:"reference" ~bytes_per_elem:row_bytes ~n_elements:n
+      ~freq:Kernel.Per_chunk Kernel.In
+  in
+  let open Body in
+  let diag = Fma (load "reference", Const 1.0, load_at "score" (-1)) in
+  let up = Add (load "score", Param "gap") in
+  let best = Max (diag, Max (up, Int_work (1, Add (Acc "left", Param "gap")))) in
+  let body = [ Accum ("left", OMax, best); Store ("score", Acc "left") ] in
+  Kernel.make ~name:"nw" ~n_elements:n ~copies:[ score; reference ] ~body
+    ~body_trips_per_element:columns ()
+
+let variant = { Kernel.grain = 2; unroll = 1; active_cpes = 64; double_buffer = false }
+
+let grains = [ 1; 2 ]
+
+let unrolls = [ 1; 2 ]

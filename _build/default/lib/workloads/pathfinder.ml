@@ -1,0 +1,23 @@
+(* PathFinder (Rodinia): grid dynamic programming — each column of the
+   next row takes the cheapest of three predecessors. *)
+
+open Sw_swacc
+
+let base_cols = 131072
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_cols in
+  let layout = Layout.create () in
+  let wall = Build_util.copy layout ~name:"wall" ~bytes_per_elem:4 ~n_elements:n Kernel.In in
+  let prev = Build_util.copy layout ~name:"prev" ~bytes_per_elem:4 ~n_elements:n Kernel.In in
+  let next = Build_util.copy layout ~name:"next" ~bytes_per_elem:4 ~n_elements:n Kernel.Out in
+  let open Body in
+  let best = Min (load_at "prev" (-1), Min (load "prev", Int_work (1, load_at "prev" 1))) in
+  let body = [ Store ("next", Add (load "wall", best)) ] in
+  Kernel.make ~name:"pathfinder" ~n_elements:n ~copies:[ wall; prev; next ] ~body ()
+
+let variant = { Kernel.grain = 256; unroll = 4; active_cpes = 64; double_buffer = false }
+
+let grains = [ 128; 256; 512; 1024; 2048 ]
+
+let unrolls = [ 1; 2; 4; 8 ]

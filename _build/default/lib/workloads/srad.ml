@@ -1,0 +1,42 @@
+(* SRAD speckle-reducing anisotropic diffusion (Rodinia): per-pixel
+   diffusion coefficient with divides and a square root. *)
+
+open Sw_swacc
+
+let columns = 512
+
+let row_bytes = columns * 4
+
+let base_rows = 512
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_rows in
+  let layout = Layout.create () in
+  let image =
+    Build_util.copy layout ~name:"image" ~bytes_per_elem:row_bytes ~n_elements:n Kernel.In
+  in
+  let halo =
+    Build_util.copy layout ~name:"halo" ~bytes_per_elem:(2 * row_bytes) ~n_elements:n
+      ~freq:Kernel.Per_chunk Kernel.In
+  in
+  let coeff =
+    Build_util.copy layout ~name:"coeff" ~bytes_per_elem:row_bytes ~n_elements:n Kernel.Out
+  in
+  let open Body in
+  let center = load "image" in
+  let grad =
+    Add (Sub (load_at "halo" 0, center), Add (Sub (load_at "halo" 1, center), Sub (load_at "image" 1, center)))
+  in
+  let l = Div (grad, Max (center, Param "eps")) in
+  let num = Fma (Const 0.5, Mul (l, l), Neg (Mul (Const 0.0625, Mul (grad, grad)))) in
+  let den = Fma (Const 0.25, grad, Const 1.0) in
+  let q = Div (num, Mul (den, den)) in
+  let body = [ Store ("coeff", Div (Const 1.0, Fma (q, Param "inv_q0", Sqrt (Abs q)))) ] in
+  Kernel.make ~name:"srad" ~n_elements:n ~copies:[ image; halo; coeff ] ~body
+    ~body_trips_per_element:columns ()
+
+let variant = { Kernel.grain = 4; unroll = 2; active_cpes = 64; double_buffer = false }
+
+let grains = [ 1; 2; 4; 8; 16 ]
+
+let unrolls = [ 1; 2; 4 ]

@@ -1,0 +1,47 @@
+(* Streamcluster (Rodinia): online clustering — points stream through
+   the SPM and compute distances to resident medians, but membership and
+   weight lookups chase pointers in main memory (Gloads). *)
+
+open Sw_swacc
+
+let dims = 16
+
+let medians = 16
+
+let base_points = 8192
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_points in
+  let layout = Layout.create () in
+  let points =
+    Build_util.copy layout ~name:"points" ~bytes_per_elem:(dims * 4) ~n_elements:n Kernel.In
+  in
+  let centers =
+    Build_util.copy layout ~name:"medians" ~bytes_per_elem:(medians * dims * 4) ~n_elements:n
+      ~freq:Kernel.Per_chunk Kernel.In
+  in
+  let assign =
+    Build_util.copy layout ~name:"assign" ~bytes_per_elem:4 ~n_elements:n Kernel.Out
+  in
+  let table_bytes = 1 lsl 20 in
+  let table_base = Layout.alloc layout ~bytes:table_bytes in
+  let seed = 0x5C1 in
+  let gloads =
+    {
+      Kernel.g_bytes = 8;
+      count_for = (fun _ -> 2);
+      addr_for =
+        (fun point j -> table_base + (Build_util.hash2 (seed + j) point mod (table_bytes / 8) * 8));
+    }
+  in
+  let open Body in
+  let diff = Sub (load "points", load "medians") in
+  let body = [ Accum ("dist", OAdd, Mul (diff, diff)) ] in
+  Kernel.make ~name:"streamcluster" ~n_elements:n ~copies:[ points; centers; assign ] ~body
+    ~body_trips_per_element:(medians * dims) ~gloads ()
+
+let variant = { Kernel.grain = 64; unroll = 2; active_cpes = 64; double_buffer = false }
+
+let grains = [ 16; 32; 64; 128; 256 ]
+
+let unrolls = [ 1; 2; 4 ]

@@ -1,0 +1,20 @@
+(* Vector-Add: the paper's running example (Figure 3). *)
+
+open Sw_swacc
+
+let base_n = 1 lsl 20
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_n in
+  let layout = Layout.create () in
+  let arr name dir = Build_util.copy layout ~name ~bytes_per_elem:8 ~n_elements:n dir in
+  let body = [ Body.Store ("c", Body.Add (Body.load "a", Body.load "b")) ] in
+  Kernel.make ~name:"vector-add" ~n_elements:n
+    ~copies:[ arr "a" Kernel.In; arr "b" Kernel.In; arr "c" Kernel.Out ]
+    ~body ()
+
+let variant = { Kernel.grain = 256; unroll = 4; active_cpes = 64; double_buffer = false }
+
+let grains = [ 32; 64; 128; 256; 512; 1024 ]
+
+let unrolls = [ 1; 2; 4; 8 ]

@@ -1,0 +1,55 @@
+(* WRF dynamics surrogate (Fig. 9/10, memory-intensive case).
+
+   The dynamics kernels sweep 3D fields with little arithmetic per
+   point.  The horizontal dimension is sliced across CPEs, so each
+   CPE's DMA request covers X_bytes / active_cpes of a row: past ~64
+   CPEs the slice drops below the 256-byte DRAM transaction and
+   bandwidth is wasted on padding — which is why fewer active CPEs win
+   (Section IV-3).
+
+   The kernel therefore depends on the active-CPE count: build it with
+   [kernel ~active ~scale].  Elements are (row, slice) pairs laid out so
+   that element [r * active + s] starts at byte [(r * active + s) *
+   slice_bytes] — consecutive slices of one row stay contiguous. *)
+
+open Sw_swacc
+
+let row_bytes = 24576 (* 6144 f32 points per row *)
+
+let base_rows = 48
+
+let fields_in = 3
+
+let fields_out = 2
+
+let slice_bytes ~active =
+  if row_bytes mod active <> 0 then
+    invalid_arg
+      (Printf.sprintf "wrf_dynamics: %d CPEs does not divide the %d-byte row" active row_bytes);
+  row_bytes / active
+
+let supported_active = [ 8; 16; 32; 48; 64; 96; 128; 192; 256 ]
+
+let kernel ?(active = 64) ~scale () =
+  let rows = Build_util.scaled scale base_rows in
+  let sl = slice_bytes ~active in
+  let n = rows * active in
+  let layout = Layout.create () in
+  let field name dir = Build_util.copy layout ~name ~bytes_per_elem:sl ~n_elements:n dir in
+  let copies =
+    List.init fields_in (fun i -> field (Printf.sprintf "in%d" i) Kernel.In)
+    @ List.init fields_out (fun i -> field (Printf.sprintf "out%d" i) Kernel.Out)
+  in
+  let open Body in
+  (* light arithmetic: advection update per point *)
+  let body =
+    [ Store ("out0", Fma (Param "dtx", Sub (load "in1", load "in0"), load "in2")) ]
+  in
+  Kernel.make ~name:"wrf-dynamics" ~n_elements:n ~copies ~body
+    ~body_trips_per_element:(sl / 4) ()
+
+let variant = { Kernel.grain = 1; unroll = 2; active_cpes = 64; double_buffer = false }
+
+let grains = [ 1; 2; 4 ]
+
+let unrolls = [ 1; 2; 4 ]

@@ -1,0 +1,35 @@
+(* WRF physics surrogate (Fig. 9/10, computation-intensive case).
+
+   Column physics: each atmospheric column runs a deep per-level
+   parameterization with divides and square roots, against moderate DMA
+   traffic.  More active CPEs keep paying off because computation, not
+   bandwidth, is the bottleneck. *)
+
+open Sw_swacc
+
+let levels = 64
+
+let column_bytes = levels * 4
+
+let base_columns = 4096
+
+let kernel ~scale =
+  let n = Build_util.scaled scale base_columns in
+  let layout = Layout.create () in
+  let field name dir =
+    Build_util.copy layout ~name ~bytes_per_elem:column_bytes ~n_elements:n dir
+  in
+  let copies = [ field "t" Kernel.In; field "qv" Kernel.In; field "p" Kernel.In; field "tend" Kernel.Out ] in
+  let open Body in
+  let es = Mul (Param "svp1", Sqrt (Abs (Sub (load "t", Param "svpt0")))) in
+  let qs = Div (Mul (Param "ep2", es), Max (Sub (load "p", es), Param "eps")) in
+  let cond = Max (Const 0.0, Sub (load "qv", qs)) in
+  let gamma = Div (Param "xlv", Fma (Param "cp", load "t", Param "eps")) in
+  let body = [ Store ("tend", Div (Mul (cond, gamma), Fma (gamma, qs, Const 1.0))) ] in
+  Kernel.make ~name:"wrf-physics" ~n_elements:n ~copies ~body ~body_trips_per_element:levels ()
+
+let variant = { Kernel.grain = 16; unroll = 2; active_cpes = 64; double_buffer = false }
+
+let grains = [ 4; 8; 16; 32 ]
+
+let unrolls = [ 1; 2; 4 ]

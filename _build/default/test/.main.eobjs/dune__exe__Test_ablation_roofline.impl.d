@@ -1,0 +1,1 @@
+test/test_ablation_roofline.ml: Ablation Alcotest Array Float List Predict Roofline Stdlib Sw_arch Sw_experiments Sw_swacc Sw_util Sw_workloads Swpm

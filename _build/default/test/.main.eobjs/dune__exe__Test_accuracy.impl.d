@@ -1,0 +1,1 @@
+test/test_accuracy.ml: Accuracy Alcotest Format List Printf String Sw_arch Sw_experiments Sw_sim Sw_swacc Sw_workloads Swpm

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Body Codegen Equations Float Kernel Layout Lower Lowered Predict Printf Sw_arch Sw_sim Sw_swacc Swpm

@@ -1,0 +1,1 @@
+test/test_app.ml: Alcotest App Format List Printf String Sw_arch Sw_sim Sw_swacc Sw_workloads Swpm

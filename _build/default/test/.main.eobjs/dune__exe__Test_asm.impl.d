@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Array Asm Instr Mem_req Params Printf Program QCheck QCheck_alcotest String Sw_arch Sw_isa Sw_swacc Sw_workloads

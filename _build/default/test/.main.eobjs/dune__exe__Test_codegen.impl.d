@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Body Codegen List Printf QCheck QCheck_alcotest Sw_arch Sw_isa Sw_swacc

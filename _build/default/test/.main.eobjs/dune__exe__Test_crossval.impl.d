@@ -1,0 +1,1 @@
+test/test_crossval.ml: Body Kernel Loopnest Lower Lowered Printf QCheck QCheck_alcotest Sw_arch Sw_sim Sw_swacc Sw_util Swpm

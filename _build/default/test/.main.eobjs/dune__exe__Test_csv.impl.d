@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Buffer Csv Filename Fun QCheck QCheck_alcotest String Sw_util Sys

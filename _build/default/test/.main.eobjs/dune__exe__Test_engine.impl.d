@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Config Engine Instr Mem_req Metrics Params Program QCheck QCheck_alcotest Schedule Sw_arch Sw_isa Sw_sim

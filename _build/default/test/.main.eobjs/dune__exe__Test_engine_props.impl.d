@@ -1,0 +1,1 @@
+test/test_engine_props.ml: Alcotest Array Config Engine Float List Mem_req Metrics Params Printf Program QCheck QCheck_alcotest Sw_arch Sw_isa Sw_sim

@@ -1,0 +1,1 @@
+test/test_equations.ml: Alcotest Equations Float Printf QCheck QCheck_alcotest Sw_arch Sw_isa Sw_swacc Swpm

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Printf String Sw_experiments Sw_sim Sw_tuning Sw_util Swpm

@@ -1,0 +1,1 @@
+test/test_experiments_ext.ml: Alcotest Array List String Sw_experiments Sw_sim Sw_util Swpm

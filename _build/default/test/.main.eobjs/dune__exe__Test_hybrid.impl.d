@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Hybrid Predict Printf Sw_arch Sw_experiments Sw_sim Sw_swacc Sw_workloads Swpm

@@ -1,0 +1,1 @@
+test/test_instr.ml: Alcotest Format Instr Sw_arch Sw_isa

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Body Fun Kernel List QCheck QCheck_alcotest Sw_swacc

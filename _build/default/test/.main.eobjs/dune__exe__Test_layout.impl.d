@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Layout List QCheck QCheck_alcotest Sw_swacc

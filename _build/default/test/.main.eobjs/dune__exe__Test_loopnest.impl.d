@@ -1,0 +1,1 @@
+test/test_loopnest.ml: Alcotest Body Kernel List Loopnest Lower Lowered Printf Sw_arch Sw_sim Sw_swacc Sw_workloads Swpm

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest Array Body Float Fun Kernel Layout List Lower Lowered Printf Stdlib String Sw_arch Sw_isa Sw_swacc

@@ -1,0 +1,1 @@
+test/test_mem_req.ml: Alcotest List Mem_req QCheck QCheck_alcotest Sw_arch

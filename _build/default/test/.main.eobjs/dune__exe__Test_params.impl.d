@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Float Format List Params String Sw_arch

@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest Body Codegen Equations Format Lowered Predict QCheck QCheck_alcotest Stdlib String Sw_arch Sw_swacc Swpm

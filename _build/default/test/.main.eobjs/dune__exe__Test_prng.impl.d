@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Fun Prng QCheck QCheck_alcotest Stats Sw_util

@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Format Instr Mem_req Params Program Schedule String Sw_arch Sw_isa

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Instr QCheck QCheck_alcotest Schedule Sw_arch Sw_isa

@@ -1,0 +1,1 @@
+test/test_spm_alloc.ml: Alcotest Format Kernel List Option QCheck QCheck_alcotest Spm_alloc String Sw_arch Sw_swacc Sw_workloads

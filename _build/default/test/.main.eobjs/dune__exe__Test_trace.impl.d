@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Config Engine Instr List Mem_req Metrics Params Program String Sw_arch Sw_isa Sw_sim Trace

@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Float Kernel List Lower Lowered Printf Sw_arch Sw_sim Sw_swacc Sw_workloads Swpm

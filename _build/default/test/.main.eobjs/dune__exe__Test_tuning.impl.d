@@ -1,0 +1,1 @@
+test/test_tuning.ml: Alcotest Format List Space String Sw_arch Sw_sim Sw_swacc Sw_tuning Sw_workloads Tuner

@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Float Format Sw_util Units

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bfs Hashtbl Kmeans List Registry Sw_arch Sw_isa Sw_sim Sw_swacc Sw_workloads Wrf_dynamics

@@ -1,0 +1,147 @@
+open Swpm
+
+let p = Sw_arch.Params.default
+
+let lowered name =
+  let e = Sw_workloads.Registry.find_exn name in
+  Sw_swacc.Lower.lower_exn p (e.Sw_workloads.Registry.build ~scale:0.5) e.Sw_workloads.Registry.variant
+
+let test_full_equals_predict () =
+  let s = (lowered "kmeans").Sw_swacc.Lowered.summary in
+  Alcotest.(check (float 1e-9)) "Full = Predict.run"
+    (Predict.run p s).Predict.t_total
+    (Ablation.predict Ablation.Full p s).Predict.t_total
+
+let test_no_overlap_is_additive () =
+  let s = (lowered "kmeans").Sw_swacc.Lowered.summary in
+  let a = Ablation.predict Ablation.No_overlap p s in
+  Alcotest.(check (float 1e-6)) "additive" (a.Predict.t_mem +. a.Predict.t_comp) a.Predict.t_total;
+  Alcotest.(check (float 1e-6)) "no overlap" 0.0 a.Predict.t_overlap
+
+let test_full_overlap_is_max () =
+  let s = (lowered "kmeans").Sw_swacc.Lowered.summary in
+  let a = Ablation.predict Ablation.Full_overlap p s in
+  Alcotest.(check (float 1e-6)) "max" (Stdlib.max a.Predict.t_mem a.Predict.t_comp) a.Predict.t_total
+
+let test_ordering () =
+  (* full-overlap <= full <= no-overlap, always *)
+  List.iter
+    (fun name ->
+      let s = (lowered name).Sw_swacc.Lowered.summary in
+      let t v = (Ablation.predict v p s).Predict.t_total in
+      Alcotest.(check bool) (name ^ ": lower bound") true
+        (t Ablation.Full_overlap <= t Ablation.Full +. 1e-6);
+      Alcotest.(check bool) (name ^ ": upper bound") true
+        (t Ablation.Full <= t Ablation.No_overlap +. 1e-6))
+    [ "kmeans"; "bfs"; "hotspot"; "nbody" ]
+
+let test_bytes_model_cheats_on_gloads () =
+  (* without transaction accounting, Gload-dominated kernels look far
+     cheaper: that is exactly the waste the paper models (full scale so
+     all 64 CPEs contend) *)
+  let e = Sw_workloads.Registry.find_exn "bfs" in
+  let l = Sw_swacc.Lower.lower_exn p (e.Sw_workloads.Registry.build ~scale:1.0) e.Sw_workloads.Registry.variant in
+  let s = l.Sw_swacc.Lowered.summary in
+  let full = (Ablation.predict Ablation.Full p s).Predict.t_total in
+  let bytes = (Ablation.predict Ablation.Bytes_not_transactions p s).Predict.t_total in
+  Alcotest.(check bool) "bytes model at least 3x optimistic on BFS" true (bytes *. 3.0 < full)
+
+let test_ungrouped_splits_requests () =
+  let s = (lowered "vector-add").Sw_swacc.Lowered.summary in
+  let a = Ablation.predict Ablation.Ungrouped_requests p s in
+  let full = Ablation.predict Ablation.Full p s in
+  Alcotest.(check bool) "more, smaller requests" true
+    (a.Predict.n_dma_reqs > full.Predict.n_dma_reqs)
+
+let test_names_distinct () =
+  let names = List.map Ablation.name Ablation.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+(* Roofline *)
+
+let test_roofline_bounds_measured () =
+  (* Roofline is an optimistic bound: its time never exceeds what the
+     paper's model (validated against the simulator) predicts *)
+  List.iter
+    (fun name ->
+      let l = lowered name in
+      let s = l.Sw_swacc.Lowered.summary in
+      let roof = Roofline.analyze p s in
+      let full = Predict.run p s in
+      Alcotest.(check bool) (name ^ ": roofline is a lower bound") true
+        (roof.Roofline.predicted_cycles <= full.Predict.t_total +. 1e-6))
+    [ "kmeans"; "cfd"; "nbody"; "bfs" ]
+
+let test_roofline_classification () =
+  (* nbody at a coarser tile amortizes the shared-tile recopies: high AI *)
+  let e = Sw_workloads.Registry.find_exn "nbody" in
+  let kernel = e.Sw_workloads.Registry.build ~scale:0.5 in
+  let coarse = { Sw_swacc.Kernel.grain = 16; unroll = 1; active_cpes = 64; double_buffer = false } in
+  let compute_bound = (Sw_swacc.Lower.lower_exn p kernel coarse).Sw_swacc.Lowered.summary in
+  let memory_bound = (lowered "pathfinder").Sw_swacc.Lowered.summary in
+  Alcotest.(check bool) "coarse-tile nbody compute-bound" false
+    (Roofline.analyze p compute_bound).Roofline.memory_bound;
+  Alcotest.(check bool) "pathfinder memory-bound" true
+    (Roofline.analyze p memory_bound).Roofline.memory_bound
+
+let test_roofline_ridge () =
+  let ridge = Roofline.ridge_intensity p ~active_cpes:64 in
+  (* 128 flops/cycle over ~22 B/cycle *)
+  Alcotest.(check bool) "ridge ~5.8" true (Float.abs (ridge -. 5.8) < 0.05)
+
+let test_roofline_attainable () =
+  let s = (lowered "kmeans").Sw_swacc.Lowered.summary in
+  let r = Roofline.analyze p s in
+  Alcotest.(check bool) "attainable below peak" true
+    (r.Roofline.attainable_flops_per_cycle <= r.Roofline.peak_flops_per_cycle);
+  Alcotest.(check bool) "positive intensity" true (r.Roofline.arithmetic_intensity > 0.0)
+
+let test_roofline_flat_across_granularity () =
+  (* the Section VI argument: granularity changes leave AI unchanged *)
+  let rows = Sw_experiments.Model_comparison.run_fig7_sweep () in
+  match rows with
+  | first :: rest ->
+      List.iter
+        (fun (r : Sw_experiments.Model_comparison.sweep_row) ->
+          (* within a factor: only the spill gloads move it *)
+          Alcotest.(check bool) "roofline nearly flat" true
+            (r.Sw_experiments.Model_comparison.sweep_roofline
+            < first.Sw_experiments.Model_comparison.sweep_roofline *. 2.5))
+        rest;
+      let swpm_spread =
+        let ts = List.map (fun r -> r.Sw_experiments.Model_comparison.sweep_measured) rows in
+        Sw_util.Stats.maximum (Array.of_list ts) /. Sw_util.Stats.minimum (Array.of_list ts)
+      in
+      Alcotest.(check bool) "measured actually moves" true (swpm_spread > 1.2)
+  | [] -> Alcotest.fail "no rows"
+
+let test_ablation_study_runs () =
+  let rows = Sw_experiments.Ablation_study.run ~scale:0.25 () in
+  Alcotest.(check int) "one row per variant" (List.length Ablation.all) (List.length rows);
+  let err v =
+    (List.find (fun (r : Sw_experiments.Ablation_study.row) -> r.Sw_experiments.Ablation_study.variant = v) rows)
+      .Sw_experiments.Ablation_study.mape
+  in
+  Alcotest.(check bool) "full model beats no-overlap" true
+    (err Ablation.Full < err Ablation.No_overlap);
+  Alcotest.(check bool) "full model beats bytes-only" true
+    (err Ablation.Full < err Ablation.Bytes_not_transactions)
+
+let tests =
+  ( "ablation+roofline",
+    [
+      Alcotest.test_case "Full = Predict.run" `Quick test_full_equals_predict;
+      Alcotest.test_case "no-overlap is additive" `Quick test_no_overlap_is_additive;
+      Alcotest.test_case "full-overlap is max" `Quick test_full_overlap_is_max;
+      Alcotest.test_case "ablation ordering" `Quick test_ordering;
+      Alcotest.test_case "bytes model cheats on gloads" `Quick test_bytes_model_cheats_on_gloads;
+      Alcotest.test_case "ungrouped splits requests" `Quick test_ungrouped_splits_requests;
+      Alcotest.test_case "variant names distinct" `Quick test_names_distinct;
+      Alcotest.test_case "roofline bounds the model" `Quick test_roofline_bounds_measured;
+      Alcotest.test_case "roofline classification" `Quick test_roofline_classification;
+      Alcotest.test_case "roofline ridge point" `Quick test_roofline_ridge;
+      Alcotest.test_case "roofline attainable" `Quick test_roofline_attainable;
+      Alcotest.test_case "roofline flat across granularity" `Slow test_roofline_flat_across_granularity;
+      Alcotest.test_case "ablation study shape" `Slow test_ablation_study_runs;
+    ] )

@@ -1,0 +1,68 @@
+open Swpm
+
+let p = Sw_arch.Params.default
+
+let config = Sw_sim.Config.default p
+
+let lowered_vadd () =
+  let kernel = Sw_workloads.Vadd.kernel ~scale:0.125 in
+  Sw_swacc.Lower.lower_exn p kernel Sw_workloads.Vadd.variant
+
+let test_evaluate () =
+  let row = Accuracy.evaluate config (lowered_vadd ()) in
+  Alcotest.(check string) "name from kernel" "vector-add" row.Accuracy.name;
+  Alcotest.(check bool) "error under 5%" true (Accuracy.error row < 0.05)
+
+let test_evaluate_named () =
+  let row = Accuracy.evaluate ~name:"custom" config (lowered_vadd ()) in
+  Alcotest.(check string) "override name" "custom" row.Accuracy.name
+
+let test_mape_and_max () =
+  let r1 = Accuracy.evaluate config (lowered_vadd ()) in
+  let rows = [ r1; r1 ] in
+  Alcotest.(check (float 1e-9)) "mape of identical rows" (Accuracy.error r1) (Accuracy.mape rows);
+  Alcotest.(check (float 1e-9)) "max of identical rows" (Accuracy.error r1) (Accuracy.max_error rows)
+
+let test_table_renders () =
+  let row = Accuracy.evaluate config (lowered_vadd ()) in
+  let s = Format.asprintf "%a" Accuracy.pp_table [ row ] in
+  Alcotest.(check bool) "mentions the kernel" true
+    (let ok = ref false in
+     String.iteri
+       (fun i _ ->
+         if i + 10 <= String.length s && String.sub s i 10 = "vector-add" then ok := true)
+       s;
+     !ok)
+
+(* The repository's headline claim, as a regression test: the model
+   stays accurate on the whole suite at a reduced scale. *)
+let test_suite_accuracy_regression () =
+  (* full evaluation scale, the Fig. 6 configuration *)
+  let rows = Sw_experiments.Fig6.run ~scale:1.0 () in
+  let avg = Accuracy.mape rows in
+  let worst = Accuracy.max_error rows in
+  Alcotest.(check bool) (Printf.sprintf "average error %.1f%% < 6%%" (avg *. 100.0)) true (avg < 0.06);
+  Alcotest.(check bool) (Printf.sprintf "max error %.1f%% < 12%%" (worst *. 100.0)) true (worst < 0.12)
+
+let test_regular_kernels_tighter () =
+  let rows = Sw_experiments.Fig6.run ~scale:1.0 () in
+  let regular =
+    List.filter
+      (fun (r : Accuracy.row) ->
+        match Sw_workloads.Registry.find r.Accuracy.name with
+        | Some e -> e.Sw_workloads.Registry.kind = Sw_workloads.Registry.Regular
+        | None -> false)
+      rows
+  in
+  Alcotest.(check bool) "regular kernels average under 6%" true (Accuracy.mape regular < 0.06)
+
+let tests =
+  ( "accuracy",
+    [
+      Alcotest.test_case "evaluate" `Quick test_evaluate;
+      Alcotest.test_case "evaluate with name" `Quick test_evaluate_named;
+      Alcotest.test_case "mape and max" `Quick test_mape_and_max;
+      Alcotest.test_case "table renders" `Quick test_table_renders;
+      Alcotest.test_case "suite accuracy regression" `Slow test_suite_accuracy_regression;
+      Alcotest.test_case "regular kernels tighter" `Slow test_regular_kernels_tighter;
+    ] )

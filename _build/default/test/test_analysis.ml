@@ -1,0 +1,139 @@
+open Swpm
+open Sw_swacc
+
+let p = Sw_arch.Params.default
+
+let summary ?(active = 64) ?(dma_groups = []) ?(gloads = 0) ?(computes = []) () =
+  {
+    Lowered.active_cpes = active;
+    dma_groups;
+    gload_count = gloads;
+    gload_bytes = 8;
+    computes;
+    vector_width = 1;
+    double_buffered = false;
+  }
+
+let block trips =
+  let b = Codegen.block ~unroll:1 [ Body.Accum ("s", Body.OAdd, Body.load "a") ] in
+  { Lowered.block = b; trips }
+
+let group ?(mrt = 16) count = { Lowered.payload_bytes = mrt * 256; mrt; count; transfers = 1 }
+
+let test_smaller_dma_eq13 () =
+  let s = summary ~dma_groups:[ group ~mrt:16 4.0 ] () in
+  let t_dma = Equations.t_dma p ~active_cpes:64 s.Lowered.dma_groups in
+  (* Eq 13 with 4 -> 16 requests *)
+  let expected = ((1.0 /. 4.0) -. (1.0 /. 16.0)) *. t_dma in
+  Alcotest.(check (float 1e-6)) "Eq 13" expected
+    (Analysis.smaller_dma_gain p s ~n_reqs_after:16);
+  Alcotest.(check bool) "coarser granularity loses" true
+    (Analysis.smaller_dma_gain p s ~n_reqs_after:2 < 0.0);
+  Alcotest.(check (float 1e-6)) "no DMA, no gain" 0.0
+    (Analysis.smaller_dma_gain p (summary ()) ~n_reqs_after:8)
+
+let test_smaller_dma_rejects () =
+  Alcotest.check_raises "zero requests"
+    (Invalid_argument "Analysis.smaller_dma_gain: request count must be positive") (fun () ->
+      ignore (Analysis.smaller_dma_gain p (summary ()) ~n_reqs_after:0))
+
+let test_db_gain_compute_bound () =
+  (* compute dominates: gain = T_DMA / NG (paper: at most 1/16 of T_DMA) *)
+  let s = summary ~dma_groups:[ group ~mrt:64 8.0 ] ~computes:[ block 200000 ] () in
+  let pred = Predict.run p s in
+  let gain = Analysis.double_buffer_gain p s in
+  Alcotest.(check (float 1e-6)) "one virtual group's copy time"
+    (pred.Predict.t_dma /. pred.Predict.ng_dma)
+    gain;
+  Alcotest.(check bool) "roughly T_DMA/15" true
+    (gain < pred.Predict.t_dma /. 13.0 && gain > pred.Predict.t_dma /. 17.0)
+
+let test_db_gain_memory_bound_zero () =
+  let s = summary ~dma_groups:[ group ~mrt:64 8.0 ] () in
+  Alcotest.(check (float 1e-6)) "Fig 5 right: no benefit" 0.0 (Analysis.double_buffer_gain p s)
+
+let test_fewer_cpes_eq15 () =
+  (* memory-bound: removing CPEs saves the DMA/compute difference *)
+  let s = summary ~dma_groups:[ group ~mrt:16 8.0 ] ~computes:[ block 100 ] () in
+  let t_dma = Equations.t_dma p ~active_cpes:64 s.Lowered.dma_groups in
+  let t_comp = Equations.t_comp p s.Lowered.computes in
+  Alcotest.(check (float 1e-6)) "Eq 15" (0.25 *. (t_dma -. t_comp))
+    (Analysis.fewer_cpes_gain p s ~reduction_fraction:0.25)
+
+let test_fewer_cpes_compute_bound_zero () =
+  let s = summary ~dma_groups:[ group ~mrt:1 1.0 ] ~computes:[ block 1_000_000 ] () in
+  Alcotest.(check (float 1e-6)) "no benefit when compute bound" 0.0
+    (Analysis.fewer_cpes_gain p s ~reduction_fraction:0.25)
+
+let test_fewer_cpes_rejects () =
+  Alcotest.check_raises "fraction 1"
+    (Invalid_argument "Analysis.fewer_cpes_gain: fraction must be in [0, 1)") (fun () ->
+      ignore (Analysis.fewer_cpes_gain p (summary ()) ~reduction_fraction:1.0))
+
+let test_gload_waste () =
+  Alcotest.(check (float 1e-9)) "8B gload wastes 31/32" (1.0 -. (8.0 /. 256.0))
+    (Analysis.gload_waste_fraction p ~bytes_per_gload:8);
+  Alcotest.(check (float 1e-9)) "full transaction wastes nothing" 0.0
+    (Analysis.gload_waste_fraction p ~bytes_per_gload:256);
+  Alcotest.check_raises "zero bytes"
+    (Invalid_argument "Analysis.gload_waste_fraction: bytes out of range") (fun () ->
+      ignore (Analysis.gload_waste_fraction p ~bytes_per_gload:0))
+
+(* validation against the simulator: Eq 14's prediction matches a real
+   double-buffered run of a DMA-heavy streaming kernel *)
+let test_db_gain_validates_against_simulator () =
+  let layout = Layout.create () in
+  let n = 4096 in
+  let copy name dir =
+    {
+      Kernel.array_name = name;
+      bytes_per_elem = 64;
+      direction = dir;
+      freq = Kernel.Per_element;
+      layout = Kernel.Contiguous;
+      base_addr = Layout.alloc layout ~bytes:(64 * n);
+    }
+  in
+  let body =
+    [
+      Body.Store
+        ( "o",
+          Body.Sqrt
+            (Body.Fma (Body.load "a", Body.load "a", Body.Mul (Body.load "b", Body.load "b"))) );
+    ]
+  in
+  let k =
+    Kernel.make ~name:"stream" ~n_elements:n
+      ~copies:[ copy "a" Kernel.In; copy "b" Kernel.In; copy "o" Kernel.Out ]
+      ~body ~body_trips_per_element:16 ()
+  in
+  let base_v = { Kernel.grain = 16; unroll = 1; active_cpes = 64; double_buffer = false } in
+  let config = Sw_sim.Config.default p in
+  let run v = Sw_sim.Engine.run config (Lower.lower_exn p k v).Lowered.programs in
+  let base = run base_v in
+  let db = run { base_v with Kernel.double_buffer = true } in
+  let measured = base.Sw_sim.Metrics.cycles -. db.Sw_sim.Metrics.cycles in
+  let predicted =
+    match Lower.summarize p k base_v with
+    | Ok s -> Analysis.double_buffer_gain p s
+    | Error m -> Alcotest.failf "summarize failed: %s" m
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "Eq 14 within 3%% of total (pred %.0f, meas %.0f, total %.0f)" predicted
+       measured base.Sw_sim.Metrics.cycles)
+    true
+    (Float.abs (predicted -. measured) /. base.Sw_sim.Metrics.cycles < 0.03)
+
+let tests =
+  ( "analysis",
+    [
+      Alcotest.test_case "Eq 13 smaller DMA" `Quick test_smaller_dma_eq13;
+      Alcotest.test_case "Eq 13 rejects" `Quick test_smaller_dma_rejects;
+      Alcotest.test_case "Eq 14 compute bound" `Quick test_db_gain_compute_bound;
+      Alcotest.test_case "Eq 14 memory bound" `Quick test_db_gain_memory_bound_zero;
+      Alcotest.test_case "Eq 15 fewer CPEs" `Quick test_fewer_cpes_eq15;
+      Alcotest.test_case "Eq 15 compute bound" `Quick test_fewer_cpes_compute_bound_zero;
+      Alcotest.test_case "Eq 15 rejects" `Quick test_fewer_cpes_rejects;
+      Alcotest.test_case "gload waste fraction" `Quick test_gload_waste;
+      Alcotest.test_case "Eq 14 vs simulator" `Quick test_db_gain_validates_against_simulator;
+    ] )

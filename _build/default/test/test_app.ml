@@ -1,0 +1,55 @@
+open Swpm
+
+let p = Sw_arch.Params.default
+
+let config = Sw_sim.Config.default p
+
+let lowered name scale =
+  let e = Sw_workloads.Registry.find_exn name in
+  Sw_swacc.Lower.lower_exn p (e.Sw_workloads.Registry.build ~scale) e.Sw_workloads.Registry.variant
+
+let test_make_rejects_empty () =
+  match App.make [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty app rejected"
+
+let test_stages_add_up () =
+  let l = lowered "vector-add" 0.125 in
+  let one = App.make ~launch_overhead_cycles:0.0 [ ("a", l) ] in
+  let three = App.make ~launch_overhead_cycles:0.0 [ ("a", l); ("b", l); ("c", l) ] in
+  Alcotest.(check (float 1e-6)) "simulate adds" (3.0 *. App.simulate config one)
+    (App.simulate config three);
+  Alcotest.(check (float 1e-6)) "predict adds" (3.0 *. App.predict p one) (App.predict p three)
+
+let test_launch_overhead_charged () =
+  let l = lowered "vector-add" 0.125 in
+  let base = App.predict p (App.make ~launch_overhead_cycles:0.0 [ ("a", l) ]) in
+  let with_launch = App.predict p (App.make ~launch_overhead_cycles:7000.0 [ ("a", l) ]) in
+  Alcotest.(check (float 1e-6)) "overhead added" (base +. 7000.0) with_launch
+
+let test_evaluate_accuracy () =
+  let a = lowered "vector-add" 0.25 in
+  let b = lowered "lud" 0.5 in
+  let report = App.evaluate config (App.make [ ("vadd", a); ("lud", b) ]) in
+  Alcotest.(check int) "two stages" 2 (List.length report.App.per_stage);
+  Alcotest.(check bool)
+    (Printf.sprintf "end-to-end error %.1f%% under 10%%" (report.App.error *. 100.0))
+    true (report.App.error < 0.10);
+  Alcotest.(check bool) "totals consistent" true
+    (report.App.predicted_total > 0.0 && report.App.measured_total > 0.0)
+
+let test_pp_report () =
+  let l = lowered "vector-add" 0.125 in
+  let report = App.evaluate config (App.make [ ("only", l) ]) in
+  Alcotest.(check bool) "prints" true
+    (String.length (Format.asprintf "%a" App.pp_report report) > 40)
+
+let tests =
+  ( "app",
+    [
+      Alcotest.test_case "rejects empty" `Quick test_make_rejects_empty;
+      Alcotest.test_case "stages add up" `Quick test_stages_add_up;
+      Alcotest.test_case "launch overhead charged" `Quick test_launch_overhead_charged;
+      Alcotest.test_case "end-to-end accuracy" `Quick test_evaluate_accuracy;
+      Alcotest.test_case "report prints" `Quick test_pp_report;
+    ] )

@@ -1,0 +1,70 @@
+open Sw_swacc
+
+let test_flops_simple () =
+  let body = [ Body.Store ("c", Body.Add (Body.load "a", Body.load "b")) ] in
+  Alcotest.(check int) "one add" 1 (Body.flops_per_iter body);
+  Alcotest.(check int) "two loads" 2 (Body.loads_per_iter body);
+  Alcotest.(check int) "one store" 1 (Body.stores_per_iter body)
+
+let test_fma_counts_two () =
+  let body = [ Body.Eval (Body.Fma (Body.load "a", Body.load "b", Body.load "c")) ] in
+  Alcotest.(check int) "fma = 2 flops" 2 (Body.flops_per_iter body)
+
+let test_accum_counts_op () =
+  let body = [ Body.Accum ("s", Body.OAdd, Body.Mul (Body.load "a", Body.load "a")) ] in
+  (* mul + the accumulate add *)
+  Alcotest.(check int) "accum op counted" 2 (Body.flops_per_iter body)
+
+let test_nested_flops () =
+  let e = Body.Sqrt (Body.Div (Body.Const 1.0, Body.Add (Body.load "x", Body.Param "p"))) in
+  Alcotest.(check int) "sqrt+div+add" 3 (Body.flops_per_iter [ Body.Eval e ])
+
+let test_int_work_no_flops () =
+  let body = [ Body.Eval (Body.Int_work (7, Body.Const 0.0)) ] in
+  Alcotest.(check int) "int work has no flops" 0 (Body.flops_per_iter body)
+
+let test_accumulators_dedup () =
+  let body =
+    [
+      Body.Accum ("a", Body.OAdd, Body.Acc "b");
+      Body.Accum ("b", Body.OMax, Body.Const 1.0);
+      Body.Accum ("a", Body.OAdd, Body.Const 2.0);
+    ]
+  in
+  Alcotest.(check (list string)) "first-use order, deduped" [ "b"; "a" ] (Body.accumulators body)
+
+let test_params_collected () =
+  let body =
+    [ Body.Store ("o", Body.Mul (Body.Param "alpha", Body.Add (Body.Param "beta", Body.Param "alpha"))) ]
+  in
+  Alcotest.(check (list string)) "params in order" [ "alpha"; "beta" ] (Body.params body)
+
+let test_validate_empty () =
+  match Body.validate [] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty body should be invalid"
+
+let test_validate_negative_int_work () =
+  match Body.validate [ Body.Eval (Body.Int_work (-1, Body.Const 0.0)) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "negative Int_work should be invalid"
+
+let test_validate_ok () =
+  match Body.validate [ Body.Eval (Body.Const 1.0) ] with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "valid body rejected: %s" m
+
+let tests =
+  ( "body",
+    [
+      Alcotest.test_case "flops/loads/stores" `Quick test_flops_simple;
+      Alcotest.test_case "fma counts two flops" `Quick test_fma_counts_two;
+      Alcotest.test_case "accumulate counts its op" `Quick test_accum_counts_op;
+      Alcotest.test_case "nested expression flops" `Quick test_nested_flops;
+      Alcotest.test_case "int work is not flops" `Quick test_int_work_no_flops;
+      Alcotest.test_case "accumulator collection" `Quick test_accumulators_dedup;
+      Alcotest.test_case "param collection" `Quick test_params_collected;
+      Alcotest.test_case "validate empty" `Quick test_validate_empty;
+      Alcotest.test_case "validate negative int work" `Quick test_validate_negative_int_work;
+      Alcotest.test_case "validate ok" `Quick test_validate_ok;
+    ] )

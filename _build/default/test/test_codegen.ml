@@ -1,0 +1,148 @@
+open Sw_swacc
+module Instr = Sw_isa.Instr
+module Schedule = Sw_isa.Schedule
+
+let p = Sw_arch.Params.default
+
+let simple = [ Body.Store ("c", Body.Add (Body.load "a", Body.load "b")) ]
+
+let reduction = [ Body.Accum ("s", Body.OAdd, Body.Mul (Body.load "a", Body.load "a")) ]
+
+let test_basic_shape () =
+  let block = Codegen.block ~unroll:1 simple in
+  let c = Instr.count block in
+  Alcotest.(check int) "2 loads" 2 c.Instr.Counts.spm_load;
+  Alcotest.(check int) "1 store" 1 c.Instr.Counts.spm_store;
+  Alcotest.(check int) "1 fadd" 1 c.Instr.Counts.fadd;
+  (* 3 address ialus (2 loads + 1 store) + 2 loop ialus *)
+  Alcotest.(check int) "ialus" 5 c.Instr.Counts.ialu
+
+let test_unroll_scales_work () =
+  let b1 = Codegen.block ~unroll:1 simple in
+  let b4 = Codegen.block ~unroll:4 simple in
+  let c1 = Instr.count b1 and c4 = Instr.count b4 in
+  Alcotest.(check int) "4x loads" (4 * c1.Instr.Counts.spm_load) c4.Instr.Counts.spm_load;
+  Alcotest.(check int) "4x fadds" (4 * c1.Instr.Counts.fadd) c4.Instr.Counts.fadd;
+  (* loop control is NOT replicated: that is the point of unrolling *)
+  Alcotest.(check int) "loop ialus amortized"
+    ((4 * (c1.Instr.Counts.ialu - 2)) + 2)
+    c4.Instr.Counts.ialu
+
+let test_cse_by_identity () =
+  (* the same physical node twice: computed once *)
+  let d = Body.Sub (Body.load "a", Body.load "b") in
+  let shared = [ Body.Eval (Body.Mul (d, d)) ] in
+  let c = Instr.count (Codegen.block ~unroll:1 shared) in
+  Alcotest.(check int) "loads not duplicated" 2 c.Instr.Counts.spm_load;
+  Alcotest.(check int) "one sub one mul" 2 (c.Instr.Counts.fadd + c.Instr.Counts.fmul)
+
+let test_distinct_labels_not_merged () =
+  (* loads with different access labels are different values *)
+  let d1 = Body.Sub (Body.load_at "a" 0, Body.load "b") in
+  let d2 = Body.Sub (Body.load_at "a" 1, Body.load "b") in
+  let c = Instr.count (Codegen.block ~unroll:1 [ Body.Eval (Body.Mul (d1, d2)) ]) in
+  (* a[0], a[1], and b once (value-numbered): 3 loads *)
+  Alcotest.(check int) "3 loads" 3 c.Instr.Counts.spm_load
+
+let test_unroll_raises_ilp () =
+  let ilp1 = Schedule.avg_ilp p (Codegen.block ~unroll:1 reduction) in
+  let ilp4 = Schedule.avg_ilp p (Codegen.block ~unroll:4 reduction) in
+  Alcotest.(check bool)
+    (Printf.sprintf "unroll 4 beats unroll 1 (%.2f > %.2f)" ilp4 ilp1)
+    true (ilp4 > ilp1 *. 1.5)
+
+let test_unroll_faster_per_iteration () =
+  let per_iter u =
+    Schedule.steady_cycles p (Codegen.block ~unroll:u reduction) /. float_of_int u
+  in
+  Alcotest.(check bool) "per-iteration cycles drop" true (per_iter 4 < per_iter 1 /. 1.5)
+
+let test_interleaving () =
+  (* interleaved unroll copies: the second copy's loads issue before the
+     first copy's arithmetic completes *)
+  let block = Codegen.block ~unroll:2 reduction in
+  let s = Schedule.once p block in
+  let loads =
+    Array.to_list
+      (Array.mapi (fun i (ins : Instr.t) -> (i, ins.Instr.klass)) block)
+    |> List.filter (fun (_, k) -> k = Instr.Spm_load)
+    |> List.map fst
+  in
+  (match loads with
+  | _ :: second_load :: _ ->
+      Alcotest.(check bool) "second copy's load issues early" true
+        (s.Schedule.issue.(second_load) < 12)
+  | _ -> Alcotest.fail "expected at least two loads")
+
+let test_div_sqrt_classes () =
+  let body = [ Body.Eval (Body.Sqrt (Body.Div (Body.load "a", Body.Param "b"))) ] in
+  let c = Instr.count (Codegen.block ~unroll:1 body) in
+  Alcotest.(check int) "one div" 1 c.Instr.Counts.fdiv;
+  Alcotest.(check int) "one sqrt" 1 c.Instr.Counts.fsqrt
+
+let test_max_min_compare () =
+  let body = [ Body.Eval (Body.Max (Body.load "a", Body.Min (Body.load "b", Body.Const 0.0))) ] in
+  let c = Instr.count (Codegen.block ~unroll:1 body) in
+  Alcotest.(check int) "two compares" 2 c.Instr.Counts.fcmp
+
+let test_int_work_emits_ialu () =
+  let body = [ Body.Eval (Body.Int_work (5, Body.Const 0.0)) ] in
+  let c = Instr.count (Codegen.block ~unroll:1 ~loop_ialu:0 body) in
+  Alcotest.(check int) "5 ialus" 5 c.Instr.Counts.ialu
+
+let test_ialu_per_access_knob () =
+  let c0 = Instr.count (Codegen.block ~unroll:1 ~ialu_per_access:0 ~loop_ialu:0 simple) in
+  let c2 = Instr.count (Codegen.block ~unroll:1 ~ialu_per_access:2 ~loop_ialu:0 simple) in
+  Alcotest.(check int) "no address ialus" 0 c0.Instr.Counts.ialu;
+  Alcotest.(check int) "2 per access x 3 accesses" 6 c2.Instr.Counts.ialu
+
+let test_rejects_bad_unroll () =
+  Alcotest.check_raises "unroll 0" (Invalid_argument "Codegen.block: unroll must be >= 1")
+    (fun () -> ignore (Codegen.block ~unroll:0 simple))
+
+let test_rejects_bad_body () =
+  match Codegen.block ~unroll:1 [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty body should be rejected"
+
+let test_trips_for () =
+  Alcotest.(check (pair int int)) "exact" (4, 0) (Codegen.trips_for ~total_iters:16 ~unroll:4);
+  Alcotest.(check (pair int int)) "remainder" (3, 3) (Codegen.trips_for ~total_iters:15 ~unroll:4);
+  Alcotest.(check (pair int int)) "zero" (0, 0) (Codegen.trips_for ~total_iters:0 ~unroll:4)
+
+let test_params_single_register () =
+  let body =
+    [ Body.Eval (Body.Mul (Body.Param "k", Body.Param "k")); Body.Eval (Body.Param "k") ]
+  in
+  let block = Codegen.block ~unroll:1 ~loop_ialu:0 body in
+  (* params live in registers: no load instructions at all *)
+  Alcotest.(check int) "no loads for params" 0 (Instr.count block).Instr.Counts.spm_load
+
+let prop_instruction_count_linear_in_unroll =
+  QCheck.Test.make ~name:"compute instructions scale linearly with unroll" ~count:50
+    QCheck.(int_range 1 8)
+    (fun u ->
+      let base = Instr.count (Codegen.block ~unroll:1 ~loop_ialu:0 reduction) in
+      let unrolled = Instr.count (Codegen.block ~unroll:u ~loop_ialu:0 reduction) in
+      Instr.Counts.total_compute unrolled = u * Instr.Counts.total_compute base)
+
+let tests =
+  ( "codegen",
+    [
+      Alcotest.test_case "basic shape" `Quick test_basic_shape;
+      Alcotest.test_case "unroll scales work" `Quick test_unroll_scales_work;
+      Alcotest.test_case "CSE by physical identity" `Quick test_cse_by_identity;
+      Alcotest.test_case "distinct labels not merged" `Quick test_distinct_labels_not_merged;
+      Alcotest.test_case "unroll raises ILP" `Quick test_unroll_raises_ilp;
+      Alcotest.test_case "unroll lowers per-iteration cost" `Quick test_unroll_faster_per_iteration;
+      Alcotest.test_case "copies are interleaved" `Quick test_interleaving;
+      Alcotest.test_case "div and sqrt classes" `Quick test_div_sqrt_classes;
+      Alcotest.test_case "max/min map to compare" `Quick test_max_min_compare;
+      Alcotest.test_case "int work emits ialu" `Quick test_int_work_emits_ialu;
+      Alcotest.test_case "ialu per access knob" `Quick test_ialu_per_access_knob;
+      Alcotest.test_case "rejects unroll 0" `Quick test_rejects_bad_unroll;
+      Alcotest.test_case "rejects empty body" `Quick test_rejects_bad_body;
+      Alcotest.test_case "trips_for" `Quick test_trips_for;
+      Alcotest.test_case "params stay in registers" `Quick test_params_single_register;
+      QCheck_alcotest.to_alcotest prop_instruction_count_linear_in_unroll;
+    ] )

@@ -1,0 +1,90 @@
+(* Cross-validation fuzzing: on randomly generated loop-nest kernels the
+   static model must stay within a coarse error envelope of the
+   simulator.  This is the repository's broadest consistency net — any
+   gross disagreement between the model's equations and the machine's
+   mechanics shows up here before it shows up in a figure. *)
+
+open Sw_swacc
+
+let p = Sw_arch.Params.default
+
+let config = Sw_sim.Config.default p
+
+let gen_kernel_and_variant =
+  let open QCheck.Gen in
+  (* sizes large enough that per-request fixed overheads (DMA issue
+     instructions, start jitter) do not dominate: models target kernels
+     that run for at least tens of microseconds *)
+  let* outer_exp = int_range 12 13 in
+  let outer = 1 lsl outer_exp in
+  let* inner = int_range 16 64 in
+  let* elem_bytes = oneofl [ 4; 8; 16; 64 ] in
+  let* shared = bool in
+  let* heavy_body = bool in
+  let arrays =
+    [ Loopnest.array_ ~elem_bytes "src" `IJ; Loopnest.array_ ~elem_bytes:4 "dst" `I ]
+    @ (if shared then [ Loopnest.array_ ~elem_bytes:256 "table" `J ] else [])
+  in
+  let open Body in
+  let acc_expr =
+    if heavy_body then
+      Fma (load "src", load "src", Sqrt (Abs (Add (load "src", Param "c"))))
+    else Add (load "src", Param "c")
+  in
+  let acc_expr = if shared then Body.Mul (acc_expr, Body.load "table") else acc_expr in
+  let body = [ Accum ("s", OAdd, acc_expr); Store ("dst", Acc "s") ] in
+  let kernel = Loopnest.compile ~name:"fuzz" ~outer ~inner ~arrays ~body () in
+  let* grain = oneofl [ 1; 2; 4; 8 ] in
+  let* unroll = oneofl [ 1; 2; 4 ] in
+  let* db = bool in
+  let variant = { Kernel.grain; unroll; active_cpes = 64; double_buffer = db } in
+  return (kernel, variant)
+
+let arb =
+  QCheck.make
+    ~print:(fun (k, (v : Kernel.variant)) ->
+      Printf.sprintf "n=%d inner=%d grain=%d unroll=%d db=%b" k.Kernel.n_elements
+        k.Kernel.body_trips_per_element v.Kernel.grain v.Kernel.unroll v.Kernel.double_buffer)
+    gen_kernel_and_variant
+
+let prop_model_tracks_simulator =
+  QCheck.Test.make ~name:"model within 25% of simulator on random nests" ~count:60 arb
+    (fun (kernel, variant) ->
+      match Lower.lower p kernel variant with
+      | Error _ -> true (* infeasible variants are fine *)
+      | Ok lowered ->
+          let predicted = (Swpm.Predict.predict_lowered p lowered).Swpm.Predict.t_total in
+          let measured =
+            (Sw_sim.Engine.run config lowered.Lowered.programs).Sw_sim.Metrics.cycles
+          in
+          Sw_util.Stats.relative_error ~predicted ~actual:measured < 0.25)
+
+let prop_simulation_deterministic =
+  QCheck.Test.make ~name:"random nests simulate deterministically" ~count:20 arb
+    (fun (kernel, variant) ->
+      match Lower.lower p kernel variant with
+      | Error _ -> true
+      | Ok lowered ->
+          let run () = (Sw_sim.Engine.run config lowered.Lowered.programs).Sw_sim.Metrics.cycles in
+          run () = run ())
+
+let prop_db_never_slower_much =
+  (* double buffering may gain nothing, but it must not hurt beyond its
+     bookkeeping overheads *)
+  QCheck.Test.make ~name:"double buffering never significantly slower" ~count:40 arb
+    (fun (kernel, variant) ->
+      let base = { variant with Kernel.double_buffer = false } in
+      let db = { variant with Kernel.double_buffer = true } in
+      match (Lower.lower p kernel base, Lower.lower p kernel db) with
+      | Ok lb, Ok ldb ->
+          let t v = (Sw_sim.Engine.run config v.Lowered.programs).Sw_sim.Metrics.cycles in
+          t ldb < t lb *. 1.05 +. 5000.0
+      | _ -> true)
+
+let tests =
+  ( "crossval",
+    [
+      QCheck_alcotest.to_alcotest prop_model_tracks_simulator;
+      QCheck_alcotest.to_alcotest prop_simulation_deterministic;
+      QCheck_alcotest.to_alcotest prop_db_never_slower_much;
+    ] )

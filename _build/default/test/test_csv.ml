@@ -1,0 +1,76 @@
+open Sw_util
+
+let test_basic () =
+  let c = Csv.create [ "x"; "y" ] in
+  Csv.add_row c [ "1"; "2" ];
+  Csv.add_row c [ "3"; "4" ];
+  Alcotest.(check string) "document" "x,y\n1,2\n3,4\n" (Csv.to_string c)
+
+let test_floats () =
+  let c = Csv.create [ "v" ] in
+  Csv.add_floats c [ 0.5 ];
+  Alcotest.(check string) "float row" "v\n0.5\n" (Csv.to_string c)
+
+let test_arity () =
+  let c = Csv.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Csv.add_row: arity mismatch") (fun () ->
+      Csv.add_row c [ "1" ])
+
+let test_escape_comma () = Alcotest.(check string) "comma quoted" "\"a,b\"" (Csv.escape "a,b")
+
+let test_escape_quote () =
+  Alcotest.(check string) "quote doubled" "\"say \"\"hi\"\"\"" (Csv.escape "say \"hi\"")
+
+let test_escape_newline () =
+  Alcotest.(check string) "newline quoted" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_escape_plain () = Alcotest.(check string) "plain untouched" "plain" (Csv.escape "plain")
+
+let test_save_roundtrip () =
+  let c = Csv.create [ "k" ] in
+  Csv.add_row c [ "v" ];
+  let path = Filename.temp_file "swpm_csv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save c path;
+      let ic = open_in path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "file contents" (Csv.to_string c) contents)
+
+let prop_escape_preserves_content =
+  QCheck.Test.make ~name:"escape only adds quoting" ~count:300 QCheck.printable_string (fun s ->
+      let e = Csv.escape s in
+      if String.equal e s then true
+      else begin
+        (* strip outer quotes, undouble inner quotes; must get s back *)
+        let inner = String.sub e 1 (String.length e - 2) in
+        let buf = Buffer.create (String.length inner) in
+        let i = ref 0 in
+        while !i < String.length inner do
+          if inner.[!i] = '"' then begin
+            Buffer.add_char buf '"';
+            i := !i + 2
+          end
+          else begin
+            Buffer.add_char buf inner.[!i];
+            incr i
+          end
+        done;
+        String.equal (Buffer.contents buf) s
+      end)
+
+let tests =
+  ( "csv",
+    [
+      Alcotest.test_case "basic document" `Quick test_basic;
+      Alcotest.test_case "float rows" `Quick test_floats;
+      Alcotest.test_case "arity mismatch" `Quick test_arity;
+      Alcotest.test_case "escape comma" `Quick test_escape_comma;
+      Alcotest.test_case "escape quote" `Quick test_escape_quote;
+      Alcotest.test_case "escape newline" `Quick test_escape_newline;
+      Alcotest.test_case "plain passthrough" `Quick test_escape_plain;
+      Alcotest.test_case "save roundtrip" `Quick test_save_roundtrip;
+      QCheck_alcotest.to_alcotest prop_escape_preserves_content;
+    ] )

@@ -1,0 +1,129 @@
+open Swpm
+module Params = Sw_arch.Params
+
+let p = Params.default
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) < eps
+
+let check msg expected actual =
+  if not (feq expected actual) then Alcotest.failf "%s: expected %f, got %f" msg expected actual
+
+let test_cycles_per_transaction () =
+  (* 256 B * 1.45 GHz / 32 GB/s = 11.6 cycles *)
+  Alcotest.(check bool) "ttx ~ 11.6" true
+    (Float.abs (Equations.cycles_per_transaction p -. 11.6) < 0.05)
+
+let test_ttx_scales_with_cgs () =
+  let p4 = Params.with_cgs p 4 in
+  check "4 CGs quadruple the bandwidth"
+    (Equations.cycles_per_transaction p /. 4.0)
+    (Equations.cycles_per_transaction p4)
+
+let test_l_avg () =
+  (* Eq 11 *)
+  check "MRT 1" 220.0 (Equations.l_avg p ~mrt:1.0);
+  check "MRT 8" (220.0 +. (7.0 *. 50.0)) (Equations.l_avg p ~mrt:8.0)
+
+let test_l_mem_bw () =
+  (* Eq 4: 64 CPEs x 1 transaction *)
+  let expected = 64.0 *. Equations.cycles_per_transaction p in
+  check "64 waves" expected (Equations.l_mem_bw p ~active_cpes:64 ~mrt:1)
+
+let test_request_time_regimes () =
+  (* few CPEs: latency-bound at l_avg; many: bandwidth-bound at Eq 4 *)
+  check "latency bound" 220.0 (Equations.request_time p ~active_cpes:4 ~mrt:1);
+  check "bandwidth bound"
+    (Equations.l_mem_bw p ~active_cpes:64 ~mrt:4)
+    (Equations.request_time p ~active_cpes:64 ~mrt:4)
+
+let test_t_dma_sums_groups () =
+  let groups =
+    [
+      { Sw_swacc.Lowered.payload_bytes = 1024; mrt = 4; count = 2.0; transfers = 1 };
+      { Sw_swacc.Lowered.payload_bytes = 512; mrt = 2; count = 1.0; transfers = 1 };
+    ]
+  in
+  let expected =
+    (2.0 *. Equations.request_time p ~active_cpes:64 ~mrt:4)
+    +. Equations.request_time p ~active_cpes:64 ~mrt:2
+  in
+  check "Eq 3 sum" expected (Equations.t_dma p ~active_cpes:64 groups)
+
+let test_t_gload () =
+  (* under full contention each gload costs a 64-transaction wave *)
+  check "bandwidth-bound gloads"
+    (10.0 *. 64.0 *. Equations.cycles_per_transaction p)
+    (Equations.t_gload p ~active_cpes:64 ~count:10);
+  (* with few CPEs, baseline latency *)
+  check "latency-bound gloads" (10.0 *. 220.0) (Equations.t_gload p ~active_cpes:8 ~count:10)
+
+let test_mrp_paper_example () =
+  (* Section IV-2: large DMA blocks, 64 CPEs -> NG ~ 16 *)
+  let ng = Equations.ng p ~active_cpes:64 ~avg_mrt:64.0 in
+  Alcotest.(check bool) (Printf.sprintf "NG ~ 15 (got %.1f)" ng) true (ng > 13.0 && ng < 17.0)
+
+let test_mrp_clamped () =
+  (* when memory can serve everyone concurrently, MRP = active, NG = 1 *)
+  check "MRP clamp" 4.0 (Equations.mrp p ~active_cpes:4 ~avg_mrt:1.0);
+  check "NG floor" 1.0 (Equations.ng p ~active_cpes:4 ~avg_mrt:1.0)
+
+let test_overlapable_eq8 () =
+  (* (1 - 1/NG)(1 - 1/#reqs) T *)
+  check "Eq 8" (0.75 *. 0.5 *. 100.0) (Equations.overlapable ~ng:4.0 ~n_reqs:2.0 ~total:100.0);
+  check "single request never overlaps" 0.0 (Equations.overlapable ~ng:4.0 ~n_reqs:1.0 ~total:100.0);
+  check "no requests" 0.0 (Equations.overlapable ~ng:4.0 ~n_reqs:0.0 ~total:100.0)
+
+let test_t_overlap_eq7 () =
+  check "bounded by compute" 10.0 (Equations.t_overlap ~t_comp:10.0 ~dma_ov:8.0 ~g_ov:5.0);
+  check "sum when small" 13.0 (Equations.t_overlap ~t_comp:100.0 ~dma_ov:8.0 ~g_ov:5.0)
+
+let test_t_total_eq1 () = check "Eq 1" 110.0 (Equations.t_total ~t_mem:60.0 ~t_comp:70.0 ~t_overlap:20.0)
+
+let test_t_comp_matches_schedule () =
+  let block = Sw_swacc.Codegen.block ~unroll:2 [ Sw_swacc.Body.Accum ("s", Sw_swacc.Body.OAdd, Sw_swacc.Body.load "a") ] in
+  let computes = [ { Sw_swacc.Lowered.block; trips = 100 } ] in
+  check "Eq 6 via schedule"
+    (Sw_isa.Schedule.iterated_cycles p block ~trips:100)
+    (Equations.t_comp p computes)
+
+let prop_request_time_monotone_mrt =
+  QCheck.Test.make ~name:"request time monotone in MRT" ~count:200
+    QCheck.(pair (int_range 1 64) (int_range 1 128))
+    (fun (active, mrt) ->
+      Equations.request_time p ~active_cpes:active ~mrt
+      <= Equations.request_time p ~active_cpes:active ~mrt:(mrt + 1))
+
+let prop_request_time_monotone_active =
+  QCheck.Test.make ~name:"request time monotone in active CPEs" ~count:200
+    QCheck.(pair (int_range 1 63) (int_range 1 128))
+    (fun (active, mrt) ->
+      Equations.request_time p ~active_cpes:active ~mrt
+      <= Equations.request_time p ~active_cpes:(active + 1) ~mrt)
+
+let prop_ng_in_range =
+  QCheck.Test.make ~name:"NG in [1, active]" ~count:200
+    QCheck.(pair (int_range 1 256) (float_range 1.0 256.0))
+    (fun (active, avg_mrt) ->
+      let ng = Equations.ng p ~active_cpes:active ~avg_mrt in
+      ng >= 1.0 && ng <= float_of_int active +. 1e-9)
+
+let tests =
+  ( "equations",
+    [
+      Alcotest.test_case "cycles per transaction" `Quick test_cycles_per_transaction;
+      Alcotest.test_case "bandwidth scales with CGs" `Quick test_ttx_scales_with_cgs;
+      Alcotest.test_case "Eq 11 average latency" `Quick test_l_avg;
+      Alcotest.test_case "Eq 4 bandwidth-limited duration" `Quick test_l_mem_bw;
+      Alcotest.test_case "Eq 3 regimes" `Quick test_request_time_regimes;
+      Alcotest.test_case "Eq 3 sums request groups" `Quick test_t_dma_sums_groups;
+      Alcotest.test_case "gload time" `Quick test_t_gload;
+      Alcotest.test_case "NG ~ 16 paper example" `Quick test_mrp_paper_example;
+      Alcotest.test_case "MRP clamped to active" `Quick test_mrp_clamped;
+      Alcotest.test_case "Eq 8 overlapable" `Quick test_overlapable_eq8;
+      Alcotest.test_case "Eq 7 overlap" `Quick test_t_overlap_eq7;
+      Alcotest.test_case "Eq 1 total" `Quick test_t_total_eq1;
+      Alcotest.test_case "Eq 6 computation time" `Quick test_t_comp_matches_schedule;
+      QCheck_alcotest.to_alcotest prop_request_time_monotone_mrt;
+      QCheck_alcotest.to_alcotest prop_request_time_monotone_active;
+      QCheck_alcotest.to_alcotest prop_ng_in_range;
+    ] )

@@ -1,0 +1,119 @@
+(* Shape tests for the paper reproductions: these assert the qualitative
+   claims of Section V hold on the simulated machine, at reduced scale
+   where possible so the suite stays fast. *)
+
+let test_fig6_rows () =
+  let rows = Sw_experiments.Fig6.run ~scale:0.25 () in
+  Alcotest.(check int) "one row per Rodinia kernel" 13 (List.length rows);
+  let csv = Sw_util.Csv.to_string (Sw_experiments.Fig6.csv rows) in
+  Alcotest.(check bool) "csv has 14 lines" true
+    (List.length (String.split_on_char '\n' (String.trim csv)) = 14)
+
+let test_fig7a_shape () =
+  let points = Sw_experiments.Fig7.run_a () in
+  match points with
+  | first :: _ ->
+      let time x =
+        (List.find (fun (p : Sw_experiments.Fig7.point) -> p.Sw_experiments.Fig7.x = x) points)
+          .Sw_experiments.Fig7.measured.Sw_sim.Metrics.cycles
+      in
+      (* smaller granularity improves until the spill spike at 8 *)
+      Alcotest.(check bool) "32 beats 256" true (time 32 < time 256);
+      Alcotest.(check bool) "8 spikes above 16" true (time 8 > time 16 *. 1.05);
+      let spike = List.find (fun (p : Sw_experiments.Fig7.point) -> p.Sw_experiments.Fig7.x = 8) points in
+      Alcotest.(check bool) "spike is gload-driven" true (spike.Sw_experiments.Fig7.gloads > 0);
+      Alcotest.(check int) "no gloads at large granularity" 0 first.Sw_experiments.Fig7.gloads
+  | [] -> Alcotest.fail "no points"
+
+let test_fig7b_shape () =
+  let points = Sw_experiments.Fig7.run_b () in
+  let per_elem (p : Sw_experiments.Fig7.point) =
+    p.Sw_experiments.Fig7.measured.Sw_sim.Metrics.cycles /. float_of_int p.Sw_experiments.Fig7.x
+  in
+  match (points, List.rev points) with
+  | first :: _, last :: _ ->
+      Alcotest.(check bool) "per-element time falls with partition size" true
+        (per_elem last < per_elem first)
+  | _ -> Alcotest.fail "no points"
+
+let test_fig8_shape () =
+  let r = Sw_experiments.Fig8.run ~scale:0.5 () in
+  Alcotest.(check bool) "double buffering helps a little" true
+    (r.Sw_experiments.Fig8.measured_pct > 0.0 && r.Sw_experiments.Fig8.measured_pct < 0.15);
+  Alcotest.(check bool) "Eq 14 predicts the gain within 2% of total" true
+    (r.Sw_experiments.Fig8.gain_error < 0.02)
+
+let test_fig9_dynamics_shape () =
+  let s = Sw_experiments.Fig9_10.run_dynamics ~scale:0.5 () in
+  let time active =
+    (List.find
+       (fun (p : Sw_experiments.Fig9_10.point) -> p.Sw_experiments.Fig9_10.active = active)
+       s.Sw_experiments.Fig9_10.points)
+      .Sw_experiments.Fig9_10.measured.Sw_sim.Metrics.cycles
+  in
+  (* the paper's headline: 48 CPEs beat 64 on the memory-bound kernel *)
+  Alcotest.(check bool) "48 beats 64" true (time 48 < time 64);
+  (* model tracks the whole sweep *)
+  List.iter
+    (fun (p : Sw_experiments.Fig9_10.point) ->
+      let err =
+        Sw_util.Stats.relative_error
+          ~predicted:p.Sw_experiments.Fig9_10.predicted.Swpm.Predict.t_total
+          ~actual:p.Sw_experiments.Fig9_10.measured.Sw_sim.Metrics.cycles
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error at %d CPEs is %.1f%%" p.Sw_experiments.Fig9_10.active (err *. 100.))
+        true (err < 0.10))
+    s.Sw_experiments.Fig9_10.points
+
+let test_fig9_physics_shape () =
+  let s = Sw_experiments.Fig9_10.run_physics ~scale:0.5 () in
+  let time active =
+    (List.find
+       (fun (p : Sw_experiments.Fig9_10.point) -> p.Sw_experiments.Fig9_10.active = active)
+       s.Sw_experiments.Fig9_10.points)
+      .Sw_experiments.Fig9_10.measured.Sw_sim.Metrics.cycles
+  in
+  (* compute-bound: more CPEs keep helping *)
+  Alcotest.(check bool) "64 beats 48" true (time 64 < time 48);
+  Alcotest.(check bool) "256 beats 64" true (time 256 < time 64);
+  Alcotest.(check int) "best is the full machine" 256 (Sw_experiments.Fig9_10.best_active s)
+
+let test_fig10_breakdown_consistent () =
+  let s = Sw_experiments.Fig9_10.run_dynamics ~scale:0.5 () in
+  List.iter
+    (fun (p : Sw_experiments.Fig9_10.point) ->
+      let m = p.Sw_experiments.Fig9_10.measured in
+      Alcotest.(check bool) "components within makespan" true
+        (m.Sw_sim.Metrics.comp_cycles <= m.Sw_sim.Metrics.cycles
+        && m.Sw_sim.Metrics.dma_wait_cycles <= m.Sw_sim.Metrics.cycles))
+    s.Sw_experiments.Fig9_10.points
+
+let test_table2_claims () =
+  (* full scale: the quality-loss bound needs realistic chunk counts *)
+  let rows = Sw_experiments.Table2.run ~scale:1.0 () in
+  Alcotest.(check int) "five kernels" 5 (List.length rows);
+  List.iter
+    (fun (r : Sw_experiments.Table2.row) ->
+      Alcotest.(check bool)
+        (r.Sw_experiments.Table2.name ^ " quality loss under 6% (paper bound)")
+        true
+        (r.Sw_experiments.Table2.quality_loss < 0.06);
+      Alcotest.(check bool) (r.Sw_experiments.Table2.name ^ " static tuning faster") true
+        (r.Sw_experiments.Table2.savings > 1.0);
+      Alcotest.(check bool) (r.Sw_experiments.Table2.name ^ " tuning helps") true
+        (r.Sw_experiments.Table2.empirical.Sw_tuning.Tuner.speedup > 1.0))
+    rows
+
+let tests =
+  ( "experiments",
+    [
+      Alcotest.test_case "fig6 rows and csv" `Slow test_fig6_rows;
+      Alcotest.test_case "fig7a: smaller grain helps, spills spike" `Slow test_fig7a_shape;
+      Alcotest.test_case "fig7b: larger partition amortizes" `Slow test_fig7b_shape;
+      Alcotest.test_case "fig8: small, well-predicted db gain" `Slow test_fig8_shape;
+      Alcotest.test_case "fig9 dynamics: 48 beats 64" `Slow test_fig9_dynamics_shape;
+      Alcotest.test_case "fig9 physics: keeps scaling" `Slow test_fig9_physics_shape;
+      Alcotest.test_case "fig10 breakdown consistent" `Slow test_fig10_breakdown_consistent;
+      Alcotest.test_case "table2 claims" `Slow test_table2_claims;
+    ] )

@@ -1,0 +1,93 @@
+(* Shape tests for the extension experiments. *)
+
+let test_fig4_scenarios () =
+  let s1 = Sw_experiments.Fig4_timeline.run_compute_bound () in
+  let s2 = Sw_experiments.Fig4_timeline.run_memory_bound () in
+  Alcotest.(check bool) "scenario 1 classified compute-bound" true
+    (s1.Sw_experiments.Fig4_timeline.predicted.Swpm.Predict.scenario = Swpm.Predict.Compute_bound);
+  Alcotest.(check bool) "scenario 2 classified memory-bound" true
+    (s2.Sw_experiments.Fig4_timeline.predicted.Swpm.Predict.scenario = Swpm.Predict.Memory_bound);
+  (* the compute-bound timeline must actually show compute cells *)
+  Alcotest.(check bool) "timeline has compute cells" true
+    (String.contains s1.Sw_experiments.Fig4_timeline.timeline 'C');
+  (* the memory-bound one is dominated by DMA stalls *)
+  let count c s = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 s in
+  Alcotest.(check bool) "memory-bound timeline mostly stalls" true
+    (count 'D' s2.Sw_experiments.Fig4_timeline.timeline
+    > 10 * count 'C' s2.Sw_experiments.Fig4_timeline.timeline)
+
+let test_fig4_model_accuracy () =
+  List.iter
+    (fun (r : Sw_experiments.Fig4_timeline.result) ->
+      let err =
+        Sw_util.Stats.relative_error
+          ~predicted:r.Sw_experiments.Fig4_timeline.predicted.Swpm.Predict.t_total
+          ~actual:r.Sw_experiments.Fig4_timeline.metrics.Sw_sim.Metrics.cycles
+      in
+      Alcotest.(check bool) (r.Sw_experiments.Fig4_timeline.scenario ^ " tracked") true (err < 0.10))
+    [ Sw_experiments.Fig4_timeline.run_compute_bound (); Sw_experiments.Fig4_timeline.run_memory_bound () ]
+
+let test_coalescing_rows () =
+  let rows = Sw_experiments.Coalescing.run ~scale:0.5 () in
+  let bfs4 =
+    List.find
+      (fun (r : Sw_experiments.Coalescing.row) ->
+        r.Sw_experiments.Coalescing.name = "bfs" && r.Sw_experiments.Coalescing.factor = 4)
+      rows
+  in
+  Alcotest.(check bool) "bfs coalescing wins big" true
+    (bfs4.Sw_experiments.Coalescing.speedup_vs_uncoalesced > 1.8);
+  let model_err =
+    Sw_util.Stats.relative_error ~predicted:bfs4.Sw_experiments.Coalescing.predicted
+      ~actual:bfs4.Sw_experiments.Coalescing.measured
+  in
+  Alcotest.(check bool) "model tracks coalesced bfs" true (model_err < 0.10)
+
+let test_input_sensitivity_rows () =
+  let rows =
+    Sw_experiments.Input_sensitivity.run ~scales:[ 0.5; 1.0 ] ~kernels:[ "kmeans"; "bfs" ] ()
+  in
+  Alcotest.(check int) "two kernels" 2 (List.length rows);
+  List.iter
+    (fun (r : Sw_experiments.Input_sensitivity.row) ->
+      List.iter
+        (fun (_, e) ->
+          Alcotest.(check bool) (r.Sw_experiments.Input_sensitivity.name ^ " in single digits")
+            true (e < 0.10))
+        r.Sw_experiments.Input_sensitivity.errors)
+    rows
+
+let test_gflops_rows () =
+  let rows = Sw_experiments.Gflops.run ~scale:0.5 ~kernels:[ "kmeans" ] () in
+  match rows with
+  | [ r ] ->
+      Alcotest.(check bool) "tuned at least as fast" true (r.Sw_experiments.Gflops.improvement >= 0.99);
+      Alcotest.(check bool) "vector beats scalar" true
+        (r.Sw_experiments.Gflops.vector_gflops > r.Sw_experiments.Gflops.tuned_gflops *. 1.5);
+      Alcotest.(check bool) "below peak" true (r.Sw_experiments.Gflops.peak_fraction < 1.0)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_model_comparison_suite () =
+  let rows = Sw_experiments.Model_comparison.run_suite ~scale:0.5 () in
+  Alcotest.(check int) "13 kernels" 13 (List.length rows);
+  let avg sel = Sw_util.Stats.mean (Array.of_list (List.map sel rows)) in
+  Alcotest.(check bool) "swpm beats roofline on average" true
+    (avg (fun (r : Sw_experiments.Model_comparison.suite_row) -> r.Sw_experiments.Model_comparison.swpm_error)
+    < avg (fun r -> r.Sw_experiments.Model_comparison.roofline_error));
+  List.iter
+    (fun (r : Sw_experiments.Model_comparison.suite_row) ->
+      Alcotest.(check bool) (r.Sw_experiments.Model_comparison.name ^ ": roofline optimistic") true
+        (r.Sw_experiments.Model_comparison.roofline_predicted
+        <= r.Sw_experiments.Model_comparison.measured *. 1.01))
+    rows
+
+let tests =
+  ( "experiments-ext",
+    [
+      Alcotest.test_case "fig4 scenarios" `Slow test_fig4_scenarios;
+      Alcotest.test_case "fig4 model accuracy" `Slow test_fig4_model_accuracy;
+      Alcotest.test_case "coalescing rows" `Slow test_coalescing_rows;
+      Alcotest.test_case "input sensitivity rows" `Slow test_input_sensitivity_rows;
+      Alcotest.test_case "gflops rows" `Slow test_gflops_rows;
+      Alcotest.test_case "model comparison suite" `Slow test_model_comparison_suite;
+    ] )

@@ -1,0 +1,84 @@
+open Swpm
+
+let p = Sw_arch.Params.default
+
+let config = Sw_sim.Config.default p
+
+let test_no_gloads_identity () =
+  let kernel = Sw_workloads.Vadd.kernel ~scale:0.25 in
+  let lowered = Sw_swacc.Lower.lower_exn p kernel Sw_workloads.Vadd.variant in
+  let cal = Hybrid.calibrate config lowered in
+  Alcotest.(check (float 1e-9)) "no gloads, factor 1" 1.0 cal.Hybrid.gload_factor;
+  let s = lowered.Sw_swacc.Lowered.summary in
+  Alcotest.(check (float 1e-9)) "predict unchanged"
+    (Predict.run p s).Predict.t_total
+    (Hybrid.predict p s ~calibration:cal).Predict.t_total
+
+let test_factor_scales_gload_term () =
+  let e = Sw_workloads.Registry.find_exn "bfs" in
+  let lowered =
+    Sw_swacc.Lower.lower_exn p (e.Sw_workloads.Registry.build ~scale:0.5)
+      e.Sw_workloads.Registry.variant
+  in
+  let s = lowered.Sw_swacc.Lowered.summary in
+  let half = { Hybrid.gload_factor = 0.5; profile_cycles = 0.0 } in
+  let base = Predict.run p s in
+  let scaled = Hybrid.predict p s ~calibration:half in
+  Alcotest.(check (float 1e-6)) "t_g halved" (base.Predict.t_g /. 2.0) scaled.Predict.t_g;
+  Alcotest.(check bool) "total shrinks" true (scaled.Predict.t_total < base.Predict.t_total)
+
+let test_factor_clamped () =
+  let e = Sw_workloads.Registry.find_exn "bfs" in
+  let lowered =
+    Sw_swacc.Lower.lower_exn p (e.Sw_workloads.Registry.build ~scale:0.25)
+      e.Sw_workloads.Registry.variant
+  in
+  let cal = Hybrid.calibrate config lowered in
+  Alcotest.(check bool) "factor in [0.1, 1.5]" true
+    (cal.Hybrid.gload_factor >= 0.1 && cal.Hybrid.gload_factor <= 1.5)
+
+let test_balanced_kernel_calibrates_near_one () =
+  (* ordinary BFS is already bandwidth-balanced: the probe should not
+     move the model much *)
+  let e = Sw_workloads.Registry.find_exn "bfs" in
+  let lowered =
+    Sw_swacc.Lower.lower_exn p (e.Sw_workloads.Registry.build ~scale:1.0)
+      e.Sw_workloads.Registry.variant
+  in
+  let cal = Hybrid.calibrate config lowered in
+  Alcotest.(check bool)
+    (Printf.sprintf "factor %.2f near 1" cal.Hybrid.gload_factor)
+    true
+    (cal.Hybrid.gload_factor > 0.8 && cal.Hybrid.gload_factor < 1.2)
+
+let test_skewed_study () =
+  let r = Sw_experiments.Hybrid_study.run () in
+  Alcotest.(check bool)
+    (Printf.sprintf "static badly off (%.0f%%)" (r.Sw_experiments.Hybrid_study.static_error *. 100.))
+    true
+    (r.Sw_experiments.Hybrid_study.static_error > 0.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid accurate (%.1f%%)" (r.Sw_experiments.Hybrid_study.hybrid_error *. 100.))
+    true
+    (r.Sw_experiments.Hybrid_study.hybrid_error < 0.10);
+  Alcotest.(check bool) "probe much cheaper than a full run" true
+    (r.Sw_experiments.Hybrid_study.profile_fraction < 0.5)
+
+let test_skewed_kernel_shape () =
+  let k = Sw_experiments.Hybrid_study.skewed_bfs ~scale:0.5 in
+  match k.Sw_swacc.Kernel.gloads with
+  | Some g ->
+      Alcotest.(check bool) "hub heavier than leaf" true
+        (g.Sw_swacc.Kernel.count_for 0 > 10 * g.Sw_swacc.Kernel.count_for 100)
+  | None -> Alcotest.fail "skewed bfs must have gloads"
+
+let tests =
+  ( "hybrid",
+    [
+      Alcotest.test_case "no gloads identity" `Quick test_no_gloads_identity;
+      Alcotest.test_case "factor scales gload term" `Quick test_factor_scales_gload_term;
+      Alcotest.test_case "factor clamped" `Quick test_factor_clamped;
+      Alcotest.test_case "balanced kernel near 1" `Quick test_balanced_kernel_calibrates_near_one;
+      Alcotest.test_case "skewed study" `Slow test_skewed_study;
+      Alcotest.test_case "skewed kernel shape" `Quick test_skewed_kernel_shape;
+    ] )

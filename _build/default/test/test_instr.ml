@@ -1,0 +1,87 @@
+open Sw_isa
+
+let p = Sw_arch.Params.default
+
+let test_latencies () =
+  Alcotest.(check int) "fadd" 9 (Instr.latency p Instr.Fadd);
+  Alcotest.(check int) "fmul" 9 (Instr.latency p Instr.Fmul);
+  Alcotest.(check int) "fmadd" 9 (Instr.latency p Instr.Fmadd);
+  Alcotest.(check int) "fdiv" 34 (Instr.latency p Instr.Fdiv);
+  Alcotest.(check int) "fsqrt" 34 (Instr.latency p Instr.Fsqrt);
+  Alcotest.(check int) "ialu" 1 (Instr.latency p Instr.Ialu);
+  Alcotest.(check int) "spm load" 3 (Instr.latency p Instr.Spm_load);
+  Alcotest.(check int) "spm store" 3 (Instr.latency p Instr.Spm_store);
+  Alcotest.(check int) "gload placeholder" 0 (Instr.latency p Instr.Gload_use)
+
+let test_pipes () =
+  Alcotest.(check bool) "fadd P0" true (Instr.pipe Instr.Fadd = `P0);
+  Alcotest.(check bool) "fdiv P0" true (Instr.pipe Instr.Fdiv = `P0);
+  Alcotest.(check bool) "spm P1" true (Instr.pipe Instr.Spm_load = `P1);
+  Alcotest.(check bool) "gload P1" true (Instr.pipe Instr.Gload_use = `P1)
+
+let test_pipelining () =
+  Alcotest.(check bool) "fadd pipelined" true (Instr.pipelined Instr.Fadd);
+  Alcotest.(check bool) "fdiv unpipelined" false (Instr.pipelined Instr.Fdiv);
+  Alcotest.(check bool) "fsqrt unpipelined" false (Instr.pipelined Instr.Fsqrt)
+
+let test_is_compute () =
+  Alcotest.(check bool) "spm is compute (paper III-D)" true (Instr.is_compute Instr.Spm_load);
+  Alcotest.(check bool) "gload is not compute" false (Instr.is_compute Instr.Gload_use)
+
+let block =
+  [|
+    Instr.make Instr.Fadd ~dst:1 [ 0; 0 ];
+    Instr.make Instr.Fmadd ~dst:2 [ 1; 1; 1 ];
+    Instr.make Instr.Fdiv ~dst:3 [ 2; 2 ];
+    Instr.make Instr.Ialu ~dst:4 [];
+    Instr.make Instr.Spm_load ~dst:5 [ 4 ];
+    Instr.make Instr.Spm_store [ 5 ];
+    Instr.make Instr.Gload_use ~dst:6 [];
+  |]
+
+let test_count () =
+  let c = Instr.count block in
+  Alcotest.(check int) "fadd" 1 c.Instr.Counts.fadd;
+  Alcotest.(check int) "fmadd" 1 c.Instr.Counts.fmadd;
+  Alcotest.(check int) "fdiv" 1 c.Instr.Counts.fdiv;
+  Alcotest.(check int) "ialu" 1 c.Instr.Counts.ialu;
+  Alcotest.(check int) "spm_load" 1 c.Instr.Counts.spm_load;
+  Alcotest.(check int) "spm_store" 1 c.Instr.Counts.spm_store;
+  Alcotest.(check int) "gload" 1 c.Instr.Counts.gload_use;
+  Alcotest.(check int) "fsqrt" 0 c.Instr.Counts.fsqrt
+
+let test_work_cycles () =
+  let c = Instr.count block in
+  (* fadd 9 + fmadd 9 + fdiv 34 + ialu 1 + 2 spm x3 = 59; gload excluded *)
+  Alcotest.(check (float 1e-9)) "work cycles" 59.0 (Instr.Counts.work_cycles p c)
+
+let test_flops () =
+  let c = Instr.count block in
+  (* fadd 1 + fmadd 2 + fdiv 1 = 4 *)
+  Alcotest.(check int) "flops" 4 (Instr.Counts.flops c)
+
+let test_counts_algebra () =
+  let c = Instr.count block in
+  let doubled = Instr.Counts.add c c in
+  let scaled = Instr.Counts.scale c 2 in
+  Alcotest.(check bool) "add = scale 2" true (doubled = scaled);
+  Alcotest.(check bool) "zero is neutral" true (Instr.Counts.add c Instr.Counts.zero = c);
+  Alcotest.(check int) "total compute" 6 (Instr.Counts.total_compute c)
+
+let test_pp () =
+  let s = Format.asprintf "%a" Instr.pp (Instr.make Instr.Fadd ~dst:3 [ 1; 2 ]) in
+  Alcotest.(check string) "pp" "r3 <- fadd r1, r2" s
+
+let tests =
+  ( "instr",
+    [
+      Alcotest.test_case "Table I latencies" `Quick test_latencies;
+      Alcotest.test_case "pipe assignment" `Quick test_pipes;
+      Alcotest.test_case "pipelining" `Quick test_pipelining;
+      Alcotest.test_case "compute classification" `Quick test_is_compute;
+      Alcotest.test_case "count histogram" `Quick test_count;
+      Alcotest.test_case "work cycles" `Quick test_work_cycles;
+      Alcotest.test_case "flops" `Quick test_flops;
+      Alcotest.test_case "counts algebra" `Quick test_counts_algebra;
+      Alcotest.test_case "pretty printing" `Quick test_pp;
+    ] )

@@ -1,0 +1,115 @@
+open Sw_swacc
+
+let copy ?(name = "a") ?(bytes = 8) ?(freq = Kernel.Per_element) ?(layout = Kernel.Contiguous)
+    ?(base = 0) dir =
+  {
+    Kernel.array_name = name;
+    bytes_per_elem = bytes;
+    direction = dir;
+    freq;
+    layout;
+    base_addr = base;
+  }
+
+let body = [ Body.Store ("a", Body.Add (Body.load "a", Body.Const 1.0)) ]
+
+let mk ?(n = 1024) ?(copies = [ copy Kernel.Inout ]) () =
+  Kernel.make ~name:"t" ~n_elements:n ~copies ~body ()
+
+let test_make_rejects () =
+  let expect f = match f () with exception Invalid_argument _ -> () | _ -> Alcotest.fail "expected reject" in
+  expect (fun () -> mk ~n:0 ());
+  expect (fun () -> mk ~copies:[ copy ~bytes:0 Kernel.In ] ());
+  expect (fun () -> mk ~copies:[ copy ~base:(-4) Kernel.In ] ());
+  expect (fun () ->
+      mk ~copies:[ copy ~bytes:128 ~layout:(Kernel.Strided 64) Kernel.In ] ());
+  expect (fun () ->
+      Kernel.make ~name:"t" ~n_elements:4 ~copies:[ copy Kernel.In ] ~body
+        ~body_trips_per_element:0 ())
+
+let test_spm_per_chunk () =
+  let k =
+    mk
+      ~copies:
+        [
+          copy ~name:"in" ~bytes:8 Kernel.In;
+          copy ~name:"shared" ~bytes:1000 ~freq:Kernel.Per_chunk Kernel.In;
+          copy ~name:"out" ~bytes:4 Kernel.Out;
+        ]
+      ()
+  in
+  Alcotest.(check int) "grain 10" ((12 * 10) + 1000) (Kernel.spm_bytes_per_chunk k ~grain:10);
+  Alcotest.(check int) "per-element bytes" 12 (Kernel.elem_bytes_per_element k)
+
+let test_total_chunks () =
+  let k = mk ~n:1000 () in
+  Alcotest.(check int) "exact" 10 (Kernel.total_chunks k ~grain:100);
+  Alcotest.(check int) "ragged" 11 (Kernel.total_chunks k ~grain:99);
+  Alcotest.check_raises "grain 0" (Invalid_argument "Kernel.total_chunks: grain must be positive")
+    (fun () -> ignore (Kernel.total_chunks k ~grain:0))
+
+let test_effective_active () =
+  let k = mk ~n:100 () in
+  Alcotest.(check int) "starved by coarse tile" 10
+    (Kernel.effective_active_cpes k ~grain:10 ~requested:64);
+  Alcotest.(check int) "plenty of chunks" 64
+    (Kernel.effective_active_cpes k ~grain:1 ~requested:64)
+
+let test_chunks_round_robin () =
+  let k = mk ~n:100 () in
+  (* 10 chunks of 10 over 4 CPEs: CPE 0 takes chunks 0,4,8 *)
+  Alcotest.(check (list (pair int int))) "cpe 0" [ (0, 10); (40, 10); (80, 10) ]
+    (Kernel.chunks_of_cpe k ~grain:10 ~active_cpes:4 ~cpe:0);
+  Alcotest.(check (list (pair int int))) "cpe 3" [ (30, 10); (70, 10) ]
+    (Kernel.chunks_of_cpe k ~grain:10 ~active_cpes:4 ~cpe:3)
+
+let test_last_chunk_partial () =
+  let k = mk ~n:95 () in
+  let all =
+    List.concat_map
+      (fun cpe -> Kernel.chunks_of_cpe k ~grain:10 ~active_cpes:4 ~cpe)
+      [ 0; 1; 2; 3 ]
+  in
+  let last = List.find (fun (first, _) -> first = 90) all in
+  Alcotest.(check int) "partial tail chunk" 5 (snd last)
+
+let prop_chunks_partition_domain =
+  QCheck.Test.make ~name:"chunks exactly cover the domain" ~count:200
+    QCheck.(triple (int_range 1 5000) (int_range 1 300) (int_range 1 64))
+    (fun (n, grain, requested) ->
+      let k = mk ~n () in
+      let active = Kernel.effective_active_cpes k ~grain ~requested in
+      let all =
+        List.concat
+          (List.init active (fun cpe -> Kernel.chunks_of_cpe k ~grain ~active_cpes:active ~cpe))
+      in
+      let covered = List.fold_left (fun acc (_, len) -> acc + len) 0 all in
+      let sorted = List.sort compare all in
+      let rec contiguous start = function
+        | [] -> start = n
+        | (first, len) :: rest -> first = start && contiguous (start + len) rest
+      in
+      covered = n && contiguous 0 sorted)
+
+let prop_every_active_cpe_has_work =
+  QCheck.Test.make ~name:"every effective CPE gets at least one chunk" ~count:200
+    QCheck.(triple (int_range 1 5000) (int_range 1 300) (int_range 1 64))
+    (fun (n, grain, requested) ->
+      let k = mk ~n () in
+      let active = Kernel.effective_active_cpes k ~grain ~requested in
+      List.for_all
+        (fun cpe -> Kernel.chunks_of_cpe k ~grain ~active_cpes:active ~cpe <> [])
+        (List.init active Fun.id))
+
+let tests =
+  ( "kernel",
+    [
+      Alcotest.test_case "make rejections" `Quick test_make_rejects;
+      Alcotest.test_case "SPM per chunk" `Quick test_spm_per_chunk;
+      Alcotest.test_case "total chunks" `Quick test_total_chunks;
+      Alcotest.test_case "effective active CPEs (tile starvation)" `Quick test_effective_active;
+      Alcotest.test_case "round-robin chunk assignment" `Quick test_chunks_round_robin;
+      Alcotest.test_case "partial tail chunk" `Quick test_last_chunk_partial;
+      QCheck_alcotest.to_alcotest prop_chunks_partition_domain;
+      QCheck_alcotest.to_alcotest prop_every_active_cpe_has_work;
+    ] )

@@ -1,0 +1,64 @@
+open Sw_swacc
+
+let test_alignment () =
+  let l = Layout.create () in
+  let a = Layout.alloc l ~bytes:100 in
+  let b = Layout.alloc l ~bytes:100 in
+  Alcotest.(check int) "first at 0" 0 a;
+  Alcotest.(check int) "second aligned to 256" 256 b
+
+let test_exact_fit () =
+  let l = Layout.create () in
+  let _ = Layout.alloc l ~bytes:256 in
+  let b = Layout.alloc l ~bytes:8 in
+  Alcotest.(check int) "no padding needed" 256 b
+
+let test_custom_align () =
+  let l = Layout.create ~align:64 () in
+  let _ = Layout.alloc l ~bytes:10 in
+  let b = Layout.alloc l ~bytes:10 in
+  Alcotest.(check int) "64-byte alignment" 64 b
+
+let test_used_bytes () =
+  let l = Layout.create () in
+  let _ = Layout.alloc l ~bytes:100 in
+  let _ = Layout.alloc l ~bytes:50 in
+  Alcotest.(check int) "used includes padding" (256 + 50) (Layout.used_bytes l)
+
+let test_rejects () =
+  let l = Layout.create () in
+  Alcotest.check_raises "zero bytes" (Invalid_argument "Layout.alloc: bytes must be positive")
+    (fun () -> ignore (Layout.alloc l ~bytes:0));
+  Alcotest.check_raises "bad align" (Invalid_argument "Layout.create: align must be positive")
+    (fun () -> ignore (Layout.create ~align:0 ()))
+
+let prop_no_overlap =
+  QCheck.Test.make ~name:"allocations never overlap" ~count:200
+    QCheck.(small_list (int_range 1 10_000))
+    (fun sizes ->
+      let l = Layout.create () in
+      let spans = List.map (fun bytes -> (Layout.alloc l ~bytes, bytes)) sizes in
+      let rec disjoint = function
+        | (a, sa) :: ((b, _) :: _ as rest) -> a + sa <= b && disjoint rest
+        | [ _ ] | [] -> true
+      in
+      disjoint spans)
+
+let prop_all_aligned =
+  QCheck.Test.make ~name:"all bases 256-aligned" ~count:200
+    QCheck.(small_list (int_range 1 10_000))
+    (fun sizes ->
+      let l = Layout.create () in
+      List.for_all (fun bytes -> Layout.alloc l ~bytes mod 256 = 0) sizes)
+
+let tests =
+  ( "layout",
+    [
+      Alcotest.test_case "alignment" `Quick test_alignment;
+      Alcotest.test_case "exact fit" `Quick test_exact_fit;
+      Alcotest.test_case "custom alignment" `Quick test_custom_align;
+      Alcotest.test_case "used bytes" `Quick test_used_bytes;
+      Alcotest.test_case "rejects bad input" `Quick test_rejects;
+      QCheck_alcotest.to_alcotest prop_no_overlap;
+      QCheck_alcotest.to_alcotest prop_all_aligned;
+    ] )

@@ -1,0 +1,126 @@
+open Sw_swacc
+
+let p = Sw_arch.Params.default
+
+(* matvec: y[i] = sum_j A[i][j] * x[j] — one of each index shape *)
+let matvec_arrays =
+  [ Loopnest.array_ "A" `IJ; Loopnest.array_ "x" `J; Loopnest.array_ ~elem_bytes:8 "y" `I ]
+
+let matvec_body =
+  [
+    Body.Accum ("acc", Body.OAdd, Body.Mul (Body.load "A", Body.load "x"));
+    Body.Store ("y", Body.Acc "acc");
+  ]
+
+let matvec () =
+  Loopnest.compile ~name:"matvec" ~outer:4096 ~inner:256 ~arrays:matvec_arrays ~body:matvec_body ()
+
+let find_copy k name =
+  List.find (fun (c : Kernel.copy_spec) -> c.Kernel.array_name = name) k.Kernel.copies
+
+let test_copy_plan () =
+  let k = matvec () in
+  let a = find_copy k "A" and x = find_copy k "x" and y = find_copy k "y" in
+  Alcotest.(check int) "A carries a row per element" (256 * 4) a.Kernel.bytes_per_elem;
+  Alcotest.(check bool) "A is copy-in" true (a.Kernel.direction = Kernel.In);
+  Alcotest.(check bool) "x is chunk-shared" true (x.Kernel.freq = Kernel.Per_chunk);
+  Alcotest.(check int) "x holds the whole vector" (256 * 4) x.Kernel.bytes_per_elem;
+  Alcotest.(check bool) "y is copy-out" true (y.Kernel.direction = Kernel.Out);
+  Alcotest.(check int) "y element size" 8 y.Kernel.bytes_per_elem;
+  Alcotest.(check int) "inner extent becomes trips" 256 k.Kernel.body_trips_per_element
+
+let test_inout_detection () =
+  let body = [ Body.Store ("A", Body.Add (Body.load "A", Body.Const 1.0)) ] in
+  let k =
+    Loopnest.compile ~name:"inc" ~outer:64 ~inner:1 ~arrays:[ Loopnest.array_ "A" `I ] ~body ()
+  in
+  Alcotest.(check bool) "read+write = Inout" true
+    ((find_copy k "A").Kernel.direction = Kernel.Inout)
+
+let test_unused_array_dropped () =
+  let k =
+    Loopnest.compile ~name:"drop" ~outer:64 ~inner:1
+      ~arrays:[ Loopnest.array_ "used" `I; Loopnest.array_ "unused" `I ]
+      ~body:[ Body.Store ("used", Body.Const 0.0) ]
+      ()
+  in
+  Alcotest.(check int) "only the used array is copied" 1 (List.length k.Kernel.copies)
+
+let test_undeclared_rejected () =
+  match
+    Loopnest.compile ~name:"bad" ~outer:4 ~inner:1 ~arrays:[]
+      ~body:[ Body.Store ("ghost", Body.Const 0.0) ]
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undeclared array should be rejected"
+
+let test_shared_store_rejected () =
+  match
+    Loopnest.compile ~name:"race" ~outer:4 ~inner:4
+      ~arrays:[ Loopnest.array_ "s" `J ]
+      ~body:[ Body.Store ("s", Body.Const 0.0) ]
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "store to shared array should be rejected"
+
+let test_bad_extent_rejected () =
+  match
+    Loopnest.compile ~name:"bad" ~outer:0 ~inner:1 ~arrays:[ Loopnest.array_ "a" `I ]
+      ~body:[ Body.Store ("a", Body.Const 0.0) ]
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero extent should be rejected"
+
+let test_spm_estimate_matches_kernel () =
+  let k = matvec () in
+  Alcotest.(check int) "estimate equals the compiled kernel's need"
+    (Kernel.spm_bytes_per_chunk k ~grain:8)
+    (Loopnest.spm_estimate ~arrays:matvec_arrays ~inner:256 ~grain:8)
+
+let test_compiles_and_runs_end_to_end () =
+  let k = matvec () in
+  let variant = { Kernel.grain = 4; unroll = 2; active_cpes = 64; double_buffer = false } in
+  let lowered = Lower.lower_exn p k variant in
+  let config = Sw_sim.Config.default p in
+  let row = Swpm.Accuracy.evaluate config lowered in
+  Alcotest.(check bool)
+    (Printf.sprintf "model tracks the nest (%.1f%%)" (Swpm.Accuracy.error row *. 100.0))
+    true
+    (Swpm.Accuracy.error row < 0.10)
+
+let test_matches_handwritten_vadd () =
+  (* the Figure-3 vector-add, declared as a nest, must lower to the same
+     request structure as the hand-written workload *)
+  let nest =
+    Loopnest.compile ~name:"vadd-nest" ~outer:(1 lsl 20) ~inner:1
+      ~arrays:
+        [ Loopnest.array_ ~elem_bytes:8 "a" `I; Loopnest.array_ ~elem_bytes:8 "b" `I;
+          Loopnest.array_ ~elem_bytes:8 "c" `I ]
+      ~body:[ Body.Store ("c", Body.Add (Body.load "a", Body.load "b")) ]
+      ()
+  in
+  let hand = Sw_workloads.Vadd.kernel ~scale:1.0 in
+  let v = Sw_workloads.Vadd.variant in
+  let s_nest = (Lower.lower_exn p nest v).Lowered.summary in
+  let s_hand = (Lower.lower_exn p hand v).Lowered.summary in
+  Alcotest.(check (float 1e-9)) "same request count"
+    (Lowered.dma_requests_per_cpe s_hand)
+    (Lowered.dma_requests_per_cpe s_nest);
+  Alcotest.(check (float 1e-9)) "same avg MRT" (Lowered.avg_mrt s_hand) (Lowered.avg_mrt s_nest)
+
+let tests =
+  ( "loopnest",
+    [
+      Alcotest.test_case "copy plan derivation" `Quick test_copy_plan;
+      Alcotest.test_case "inout detection" `Quick test_inout_detection;
+      Alcotest.test_case "unused arrays dropped" `Quick test_unused_array_dropped;
+      Alcotest.test_case "undeclared array rejected" `Quick test_undeclared_rejected;
+      Alcotest.test_case "shared-array store rejected" `Quick test_shared_store_rejected;
+      Alcotest.test_case "bad extent rejected" `Quick test_bad_extent_rejected;
+      Alcotest.test_case "spm estimate" `Quick test_spm_estimate_matches_kernel;
+      Alcotest.test_case "nest runs end to end" `Quick test_compiles_and_runs_end_to_end;
+      Alcotest.test_case "nest matches hand-written vadd" `Quick test_matches_handwritten_vadd;
+    ] )

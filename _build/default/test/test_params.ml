@@ -1,0 +1,80 @@
+open Sw_arch
+
+let test_default_table1 () =
+  let p = Params.default in
+  Alcotest.(check (float 1e3)) "freq" 1.45e9 p.freq_hz;
+  Alcotest.(check (float 1e3)) "bw" 32e9 p.mem_bw_bytes_per_s;
+  Alcotest.(check int) "trans size" 256 p.trans_size;
+  Alcotest.(check int) "l_base" 220 p.l_base;
+  Alcotest.(check int) "delta" 50 p.delta_delay;
+  Alcotest.(check int) "l_float" 9 p.l_float;
+  Alcotest.(check int) "l_fixed" 1 p.l_fixed;
+  Alcotest.(check int) "l_spm" 3 p.l_spm;
+  Alcotest.(check int) "l_div_sqrt" 34 p.l_div_sqrt;
+  Alcotest.(check int) "cpes" 64 p.cpes_per_cg;
+  Alcotest.(check int) "spm" 65536 p.spm_bytes
+
+let test_default_valid () =
+  match Params.validate Params.default with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "default invalid: %s" msg
+
+let expect_invalid p what =
+  match Params.validate p with
+  | Ok _ -> Alcotest.failf "%s should be invalid" what
+  | Error _ -> ()
+
+let test_validate_rejects () =
+  let p = Params.default in
+  expect_invalid { p with freq_hz = 0.0 } "zero freq";
+  expect_invalid { p with trans_size = 100 } "non power-of-two trans";
+  expect_invalid { p with l_base = 0 } "zero l_base";
+  expect_invalid { p with delta_delay = -1 } "negative delta";
+  expect_invalid { p with cpes_per_cg = 0 } "zero cpes";
+  expect_invalid { p with gload_max_bytes = 512 } "gload bigger than transaction";
+  expect_invalid { p with n_cgs = 5 } "too many CGs";
+  expect_invalid { p with max_ilp = 0 } "zero ilp"
+
+let test_with_cgs () =
+  let p = Params.with_cgs Params.default 4 in
+  Alcotest.(check int) "4 cgs" 4 p.n_cgs;
+  Alcotest.(check int) "256 cpes" 256 (Params.total_cpes p);
+  Alcotest.(check (float 1e3)) "bw scales" 128e9 (Params.total_mem_bw_bytes_per_s p);
+  Alcotest.check_raises "0 cgs rejected" (Invalid_argument "Params.with_cgs: n must be in 1..4")
+    (fun () -> ignore (Params.with_cgs Params.default 0))
+
+let test_derived () =
+  let p = Params.default in
+  Alcotest.(check bool) "bytes/cycle ~22.07" true
+    (Float.abs (Params.bytes_per_cycle p -. 22.069) < 0.01);
+  Alcotest.(check bool) "cycles/transaction ~11.6" true
+    (Float.abs (Params.cycles_per_transaction p -. 11.6) < 0.05);
+  (* paper: one CG peaks at 765 GFlops *)
+  Alcotest.(check bool) "peak flops ~742G" true
+    (Float.abs ((Params.peak_flops_per_cg p /. 1e9) -. 742.4) < 1.0)
+
+let test_pp_mentions_values () =
+  let s = Format.asprintf "%a" Params.pp Params.default in
+  List.iter
+    (fun needle ->
+      if
+        not
+          (let len = String.length needle in
+           let found = ref false in
+           for i = 0 to String.length s - len do
+             if String.sub s i len = needle then found := true
+           done;
+           !found)
+      then Alcotest.failf "pp output missing %S" needle)
+    [ "32.0 GB/s"; "1.45 GHz"; "256 bytes"; "220 cycles"; "64 KiB" ]
+
+let tests =
+  ( "params",
+    [
+      Alcotest.test_case "Table I defaults" `Quick test_default_table1;
+      Alcotest.test_case "default validates" `Quick test_default_valid;
+      Alcotest.test_case "validate rejects bad configs" `Quick test_validate_rejects;
+      Alcotest.test_case "with_cgs" `Quick test_with_cgs;
+      Alcotest.test_case "derived quantities" `Quick test_derived;
+      Alcotest.test_case "pp shows Table I" `Quick test_pp_mentions_values;
+    ] )

@@ -1,0 +1,120 @@
+open Swpm
+open Sw_swacc
+
+let p = Sw_arch.Params.default
+
+(* a small synthetic summary builder *)
+let summary ?(active = 64) ?(dma_groups = []) ?(gloads = 0) ?(computes = []) ?(db = false) () =
+  {
+    Lowered.active_cpes = active;
+    dma_groups;
+    gload_count = gloads;
+    gload_bytes = 8;
+    computes;
+    vector_width = 1;
+    double_buffered = db;
+  }
+
+let block trips =
+  let b = Codegen.block ~unroll:1 [ Body.Accum ("s", Body.OAdd, Body.load "a") ] in
+  { Lowered.block = b; trips }
+
+let group ?(payload = 4096) ?(mrt = 16) count =
+  { Lowered.payload_bytes = payload; mrt; count; transfers = 1 }
+
+let test_pure_compute () =
+  let pred = Predict.run p (summary ~computes:[ block 1000 ] ()) in
+  Alcotest.(check (float 1e-6)) "no memory time" 0.0 pred.Predict.t_mem;
+  Alcotest.(check (float 1e-6)) "no overlap" 0.0 pred.Predict.t_overlap;
+  Alcotest.(check (float 1e-6)) "total = comp" pred.Predict.t_comp pred.Predict.t_total;
+  Alcotest.(check bool) "compute bound" true (pred.Predict.scenario = Predict.Compute_bound)
+
+let test_pure_memory () =
+  let pred = Predict.run p (summary ~dma_groups:[ group 8.0 ] ()) in
+  Alcotest.(check (float 1e-6)) "no compute" 0.0 pred.Predict.t_comp;
+  Alcotest.(check (float 1e-6)) "total = dma" pred.Predict.t_dma pred.Predict.t_total;
+  Alcotest.(check bool) "memory bound" true (pred.Predict.scenario = Predict.Memory_bound)
+
+let test_overlap_reduces_total () =
+  let with_comp = Predict.run p (summary ~dma_groups:[ group 8.0 ] ~computes:[ block 5000 ] ()) in
+  let sum = with_comp.Predict.t_mem +. with_comp.Predict.t_comp in
+  Alcotest.(check bool) "total below serial sum" true (with_comp.Predict.t_total < sum);
+  Alcotest.(check bool) "total at least max component" true
+    (with_comp.Predict.t_total >= Stdlib.max with_comp.Predict.t_mem with_comp.Predict.t_comp -. 1e-6)
+
+let test_db_gain_zero_when_memory_bound () =
+  let pred = Predict.run p (summary ~dma_groups:[ group 8.0 ] ~db:true ()) in
+  Alcotest.(check (float 1e-6)) "nothing to prefetch into" 0.0 pred.Predict.db_gain
+
+let test_db_gain_bounded_by_eq14 () =
+  let s = summary ~dma_groups:[ group 8.0 ] ~computes:[ block 20000 ] () in
+  let base = Predict.run p { s with Lowered.double_buffered = false } in
+  let db = Predict.run p { s with Lowered.double_buffered = true } in
+  Alcotest.(check bool) "db total smaller" true (db.Predict.t_total < base.Predict.t_total);
+  let gain = base.Predict.t_total -. db.Predict.t_total in
+  Alcotest.(check bool) "gain bounded by one group's copy time" true
+    (gain <= (base.Predict.t_dma /. base.Predict.ng_dma) +. 1e-6)
+
+let test_avg_mrt_weighted () =
+  let s = summary ~dma_groups:[ group ~mrt:10 1.0; group ~mrt:2 3.0 ] () in
+  let pred = Predict.run p s in
+  Alcotest.(check (float 1e-6)) "Eq 12" 4.0 pred.Predict.avg_mrt_dma
+
+let test_more_requests_more_overlap () =
+  (* same traffic split into more requests overlaps better (Eq 8/13) *)
+  let total_mrt = 64 in
+  let few = Predict.run p (summary ~dma_groups:[ group ~mrt:(total_mrt / 2) 2.0 ] ~computes:[ block 50000 ] ()) in
+  let many = Predict.run p (summary ~dma_groups:[ group ~mrt:(total_mrt / 8) 8.0 ] ~computes:[ block 50000 ] ()) in
+  Alcotest.(check bool) "smaller granularity wins" true (many.Predict.t_total < few.Predict.t_total)
+
+let test_gload_dominated () =
+  let pred = Predict.run p (summary ~gloads:1000 ()) in
+  (* bandwidth-bound gloads: 1000 waves of 64 transactions *)
+  let expected = 1000.0 *. 64.0 *. Equations.cycles_per_transaction p in
+  Alcotest.(check (float 1.0)) "t_g" expected pred.Predict.t_g;
+  Alcotest.(check (float 1.0)) "total" expected pred.Predict.t_total
+
+let test_us_conversion () =
+  let pred = Predict.run p (summary ~computes:[ block 1000 ] ()) in
+  Alcotest.(check (float 1e-9)) "us" (pred.Predict.t_total /. 1.45e3)
+    (Predict.us pred ~freq_hz:1.45e9)
+
+let test_pp_runs () =
+  let pred = Predict.run p (summary ~dma_groups:[ group 4.0 ] ~computes:[ block 100 ] ()) in
+  Alcotest.(check bool) "pp output" true (String.length (Format.asprintf "%a" Predict.pp pred) > 50)
+
+let prop_total_at_least_components =
+  QCheck.Test.make ~name:"total >= max(T_mem, T_comp) and <= sum" ~count:200
+    QCheck.(triple (int_range 1 64) (int_range 0 64) (int_range 0 20000))
+    (fun (mrt, count, trips) ->
+      let computes = if trips = 0 then [] else [ block trips ] in
+      let dma_groups = if count = 0 then [] else [ group ~mrt (float_of_int count) ] in
+      let pred = Predict.run p (summary ~dma_groups ~computes ()) in
+      pred.Predict.t_total >= Stdlib.max pred.Predict.t_mem pred.Predict.t_comp -. 1e-6
+      && pred.Predict.t_total <= pred.Predict.t_mem +. pred.Predict.t_comp +. 1e-6)
+
+let prop_overlap_nonnegative =
+  QCheck.Test.make ~name:"overlap in [0, T_comp]" ~count:200
+    QCheck.(triple (int_range 1 64) (int_range 1 64) (int_range 1 20000))
+    (fun (mrt, count, trips) ->
+      let pred =
+        Predict.run p (summary ~dma_groups:[ group ~mrt (float_of_int count) ] ~computes:[ block trips ] ())
+      in
+      pred.Predict.t_overlap >= 0.0 && pred.Predict.t_overlap <= pred.Predict.t_comp +. 1e-6)
+
+let tests =
+  ( "predict",
+    [
+      Alcotest.test_case "pure compute" `Quick test_pure_compute;
+      Alcotest.test_case "pure memory" `Quick test_pure_memory;
+      Alcotest.test_case "overlap reduces total" `Quick test_overlap_reduces_total;
+      Alcotest.test_case "db gain zero when memory bound" `Quick test_db_gain_zero_when_memory_bound;
+      Alcotest.test_case "db gain bounded (Eq 14)" `Quick test_db_gain_bounded_by_eq14;
+      Alcotest.test_case "avg MRT weighted (Eq 12)" `Quick test_avg_mrt_weighted;
+      Alcotest.test_case "more requests overlap better" `Quick test_more_requests_more_overlap;
+      Alcotest.test_case "gload dominated" `Quick test_gload_dominated;
+      Alcotest.test_case "us conversion" `Quick test_us_conversion;
+      Alcotest.test_case "pp" `Quick test_pp_runs;
+      QCheck_alcotest.to_alcotest prop_total_at_least_components;
+      QCheck_alcotest.to_alcotest prop_overlap_nonnegative;
+    ] )

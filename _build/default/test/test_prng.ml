@@ -1,0 +1,125 @@
+open Sw_util
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different seeds diverge" true (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_copy_independent () =
+  let a = Prng.create 7 in
+  let _ = Prng.next_int64 a in
+  let b = Prng.copy a in
+  let xa = Prng.next_int64 a in
+  let xb = Prng.next_int64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  (* advancing the copy does not disturb the original *)
+  let _ = Prng.next_int64 b in
+  let a' = Prng.copy a in
+  Alcotest.(check int64) "original unaffected" (Prng.next_int64 a) (Prng.next_int64 a')
+
+let test_split_diverges () =
+  let a = Prng.create 9 in
+  let child = Prng.split a in
+  Alcotest.(check bool) "child stream differs from parent" true
+    (Prng.next_int64 child <> Prng.next_int64 a)
+
+let test_int_bounds () =
+  let g = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "int out of bounds: %d" v
+  done
+
+let test_int_in_bounds () =
+  let g = Prng.create 4 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int_in g (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "int_in out of bounds: %d" v
+  done
+
+let test_float_bounds () =
+  let g = Prng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float g 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "float out of bounds: %f" v
+  done
+
+let test_int_coverage () =
+  (* every residue of a small bound should appear *)
+  let g = Prng.create 6 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 10_000 do
+    seen.(Prng.int g 8) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_gaussian_moments () =
+  let g = Prng.create 11 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Prng.gaussian g ~mu:3.0 ~sigma:2.0) in
+  let m = Stats.mean xs and sd = Stats.stddev xs in
+  Alcotest.(check bool) "mean near mu" true (Float.abs (m -. 3.0) < 0.05);
+  Alcotest.(check bool) "stddev near sigma" true (Float.abs (sd -. 2.0) < 0.05)
+
+let test_exponential_mean () =
+  let g = Prng.create 12 in
+  let xs = Array.init 50_000 (fun _ -> Prng.exponential g ~mean:4.0) in
+  Alcotest.(check bool) "mean near 4" true (Float.abs (Stats.mean xs -. 4.0) < 0.15);
+  Alcotest.(check bool) "all positive" true (Array.for_all (fun x -> x > 0.0) xs)
+
+let test_shuffle_permutation () =
+  let g = Prng.create 13 in
+  let a = Array.init 100 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation preserved" (Array.init 100 Fun.id) sorted;
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 100 Fun.id)
+
+let test_bool_balanced () =
+  let g = Prng.create 14 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bool g then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 4_500 && !trues < 5_500)
+
+let test_choose () =
+  let g = Prng.create 15 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    let v = Prng.choose g a in
+    Alcotest.(check bool) "chosen from array" true (Array.mem v a)
+  done
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"prng int always within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let tests =
+  ( "prng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "copy independence" `Quick test_copy_independent;
+      Alcotest.test_case "split diverges" `Quick test_split_diverges;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+      Alcotest.test_case "float bounds" `Quick test_float_bounds;
+      Alcotest.test_case "int coverage" `Quick test_int_coverage;
+      Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+      Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+      Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+      Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+      Alcotest.test_case "choose from array" `Quick test_choose;
+      QCheck_alcotest.to_alcotest prop_int_in_range;
+    ] )

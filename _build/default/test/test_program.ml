@@ -1,0 +1,99 @@
+open Sw_isa
+open Sw_arch
+
+let p = Params.default
+
+let fadd dst srcs = Instr.make Instr.Fadd ~dst srcs
+
+let block2 = [| fadd 1 [ 0; 0 ]; fadd 2 [ 1; 1 ] |]
+
+let dma_get ?(tag = 0) bytes =
+  Program.Dma_issue { dir = Program.Get; accesses = [ Mem_req.contiguous ~addr:0 ~bytes ]; tag }
+
+let simple_program =
+  [|
+    dma_get 1024;
+    Program.Dma_wait 0;
+    Program.Compute { block = block2; trips = 10 };
+    Program.Gload { addr = 512; bytes = 8 };
+    Program.Dma_issue { dir = Program.Put; accesses = [ Mem_req.contiguous ~addr:4096 ~bytes:512 ]; tag = 1 };
+    Program.Dma_wait_all;
+  |]
+
+let test_counts () =
+  Alcotest.(check int) "dma issues" 2 (Program.dma_issue_count simple_program);
+  Alcotest.(check int) "gloads" 1 (Program.gload_count simple_program);
+  Alcotest.(check int) "payload" (1024 + 8 + 512) (Program.dma_payload_bytes simple_program + 8);
+  Alcotest.(check int) "flat length" 6 (Program.length_flat simple_program)
+
+let test_repeat_multiplicity () =
+  let prog =
+    [|
+      Program.Repeat
+        { trips = 5; body = [| dma_get 256; Program.Dma_wait 0; Program.Compute { block = block2; trips = 2 } |] };
+    |]
+  in
+  Alcotest.(check int) "dma x5" 5 (Program.dma_issue_count prog);
+  Alcotest.(check int) "flat 15" 15 (Program.length_flat prog);
+  let c = Program.instr_counts prog in
+  Alcotest.(check int) "fadds 5*2*2" 20 c.Instr.Counts.fadd
+
+let test_nested_repeat () =
+  let prog =
+    [| Program.Repeat { trips = 3; body = [| Program.Repeat { trips = 4; body = [| Program.Gload { addr = 0; bytes = 8 } |] } |] } |]
+  in
+  Alcotest.(check int) "12 gloads" 12 (Program.gload_count prog)
+
+let test_compute_cycles_matches_schedule () =
+  let prog = [| Program.Compute { block = block2; trips = 7 } |] in
+  Alcotest.(check (float 1e-9)) "matches Schedule"
+    (Schedule.iterated_cycles p block2 ~trips:7)
+    (Program.compute_cycles p prog)
+
+let test_validate_ok () =
+  match Program.validate p simple_program with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "expected valid: %s" m
+
+let expect_invalid prog msg =
+  match Program.validate p prog with
+  | Ok () -> Alcotest.failf "%s: expected invalid" msg
+  | Error _ -> ()
+
+let test_validate_rejects () =
+  expect_invalid [| Program.Compute { block = [||]; trips = 1 } |] "empty block";
+  expect_invalid [| Program.Compute { block = block2; trips = 0 } |] "zero trips";
+  expect_invalid [| Program.Gload { addr = 0; bytes = 64 } |] "gload too big";
+  expect_invalid [| Program.Gload { addr = 0; bytes = 0 } |] "gload empty";
+  expect_invalid [| Program.Repeat { trips = 0; body = [||] } |] "zero-trip repeat";
+  expect_invalid [| dma_get 100 |] "dangling dma tag"
+
+let test_validate_wait_all_covers () =
+  let prog = [| dma_get 100; Program.Dma_wait_all |] in
+  match Program.validate p prog with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "wait_all should cover tags: %s" m
+
+let test_validate_tagged_wait_covers () =
+  let prog = [| dma_get ~tag:3 100; Program.Dma_wait 3 |] in
+  match Program.validate p prog with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "tag wait should cover: %s" m
+
+let test_pp_nonempty () =
+  let s = Format.asprintf "%a" Program.pp simple_program in
+  Alcotest.(check bool) "pretty prints" true (String.length s > 20)
+
+let tests =
+  ( "program",
+    [
+      Alcotest.test_case "leaf counting" `Quick test_counts;
+      Alcotest.test_case "repeat multiplicity" `Quick test_repeat_multiplicity;
+      Alcotest.test_case "nested repeat" `Quick test_nested_repeat;
+      Alcotest.test_case "compute cycles delegate" `Quick test_compute_cycles_matches_schedule;
+      Alcotest.test_case "validate accepts" `Quick test_validate_ok;
+      Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+      Alcotest.test_case "wait_all covers tags" `Quick test_validate_wait_all_covers;
+      Alcotest.test_case "tagged wait covers" `Quick test_validate_tagged_wait_covers;
+      Alcotest.test_case "pp" `Quick test_pp_nonempty;
+    ] )

@@ -1,0 +1,160 @@
+open Sw_isa
+
+let p = Sw_arch.Params.default
+
+let fadd dst srcs = Instr.make Instr.Fadd ~dst srcs
+
+let test_single_instr () =
+  let s = Schedule.once p [| fadd 1 [ 0; 0 ] |] in
+  Alcotest.(check int) "issues at 0" 0 s.Schedule.issue.(0);
+  Alcotest.(check int) "completes after latency" 9 s.Schedule.completion
+
+let test_independent_fadds_pipeline () =
+  let block = Array.init 4 (fun i -> fadd (10 + i) [ 0; 0 ]) in
+  let s = Schedule.once p block in
+  Alcotest.(check (array int)) "one issue per cycle" [| 0; 1; 2; 3 |] s.Schedule.issue;
+  Alcotest.(check int) "completion" 12 s.Schedule.completion;
+  (* steady state: 4 independent adds per 4 cycles *)
+  Alcotest.(check (float 1e-9)) "steady" 4.0 (Schedule.steady_cycles p block)
+
+let test_dependent_chain_serializes () =
+  let block = [| fadd 1 [ 0; 0 ]; fadd 2 [ 1; 1 ]; fadd 3 [ 2; 2 ] |] in
+  let s = Schedule.once p block in
+  Alcotest.(check (array int)) "latency-spaced issues" [| 0; 9; 18 |] s.Schedule.issue;
+  Alcotest.(check int) "completion" 27 s.Schedule.completion
+
+let test_loop_carried_accumulator () =
+  (* acc <- acc + x : one iteration per float latency in steady state *)
+  let block = [| fadd 1 [ 1; 0 ] |] in
+  Alcotest.(check (float 1e-9)) "steady = l_float" 9.0 (Schedule.steady_cycles p block);
+  Alcotest.(check (float 1e-9)) "ILP 1" 1.0 (Schedule.avg_ilp p block)
+
+let test_unrolled_accumulators_increase_ilp () =
+  (* four independent accumulators: 4 adds per 9 cycles -> ILP 4 *)
+  let block = Array.init 4 (fun i -> fadd (i + 1) [ i + 1; 0 ]) in
+  Alcotest.(check (float 1e-9)) "steady" 9.0 (Schedule.steady_cycles p block);
+  Alcotest.(check (float 1e-9)) "ILP 4" 4.0 (Schedule.avg_ilp p block);
+  let block8 = Array.init 8 (fun i -> fadd (i + 1) [ i + 1; 0 ]) in
+  Alcotest.(check (float 1e-9)) "ILP 8 at 8 accumulators" 8.0 (Schedule.avg_ilp p block8)
+
+let test_div_unpipelined () =
+  let block = [| Instr.make Instr.Fdiv ~dst:1 [ 0; 0 ]; Instr.make Instr.Fdiv ~dst:2 [ 0; 0 ] |] in
+  let s = Schedule.once p block in
+  Alcotest.(check (array int)) "second div waits for pipe" [| 0; 34 |] s.Schedule.issue;
+  Alcotest.(check int) "completion" 68 s.Schedule.completion
+
+let test_dual_issue () =
+  let block = [| fadd 1 [ 0; 0 ]; Instr.make Instr.Spm_load ~dst:2 [] |] in
+  let s = Schedule.once p block in
+  Alcotest.(check (array int)) "both issue cycle 0 (different pipes)" [| 0; 0 |] s.Schedule.issue
+
+let test_same_pipe_no_dual_issue () =
+  let block = [| Instr.make Instr.Spm_load ~dst:1 []; Instr.make Instr.Spm_load ~dst:2 [] |] in
+  let s = Schedule.once p block in
+  Alcotest.(check (array int)) "P1 serializes" [| 0; 1 |] s.Schedule.issue
+
+let test_in_order_issue () =
+  (* a stalled instruction blocks later independent ones (in-order core) *)
+  let block =
+    [| fadd 1 [ 0; 0 ]; fadd 2 [ 1; 1 ] (* depends *); fadd 3 [ 0; 0 ] (* independent *) |]
+  in
+  let s = Schedule.once p block in
+  Alcotest.(check int) "independent add still waits" 10 s.Schedule.issue.(2)
+
+let test_load_to_use () =
+  let block = [| Instr.make Instr.Spm_load ~dst:1 []; fadd 2 [ 1; 1 ] |] in
+  let s = Schedule.once p block in
+  Alcotest.(check (array int)) "use waits for SPM latency" [| 0; 3 |] s.Schedule.issue
+
+let test_iterated_cycles () =
+  let block = [| fadd 1 [ 1; 0 ] |] in
+  Alcotest.(check (float 1e-9)) "0 trips" 0.0 (Schedule.iterated_cycles p block ~trips:0);
+  Alcotest.(check (float 1e-9)) "1 trip = once" 9.0 (Schedule.iterated_cycles p block ~trips:1);
+  Alcotest.(check (float 1e-9)) "n trips linear" (9.0 +. (9.0 *. 9.0))
+    (Schedule.iterated_cycles p block ~trips:10)
+
+let test_empty_block () =
+  Alcotest.(check (float 1e-9)) "empty steady" 0.0 (Schedule.steady_cycles p [||]);
+  Alcotest.(check (float 1e-9)) "empty iterated" 0.0 (Schedule.iterated_cycles p [||] ~trips:5)
+
+let test_gload_use_zero_latency () =
+  let block = [| Instr.make Instr.Gload_use ~dst:1 []; fadd 2 [ 1; 1 ] |] in
+  let s = Schedule.once p block in
+  (* result of gload is modelled as immediately available: memory cost sits in T_g *)
+  Alcotest.(check (array int)) "no static stall" [| 0; 0 |] s.Schedule.issue
+
+let test_avg_ilp_no_compute () =
+  Alcotest.(check (float 1e-9)) "ILP 1 for memory-only block" 1.0
+    (Schedule.avg_ilp p [| Instr.make Instr.Gload_use ~dst:1 [] |])
+
+let gen_block =
+  QCheck.Gen.(
+    let gen_instr max_reg =
+      let* k = int_range 0 5 in
+      let klass =
+        match k with
+        | 0 -> Instr.Fadd
+        | 1 -> Instr.Fmul
+        | 2 -> Instr.Fmadd
+        | 3 -> Instr.Ialu
+        | 4 -> Instr.Spm_load
+        | _ -> Instr.Spm_store
+      in
+      let* dst = int_range 0 max_reg in
+      let* s1 = int_range 0 max_reg in
+      let* s2 = int_range 0 max_reg in
+      return (Instr.make klass ~dst [ s1; s2 ])
+    in
+    let* n = int_range 1 20 in
+    let* instrs = list_repeat n (gen_instr 15) in
+    return (Array.of_list instrs))
+
+let arb_block = QCheck.make gen_block
+
+let prop_issue_monotone =
+  QCheck.Test.make ~name:"in-order issue cycles are monotone" ~count:300 arb_block (fun block ->
+      let s = Schedule.once p block in
+      let ok = ref true in
+      for i = 1 to Array.length s.Schedule.issue - 1 do
+        if s.Schedule.issue.(i) < s.Schedule.issue.(i - 1) then ok := false
+      done;
+      !ok)
+
+let prop_steady_bounds =
+  QCheck.Test.make ~name:"steady between issue-bound and latency-sum" ~count:300 arb_block
+    (fun block ->
+      let steady = Schedule.steady_cycles p block in
+      let work = Instr.Counts.work_cycles p (Instr.count block) in
+      (* cannot beat issue-width 2; cannot be worse than fully serialized *)
+      steady >= float_of_int (Array.length block) /. 2.0 -. 1e-9 && steady <= work +. 1e-9)
+
+let prop_ilp_at_least_one =
+  QCheck.Test.make ~name:"avg ILP >= 1" ~count:300 arb_block (fun block ->
+      Schedule.avg_ilp p block >= 1.0)
+
+let prop_iterated_monotone_in_trips =
+  QCheck.Test.make ~name:"iterated cycles monotone in trips" ~count:200 arb_block (fun block ->
+      Schedule.iterated_cycles p block ~trips:3 <= Schedule.iterated_cycles p block ~trips:4)
+
+let tests =
+  ( "schedule",
+    [
+      Alcotest.test_case "single instruction" `Quick test_single_instr;
+      Alcotest.test_case "independent fadds pipeline" `Quick test_independent_fadds_pipeline;
+      Alcotest.test_case "dependent chain serializes" `Quick test_dependent_chain_serializes;
+      Alcotest.test_case "loop-carried accumulator" `Quick test_loop_carried_accumulator;
+      Alcotest.test_case "unrolling raises ILP" `Quick test_unrolled_accumulators_increase_ilp;
+      Alcotest.test_case "div unpipelined" `Quick test_div_unpipelined;
+      Alcotest.test_case "dual issue across pipes" `Quick test_dual_issue;
+      Alcotest.test_case "same pipe serializes" `Quick test_same_pipe_no_dual_issue;
+      Alcotest.test_case "in-order issue" `Quick test_in_order_issue;
+      Alcotest.test_case "load-to-use delay" `Quick test_load_to_use;
+      Alcotest.test_case "iterated cycles" `Quick test_iterated_cycles;
+      Alcotest.test_case "empty block" `Quick test_empty_block;
+      Alcotest.test_case "gload zero static latency" `Quick test_gload_use_zero_latency;
+      Alcotest.test_case "ILP of memory-only block" `Quick test_avg_ilp_no_compute;
+      QCheck_alcotest.to_alcotest prop_issue_monotone;
+      QCheck_alcotest.to_alcotest prop_steady_bounds;
+      QCheck_alcotest.to_alcotest prop_ilp_at_least_one;
+      QCheck_alcotest.to_alcotest prop_iterated_monotone_in_trips;
+    ] )

@@ -1,0 +1,81 @@
+open Sw_swacc
+
+let p = Sw_arch.Params.default
+
+let variant ?(grain = 64) ?(db = false) () =
+  { Kernel.grain; unroll = 1; active_cpes = 64; double_buffer = db }
+
+let kernel () = Sw_workloads.Kmeans.kernel ~scale:0.25
+
+let test_plan_basic () =
+  match Spm_alloc.plan p (kernel ()) (variant ()) with
+  | Ok plan ->
+      Alcotest.(check int) "one buffer per copied array" 3 (List.length plan.Spm_alloc.buffers);
+      Alcotest.(check bool) "disjoint" true (Spm_alloc.check_disjoint plan);
+      Alcotest.(check int) "accounting" p.Sw_arch.Params.spm_bytes
+        (plan.Spm_alloc.used_bytes + plan.Spm_alloc.free_bytes)
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let test_buffer_sizes () =
+  match Spm_alloc.plan p (kernel ()) (variant ~grain:32 ()) with
+  | Ok plan -> (
+      match Spm_alloc.find plan "points" with
+      | Some b ->
+          Alcotest.(check int) "points buffer = grain x elem"
+            (32 * Sw_workloads.Kmeans.elem_bytes) b.Spm_alloc.bytes
+      | None -> Alcotest.fail "points buffer missing")
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let test_double_buffer_doubles_streams_only () =
+  match Spm_alloc.plan p (kernel ()) (variant ~db:true ()) with
+  | Ok plan ->
+      let points = Option.get (Spm_alloc.find plan "points") in
+      let centroids = Option.get (Spm_alloc.find plan "centroids") in
+      Alcotest.(check bool) "streamed array doubled" true points.Spm_alloc.double_buffered;
+      Alcotest.(check bool) "chunk-resident array not doubled" false
+        centroids.Spm_alloc.double_buffered;
+      Alcotest.(check bool) "still disjoint" true (Spm_alloc.check_disjoint plan)
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let test_overflow_rejected () =
+  match Spm_alloc.plan p (kernel ()) (variant ~grain:4096 ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "4096-point chunks cannot fit"
+
+let test_alignment () =
+  match Spm_alloc.plan p (kernel ()) (variant ()) with
+  | Ok plan ->
+      List.iter
+        (fun (b : Spm_alloc.buffer) ->
+          Alcotest.(check int) "8-byte aligned" 0 (b.Spm_alloc.offset mod 8))
+        plan.Spm_alloc.buffers
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let test_pp () =
+  match Spm_alloc.plan p (kernel ()) (variant ()) with
+  | Ok plan ->
+      let s = Format.asprintf "%a" Spm_alloc.pp plan in
+      Alcotest.(check bool) "mentions arrays" true (String.length s > 40)
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let prop_plans_disjoint =
+  QCheck.Test.make ~name:"plans are always disjoint and in budget" ~count:100
+    QCheck.(pair (int_range 1 256) bool)
+    (fun (grain, db) ->
+      match Spm_alloc.plan p (kernel ()) (variant ~grain ~db ()) with
+      | Ok plan ->
+          Spm_alloc.check_disjoint plan && plan.Spm_alloc.used_bytes <= p.Sw_arch.Params.spm_bytes
+      | Error _ -> true)
+
+let tests =
+  ( "spm_alloc",
+    [
+      Alcotest.test_case "basic plan" `Quick test_plan_basic;
+      Alcotest.test_case "buffer sizes" `Quick test_buffer_sizes;
+      Alcotest.test_case "double buffering doubles streams only" `Quick
+        test_double_buffer_doubles_streams_only;
+      Alcotest.test_case "overflow rejected" `Quick test_overflow_rejected;
+      Alcotest.test_case "alignment" `Quick test_alignment;
+      Alcotest.test_case "pp" `Quick test_pp;
+      QCheck_alcotest.to_alcotest prop_plans_disjoint;
+    ] )

@@ -1,0 +1,86 @@
+open Sw_util
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let check_f ?eps msg expected actual =
+  if not (feq ?eps expected actual) then Alcotest.failf "%s: expected %f, got %f" msg expected actual
+
+let test_mean () = check_f "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_mean_single () = check_f "singleton" 7.0 (Stats.mean [| 7.0 |])
+
+let test_geomean () = check_f "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |])
+
+let test_stddev () =
+  (* population stddev of 2,4,4,4,5,5,7,9 is 2 *)
+  check_f "stddev" 2.0 (Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_min_max () =
+  check_f "min" (-3.0) (Stats.minimum [| 1.0; -3.0; 2.0 |]);
+  check_f "max" 2.0 (Stats.maximum [| 1.0; -3.0; 2.0 |])
+
+let test_median_odd () = check_f "odd median" 3.0 (Stats.median [| 5.0; 3.0; 1.0 |])
+
+let test_median_even () = check_f "even median" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_percentile_endpoints () =
+  let a = [| 10.0; 20.0; 30.0 |] in
+  check_f "p0" 10.0 (Stats.percentile a 0.0);
+  check_f "p100" 30.0 (Stats.percentile a 100.0);
+  check_f "p50" 20.0 (Stats.percentile a 50.0)
+
+let test_percentile_interpolation () =
+  check_f "p25 interpolated" 1.5 (Stats.percentile [| 1.0; 2.0; 3.0 |] 25.0)
+
+let test_relative_error () =
+  check_f "10%% error" 0.1 (Stats.relative_error ~predicted:110.0 ~actual:100.0);
+  check_f "symmetric under sign" 0.1 (Stats.relative_error ~predicted:90.0 ~actual:100.0)
+
+let test_mape () =
+  check_f "mape" 0.1 (Stats.mape [| (110.0, 100.0); (90.0, 100.0) |])
+
+let test_kahan_sum () =
+  (* naive summation of 1e16 + many 1.0 loses the ones; Kahan keeps them *)
+  let a = Array.make 1001 1.0 in
+  a.(0) <- 1e16;
+  check_f ~eps:1.0 "kahan" (1e16 +. 1000.0) (Stats.sum a)
+
+let test_weighted_mean () =
+  check_f "weighted" 3.0 (Stats.weighted_mean [| (1.0, 1.0); (4.0, 2.0) |])
+
+let prop_mean_bounds =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:300
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-1e6) 1e6))
+    (fun a ->
+      let m = Stats.mean a in
+      m >= Stats.minimum a -. 1e-6 && m <= Stats.maximum a +. 1e-6)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:300
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 50) (float_range (-1e3) 1e3))
+        (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+    (fun (a, (p1, p2)) ->
+      let lo = Stdlib.min p1 p2 and hi = Stdlib.max p1 p2 in
+      Stats.percentile a lo <= Stats.percentile a hi +. 1e-9)
+
+let tests =
+  ( "stats",
+    [
+      Alcotest.test_case "mean" `Quick test_mean;
+      Alcotest.test_case "mean singleton" `Quick test_mean_single;
+      Alcotest.test_case "geomean" `Quick test_geomean;
+      Alcotest.test_case "stddev" `Quick test_stddev;
+      Alcotest.test_case "min/max" `Quick test_min_max;
+      Alcotest.test_case "median odd" `Quick test_median_odd;
+      Alcotest.test_case "median even" `Quick test_median_even;
+      Alcotest.test_case "percentile endpoints" `Quick test_percentile_endpoints;
+      Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
+      Alcotest.test_case "relative error" `Quick test_relative_error;
+      Alcotest.test_case "mape" `Quick test_mape;
+      Alcotest.test_case "kahan summation" `Quick test_kahan_sum;
+      Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
+      QCheck_alcotest.to_alcotest prop_mean_bounds;
+      QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    ] )

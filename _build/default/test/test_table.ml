@@ -1,0 +1,58 @@
+open Sw_util
+
+let test_render_basic () =
+  let t = Table.create [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "bb"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  match widths with
+  | [] -> Alcotest.fail "no lines"
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "uniform line width" w w') rest
+
+let test_alignment () =
+  let t = Table.create [ ("h", Table.Right) ] in
+  Table.add_row t [ "1" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "right aligned single char" true
+    (List.exists (fun l -> l = "| 1 |") (String.split_on_char '\n' s))
+
+let test_arity_mismatch () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "short row rejected" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_title () =
+  let t = Table.create ~title:"My Table" [ ("a", Table.Left) ] in
+  Table.add_row t [ "x" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "title rendered first" true
+    (String.length s >= 8 && String.sub s 0 8 = "My Table")
+
+let test_separator () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Table.add_row t [ "x" ];
+  Table.add_sep t;
+  Table.add_row t [ "y" ];
+  let s = Table.render t in
+  let seps = List.filter (fun l -> String.length l > 0 && l.[0] = '+') (String.split_on_char '\n' s) in
+  Alcotest.(check int) "three frame lines plus one separator" 4 (List.length seps)
+
+let test_cells () =
+  Alcotest.(check string) "float cell" "3.14" (Table.cell_f 3.14159);
+  Alcotest.(check string) "float cell dec" "3.1416" (Table.cell_f ~dec:4 3.14159);
+  Alcotest.(check string) "pct cell" "5.3%" (Table.cell_pct 0.053);
+  Alcotest.(check string) "speedup cell" "2.41x" (Table.cell_x 2.41)
+
+let tests =
+  ( "table",
+    [
+      Alcotest.test_case "renders uniform width" `Quick test_render_basic;
+      Alcotest.test_case "alignment" `Quick test_alignment;
+      Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+      Alcotest.test_case "title" `Quick test_title;
+      Alcotest.test_case "separator rows" `Quick test_separator;
+      Alcotest.test_case "cell formatters" `Quick test_cells;
+    ] )

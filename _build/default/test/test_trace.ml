@@ -1,0 +1,91 @@
+open Sw_sim
+open Sw_isa
+open Sw_arch
+
+let p = Params.default
+
+let ideal = Config.ideal p
+
+let fadd dst srcs = Instr.make Instr.Fadd ~dst srcs
+
+let dma_get ?(addr = 0) bytes =
+  Program.Dma_issue { dir = Program.Get; accesses = [ Mem_req.contiguous ~addr ~bytes ]; tag = 0 }
+
+let traced prog = Engine.run_traced ideal [| prog |]
+
+let test_compute_span () =
+  let block = [| fadd 1 [ 1; 0 ] |] in
+  let m, t = traced [| Program.Compute { block; trips = 100 } |] in
+  match t with
+  | [ s ] ->
+      Alcotest.(check bool) "kind" true (s.Trace.kind = Trace.Compute);
+      Alcotest.(check (float 1e-6)) "covers the run" m.Metrics.cycles (s.Trace.t1 -. s.Trace.t0)
+  | _ -> Alcotest.failf "expected one span, got %d" (List.length t)
+
+let test_dma_stall_span () =
+  let _, t = traced [| dma_get 256; Program.Dma_wait 0 |] in
+  match List.filter (fun s -> s.Trace.kind = Trace.Dma_stall) t with
+  | [ s ] -> Alcotest.(check (float 1e-6)) "stall = l_base" 220.0 (s.Trace.t1 -. s.Trace.t0)
+  | spans -> Alcotest.failf "expected one dma stall, got %d" (List.length spans)
+
+let test_gload_span () =
+  let _, t = traced [| Program.Gload { addr = 0; bytes = 8 } |] in
+  match t with
+  | [ s ] ->
+      Alcotest.(check bool) "kind" true (s.Trace.kind = Trace.Gload_stall);
+      Alcotest.(check (float 1e-6)) "latency" 220.0 (s.Trace.t1 -. s.Trace.t0)
+  | _ -> Alcotest.fail "expected one span"
+
+let test_hidden_dma_no_stall () =
+  let block = [| fadd 1 [ 1; 0 ] |] in
+  let _, t = traced [| dma_get 256; Program.Compute { block; trips = 1000 }; Program.Dma_wait 0 |] in
+  Alcotest.(check int) "fully hidden dma records no stall" 0
+    (List.length (List.filter (fun s -> s.Trace.kind = Trace.Dma_stall) t))
+
+let test_totals () =
+  let block = [| fadd 1 [ 1; 0 ] |] in
+  let m, t =
+    traced [| dma_get 2048; Program.Dma_wait 0; Program.Compute { block; trips = 100 } |]
+  in
+  Alcotest.(check (float 1e-6)) "compute total" m.Metrics.comp_cycles (Trace.total t Trace.Compute);
+  Alcotest.(check (float 1e-6)) "dma total" m.Metrics.dma_wait_cycles (Trace.total t Trace.Dma_stall)
+
+let test_run_and_run_traced_agree () =
+  let prog = [| dma_get 4096; Program.Dma_wait 0; Program.Gload { addr = 0; bytes = 8 } |] in
+  let m1 = Engine.run ideal [| prog |] in
+  let m2, _ = Engine.run_traced ideal [| prog |] in
+  Alcotest.(check (float 1e-9)) "identical timing" m1.Metrics.cycles m2.Metrics.cycles
+
+let test_render () =
+  let block = [| fadd 1 [ 1; 0 ] |] in
+  let m, t =
+    traced [| dma_get 4096; Program.Dma_wait 0; Program.Compute { block; trips = 500 } |]
+  in
+  let s = Trace.render ~width:40 ~makespan:m.Metrics.cycles t in
+  Alcotest.(check bool) "has a D cell" true (String.contains s 'D');
+  Alcotest.(check bool) "has a C cell" true (String.contains s 'C');
+  let first_line = List.hd (String.split_on_char '\n' s) in
+  Alcotest.(check bool) "row width as requested" true (String.length first_line >= 40)
+
+let test_render_empty () =
+  Alcotest.(check string) "empty trace" "(empty trace)\n" (Trace.render ~makespan:0.0 [])
+
+let test_busy_fraction () =
+  let block = [| fadd 1 [ 1; 0 ] |] in
+  let m, t = traced [| Program.Compute { block; trips = 100 } |] in
+  Alcotest.(check (float 1e-6)) "fully busy" 1.0
+    (Trace.busy_fraction t ~cpe:0 ~makespan:m.Metrics.cycles)
+
+let tests =
+  ( "trace",
+    [
+      Alcotest.test_case "compute span" `Quick test_compute_span;
+      Alcotest.test_case "dma stall span" `Quick test_dma_stall_span;
+      Alcotest.test_case "gload span" `Quick test_gload_span;
+      Alcotest.test_case "hidden dma has no stall span" `Quick test_hidden_dma_no_stall;
+      Alcotest.test_case "totals match metrics" `Quick test_totals;
+      Alcotest.test_case "tracing does not change timing" `Quick test_run_and_run_traced_agree;
+      Alcotest.test_case "render" `Quick test_render;
+      Alcotest.test_case "render empty" `Quick test_render_empty;
+      Alcotest.test_case "busy fraction" `Quick test_busy_fraction;
+    ] )

@@ -1,0 +1,133 @@
+(* Kernel-level transforms: vectorization and Gload coalescing. *)
+
+open Sw_swacc
+
+let p = Sw_arch.Params.default
+
+let config = Sw_sim.Config.default p
+
+let simulate kernel variant =
+  (Sw_sim.Engine.run config (Lower.lower_exn p kernel variant).Lowered.programs)
+    .Sw_sim.Metrics.cycles
+
+(* vectorization *)
+
+let test_vectorize_speeds_compute () =
+  let e = Sw_workloads.Registry.find_exn "kmeans" in
+  let kernel = e.Sw_workloads.Registry.build ~scale:0.5 in
+  let scalar = simulate kernel e.Sw_workloads.Registry.variant in
+  let vector = simulate (Kernel.vectorize kernel ~width:4) e.Sw_workloads.Registry.variant in
+  Alcotest.(check bool)
+    (Printf.sprintf "vec4 at least 2x faster (%.0f vs %.0f)" scalar vector)
+    true (vector *. 2.0 < scalar)
+
+let test_vectorize_keeps_dma () =
+  let e = Sw_workloads.Registry.find_exn "kmeans" in
+  let kernel = e.Sw_workloads.Registry.build ~scale:0.5 in
+  let s1 = (Lower.lower_exn p kernel e.Sw_workloads.Registry.variant).Lowered.summary in
+  let s4 =
+    (Lower.lower_exn p (Kernel.vectorize kernel ~width:4) e.Sw_workloads.Registry.variant)
+      .Lowered.summary
+  in
+  Alcotest.(check bool) "same DMA groups" true (s1.Lowered.dma_groups = s4.Lowered.dma_groups);
+  Alcotest.(check int) "width recorded" 4 s4.Lowered.vector_width
+
+let test_vectorize_quarter_trips () =
+  let e = Sw_workloads.Registry.find_exn "lud" in
+  let kernel = e.Sw_workloads.Registry.build ~scale:0.5 in
+  let trips_of k =
+    let s = (Lower.lower_exn p k e.Sw_workloads.Registry.variant).Lowered.summary in
+    List.fold_left (fun acc (c : Lowered.compute_summary) -> acc + c.Lowered.trips) 0
+      s.Lowered.computes
+  in
+  let t1 = trips_of kernel and t4 = trips_of (Kernel.vectorize kernel ~width:4) in
+  Alcotest.(check bool)
+    (Printf.sprintf "trips quartered (%d vs %d)" t1 t4)
+    true
+    (abs ((t1 / 4) - t4) <= 1)
+
+let test_vectorize_model_tracks () =
+  let e = Sw_workloads.Registry.find_exn "srad" in
+  let kernel = Kernel.vectorize (e.Sw_workloads.Registry.build ~scale:0.5) ~width:4 in
+  let lowered = Lower.lower_exn p kernel e.Sw_workloads.Registry.variant in
+  let row = Swpm.Accuracy.evaluate config lowered in
+  Alcotest.(check bool)
+    (Printf.sprintf "error %.1f%% under 10%%" (Swpm.Accuracy.error row *. 100.0))
+    true
+    (Swpm.Accuracy.error row < 0.10)
+
+let test_vectorize_rejects () =
+  let e = Sw_workloads.Registry.find_exn "lud" in
+  let kernel = e.Sw_workloads.Registry.build ~scale:0.5 in
+  match Kernel.vectorize kernel ~width:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width 3 should be rejected"
+
+let test_roofline_vector_peak () =
+  let e = Sw_workloads.Registry.find_exn "nbody" in
+  let kernel = e.Sw_workloads.Registry.build ~scale:0.5 in
+  let roof w =
+    let k = Kernel.vectorize kernel ~width:w in
+    Swpm.Roofline.analyze p (Lower.lower_exn p k e.Sw_workloads.Registry.variant).Lowered.summary
+  in
+  let r1 = roof 1 and r4 = roof 4 in
+  Alcotest.(check (float 1e-6)) "peak scales with lanes"
+    (4.0 *. r1.Swpm.Roofline.peak_flops_per_cycle)
+    r4.Swpm.Roofline.peak_flops_per_cycle;
+  (* total algorithmic flops are invariant: quarter the trips, four lanes *)
+  Alcotest.(check bool) "flops invariant" true
+    (Float.abs (r4.Swpm.Roofline.flops -. r1.Swpm.Roofline.flops)
+    < 0.02 *. r1.Swpm.Roofline.flops)
+
+(* coalescing *)
+
+let test_coalesce_reduces_gloads () =
+  let e = Sw_workloads.Registry.find_exn "bfs" in
+  let kernel = e.Sw_workloads.Registry.build ~scale:0.5 in
+  let gloads k =
+    (Lower.lower_exn p k e.Sw_workloads.Registry.variant).Lowered.summary.Lowered.gload_count
+  in
+  let g1 = gloads kernel and g4 = gloads (Kernel.coalesce_gloads kernel ~factor:4) in
+  Alcotest.(check bool) (Printf.sprintf "about a quarter (%d vs %d)" g1 g4) true
+    (g4 <= (g1 / 4) + (g1 / 8))
+
+let test_coalesce_speeds_up () =
+  let e = Sw_workloads.Registry.find_exn "bfs" in
+  let kernel = e.Sw_workloads.Registry.build ~scale:0.5 in
+  let base = simulate kernel e.Sw_workloads.Registry.variant in
+  let co = simulate (Kernel.coalesce_gloads kernel ~factor:4) e.Sw_workloads.Registry.variant in
+  Alcotest.(check bool) "at least 2x on gload-bound bfs" true (co *. 2.0 < base)
+
+let test_coalesce_limits () =
+  let e = Sw_workloads.Registry.find_exn "b+tree" in
+  let kernel = e.Sw_workloads.Registry.build ~scale:0.5 in
+  (* 32-byte nodes cannot merge further *)
+  (match Kernel.coalesce_gloads kernel ~factor:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "32B x2 exceeds the gload limit");
+  match Kernel.coalesce_gloads kernel ~factor:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "factor 0 rejected"
+
+let test_coalesce_identity () =
+  let e = Sw_workloads.Registry.find_exn "bfs" in
+  let kernel = e.Sw_workloads.Registry.build ~scale:0.5 in
+  Alcotest.(check bool) "factor 1 is identity" true (Kernel.coalesce_gloads kernel ~factor:1 == kernel);
+  let no_gloads = Sw_workloads.Vadd.kernel ~scale:0.1 in
+  Alcotest.(check bool) "no gloads: unchanged" true
+    (Kernel.coalesce_gloads no_gloads ~factor:4 == no_gloads)
+
+let tests =
+  ( "transforms",
+    [
+      Alcotest.test_case "vectorize speeds compute" `Quick test_vectorize_speeds_compute;
+      Alcotest.test_case "vectorize keeps DMA" `Quick test_vectorize_keeps_dma;
+      Alcotest.test_case "vectorize quarters trips" `Quick test_vectorize_quarter_trips;
+      Alcotest.test_case "model tracks vector code" `Quick test_vectorize_model_tracks;
+      Alcotest.test_case "vectorize rejects width 3" `Quick test_vectorize_rejects;
+      Alcotest.test_case "roofline vector peak" `Quick test_roofline_vector_peak;
+      Alcotest.test_case "coalesce reduces gloads" `Quick test_coalesce_reduces_gloads;
+      Alcotest.test_case "coalesce speeds up bfs" `Quick test_coalesce_speeds_up;
+      Alcotest.test_case "coalesce limits" `Quick test_coalesce_limits;
+      Alcotest.test_case "coalesce identity" `Quick test_coalesce_identity;
+    ] )

@@ -1,0 +1,44 @@
+open Sw_util
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let test_cycles_seconds () =
+  Alcotest.(check bool) "1.45e9 cycles = 1s" true
+    (feq 1.0 (Units.cycles_to_seconds ~freq_hz:1.45e9 1.45e9))
+
+let test_cycles_us () =
+  Alcotest.(check bool) "1450 cycles = 1us" true (feq 1.0 (Units.cycles_to_us ~freq_hz:1.45e9 1450.0))
+
+let test_roundtrip () =
+  let c = 123456.0 in
+  let s = Units.cycles_to_seconds ~freq_hz:1.45e9 c in
+  Alcotest.(check bool) "roundtrip" true (feq ~eps:1e-6 c (Units.seconds_to_cycles ~freq_hz:1.45e9 s))
+
+let test_bytes_per_cycle () =
+  (* Table I: 32 GB/s at 1.45 GHz is ~22.07 bytes per cycle *)
+  let bpc = Units.bytes_per_cycle ~bandwidth_bytes_per_s:32e9 ~freq_hz:1.45e9 in
+  Alcotest.(check bool) "22.07 B/cyc" true (Float.abs (bpc -. 22.069) < 0.01)
+
+let fmt_to_string pp v = Format.asprintf "%a" pp v
+
+let test_pp_cycles () =
+  Alcotest.(check string) "plain" "950 cyc" (fmt_to_string Units.pp_cycles 950.0);
+  Alcotest.(check string) "kilo" "1.50 Kcyc" (fmt_to_string Units.pp_cycles 1500.0);
+  Alcotest.(check string) "mega" "2.50 Mcyc" (fmt_to_string Units.pp_cycles 2.5e6);
+  Alcotest.(check string) "giga" "1.20 Gcyc" (fmt_to_string Units.pp_cycles 1.2e9)
+
+let test_pp_bytes () =
+  Alcotest.(check string) "bytes" "100 B" (fmt_to_string Units.pp_bytes 100);
+  Alcotest.(check string) "kib" "64.0 KiB" (fmt_to_string Units.pp_bytes (64 * 1024));
+  Alcotest.(check string) "mib" "8.0 MiB" (fmt_to_string Units.pp_bytes (8 * 1024 * 1024))
+
+let tests =
+  ( "units",
+    [
+      Alcotest.test_case "cycles to seconds" `Quick test_cycles_seconds;
+      Alcotest.test_case "cycles to us" `Quick test_cycles_us;
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "bytes per cycle (Table I)" `Quick test_bytes_per_cycle;
+      Alcotest.test_case "pp cycles" `Quick test_pp_cycles;
+      Alcotest.test_case "pp bytes" `Quick test_pp_bytes;
+    ] )
