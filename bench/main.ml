@@ -4,12 +4,44 @@
    microbenchmarks.
 
    Run: dune exec bench/main.exe
-   A single section: dune exec bench/main.exe -- fig7 *)
+   A single section: dune exec bench/main.exe -- fig7
+   Parallel speedup:  dune exec bench/main.exe -- parallel
+   Machine-readable:  dune exec bench/main.exe -- table2 parallel --json BENCH_tuning.json *)
 
 let section title = Printf.printf "\n===== %s =====\n\n%!" title
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output: sections append JSON fragments here and
+   --json <path> dumps them as one object (see BENCH_tuning.json). *)
+
+let json_fragments : (string * string) list ref = ref []
+
+let add_json key fragment = json_fragments := !json_fragments @ [ (key, fragment) ]
+
+let json_obj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields) ^ "}"
+
+let json_list items = "[" ^ String.concat ", " items ^ "]"
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else Printf.sprintf "%S" (Float.to_string f)
+
+let write_json path =
+  let oc = open_out path in
+  let fields =
+    (("generated_by", "\"bench/main.exe\"") :: !json_fragments)
+  in
+  output_string oc (json_obj fields);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Paper experiment reproductions                                      *)
+
+(* Shared domain pool for the heavy sweeps (size from SWPM_DOMAINS,
+   default one less than the host's recommended domain count). *)
+let pool = lazy (Sw_util.Pool.create ())
 
 let table1 () =
   section "Table I: model parameters";
@@ -17,16 +49,16 @@ let table1 () =
 
 let fig6 () =
   section "Fig 6: model accuracy across the benchmark suite";
-  let rows = Sw_experiments.Fig6.run () in
+  let rows = Sw_experiments.Fig6.run ~pool:(Lazy.force pool) () in
   Sw_experiments.Fig6.print rows;
   Printf.printf "paper: 5%% average error, 9.6%% max (BFS)\n"
 
 let fig7 () =
   section "Fig 7: K-Means DMA granularity effects";
-  Sw_experiments.Fig7.print_a (Sw_experiments.Fig7.run_a ());
+  Sw_experiments.Fig7.print_a (Sw_experiments.Fig7.run_a ~pool:(Lazy.force pool) ());
   Printf.printf
     "paper: up to 20%% faster as granularity shrinks 256 -> 32; Gloads spike below 16\n\n";
-  Sw_experiments.Fig7.print_b (Sw_experiments.Fig7.run_b ());
+  Sw_experiments.Fig7.print_b (Sw_experiments.Fig7.run_b ~pool:(Lazy.force pool) ());
   Printf.printf "paper: normalized time per element falls as the partition grows\n"
 
 let fig8 () =
@@ -36,8 +68,8 @@ let fig8 () =
 
 let fig9_10 () =
   section "Fig 9/10: WRF kernels vs #active_CPEs";
-  let dyn = Sw_experiments.Fig9_10.run_dynamics () in
-  let phys = Sw_experiments.Fig9_10.run_physics () in
+  let dyn = Sw_experiments.Fig9_10.run_dynamics ~pool:(Lazy.force pool) () in
+  let phys = Sw_experiments.Fig9_10.run_physics ~pool:(Lazy.force pool) () in
   Sw_experiments.Fig9_10.print_fig9 dyn;
   print_newline ();
   Sw_experiments.Fig9_10.print_fig9 phys;
@@ -49,10 +81,128 @@ let fig9_10 () =
 
 let table2 () =
   section "Table II: static vs empirical auto-tuning";
-  Sw_experiments.Table2.print (Sw_experiments.Table2.run ());
+  let rows = Sw_experiments.Table2.run ~pool:(Lazy.force pool) () in
+  Sw_experiments.Table2.print rows;
   Printf.printf
     "paper: 1.67x-3.77x speedups, 26x-43x tuning-time savings, <6%% quality loss, same pick on \
-     3/5 kernels\n"
+     3/5 kernels\n";
+  add_json "table2"
+    (json_list
+       (List.map
+          (fun (r : Sw_experiments.Table2.row) ->
+            json_obj
+              [
+                ("kernel", Printf.sprintf "%S" r.Sw_experiments.Table2.name);
+                ("static_speedup", json_float r.static.Sw_tuning.Tuner.speedup);
+                ("empirical_speedup", json_float r.empirical.Sw_tuning.Tuner.speedup);
+                ("static_host_s", json_float r.static.Sw_tuning.Tuner.tuning_host_s);
+                ("empirical_host_s", json_float r.empirical.Sw_tuning.Tuner.tuning_host_s);
+                ("static_cpu_s", json_float r.static.Sw_tuning.Tuner.tuning_cpu_s);
+                ("empirical_cpu_s", json_float r.empirical.Sw_tuning.Tuner.tuning_cpu_s);
+                ("machine_time_us", json_float r.empirical.Sw_tuning.Tuner.machine_time_us);
+                ("savings", json_float r.savings);
+                ("quality_loss", json_float r.quality_loss);
+                ("same_pick", string_of_bool r.same_pick);
+              ])
+          rows))
+
+(* Sequential vs domain-pool wall clock on the Table II empirical-tuner
+   search — the repository's heaviest hot path.  The schedule cache is
+   cleared before each timed run so cold/cold comparisons are fair; a
+   warm sequential rerun quantifies the cross-run cache on its own. *)
+let parallel () =
+  let domains = Sw_util.Pool.default_size () in
+  section
+    (Printf.sprintf "Parallel tuning: Table II empirical search, 1 vs %d domain(s)" domains);
+  let pool = Sw_util.Pool.create () in
+  let params = Sw_arch.Params.default in
+  let config = Sw_sim.Config.default params in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let search ?pool entry =
+    let kernel = entry.Sw_workloads.Registry.build ~scale:1.0 in
+    let points =
+      Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
+        ~unrolls:entry.Sw_workloads.Registry.unrolls ()
+    in
+    Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Empirical ?pool config kernel ~points
+  in
+  let t =
+    Sw_util.Table.create ~title:"empirical-tuner search: wall-clock per workload"
+      [
+        ("kernel", Sw_util.Table.Left);
+        ("seq cold", Sw_util.Table.Right);
+        ("seq warm", Sw_util.Table.Right);
+        (Printf.sprintf "pool(%d)" (Sw_util.Pool.size pool), Sw_util.Table.Right);
+        ("speedup", Sw_util.Table.Right);
+        ("identical", Sw_util.Table.Left);
+      ]
+  in
+  let total_seq = ref 0.0 and total_warm = ref 0.0 and total_par = ref 0.0 in
+  let rows =
+    List.map
+      (fun (entry : Sw_workloads.Registry.entry) ->
+        Sw_isa.Schedule.clear_cache ();
+        let seq, seq_s = time (fun () -> search entry) in
+        let _, warm_s = time (fun () -> search entry) in
+        Sw_isa.Schedule.clear_cache ();
+        let par, par_s = time (fun () -> search ~pool entry) in
+        let identical =
+          seq.Sw_tuning.Tuner.best = par.Sw_tuning.Tuner.best
+          && seq.Sw_tuning.Tuner.best_cycles = par.Sw_tuning.Tuner.best_cycles
+          && seq.Sw_tuning.Tuner.evaluated = par.Sw_tuning.Tuner.evaluated
+          && seq.Sw_tuning.Tuner.infeasible = par.Sw_tuning.Tuner.infeasible
+        in
+        total_seq := !total_seq +. seq_s;
+        total_warm := !total_warm +. warm_s;
+        total_par := !total_par +. par_s;
+        Sw_util.Table.add_row t
+          [
+            entry.name;
+            Printf.sprintf "%.3fs" seq_s;
+            Printf.sprintf "%.3fs" warm_s;
+            Printf.sprintf "%.3fs" par_s;
+            Sw_util.Table.cell_x (seq_s /. Stdlib.max 1e-9 par_s);
+            (if identical then "yes" else "NO");
+          ];
+        (entry.name, seq_s, warm_s, par_s, identical))
+      Sw_workloads.Registry.tuning_subset
+  in
+  Sw_util.Table.print t;
+  let speedup = !total_seq /. Stdlib.max 1e-9 !total_par in
+  let warm_speedup = !total_seq /. Stdlib.max 1e-9 !total_warm in
+  Printf.printf
+    "total: sequential %.3fs, warm-cache sequential %.3fs (%.2fx), %d-domain pool %.3fs (%.2fx)\n"
+    !total_seq !total_warm warm_speedup (Sw_util.Pool.size pool) !total_par speedup;
+  if Sw_util.Pool.size pool = 1 then
+    Printf.printf "(single-domain host: set SWPM_DOMAINS or run on more cores to see speedup)\n";
+  add_json "parallel"
+    (json_obj
+       [
+         ("domains", string_of_int (Sw_util.Pool.size pool));
+         ("total_seq_s", json_float !total_seq);
+         ("total_warm_seq_s", json_float !total_warm);
+         ("total_pool_s", json_float !total_par);
+         ("speedup", json_float speedup);
+         ("warm_cache_speedup", json_float warm_speedup);
+         ( "workloads",
+           json_list
+             (List.map
+                (fun (name, seq_s, warm_s, par_s, identical) ->
+                  json_obj
+                    [
+                      ("kernel", Printf.sprintf "%S" name);
+                      ("seq_s", json_float seq_s);
+                      ("warm_seq_s", json_float warm_s);
+                      ("pool_s", json_float par_s);
+                      ("speedup", json_float (seq_s /. Stdlib.max 1e-9 par_s));
+                      ("identical", string_of_bool identical);
+                    ])
+                rows) );
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Extensions beyond the paper's figures                                *)
@@ -72,13 +222,16 @@ let ablation () =
 
 let model_comparison () =
   section "Model comparison: swpm vs Roofline (Section VI)";
-  Sw_experiments.Model_comparison.print_suite (Sw_experiments.Model_comparison.run_suite ());
+  Sw_experiments.Model_comparison.print_suite
+    (Sw_experiments.Model_comparison.run_suite ~pool:(Lazy.force pool) ());
   print_newline ();
-  Sw_experiments.Model_comparison.print_sweep (Sw_experiments.Model_comparison.run_fig7_sweep ())
+  Sw_experiments.Model_comparison.print_sweep
+    (Sw_experiments.Model_comparison.run_fig7_sweep ~pool:(Lazy.force pool) ())
 
 let input_sensitivity () =
   section "Input sensitivity (Section V-D)";
-  Sw_experiments.Input_sensitivity.print (Sw_experiments.Input_sensitivity.run ())
+  Sw_experiments.Input_sensitivity.print
+    (Sw_experiments.Input_sensitivity.run ~pool:(Lazy.force pool) ())
 
 let hybrid () =
   section "Hybrid model: static + one lightweight profile (Section III-F)";
@@ -161,6 +314,7 @@ let all =
     ("fig8", fig8);
     ("fig9", fig9_10);
     ("table2", table2);
+    ("parallel", parallel);
     ("fig4", fig4);
     ("coalescing", coalescing);
     ("ablation", ablation);
@@ -172,13 +326,27 @@ let all =
   ]
 
 let () =
-  let wanted = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
-  match wanted with
-  | None -> List.iter (fun (_, f) -> f ()) all
-  | Some name -> (
-      match List.assoc_opt name all with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown section %S; available: %s\n" name
-            (String.concat ", " (List.map fst all));
-          exit 1)
+  (* args: zero or more section names, plus an optional --json <path> *)
+  let rec parse args (sections, json_path) =
+    match args with
+    | [] -> (List.rev sections, json_path)
+    | "--json" :: path :: rest -> parse rest (sections, Some path)
+    | [ "--json" ] ->
+        Printf.eprintf "--json needs a path\n";
+        exit 1
+    | name :: rest -> parse rest (name :: sections, json_path)
+  in
+  let sections, json_path = parse (List.tl (Array.to_list Sys.argv)) ([], None) in
+  (match sections with
+  | [] -> List.iter (fun (_, f) -> f ()) all
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name all with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown section %S; available: %s\n" name
+                (String.concat ", " (List.map fst all));
+              exit 1)
+        names);
+  match json_path with Some path -> write_json path | None -> ()

@@ -33,6 +33,19 @@ let db_arg =
   let doc = "Enable double buffering." in
   Arg.(value & flag & info [ "double-buffer" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Assess work on $(docv) OCaml domains (0 = auto: \\$SWPM_DOMAINS or the host's recommended \
+     count minus one).  Results are identical to a sequential run."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "domains" ] ~docv:"N" ~doc)
+
+let pool_of domains =
+  match domains with
+  | None -> None
+  | Some 0 -> Some (Sw_util.Pool.create ())
+  | Some n -> Some (Sw_util.Pool.create ~size:n ())
+
 let params_of_cgs cgs = Sw_arch.Params.with_cgs Sw_arch.Params.default cgs
 
 let variant_of entry grain unroll cpes db =
@@ -94,7 +107,7 @@ let simulate_cmd =
     Term.(const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg)
 
 let tune_cmd =
-  let run name scale method_name =
+  let run name scale method_name domains =
     let entry = Sw_workloads.Registry.find_exn name in
     let params = Sw_arch.Params.default in
     let config = Sw_sim.Config.default params in
@@ -109,7 +122,7 @@ let tune_cmd =
       | "empirical" -> Sw_tuning.Tuner.Empirical
       | other -> invalid_arg (Printf.sprintf "unknown method %S (static|empirical)" other)
     in
-    let outcome = Sw_tuning.Tuner.tune ~method_ config kernel ~points in
+    let outcome = Sw_tuning.Tuner.tune ~method_ ?pool:(pool_of domains) config kernel ~points in
     Format.printf "%a@." Sw_tuning.Tuner.pp_outcome outcome
   in
   let method_arg =
@@ -117,15 +130,15 @@ let tune_cmd =
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Auto-tune a kernel's tile size and unroll factor.")
-    Term.(const run $ kernel_arg $ scale_arg $ method_arg)
+    Term.(const run $ kernel_arg $ scale_arg $ method_arg $ domains_arg)
 
 let fig6_cmd =
-  let run scale =
-    Sw_experiments.Fig6.print (Sw_experiments.Fig6.run ~scale ())
+  let run scale domains =
+    Sw_experiments.Fig6.print (Sw_experiments.Fig6.run ~scale ?pool:(pool_of domains) ())
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Reproduce Fig. 6: model accuracy over the suite.")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ domains_arg)
 
 let fig7_cmd =
   let run () =
@@ -168,10 +181,12 @@ let fig10_cmd =
     Term.(const run $ scale_arg)
 
 let table2_cmd =
-  let run scale = Sw_experiments.Table2.print (Sw_experiments.Table2.run ~scale ()) in
+  let run scale domains =
+    Sw_experiments.Table2.print (Sw_experiments.Table2.run ~scale ?pool:(pool_of domains) ())
+  in
   Cmd.v
     (Cmd.info "table2" ~doc:"Reproduce Table II: static vs empirical auto-tuning.")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ domains_arg)
 
 let asm_cmd =
   let run name scale grain unroll cpes db annotate cpe_index =

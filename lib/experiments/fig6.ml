@@ -1,6 +1,6 @@
-let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) () =
+let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) ?pool () =
   let config = Sw_sim.Config.default params in
-  List.map
+  Sw_util.Pool.map_opt pool
     (fun (e : Sw_workloads.Registry.entry) ->
       let kernel = e.build ~scale in
       let lowered = Sw_swacc.Lower.lower_exn params kernel e.variant in

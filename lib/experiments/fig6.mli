@@ -5,7 +5,10 @@
     breakdown and the relative error.  The paper reports 5% average
     error and a 9.6% maximum (BFS). *)
 
-val run : ?scale:float -> ?params:Sw_arch.Params.t -> unit -> Swpm.Accuracy.row list
+val run :
+  ?scale:float -> ?params:Sw_arch.Params.t -> ?pool:Sw_util.Pool.t -> unit -> Swpm.Accuracy.row list
+(** [pool] fans the per-kernel evaluations out over domains; row order
+    and contents are identical to the sequential run. *)
 
 val print : Swpm.Accuracy.row list -> unit
 

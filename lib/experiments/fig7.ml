@@ -22,15 +22,17 @@ let evaluate params kernel ~x ~grain =
   }
 
 (* (a): 256 elements per CPE, granularity sweeps 256 down to 8. *)
-let run_a ?(params = Sw_arch.Params.default) () =
+let run_a ?(params = Sw_arch.Params.default) ?pool () =
   let elems_per_cpe = 256 in
   let scale = float_of_int (cpes * elems_per_cpe) /. float_of_int Sw_workloads.Kmeans.base_points in
   let kernel = Sw_workloads.Kmeans.kernel ~scale in
-  List.map (fun g -> evaluate params kernel ~x:g ~grain:g) [ 256; 128; 64; 32; 16; 8 ]
+  Sw_util.Pool.map_opt pool
+    (fun g -> evaluate params kernel ~x:g ~grain:g)
+    [ 256; 128; 64; 32; 16; 8 ]
 
 (* (b): granularity 256, partition per CPE sweeps up. *)
-let run_b ?(params = Sw_arch.Params.default) () =
-  List.map
+let run_b ?(params = Sw_arch.Params.default) ?pool () =
+  Sw_util.Pool.map_opt pool
     (fun partition ->
       let scale = float_of_int (cpes * partition) /. float_of_int Sw_workloads.Kmeans.base_points in
       let kernel = Sw_workloads.Kmeans.kernel ~scale in

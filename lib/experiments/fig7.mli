@@ -17,10 +17,11 @@ type point = {
   gloads : int;  (** Gload requests per CPE (spill artifact visibility). *)
 }
 
-val run_a : ?params:Sw_arch.Params.t -> unit -> point list
-(** Granularity sweep, largest first (the paper's leftmost bar is 256). *)
+val run_a : ?params:Sw_arch.Params.t -> ?pool:Sw_util.Pool.t -> unit -> point list
+(** Granularity sweep, largest first (the paper's leftmost bar is 256).
+    [pool] fans the sweep points out over domains. *)
 
-val run_b : ?params:Sw_arch.Params.t -> unit -> point list
+val run_b : ?params:Sw_arch.Params.t -> ?pool:Sw_util.Pool.t -> unit -> point list
 (** Partition sweep: 256..8192 elements per CPE. *)
 
 val print_a : point list -> unit

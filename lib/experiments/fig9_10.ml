@@ -13,9 +13,9 @@ let evaluate ~active ~variant kernel =
   let row = Swpm.Accuracy.evaluate (Sw_sim.Config.default params) lowered in
   { active; predicted = row.Swpm.Accuracy.predicted; measured = row.Swpm.Accuracy.measured }
 
-let run_dynamics ?(scale = 1.0) () =
+let run_dynamics ?(scale = 1.0) ?pool () =
   let points =
-    List.map
+    Sw_util.Pool.map_opt pool
       (fun active ->
         let kernel = Sw_workloads.Wrf_dynamics.kernel ~active ~scale () in
         evaluate ~active ~variant:Sw_workloads.Wrf_dynamics.variant kernel)
@@ -23,10 +23,10 @@ let run_dynamics ?(scale = 1.0) () =
   in
   { kernel_name = "WRF dynamics (memory-intensive)"; points }
 
-let run_physics ?(scale = 1.0) () =
+let run_physics ?(scale = 1.0) ?pool () =
   let kernel = Sw_workloads.Wrf_physics.kernel ~scale in
   let points =
-    List.map
+    Sw_util.Pool.map_opt pool
       (fun active -> evaluate ~active ~variant:Sw_workloads.Wrf_physics.variant kernel)
       [ 8; 16; 32; 48; 64; 96; 128; 192; 256 ]
   in

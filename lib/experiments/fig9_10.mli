@@ -17,9 +17,10 @@ type point = {
 
 type series = { kernel_name : string; points : point list }
 
-val run_dynamics : ?scale:float -> unit -> series
+val run_dynamics : ?scale:float -> ?pool:Sw_util.Pool.t -> unit -> series
+(** [pool] fans the active-CPE sweep points out over domains. *)
 
-val run_physics : ?scale:float -> unit -> series
+val run_physics : ?scale:float -> ?pool:Sw_util.Pool.t -> unit -> series
 
 val best_active : series -> int
 (** The active-CPE count with the lowest measured time. *)

@@ -5,21 +5,23 @@ let default_scales = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
 let default_kernels = [ "kmeans"; "cfd"; "backprop"; "bfs"; "streamcluster" ]
 
 let run ?(params = Sw_arch.Params.default) ?(scales = default_scales) ?(kernels = default_kernels)
-    () =
+    ?pool () =
   let config = Sw_sim.Config.default params in
+  (* flatten to (kernel, scale) cells so the pool balances across the
+     whole grid, then regroup into per-kernel rows *)
+  let cells = List.concat_map (fun name -> List.map (fun s -> (name, s)) scales) kernels in
+  let errors =
+    Sw_util.Pool.map_opt pool
+      (fun (name, scale) ->
+        let e = Sw_workloads.Registry.find_exn name in
+        let kernel = e.Sw_workloads.Registry.build ~scale in
+        let lowered = Sw_swacc.Lower.lower_exn params kernel e.Sw_workloads.Registry.variant in
+        let row = Swpm.Accuracy.evaluate config lowered in
+        (name, (scale, Swpm.Accuracy.error row)))
+      cells
+  in
   List.map
-    (fun name ->
-      let e = Sw_workloads.Registry.find_exn name in
-      let errors =
-        List.map
-          (fun scale ->
-            let kernel = e.Sw_workloads.Registry.build ~scale in
-            let lowered = Sw_swacc.Lower.lower_exn params kernel e.Sw_workloads.Registry.variant in
-            let row = Swpm.Accuracy.evaluate config lowered in
-            (scale, Swpm.Accuracy.error row))
-          scales
-      in
-      { name; errors })
+    (fun name -> { name; errors = List.filter_map (fun (n, e) -> if n = name then Some e else None) errors })
     kernels
 
 let print rows =

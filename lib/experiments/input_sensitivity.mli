@@ -7,6 +7,13 @@
 
 type row = { name : string; errors : (float * float) list  (** (scale, error) *) }
 
-val run : ?params:Sw_arch.Params.t -> ?scales:float list -> ?kernels:string list -> unit -> row list
+val run :
+  ?params:Sw_arch.Params.t ->
+  ?scales:float list ->
+  ?kernels:string list ->
+  ?pool:Sw_util.Pool.t ->
+  unit ->
+  row list
+(** [pool] fans the kernel x scale grid out over domains. *)
 
 val print : row list -> unit

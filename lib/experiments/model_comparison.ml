@@ -8,9 +8,9 @@ type suite_row = {
   intensity : float;
 }
 
-let run_suite ?(scale = 1.0) ?(params = Sw_arch.Params.default) () =
+let run_suite ?(scale = 1.0) ?(params = Sw_arch.Params.default) ?pool () =
   let config = Sw_sim.Config.default params in
-  List.map
+  Sw_util.Pool.map_opt pool
     (fun (e : Sw_workloads.Registry.entry) ->
       let kernel = e.build ~scale in
       let lowered = Sw_swacc.Lower.lower_exn params kernel e.variant in
@@ -40,12 +40,12 @@ type sweep_row = {
   sweep_roofline : float;
 }
 
-let run_fig7_sweep ?(params = Sw_arch.Params.default) () =
+let run_fig7_sweep ?(params = Sw_arch.Params.default) ?pool () =
   let config = Sw_sim.Config.default params in
   let elems_per_cpe = 256 in
   let scale = float_of_int (64 * elems_per_cpe) /. float_of_int Sw_workloads.Kmeans.base_points in
   let kernel = Sw_workloads.Kmeans.kernel ~scale in
-  List.map
+  Sw_util.Pool.map_opt pool
     (fun grain ->
       let variant = { Sw_swacc.Kernel.grain; unroll = 4; active_cpes = 64; double_buffer = false } in
       let lowered = Sw_swacc.Lower.lower_exn params kernel variant in

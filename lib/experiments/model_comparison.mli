@@ -18,7 +18,9 @@ type suite_row = {
   intensity : float;
 }
 
-val run_suite : ?scale:float -> ?params:Sw_arch.Params.t -> unit -> suite_row list
+val run_suite :
+  ?scale:float -> ?params:Sw_arch.Params.t -> ?pool:Sw_util.Pool.t -> unit -> suite_row list
+(** [pool] fans the per-kernel evaluations out over domains. *)
 
 type sweep_row = {
   granularity : int;
@@ -27,7 +29,7 @@ type sweep_row = {
   sweep_roofline : float;
 }
 
-val run_fig7_sweep : ?params:Sw_arch.Params.t -> unit -> sweep_row list
+val run_fig7_sweep : ?params:Sw_arch.Params.t -> ?pool:Sw_util.Pool.t -> unit -> sweep_row list
 (** The K-Means granularity sweep, re-read through both models. *)
 
 val print_suite : suite_row list -> unit

@@ -8,7 +8,10 @@ type row = {
   same_pick : bool;
 }
 
-let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) () =
+(* [pool] parallelizes inside each tuner's search (many variants per
+   workload) rather than across the five workloads, so each outcome's
+   wall-clock tuning time remains a meaningful per-kernel figure. *)
+let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) ?pool () =
   let config = Sw_sim.Config.default params in
   List.map
     (fun (e : Sw_workloads.Registry.entry) ->
@@ -30,9 +33,11 @@ let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) () =
         in
         { Sw_swacc.Kernel.grain = largest; unroll = 1; active_cpes = 64; double_buffer = false }
       in
-      let static = Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Static ~default config kernel ~points in
+      let static =
+        Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Static ~default ?pool config kernel ~points
+      in
       let empirical =
-        Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Empirical ~default config kernel ~points
+        Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Empirical ~default ?pool config kernel ~points
       in
       let savings =
         if static.Sw_tuning.Tuner.tuning_host_s > 0.0 then

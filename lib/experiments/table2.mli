@@ -17,7 +17,10 @@ type row = {
   same_pick : bool;  (** Both tuners chose the same variant. *)
 }
 
-val run : ?scale:float -> ?params:Sw_arch.Params.t -> unit -> row list
+val run : ?scale:float -> ?params:Sw_arch.Params.t -> ?pool:Sw_util.Pool.t -> unit -> row list
+(** [pool] parallelizes each tuner's variant assessments (inside
+    {!Sw_tuning.Tuner.tune}); tuning picks are identical to the
+    sequential run, only wall-clock tuning times shrink. *)
 
 val print : row list -> unit
 

@@ -56,12 +56,64 @@ let steady_cycles params block =
     else float_of_int (Stdlib.max 1 (sb.prev_issue - start2))
   end
 
+(* ------------------------------------------------------------------ *)
+(* Shared block-cost cache.
+
+   Scheduling a block is the hot cost center of both the simulator and
+   the model: every Engine.run and every Predict.run re-derives the same
+   (first-iteration, steady-state) pair for blocks that recur across
+   code variants — unroll and grain changes leave many blocks
+   structurally identical.  The cache is keyed by (params, block) since
+   instruction latencies come from params, and is guarded by a mutex so
+   tuners fanning variants out over domains share it safely.  On a miss
+   the costs are computed *outside* the lock: scheduling is
+   deterministic, so two domains racing on the same block simply do the
+   same work once each and agree on the entry. *)
+
+type costs = { c_once : float; c_steady : float }
+
+let cache : (Sw_arch.Params.t * Instr.t array, costs) Hashtbl.t = Hashtbl.create 64
+
+let cache_lock = Mutex.create ()
+
+let hits = ref 0
+
+let misses = ref 0
+
+let clear_cache () =
+  Mutex.protect cache_lock (fun () ->
+      Hashtbl.reset cache;
+      hits := 0;
+      misses := 0)
+
+let cache_stats () = Mutex.protect cache_lock (fun () -> (!hits, !misses))
+
+let block_costs params block =
+  let key = (params, block) in
+  let cached =
+    Mutex.protect cache_lock (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some c ->
+            incr hits;
+            Some c
+        | None ->
+            incr misses;
+            None)
+  in
+  match cached with
+  | Some c -> (c.c_once, c.c_steady)
+  | None ->
+      let c_once = float_of_int (once params block).completion in
+      let c_steady = steady_cycles params block in
+      Mutex.protect cache_lock (fun () ->
+          if not (Hashtbl.mem cache key) then Hashtbl.add cache key { c_once; c_steady });
+      (c_once, c_steady)
+
 let iterated_cycles params block ~trips =
   if trips <= 0 || Array.length block = 0 then 0.0
   else begin
-    let first = float_of_int (once params block).completion in
-    if trips = 1 then first
-    else first +. (float_of_int (trips - 1) *. steady_cycles params block)
+    let first, steady = block_costs params block in
+    if trips = 1 then first else first +. (float_of_int (trips - 1) *. steady)
   end
 
 let avg_ilp params block =

@@ -26,7 +26,22 @@ val steady_cycles : Sw_arch.Params.t -> Instr.t array -> float
 val iterated_cycles : Sw_arch.Params.t -> Instr.t array -> trips:int -> float
 (** Predicted cycles for [trips] back-to-back executions:
     first-iteration cost plus [(trips-1)] steady-state iterations.
-    [trips = 0] is 0. *)
+    [trips = 0] is 0.  Served from {!block_costs}' shared cache. *)
+
+val block_costs : Sw_arch.Params.t -> Instr.t array -> float * float
+(** [block_costs params block] is [(first, steady)]: the completion
+    cycles of one cold execution and the steady-state cycles per loop
+    iteration.  Results are memoized in a process-wide, thread-safe
+    cache keyed by [(params, block)], so repeated simulator and model
+    runs across code variants — and across domains of a tuning pool —
+    never reschedule a structurally identical block. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of the shared block-cost cache since start or the
+    last {!clear_cache}. *)
+
+val clear_cache : unit -> unit
+(** Drop every memoized block cost (mainly for tests and benchmarks). *)
 
 val avg_ilp : Sw_arch.Params.t -> Instr.t array -> float
 (** Average instruction-level parallelism of the steady-state schedule:

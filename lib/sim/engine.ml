@@ -65,6 +65,9 @@ type state = {
   mutable processed : int;
 }
 
+(* Block costs come from the process-wide Schedule cache so repeated
+   runs across variants (and tuning domains) share the scheduling work;
+   the per-run table is a lock-free L1 in front of it. *)
 let compute_cost st block trips =
   if trips <= 0 then 0.0
   else begin
@@ -72,10 +75,9 @@ let compute_cost st block trips =
       match Hashtbl.find_opt st.block_costs block with
       | Some pair -> pair
       | None ->
-          let once = float_of_int (Sw_isa.Schedule.once st.config.params block).completion in
-          let steady = Sw_isa.Schedule.steady_cycles st.config.params block in
-          Hashtbl.add st.block_costs block (once, steady);
-          (once, steady)
+          let pair = Sw_isa.Schedule.block_costs st.config.params block in
+          Hashtbl.add st.block_costs block pair;
+          pair
     in
     once +. (float_of_int (trips - 1) *. steady)
   end

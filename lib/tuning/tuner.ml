@@ -7,6 +7,7 @@ type outcome = {
   default_cycles : float;
   speedup : float;
   tuning_host_s : float;
+  tuning_cpu_s : float;
   machine_time_us : float;
   evaluated : int;
   infeasible : int;
@@ -14,39 +15,47 @@ type outcome = {
 
 let simulate config programs = (Sw_sim.Engine.run config programs).Sw_sim.Metrics.cycles
 
-let tune ~method_ ?(active_cpes = 64) ?default (config : Sw_sim.Config.t) kernel ~points =
+let tune ~method_ ?(active_cpes = 64) ?default ?pool (config : Sw_sim.Config.t) kernel ~points =
   let params = config.Sw_sim.Config.params in
-  let t0 = Sys.time () in
-  let machine_time_us = ref 0.0 in
-  let evaluated = ref 0 and infeasible = ref 0 in
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  (* Assessing one point is pure: feasibility plus a score.  That makes
+     the fan-out over a domain pool safe, and scores arrive in
+     enumeration order either way, so the argmin below (strict [<],
+     earliest index wins ties) is bit-identical to the sequential run. *)
   let assess point =
     let variant = Space.to_variant point ~active_cpes in
     match method_ with
     | Static -> (
         (* the static tuner only compiles: blocks + static summary *)
         match Sw_swacc.Lower.summarize params kernel variant with
-        | Error _ ->
-            incr infeasible;
-            None
-        | Ok summary ->
-            incr evaluated;
-            Some (point, (Swpm.Predict.run params summary).Swpm.Predict.t_total))
+        | Error _ -> None
+        | Ok summary -> Some (point, (Swpm.Predict.run params summary).Swpm.Predict.t_total))
     | Empirical -> (
         (* the empirical tuner compiles the full program and runs it *)
         match Sw_swacc.Lower.lower params kernel variant with
-        | Error _ ->
-            incr infeasible;
-            None
-        | Ok lowered ->
-            incr evaluated;
-            let cycles = simulate config lowered.Sw_swacc.Lowered.programs in
-            machine_time_us :=
-              !machine_time_us
-              +. Sw_util.Units.cycles_to_us ~freq_hz:params.Sw_arch.Params.freq_hz cycles;
-            Some (point, cycles))
+        | Error _ -> None
+        | Ok lowered -> Some (point, simulate config lowered.Sw_swacc.Lowered.programs))
   in
-  let scored = List.filter_map assess points in
-  let tuning_host_s = Sys.time () -. t0 in
+  let results =
+    match pool with
+    | Some p -> Sw_util.Pool.map p assess points
+    | None -> List.map assess points
+  in
+  let tuning_host_s = Unix.gettimeofday () -. wall0 in
+  let tuning_cpu_s = Sys.time () -. cpu0 in
+  let scored = List.filter_map Fun.id results in
+  let evaluated = List.length scored in
+  let infeasible = List.length points - evaluated in
+  let machine_time_us =
+    match method_ with
+    | Static -> 0.0
+    | Empirical ->
+        List.fold_left
+          (fun acc (_, cycles) ->
+            acc +. Sw_util.Units.cycles_to_us ~freq_hz:params.Sw_arch.Params.freq_hz cycles)
+          0.0 scored
+  in
   match scored with
   | [] -> invalid_arg "Tuner.tune: no feasible point in the search space"
   | (p0, s0) :: rest ->
@@ -72,9 +81,10 @@ let tune ~method_ ?(active_cpes = 64) ?default (config : Sw_sim.Config.t) kernel
         default_cycles;
         speedup = default_cycles /. best_cycles;
         tuning_host_s;
-        machine_time_us = !machine_time_us;
-        evaluated = !evaluated;
-        infeasible = !infeasible;
+        tuning_cpu_s;
+        machine_time_us;
+        evaluated;
+        infeasible;
       }
 
 let quality_loss ~static ~empirical =
@@ -84,7 +94,7 @@ let pp_outcome fmt o =
   let m = match o.method_ with Static -> "static" | Empirical -> "empirical" in
   Format.fprintf fmt
     "@[<v>%s tuner: best grain=%d unroll=%d db=%b@,speedup %.2fx (%.0f -> %.0f cycles)@,host %.3f \
-     s, machine %.0f us, %d evaluated, %d infeasible@]"
+     s wall (%.3f s cpu), machine %.0f us, %d evaluated, %d infeasible@]"
     m o.best.Sw_swacc.Kernel.grain o.best.Sw_swacc.Kernel.unroll o.best.Sw_swacc.Kernel.double_buffer
-    o.speedup o.default_cycles o.best_cycles o.tuning_host_s o.machine_time_us o.evaluated
-    o.infeasible
+    o.speedup o.default_cycles o.best_cycles o.tuning_host_s o.tuning_cpu_s o.machine_time_us
+    o.evaluated o.infeasible

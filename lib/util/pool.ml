@@ -1,0 +1,67 @@
+type t = { size : int }
+
+let default_size () =
+  match Option.bind (Sys.getenv_opt "SWPM_DOMAINS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+let create ?size () =
+  let size = match size with Some n -> Stdlib.max 1 n | None -> default_size () in
+  { size }
+
+let sequential = { size = 1 }
+
+let size t = t.size
+
+(* Each slot is written exactly once, by the one domain that claimed its
+   index from the cursor, and read only after every worker has been
+   joined — so the plain array needs no synchronization beyond the
+   happens-before edges of [Domain.spawn]/[Domain.join]. *)
+type 'b slot = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
+
+let run_chunked pool f (input : 'a array) : 'b array =
+  let n = Array.length input in
+  let slots = Array.make n Pending in
+  let fill i =
+    slots.(i) <-
+      (match f input.(i) with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ()))
+  in
+  let workers = Stdlib.min pool.size n in
+  if workers <= 1 then
+    for i = 0 to n - 1 do
+      fill i
+    done
+  else begin
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          fill i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  (* every item was attempted: re-raise the earliest failure so the
+     outcome does not depend on domain interleaving *)
+  Array.iter
+    (function Failed (e, bt) -> Printexc.raise_with_backtrace e bt | Pending | Done _ -> ())
+    slots;
+  Array.map (function Done v -> v | Pending | Failed _ -> assert false) slots
+
+let map_array pool f input = run_chunked pool f input
+
+let map pool f xs = Array.to_list (run_chunked pool f (Array.of_list xs))
+
+let filter_map pool f xs =
+  List.filter_map Fun.id (map pool f xs)
+
+let map_opt pool f xs =
+  match pool with Some p when p.size > 1 -> map p f xs | Some _ | None -> List.map f xs

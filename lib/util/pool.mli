@@ -1,0 +1,52 @@
+(** Fixed-size domain pool for data-parallel work lists.
+
+    The tuners and experiment sweeps assess many independent code
+    variants; this pool fans such work out over OCaml 5 domains while
+    keeping results {e deterministic}: [map] and [filter_map] return
+    results in input order, identical to their sequential counterparts,
+    no matter how the runs interleave.
+
+    Work distribution is dynamic (an atomic cursor over the work list),
+    so unevenly sized items — e.g. simulating large vs small code
+    variants — balance automatically.
+
+    A pool of size 1 never spawns a domain and degrades to the plain
+    sequential path, so callers can thread one [t] everywhere and let
+    configuration decide whether execution is parallel. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [create ?size ()] makes a pool running at most [size] domains per
+    call (the calling domain counts as one of them, so [size = 4] means
+    the caller plus 3 spawned domains).  [size] defaults to
+    {!default_size}; values below 1 are clamped to 1. *)
+
+val sequential : t
+(** A pool of size 1: every operation runs inline on the caller. *)
+
+val size : t -> int
+
+val default_size : unit -> int
+(** The [SWPM_DOMAINS] environment variable if set to a positive
+    integer, else [Domain.recommended_domain_count () - 1] (at least
+    1).  This is the knob for capping parallelism machine-wide. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] is [List.map f xs] computed on up to [size pool]
+    domains.  Results are in input order.  If [f] raises on one or more
+    items, every item is still attempted and the exception of the
+    {e earliest} failing item is re-raised (with its backtrace) — the
+    same exception a sequential [List.map] would surface. *)
+
+val filter_map : t -> ('a -> 'b option) -> 'a list -> 'b list
+(** [filter_map pool f xs] is [List.filter_map f xs], parallelized and
+    order-preserving like {!map}. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Array counterpart of {!map}. *)
+
+val map_opt : t option -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_opt (Some pool) f xs] is [map pool f xs]; [map_opt None f xs]
+    is [List.map f xs].  Convenience for APIs with an optional [?pool]
+    argument. *)
