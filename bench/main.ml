@@ -128,7 +128,7 @@ let parallel () =
       Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
         ~unrolls:entry.Sw_workloads.Registry.unrolls ()
     in
-    Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Empirical ?pool config kernel ~points
+    Sw_tuning.Tuner.tune_exn ~backend:Sw_backend.Backend.simulator ?pool config kernel ~points
   in
   let t =
     Sw_util.Table.create ~title:"empirical-tuner search: wall-clock per workload"
@@ -204,6 +204,34 @@ let parallel () =
                 rows) );
        ])
 
+(* The Table II search priced by every registered cost backend, with
+   per-backend tuning-cost accounting (host seconds and simulated
+   machine time).  The sim row is the quality yardstick. *)
+let backends () =
+  section "Backend matrix: Table II search under every cost backend";
+  let rows = Sw_experiments.Backend_matrix.run ~pool:(Lazy.force pool) () in
+  Sw_experiments.Backend_matrix.print rows;
+  add_json "backends"
+    (json_list
+       (List.map
+          (fun (r : Sw_experiments.Backend_matrix.row) ->
+            let o = r.Sw_experiments.Backend_matrix.outcome in
+            json_obj
+              [
+                ("kernel", Printf.sprintf "%S" r.Sw_experiments.Backend_matrix.kernel);
+                ("backend", Printf.sprintf "%S" o.Sw_tuning.Tuner.backend);
+                ("speedup", json_float o.Sw_tuning.Tuner.speedup);
+                ("best_cycles", json_float o.Sw_tuning.Tuner.best_cycles);
+                ("tuning_host_s", json_float o.Sw_tuning.Tuner.tuning_host_s);
+                ("tuning_cpu_s", json_float o.Sw_tuning.Tuner.tuning_cpu_s);
+                ("machine_time_us", json_float o.Sw_tuning.Tuner.machine_time_us);
+                ("evaluated", string_of_int o.Sw_tuning.Tuner.evaluated);
+                ("infeasible", string_of_int o.Sw_tuning.Tuner.infeasible);
+                ("quality_loss_vs_sim", json_float r.Sw_experiments.Backend_matrix.quality_loss_vs_sim);
+                ("same_pick_as_sim", string_of_bool r.Sw_experiments.Backend_matrix.same_pick_as_sim);
+              ])
+          rows))
+
 (* ------------------------------------------------------------------ *)
 (* Extensions beyond the paper's figures                                *)
 
@@ -274,8 +302,7 @@ let microbench () =
         (Staged.stage (fun () -> ignore (Sw_swacc.Lower.lower_exn params kernel variant)));
       (* a profiling run: what only the empirical tuner pays *)
       Test.make ~name:"simulate (empirical tuner)"
-        (Staged.stage (fun () ->
-             ignore (Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs)));
+        (Staged.stage (fun () -> ignore (Sw_backend.Machine.metrics config lowered)));
       (* per-block static scheduling, the model's T_comp input *)
       Test.make ~name:"schedule block"
         (Staged.stage (fun () ->
@@ -315,6 +342,7 @@ let all =
     ("fig9", fig9_10);
     ("table2", table2);
     ("parallel", parallel);
+    ("backends", backends);
     ("fig4", fig4);
     ("coalescing", coalescing);
     ("ablation", ablation);

@@ -48,6 +48,24 @@ let pool_of domains =
 
 let params_of_cgs cgs = Sw_arch.Params.with_cgs Sw_arch.Params.default cgs
 
+let backend_arg =
+  let doc =
+    "Cost backend: $(b,model) (static model), $(b,sim) (cycle-level simulator), $(b,hybrid) \
+     (model + one profile) or $(b,roofline).  Aliases: static, static-model, empirical, \
+     simulator."
+  in
+  Arg.(value & opt string "model" & info [ "backend"; "method" ] ~docv:"BACKEND" ~doc)
+
+(* resolve a --backend flag, exiting with a readable message (and the
+   list of known backends) instead of a backtrace on a typo *)
+let backend_of_name name =
+  match Sw_backend.Backend.find name with
+  | Some b -> b
+  | None ->
+      Printf.eprintf "swmodel: unknown backend %S (available: %s)\n" name
+        (String.concat ", " (Sw_backend.Backend.registered ()));
+      exit 1
+
 let variant_of entry grain unroll cpes db =
   let base = entry.Sw_workloads.Registry.variant in
   {
@@ -79,17 +97,38 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Print the Table I machine parameters.") Term.(const run $ const ())
 
 let predict_cmd =
-  let run name scale cgs grain unroll cpes db =
+  let run name scale cgs grain unroll cpes db backend_name =
     let entry = Sw_workloads.Registry.find_exn name in
     let params = params_of_cgs cgs in
-    let lowered = lower_entry params entry scale (variant_of entry grain unroll cpes db) in
-    Format.printf "%a@.@.%a@." Sw_swacc.Lowered.pp_summary lowered.Sw_swacc.Lowered.summary
-      Swpm.Predict.pp
-      (Swpm.Predict.predict_lowered params lowered)
+    let variant = variant_of entry grain unroll cpes db in
+    match backend_name with
+    | "model" | "static" | "static-model" ->
+        let lowered = lower_entry params entry scale variant in
+        Format.printf "%a@.@.%a@." Sw_swacc.Lowered.pp_summary lowered.Sw_swacc.Lowered.summary
+          Swpm.Predict.pp
+          (Swpm.Predict.predict_lowered params lowered)
+    | _ -> (
+        let backend = backend_of_name backend_name in
+        let config = Sw_sim.Config.default params in
+        let kernel = entry.Sw_workloads.Registry.build ~scale in
+        match Sw_backend.Backend.assess backend config kernel variant with
+        | Error { Sw_backend.Backend.backend = b; reason } ->
+            Printf.eprintf "swmodel: %s rejects %s: %s\n" b name reason;
+            exit 1
+        | Ok v ->
+            (match v.Sw_backend.Backend.breakdown with
+            | Some p -> Format.printf "%a@.@." Swpm.Predict.pp p
+            | None -> ());
+            Format.printf "%s: %.0f cycles (host %.3f s, machine %.0f us)@."
+              (Sw_backend.Backend.name backend)
+              v.Sw_backend.Backend.cycles v.Sw_backend.Backend.cost.Sw_backend.Backend.host_wall_s
+              v.Sw_backend.Backend.cost.Sw_backend.Backend.machine_us)
   in
   Cmd.v
-    (Cmd.info "predict" ~doc:"Statically predict a kernel's execution time.")
-    Term.(const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg)
+    (Cmd.info "predict" ~doc:"Price a kernel variant through a cost backend (default: the model).")
+    Term.(
+      const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg
+      $ backend_arg)
 
 let simulate_cmd =
   let run name scale cgs grain unroll cpes db =
@@ -97,17 +136,17 @@ let simulate_cmd =
     let params = params_of_cgs cgs in
     let lowered = lower_entry params entry scale (variant_of entry grain unroll cpes db) in
     let config = Sw_sim.Config.default params in
-    let row = Swpm.Accuracy.evaluate config lowered in
+    let row = Sw_backend.Accuracy.evaluate config lowered in
     Format.printf "%a@.@.Prediction:@.%a@.@.error: %.1f%%@." Sw_sim.Metrics.pp
-      row.Swpm.Accuracy.measured Swpm.Predict.pp row.Swpm.Accuracy.predicted
-      (Swpm.Accuracy.error row *. 100.0)
+      row.Sw_backend.Accuracy.measured Swpm.Predict.pp row.Sw_backend.Accuracy.predicted
+      (Sw_backend.Accuracy.error row *. 100.0)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate a kernel and compare against the model.")
     Term.(const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg)
 
 let tune_cmd =
-  let run name scale method_name domains =
+  let run name scale backend_name domains =
     let entry = Sw_workloads.Registry.find_exn name in
     let params = Sw_arch.Params.default in
     let config = Sw_sim.Config.default params in
@@ -116,21 +155,16 @@ let tune_cmd =
       Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
         ~unrolls:entry.Sw_workloads.Registry.unrolls ()
     in
-    let method_ =
-      match method_name with
-      | "static" -> Sw_tuning.Tuner.Static
-      | "empirical" -> Sw_tuning.Tuner.Empirical
-      | other -> invalid_arg (Printf.sprintf "unknown method %S (static|empirical)" other)
-    in
-    let outcome = Sw_tuning.Tuner.tune ~method_ ?pool:(pool_of domains) config kernel ~points in
-    Format.printf "%a@." Sw_tuning.Tuner.pp_outcome outcome
-  in
-  let method_arg =
-    Arg.(value & opt string "static" & info [ "method" ] ~docv:"METHOD" ~doc:"static or empirical")
+    let backend = backend_of_name backend_name in
+    match Sw_tuning.Tuner.tune ~backend ?pool:(pool_of domains) config kernel ~points with
+    | Ok outcome -> Format.printf "%a@." Sw_tuning.Tuner.pp_outcome outcome
+    | Error (`No_feasible_point msg) ->
+        Printf.eprintf "swmodel: %s\n" msg;
+        exit 1
   in
   Cmd.v
-    (Cmd.info "tune" ~doc:"Auto-tune a kernel's tile size and unroll factor.")
-    Term.(const run $ kernel_arg $ scale_arg $ method_arg $ domains_arg)
+    (Cmd.info "tune" ~doc:"Auto-tune a kernel's tile size and unroll factor under a cost backend.")
+    Term.(const run $ kernel_arg $ scale_arg $ backend_arg $ domains_arg)
 
 let fig6_cmd =
   let run scale domains =
@@ -303,17 +337,17 @@ let sweep_cmd =
         match Sw_swacc.Lower.lower params kernel variant with
         | Error msg -> Sw_util.Table.add_row t [ string_of_int x; "infeasible: " ^ msg; ""; "" ]
         | Ok lowered ->
-            let row = Swpm.Accuracy.evaluate config lowered in
-            let meas = row.Swpm.Accuracy.measured.Sw_sim.Metrics.cycles in
-            let pred = row.Swpm.Accuracy.predicted.Swpm.Predict.t_total in
+            let row = Sw_backend.Accuracy.evaluate config lowered in
+            let meas = row.Sw_backend.Accuracy.measured.Sw_sim.Metrics.cycles in
+            let pred = row.Sw_backend.Accuracy.predicted.Swpm.Predict.t_total in
             Sw_util.Csv.add_floats doc
-              [ float_of_int x; meas; pred; Swpm.Accuracy.error row ];
+              [ float_of_int x; meas; pred; Sw_backend.Accuracy.error row ];
             Sw_util.Table.add_row t
               [
                 string_of_int x;
                 Sw_util.Table.cell_f meas;
                 Sw_util.Table.cell_f pred;
-                Sw_util.Table.cell_pct (Swpm.Accuracy.error row);
+                Sw_util.Table.cell_pct (Sw_backend.Accuracy.error row);
               ])
       points;
     Sw_util.Table.print t;

@@ -29,14 +29,18 @@ let () =
       | Error msg -> Format.printf "%-8d %-8d infeasible: %s@." pt.Sw_tuning.Space.grain pt.Sw_tuning.Space.unroll msg
       | Ok lowered ->
           let predicted = Swpm.Predict.predict_lowered params lowered in
-          let measured = Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs in
+          let measured = Sw_backend.Machine.metrics config lowered in
           Format.printf "%-8d %-8d %-16.0f %-16.0f@." pt.Sw_tuning.Space.grain
             pt.Sw_tuning.Space.unroll predicted.Swpm.Predict.t_total
             measured.Sw_sim.Metrics.cycles)
     points;
 
-  let static = Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Static config kernel ~points in
-  let empirical = Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Empirical config kernel ~points in
+  let static =
+    Sw_tuning.Tuner.tune_exn ~backend:Sw_backend.Backend.static_model config kernel ~points
+  in
+  let empirical =
+    Sw_tuning.Tuner.tune_exn ~backend:Sw_backend.Backend.simulator config kernel ~points
+  in
   Format.printf "@.%a@.@.%a@.@." Sw_tuning.Tuner.pp_outcome static Sw_tuning.Tuner.pp_outcome
     empirical;
   Format.printf "tuning-time saving: %.1fx, quality loss: %.1f%%@."

@@ -20,7 +20,7 @@ let () =
     List.map
       (fun grain ->
         let lowered = Sw_swacc.Lower.lower_exn params kernel (variant grain) in
-        let measured = Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs in
+        let measured = Sw_backend.Machine.metrics config lowered in
         (grain, lowered, measured))
       [ 256; 128; 64; 32; 16; 8 ]
   in

@@ -28,7 +28,7 @@ let () =
   (* now pay for both implementations and check *)
   let run variant =
     let lowered = Sw_swacc.Lower.lower_exn params kernel variant in
-    (Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles
+    Sw_backend.Machine.cycles config lowered
   in
   let baseline = run base_variant in
   let with_db = run { base_variant with Sw_swacc.Kernel.double_buffer = true } in

@@ -13,7 +13,7 @@ let () =
   let lowered = Sw_swacc.Lower.lower_exn params kernel entry.Sw_workloads.Registry.variant in
 
   let predicted = Swpm.Predict.predict_lowered params lowered in
-  let measured = Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs in
+  let measured = Sw_backend.Machine.metrics config lowered in
 
   Format.printf "BFS over %d nodes, 64 CPEs@.@." kernel.Sw_swacc.Kernel.n_elements;
   Format.printf "%a@.@." Swpm.Predict.pp predicted;

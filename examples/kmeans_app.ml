@@ -66,11 +66,11 @@ let () =
              (Printf.sprintf "iter %d: update" i, update_lowered);
            ]))
   in
-  let app = Swpm.App.make stages in
-  let report = Swpm.App.evaluate config app in
+  let app = Sw_backend.App.make stages in
+  let report = Sw_backend.App.evaluate config app in
   Format.printf "K-Means, %d points, %d full iterations (MPE launches each stage):@.@.%a@.@."
-    n iterations Swpm.App.pp_report report;
+    n iterations Sw_backend.App.pp_report report;
   Format.printf
     "The static model prices the whole application -- %d kernel launches --@.within %.1f%%, \
      before anything runs.@."
-    (List.length stages) (report.Swpm.App.error *. 100.0)
+    (List.length stages) (report.Sw_backend.App.error *. 100.0)

@@ -52,8 +52,8 @@ let () =
 
   let lowered = Lower.lower_exn params kernel variant in
   let config = Sw_sim.Config.default params in
-  let row = Swpm.Accuracy.evaluate config lowered in
+  let row = Sw_backend.Accuracy.evaluate config lowered in
   Format.printf "predicted %a, measured %a (%.1f%% error)@." Sw_util.Units.pp_cycles
-    row.Swpm.Accuracy.predicted.Swpm.Predict.t_total Sw_util.Units.pp_cycles
-    row.Swpm.Accuracy.measured.Sw_sim.Metrics.cycles
-    (Swpm.Accuracy.error row *. 100.0)
+    row.Sw_backend.Accuracy.predicted.Swpm.Predict.t_total Sw_util.Units.pp_cycles
+    row.Sw_backend.Accuracy.measured.Sw_sim.Metrics.cycles
+    (Sw_backend.Accuracy.error row *. 100.0)

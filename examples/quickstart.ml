@@ -37,7 +37,7 @@ let () =
 
   (* "Measurement" on the simulated SW26010 core group. *)
   let config = Sw_sim.Config.default params in
-  let measured = Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs in
+  let measured = Sw_backend.Machine.metrics config lowered in
   Format.printf "Simulated execution:@.%a@.@." Sw_sim.Metrics.pp measured;
 
   let err =

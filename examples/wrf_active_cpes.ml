@@ -23,7 +23,7 @@ let () =
       let lowered = Sw_swacc.Lower.lower_exn params kernel variant in
       let predicted = Swpm.Predict.predict_lowered params lowered in
       let measured =
-        Sw_sim.Engine.run (Sw_sim.Config.default params) lowered.Sw_swacc.Lowered.programs
+        Sw_backend.Machine.metrics (Sw_sim.Config.default params) lowered
       in
       let slice = Sw_workloads.Wrf_dynamics.slice_bytes ~active in
       let waste =

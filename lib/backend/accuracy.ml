@@ -1,19 +1,19 @@
-type row = { name : string; predicted : Predict.t; measured : Sw_sim.Metrics.t }
+type row = { name : string; predicted : Swpm.Predict.t; measured : Sw_sim.Metrics.t }
 
 let evaluate ?name config (lowered : Sw_swacc.Lowered.t) =
-  let predicted = Predict.predict_lowered config.Sw_sim.Config.params lowered in
-  let measured = Sw_sim.Engine.run config lowered.programs in
-  { name = Option.value name ~default:lowered.kernel_name; predicted; measured }
+  let predicted = Swpm.Predict.predict_lowered config.Sw_sim.Config.params lowered in
+  let measured = Machine.metrics config lowered in
+  { name = Option.value name ~default:lowered.Sw_swacc.Lowered.kernel_name; predicted; measured }
 
 let error row =
-  Sw_util.Stats.relative_error ~predicted:row.predicted.Predict.t_total
+  Sw_util.Stats.relative_error ~predicted:row.predicted.Swpm.Predict.t_total
     ~actual:row.measured.Sw_sim.Metrics.cycles
 
 let mape rows =
   Sw_util.Stats.mape
     (Array.of_list
        (List.map
-          (fun r -> (r.predicted.Predict.t_total, r.measured.Sw_sim.Metrics.cycles))
+          (fun r -> (r.predicted.Swpm.Predict.t_total, r.measured.Sw_sim.Metrics.cycles))
           rows))
 
 let max_error rows = Sw_util.Stats.maximum (Array.of_list (List.map error rows))
@@ -38,12 +38,12 @@ let pp_table fmt rows =
       Sw_util.Table.add_row t
         [
           r.name;
-          Sw_util.Table.cell_f (p.Predict.t_total /. 1e3);
+          Sw_util.Table.cell_f (p.Swpm.Predict.t_total /. 1e3);
           Sw_util.Table.cell_f (r.measured.Sw_sim.Metrics.cycles /. 1e3);
-          Sw_util.Table.cell_f (p.Predict.t_dma /. 1e3);
-          Sw_util.Table.cell_f (p.Predict.t_g /. 1e3);
-          Sw_util.Table.cell_f (p.Predict.t_comp /. 1e3);
-          Sw_util.Table.cell_f (p.Predict.t_overlap /. 1e3);
+          Sw_util.Table.cell_f (p.Swpm.Predict.t_dma /. 1e3);
+          Sw_util.Table.cell_f (p.Swpm.Predict.t_g /. 1e3);
+          Sw_util.Table.cell_f (p.Swpm.Predict.t_comp /. 1e3);
+          Sw_util.Table.cell_f (p.Swpm.Predict.t_overlap /. 1e3);
           Sw_util.Table.cell_pct (error r);
         ])
     rows;

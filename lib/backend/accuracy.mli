@@ -1,14 +1,20 @@
 (** Model-vs-simulator accuracy evaluation (the Fig. 6 methodology).
 
     Predicts a lowered kernel with the static model, "measures" it on
-    the cycle-level simulator, and reports relative errors.  The paper
-    reports 5% average error with a 9.6% maximum on irregular BFS; the
-    same comparison against our simulated hardware is what the Fig. 6
-    bench regenerates. *)
+    the cycle-level simulator (through {!Machine}, the backend layer's
+    doorway), and reports relative errors.  The paper reports 5%
+    average error with a 9.6% maximum on irregular BFS; the same
+    comparison against our simulated hardware is what the Fig. 6 bench
+    regenerates.
+
+    This module lives in the backend layer — not in [Swpm] — because it
+    is exactly a two-backend comparison: the static model against the
+    machine.  [Swpm] stays a pure closed-form model with no simulator
+    dependency. *)
 
 type row = {
   name : string;
-  predicted : Predict.t;
+  predicted : Swpm.Predict.t;
   measured : Sw_sim.Metrics.t;
 }
 

@@ -22,16 +22,12 @@ let launches t = float_of_int (List.length t.stages) *. t.launch_overhead_cycles
 let predict params t =
   List.fold_left
     (fun acc stage ->
-      acc +. (Predict.predict_lowered params stage.lowered).Predict.t_total)
+      acc +. (Swpm.Predict.predict_lowered params stage.lowered).Swpm.Predict.t_total)
     0.0 t.stages
   +. launches t
 
 let simulate config t =
-  List.fold_left
-    (fun acc stage ->
-      acc
-      +. (Sw_sim.Engine.run config stage.lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles)
-    0.0 t.stages
+  List.fold_left (fun acc stage -> acc +. Machine.cycles config stage.lowered) 0.0 t.stages
   +. launches t
 
 let evaluate (config : Sw_sim.Config.t) t =
@@ -39,10 +35,8 @@ let evaluate (config : Sw_sim.Config.t) t =
   let per_stage =
     List.map
       (fun stage ->
-        let predicted = (Predict.predict_lowered params stage.lowered).Predict.t_total in
-        let measured =
-          (Sw_sim.Engine.run config stage.lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles
-        in
+        let predicted = (Swpm.Predict.predict_lowered params stage.lowered).Swpm.Predict.t_total in
+        let measured = Machine.cycles config stage.lowered in
         (stage.stage_name, predicted, measured))
       t.stages
   in

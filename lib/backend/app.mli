@@ -5,7 +5,9 @@
     and treats the MPE as a pure launcher (Section III-F); this module
     composes whole applications from lowered kernels, charging a fixed
     MPE launch overhead per stage, so end-to-end times can be predicted
-    and simulated stage by stage. *)
+    and simulated stage by stage.  It lives in the backend layer
+    because, like {!Accuracy}, it compares the static model against the
+    machine. *)
 
 type stage = { stage_name : string; lowered : Sw_swacc.Lowered.t }
 

@@ -1,0 +1,301 @@
+module Kernel = Sw_swacc.Kernel
+module Lower = Sw_swacc.Lower
+module Lowered = Sw_swacc.Lowered
+
+type cost = { host_wall_s : float; host_cpu_s : float; machine_us : float }
+
+let zero_cost = { host_wall_s = 0.0; host_cpu_s = 0.0; machine_us = 0.0 }
+
+let add_cost a b =
+  {
+    host_wall_s = a.host_wall_s +. b.host_wall_s;
+    host_cpu_s = a.host_cpu_s +. b.host_cpu_s;
+    machine_us = a.machine_us +. b.machine_us;
+  }
+
+type verdict = { cycles : float; cost : cost; breakdown : Swpm.Predict.t option }
+
+type infeasibility = { backend : string; reason : string }
+
+module type S = sig
+  val name : string
+
+  val description : string
+
+  val assess :
+    Sw_sim.Config.t -> Kernel.t -> Kernel.variant -> (verdict, infeasibility) result
+end
+
+type t = (module S)
+
+let name (module B : S) = B.name
+
+let description (module B : S) = B.description
+
+let assess (module B : S) config kernel variant = B.assess config kernel variant
+
+let assess_exn backend config kernel variant =
+  match assess backend config kernel variant with
+  | Ok v -> v
+  | Error { backend = b; reason } ->
+      invalid_arg
+        (Printf.sprintf "Backend.assess_exn: %s rejects %s: %s" b
+           kernel.Kernel.name reason)
+
+let cycles_exn backend config kernel variant =
+  (assess_exn backend config kernel variant).cycles
+
+(* Measure host wall/CPU seconds around the actual assessment; the
+   implementation reports (cycles, machine_us, breakdown). *)
+let timed f =
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  match f () with
+  | Error _ as e -> e
+  | Ok (cycles, machine_us, breakdown) ->
+      let host_wall_s = Unix.gettimeofday () -. wall0 in
+      let host_cpu_s = Sys.time () -. cpu0 in
+      Ok { cycles; cost = { host_wall_s; host_cpu_s; machine_us }; breakdown }
+
+(* ------------------------------------------------------------------ *)
+(* The four estimators                                                 *)
+
+let static_model : t =
+  (module struct
+    let name = "model"
+
+    let description = "closed-form static model (Eqs. 1-12); compiles a summary, runs nothing"
+
+    let assess (config : Sw_sim.Config.t) kernel variant =
+      let params = config.Sw_sim.Config.params in
+      timed (fun () ->
+          match Lower.summarize params kernel variant with
+          | Error reason -> Error { backend = name; reason }
+          | Ok summary ->
+              let p = Swpm.Predict.run params summary in
+              Ok (p.Swpm.Predict.t_total, 0.0, Some p))
+  end)
+
+let simulator : t =
+  (module struct
+    let name = "sim"
+
+    let description = "cycle-level simulation (the machine stand-in); lowers fully and executes"
+
+    let assess config kernel variant =
+      let params = config.Sw_sim.Config.params in
+      timed (fun () ->
+          match Lower.lower params kernel variant with
+          | Error reason -> Error { backend = name; reason }
+          | Ok lowered ->
+              let cycles = Machine.cycles config lowered in
+              let machine_us =
+                Sw_util.Units.cycles_to_us ~freq_hz:params.Sw_arch.Params.freq_hz cycles
+              in
+              Ok (cycles, machine_us, None))
+  end)
+
+let roofline : t =
+  (module struct
+    let name = "roofline"
+
+    let description = "Roofline upper bound (Section VI); arithmetic intensity only"
+
+    let assess (config : Sw_sim.Config.t) kernel variant =
+      let params = config.Sw_sim.Config.params in
+      timed (fun () ->
+          match Lower.summarize params kernel variant with
+          | Error reason -> Error { backend = name; reason }
+          | Ok summary ->
+              let r = Swpm.Roofline.analyze params summary in
+              Ok (r.Swpm.Roofline.predicted_cycles, 0.0, None))
+  end)
+
+let calibrate config (lowered : Lowered.t) =
+  let params = config.Sw_sim.Config.params in
+  let s = lowered.Lowered.summary in
+  if s.Lowered.gload_count = 0 then Swpm.Hybrid.no_calibration
+  else Swpm.Hybrid.calibration_of params s ~measured_cycles:(Machine.cycles config lowered)
+
+let hybrid ?profile () : t =
+  (module struct
+    let name = "hybrid"
+
+    let description = "static model + one cached lightweight profile per kernel (Section III-F)"
+
+    (* Per-kernel calibration cache.  The profile variant depends only
+       on the kernel (and the requested CPE count), never on which
+       assessment arrives first, so pooled and sequential runs agree. *)
+    let lock = Mutex.create ()
+
+    let cache : (string * int * int, Swpm.Hybrid.calibration * float) Hashtbl.t =
+      Hashtbl.create 8
+
+    let profile_lowered params kernel active_cpes =
+      let try_variant v = Result.to_option (Lower.lower params kernel v) in
+      match profile with
+      | Some v -> try_variant v
+      | None ->
+          List.find_map
+            (fun grain ->
+              try_variant
+                { Kernel.grain; unroll = 1; active_cpes; double_buffer = false })
+            [ 64; 32; 16; 8; 4; 2; 1 ]
+
+    (* Returns the calibration plus the machine microseconds to bill
+       this caller: the full profile cost for whichever assessment ran
+       it, zero for everyone hitting the cache afterwards. *)
+    let calibration_for config kernel (variant : Kernel.variant) =
+      let params = config.Sw_sim.Config.params in
+      let key = (kernel.Kernel.name, kernel.Kernel.n_elements, variant.Kernel.active_cpes) in
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () ->
+          match Hashtbl.find_opt cache key with
+          | Some (cal, _) -> (cal, 0.0)
+          | None ->
+              let cal =
+                match profile_lowered params kernel variant.Kernel.active_cpes with
+                | Some lowered -> calibrate config lowered
+                | None -> Swpm.Hybrid.no_calibration
+              in
+              let profile_us =
+                Sw_util.Units.cycles_to_us ~freq_hz:params.Sw_arch.Params.freq_hz
+                  cal.Swpm.Hybrid.profile_cycles
+              in
+              Hashtbl.add cache key (cal, profile_us);
+              (cal, profile_us))
+
+    let assess config kernel variant =
+      let params = config.Sw_sim.Config.params in
+      timed (fun () ->
+          match Lower.summarize params kernel variant with
+          | Error reason -> Error { backend = name; reason }
+          | Ok summary ->
+              if summary.Lowered.gload_count = 0 then
+                let p = Swpm.Predict.run params summary in
+                Ok (p.Swpm.Predict.t_total, 0.0, Some p)
+              else
+                let calibration, machine_us = calibration_for config kernel variant in
+                let p = Swpm.Hybrid.predict params summary ~calibration in
+                Ok (p.Swpm.Predict.t_total, machine_us, Some p))
+  end)
+
+(* ------------------------------------------------------------------ *)
+(* Memoization                                                         *)
+
+type memo_key = {
+  mk_config : Sw_sim.Config.t;
+  mk_kernel : string;
+  mk_elems : int;
+  mk_vw : int;
+  mk_variant : Kernel.variant;
+}
+
+type memo = {
+  memo_backend : t;
+  memo_hits : int Atomic.t;
+  memo_misses : int Atomic.t;
+  memo_clear : unit -> unit;
+}
+
+let memoize (inner : t) : memo =
+  let module I = (val inner : S) in
+  let table : (memo_key, (verdict, infeasibility) result) Hashtbl.t = Hashtbl.create 64 in
+  let lock = Mutex.create () in
+  let hits = Atomic.make 0 in
+  let misses = Atomic.make 0 in
+  let module M = struct
+    let name = Printf.sprintf "memo(%s)" I.name
+
+    let description = Printf.sprintf "memoizing %s" I.description
+
+    let assess config kernel (variant : Kernel.variant) =
+      let key =
+        {
+          mk_config = config;
+          mk_kernel = kernel.Kernel.name;
+          mk_elems = kernel.Kernel.n_elements;
+          mk_vw = kernel.Kernel.vector_width;
+          mk_variant = variant;
+        }
+      in
+      let cached =
+        Mutex.lock lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock lock)
+          (fun () -> Hashtbl.find_opt table key)
+      in
+      match cached with
+      | Some r ->
+          Atomic.incr hits;
+          (* the work was already paid for by the miss *)
+          Result.map (fun v -> { v with cost = zero_cost }) r
+      | None ->
+          Atomic.incr misses;
+          let r = I.assess config kernel variant in
+          Mutex.lock lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock lock)
+            (fun () -> if not (Hashtbl.mem table key) then Hashtbl.add table key r);
+          r
+  end in
+  {
+    memo_backend = (module M : S);
+    memo_hits = hits;
+    memo_misses = misses;
+    memo_clear =
+      (fun () ->
+        Mutex.lock lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock lock)
+          (fun () -> Hashtbl.reset table));
+  }
+
+let memoized m = m.memo_backend
+
+let memo_hits m = Atomic.get m.memo_hits
+
+let memo_misses m = Atomic.get m.memo_misses
+
+let memo_clear m = m.memo_clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+let registry : (string * (unit -> t)) list ref =
+  ref
+    [
+      ("model", fun () -> static_model);
+      ("sim", fun () -> simulator);
+      ("hybrid", fun () -> hybrid ());
+      ("roofline", fun () -> roofline);
+    ]
+
+let aliases =
+  [
+    ("static", "model");
+    ("static-model", "model");
+    ("empirical", "sim");
+    ("simulator", "sim");
+  ]
+
+let register key make =
+  let key = String.lowercase_ascii key in
+  registry := List.filter (fun (k, _) -> k <> key) !registry @ [ (key, make) ]
+
+let registered () = List.map fst !registry
+
+let find key =
+  let key = String.lowercase_ascii key in
+  let key = Option.value (List.assoc_opt key aliases) ~default:key in
+  Option.map (fun make -> make ()) (List.assoc_opt key !registry)
+
+let find_exn key =
+  match find key with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Backend.find_exn: unknown backend %S (available: %s)" key
+           (String.concat ", " (registered ())))

@@ -1,0 +1,168 @@
+(** First-class cost backends: one pluggable interface over every way
+    this repository can price a code variant.
+
+    The paper's whole argument is a comparison of cost estimators — the
+    closed-form static model (Eqs. 1–12), the machine (our cycle-level
+    simulator), the Section III-F hybrid, and the Section VI Roofline.
+    This module makes each of them a value of the same type, so tuners,
+    experiments, the CLI and the bench harness can swap estimators
+    without hand-wiring [Engine.run] or [Predict.run] call sites.
+
+    Every assessment returns either a {!verdict} — predicted or measured
+    cycles plus what producing that number {e cost} (host wall/CPU
+    seconds and simulated machine time) — or a typed {!infeasibility}
+    (SPM overflow, too many CPEs, …) exactly where a real tuner would
+    get a compile error.
+
+    All backends are safe to share across {!Sw_util.Pool} domains:
+    assessments are pure except for mutex-guarded internal caches, and
+    results are deterministic regardless of assessment order. *)
+
+(** What producing one verdict cost. *)
+type cost = {
+  host_wall_s : float;  (** Wall-clock seconds of this assessment. *)
+  host_cpu_s : float;  (** Process CPU seconds of this assessment. *)
+  machine_us : float;
+      (** Simulated machine microseconds consumed (0 for purely static
+          backends; the profiling bill for simulator-in-the-loop ones). *)
+}
+
+val zero_cost : cost
+
+val add_cost : cost -> cost -> cost
+
+type verdict = {
+  cycles : float;
+      (** The backend's reading of the variant's execution time in
+          cycles — predicted (model, hybrid, roofline) or measured
+          (simulator). *)
+  cost : cost;
+  breakdown : Swpm.Predict.t option;
+      (** Model-term breakdown when the backend evaluates the
+          closed-form equations (static model and hybrid); [None] for
+          the simulator and Roofline. *)
+}
+
+type infeasibility = {
+  backend : string;  (** Name of the backend that rejected the variant. *)
+  reason : string;  (** Compile-time rejection, e.g. SPM overflow. *)
+}
+
+(** The interface every estimator implements. *)
+module type S = sig
+  val name : string
+  (** Short registry key, e.g. ["model"] or ["sim"]. *)
+
+  val description : string
+
+  val assess :
+    Sw_sim.Config.t ->
+    Sw_swacc.Kernel.t ->
+    Sw_swacc.Kernel.variant ->
+    (verdict, infeasibility) result
+end
+
+type t = (module S)
+
+val name : t -> string
+
+val description : t -> string
+
+val assess :
+  t ->
+  Sw_sim.Config.t ->
+  Sw_swacc.Kernel.t ->
+  Sw_swacc.Kernel.variant ->
+  (verdict, infeasibility) result
+
+val assess_exn :
+  t -> Sw_sim.Config.t -> Sw_swacc.Kernel.t -> Sw_swacc.Kernel.variant -> verdict
+(** @raise Invalid_argument on an infeasible variant. *)
+
+val cycles_exn :
+  t -> Sw_sim.Config.t -> Sw_swacc.Kernel.t -> Sw_swacc.Kernel.variant -> float
+(** [(assess_exn …).cycles]. *)
+
+(** {1 The four estimators} *)
+
+val static_model : t
+(** ["model"]: compile a static summary ({!Sw_swacc.Lower.summarize})
+    and evaluate Equations 1–12.  Runs nothing; [machine_us] is 0. *)
+
+val simulator : t
+(** ["sim"]: lower fully and run the cycle-level simulator — the
+    stand-in for measuring on the machine.  [machine_us] bills the
+    simulated execution itself, the quantity that made dynamic tuning
+    take hours on TaihuLight. *)
+
+val roofline : t
+(** ["roofline"]: the Section VI comparator — attainable-rate reading
+    from arithmetic intensity alone. *)
+
+val hybrid : ?profile:Sw_swacc.Kernel.variant -> unit -> t
+(** ["hybrid"]: the Section III-F estimator — the static model with its
+    Gload term calibrated by {e one} lightweight profiling run per
+    kernel.  The first assessment of a kernel with Gloads runs a single
+    canonical profile variant ([profile] if given, else the first
+    feasible of grain 64/32/…/1 at unroll 1) on the simulator, caches
+    the resulting calibration, and bills its machine time to that one
+    verdict; every later assessment of the same kernel is as cheap as
+    the static model.  Kernels without Gloads never profile, so the
+    hybrid degrades to {!static_model} exactly.  The calibration cache
+    is mutex-guarded and keyed independently of assessment order, so
+    results are identical under any {!Sw_util.Pool} fan-out.
+
+    Each [hybrid ()] call returns a fresh instance with an empty
+    calibration cache. *)
+
+val calibrate : Sw_sim.Config.t -> Sw_swacc.Lowered.t -> Swpm.Hybrid.calibration
+(** Run the given (small) lowering once on the simulator and extract
+    the Gload calibration via {!Swpm.Hybrid.calibration_of} — the
+    simulator-driven half of the Section III-F procedure (the pure half
+    lives in {!Swpm.Hybrid}).  Kernels without Gloads calibrate to
+    {!Swpm.Hybrid.no_calibration} without running anything. *)
+
+(** {1 Memoization}
+
+    A memoizing wrapper keyed on the full simulation configuration
+    (machine parameters included), the kernel's identity (name, element
+    count, vector width) and the variant.  Verdicts {e and}
+    infeasibilities are cached; a hit returns the cached verdict with
+    {!zero_cost}, since the work was already paid for.  The wrapper is
+    mutex-guarded and composes with {!Sw_util.Pool} fan-out; under
+    concurrent misses of the same key both domains compute (results are
+    equal), and the hit/miss counters are exact for sequential use and
+    close under races. *)
+
+type memo
+
+val memoize : t -> memo
+
+val memoized : memo -> t
+(** The wrapping backend (named ["memo(<inner>)"]). *)
+
+val memo_hits : memo -> int
+
+val memo_misses : memo -> int
+
+val memo_clear : memo -> unit
+
+(** {1 Registry}
+
+    String-keyed lookup for CLI flags and bench sections.  Built-ins:
+    ["model"] (aliases ["static"], ["static-model"]), ["sim"] (aliases
+    ["empirical"], ["simulator"]), ["hybrid"], ["roofline"].  Each
+    lookup builds a fresh instance, so stateful backends (hybrid) start
+    with an empty cache. *)
+
+val register : string -> (unit -> t) -> unit
+(** [register key make] adds or replaces a backend constructor. *)
+
+val registered : unit -> string list
+(** Canonical keys, in registration order (built-ins first). *)
+
+val find : string -> t option
+(** Canonical keys and aliases, case-insensitive. *)
+
+val find_exn : string -> t
+(** @raise Invalid_argument for unknown keys, listing the known ones. *)

@@ -1,0 +1,20 @@
+(** The one sanctioned doorway from estimator land to the machine.
+
+    Every consumer that wants a "measured" number — the simulator
+    standing in for the real SW26010 — goes through this module (or
+    through the {!Backend.simulator} backend built on it).  Direct
+    [Sw_sim.Engine.run] calls are confined to [lib/sim] itself, this
+    library, and the traced-timeline paths; keeping the doorway narrow
+    is what lets the cost-backend layer account for every simulated
+    cycle the repository spends. *)
+
+val metrics : Sw_sim.Config.t -> Sw_swacc.Lowered.t -> Sw_sim.Metrics.t
+(** Run the lowered kernel's per-CPE programs on the simulator. *)
+
+val cycles : Sw_sim.Config.t -> Sw_swacc.Lowered.t -> float
+(** Makespan of {!metrics} — the repository's former
+    [(Engine.run config lowered.programs).Metrics.cycles] idiom. *)
+
+val us : Sw_sim.Config.t -> cycles:float -> float
+(** Simulated machine microseconds for [cycles] at the configured
+    frequency. *)

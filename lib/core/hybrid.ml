@@ -2,21 +2,18 @@ type calibration = { gload_factor : float; profile_cycles : float }
 
 let no_calibration = { gload_factor = 1.0; profile_cycles = 0.0 }
 
-let calibrate config (lowered : Sw_swacc.Lowered.t) =
-  let params = config.Sw_sim.Config.params in
-  let s = lowered.Sw_swacc.Lowered.summary in
+let calibration_of params (s : Sw_swacc.Lowered.summary) ~measured_cycles =
   if s.Sw_swacc.Lowered.gload_count = 0 then no_calibration
   else begin
     let static = Predict.run params s in
-    let measured = Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs in
     (* attribute the non-compute, non-DMA part of the measured makespan
        to the Gload path and compare it with the static T_g *)
     let static_non_g = static.Predict.t_total -. static.Predict.t_g in
-    let measured_g = Stdlib.max 0.0 (measured.Sw_sim.Metrics.cycles -. static_non_g) in
+    let measured_g = Stdlib.max 0.0 (measured_cycles -. static_non_g) in
     let factor = if static.Predict.t_g > 0.0 then measured_g /. static.Predict.t_g else 1.0 in
     {
       gload_factor = Stdlib.min 1.5 (Stdlib.max 0.1 factor);
-      profile_cycles = measured.Sw_sim.Metrics.cycles;
+      profile_cycles = measured_cycles;
     }
   end
 

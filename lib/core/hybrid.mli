@@ -3,12 +3,17 @@
     Section III-F of the paper marks workload imbalance as unmodelled
     and suggests that "combination with some lightweight profiling is a
     feasible way to complement the static model".  This module
-    implements that suggestion: the static model takes the longest
-    per-CPE path for Gload counts, which overpredicts badly when the
-    counts are skewed (under bandwidth sharing the fleet equalizes); a
-    single cheap profiling run — here, a reduced-scale simulation —
-    measures how much of the longest-path Gload time is real, and the
-    calibration transfers to the full-size prediction. *)
+    implements the {e pure} half of that suggestion: the static model
+    takes the longest per-CPE path for Gload counts, which overpredicts
+    badly when the counts are skewed (under bandwidth sharing the fleet
+    equalizes); given the measured makespan of one cheap profiling run,
+    {!calibration_of} extracts how much of the longest-path Gload time
+    is real, and {!predict} transfers the calibration to a full-size
+    prediction.
+
+    Running the profile itself requires the machine; that half lives in
+    the backend layer ([Sw_backend.Backend.calibrate] and the ["hybrid"]
+    cost backend), keeping [Swpm] free of any simulator dependency. *)
 
 type calibration = {
   gload_factor : float;
@@ -21,10 +26,15 @@ type calibration = {
 val no_calibration : calibration
 (** [gload_factor = 1]: hybrid collapses to the static model. *)
 
-val calibrate : Sw_sim.Config.t -> Sw_swacc.Lowered.t -> calibration
-(** Run the given (small) lowering once and compare its measured
-    behaviour with the static prediction to extract the Gload factor.
-    Kernels without Gloads calibrate to {!no_calibration}. *)
+val calibration_of :
+  Sw_arch.Params.t ->
+  Sw_swacc.Lowered.summary ->
+  measured_cycles:float ->
+  calibration
+(** Compare the measured makespan of a (small) profiling run with the
+    static prediction of the same lowering to extract the Gload factor
+    (clamped to [0.1, 1.5]).  Kernels without Gloads calibrate to
+    {!no_calibration}. *)
 
 val predict :
   Sw_arch.Params.t -> Sw_swacc.Lowered.summary -> calibration:calibration -> Predict.t

@@ -13,8 +13,7 @@ let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) () =
       (fun (e : Sw_workloads.Registry.entry) ->
         let kernel = e.build ~scale in
         let lowered = Sw_swacc.Lower.lower_exn params kernel e.variant in
-        let measured = Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs in
-        (e.name, lowered.Sw_swacc.Lowered.summary, measured.Sw_sim.Metrics.cycles))
+        (e.name, lowered.Sw_swacc.Lowered.summary, Sw_backend.Machine.cycles config lowered))
       Sw_workloads.Registry.rodinia
   in
   List.map

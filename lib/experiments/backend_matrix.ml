@@ -1,0 +1,100 @@
+type row = {
+  kernel : string;
+  outcome : Sw_tuning.Tuner.outcome;
+  quality_loss_vs_sim : float;
+  same_pick_as_sim : bool;
+}
+
+let default_backends = [ "model"; "sim"; "hybrid"; "roofline" ]
+
+let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) ?(backends = default_backends) ?pool () =
+  let config = Sw_sim.Config.default params in
+  List.concat_map
+    (fun (e : Sw_workloads.Registry.entry) ->
+      let kernel = e.build ~scale in
+      let points = Sw_tuning.Space.enumerate ~grains:e.grains ~unrolls:e.unrolls () in
+      let default = Table2.guideline_default params kernel ~grains:e.grains in
+      let tune key =
+        Sw_tuning.Tuner.tune_exn
+          ~backend:(Sw_backend.Backend.find_exn key)
+          ~default ?pool config kernel ~points
+      in
+      (* the empirical search is the quality yardstick every other
+         backend is judged against *)
+      let sim = tune "sim" in
+      List.map
+        (fun key ->
+          let o = if key = "sim" then sim else tune key in
+          {
+            kernel = e.name;
+            outcome = o;
+            quality_loss_vs_sim = Sw_tuning.Tuner.quality_loss ~static:o ~empirical:sim;
+            same_pick_as_sim = o.Sw_tuning.Tuner.best = sim.Sw_tuning.Tuner.best;
+          })
+        backends)
+    Sw_workloads.Registry.tuning_subset
+
+let print rows =
+  let t =
+    Sw_util.Table.create ~title:"Backend matrix: Table II search under every cost backend"
+      [
+        ("kernel", Sw_util.Table.Left);
+        ("backend", Sw_util.Table.Left);
+        ("speedup", Sw_util.Table.Right);
+        ("host s", Sw_util.Table.Right);
+        ("machine us", Sw_util.Table.Right);
+        ("loss vs sim", Sw_util.Table.Right);
+        ("same pick", Sw_util.Table.Left);
+      ]
+  in
+  List.iter
+    (fun r ->
+      let o = r.outcome in
+      Sw_util.Table.add_row t
+        [
+          r.kernel;
+          o.Sw_tuning.Tuner.backend;
+          Sw_util.Table.cell_x o.Sw_tuning.Tuner.speedup;
+          Printf.sprintf "%.3f" o.Sw_tuning.Tuner.tuning_host_s;
+          Printf.sprintf "%.0f" o.Sw_tuning.Tuner.machine_time_us;
+          Sw_util.Table.cell_pct r.quality_loss_vs_sim;
+          (if r.same_pick_as_sim then "yes" else "no");
+        ])
+    rows;
+  Sw_util.Table.print t;
+  Printf.printf
+    "machine us is the simulated-machine bill of the search itself: per-variant runs for sim,\n\
+     one profile per kernel for hybrid, zero for the purely static backends.\n"
+
+let csv rows =
+  let doc =
+    Sw_util.Csv.create
+      [
+        "kernel";
+        "backend";
+        "speedup";
+        "best_cycles";
+        "tuning_host_s";
+        "tuning_cpu_s";
+        "machine_time_us";
+        "quality_loss_vs_sim";
+        "same_pick_as_sim";
+      ]
+  in
+  List.iter
+    (fun r ->
+      let o = r.outcome in
+      Sw_util.Csv.add_row doc
+        ([ r.kernel; o.Sw_tuning.Tuner.backend ]
+        @ List.map (Printf.sprintf "%.6g")
+            [
+              o.Sw_tuning.Tuner.speedup;
+              o.Sw_tuning.Tuner.best_cycles;
+              o.Sw_tuning.Tuner.tuning_host_s;
+              o.Sw_tuning.Tuner.tuning_cpu_s;
+              o.Sw_tuning.Tuner.machine_time_us;
+              r.quality_loss_vs_sim;
+            ]
+        @ [ (if r.same_pick_as_sim then "1" else "0") ]))
+    rows;
+  doc

@@ -16,13 +16,10 @@ let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) () =
       let base_kernel = e.Sw_workloads.Registry.build ~scale in
       let eval factor =
         let kernel = Sw_swacc.Kernel.coalesce_gloads base_kernel ~factor in
-        let lowered = Sw_swacc.Lower.lower_exn params kernel e.Sw_workloads.Registry.variant in
-        let measured =
-          (Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles
-        in
-        let predicted =
-          (Swpm.Predict.run params lowered.Sw_swacc.Lowered.summary).Swpm.Predict.t_total
-        in
+        let variant = e.Sw_workloads.Registry.variant in
+        (* the machine and the model, each through its cost backend *)
+        let measured = Sw_backend.Backend.(cycles_exn simulator) config kernel variant in
+        let predicted = Sw_backend.Backend.(cycles_exn static_model) config kernel variant in
         (factor, measured, predicted)
       in
       let evaluated = List.map eval factors in

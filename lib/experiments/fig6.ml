@@ -4,14 +4,14 @@ let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) ?pool () =
     (fun (e : Sw_workloads.Registry.entry) ->
       let kernel = e.build ~scale in
       let lowered = Sw_swacc.Lower.lower_exn params kernel e.variant in
-      Swpm.Accuracy.evaluate ~name:e.name config lowered)
+      Sw_backend.Accuracy.evaluate ~name:e.name config lowered)
     Sw_workloads.Registry.rodinia
 
 let print rows =
-  Format.printf "%a@." Swpm.Accuracy.pp_table rows;
+  Format.printf "%a@." Sw_backend.Accuracy.pp_table rows;
   Format.printf "average error: %.1f%%, max error: %.1f%%@."
-    (Swpm.Accuracy.mape rows *. 100.0)
-    (Swpm.Accuracy.max_error rows *. 100.0)
+    (Sw_backend.Accuracy.mape rows *. 100.0)
+    (Sw_backend.Accuracy.max_error rows *. 100.0)
 
 let csv rows =
   let doc =
@@ -19,7 +19,7 @@ let csv rows =
       [ "kernel"; "predicted_cycles"; "measured_cycles"; "t_dma"; "t_g"; "t_comp"; "t_overlap"; "error" ]
   in
   List.iter
-    (fun (r : Swpm.Accuracy.row) ->
+    (fun (r : Sw_backend.Accuracy.row) ->
       let p = r.predicted in
       Sw_util.Csv.add_row doc
         ([ r.name ]
@@ -31,7 +31,7 @@ let csv rows =
               p.Swpm.Predict.t_g;
               p.Swpm.Predict.t_comp;
               p.Swpm.Predict.t_overlap;
-              Swpm.Accuracy.error r;
+              Sw_backend.Accuracy.error r;
             ]))
     rows;
   doc

@@ -6,12 +6,12 @@
     error and a 9.6% maximum (BFS). *)
 
 val run :
-  ?scale:float -> ?params:Sw_arch.Params.t -> ?pool:Sw_util.Pool.t -> unit -> Swpm.Accuracy.row list
+  ?scale:float -> ?params:Sw_arch.Params.t -> ?pool:Sw_util.Pool.t -> unit -> Sw_backend.Accuracy.row list
 (** [pool] fans the per-kernel evaluations out over domains; row order
     and contents are identical to the sequential run. *)
 
-val print : Swpm.Accuracy.row list -> unit
+val print : Sw_backend.Accuracy.row list -> unit
 
-val csv : Swpm.Accuracy.row list -> Sw_util.Csv.t
+val csv : Sw_backend.Accuracy.row list -> Sw_util.Csv.t
 (** Columns: kernel, predicted, measured, t_dma, t_g, t_comp, t_overlap,
     error. *)

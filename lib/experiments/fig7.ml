@@ -13,11 +13,11 @@ let evaluate params kernel ~x ~grain =
   in
   let lowered = Sw_swacc.Lower.lower_exn params kernel variant in
   let config = Sw_sim.Config.default params in
-  let row = Swpm.Accuracy.evaluate config lowered in
+  let row = Sw_backend.Accuracy.evaluate config lowered in
   {
     x;
-    predicted = row.Swpm.Accuracy.predicted;
-    measured = row.Swpm.Accuracy.measured;
+    predicted = row.Sw_backend.Accuracy.predicted;
+    measured = row.Sw_backend.Accuracy.measured;
     gloads = lowered.Sw_swacc.Lowered.summary.Sw_swacc.Lowered.gload_count;
   }
 

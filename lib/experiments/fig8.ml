@@ -14,7 +14,7 @@ let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) () =
   let config = Sw_sim.Config.default params in
   let run_variant v =
     let lowered = Sw_swacc.Lower.lower_exn params kernel v in
-    (lowered, (Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles)
+    (lowered, Sw_backend.Machine.cycles config lowered)
   in
   let base_lowered, baseline_cycles = run_variant base_variant in
   let _, db_cycles = run_variant db_variant in

@@ -10,8 +10,8 @@ let evaluate ~active ~variant kernel =
   let params = params_for ~active in
   let variant = { variant with Sw_swacc.Kernel.active_cpes = active } in
   let lowered = Sw_swacc.Lower.lower_exn params kernel variant in
-  let row = Swpm.Accuracy.evaluate (Sw_sim.Config.default params) lowered in
-  { active; predicted = row.Swpm.Accuracy.predicted; measured = row.Swpm.Accuracy.measured }
+  let row = Sw_backend.Accuracy.evaluate (Sw_sim.Config.default params) lowered in
+  { active; predicted = row.Sw_backend.Accuracy.predicted; measured = row.Sw_backend.Accuracy.measured }
 
 let run_dynamics ?(scale = 1.0) ?pool () =
   let points =

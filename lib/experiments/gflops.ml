@@ -13,9 +13,7 @@ let gflops_of params config kernel variant =
   let lowered = Sw_swacc.Lower.lower_exn params kernel variant in
   let summary = lowered.Sw_swacc.Lowered.summary in
   let flops = (Swpm.Roofline.analyze params summary).Swpm.Roofline.flops in
-  let cycles =
-    (Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles
-  in
+  let cycles = Sw_backend.Machine.cycles config lowered in
   let seconds = Sw_util.Units.cycles_to_seconds ~freq_hz:params.Sw_arch.Params.freq_hz cycles in
   flops /. seconds /. 1e9
 
@@ -32,7 +30,9 @@ let run ?(scale = 1.0) ?(kernels = default_kernels) () =
         Sw_tuning.Space.enumerate ~grains:e.Sw_workloads.Registry.grains
           ~unrolls:e.Sw_workloads.Registry.unrolls ()
       in
-      let outcome = Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Static config kernel ~points in
+      let outcome =
+        Sw_tuning.Tuner.tune_exn ~backend:Sw_backend.Backend.static_model config kernel ~points
+      in
       let tuned = gflops_of params config kernel outcome.Sw_tuning.Tuner.best in
       let vectorized =
         gflops_of params config (Sw_swacc.Kernel.vectorize kernel ~width:4)

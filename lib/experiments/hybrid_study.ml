@@ -39,12 +39,11 @@ let run ?(params = Sw_arch.Params.default) () =
   let config = Sw_sim.Config.default params in
   (* full-size ground truth *)
   let full = Sw_swacc.Lower.lower_exn params (skewed_bfs ~scale:1.0) variant in
-  let measured = Sw_sim.Engine.run config full.Sw_swacc.Lowered.programs in
-  let actual = measured.Sw_sim.Metrics.cycles in
+  let actual = Sw_backend.Machine.cycles config full in
   let static = Swpm.Predict.run params full.Sw_swacc.Lowered.summary in
   (* lightweight profile: a quarter-scale run *)
   let small = Sw_swacc.Lower.lower_exn params (skewed_bfs ~scale:0.25) variant in
-  let calibration = Swpm.Hybrid.calibrate config small in
+  let calibration = Sw_backend.Backend.calibrate config small in
   let hybrid = Swpm.Hybrid.predict params full.Sw_swacc.Lowered.summary ~calibration in
   {
     static_error = Sw_util.Stats.relative_error ~predicted:static.Swpm.Predict.t_total ~actual;

@@ -16,8 +16,8 @@ let run ?(params = Sw_arch.Params.default) ?(scales = default_scales) ?(kernels 
         let e = Sw_workloads.Registry.find_exn name in
         let kernel = e.Sw_workloads.Registry.build ~scale in
         let lowered = Sw_swacc.Lower.lower_exn params kernel e.Sw_workloads.Registry.variant in
-        let row = Swpm.Accuracy.evaluate config lowered in
-        (name, (scale, Swpm.Accuracy.error row)))
+        let row = Sw_backend.Accuracy.evaluate config lowered in
+        (name, (scale, Sw_backend.Accuracy.error row)))
       cells
   in
   List.map

@@ -15,9 +15,7 @@ let run_suite ?(scale = 1.0) ?(params = Sw_arch.Params.default) ?pool () =
       let kernel = e.build ~scale in
       let lowered = Sw_swacc.Lower.lower_exn params kernel e.variant in
       let summary = lowered.Sw_swacc.Lowered.summary in
-      let measured =
-        (Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles
-      in
+      let measured = Sw_backend.Machine.cycles config lowered in
       let swpm_predicted = (Swpm.Predict.run params summary).Swpm.Predict.t_total in
       let roof = Swpm.Roofline.analyze params summary in
       {
@@ -52,8 +50,7 @@ let run_fig7_sweep ?(params = Sw_arch.Params.default) ?pool () =
       let summary = lowered.Sw_swacc.Lowered.summary in
       {
         granularity = grain;
-        sweep_measured =
-          (Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles;
+        sweep_measured = Sw_backend.Machine.cycles config lowered;
         sweep_swpm = (Swpm.Predict.run params summary).Swpm.Predict.t_total;
         sweep_roofline = (Swpm.Roofline.analyze params summary).Swpm.Roofline.predicted_cycles;
       })

@@ -8,6 +8,22 @@ type row = {
   same_pick : bool;
 }
 
+(* the default for speedup comparison follows the prior optimization
+   guideline the paper quotes in Section IV-1: enlarge the DMA
+   granularity and use as much SPM as possible — the largest feasible
+   grain, with no unrolling *)
+let guideline_default params kernel ~grains =
+  let largest =
+    List.fold_left
+      (fun acc g ->
+        let v = { Sw_swacc.Kernel.grain = g; unroll = 1; active_cpes = 64; double_buffer = false } in
+        if Sw_swacc.Lower.spm_required kernel v <= params.Sw_arch.Params.spm_bytes then
+          Stdlib.max acc g
+        else acc)
+      1 grains
+  in
+  { Sw_swacc.Kernel.grain = largest; unroll = 1; active_cpes = 64; double_buffer = false }
+
 (* [pool] parallelizes inside each tuner's search (many variants per
    workload) rather than across the five workloads, so each outcome's
    wall-clock tuning time remains a meaningful per-kernel figure. *)
@@ -17,28 +33,14 @@ let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) ?pool () =
     (fun (e : Sw_workloads.Registry.entry) ->
       let kernel = e.build ~scale in
       let points = Sw_tuning.Space.enumerate ~grains:e.grains ~unrolls:e.unrolls () in
-      (* the default for speedup comparison follows the prior
-         optimization guideline the paper quotes in Section IV-1:
-         enlarge the DMA granularity and use as much SPM as possible —
-         the largest feasible grain, with no unrolling *)
-      let default =
-        let largest =
-          List.fold_left
-            (fun acc g ->
-              let v = { Sw_swacc.Kernel.grain = g; unroll = 1; active_cpes = 64; double_buffer = false } in
-              if Sw_swacc.Lower.spm_required kernel v <= params.Sw_arch.Params.spm_bytes then
-                Stdlib.max acc g
-              else acc)
-            1 e.grains
-        in
-        { Sw_swacc.Kernel.grain = largest; unroll = 1; active_cpes = 64; double_buffer = false }
+      let default = guideline_default params kernel ~grains:e.grains in
+      let tune method_ =
+        Sw_tuning.Tuner.tune_exn
+          ~backend:(Sw_tuning.Tuner.backend_of_method method_)
+          ~default ?pool config kernel ~points
       in
-      let static =
-        Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Static ~default ?pool config kernel ~points
-      in
-      let empirical =
-        Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Empirical ~default ?pool config kernel ~points
-      in
+      let static = tune Sw_tuning.Tuner.Static in
+      let empirical = tune Sw_tuning.Tuner.Empirical in
       let savings =
         if static.Sw_tuning.Tuner.tuning_host_s > 0.0 then
           empirical.Sw_tuning.Tuner.tuning_host_s /. static.Sw_tuning.Tuner.tuning_host_s

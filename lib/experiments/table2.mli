@@ -17,6 +17,13 @@ type row = {
   same_pick : bool;  (** Both tuners chose the same variant. *)
 }
 
+val guideline_default :
+  Sw_arch.Params.t -> Sw_swacc.Kernel.t -> grains:int list -> Sw_swacc.Kernel.variant
+(** The paper's Section IV-1 prior-guideline default: the largest
+    SPM-feasible DMA grain, no unrolling, 64 CPEs.  Shared with the
+    bench backend matrix so every comparison speeds up from the same
+    baseline. *)
+
 val run : ?scale:float -> ?params:Sw_arch.Params.t -> ?pool:Sw_util.Pool.t -> unit -> row list
 (** [pool] parallelizes each tuner's variant assessments (inside
     {!Sw_tuning.Tuner.tune}); tuning picks are identical to the

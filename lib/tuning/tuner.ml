@@ -1,7 +1,13 @@
+module Backend = Sw_backend.Backend
+
 type method_ = Static | Empirical
 
+let backend_of_method = function
+  | Static -> Backend.static_model
+  | Empirical -> Backend.simulator
+
 type outcome = {
-  method_ : method_;
+  backend : string;
   best : Sw_swacc.Kernel.variant;
   best_cycles : float;
   default_cycles : float;
@@ -13,29 +19,18 @@ type outcome = {
   infeasible : int;
 }
 
-let simulate config programs = (Sw_sim.Engine.run config programs).Sw_sim.Metrics.cycles
-
-let tune ~method_ ?(active_cpes = 64) ?default ?pool (config : Sw_sim.Config.t) kernel ~points =
+let tune ~backend ?(active_cpes = 64) ?default ?pool (config : Sw_sim.Config.t) kernel ~points =
   let params = config.Sw_sim.Config.params in
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
-  (* Assessing one point is pure: feasibility plus a score.  That makes
-     the fan-out over a domain pool safe, and scores arrive in
-     enumeration order either way, so the argmin below (strict [<],
-     earliest index wins ties) is bit-identical to the sequential run. *)
+  (* Assessing one point is pure up to the backend's internal
+     mutex-guarded caches.  That makes the fan-out over a domain pool
+     safe, and verdicts arrive in enumeration order either way, so the
+     argmin below (strict [<], earliest index wins ties) is
+     bit-identical to the sequential run. *)
   let assess point =
     let variant = Space.to_variant point ~active_cpes in
-    match method_ with
-    | Static -> (
-        (* the static tuner only compiles: blocks + static summary *)
-        match Sw_swacc.Lower.summarize params kernel variant with
-        | Error _ -> None
-        | Ok summary -> Some (point, (Swpm.Predict.run params summary).Swpm.Predict.t_total))
-    | Empirical -> (
-        (* the empirical tuner compiles the full program and runs it *)
-        match Sw_swacc.Lower.lower params kernel variant with
-        | Error _ -> None
-        | Ok lowered -> Some (point, simulate config lowered.Sw_swacc.Lowered.programs))
+    (point, Backend.assess backend config kernel variant)
   in
   let results =
     match pool with
@@ -44,28 +39,38 @@ let tune ~method_ ?(active_cpes = 64) ?default ?pool (config : Sw_sim.Config.t) 
   in
   let tuning_host_s = Unix.gettimeofday () -. wall0 in
   let tuning_cpu_s = Sys.time () -. cpu0 in
-  let scored = List.filter_map Fun.id results in
+  let scored =
+    List.filter_map (function p, Ok v -> Some (p, v) | _, Error _ -> None) results
+  in
   let evaluated = List.length scored in
   let infeasible = List.length points - evaluated in
   let machine_time_us =
-    match method_ with
-    | Static -> 0.0
-    | Empirical ->
-        List.fold_left
-          (fun acc (_, cycles) ->
-            acc +. Sw_util.Units.cycles_to_us ~freq_hz:params.Sw_arch.Params.freq_hz cycles)
-          0.0 scored
+    List.fold_left (fun acc (_, v) -> acc +. v.Backend.cost.Backend.machine_us) 0.0 scored
   in
   match scored with
-  | [] -> invalid_arg "Tuner.tune: no feasible point in the search space"
-  | (p0, s0) :: rest ->
+  | [] ->
+      let detail =
+        match List.find_map (function _, Error e -> Some e | _ -> None) results with
+        | Some { Backend.backend = b; reason } -> Printf.sprintf " (%s: %s)" b reason
+        | None -> ""
+      in
+      Error
+        (`No_feasible_point
+          (Printf.sprintf "%s tuner: no feasible point among %d in the search space%s"
+             (Backend.name backend) (List.length points) detail))
+  | (p0, v0) :: rest ->
       let best_point, _ =
-        List.fold_left (fun (bp, bs) (p, s) -> if s < bs then (p, s) else (bp, bs)) (p0, s0) rest
+        List.fold_left
+          (fun (bp, bs) (p, (v : Backend.verdict)) ->
+            if v.Backend.cycles < bs then (p, v.Backend.cycles) else (bp, bs))
+          (p0, v0.Backend.cycles) rest
       in
       let best_variant = Space.to_variant best_point ~active_cpes in
+      (* Quality is always judged on the machine, whichever backend
+         searched: one validation run per variant, not billed as tuning
+         cost. *)
       let run_variant variant =
-        let lowered = Sw_swacc.Lower.lower_exn params kernel variant in
-        simulate config lowered.Sw_swacc.Lowered.programs
+        Sw_backend.Machine.cycles config (Sw_swacc.Lower.lower_exn params kernel variant)
       in
       let best_cycles = run_variant best_variant in
       let default_variant =
@@ -74,27 +79,35 @@ let tune ~method_ ?(active_cpes = 64) ?default ?pool (config : Sw_sim.Config.t) 
         | None -> Space.to_variant { p0 with unroll = 1; double_buffer = false } ~active_cpes
       in
       let default_cycles = run_variant default_variant in
-      {
-        method_;
-        best = best_variant;
-        best_cycles;
-        default_cycles;
-        speedup = default_cycles /. best_cycles;
-        tuning_host_s;
-        tuning_cpu_s;
-        machine_time_us;
-        evaluated;
-        infeasible;
-      }
+      Ok
+        {
+          backend = Backend.name backend;
+          best = best_variant;
+          best_cycles;
+          default_cycles;
+          speedup = default_cycles /. best_cycles;
+          tuning_host_s;
+          tuning_cpu_s;
+          machine_time_us;
+          evaluated;
+          infeasible;
+        }
+
+let tune_exn ~backend ?active_cpes ?default ?pool config kernel ~points =
+  match tune ~backend ?active_cpes ?default ?pool config kernel ~points with
+  | Ok o -> o
+  | Error (`No_feasible_point msg) -> invalid_arg ("Tuner.tune: " ^ msg)
+
+let tune_method ~method_ ?active_cpes ?default ?pool config kernel ~points =
+  tune ~backend:(backend_of_method method_) ?active_cpes ?default ?pool config kernel ~points
 
 let quality_loss ~static ~empirical =
   (static.best_cycles -. empirical.best_cycles) /. empirical.best_cycles
 
 let pp_outcome fmt o =
-  let m = match o.method_ with Static -> "static" | Empirical -> "empirical" in
   Format.fprintf fmt
     "@[<v>%s tuner: best grain=%d unroll=%d db=%b@,speedup %.2fx (%.0f -> %.0f cycles)@,host %.3f \
      s wall (%.3f s cpu), machine %.0f us, %d evaluated, %d infeasible@]"
-    m o.best.Sw_swacc.Kernel.grain o.best.Sw_swacc.Kernel.unroll o.best.Sw_swacc.Kernel.double_buffer
-    o.speedup o.default_cycles o.best_cycles o.tuning_host_s o.tuning_cpu_s o.machine_time_us
-    o.evaluated o.infeasible
+    o.backend o.best.Sw_swacc.Kernel.grain o.best.Sw_swacc.Kernel.unroll
+    o.best.Sw_swacc.Kernel.double_buffer o.speedup o.default_cycles o.best_cycles o.tuning_host_s
+    o.tuning_cpu_s o.machine_time_us o.evaluated o.infeasible

@@ -1,32 +1,39 @@
-(** The two auto-tuners of Section V-D.
+(** The auto-tuners of Section V-D, generalized over cost backends.
 
-    Both walk the same search space and differ only in how a code
-    variant is assessed:
+    A tuner walks a search space and asks one {!Sw_backend.Backend.t}
+    to price every variant; the paper's two tuners are two choices of
+    backend:
 
-    - the {e empirical} (dynamic) tuner compiles (lowers) each variant
-      and runs it — here, on the cycle-level simulator, our stand-in for
-      the machine;
-    - the {e static} tuner compiles each variant and asks the
-      performance model, never executing anything.
+    - the {e empirical} (dynamic) tuner uses the ["sim"] backend —
+      compile (lower) each variant and run it on the cycle-level
+      simulator, our stand-in for the machine;
+    - the {e static} tuner uses the ["model"] backend — compile each
+      variant and ask the performance model, never executing anything.
+
+    The ["hybrid"] and ["roofline"] backends slot straight in, giving
+    the four-way comparison of the bench backend matrix.
 
     Tuning cost is measured in host wall-clock seconds (with CPU
-    seconds reported separately) and, for the empirical tuner, also in
-    simulated machine time — the quantity that on the real TaihuLight
-    made dynamic tuning take hours.
+    seconds reported separately) and in simulated machine time billed
+    by the backend's verdicts — the quantity that on the real
+    TaihuLight made dynamic tuning take hours.
 
-    Both tuners can fan variant assessment out over a {!Sw_util.Pool}
-    of OCaml domains; results are guaranteed identical to the
-    sequential search. *)
+    Tuners can fan variant assessment out over a {!Sw_util.Pool} of
+    OCaml domains; results are guaranteed identical to the sequential
+    search. *)
 
 type method_ = Static | Empirical
+(** The paper's original two tuners, kept as shims over backends. *)
+
+val backend_of_method : method_ -> Sw_backend.Backend.t
+(** [Static] is the ["model"] backend, [Empirical] the ["sim"] one. *)
 
 type outcome = {
-  method_ : method_;
+  backend : string;  (** Name of the backend that searched. *)
   best : Sw_swacc.Kernel.variant;
   best_cycles : float;
-      (** Simulated cycles of the chosen variant (quality measure; for
-          the static tuner this one validation run is {e not} part of
-          the tuning cost). *)
+      (** Simulated cycles of the chosen variant (quality measure; this
+          one validation run is {e not} part of the tuning cost). *)
   default_cycles : float;  (** Simulated cycles of the default variant. *)
   speedup : float;  (** [default_cycles / best_cycles]. *)
   tuning_host_s : float;
@@ -38,14 +45,36 @@ type outcome = {
       (** Process CPU seconds spent assessing variants (≥ wall-clock
           under parallel execution; the total host effort). *)
   machine_time_us : float;
-      (** Simulated machine microseconds consumed by profiling runs
-          (0 for the static tuner). *)
-  evaluated : int;  (** Variants assessed. *)
-  infeasible : int;  (** Variants rejected at compile time (SPM). *)
+      (** Simulated machine microseconds billed by the backend's
+          verdicts (0 for purely static backends; per-variant runs for
+          the simulator; one profile per kernel for the hybrid). *)
+  evaluated : int;  (** Variants the backend priced. *)
+  infeasible : int;  (** Variants the backend rejected (SPM, …). *)
 }
 
 val tune :
-  method_:method_ ->
+  backend:Sw_backend.Backend.t ->
+  ?active_cpes:int ->
+  ?default:Sw_swacc.Kernel.variant ->
+  ?pool:Sw_util.Pool.t ->
+  Sw_sim.Config.t ->
+  Sw_swacc.Kernel.t ->
+  points:Space.point list ->
+  (outcome, [ `No_feasible_point of string ]) result
+(** Search [points] under [backend] and return the outcome, or a typed
+    error (carrying a human-readable message with the first backend
+    rejection) when every point is infeasible.  [default] defaults to
+    the first feasible point with unroll 1; [active_cpes] to one core
+    group's 64.
+
+    When [pool] is given, variant assessment fans out over its domains.
+    The argmin is order-independent (strict improvement only, ties
+    broken by enumeration index), so [best], [best_cycles], [evaluated]
+    and [infeasible] are identical to the sequential search for any
+    pool size. *)
+
+val tune_exn :
+  backend:Sw_backend.Backend.t ->
   ?active_cpes:int ->
   ?default:Sw_swacc.Kernel.variant ->
   ?pool:Sw_util.Pool.t ->
@@ -53,17 +82,19 @@ val tune :
   Sw_swacc.Kernel.t ->
   points:Space.point list ->
   outcome
-(** Search [points] and return the outcome.  [default] defaults to the
-    first feasible point with unroll 1; [active_cpes] to one core
-    group's 64.
+(** {!tune}, raising [Invalid_argument] on [`No_feasible_point]. *)
 
-    When [pool] is given, variant assessment fans out over its domains.
-    The argmin is order-independent (strict improvement only, ties
-    broken by enumeration index), so [best], [best_cycles], [evaluated]
-    and [infeasible] are identical to the sequential search for any
-    pool size.
-
-    @raise Invalid_argument if no point is feasible. *)
+val tune_method :
+  method_:method_ ->
+  ?active_cpes:int ->
+  ?default:Sw_swacc.Kernel.variant ->
+  ?pool:Sw_util.Pool.t ->
+  Sw_sim.Config.t ->
+  Sw_swacc.Kernel.t ->
+  points:Space.point list ->
+  (outcome, [ `No_feasible_point of string ]) result
+(** [tune ~backend:(backend_of_method method_)] — the paper's original
+    interface.  Numerically identical to the pre-backend tuners. *)
 
 val quality_loss : static:outcome -> empirical:outcome -> float
 (** Relative slowdown of the static tuner's pick vs the empirical one's:

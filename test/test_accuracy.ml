@@ -1,4 +1,4 @@
-open Swpm
+module Accuracy = Sw_backend.Accuracy
 
 let p = Sw_arch.Params.default
 

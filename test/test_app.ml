@@ -1,4 +1,4 @@
-open Swpm
+module App = Sw_backend.App
 
 let p = Sw_arch.Params.default
 

@@ -1,0 +1,366 @@
+(* The cost-backend layer: equivalence of each backend with the raw
+   estimator it wraps, bit-identical pooled searches, the memoizer's
+   accounting, the registry, and the hybrid's bracketing property. *)
+
+module Backend = Sw_backend.Backend
+
+let p = Sw_arch.Params.default
+
+let config = Sw_sim.Config.default p
+
+let pool n = Sw_util.Pool.create ~size:n ()
+
+let entry name = Sw_workloads.Registry.find_exn name
+
+let kernel_of name scale = (entry name).Sw_workloads.Registry.build ~scale
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence with the raw estimators *)
+
+let test_static_model_matches_predict () =
+  let e = entry "kmeans" in
+  let kernel = kernel_of "kmeans" 0.25 in
+  let v = e.Sw_workloads.Registry.variant in
+  let expected =
+    match Sw_swacc.Lower.summarize p kernel v with
+    | Ok s -> (Swpm.Predict.run p s).Swpm.Predict.t_total
+    | Error msg -> failwith msg
+  in
+  let verdict = Result.get_ok (Backend.assess Backend.static_model config kernel v) in
+  Alcotest.(check (float 0.0)) "cycles = Predict.run" expected verdict.Backend.cycles;
+  Alcotest.(check (float 0.0)) "no machine time" 0.0
+    verdict.Backend.cost.Backend.machine_us;
+  Alcotest.(check bool) "carries the model breakdown" true
+    (verdict.Backend.breakdown <> None)
+
+let test_simulator_matches_engine () =
+  let e = entry "lud" in
+  let kernel = kernel_of "lud" 0.5 in
+  let v = e.Sw_workloads.Registry.variant in
+  let lowered = Sw_swacc.Lower.lower_exn p kernel v in
+  let expected = Sw_backend.Machine.cycles config lowered in
+  let verdict = Result.get_ok (Backend.assess Backend.simulator config kernel v) in
+  Alcotest.(check (float 0.0)) "cycles = Engine.run" expected verdict.Backend.cycles;
+  Alcotest.(check (float 0.0)) "machine time = execution time"
+    (Sw_util.Units.cycles_to_us ~freq_hz:p.Sw_arch.Params.freq_hz expected)
+    verdict.Backend.cost.Backend.machine_us
+
+let test_roofline_matches_analyze () =
+  let e = entry "nbody" in
+  let kernel = kernel_of "nbody" 0.5 in
+  let v = e.Sw_workloads.Registry.variant in
+  let expected =
+    match Sw_swacc.Lower.summarize p kernel v with
+    | Ok s -> (Swpm.Roofline.analyze p s).Swpm.Roofline.predicted_cycles
+    | Error msg -> failwith msg
+  in
+  let verdict = Result.get_ok (Backend.assess Backend.roofline config kernel v) in
+  Alcotest.(check (float 0.0)) "cycles = Roofline.analyze" expected verdict.Backend.cycles
+
+let test_infeasible_variant_rejected () =
+  let kernel = kernel_of "lud" 1.0 in
+  let v = { Sw_swacc.Kernel.grain = 4096; unroll = 1; active_cpes = 64; double_buffer = false } in
+  List.iter
+    (fun backend ->
+      match Backend.assess backend config kernel v with
+      | Error { Backend.backend = b; reason } ->
+          Alcotest.(check string) "rejection names its backend" (Backend.name backend) b;
+          Alcotest.(check bool) "reason non-empty" true (String.length reason > 0)
+      | Ok _ -> Alcotest.fail (Backend.name backend ^ ": expected rejection"))
+    [ Backend.static_model; Backend.simulator; Backend.hybrid (); Backend.roofline ]
+
+(* ------------------------------------------------------------------ *)
+(* Pre-refactor equivalence: the backend-driven tuner and Fig 6 rows
+   must equal the hand-rolled search at pool sizes 1 and 4. *)
+
+let hand_rolled_static_search kernel points =
+  (* the pre-backend static tuner, inlined: summarize + Predict, argmin
+     with strict < in enumeration order *)
+  let scored =
+    List.filter_map
+      (fun (pt : Sw_tuning.Space.point) ->
+        let v = Sw_tuning.Space.to_variant pt ~active_cpes:64 in
+        match Sw_swacc.Lower.summarize p kernel v with
+        | Error _ -> None
+        | Ok s -> Some (pt, (Swpm.Predict.run p s).Swpm.Predict.t_total))
+      points
+  in
+  match scored with
+  | [] -> None
+  | (p0, s0) :: rest ->
+      Some
+        (fst
+           (List.fold_left
+              (fun (bp, bs) (pt, s) -> if s < bs then (pt, s) else (bp, bs))
+              (p0, s0) rest))
+
+let test_tuner_matches_hand_rolled_search () =
+  let e = entry "kmeans" in
+  let kernel = kernel_of "kmeans" 0.25 in
+  let points =
+    Sw_tuning.Space.enumerate ~grains:e.Sw_workloads.Registry.grains
+      ~unrolls:e.Sw_workloads.Registry.unrolls ()
+  in
+  let expected_best =
+    match hand_rolled_static_search kernel points with
+    | Some pt -> Sw_tuning.Space.to_variant pt ~active_cpes:64
+    | None -> Alcotest.fail "search space unexpectedly empty"
+  in
+  List.iter
+    (fun pool_opt ->
+      let o =
+        Sw_tuning.Tuner.tune_exn ~backend:Backend.static_model ?pool:pool_opt config kernel
+          ~points
+      in
+      Alcotest.(check bool) "same pick as the pre-backend tuner" true
+        (o.Sw_tuning.Tuner.best = expected_best))
+    [ None; Some (pool 1); Some (pool 4) ]
+
+let test_table2_rows_pool_invariant () =
+  let baseline = Sw_experiments.Table2.run ~scale:0.25 () in
+  List.iter
+    (fun n ->
+      let rows = Sw_experiments.Table2.run ~scale:0.25 ~pool:(pool n) () in
+      List.iter2
+        (fun (a : Sw_experiments.Table2.row) (b : Sw_experiments.Table2.row) ->
+          Alcotest.(check string) "kernel" a.Sw_experiments.Table2.name b.Sw_experiments.Table2.name;
+          Alcotest.(check bool) "static pick" true
+            (a.static.Sw_tuning.Tuner.best = b.static.Sw_tuning.Tuner.best);
+          Alcotest.(check bool) "empirical pick" true
+            (a.empirical.Sw_tuning.Tuner.best = b.empirical.Sw_tuning.Tuner.best);
+          Alcotest.(check (float 0.0)) "static best cycles" a.static.Sw_tuning.Tuner.best_cycles
+            b.static.Sw_tuning.Tuner.best_cycles;
+          Alcotest.(check (float 0.0))
+            "empirical machine time" a.empirical.Sw_tuning.Tuner.machine_time_us
+            b.empirical.Sw_tuning.Tuner.machine_time_us)
+        baseline rows)
+    [ 1; 4 ]
+
+let test_fig6_rows_pool_invariant () =
+  let baseline = Sw_experiments.Fig6.run ~scale:0.25 () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fig6 rows, %d domains" n)
+        true
+        (Sw_experiments.Fig6.run ~scale:0.25 ~pool:(pool n) () = baseline))
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Memoizer *)
+
+let test_memo_hit_miss_accounting () =
+  let memo = Backend.memoize Backend.static_model in
+  let b = Backend.memoized memo in
+  let e = entry "kmeans" in
+  let kernel = kernel_of "kmeans" 0.25 in
+  let v = e.Sw_workloads.Registry.variant in
+  let v2 = { v with Sw_swacc.Kernel.unroll = v.Sw_swacc.Kernel.unroll + 1 } in
+  let first = Result.get_ok (Backend.assess b config kernel v) in
+  Alcotest.(check int) "one miss" 1 (Backend.memo_misses memo);
+  Alcotest.(check int) "no hits yet" 0 (Backend.memo_hits memo);
+  let second = Result.get_ok (Backend.assess b config kernel v) in
+  Alcotest.(check int) "second is a hit" 1 (Backend.memo_hits memo);
+  Alcotest.(check (float 0.0)) "same cycles" first.Backend.cycles second.Backend.cycles;
+  Alcotest.(check (float 0.0)) "hit costs nothing" 0.0
+    second.Backend.cost.Backend.host_wall_s;
+  ignore (Backend.assess b config kernel v2);
+  Alcotest.(check int) "different variant misses" 2 (Backend.memo_misses memo);
+  Backend.memo_clear memo;
+  ignore (Backend.assess b config kernel v);
+  Alcotest.(check int) "cleared table misses again" 3 (Backend.memo_misses memo)
+
+let test_memo_caches_infeasibility () =
+  let memo = Backend.memoize Backend.static_model in
+  let b = Backend.memoized memo in
+  let kernel = kernel_of "lud" 1.0 in
+  let v = { Sw_swacc.Kernel.grain = 4096; unroll = 1; active_cpes = 64; double_buffer = false } in
+  (match Backend.assess b config kernel v with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection");
+  (match Backend.assess b config kernel v with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected cached rejection");
+  Alcotest.(check int) "rejection cached" 1 (Backend.memo_hits memo);
+  Alcotest.(check int) "computed once" 1 (Backend.memo_misses memo)
+
+let test_memo_composes_with_pool () =
+  let memo = Backend.memoize Backend.static_model in
+  let b = Backend.memoized memo in
+  let e = entry "kmeans" in
+  let kernel = kernel_of "kmeans" 0.25 in
+  let points =
+    Sw_tuning.Space.enumerate ~grains:e.Sw_workloads.Registry.grains
+      ~unrolls:e.Sw_workloads.Registry.unrolls ()
+  in
+  let o1 = Sw_tuning.Tuner.tune_exn ~backend:b ~pool:(pool 4) config kernel ~points in
+  let misses_after_first = Backend.memo_misses memo in
+  let o2 = Sw_tuning.Tuner.tune_exn ~backend:b ~pool:(pool 4) config kernel ~points in
+  Alcotest.(check bool) "same pick through the memo" true
+    (o1.Sw_tuning.Tuner.best = o2.Sw_tuning.Tuner.best);
+  Alcotest.(check int) "second search computes nothing new" misses_after_first
+    (Backend.memo_misses memo);
+  Alcotest.(check bool) "second search served from cache" true
+    (Backend.memo_hits memo >= List.length points)
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid *)
+
+let test_hybrid_no_gloads_equals_static () =
+  let e = entry "kmeans" in
+  let kernel = kernel_of "kmeans" 0.25 in
+  let v = e.Sw_workloads.Registry.variant in
+  let s = Result.get_ok (Backend.assess Backend.static_model config kernel v) in
+  let h = Result.get_ok (Backend.assess (Backend.hybrid ()) config kernel v) in
+  Alcotest.(check (float 0.0)) "identical to the static model" s.Backend.cycles
+    h.Backend.cycles;
+  Alcotest.(check (float 0.0)) "never profiles" 0.0 h.Backend.cost.Backend.machine_us
+
+let test_hybrid_profiles_once_per_kernel () =
+  let e = entry "bfs" in
+  let kernel = kernel_of "bfs" 0.25 in
+  let v = e.Sw_workloads.Registry.variant in
+  let v2 = { v with Sw_swacc.Kernel.unroll = v.Sw_swacc.Kernel.unroll + 1 } in
+  let b = Backend.hybrid () in
+  let first = Result.get_ok (Backend.assess b config kernel v) in
+  let second = Result.get_ok (Backend.assess b config kernel v2) in
+  Alcotest.(check bool) "first assessment pays the profile" true
+    (first.Backend.cost.Backend.machine_us > 0.0);
+  Alcotest.(check (float 0.0)) "later assessments are free" 0.0
+    second.Backend.cost.Backend.machine_us
+
+let test_hybrid_pool_deterministic () =
+  (* same verdict cycles whatever the assessment order: compare a fresh
+     sequential instance against a fresh pooled one *)
+  let e = entry "bfs" in
+  let kernel = kernel_of "bfs" 0.25 in
+  let points =
+    Sw_tuning.Space.enumerate ~grains:e.Sw_workloads.Registry.grains
+      ~unrolls:e.Sw_workloads.Registry.unrolls ()
+  in
+  let run pool_opt =
+    let o =
+      Sw_tuning.Tuner.tune_exn ~backend:(Backend.hybrid ()) ?pool:pool_opt config kernel ~points
+    in
+    (o.Sw_tuning.Tuner.best, o.Sw_tuning.Tuner.best_cycles, o.Sw_tuning.Tuner.evaluated)
+  in
+  let baseline = run None in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "hybrid search, %d domains" n)
+        true
+        (run (Some (pool n)) = baseline))
+    [ 1; 4 ]
+
+(* QCheck property: on the registry's kernels the hybrid estimate is
+   bracketed by the static model and the simulator (with 5% slack for
+   the calibration transfer); on gload-free kernels it equals the
+   static model exactly. *)
+let prop_hybrid_bracketed =
+  let entries = Array.of_list Sw_workloads.Registry.all in
+  QCheck.Test.make ~name:"hybrid bracketed by static model and simulator" ~count:25
+    QCheck.(triple (int_range 0 (Array.length entries - 1)) (int_range 0 3) (int_range 1 4))
+    (fun (ei, gi, unroll) ->
+      let e = entries.(ei) in
+      let kernel = e.Sw_workloads.Registry.build ~scale:0.25 in
+      let grain = List.nth [ 8; 16; 32; 64 ] gi in
+      let v = { Sw_swacc.Kernel.grain; unroll; active_cpes = 64; double_buffer = false } in
+      match Backend.assess (Backend.hybrid ()) config kernel v with
+      | Error _ -> QCheck.assume_fail () (* infeasible variant: vacuous *)
+      | Ok h ->
+          let s = Result.get_ok (Backend.assess Backend.static_model config kernel v) in
+          let m = Result.get_ok (Backend.assess Backend.simulator config kernel v) in
+          let has_gloads = kernel.Sw_swacc.Kernel.gloads <> None in
+          if not has_gloads then h.Backend.cycles = s.Backend.cycles
+          else
+            let lo = Stdlib.min s.Backend.cycles m.Backend.cycles
+            and hi = Stdlib.max s.Backend.cycles m.Backend.cycles in
+            h.Backend.cycles >= (lo *. 0.95) && h.Backend.cycles <= (hi *. 1.05))
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_keys_and_aliases () =
+  Alcotest.(check (list string)) "built-ins in order"
+    [ "model"; "sim"; "hybrid"; "roofline" ]
+    (Backend.registered ());
+  List.iter
+    (fun (alias, canonical) ->
+      match Backend.find alias with
+      | Some b -> Alcotest.(check string) alias canonical (Backend.name b)
+      | None -> Alcotest.fail ("alias not found: " ^ alias))
+    [
+      ("static", "model");
+      ("static-model", "model");
+      ("empirical", "sim");
+      ("simulator", "sim");
+      ("MODEL", "model");
+      ("Hybrid", "hybrid");
+      ("roofline", "roofline");
+    ];
+  Alcotest.(check bool) "unknown key" true (Backend.find "magic" = None);
+  match Backend.find_exn "magic" with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "lists the known backends" true
+        (String.length msg > String.length "magic")
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_registry_fresh_hybrid_instances () =
+  (* two lookups must not share a calibration cache: each pays its own
+     profile on first assessment *)
+  let e = entry "bfs" in
+  let kernel = kernel_of "bfs" 0.25 in
+  let v = e.Sw_workloads.Registry.variant in
+  let cost1 =
+    (Result.get_ok (Backend.assess (Backend.find_exn "hybrid") config kernel v)).Backend.cost
+  in
+  let cost2 =
+    (Result.get_ok (Backend.assess (Backend.find_exn "hybrid") config kernel v)).Backend.cost
+  in
+  Alcotest.(check bool) "both instances profile" true
+    (cost1.Backend.machine_us > 0.0 && cost2.Backend.machine_us > 0.0)
+
+let test_register_custom_backend () =
+  let custom : Backend.t =
+    (module struct
+      let name = "oracle"
+
+      let description = "test backend"
+
+      let assess _ _ _ =
+        Ok { Backend.cycles = 42.0; cost = Backend.zero_cost; breakdown = None }
+    end)
+  in
+  Backend.register "oracle" (fun () -> custom);
+  (match Backend.find "oracle" with
+  | Some b ->
+      let kernel = kernel_of "kmeans" 0.25 in
+      let v = (entry "kmeans").Sw_workloads.Registry.variant in
+      Alcotest.(check (float 0.0)) "custom backend answers" 42.0
+        (Backend.cycles_exn b config kernel v)
+  | None -> Alcotest.fail "custom backend not registered");
+  Alcotest.(check bool) "appears in the listing" true
+    (List.mem "oracle" (Backend.registered ()))
+
+let tests =
+  ( "backend",
+    [
+      Alcotest.test_case "static model = Predict.run" `Quick test_static_model_matches_predict;
+      Alcotest.test_case "simulator = Engine.run" `Quick test_simulator_matches_engine;
+      Alcotest.test_case "roofline = Roofline.analyze" `Quick test_roofline_matches_analyze;
+      Alcotest.test_case "infeasible variant rejected" `Quick test_infeasible_variant_rejected;
+      Alcotest.test_case "tuner = hand-rolled search" `Quick test_tuner_matches_hand_rolled_search;
+      Alcotest.test_case "table2 rows pool-invariant" `Slow test_table2_rows_pool_invariant;
+      Alcotest.test_case "fig6 rows pool-invariant" `Slow test_fig6_rows_pool_invariant;
+      Alcotest.test_case "memo hit/miss accounting" `Quick test_memo_hit_miss_accounting;
+      Alcotest.test_case "memo caches infeasibility" `Quick test_memo_caches_infeasibility;
+      Alcotest.test_case "memo composes with pool" `Quick test_memo_composes_with_pool;
+      Alcotest.test_case "hybrid = static without gloads" `Quick test_hybrid_no_gloads_equals_static;
+      Alcotest.test_case "hybrid profiles once" `Quick test_hybrid_profiles_once_per_kernel;
+      Alcotest.test_case "hybrid pool-deterministic" `Quick test_hybrid_pool_deterministic;
+      QCheck_alcotest.to_alcotest prop_hybrid_bracketed;
+      Alcotest.test_case "registry keys and aliases" `Quick test_registry_keys_and_aliases;
+      Alcotest.test_case "registry hybrids are fresh" `Quick test_registry_fresh_hybrid_instances;
+      Alcotest.test_case "register custom backend" `Quick test_register_custom_backend;
+    ] )

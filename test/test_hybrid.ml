@@ -7,7 +7,7 @@ let config = Sw_sim.Config.default p
 let test_no_gloads_identity () =
   let kernel = Sw_workloads.Vadd.kernel ~scale:0.25 in
   let lowered = Sw_swacc.Lower.lower_exn p kernel Sw_workloads.Vadd.variant in
-  let cal = Hybrid.calibrate config lowered in
+  let cal = Sw_backend.Backend.calibrate config lowered in
   Alcotest.(check (float 1e-9)) "no gloads, factor 1" 1.0 cal.Hybrid.gload_factor;
   let s = lowered.Sw_swacc.Lowered.summary in
   Alcotest.(check (float 1e-9)) "predict unchanged"
@@ -33,7 +33,7 @@ let test_factor_clamped () =
     Sw_swacc.Lower.lower_exn p (e.Sw_workloads.Registry.build ~scale:0.25)
       e.Sw_workloads.Registry.variant
   in
-  let cal = Hybrid.calibrate config lowered in
+  let cal = Sw_backend.Backend.calibrate config lowered in
   Alcotest.(check bool) "factor in [0.1, 1.5]" true
     (cal.Hybrid.gload_factor >= 0.1 && cal.Hybrid.gload_factor <= 1.5)
 
@@ -45,7 +45,7 @@ let test_balanced_kernel_calibrates_near_one () =
     Sw_swacc.Lower.lower_exn p (e.Sw_workloads.Registry.build ~scale:1.0)
       e.Sw_workloads.Registry.variant
   in
-  let cal = Hybrid.calibrate config lowered in
+  let cal = Sw_backend.Backend.calibrate config lowered in
   Alcotest.(check bool)
     (Printf.sprintf "factor %.2f near 1" cal.Hybrid.gload_factor)
     true

@@ -85,11 +85,11 @@ let test_compiles_and_runs_end_to_end () =
   let variant = { Kernel.grain = 4; unroll = 2; active_cpes = 64; double_buffer = false } in
   let lowered = Lower.lower_exn p k variant in
   let config = Sw_sim.Config.default p in
-  let row = Swpm.Accuracy.evaluate config lowered in
+  let row = Sw_backend.Accuracy.evaluate config lowered in
   Alcotest.(check bool)
-    (Printf.sprintf "model tracks the nest (%.1f%%)" (Swpm.Accuracy.error row *. 100.0))
+    (Printf.sprintf "model tracks the nest (%.1f%%)" (Sw_backend.Accuracy.error row *. 100.0))
     true
-    (Swpm.Accuracy.error row < 0.10)
+    (Sw_backend.Accuracy.error row < 0.10)
 
 let test_matches_handwritten_vadd () =
   (* the Figure-3 vector-add, declared as a nest, must lower to the same

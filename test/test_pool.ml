@@ -82,9 +82,9 @@ let tuner_outcomes method_ =
     Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
       ~unrolls:entry.Sw_workloads.Registry.unrolls ()
   in
-  let baseline = Sw_tuning.Tuner.tune ~method_ config kernel ~points in
+  let baseline = Sw_tuning.Tuner.tune_exn ~backend:(Sw_tuning.Tuner.backend_of_method method_) config kernel ~points in
   let pooled =
-    List.map (fun n -> (n, Sw_tuning.Tuner.tune ~method_ ~pool:(pool n) config kernel ~points)) sizes
+    List.map (fun n -> (n, Sw_tuning.Tuner.tune_exn ~backend:(Sw_tuning.Tuner.backend_of_method method_) ~pool:(pool n) config kernel ~points)) sizes
   in
   (baseline, pooled)
 
@@ -128,7 +128,7 @@ let test_tuner_wall_clock_sane () =
     Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
       ~unrolls:entry.Sw_workloads.Registry.unrolls ()
   in
-  let o = Sw_tuning.Tuner.tune ~method_:Sw_tuning.Tuner.Empirical config kernel ~points in
+  let o = Sw_tuning.Tuner.tune_exn ~backend:Sw_backend.Backend.simulator config kernel ~points in
   Alcotest.(check bool) "wall clock non-negative" true (o.Sw_tuning.Tuner.tuning_host_s >= 0.0);
   Alcotest.(check bool) "cpu seconds non-negative" true (o.Sw_tuning.Tuner.tuning_cpu_s >= 0.0)
 
@@ -168,8 +168,8 @@ let test_engine_consistent_after_cache_clear () =
   let kernel = entry.Sw_workloads.Registry.build ~scale:0.5 in
   let lowered = Sw_swacc.Lower.lower_exn p kernel entry.Sw_workloads.Registry.variant in
   Sw_isa.Schedule.clear_cache ();
-  let cold = (Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles in
-  let warm = (Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs).Sw_sim.Metrics.cycles in
+  let cold = Sw_backend.Machine.cycles config lowered in
+  let warm = Sw_backend.Machine.cycles config lowered in
   Alcotest.(check (float 0.0)) "cold = warm" cold warm
 
 let tests =

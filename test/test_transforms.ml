@@ -50,11 +50,11 @@ let test_vectorize_model_tracks () =
   let e = Sw_workloads.Registry.find_exn "srad" in
   let kernel = Kernel.vectorize (e.Sw_workloads.Registry.build ~scale:0.5) ~width:4 in
   let lowered = Lower.lower_exn p kernel e.Sw_workloads.Registry.variant in
-  let row = Swpm.Accuracy.evaluate config lowered in
+  let row = Sw_backend.Accuracy.evaluate config lowered in
   Alcotest.(check bool)
-    (Printf.sprintf "error %.1f%% under 10%%" (Swpm.Accuracy.error row *. 100.0))
+    (Printf.sprintf "error %.1f%% under 10%%" (Sw_backend.Accuracy.error row *. 100.0))
     true
-    (Swpm.Accuracy.error row < 0.10)
+    (Sw_backend.Accuracy.error row < 0.10)
 
 let test_vectorize_rejects () =
   let e = Sw_workloads.Registry.find_exn "lud" in

@@ -40,8 +40,8 @@ let test_both_tuners_agree_on_kmeans () =
   let entry = Sw_workloads.Registry.find_exn "kmeans" in
   let kernel = entry.Sw_workloads.Registry.build ~scale:0.25 in
   let pts = points entry in
-  let static = Tuner.tune ~method_:Tuner.Static config kernel ~points:pts in
-  let empirical = Tuner.tune ~method_:Tuner.Empirical config kernel ~points:pts in
+  let static = Tuner.tune_exn ~backend:(Tuner.backend_of_method Tuner.Static) config kernel ~points:pts in
+  let empirical = Tuner.tune_exn ~backend:(Tuner.backend_of_method Tuner.Empirical) config kernel ~points:pts in
   Alcotest.(check bool) "quality loss under 6% (paper bound)" true
     (Tuner.quality_loss ~static ~empirical < 0.06);
   Alcotest.(check bool) "static found a real improvement" true
@@ -50,13 +50,13 @@ let test_both_tuners_agree_on_kmeans () =
 let test_static_never_simulates () =
   let entry = Sw_workloads.Registry.find_exn "lud" in
   let kernel = entry.Sw_workloads.Registry.build ~scale:0.5 in
-  let o = Tuner.tune ~method_:Tuner.Static config kernel ~points:(points entry) in
+  let o = Tuner.tune_exn ~backend:(Tuner.backend_of_method Tuner.Static) config kernel ~points:(points entry) in
   Alcotest.(check (float 1e-9)) "no machine time" 0.0 o.Tuner.machine_time_us
 
 let test_empirical_accumulates_machine_time () =
   let entry = Sw_workloads.Registry.find_exn "lud" in
   let kernel = entry.Sw_workloads.Registry.build ~scale:0.5 in
-  let o = Tuner.tune ~method_:Tuner.Empirical config kernel ~points:(points entry) in
+  let o = Tuner.tune_exn ~backend:(Tuner.backend_of_method Tuner.Empirical) config kernel ~points:(points entry) in
   Alcotest.(check bool) "profiling runs cost machine time" true (o.Tuner.machine_time_us > 0.0);
   Alcotest.(check int) "all feasible points evaluated" (List.length (points entry))
     (o.Tuner.evaluated + o.Tuner.infeasible)
@@ -65,29 +65,39 @@ let test_infeasible_counted () =
   let entry = Sw_workloads.Registry.find_exn "lud" in
   let kernel = entry.Sw_workloads.Registry.build ~scale:1.0 in
   let pts = Space.enumerate ~grains:[ 1; 512 ] ~unrolls:[ 1 ] () in
-  let o = Tuner.tune ~method_:Tuner.Static config kernel ~points:pts in
+  let o = Tuner.tune_exn ~backend:(Tuner.backend_of_method Tuner.Static) config kernel ~points:pts in
   Alcotest.(check int) "oversized variant rejected at compile time" 1 o.Tuner.infeasible;
   Alcotest.(check int) "one evaluated" 1 o.Tuner.evaluated
 
-let test_no_feasible_point_raises () =
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_no_feasible_point_typed_error () =
   let entry = Sw_workloads.Registry.find_exn "lud" in
   let kernel = entry.Sw_workloads.Registry.build ~scale:1.0 in
   let pts = Space.enumerate ~grains:[ 4096 ] ~unrolls:[ 1 ] () in
-  match Tuner.tune ~method_:Tuner.Static config kernel ~points:pts with
+  (match Tuner.tune ~backend:Sw_backend.Backend.static_model config kernel ~points:pts with
+  | Error (`No_feasible_point msg) ->
+      Alcotest.(check bool) "message names the backend" true
+        (contains msg "model")
+  | Ok _ -> Alcotest.fail "expected `No_feasible_point");
+  match Tuner.tune_exn ~backend:Sw_backend.Backend.static_model config kernel ~points:pts with
   | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "expected Invalid_argument"
+  | _ -> Alcotest.fail "tune_exn: expected Invalid_argument"
 
 let test_best_beats_default () =
   let entry = Sw_workloads.Registry.find_exn "backprop" in
   let kernel = entry.Sw_workloads.Registry.build ~scale:0.125 in
-  let o = Tuner.tune ~method_:Tuner.Empirical config kernel ~points:(points entry) in
+  let o = Tuner.tune_exn ~backend:(Tuner.backend_of_method Tuner.Empirical) config kernel ~points:(points entry) in
   Alcotest.(check bool) "tuned variant at least as fast as default" true
     (o.Tuner.best_cycles <= o.Tuner.default_cycles +. 1.0)
 
 let test_pp_outcome () =
   let entry = Sw_workloads.Registry.find_exn "lud" in
   let kernel = entry.Sw_workloads.Registry.build ~scale:0.5 in
-  let o = Tuner.tune ~method_:Tuner.Static config kernel ~points:(points entry) in
+  let o = Tuner.tune_exn ~backend:(Tuner.backend_of_method Tuner.Static) config kernel ~points:(points entry) in
   Alcotest.(check bool) "pp" true (String.length (Format.asprintf "%a" Tuner.pp_outcome o) > 40)
 
 let tests =
@@ -102,7 +112,7 @@ let tests =
       Alcotest.test_case "static never simulates" `Quick test_static_never_simulates;
       Alcotest.test_case "empirical pays machine time" `Quick test_empirical_accumulates_machine_time;
       Alcotest.test_case "infeasible counted" `Quick test_infeasible_counted;
-      Alcotest.test_case "no feasible point raises" `Quick test_no_feasible_point_raises;
+      Alcotest.test_case "no feasible point typed error" `Quick test_no_feasible_point_typed_error;
       Alcotest.test_case "best beats default" `Quick test_best_beats_default;
       Alcotest.test_case "pp outcome" `Quick test_pp_outcome;
     ] )

@@ -18,7 +18,7 @@ let check_entry scale (e : Registry.entry) () =
       | Ok () -> ()
       | Error m -> Alcotest.failf "invalid program: %s" m)
     lowered.Sw_swacc.Lowered.programs;
-  let m = Sw_sim.Engine.run config lowered.Sw_swacc.Lowered.programs in
+  let m = Sw_backend.Machine.metrics config lowered in
   Alcotest.(check bool) "positive makespan" true (m.Sw_sim.Metrics.cycles > 0.0);
   Alcotest.(check bool) "moved data" true (m.Sw_sim.Metrics.transactions > 0)
 
