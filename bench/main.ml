@@ -233,6 +233,84 @@ let backends () =
           rows))
 
 (* ------------------------------------------------------------------ *)
+(* Observability: emit Chrome trace files for the Figure 4 scenarios
+   and one Table II search, and prove they parse.  This is the CI obs
+   smoke: the uploaded TRACE_*.json artifacts load in chrome://tracing
+   or Perfetto. *)
+
+let obs () =
+  section "Obs: Chrome traces of the Figure 4 scenarios and a Table II search";
+  let validate path =
+    match Sw_obs.Json.validate_file path with
+    | Ok () -> true
+    | Error msg ->
+        Printf.printf "  %s: INVALID JSON (%s)\n" path msg;
+        false
+  in
+  let report path sink =
+    Sw_obs.Chrome.write path sink;
+    let ok = validate path in
+    Printf.printf "  wrote %s (%d spans, %d counters, parses: %b)\n" path
+      (Sw_obs.Sink.span_count sink)
+      (List.length (Sw_obs.Sink.counters sink))
+      ok;
+    (path, Sw_obs.Sink.span_count sink, ok)
+  in
+  (* Figure 4: both overlap scenarios into one machine timeline file *)
+  let fig4_sink = Sw_obs.Sink.create () in
+  ignore (Sw_experiments.Fig4_timeline.run_compute_bound ~obs:fig4_sink ());
+  ignore (Sw_experiments.Fig4_timeline.run_memory_bound ~obs:fig4_sink ());
+  let fig4_file = report "TRACE_fig4.json" fig4_sink in
+  (* Table II: the kmeans empirical search plus the winner's validation
+     run, reconciled against the simulator's metrics *)
+  let params = Sw_arch.Params.default in
+  let config = Sw_sim.Config.default params in
+  let entry = Sw_workloads.Registry.find_exn "kmeans" in
+  let kernel = entry.Sw_workloads.Registry.build ~scale:1.0 in
+  let points =
+    Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
+      ~unrolls:entry.Sw_workloads.Registry.unrolls ()
+  in
+  let tune_sink = Sw_obs.Sink.create () in
+  let outcome =
+    Sw_tuning.Tuner.tune_exn ~backend:Sw_backend.Backend.simulator ~obs:tune_sink config kernel
+      ~points
+  in
+  let lowered = Sw_swacc.Lower.lower_exn params kernel outcome.Sw_tuning.Tuner.best in
+  let metrics, trace =
+    Sw_obs.Probe.run_traced tune_sink ~name:"best:kmeans" config lowered.Sw_swacc.Lowered.programs
+  in
+  let reconciled =
+    match Sw_obs.Probe.reconcile metrics trace with
+    | Ok () -> true
+    | Error msg ->
+        Printf.printf "  reconciliation FAILED: %s\n" msg;
+        false
+  in
+  let tune_file = report "TRACE_table2_kmeans.json" tune_sink in
+  Printf.printf "  kmeans search: %d evaluated, %d infeasible, machine %.0f us, reconciled: %b\n"
+    outcome.Sw_tuning.Tuner.evaluated outcome.Sw_tuning.Tuner.infeasible
+    outcome.Sw_tuning.Tuner.machine_time_us reconciled;
+  let json_of (path, spans, ok) =
+    json_obj
+      [
+        ("file", Printf.sprintf "%S" path);
+        ("spans", string_of_int spans);
+        ("parses", string_of_bool ok);
+      ]
+  in
+  add_json "obs"
+    (json_obj
+       [
+         ("traces", json_list [ json_of fig4_file; json_of tune_file ]);
+         ("reconciled", string_of_bool reconciled);
+         ("tuner_evaluated", string_of_int outcome.Sw_tuning.Tuner.evaluated);
+         ("tuner_machine_us", json_float outcome.Sw_tuning.Tuner.machine_time_us);
+       ]);
+  let _, _, ok1 = fig4_file and _, _, ok2 = tune_file in
+  if not (ok1 && ok2 && reconciled) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Extensions beyond the paper's figures                                *)
 
 let fig4 () =
@@ -343,6 +421,7 @@ let all =
     ("table2", table2);
     ("parallel", parallel);
     ("backends", backends);
+    ("obs", obs);
     ("fig4", fig4);
     ("coalescing", coalescing);
     ("ablation", ablation);

@@ -66,6 +66,20 @@ let backend_of_name name =
         (String.concat ", " (Sw_backend.Backend.registered ()));
       exit 1
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file of this run's telemetry to $(docv) — load it at \
+     chrome://tracing or https://ui.perfetto.dev.  Machine tracks tick in simulated cycles, \
+     host tracks in wall-clock microseconds; results are unchanged by tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* write the sink out and tell the user what landed in it *)
+let write_trace path sink =
+  Sw_obs.Chrome.write path sink;
+  Printf.printf "wrote %s (%d spans, %d counters)\n" path (Sw_obs.Sink.span_count sink)
+    (List.length (Sw_obs.Sink.counters sink))
+
 let variant_of entry grain unroll cpes db =
   let base = entry.Sw_workloads.Registry.variant in
   {
@@ -97,18 +111,24 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Print the Table I machine parameters.") Term.(const run $ const ())
 
 let predict_cmd =
-  let run name scale cgs grain unroll cpes db backend_name =
+  let run name scale cgs grain unroll cpes db backend_name trace =
     let entry = Sw_workloads.Registry.find_exn name in
     let params = params_of_cgs cgs in
     let variant = variant_of entry grain unroll cpes db in
-    match backend_name with
-    | "model" | "static" | "static-model" ->
+    match (backend_name, trace) with
+    | ("model" | "static" | "static-model"), None ->
         let lowered = lower_entry params entry scale variant in
         Format.printf "%a@.@.%a@." Sw_swacc.Lowered.pp_summary lowered.Sw_swacc.Lowered.summary
           Swpm.Predict.pp
           (Swpm.Predict.predict_lowered params lowered)
     | _ -> (
+        let sink = Option.map (fun _ -> Sw_obs.Sink.create ()) trace in
         let backend = backend_of_name backend_name in
+        let backend =
+          match sink with
+          | Some s -> Sw_backend.Backend.instrument s backend
+          | None -> backend
+        in
         let config = Sw_sim.Config.default params in
         let kernel = entry.Sw_workloads.Registry.build ~scale in
         match Sw_backend.Backend.assess backend config kernel variant with
@@ -122,13 +142,14 @@ let predict_cmd =
             Format.printf "%s: %.0f cycles (host %.3f s, machine %.0f us)@."
               (Sw_backend.Backend.name backend)
               v.Sw_backend.Backend.cycles v.Sw_backend.Backend.cost.Sw_backend.Backend.host_wall_s
-              v.Sw_backend.Backend.cost.Sw_backend.Backend.machine_us)
+              v.Sw_backend.Backend.cost.Sw_backend.Backend.machine_us;
+            Option.iter (fun path -> write_trace path (Option.get sink)) trace)
   in
   Cmd.v
     (Cmd.info "predict" ~doc:"Price a kernel variant through a cost backend (default: the model).")
     Term.(
       const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg
-      $ backend_arg)
+      $ backend_arg $ trace_arg)
 
 let simulate_cmd =
   let run name scale cgs grain unroll cpes db =
@@ -146,7 +167,7 @@ let simulate_cmd =
     Term.(const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg)
 
 let tune_cmd =
-  let run name scale backend_name domains =
+  let run name scale backend_name domains trace =
     let entry = Sw_workloads.Registry.find_exn name in
     let params = Sw_arch.Params.default in
     let config = Sw_sim.Config.default params in
@@ -156,15 +177,37 @@ let tune_cmd =
         ~unrolls:entry.Sw_workloads.Registry.unrolls ()
     in
     let backend = backend_of_name backend_name in
-    match Sw_tuning.Tuner.tune ~backend ?pool:(pool_of domains) config kernel ~points with
-    | Ok outcome -> Format.printf "%a@." Sw_tuning.Tuner.pp_outcome outcome
+    let sink = Option.map (fun _ -> Sw_obs.Sink.create ()) trace in
+    match
+      Sw_tuning.Tuner.tune ~backend ?pool:(pool_of domains) ?obs:sink config kernel ~points
+    with
+    | Ok outcome ->
+        Format.printf "%a@." Sw_tuning.Tuner.pp_outcome outcome;
+        Option.iter
+          (fun path ->
+            let sink = Option.get sink in
+            (* one traced validation run of the winning variant gives
+               the trace its machine timeline, reconciled against the
+               simulator's own accounting *)
+            let lowered =
+              Sw_swacc.Lower.lower_exn params kernel outcome.Sw_tuning.Tuner.best
+            in
+            let metrics, tr =
+              Sw_obs.Probe.run_traced sink ~name:("best:" ^ name) config
+                lowered.Sw_swacc.Lowered.programs
+            in
+            (match Sw_obs.Probe.reconcile metrics tr with
+            | Ok () -> ()
+            | Error msg -> Printf.eprintf "swmodel: trace reconciliation failed: %s\n" msg);
+            write_trace path sink)
+          trace
     | Error (`No_feasible_point msg) ->
         Printf.eprintf "swmodel: %s\n" msg;
         exit 1
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Auto-tune a kernel's tile size and unroll factor under a cost backend.")
-    Term.(const run $ kernel_arg $ scale_arg $ backend_arg $ domains_arg)
+    Term.(const run $ kernel_arg $ scale_arg $ backend_arg $ domains_arg $ trace_arg)
 
 let fig6_cmd =
   let run scale domains =
@@ -246,19 +289,26 @@ let asm_cmd =
       $ annotate_arg $ cpe_index_arg)
 
 let timeline_cmd =
-  let run name scale grain unroll cpes db =
+  let run name scale grain unroll cpes db trace_out =
     let entry = Sw_workloads.Registry.find_exn name in
     let params = Sw_arch.Params.default in
     let lowered = lower_entry params entry scale (variant_of entry grain unroll cpes db) in
     let config = Sw_sim.Config.default params in
-    let metrics, trace = Sw_sim.Engine.run_traced config lowered.Sw_swacc.Lowered.programs in
+    let sink = Option.map (fun _ -> Sw_obs.Sink.create ()) trace_out in
+    let metrics, trace =
+      match sink with
+      | Some s -> Sw_obs.Probe.run_traced s ~name config lowered.Sw_swacc.Lowered.programs
+      | None -> Sw_sim.Engine.run_traced config lowered.Sw_swacc.Lowered.programs
+    in
     print_string
       (Sw_sim.Trace.render ~width:100 ~max_cpes:16 ~makespan:metrics.Sw_sim.Metrics.cycles trace);
-    Format.printf "makespan %a@." Sw_util.Units.pp_cycles metrics.Sw_sim.Metrics.cycles
+    Format.printf "makespan %a@." Sw_util.Units.pp_cycles metrics.Sw_sim.Metrics.cycles;
+    Option.iter (fun path -> write_trace path (Option.get sink)) trace_out
   in
   Cmd.v
     (Cmd.info "timeline" ~doc:"Render a simulated per-CPE activity timeline (Fig. 4 style).")
-    Term.(const run $ kernel_arg $ scale_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg)
+    Term.(
+      const run $ kernel_arg $ scale_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg $ trace_arg)
 
 let ablation_cmd =
   let run scale = Sw_experiments.Ablation_study.print (Sw_experiments.Ablation_study.run ~scale ()) in

@@ -183,6 +183,56 @@ let hybrid ?profile () : t =
   end)
 
 (* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+
+let instrument sink (inner : t) : t =
+  let module I = (val inner : S) in
+  let module Wrapped = struct
+    let name = I.name
+
+    let description = I.description
+
+    let assess config kernel (variant : Kernel.variant) =
+      let t0 = Sw_obs.Sink.now_us sink in
+      let r = I.assess config kernel variant in
+      let t1 = Sw_obs.Sink.now_us sink in
+      let verdict_args =
+        match r with
+        | Ok v ->
+            Sw_obs.Sink.incr sink (Printf.sprintf "backend.%s.ok" I.name);
+            Sw_obs.Sink.add sink
+              (Printf.sprintf "backend.%s.machine_us" I.name)
+              v.cost.machine_us;
+            [
+              ("cycles", Sw_obs.Sink.Float v.cycles);
+              ("machine_us", Sw_obs.Sink.Float v.cost.machine_us);
+            ]
+        | Error e ->
+            Sw_obs.Sink.incr sink (Printf.sprintf "backend.%s.infeasible" I.name);
+            [ ("infeasible", Sw_obs.Sink.String e.reason) ]
+      in
+      Sw_obs.Sink.record sink
+        {
+          Sw_obs.Sink.cat = "backend";
+          name = Printf.sprintf "%s:%s" I.name kernel.Kernel.name;
+          pid = Sw_obs.Sink.host_pid;
+          track = (Domain.self () :> int);
+          t_us = t0;
+          dur_us = t1 -. t0;
+          args =
+            [
+              ("grain", Sw_obs.Sink.Int variant.Kernel.grain);
+              ("unroll", Sw_obs.Sink.Int variant.Kernel.unroll);
+              ("active_cpes", Sw_obs.Sink.Int variant.Kernel.active_cpes);
+              ("double_buffer", Sw_obs.Sink.Bool variant.Kernel.double_buffer);
+            ]
+            @ verdict_args;
+        };
+      r
+  end in
+  (module Wrapped : S)
+
+(* ------------------------------------------------------------------ *)
 (* Memoization                                                         *)
 
 type memo_key = {
@@ -200,12 +250,18 @@ type memo = {
   memo_clear : unit -> unit;
 }
 
-let memoize (inner : t) : memo =
+let memoize ?sink (inner : t) : memo =
   let module I = (val inner : S) in
   let table : (memo_key, (verdict, infeasibility) result) Hashtbl.t = Hashtbl.create 64 in
   let lock = Mutex.create () in
   let hits = Atomic.make 0 in
   let misses = Atomic.make 0 in
+  (* hit/miss counters mirror the atomics one-for-one: both are bumped
+     on the same code path, so sink totals equal memo_hits/memo_misses
+     even under pool fan-out *)
+  let observe key =
+    match sink with Some s -> Sw_obs.Sink.incr s key | None -> ()
+  in
   let module M = struct
     let name = Printf.sprintf "memo(%s)" I.name
 
@@ -230,10 +286,12 @@ let memoize (inner : t) : memo =
       match cached with
       | Some r ->
           Atomic.incr hits;
+          observe "memo.hits";
           (* the work was already paid for by the miss *)
           Result.map (fun v -> { v with cost = zero_cost }) r
       | None ->
           Atomic.incr misses;
+          observe "memo.misses";
           let r = I.assess config kernel variant in
           Mutex.lock lock;
           Fun.protect

@@ -122,6 +122,22 @@ val calibrate : Sw_sim.Config.t -> Sw_swacc.Lowered.t -> Swpm.Hybrid.calibration
     lives in {!Swpm.Hybrid}).  Kernels without Gloads calibrate to
     {!Swpm.Hybrid.no_calibration} without running anything. *)
 
+(** {1 Observability}
+
+    Instrumentation is strictly an observer: a wrapped backend returns
+    byte-for-byte the verdicts of the backend it wraps, so tuner picks
+    and experiment rows are unchanged by tracing. *)
+
+val instrument : Sw_obs.Sink.t -> t -> t
+(** [instrument sink backend] records, per assessment, one host-track
+    span (category ["backend"], name ["<backend>:<kernel>"], track =
+    the assessing domain — so pooled searches show per-domain lanes)
+    carrying the variant and the verdict in its args, and bumps the
+    counters ["backend.<name>.ok"] / ["backend.<name>.infeasible"] /
+    ["backend.<name>.machine_us"].  Counter totals therefore reconcile
+    exactly with {!Sw_tuning.Tuner.outcome}'s [evaluated], [infeasible]
+    and [machine_time_us] accounting. *)
+
 (** {1 Memoization}
 
     A memoizing wrapper keyed on the full simulation configuration
@@ -136,7 +152,11 @@ val calibrate : Sw_sim.Config.t -> Sw_swacc.Lowered.t -> Swpm.Hybrid.calibration
 
 type memo
 
-val memoize : t -> memo
+val memoize : ?sink:Sw_obs.Sink.t -> t -> memo
+(** With [sink], every hit/miss also bumps the ["memo.hits"] /
+    ["memo.misses"] counters there, mirroring {!memo_hits} /
+    {!memo_misses} exactly (both are incremented on the same code
+    path). *)
 
 val memoized : memo -> t
 (** The wrapping backend (named ["memo(<inner>)"]). *)

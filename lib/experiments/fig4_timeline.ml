@@ -6,8 +6,8 @@ type result = {
 }
 
 (* a plain streaming kernel whose compute weight we can dial *)
-let kernel ~body_trips =
-  let n = 64 * 8 (* 8 chunks per CPE at grain 1 *) in
+let kernel ~body_trips ~active_cpes =
+  let n = active_cpes * 8 (* 8 chunks per CPE at grain 1 *) in
   let layout = Sw_swacc.Layout.create () in
   let copy name dir =
     {
@@ -26,24 +26,31 @@ let kernel ~body_trips =
     ~copies:[ copy "src" Sw_swacc.Kernel.In; copy "dst" Sw_swacc.Kernel.Out ]
     ~body ~body_trips_per_element:body_trips ()
 
-let run_scenario ~params ~name ~body_trips =
-  let variant = { Sw_swacc.Kernel.grain = 1; unroll = 1; active_cpes = 64; double_buffer = false } in
-  let lowered = Sw_swacc.Lower.lower_exn params (kernel ~body_trips) variant in
+let run_scenario ~params ~name ~body_trips ~active_cpes ~obs =
+  let variant =
+    { Sw_swacc.Kernel.grain = 1; unroll = 1; active_cpes; double_buffer = false }
+  in
+  let lowered = Sw_swacc.Lower.lower_exn params (kernel ~body_trips ~active_cpes) variant in
   let config = Sw_sim.Config.default params in
-  let metrics, trace = Sw_sim.Engine.run_traced config lowered.Sw_swacc.Lowered.programs in
+  let metrics, trace =
+    match obs with
+    | Some sink ->
+        Sw_obs.Probe.run_traced sink ~name:"fig4" config lowered.Sw_swacc.Lowered.programs
+    | None -> Sw_sim.Engine.run_traced config lowered.Sw_swacc.Lowered.programs
+  in
   let timeline =
     Sw_sim.Trace.render ~width:72 ~max_cpes:8 ~makespan:metrics.Sw_sim.Metrics.cycles trace
   in
   let predicted = Swpm.Predict.run params lowered.Sw_swacc.Lowered.summary in
   { scenario = name; metrics; timeline; predicted }
 
-let run_compute_bound ?(params = Sw_arch.Params.default) () =
+let run_compute_bound ?(params = Sw_arch.Params.default) ?(active_cpes = 64) ?obs () =
   run_scenario ~params ~name:"Scenario 1 (compute-bound: memory idles between waves)"
-    ~body_trips:4096
+    ~body_trips:4096 ~active_cpes ~obs
 
-let run_memory_bound ?(params = Sw_arch.Params.default) () =
+let run_memory_bound ?(params = Sw_arch.Params.default) ?(active_cpes = 64) ?obs () =
   run_scenario ~params ~name:"Scenario 2 (memory-bound: compute hides in the copy waves)"
-    ~body_trips:64
+    ~body_trips:64 ~active_cpes ~obs
 
 let print r =
   Printf.printf "%s\n" r.scenario;

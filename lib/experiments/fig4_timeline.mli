@@ -14,8 +14,14 @@ type result = {
   predicted : Swpm.Predict.t;
 }
 
-val run_compute_bound : ?params:Sw_arch.Params.t -> unit -> result
+val run_compute_bound :
+  ?params:Sw_arch.Params.t -> ?active_cpes:int -> ?obs:Sw_obs.Sink.t -> unit -> result
 
-val run_memory_bound : ?params:Sw_arch.Params.t -> unit -> result
+val run_memory_bound :
+  ?params:Sw_arch.Params.t -> ?active_cpes:int -> ?obs:Sw_obs.Sink.t -> unit -> result
+(** [active_cpes] (default 64) sizes the fleet — the workload keeps 8
+    chunks per CPE, so smaller fleets make smaller (e.g. golden-file)
+    traces.  With [obs], the traced run also lands in that sink via
+    {!Sw_obs.Probe.run_traced}. *)
 
 val print : result -> unit

@@ -1,0 +1,101 @@
+let kind_cat = function
+  | Sw_sim.Trace.Compute -> "compute"
+  | Sw_sim.Trace.Dma_stall -> "dma_stall"
+  | Sw_sim.Trace.Gload_stall -> "gload_stall"
+
+let events_of_trace ?(name = "run") trace =
+  List.map
+    (fun (s : Sw_sim.Trace.span) ->
+      {
+        Sink.cat = kind_cat s.Sw_sim.Trace.kind;
+        name;
+        pid = Sink.machine_pid;
+        track = s.Sw_sim.Trace.cpe;
+        t_us = s.Sw_sim.Trace.t0;
+        dur_us = s.Sw_sim.Trace.t1 -. s.Sw_sim.Trace.t0;
+        args = [];
+      })
+    trace
+
+(* ------------------------------------------------------------------ *)
+(* Serialization *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* NaN/infinity are not JSON; a trace must still load, so clamp *)
+let num f = if Float.is_finite f then Printf.sprintf "%.3f" f else "0"
+
+let arg_value = function
+  | Sink.Int i -> string_of_int i
+  | Sink.Float f -> num f
+  | Sink.String s -> Printf.sprintf "\"%s\"" (escape s)
+  | Sink.Bool b -> string_of_bool b
+
+let args_obj args =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (escape k) (arg_value v)) args)
+  ^ "}"
+
+let metadata ~pid ~tid ~what ~value =
+  Printf.sprintf "{\"ph\": \"M\", \"pid\": %d, \"tid\": %d, \"name\": \"%s\", \"args\": {\"name\": \"%s\"}}"
+    pid tid what (escape value)
+
+let span_event (s : Sink.span) =
+  Printf.sprintf
+    "{\"ph\": \"X\", \"cat\": \"%s\", \"name\": \"%s\", \"pid\": %d, \"tid\": %d, \"ts\": %s, \
+     \"dur\": %s, \"args\": %s}"
+    (escape s.Sink.cat) (escape s.Sink.name) s.Sink.pid s.Sink.track (num s.Sink.t_us)
+    (num s.Sink.dur_us) (args_obj s.Sink.args)
+
+let counter_event (key, value) =
+  Printf.sprintf
+    "{\"ph\": \"C\", \"name\": \"%s\", \"pid\": %d, \"tid\": 0, \"ts\": 0, \"args\": {\"value\": %s}}"
+    (escape key) Sink.machine_pid (num value)
+
+let to_string sink =
+  let spans = Sink.spans sink in
+  let tracks =
+    List.sort_uniq compare (List.map (fun s -> (s.Sink.pid, s.Sink.track)) spans)
+  in
+  let track_name (pid, tid) =
+    if pid = Sink.machine_pid then Printf.sprintf "cpe %d" tid
+    else Printf.sprintf "domain %d" tid
+  in
+  let events =
+    metadata ~pid:Sink.machine_pid ~tid:0 ~what:"process_name"
+      ~value:"machine (simulated SW26010; ts in cycles)"
+    :: metadata ~pid:Sink.host_pid ~tid:0 ~what:"process_name"
+         ~value:"host (wall clock, us since sink creation)"
+    :: List.map
+         (fun (pid, tid) -> metadata ~pid ~tid ~what:"thread_name" ~value:(track_name (pid, tid)))
+         tracks
+    @ List.map counter_event (Sink.counters sink)
+    @ List.map span_event spans
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf ev)
+    events;
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"generator\": \"sw_obs\"}}\n";
+  Buffer.contents buf
+
+let write path sink =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (to_string sink))

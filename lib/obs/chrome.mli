@@ -1,0 +1,31 @@
+(** Chrome trace-event export: one sink, one [chrome://tracing] file.
+
+    The JSON Object Format of the Trace Event specification is emitted:
+    a ["traceEvents"] array of complete-duration events ([ph:"X"]) for
+    spans, counter events ([ph:"C"]) for the sink's monotonic counters,
+    and metadata events naming the tracks.  Load the file at
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Two clock domains share the file: {!Sink.machine_pid} tracks tick
+    in {e simulated cycles} (rendered as microseconds — 1 cycle reads
+    as 1 us, so span lengths are exact), {!Sink.host_pid} tracks in
+    real host microseconds since sink creation.  They are separate
+    processes in the viewer, so the mismatch never lines up visually.
+
+    Output is deterministic for deterministic sinks: spans appear in
+    record order, counters sorted by name, floats printed with a fixed
+    format.  An empty sink exports a valid, loadable file. *)
+
+val events_of_trace :
+  ?name:string -> Sw_sim.Trace.t -> Sink.span list
+(** Convert a simulator timeline into machine-track spans — one per
+    {!Sw_sim.Trace.span}, category ["compute"] / ["dma_stall"] /
+    ["gload_stall"], [track] = CPE id, timestamps in cycles.  [name]
+    (default ["run"]) labels the events.  Degenerate inputs (empty
+    lists, zero-length spans) convert cleanly. *)
+
+val to_string : Sink.t -> string
+(** The complete JSON document for [sink], ending in a newline. *)
+
+val write : string -> Sink.t -> unit
+(** [write path sink] saves {!to_string} to [path]. *)

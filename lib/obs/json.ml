@@ -1,0 +1,132 @@
+exception Bad of int * string
+
+let fail pos msg = raise (Bad (pos, msg))
+
+(* recursive-descent checker over the raw string; returns the position
+   after the parsed value *)
+let validate s =
+  let n = String.length s in
+  let peek i = if i < n then Some s.[i] else None in
+  let rec skip_ws i =
+    match peek i with
+    | Some (' ' | '\t' | '\n' | '\r') -> skip_ws (i + 1)
+    | _ -> i
+  in
+  let expect i c =
+    match peek i with
+    | Some x when x = c -> i + 1
+    | Some x -> fail i (Printf.sprintf "expected %C, got %C" c x)
+    | None -> fail i (Printf.sprintf "expected %C, got end of input" c)
+  in
+  let literal i word =
+    let l = String.length word in
+    if i + l <= n && String.sub s i l = word then i + l
+    else fail i ("expected " ^ word)
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec digits i =
+    match peek i with Some c when is_digit c -> digits (i + 1) | _ -> i
+  in
+  let number i =
+    let i = match peek i with Some '-' -> i + 1 | _ -> i in
+    let i =
+      match peek i with
+      | Some '0' -> i + 1
+      | Some c when is_digit c -> digits (i + 1)
+      | _ -> fail i "expected digit"
+    in
+    let i =
+      match peek i with
+      | Some '.' ->
+          let j = digits (i + 1) in
+          if j = i + 1 then fail j "expected digit after '.'" else j
+      | _ -> i
+    in
+    match peek i with
+    | Some ('e' | 'E') ->
+        let i = match peek (i + 1) with Some ('+' | '-') -> i + 2 | _ -> i + 1 in
+        let j = digits i in
+        if j = i then fail j "expected exponent digit" else j
+    | _ -> i
+  in
+  let string_ i =
+    let i = expect i '"' in
+    let rec body i =
+      match peek i with
+      | None -> fail i "unterminated string"
+      | Some '"' -> i + 1
+      | Some '\\' -> (
+          match peek (i + 1) with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> body (i + 2)
+          | Some 'u' ->
+              let hex j =
+                match peek j with
+                | Some c
+                  when is_digit c
+                       || (c >= 'a' && c <= 'f')
+                       || (c >= 'A' && c <= 'F') ->
+                    ()
+                | _ -> fail j "bad \\u escape"
+              in
+              hex (i + 2);
+              hex (i + 3);
+              hex (i + 4);
+              hex (i + 5);
+              body (i + 6)
+          | _ -> fail (i + 1) "bad escape")
+      | Some c when Char.code c < 0x20 -> fail i "raw control character in string"
+      | Some _ -> body (i + 1)
+    in
+    body i
+  in
+  let rec value i =
+    let i = skip_ws i in
+    match peek i with
+    | None -> fail i "expected a value"
+    | Some '{' -> obj (i + 1)
+    | Some '[' -> arr (i + 1)
+    | Some '"' -> string_ i
+    | Some 't' -> literal i "true"
+    | Some 'f' -> literal i "false"
+    | Some 'n' -> literal i "null"
+    | Some ('-' | '0' .. '9') -> number i
+    | Some c -> fail i (Printf.sprintf "unexpected %C" c)
+  and obj i =
+    let i = skip_ws i in
+    match peek i with
+    | Some '}' -> i + 1
+    | _ ->
+        let rec members i =
+          let i = skip_ws i in
+          let i = string_ i in
+          let i = expect (skip_ws i) ':' in
+          let i = skip_ws (value i) in
+          match peek i with
+          | Some ',' -> members (i + 1)
+          | Some '}' -> i + 1
+          | _ -> fail i "expected ',' or '}'"
+        in
+        members i
+  and arr i =
+    let i = skip_ws i in
+    match peek i with
+    | Some ']' -> i + 1
+    | _ ->
+        let rec elements i =
+          let i = skip_ws (value i) in
+          match peek i with
+          | Some ',' -> elements (i + 1)
+          | Some ']' -> i + 1
+          | _ -> fail i "expected ',' or ']'"
+        in
+        elements i
+  in
+  match skip_ws (value 0) with
+  | i when i = n -> Ok ()
+  | i -> Error (Printf.sprintf "trailing garbage at %d" i)
+  | exception Bad (pos, msg) -> Error (Printf.sprintf "%s at %d" msg pos)
+
+let validate_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> validate contents
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,15 @@
+(** A minimal JSON syntax checker (no external dependencies).
+
+    Trace files must load in [chrome://tracing]/Perfetto, whose first
+    failure mode is malformed JSON; {!validate} lets tests and the
+    bench harness prove an emitted file parses without shipping a full
+    JSON library.  It accepts exactly RFC 8259 syntax (objects, arrays,
+    strings with escapes, numbers, [true]/[false]/[null]) and rejects
+    trailing garbage. *)
+
+val validate : string -> (unit, string) result
+(** [Ok ()] if the whole string is one valid JSON value, otherwise
+    [Error msg] with a character position. *)
+
+val validate_file : string -> (unit, string) result
+(** {!validate} on a file's contents ([Error] if unreadable). *)

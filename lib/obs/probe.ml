@@ -1,0 +1,92 @@
+module Metrics = Sw_sim.Metrics
+module Trace = Sw_sim.Trace
+
+let record_run sink ~name (m : Metrics.t) trace =
+  List.iter (Sink.record sink) (Chrome.events_of_trace ~name trace);
+  Sink.incr sink "sim.runs";
+  Sink.add sink "sim.cycles" m.Metrics.cycles;
+  Sink.add sink "sim.transactions" (float_of_int m.Metrics.transactions);
+  Sink.add sink "sim.payload_bytes" (float_of_int m.Metrics.payload_bytes);
+  Sink.add sink "sim.dma_requests" (float_of_int m.Metrics.dma_requests);
+  Sink.add sink "sim.gload_requests" (float_of_int m.Metrics.gload_requests);
+  Sink.add sink "sim.mc_busy_cycles" (Array.fold_left ( +. ) 0.0 m.Metrics.mc_busy_cycles);
+  Sink.add sink "sim.comp_cycles_sum" m.Metrics.comp_cycles_sum
+
+let run_traced sink ~name config programs =
+  let t0 = Sink.now_us sink in
+  let m, trace = Sw_sim.Engine.run_traced config programs in
+  Sink.add sink "host.sim_wall_us" (Sink.now_us sink -. t0);
+  record_run sink ~name m trace;
+  (m, trace)
+
+(* ------------------------------------------------------------------ *)
+(* Reconciliation *)
+
+let eps = 1e-6
+
+let errorf fmt = Printf.ksprintf (fun msg -> Error msg) fmt
+
+let check_span_bounds (m : Metrics.t) trace =
+  let rec go = function
+    | [] -> Ok ()
+    | (s : Trace.span) :: rest ->
+        if s.Trace.t0 < -.eps then
+          errorf "cpe %d: span starts at %g, before 0" s.Trace.cpe s.Trace.t0
+        else if s.Trace.t1 < s.Trace.t0 -. eps then
+          errorf "cpe %d: span ends (%g) before it starts (%g)" s.Trace.cpe s.Trace.t1 s.Trace.t0
+        else if s.Trace.t1 > m.Metrics.cycles +. eps then
+          errorf "cpe %d: span ends at %g, after the %g makespan" s.Trace.cpe s.Trace.t1
+            m.Metrics.cycles
+        else go rest
+  in
+  go trace
+
+let check_no_overlap trace =
+  let n = Trace.n_cpes trace in
+  let by_cpe = Array.make n [] in
+  List.iter (fun (s : Trace.span) -> by_cpe.(s.Trace.cpe) <- s :: by_cpe.(s.Trace.cpe)) trace;
+  let result = ref (Ok ()) in
+  Array.iteri
+    (fun cpe spans ->
+      if Result.is_ok !result then
+        let sorted =
+          List.sort (fun (a : Trace.span) b -> Float.compare a.Trace.t0 b.Trace.t0) spans
+        in
+        let rec go = function
+          | (a : Trace.span) :: (b :: _ as rest) ->
+              if a.Trace.t1 > b.Trace.t0 +. eps then
+                result :=
+                  errorf "cpe %d: spans overlap ([%g,%g] then [%g,%g])" cpe a.Trace.t0 a.Trace.t1
+                    b.Trace.t0 b.Trace.t1
+              else go rest
+          | [] | [ _ ] -> ()
+        in
+        go sorted)
+    by_cpe;
+  !result
+
+let max_of arr = Array.fold_left Stdlib.max 0.0 arr
+
+let sum_of arr = Array.fold_left ( +. ) 0.0 arr
+
+let check_totals (m : Metrics.t) trace =
+  let against label expected actual =
+    if Float.abs (expected -. actual) <= eps then Ok ()
+    else errorf "%s: metrics say %g, trace sums to %g" label expected actual
+  in
+  let ( let* ) = Result.bind in
+  let comp = Trace.per_cpe_totals trace Trace.Compute in
+  let* () = against "comp_cycles (max per CPE)" m.Metrics.comp_cycles (max_of comp) in
+  let* () = against "comp_cycles_sum" m.Metrics.comp_cycles_sum (sum_of comp) in
+  let* () =
+    against "dma_wait_cycles (max per CPE)" m.Metrics.dma_wait_cycles
+      (max_of (Trace.per_cpe_totals trace Trace.Dma_stall))
+  in
+  against "gload_cycles (max per CPE)" m.Metrics.gload_cycles
+    (max_of (Trace.per_cpe_totals trace Trace.Gload_stall))
+
+let reconcile m trace =
+  let ( let* ) = Result.bind in
+  let* () = check_span_bounds m trace in
+  let* () = check_no_overlap trace in
+  check_totals m trace

@@ -1,0 +1,79 @@
+type arg = Int of int | Float of float | String of string | Bool of bool
+
+type span = {
+  cat : string;
+  name : string;
+  pid : int;
+  track : int;
+  t_us : float;
+  dur_us : float;
+  args : (string * arg) list;
+}
+
+let machine_pid = 0
+
+let host_pid = 1
+
+type t = {
+  lock : Mutex.t;
+  mutable rev_spans : span list;
+  mutable n_spans : int;
+  counters : (string, float) Hashtbl.t;
+  t0 : float;  (* host epoch at creation *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    rev_spans = [];
+    n_spans = 0;
+    counters = Hashtbl.create 16;
+    t0 = Unix.gettimeofday ();
+  }
+
+let now_us t = (Unix.gettimeofday () -. t.t0) *. 1e6
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record t span =
+  locked t (fun () ->
+      t.rev_spans <- span :: t.rev_spans;
+      t.n_spans <- t.n_spans + 1)
+
+let span_count t = locked t (fun () -> t.n_spans)
+
+let spans t = locked t (fun () -> List.rev t.rev_spans)
+
+let add t key v =
+  locked t (fun () ->
+      let cur = Option.value (Hashtbl.find_opt t.counters key) ~default:0.0 in
+      Hashtbl.replace t.counters key (cur +. v))
+
+let incr t ?(by = 1) key = add t key (float_of_int by)
+
+let counter t key =
+  locked t (fun () -> Option.value (Hashtbl.find_opt t.counters key) ~default:0.0)
+
+let counters t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let clear t =
+  locked t (fun () ->
+      t.rev_spans <- [];
+      t.n_spans <- 0;
+      Hashtbl.reset t.counters)
+
+let with_span t ?(pid = host_pid) ?track ~cat ?(args = []) name f =
+  let track =
+    match track with Some tr -> tr | None -> (Domain.self () :> int)
+  in
+  let start = now_us t in
+  Fun.protect
+    ~finally:(fun () ->
+      let stop = now_us t in
+      record t { cat; name; pid; track; t_us = start; dur_us = stop -. start; args })
+    f

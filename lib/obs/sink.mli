@@ -1,0 +1,78 @@
+(** Structured telemetry: typed spans and monotonic counters.
+
+    A {!t} ("sink") collects what the repository's components did and
+    how long it took — per-CPE machine activity from traced
+    simulations, per-verdict backend assessments, tuner search
+    progress — as a flat stream of {!span}s plus a set of named
+    monotonic counters.  {!Chrome} serializes a sink into a
+    [chrome://tracing]-loadable file; tests reconcile its counters
+    against the simulator's {!Sw_sim.Metrics.t}.
+
+    Sinks are thread-safe: every operation may be called concurrently
+    from {!Sw_util.Pool} domains.  Recording never changes what the
+    instrumented code computes — a sink only observes. *)
+
+(** Typed span/counter argument (becomes a Chrome [args] entry). *)
+type arg = Int of int | Float of float | String of string | Bool of bool
+
+type span = {
+  cat : string;  (** Category, e.g. ["compute"], ["backend"], ["tuner"]. *)
+  name : string;  (** Event label, e.g. ["sim:kmeans"]. *)
+  pid : int;  (** Track group: {!machine_pid} or {!host_pid}. *)
+  track : int;  (** Row within the group: CPE id or host domain id. *)
+  t_us : float;
+      (** Start time.  Machine spans use simulated cycles verbatim
+          (1 cycle rendered as 1 us); host spans use {!now_us}. *)
+  dur_us : float;  (** Duration, same unit as [t_us]. *)
+  args : (string * arg) list;
+}
+
+val machine_pid : int
+(** Track group 0: simulated SW26010 time, in cycles. *)
+
+val host_pid : int
+(** Track group 1: host wall-clock, microseconds since sink creation. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, empty sink.  Its host clock starts at 0 now. *)
+
+val now_us : t -> float
+(** Host microseconds elapsed since [create]. *)
+
+val record : t -> span -> unit
+
+val span_count : t -> int
+
+val spans : t -> span list
+(** In record order. *)
+
+val incr : t -> ?by:int -> string -> unit
+(** Bump a named monotonic counter (created at 0 on first touch). *)
+
+val add : t -> string -> float -> unit
+(** Accumulate into a named monotonic counter. *)
+
+val counter : t -> string -> float
+(** Current value ([0.] if never touched). *)
+
+val counters : t -> (string * float) list
+(** All counters, sorted by name (deterministic). *)
+
+val clear : t -> unit
+(** Drop all spans and counters. *)
+
+val with_span :
+  t ->
+  ?pid:int ->
+  ?track:int ->
+  cat:string ->
+  ?args:(string * arg) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span t ~cat name f] times [f ()] on the host clock and
+    records one span around it — also when [f] raises.  [pid] defaults
+    to {!host_pid}, [track] to the calling domain's id (so pooled work
+    is attributed to the domain that ran it). *)

@@ -7,6 +7,15 @@ type t = span list
 let total spans kind =
   List.fold_left (fun acc s -> if s.kind = kind then acc +. (s.t1 -. s.t0) else acc) 0.0 spans
 
+let n_cpes spans = List.fold_left (fun acc s -> Stdlib.max acc (s.cpe + 1)) 0 spans
+
+let per_cpe_totals spans kind =
+  let totals = Array.make (n_cpes spans) 0.0 in
+  List.iter
+    (fun s -> if s.kind = kind then totals.(s.cpe) <- totals.(s.cpe) +. (s.t1 -. s.t0))
+    spans;
+  totals
+
 let busy_fraction spans ~cpe ~makespan =
   if makespan <= 0.0 then 0.0
   else
@@ -16,13 +25,19 @@ let busy_fraction spans ~cpe ~makespan =
 let glyph = function Compute -> 'C' | Dma_stall -> 'D' | Gload_stall -> 'g'
 
 let render ?(width = 72) ?(max_cpes = 16) ~makespan spans =
-  if makespan <= 0.0 then "(empty trace)\n"
+  if makespan <= 0.0 || (not (Float.is_finite makespan)) || spans = [] then "(empty trace)\n"
   else begin
-    let n_cpes =
-      List.fold_left (fun acc s -> Stdlib.max acc (s.cpe + 1)) 0 spans |> Stdlib.min max_cpes
-    in
+    let n_cpes = Stdlib.min (n_cpes spans) max_cpes in
     let rows = Array.init n_cpes (fun _ -> Bytes.make width '.') in
-    let col t = Stdlib.min (width - 1) (int_of_float (t /. makespan *. float_of_int width)) in
+    (* clamp before truncating: a near-zero makespan (or a span that
+       overshoots it) must land on a valid column, not overflow
+       int_of_float *)
+    let col t =
+      let frac = t /. makespan in
+      if Float.is_nan frac || frac <= 0.0 then 0
+      else if frac >= 1.0 then width - 1
+      else Stdlib.min (width - 1) (int_of_float (frac *. float_of_int width))
+    in
     List.iter
       (fun s ->
         if s.cpe < n_cpes then begin

@@ -19,10 +19,24 @@ type t = span list
 val total : t -> kind -> float
 (** Summed duration of one activity across all CPEs. *)
 
+val n_cpes : t -> int
+(** [1 + ] the largest CPE index appearing in the trace; [0] for an
+    empty trace. *)
+
+val per_cpe_totals : t -> kind -> float array
+(** Summed duration of one activity per CPE, indexed by CPE id
+    (length {!n_cpes}).  [max] over the array reconciles with the
+    corresponding {!Metrics.t} aggregate ([comp_cycles],
+    [dma_wait_cycles], [gload_cycles]); the sum of the [Compute] array
+    is [comp_cycles_sum]. *)
+
 val busy_fraction : t -> cpe:int -> makespan:float -> float
 (** Fraction of the makespan this CPE spent in any recorded span. *)
 
 val render : ?width:int -> ?max_cpes:int -> makespan:float -> t -> string
 (** ASCII timeline: ['C'] compute, ['D'] DMA stall, ['g'] Gload stall,
     ['.'] idle/other.  [width] defaults to 72 columns, [max_cpes] to 16
-    rows. *)
+    rows.  Degenerate inputs return cleanly: an empty span list, a
+    zero, negative or non-finite makespan all yield ["(empty trace)\n"]
+    instead of dividing by zero, and span endpoints outside
+    [[0, makespan]] are clamped to the row. *)

@@ -19,8 +19,16 @@ type outcome = {
   infeasible : int;
 }
 
-let tune ~backend ?(active_cpes = 64) ?default ?pool (config : Sw_sim.Config.t) kernel ~points =
+let tune ~backend ?(active_cpes = 64) ?default ?pool ?obs (config : Sw_sim.Config.t) kernel
+    ~points =
   let params = config.Sw_sim.Config.params in
+  (* Observability never steers the search: [instrument] wraps the
+     backend with pure recording, so verdicts — and hence the argmin —
+     are byte-identical with and without [obs]. *)
+  let backend =
+    match obs with Some sink -> Backend.instrument sink backend | None -> backend
+  in
+  let span_t0 = Option.map (fun sink -> Sw_obs.Sink.now_us sink) obs in
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
   (* Assessing one point is pure up to the backend's internal
@@ -47,6 +55,31 @@ let tune ~backend ?(active_cpes = 64) ?default ?pool (config : Sw_sim.Config.t) 
   let machine_time_us =
     List.fold_left (fun acc (_, v) -> acc +. v.Backend.cost.Backend.machine_us) 0.0 scored
   in
+  (match (obs, span_t0) with
+  | Some sink, Some t0 ->
+      Sw_obs.Sink.incr sink "tuner.searches";
+      Sw_obs.Sink.incr sink ~by:(List.length points) "tuner.points";
+      Sw_obs.Sink.incr sink ~by:evaluated "tuner.evaluated";
+      Sw_obs.Sink.incr sink ~by:infeasible "tuner.infeasible";
+      Sw_obs.Sink.add sink "tuner.machine_us" machine_time_us;
+      Sw_obs.Sink.record sink
+        {
+          Sw_obs.Sink.cat = "tuner";
+          name = Printf.sprintf "tune:%s" kernel.Sw_swacc.Kernel.name;
+          pid = Sw_obs.Sink.host_pid;
+          track = (Domain.self () :> int);
+          t_us = t0;
+          dur_us = Sw_obs.Sink.now_us sink -. t0;
+          args =
+            [
+              ("backend", Sw_obs.Sink.String (Backend.name backend));
+              ("points", Sw_obs.Sink.Int (List.length points));
+              ("evaluated", Sw_obs.Sink.Int evaluated);
+              ("infeasible", Sw_obs.Sink.Int infeasible);
+              ("machine_us", Sw_obs.Sink.Float machine_time_us);
+            ];
+        }
+  | _ -> ());
   match scored with
   | [] ->
       let detail =
@@ -93,13 +126,14 @@ let tune ~backend ?(active_cpes = 64) ?default ?pool (config : Sw_sim.Config.t) 
           infeasible;
         }
 
-let tune_exn ~backend ?active_cpes ?default ?pool config kernel ~points =
-  match tune ~backend ?active_cpes ?default ?pool config kernel ~points with
+let tune_exn ~backend ?active_cpes ?default ?pool ?obs config kernel ~points =
+  match tune ~backend ?active_cpes ?default ?pool ?obs config kernel ~points with
   | Ok o -> o
   | Error (`No_feasible_point msg) -> invalid_arg ("Tuner.tune: " ^ msg)
 
-let tune_method ~method_ ?active_cpes ?default ?pool config kernel ~points =
-  tune ~backend:(backend_of_method method_) ?active_cpes ?default ?pool config kernel ~points
+let tune_method ~method_ ?active_cpes ?default ?pool ?obs config kernel ~points =
+  tune ~backend:(backend_of_method method_) ?active_cpes ?default ?pool ?obs config kernel
+    ~points
 
 let quality_loss ~static ~empirical =
   (static.best_cycles -. empirical.best_cycles) /. empirical.best_cycles

@@ -57,6 +57,7 @@ val tune :
   ?active_cpes:int ->
   ?default:Sw_swacc.Kernel.variant ->
   ?pool:Sw_util.Pool.t ->
+  ?obs:Sw_obs.Sink.t ->
   Sw_sim.Config.t ->
   Sw_swacc.Kernel.t ->
   points:Space.point list ->
@@ -71,13 +72,23 @@ val tune :
     The argmin is order-independent (strict improvement only, ties
     broken by enumeration index), so [best], [best_cycles], [evaluated]
     and [infeasible] are identical to the sequential search for any
-    pool size. *)
+    pool size.
+
+    When [obs] is given, the search is telemetered into that sink —
+    the backend is wrapped with {!Sw_backend.Backend.instrument} (one
+    host span per variant assessment, attributed to the pool domain
+    that ran it), one ["tuner"] span covers the whole search, and the
+    ["tuner.searches"/"tuner.points"/"tuner.evaluated"/
+    "tuner.infeasible"/"tuner.machine_us"] counters accumulate search
+    progress.  Tracing is purely an observer: the outcome is
+    bit-identical with and without [obs], at any pool size. *)
 
 val tune_exn :
   backend:Sw_backend.Backend.t ->
   ?active_cpes:int ->
   ?default:Sw_swacc.Kernel.variant ->
   ?pool:Sw_util.Pool.t ->
+  ?obs:Sw_obs.Sink.t ->
   Sw_sim.Config.t ->
   Sw_swacc.Kernel.t ->
   points:Space.point list ->
@@ -89,6 +100,7 @@ val tune_method :
   ?active_cpes:int ->
   ?default:Sw_swacc.Kernel.variant ->
   ?pool:Sw_util.Pool.t ->
+  ?obs:Sw_obs.Sink.t ->
   Sw_sim.Config.t ->
   Sw_swacc.Kernel.t ->
   points:Space.point list ->

@@ -1,0 +1,138 @@
+(* Golden-file regression tests for the observability surfaces: the
+   ASCII timeline and the Chrome-trace JSON of a fixed-seed Figure 4
+   run (8 CPEs, to keep the files small) and of one Table II kernel
+   (kmeans at scale 0.25, default variant).
+
+   Machine-clock events derive purely from the seeded simulator, so the
+   outputs are byte-stable; the only volatile content is the host-clock
+   "host.*" counter family, whose values the comparison zeroes before
+   diffing.  Regenerate with:
+
+     SWPM_WRITE_GOLDEN=$PWD/test/golden dune runtest --force *)
+
+open Sw_obs
+
+(* dune runtest runs the binary in _build/default/test (goldens staged
+   as "golden/" by the dune deps glob); dune exec from the project root
+   sees them at "test/golden". *)
+let golden_dir = if Sys.file_exists "golden" then "golden" else Filename.concat "test" "golden"
+
+let write_dir = Sys.getenv_opt "SWPM_WRITE_GOLDEN"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let contains line needle =
+  let nh = String.length line and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub line i nn = needle || go (i + 1)) in
+  go 0
+
+(* Zero the value of every host-clock counter event, the one field that
+   depends on wall time.  Events are one per line, so this is a simple
+   line rewrite. *)
+let normalize json =
+  String.split_on_char '\n' json
+  |> List.map (fun line ->
+         if contains line "\"name\": \"host." && contains line "{\"value\": " then
+           let i =
+             let marker = "{\"value\": " in
+             let rec find j =
+               if j + String.length marker > String.length line then raise Not_found
+               else if String.sub line j (String.length marker) = marker then
+                 j + String.length marker
+               else find (j + 1)
+             in
+             find 0
+           in
+           let j = String.index_from line i '}' in
+           String.sub line 0 i ^ "0" ^ String.sub line j (String.length line - j)
+         else line)
+  |> String.concat "\n"
+
+let check_golden ~file actual =
+  (match write_dir with
+  | Some dir -> write_file (Filename.concat dir file) actual
+  | None -> ());
+  let path = Filename.concat golden_dir file in
+  if not (Sys.file_exists path) then
+    Alcotest.failf "missing golden %s (regenerate with SWPM_WRITE_GOLDEN)" path;
+  let expected = read_file path in
+  if String.equal expected actual then ()
+  else
+    let show s =
+      Printf.sprintf "%d bytes, first divergence at byte %d"
+        (String.length s)
+        (let n = min (String.length s) (String.length expected) in
+         let rec go i = if i < n && s.[i] = expected.[i] then go (i + 1) else i in
+         go 0)
+    in
+    Alcotest.failf "%s drifted from its golden (%s)" file (show actual)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4, compute-bound scenario at 8 CPEs *)
+
+let fig4_outputs =
+  lazy
+    (let sink = Sink.create () in
+     let r = Sw_experiments.Fig4_timeline.run_compute_bound ~active_cpes:8 ~obs:sink () in
+     (r.Sw_experiments.Fig4_timeline.timeline, normalize (Chrome.to_string sink)))
+
+let test_fig4_timeline_golden () =
+  let timeline, _ = Lazy.force fig4_outputs in
+  check_golden ~file:"fig4_compute_timeline.txt" timeline
+
+let test_fig4_trace_golden () =
+  let _, json = Lazy.force fig4_outputs in
+  (match Json.validate json with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "normalized trace is invalid JSON: %s" msg);
+  check_golden ~file:"fig4_compute_trace.json" json
+
+(* ------------------------------------------------------------------ *)
+(* Table II kernel: kmeans, default variant, scale 0.25 *)
+
+let kmeans_outputs =
+  lazy
+    (let p = Sw_arch.Params.default in
+     let config = Sw_sim.Config.default p in
+     let e = Sw_workloads.Registry.find_exn "kmeans" in
+     let kernel = e.Sw_workloads.Registry.build ~scale:0.25 in
+     let lowered = Sw_swacc.Lower.lower_exn p kernel e.Sw_workloads.Registry.variant in
+     let sink = Sink.create () in
+     let m, trace =
+       Probe.run_traced sink ~name:"kmeans" config lowered.Sw_swacc.Lowered.programs
+     in
+     (match Probe.reconcile m trace with
+     | Ok () -> ()
+     | Error msg -> Alcotest.failf "kmeans trace does not reconcile: %s" msg);
+     let timeline =
+       Sw_sim.Trace.render ~width:72 ~max_cpes:8 ~makespan:m.Sw_sim.Metrics.cycles trace
+     in
+     (timeline, normalize (Chrome.to_string sink)))
+
+let test_kmeans_timeline_golden () =
+  let timeline, _ = Lazy.force kmeans_outputs in
+  check_golden ~file:"kmeans_timeline.txt" timeline
+
+let test_kmeans_trace_golden () =
+  let _, json = Lazy.force kmeans_outputs in
+  (match Json.validate json with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "normalized trace is invalid JSON: %s" msg);
+  check_golden ~file:"kmeans_trace.json" json
+
+let tests =
+  ( "golden",
+    [
+      Alcotest.test_case "fig4 timeline matches golden" `Quick test_fig4_timeline_golden;
+      Alcotest.test_case "fig4 chrome trace matches golden" `Quick test_fig4_trace_golden;
+      Alcotest.test_case "kmeans timeline matches golden" `Quick test_kmeans_timeline_golden;
+      Alcotest.test_case "kmeans chrome trace matches golden" `Quick test_kmeans_trace_golden;
+    ] )

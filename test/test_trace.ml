@@ -70,6 +70,42 @@ let test_render () =
 let test_render_empty () =
   Alcotest.(check string) "empty trace" "(empty trace)\n" (Trace.render ~makespan:0.0 [])
 
+let test_render_degenerate () =
+  let spans = [ { Trace.cpe = 0; kind = Trace.Compute; t0 = 0.0; t1 = 400.0 } ] in
+  Alcotest.(check string) "empty spans, positive makespan" "(empty trace)\n"
+    (Trace.render ~makespan:1000.0 []);
+  List.iter
+    (fun makespan ->
+      Alcotest.(check string)
+        (Printf.sprintf "non-renderable makespan %f" makespan)
+        "(empty trace)\n"
+        (Trace.render ~makespan spans))
+    [ 0.0; -5.0; Float.nan; Float.infinity ]
+
+let test_render_near_zero_makespan () =
+  (* a makespan of 1e-300 must not overflow int_of_float in column math *)
+  let spans = [ { Trace.cpe = 0; kind = Trace.Compute; t0 = 0.0; t1 = 1e-300 } ] in
+  let s = Trace.render ~width:20 ~makespan:1e-300 spans in
+  Alcotest.(check bool) "renders something" true (String.length s > 0);
+  Alcotest.(check bool) "compute cell present" true (String.contains s 'C')
+
+let test_n_cpes_and_per_cpe_totals () =
+  Alcotest.(check int) "empty trace has no cpes" 0 (Trace.n_cpes []);
+  let spans =
+    [
+      { Trace.cpe = 0; kind = Trace.Compute; t0 = 0.0; t1 = 10.0 };
+      { Trace.cpe = 0; kind = Trace.Compute; t0 = 20.0; t1 = 25.0 };
+      { Trace.cpe = 2; kind = Trace.Dma_stall; t0 = 5.0; t1 = 9.0 };
+    ]
+  in
+  Alcotest.(check int) "indexed by largest cpe" 3 (Trace.n_cpes spans);
+  let comp = Trace.per_cpe_totals spans Trace.Compute in
+  Alcotest.(check int) "array length = n_cpes" 3 (Array.length comp);
+  Alcotest.(check (float 1e-9)) "cpe 0 compute" 15.0 comp.(0);
+  Alcotest.(check (float 1e-9)) "cpe 1 idle" 0.0 comp.(1);
+  let dma = Trace.per_cpe_totals spans Trace.Dma_stall in
+  Alcotest.(check (float 1e-9)) "cpe 2 dma" 4.0 dma.(2)
+
 let test_busy_fraction () =
   let block = [| fadd 1 [ 1; 0 ] |] in
   let m, t = traced [| Program.Compute { block; trips = 100 } |] in
@@ -87,5 +123,8 @@ let tests =
       Alcotest.test_case "tracing does not change timing" `Quick test_run_and_run_traced_agree;
       Alcotest.test_case "render" `Quick test_render;
       Alcotest.test_case "render empty" `Quick test_render_empty;
+      Alcotest.test_case "render degenerate inputs" `Quick test_render_degenerate;
+      Alcotest.test_case "render near-zero makespan" `Quick test_render_near_zero_makespan;
+      Alcotest.test_case "n_cpes and per-cpe totals" `Quick test_n_cpes_and_per_cpe_totals;
       Alcotest.test_case "busy fraction" `Quick test_busy_fraction;
     ] )

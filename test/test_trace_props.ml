@@ -1,0 +1,110 @@
+(* qcheck properties of Engine.run_traced timelines: across random
+   kernels, variants and CPE counts, per-CPE spans never overlap, every
+   span lies inside [0, makespan], per-kind totals reconcile with the
+   Metrics.t aggregates, and rendering/exporting never crashes. *)
+
+open Sw_sim
+
+let p = Sw_arch.Params.default
+
+let config = Config.default p
+
+let eps = 1e-6
+
+(* A random (kernel, variant) pair drawn from the registry's own search
+   spaces, restricted to feasible lowerings. *)
+let arb_case =
+  let gen =
+    QCheck.Gen.(
+      let* ei = int_range 0 (List.length Sw_workloads.Registry.all - 1) in
+      let e = List.nth Sw_workloads.Registry.all ei in
+      let* grain = oneofl e.Sw_workloads.Registry.grains in
+      let* unroll = oneofl e.Sw_workloads.Registry.unrolls in
+      let* active_cpes = oneofl [ 8; 16; 32; 64 ] in
+      let* double_buffer = bool in
+      return (e.Sw_workloads.Registry.name, grain, unroll, active_cpes, double_buffer))
+  in
+  let print (name, grain, unroll, cpes, db) =
+    Printf.sprintf "%s grain=%d unroll=%d cpes=%d db=%b" name grain unroll cpes db
+  in
+  QCheck.make ~print gen
+
+let traced (name, grain, unroll, active_cpes, double_buffer) =
+  let e = Sw_workloads.Registry.find_exn name in
+  let kernel = e.Sw_workloads.Registry.build ~scale:0.25 in
+  let v = { Sw_swacc.Kernel.grain; unroll; active_cpes; double_buffer } in
+  match Sw_swacc.Lower.lower p kernel v with
+  | Error _ -> None
+  | Ok lowered -> Some (Engine.run_traced config lowered.Sw_swacc.Lowered.programs)
+
+let on_traced case f = match traced case with None -> true | Some (m, trace) -> f m trace
+
+let prop_spans_within_makespan =
+  QCheck.Test.make ~name:"every span lies within [0, makespan]" ~count:30 arb_case (fun case ->
+      on_traced case (fun m trace ->
+          List.for_all
+            (fun s ->
+              s.Trace.t0 >= -.eps
+              && s.Trace.t1 >= s.Trace.t0
+              && s.Trace.t1 <= m.Metrics.cycles +. eps)
+            trace))
+
+let prop_per_cpe_no_overlap =
+  QCheck.Test.make ~name:"per-CPE spans never overlap" ~count:30 arb_case (fun case ->
+      on_traced case (fun _ trace ->
+          let by_cpe = Hashtbl.create 64 in
+          List.iter
+            (fun s ->
+              let l = try Hashtbl.find by_cpe s.Trace.cpe with Not_found -> [] in
+              Hashtbl.replace by_cpe s.Trace.cpe (s :: l))
+            trace;
+          Hashtbl.fold
+            (fun _ spans ok ->
+              ok
+              &&
+              let sorted =
+                List.sort (fun a b -> Float.compare a.Trace.t0 b.Trace.t0) spans
+              in
+              let rec disjoint = function
+                | a :: (b :: _ as rest) ->
+                    a.Trace.t1 <= b.Trace.t0 +. eps && disjoint rest
+                | _ -> true
+              in
+              disjoint sorted)
+            by_cpe true))
+
+let prop_totals_reconcile_with_metrics =
+  QCheck.Test.make ~name:"trace totals equal Metrics aggregates" ~count:30 arb_case (fun case ->
+      on_traced case (fun m trace ->
+          let max_of a = Array.fold_left Float.max 0.0 a in
+          let sum_of a = Array.fold_left ( +. ) 0.0 a in
+          let close x y = Float.abs (x -. y) <= eps in
+          let comp = Trace.per_cpe_totals trace Trace.Compute in
+          let dma = Trace.per_cpe_totals trace Trace.Dma_stall in
+          let gload = Trace.per_cpe_totals trace Trace.Gload_stall in
+          close (max_of comp) m.Metrics.comp_cycles
+          && close (max_of dma) m.Metrics.dma_wait_cycles
+          && close (max_of gload) m.Metrics.gload_cycles
+          && close (sum_of comp) m.Metrics.comp_cycles_sum
+          && close (Trace.total trace Trace.Compute) m.Metrics.comp_cycles_sum))
+
+let prop_render_and_export_total =
+  QCheck.Test.make ~name:"render and Chrome export never fail" ~count:20 arb_case (fun case ->
+      on_traced case (fun m trace ->
+          let ascii = Trace.render ~makespan:m.Metrics.cycles trace in
+          let sink = Sw_obs.Sink.create () in
+          Sw_obs.Probe.record_run sink ~name:"prop" m trace;
+          String.length ascii > 0
+          && (match Sw_obs.Json.validate (Sw_obs.Chrome.to_string sink) with
+             | Ok () -> true
+             | Error _ -> false)
+          && Result.is_ok (Sw_obs.Probe.reconcile m trace)))
+
+let tests =
+  ( "trace-props",
+    [
+      QCheck_alcotest.to_alcotest prop_spans_within_makespan;
+      QCheck_alcotest.to_alcotest prop_per_cpe_no_overlap;
+      QCheck_alcotest.to_alcotest prop_totals_reconcile_with_metrics;
+      QCheck_alcotest.to_alcotest prop_render_and_export_total;
+    ] )
