@@ -204,6 +204,137 @@ let parallel () =
                 rows) );
        ])
 
+(* The Table II empirical sweep under each search strategy: exhaustive
+   (every point simulated) vs model-guided shortlist (rank with the
+   static model, simulate only the top quarter) vs successive halving.
+   All strategies share the guideline default so speedups and picks are
+   comparable; caches are cleared before every timed run.  Gates: the
+   shortlist must return the exhaustive argmin on every kernel, and cut
+   total simulated machine time by at least 3x. *)
+let prune () =
+  section "Prune: Table II empirical sweep under each search strategy";
+  let pool = Lazy.force pool in
+  let params = Sw_arch.Params.default in
+  let config = Sw_sim.Config.default params in
+  let t =
+    Sw_util.Table.create ~title:"empirical search: exhaustive vs pruned strategies"
+      [
+        ("kernel", Sw_util.Table.Left);
+        ("strategy", Sw_util.Table.Left);
+        ("host", Sw_util.Table.Right);
+        ("machine_us", Sw_util.Table.Right);
+        ("assessed", Sw_util.Table.Right);
+        ("pruned", Sw_util.Table.Right);
+        ("best", Sw_util.Table.Left);
+        ("same pick", Sw_util.Table.Left);
+      ]
+  in
+  let totals : (string, float * float) Hashtbl.t = Hashtbl.create 4 in
+  let shortlist_same = ref true in
+  let rows =
+    List.concat_map
+      (fun (entry : Sw_workloads.Registry.entry) ->
+        let kernel = entry.Sw_workloads.Registry.build ~scale:1.0 in
+        let points =
+          Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
+            ~unrolls:entry.Sw_workloads.Registry.unrolls ()
+        in
+        let default =
+          Sw_experiments.Table2.guideline_default params kernel
+            ~grains:entry.Sw_workloads.Registry.grains
+        in
+        let k = Stdlib.max 1 (List.length points / 4) in
+        let strategies =
+          [
+            ("exhaustive", Sw_tuning.Search.exhaustive);
+            ("shortlist", Sw_tuning.Search.shortlist ~k ());
+            ("halving", Sw_tuning.Search.successive_halving ~rungs:3);
+          ]
+        in
+        let exhaustive_best = ref None in
+        List.map
+          (fun (sname, strategy) ->
+            Sw_isa.Schedule.clear_cache ();
+            Sw_swacc.Lower.clear_cache ();
+            let o =
+              Sw_tuning.Tuner.tune_exn ~backend:Sw_backend.Backend.simulator ~strategy ~default
+                ~pool config kernel ~points
+            in
+            if sname = "exhaustive" then exhaustive_best := Some o.Sw_tuning.Tuner.best;
+            let same =
+              match !exhaustive_best with
+              | Some b -> b = o.Sw_tuning.Tuner.best
+              | None -> true
+            in
+            if sname = "shortlist" && not same then shortlist_same := false;
+            let host_s, us = Option.value (Hashtbl.find_opt totals sname) ~default:(0.0, 0.0) in
+            Hashtbl.replace totals sname
+              (host_s +. o.Sw_tuning.Tuner.tuning_host_s, us +. o.Sw_tuning.Tuner.machine_time_us);
+            let best = o.Sw_tuning.Tuner.best in
+            Sw_util.Table.add_row t
+              [
+                entry.name;
+                sname;
+                Printf.sprintf "%.3fs" o.Sw_tuning.Tuner.tuning_host_s;
+                Printf.sprintf "%.0f" o.Sw_tuning.Tuner.machine_time_us;
+                string_of_int o.Sw_tuning.Tuner.evaluated;
+                string_of_int o.Sw_tuning.Tuner.points_pruned;
+                Printf.sprintf "g%d u%d%s" best.Sw_swacc.Kernel.grain best.Sw_swacc.Kernel.unroll
+                  (if best.Sw_swacc.Kernel.double_buffer then " db" else "");
+                (if same then "yes" else "NO");
+              ];
+            (entry.name, sname, o, same))
+          strategies)
+      Sw_workloads.Registry.tuning_subset
+  in
+  Sw_util.Table.print t;
+  let total name = Option.value (Hashtbl.find_opt totals name) ~default:(0.0, 0.0) in
+  let ex_host, ex_us = total "exhaustive" in
+  let sl_host, sl_us = total "shortlist" in
+  let ha_host, ha_us = total "halving" in
+  let reduction us = ex_us /. Stdlib.max 1e-9 us in
+  Printf.printf
+    "total: exhaustive %.3fs host / %.0f us machine; shortlist %.3fs / %.0f us (%.1fx less \
+     machine time); halving %.3fs / %.0f us (%.1fx)\n"
+    ex_host ex_us sl_host sl_us (reduction sl_us) ha_host ha_us (reduction ha_us);
+  let shortlist_3x = reduction sl_us >= 3.0 in
+  if not !shortlist_same then
+    Printf.printf "GATE FAILED: shortlist changed the argmin on some kernel\n";
+  if not shortlist_3x then
+    Printf.printf "GATE FAILED: shortlist machine-time reduction %.2fx < 3x\n" (reduction sl_us);
+  add_json "prune"
+    (json_obj
+       [
+         ("exhaustive_host_s", json_float ex_host);
+         ("exhaustive_machine_us", json_float ex_us);
+         ("shortlist_host_s", json_float sl_host);
+         ("shortlist_machine_us", json_float sl_us);
+         ("shortlist_machine_reduction", json_float (reduction sl_us));
+         ("halving_host_s", json_float ha_host);
+         ("halving_machine_us", json_float ha_us);
+         ("halving_machine_reduction", json_float (reduction ha_us));
+         ("shortlist_same_pick", string_of_bool !shortlist_same);
+         ( "rows",
+           json_list
+             (List.map
+                (fun (kernel, sname, (o : Sw_tuning.Tuner.outcome), same) ->
+                  json_obj
+                    [
+                      ("kernel", Printf.sprintf "%S" kernel);
+                      ("strategy", Printf.sprintf "%S" sname);
+                      ("host_s", json_float o.Sw_tuning.Tuner.tuning_host_s);
+                      ("machine_us", json_float o.Sw_tuning.Tuner.machine_time_us);
+                      ("evaluated", string_of_int o.Sw_tuning.Tuner.evaluated);
+                      ("infeasible", string_of_int o.Sw_tuning.Tuner.infeasible);
+                      ("pruned", string_of_int o.Sw_tuning.Tuner.points_pruned);
+                      ("best_cycles", json_float o.Sw_tuning.Tuner.best_cycles);
+                      ("speedup", json_float o.Sw_tuning.Tuner.speedup);
+                      ("same_pick_as_exhaustive", string_of_bool same);
+                    ])
+                rows) );
+       ]);
+  if not (!shortlist_same && shortlist_3x) then exit 1
+
 (* The Table II search priced by every registered cost backend, with
    per-backend tuning-cost accounting (host seconds and simulated
    machine time).  The sim row is the quality yardstick. *)
@@ -420,6 +551,7 @@ let all =
     ("fig9", fig9_10);
     ("table2", table2);
     ("parallel", parallel);
+    ("prune", prune);
     ("backends", backends);
     ("obs", obs);
     ("fig4", fig4);

@@ -166,8 +166,57 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Simulate a kernel and compare against the model.")
     Term.(const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg)
 
+let strategy_arg =
+  let doc =
+    "Search strategy: $(b,exhaustive) (assess every point), $(b,shortlist) (rank the space \
+     with the static model, assess only the top $(b,--shortlist) points) or $(b,halving) \
+     (successive halving over event budgets).  Pruned strategies cut tuning cost; the shortlist \
+     returns the exhaustive argmin whenever the model ranks the true best into the top K."
+  in
+  Arg.(value & opt string "exhaustive" & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let shortlist_arg =
+  let doc = "Shortlist size K for --strategy shortlist (0 = a quarter of the space)." in
+  Arg.(value & opt int 0 & info [ "shortlist" ] ~docv:"K" ~doc)
+
+let rungs_arg =
+  let doc = "Number of budget rungs for --strategy halving." in
+  Arg.(value & opt int 3 & info [ "rungs" ] ~docv:"N" ~doc)
+
+let json_arg =
+  let doc = "Print the outcome as a JSON object instead of the human summary." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let strategy_of name ~shortlist_k ~rungs ~n_points =
+  match name with
+  | "exhaustive" -> Sw_tuning.Search.exhaustive
+  | "shortlist" ->
+      let k = if shortlist_k > 0 then shortlist_k else Stdlib.max 1 (n_points / 4) in
+      Sw_tuning.Search.shortlist ~k ()
+  | "halving" | "successive-halving" -> Sw_tuning.Search.successive_halving ~rungs
+  | s ->
+      Printf.eprintf "swmodel: unknown strategy %S (available: exhaustive, shortlist, halving)\n"
+        s;
+      exit 1
+
+let json_outcome (o : Sw_tuning.Tuner.outcome) =
+  let b = o.Sw_tuning.Tuner.best in
+  Printf.sprintf
+    "{\"backend\": %S, \"strategy\": %S, \"best\": {\"grain\": %d, \"unroll\": %d, \
+     \"active_cpes\": %d, \"double_buffer\": %b}, \"best_cycles\": %.6g, \"default_cycles\": \
+     %.6g, \"speedup\": %.6g, \"tuning_host_s\": %.6g, \"tuning_cpu_s\": %.6g, \
+     \"machine_time_us\": %.6g, \"evaluated\": %d, \"infeasible\": %d, \"pruned\": %d, \
+     \"rank_host_s\": %.6g, \"rank_machine_us\": %.6g}"
+    o.Sw_tuning.Tuner.backend o.Sw_tuning.Tuner.strategy b.Sw_swacc.Kernel.grain
+    b.Sw_swacc.Kernel.unroll b.Sw_swacc.Kernel.active_cpes b.Sw_swacc.Kernel.double_buffer
+    o.Sw_tuning.Tuner.best_cycles o.Sw_tuning.Tuner.default_cycles o.Sw_tuning.Tuner.speedup
+    o.Sw_tuning.Tuner.tuning_host_s o.Sw_tuning.Tuner.tuning_cpu_s
+    o.Sw_tuning.Tuner.machine_time_us o.Sw_tuning.Tuner.evaluated o.Sw_tuning.Tuner.infeasible
+    o.Sw_tuning.Tuner.points_pruned o.Sw_tuning.Tuner.rank_host_s
+    o.Sw_tuning.Tuner.rank_machine_us
+
 let tune_cmd =
-  let run name scale backend_name domains trace =
+  let run name scale backend_name strategy_name shortlist_k rungs json domains trace =
     let entry = Sw_workloads.Registry.find_exn name in
     let params = Sw_arch.Params.default in
     let config = Sw_sim.Config.default params in
@@ -176,13 +225,18 @@ let tune_cmd =
       Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
         ~unrolls:entry.Sw_workloads.Registry.unrolls ()
     in
+    let strategy =
+      strategy_of strategy_name ~shortlist_k ~rungs ~n_points:(List.length points)
+    in
     let backend = backend_of_name backend_name in
     let sink = Option.map (fun _ -> Sw_obs.Sink.create ()) trace in
     match
-      Sw_tuning.Tuner.tune ~backend ?pool:(pool_of domains) ?obs:sink config kernel ~points
+      Sw_tuning.Tuner.tune ~backend ~strategy ?pool:(pool_of domains) ?obs:sink config kernel
+        ~points
     with
     | Ok outcome ->
-        Format.printf "%a@." Sw_tuning.Tuner.pp_outcome outcome;
+        if json then print_endline (json_outcome outcome)
+        else Format.printf "%a@." Sw_tuning.Tuner.pp_outcome outcome;
         Option.iter
           (fun path ->
             let sink = Option.get sink in
@@ -207,7 +261,9 @@ let tune_cmd =
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Auto-tune a kernel's tile size and unroll factor under a cost backend.")
-    Term.(const run $ kernel_arg $ scale_arg $ backend_arg $ domains_arg $ trace_arg)
+    Term.(
+      const run $ kernel_arg $ scale_arg $ backend_arg $ strategy_arg $ shortlist_arg $ rungs_arg
+      $ json_arg $ domains_arg $ trace_arg)
 
 let fig6_cmd =
   let run scale domains =

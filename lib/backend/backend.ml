@@ -2,20 +2,31 @@ module Kernel = Sw_swacc.Kernel
 module Lower = Sw_swacc.Lower
 module Lowered = Sw_swacc.Lowered
 
-type cost = { host_wall_s : float; host_cpu_s : float; machine_us : float }
+type cost = {
+  host_wall_s : float;
+  host_cpu_s : float;
+  machine_us : float;
+  machine_events : int;
+}
 
-let zero_cost = { host_wall_s = 0.0; host_cpu_s = 0.0; machine_us = 0.0 }
+let zero_cost = { host_wall_s = 0.0; host_cpu_s = 0.0; machine_us = 0.0; machine_events = 0 }
 
 let add_cost a b =
   {
     host_wall_s = a.host_wall_s +. b.host_wall_s;
     host_cpu_s = a.host_cpu_s +. b.host_cpu_s;
     machine_us = a.machine_us +. b.machine_us;
+    machine_events = a.machine_events + b.machine_events;
   }
 
 type verdict = { cycles : float; cost : cost; breakdown : Swpm.Predict.t option }
 
 type infeasibility = { backend : string; reason : string }
+
+type assessment =
+  | Assessed of verdict
+  | Infeasible of infeasibility
+  | Cut_off of { at : float; cost : cost }
 
 module type S = sig
   val name : string
@@ -23,7 +34,12 @@ module type S = sig
   val description : string
 
   val assess :
-    Sw_sim.Config.t -> Kernel.t -> Kernel.variant -> (verdict, infeasibility) result
+    ?cutoff:float ->
+    ?event_budget:int ->
+    Sw_sim.Config.t ->
+    Kernel.t ->
+    Kernel.variant ->
+    assessment
 end
 
 type t = (module S)
@@ -32,7 +48,16 @@ let name (module B : S) = B.name
 
 let description (module B : S) = B.description
 
-let assess (module B : S) config kernel variant = B.assess config kernel variant
+let assess_budget ?cutoff ?event_budget (module B : S) config kernel variant =
+  B.assess ?cutoff ?event_budget config kernel variant
+
+let assess (module B : S) config kernel variant =
+  match B.assess config kernel variant with
+  | Assessed v -> Ok v
+  | Infeasible e -> Error e
+  | Cut_off _ ->
+      (* only budgeted assessments can be cut off *)
+      invalid_arg (Printf.sprintf "Backend.assess: %s returned Cut_off without a budget" B.name)
 
 let assess_exn backend config kernel variant =
   match assess backend config kernel variant with
@@ -46,16 +71,33 @@ let cycles_exn backend config kernel variant =
   (assess_exn backend config kernel variant).cycles
 
 (* Measure host wall/CPU seconds around the actual assessment; the
-   implementation reports (cycles, machine_us, breakdown). *)
+   implementation reports its outcome plus the machine time (and
+   simulator events) it consumed. *)
 let timed f =
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
+  let cost machine_us machine_events =
+    {
+      host_wall_s = Unix.gettimeofday () -. wall0;
+      host_cpu_s = Sys.time () -. cpu0;
+      machine_us;
+      machine_events;
+    }
+  in
   match f () with
-  | Error _ as e -> e
-  | Ok (cycles, machine_us, breakdown) ->
-      let host_wall_s = Unix.gettimeofday () -. wall0 in
-      let host_cpu_s = Sys.time () -. cpu0 in
-      Ok { cycles; cost = { host_wall_s; host_cpu_s; machine_us }; breakdown }
+  | `Infeasible e -> Infeasible e
+  | `Priced (cycles, machine_us, machine_events, breakdown) ->
+      Assessed { cycles; cost = cost machine_us machine_events; breakdown }
+  | `Cut (at, machine_us, machine_events) ->
+      Cut_off { at; cost = cost machine_us machine_events }
+
+(* Static estimators price the whole variant in one closed-form shot;
+   a [cutoff] can still classify the answer as a losing candidate, and
+   [event_budget] has nothing to meter. *)
+let static_result ?cutoff cycles breakdown =
+  match cutoff with
+  | Some c when cycles > c -> `Cut (cycles, 0.0, 0)
+  | _ -> `Priced (cycles, 0.0, 0, breakdown)
 
 (* ------------------------------------------------------------------ *)
 (* The four estimators                                                 *)
@@ -66,14 +108,14 @@ let static_model : t =
 
     let description = "closed-form static model (Eqs. 1-12); compiles a summary, runs nothing"
 
-    let assess (config : Sw_sim.Config.t) kernel variant =
+    let assess ?cutoff ?event_budget:_ (config : Sw_sim.Config.t) kernel variant =
       let params = config.Sw_sim.Config.params in
       timed (fun () ->
           match Lower.summarize params kernel variant with
-          | Error reason -> Error { backend = name; reason }
+          | Error reason -> `Infeasible { backend = name; reason }
           | Ok summary ->
               let p = Swpm.Predict.run params summary in
-              Ok (p.Swpm.Predict.t_total, 0.0, Some p))
+              static_result ?cutoff p.Swpm.Predict.t_total (Some p))
   end)
 
 let simulator : t =
@@ -82,17 +124,22 @@ let simulator : t =
 
     let description = "cycle-level simulation (the machine stand-in); lowers fully and executes"
 
-    let assess config kernel variant =
+    let assess ?cutoff ?event_budget config kernel variant =
       let params = config.Sw_sim.Config.params in
+      let us cycles =
+        Sw_util.Units.cycles_to_us ~freq_hz:params.Sw_arch.Params.freq_hz cycles
+      in
       timed (fun () ->
-          match Lower.lower params kernel variant with
-          | Error reason -> Error { backend = name; reason }
-          | Ok lowered ->
-              let cycles = Machine.cycles config lowered in
-              let machine_us =
-                Sw_util.Units.cycles_to_us ~freq_hz:params.Sw_arch.Params.freq_hz cycles
-              in
-              Ok (cycles, machine_us, None))
+          match Lower.lower_cached params kernel variant with
+          | Error reason -> `Infeasible { backend = name; reason }
+          | Ok lowered -> (
+              match Machine.run_budget ?cutoff ?event_budget config lowered with
+              | Sw_sim.Engine.Finished m ->
+                  let cycles = m.Sw_sim.Metrics.cycles in
+                  `Priced (cycles, us cycles, m.Sw_sim.Metrics.events, None)
+              | Sw_sim.Engine.Cutoff { at; events } ->
+                  (* bill the simulated prefix that was actually run *)
+                  `Cut (at, us at, events)))
   end)
 
 let roofline : t =
@@ -101,14 +148,14 @@ let roofline : t =
 
     let description = "Roofline upper bound (Section VI); arithmetic intensity only"
 
-    let assess (config : Sw_sim.Config.t) kernel variant =
+    let assess ?cutoff ?event_budget:_ (config : Sw_sim.Config.t) kernel variant =
       let params = config.Sw_sim.Config.params in
       timed (fun () ->
           match Lower.summarize params kernel variant with
-          | Error reason -> Error { backend = name; reason }
+          | Error reason -> `Infeasible { backend = name; reason }
           | Ok summary ->
               let r = Swpm.Roofline.analyze params summary in
-              Ok (r.Swpm.Roofline.predicted_cycles, 0.0, None))
+              static_result ?cutoff r.Swpm.Roofline.predicted_cycles None)
   end)
 
 let calibrate config (lowered : Lowered.t) =
@@ -167,19 +214,24 @@ let hybrid ?profile () : t =
               Hashtbl.add cache key (cal, profile_us);
               (cal, profile_us))
 
-    let assess config kernel variant =
+    let assess ?cutoff ?event_budget:_ config kernel variant =
       let params = config.Sw_sim.Config.params in
       timed (fun () ->
           match Lower.summarize params kernel variant with
-          | Error reason -> Error { backend = name; reason }
+          | Error reason -> `Infeasible { backend = name; reason }
           | Ok summary ->
               if summary.Lowered.gload_count = 0 then
                 let p = Swpm.Predict.run params summary in
-                Ok (p.Swpm.Predict.t_total, 0.0, Some p)
+                static_result ?cutoff p.Swpm.Predict.t_total (Some p)
               else
                 let calibration, machine_us = calibration_for config kernel variant in
                 let p = Swpm.Hybrid.predict params summary ~calibration in
-                Ok (p.Swpm.Predict.t_total, machine_us, Some p))
+                let cycles = p.Swpm.Predict.t_total in
+                (* the profile bill sticks to this verdict even when the
+                   prediction is then classified as a losing candidate *)
+                (match cutoff with
+                | Some c when cycles > c -> `Cut (cycles, machine_us, 0)
+                | _ -> `Priced (cycles, machine_us, 0, Some p)))
   end)
 
 (* ------------------------------------------------------------------ *)
@@ -192,13 +244,13 @@ let instrument sink (inner : t) : t =
 
     let description = I.description
 
-    let assess config kernel (variant : Kernel.variant) =
+    let assess ?cutoff ?event_budget config kernel (variant : Kernel.variant) =
       let t0 = Sw_obs.Sink.now_us sink in
-      let r = I.assess config kernel variant in
+      let r = I.assess ?cutoff ?event_budget config kernel variant in
       let t1 = Sw_obs.Sink.now_us sink in
       let verdict_args =
         match r with
-        | Ok v ->
+        | Assessed v ->
             Sw_obs.Sink.incr sink (Printf.sprintf "backend.%s.ok" I.name);
             Sw_obs.Sink.add sink
               (Printf.sprintf "backend.%s.machine_us" I.name)
@@ -207,9 +259,18 @@ let instrument sink (inner : t) : t =
               ("cycles", Sw_obs.Sink.Float v.cycles);
               ("machine_us", Sw_obs.Sink.Float v.cost.machine_us);
             ]
-        | Error e ->
+        | Infeasible e ->
             Sw_obs.Sink.incr sink (Printf.sprintf "backend.%s.infeasible" I.name);
             [ ("infeasible", Sw_obs.Sink.String e.reason) ]
+        | Cut_off { at; cost } ->
+            Sw_obs.Sink.incr sink (Printf.sprintf "backend.%s.cutoff" I.name);
+            Sw_obs.Sink.add sink
+              (Printf.sprintf "backend.%s.machine_us" I.name)
+              cost.machine_us;
+            [
+              ("cut_at", Sw_obs.Sink.Float at);
+              ("machine_us", Sw_obs.Sink.Float cost.machine_us);
+            ]
       in
       Sw_obs.Sink.record sink
         {
@@ -252,7 +313,7 @@ type memo = {
 
 let memoize ?sink (inner : t) : memo =
   let module I = (val inner : S) in
-  let table : (memo_key, (verdict, infeasibility) result) Hashtbl.t = Hashtbl.create 64 in
+  let table : (memo_key, assessment) Hashtbl.t = Hashtbl.create 64 in
   let lock = Mutex.create () in
   let hits = Atomic.make 0 in
   let misses = Atomic.make 0 in
@@ -267,7 +328,7 @@ let memoize ?sink (inner : t) : memo =
 
     let description = Printf.sprintf "memoizing %s" I.description
 
-    let assess config kernel (variant : Kernel.variant) =
+    let assess ?cutoff ?event_budget config kernel (variant : Kernel.variant) =
       let key =
         {
           mk_config = config;
@@ -287,16 +348,26 @@ let memoize ?sink (inner : t) : memo =
       | Some r ->
           Atomic.incr hits;
           observe "memo.hits";
-          (* the work was already paid for by the miss *)
-          Result.map (fun v -> { v with cost = zero_cost }) r
+          (* the work was already paid for by the miss; a hit under a
+             budget returns the full cached verdict — free, and strictly
+             more informative than a Cut_off *)
+          (match r with
+          | Assessed v -> Assessed { v with cost = zero_cost }
+          | Infeasible _ as r -> r
+          | Cut_off _ -> assert false (* never stored *))
       | None ->
           Atomic.incr misses;
           observe "memo.misses";
-          let r = I.assess config kernel variant in
-          Mutex.lock lock;
-          Fun.protect
-            ~finally:(fun () -> Mutex.unlock lock)
-            (fun () -> if not (Hashtbl.mem table key) then Hashtbl.add table key r);
+          let r = I.assess ?cutoff ?event_budget config kernel variant in
+          (* a Cut_off is budget-dependent, not a property of the
+             variant: don't poison the table with it *)
+          (match r with
+          | Cut_off _ -> ()
+          | Assessed _ | Infeasible _ ->
+              Mutex.lock lock;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock lock)
+                (fun () -> if not (Hashtbl.mem table key) then Hashtbl.add table key r));
           r
   end in
   {

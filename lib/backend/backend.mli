@@ -25,6 +25,10 @@ type cost = {
   machine_us : float;
       (** Simulated machine microseconds consumed (0 for purely static
           backends; the profiling bill for simulator-in-the-loop ones). *)
+  machine_events : int;
+      (** Simulator events processed to produce this answer (0 for
+          static backends).  Successive halving uses the incumbent's
+          event count as the yardstick for its rung budgets. *)
 }
 
 val zero_cost : cost
@@ -48,6 +52,18 @@ type infeasibility = {
   reason : string;  (** Compile-time rejection, e.g. SPM overflow. *)
 }
 
+(** Outcome of one (possibly budgeted) assessment. *)
+type assessment =
+  | Assessed of verdict  (** The variant was priced in full. *)
+  | Infeasible of infeasibility  (** Compile-time rejection. *)
+  | Cut_off of { at : float; cost : cost }
+      (** A budgeted assessment was abandoned: the backend proved the
+          variant cannot beat the [cutoff] (the simulator's event clock
+          passed it — [at] is a lower bound on the true cycles — or a
+          static prediction exceeded it) or its [event_budget] ran out.
+          [cost] is the prefix actually paid; no cycles reading is
+          fabricated. *)
+
 (** The interface every estimator implements. *)
 module type S = sig
   val name : string
@@ -56,10 +72,16 @@ module type S = sig
   val description : string
 
   val assess :
+    ?cutoff:float ->
+    ?event_budget:int ->
     Sw_sim.Config.t ->
     Sw_swacc.Kernel.t ->
     Sw_swacc.Kernel.variant ->
-    (verdict, infeasibility) result
+    assessment
+  (** Without budgets the result is never [Cut_off].  [cutoff] is
+      strict: a variant whose cycles exactly equal the cutoff is still
+      [Assessed] (pruned searches preserve exhaustive tie-breaking).
+      Backends that don't simulate ignore [event_budget]. *)
 end
 
 type t = (module S)
@@ -74,6 +96,19 @@ val assess :
   Sw_swacc.Kernel.t ->
   Sw_swacc.Kernel.variant ->
   (verdict, infeasibility) result
+(** Unbudgeted assessment — the plain two-way result every
+    non-pruning caller wants. *)
+
+val assess_budget :
+  ?cutoff:float ->
+  ?event_budget:int ->
+  t ->
+  Sw_sim.Config.t ->
+  Sw_swacc.Kernel.t ->
+  Sw_swacc.Kernel.variant ->
+  assessment
+(** Budgeted assessment (see {!S.assess}); the doorway pruned searches
+    use. *)
 
 val assess_exn :
   t -> Sw_sim.Config.t -> Sw_swacc.Kernel.t -> Sw_swacc.Kernel.variant -> verdict
@@ -134,9 +169,10 @@ val instrument : Sw_obs.Sink.t -> t -> t
     the assessing domain — so pooled searches show per-domain lanes)
     carrying the variant and the verdict in its args, and bumps the
     counters ["backend.<name>.ok"] / ["backend.<name>.infeasible"] /
-    ["backend.<name>.machine_us"].  Counter totals therefore reconcile
-    exactly with {!Sw_tuning.Tuner.outcome}'s [evaluated], [infeasible]
-    and [machine_time_us] accounting. *)
+    ["backend.<name>.cutoff"] / ["backend.<name>.machine_us"] (the
+    machine counter also bills cut-off prefixes).  Counter totals
+    therefore reconcile exactly with {!Sw_tuning.Tuner.outcome}'s
+    [evaluated], [infeasible] and [machine_time_us] accounting. *)
 
 (** {1 Memoization}
 
@@ -148,7 +184,12 @@ val instrument : Sw_obs.Sink.t -> t -> t
     mutex-guarded and composes with {!Sw_util.Pool} fan-out; under
     concurrent misses of the same key both domains compute (results are
     equal), and the hit/miss counters are exact for sequential use and
-    close under races. *)
+    close under races.
+
+    Budgets and the cache: a [Cut_off] is a property of the budget, not
+    the variant, so it is never stored; a hit under a budget returns
+    the cached full verdict (free, and strictly more informative than
+    re-deriving a [Cut_off]). *)
 
 type memo
 

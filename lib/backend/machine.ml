@@ -3,6 +3,9 @@ let metrics config (lowered : Sw_swacc.Lowered.t) =
 
 let cycles config lowered = (metrics config lowered).Sw_sim.Metrics.cycles
 
+let run_budget ?cutoff ?event_budget config (lowered : Sw_swacc.Lowered.t) =
+  Sw_sim.Engine.run_budget ?cutoff ?event_budget config lowered.Sw_swacc.Lowered.programs
+
 let us (config : Sw_sim.Config.t) ~cycles =
   Sw_util.Units.cycles_to_us
     ~freq_hz:config.Sw_sim.Config.params.Sw_arch.Params.freq_hz cycles

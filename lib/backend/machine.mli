@@ -15,6 +15,17 @@ val cycles : Sw_sim.Config.t -> Sw_swacc.Lowered.t -> float
 (** Makespan of {!metrics} — the repository's former
     [(Engine.run config lowered.programs).Metrics.cycles] idiom. *)
 
+val run_budget :
+  ?cutoff:float ->
+  ?event_budget:int ->
+  Sw_sim.Config.t ->
+  Sw_swacc.Lowered.t ->
+  Sw_sim.Engine.run_result
+(** Budgeted measurement for pruned searches — {!Sw_sim.Engine.run_budget}
+    through the doorway: abandon (typed [Cutoff]) once the event clock
+    strictly passes [cutoff] or [event_budget] events have been
+    processed. *)
+
 val us : Sw_sim.Config.t -> cycles:float -> float
 (** Simulated machine microseconds for [cycles] at the configured
     frequency. *)

@@ -26,21 +26,24 @@ let guideline_default params kernel ~grains =
 
 (* [pool] parallelizes inside each tuner's search (many variants per
    workload) rather than across the five workloads, so each outcome's
-   wall-clock tuning time remains a meaningful per-kernel figure. *)
-let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) ?pool () =
+   wall-clock tuning time remains a meaningful per-kernel figure.
+   [strategy] applies to the empirical (expensive) tuner only — the
+   static tuner's sweep is already as cheap as a search gets, and the
+   strategy's whole point is pruning measurement cost. *)
+let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) ?pool ?strategy () =
   let config = Sw_sim.Config.default params in
   List.map
     (fun (e : Sw_workloads.Registry.entry) ->
       let kernel = e.build ~scale in
       let points = Sw_tuning.Space.enumerate ~grains:e.grains ~unrolls:e.unrolls () in
       let default = guideline_default params kernel ~grains:e.grains in
-      let tune method_ =
+      let tune ?strategy method_ =
         Sw_tuning.Tuner.tune_exn
           ~backend:(Sw_tuning.Tuner.backend_of_method method_)
-          ~default ?pool config kernel ~points
+          ?strategy ~default ?pool config kernel ~points
       in
       let static = tune Sw_tuning.Tuner.Static in
-      let empirical = tune Sw_tuning.Tuner.Empirical in
+      let empirical = tune ?strategy Sw_tuning.Tuner.Empirical in
       let savings =
         if static.Sw_tuning.Tuner.tuning_host_s > 0.0 then
           empirical.Sw_tuning.Tuner.tuning_host_s /. static.Sw_tuning.Tuner.tuning_host_s

@@ -24,10 +24,19 @@ val guideline_default :
     bench backend matrix so every comparison speeds up from the same
     baseline. *)
 
-val run : ?scale:float -> ?params:Sw_arch.Params.t -> ?pool:Sw_util.Pool.t -> unit -> row list
+val run :
+  ?scale:float ->
+  ?params:Sw_arch.Params.t ->
+  ?pool:Sw_util.Pool.t ->
+  ?strategy:Sw_tuning.Search.t ->
+  unit ->
+  row list
 (** [pool] parallelizes each tuner's variant assessments (inside
     {!Sw_tuning.Tuner.tune}); tuning picks are identical to the
-    sequential run, only wall-clock tuning times shrink. *)
+    sequential run, only wall-clock tuning times shrink.  [strategy]
+    (default exhaustive) applies to the {e empirical} tuner only — the
+    static sweep is already cheap — so the savings column shows what a
+    pruned measurement campaign costs. *)
 
 val print : row list -> unit
 

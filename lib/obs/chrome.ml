@@ -62,6 +62,20 @@ let span_event (s : Sink.span) =
     (escape s.Sink.cat) (escape s.Sink.name) s.Sink.pid s.Sink.track (num s.Sink.t_us)
     (num s.Sink.dur_us) (args_obj s.Sink.args)
 
+(* Nestable async pair: Chrome matches "b"/"e" by (category, id), and
+   renders the interval as an arrow-capped bar that may overlap other
+   events on the track — exactly what an in-flight DMA request is. *)
+let async_events (a : Sink.async_span) =
+  let common =
+    Printf.sprintf "\"cat\": \"%s\", \"name\": \"%s\", \"id\": \"0x%x\", \"pid\": %d, \"tid\": %d"
+      (escape a.Sink.acat) (escape a.Sink.aname) a.Sink.aid a.Sink.apid a.Sink.atrack
+  in
+  [
+    Printf.sprintf "{\"ph\": \"b\", %s, \"ts\": %s, \"args\": %s}" common (num a.Sink.at0_us)
+      (args_obj a.Sink.aargs);
+    Printf.sprintf "{\"ph\": \"e\", %s, \"ts\": %s}" common (num a.Sink.at1_us);
+  ]
+
 let counter_event (key, value) =
   Printf.sprintf
     "{\"ph\": \"C\", \"name\": \"%s\", \"pid\": %d, \"tid\": 0, \"ts\": 0, \"args\": {\"value\": %s}}"
@@ -69,11 +83,16 @@ let counter_event (key, value) =
 
 let to_string sink =
   let spans = Sink.spans sink in
+  let asyncs = Sink.async_spans sink in
   let tracks =
-    List.sort_uniq compare (List.map (fun s -> (s.Sink.pid, s.Sink.track)) spans)
+    List.sort_uniq compare
+      (List.map (fun s -> (s.Sink.pid, s.Sink.track)) spans
+      @ List.map (fun (a : Sink.async_span) -> (a.Sink.apid, a.Sink.atrack)) asyncs)
   in
   let track_name (pid, tid) =
-    if pid = Sink.machine_pid then Printf.sprintf "cpe %d" tid
+    if pid = Sink.machine_pid then
+      if tid >= Sink.mc_track_base then Printf.sprintf "mc %d" (tid - Sink.mc_track_base)
+      else Printf.sprintf "cpe %d" tid
     else Printf.sprintf "domain %d" tid
   in
   let events =
@@ -86,6 +105,7 @@ let to_string sink =
          tracks
     @ List.map counter_event (Sink.counters sink)
     @ List.map span_event spans
+    @ List.concat_map async_events asyncs
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\": [\n";

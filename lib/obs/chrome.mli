@@ -2,9 +2,13 @@
 
     The JSON Object Format of the Trace Event specification is emitted:
     a ["traceEvents"] array of complete-duration events ([ph:"X"]) for
-    spans, counter events ([ph:"C"]) for the sink's monotonic counters,
-    and metadata events naming the tracks.  Load the file at
-    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+    spans, nestable async pairs ([ph:"b"]/[ph:"e"], matched by id) for
+    the sink's {!Sink.async_span}s — DMA request lifetimes render as
+    overlapping arrows above the CPE rows — counter events ([ph:"C"])
+    for the sink's monotonic counters, and metadata events naming the
+    tracks (machine tracks are ["cpe i"], or ["mc i"] from
+    {!Sink.mc_track_base} up).  Load the file at [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}.
 
     Two clock domains share the file: {!Sink.machine_pid} tracks tick
     in {e simulated cycles} (rendered as microseconds — 1 cycle reads

@@ -1,8 +1,35 @@
 module Metrics = Sw_sim.Metrics
 module Trace = Sw_sim.Trace
 
-let record_run sink ~name (m : Metrics.t) trace =
+let record_run sink ~name ?(dma = []) (m : Metrics.t) trace =
   List.iter (Sink.record sink) (Chrome.events_of_trace ~name trace);
+  (* One async lifetime per DMA request: issue clock to completion
+     clock, on the issuing CPE's track.  These overlap the CPE's
+     compute spans by design — that is the latency-hiding picture. *)
+  List.iter
+    (fun (r : Trace.dma_req) ->
+      Sink.record_async sink ~track:r.Trace.req_cpe ~cat:"dma_req"
+        ~args:[ ("tag", Sink.Int r.Trace.req_tag) ]
+        ~t0_us:r.Trace.t_issue ~t1_us:r.Trace.t_done name)
+    dma;
+  (* Memory-controller busy time as one bar per controller, on its own
+     track family: how much of the run each MC spent serving DRAM
+     transactions.  Placement at t=0 is a totals bar, not a timeline —
+     the engine accounts busy cycles, not busy intervals. *)
+  Array.iteri
+    (fun i busy ->
+      if busy > 0.0 then
+        Sink.record sink
+          {
+            Sink.cat = "mc_busy";
+            name;
+            pid = Sink.machine_pid;
+            track = Sink.mc_track_base + i;
+            t_us = 0.0;
+            dur_us = busy;
+            args = [ ("mc", Sink.Int i) ];
+          })
+    m.Metrics.mc_busy_cycles;
   Sink.incr sink "sim.runs";
   Sink.add sink "sim.cycles" m.Metrics.cycles;
   Sink.add sink "sim.transactions" (float_of_int m.Metrics.transactions);
@@ -14,9 +41,9 @@ let record_run sink ~name (m : Metrics.t) trace =
 
 let run_traced sink ~name config programs =
   let t0 = Sink.now_us sink in
-  let m, trace = Sw_sim.Engine.run_traced config programs in
+  let m, trace, dma = Sw_sim.Engine.run_traced_full config programs in
   Sink.add sink "host.sim_wall_us" (Sink.now_us sink -. t0);
-  record_run sink ~name m trace;
+  record_run sink ~name ~dma m trace;
   (m, trace)
 
 (* ------------------------------------------------------------------ *)

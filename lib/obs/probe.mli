@@ -15,9 +15,11 @@ val run_traced :
   Sw_sim.Config.t ->
   Sw_isa.Program.t array ->
   Sw_sim.Metrics.t * Sw_sim.Trace.t
-(** Run, record machine spans (label [name]) and counters.  Counters
-    written, all prefixed ["sim."] (simulated, deterministic) except
-    the volatile ["host.sim_wall_us"]:
+(** Run, record machine spans (label [name]), DMA-request async
+    lifetimes (category ["dma_req"], issue→completion on the issuing
+    CPE's track) and counters.  Counters written, all prefixed ["sim."]
+    (simulated, deterministic) except the volatile
+    ["host.sim_wall_us"]:
 
     - ["sim.runs"] — observed executions accumulated in this sink;
     - ["sim.cycles"] — summed makespans;
@@ -28,10 +30,18 @@ val run_traced :
     - ["sim.comp_cycles_sum"] — summed per-CPE compute time;
     - ["host.sim_wall_us"] — host wall-clock spent simulating. *)
 
-val record_run : Sink.t -> name:string -> Sw_sim.Metrics.t -> Sw_sim.Trace.t -> unit
+val record_run :
+  Sink.t ->
+  name:string ->
+  ?dma:Sw_sim.Trace.dma_req list ->
+  Sw_sim.Metrics.t ->
+  Sw_sim.Trace.t ->
+  unit
 (** Record an already-performed traced run (spans + counters, without
     the host timing) — for callers that hold a [(metrics, trace)]
-    pair. *)
+    pair.  [dma] (default none) adds one async span per request; the
+    metrics additionally yield one ["mc_busy"] totals bar per memory
+    controller with nonzero busy time, on the ["mc i"] track family. *)
 
 val reconcile : Sw_sim.Metrics.t -> Sw_sim.Trace.t -> (unit, string) result
 (** Check that a timeline and its metrics tell the same story, within

@@ -10,14 +10,30 @@ type span = {
   args : (string * arg) list;
 }
 
+type async_span = {
+  acat : string;
+  aname : string;
+  apid : int;
+  atrack : int;
+  at0_us : float;
+  at1_us : float;
+  aid : int;
+  aargs : (string * arg) list;
+}
+
 let machine_pid = 0
 
 let host_pid = 1
+
+let mc_track_base = 1000
 
 type t = {
   lock : Mutex.t;
   mutable rev_spans : span list;
   mutable n_spans : int;
+  mutable rev_async : async_span list;
+  mutable n_async : int;
+  mutable next_async_id : int;
   counters : (string, float) Hashtbl.t;
   t0 : float;  (* host epoch at creation *)
 }
@@ -27,6 +43,9 @@ let create () =
     lock = Mutex.create ();
     rev_spans = [];
     n_spans = 0;
+    rev_async = [];
+    n_async = 0;
+    next_async_id = 0;
     counters = Hashtbl.create 16;
     t0 = Unix.gettimeofday ();
   }
@@ -45,6 +64,20 @@ let record t span =
 let span_count t = locked t (fun () -> t.n_spans)
 
 let spans t = locked t (fun () -> List.rev t.rev_spans)
+
+let record_async t ?(pid = machine_pid) ~track ~cat ?(args = []) ~t0_us ~t1_us name =
+  locked t (fun () ->
+      let id = t.next_async_id in
+      t.next_async_id <- id + 1;
+      t.rev_async <-
+        { acat = cat; aname = name; apid = pid; atrack = track; at0_us = t0_us;
+          at1_us = t1_us; aid = id; aargs = args }
+        :: t.rev_async;
+      t.n_async <- t.n_async + 1)
+
+let async_count t = locked t (fun () -> t.n_async)
+
+let async_spans t = locked t (fun () -> List.rev t.rev_async)
 
 let add t key v =
   locked t (fun () ->
@@ -65,6 +98,9 @@ let clear t =
   locked t (fun () ->
       t.rev_spans <- [];
       t.n_spans <- 0;
+      t.rev_async <- [];
+      t.n_async <- 0;
+      t.next_async_id <- 0;
       Hashtbl.reset t.counters)
 
 let with_span t ?(pid = host_pid) ?track ~cat ?(args = []) name f =

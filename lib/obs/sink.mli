@@ -27,11 +27,32 @@ type span = {
   args : (string * arg) list;
 }
 
+type async_span = {
+  acat : string;
+  aname : string;
+  apid : int;
+  atrack : int;
+  at0_us : float;  (** Begin time (same clock rules as {!span.t_us}). *)
+  at1_us : float;  (** End time. *)
+  aid : int;  (** Sink-unique id pairing the Chrome ["b"]/["e"] events. *)
+  aargs : (string * arg) list;
+}
+(** An asynchronous operation whose begin and end may interleave with
+    other work on the same track — e.g. a DMA request's issue→completion
+    lifetime, which overlaps the CPE's compute spans.  Chrome renders
+    these as nestable async events ([ph:"b"]/[ph:"e"]) rather than
+    complete-duration boxes, so overlap is legal. *)
+
 val machine_pid : int
 (** Track group 0: simulated SW26010 time, in cycles. *)
 
 val host_pid : int
 (** Track group 1: host wall-clock, microseconds since sink creation. *)
+
+val mc_track_base : int
+(** Machine-pid track offset for memory-controller rows: controller [i]
+    renders on track [mc_track_base + i], named ["mc i"] — far above
+    any CPE id, so the two row families never collide. *)
 
 type t
 
@@ -48,6 +69,28 @@ val span_count : t -> int
 val spans : t -> span list
 (** In record order. *)
 
+val record_async :
+  t ->
+  ?pid:int ->
+  track:int ->
+  cat:string ->
+  ?args:(string * arg) list ->
+  t0_us:float ->
+  t1_us:float ->
+  string ->
+  unit
+(** Record one async operation ([pid] defaults to {!machine_pid} — the
+    main client is DMA lifetimes on the simulated timeline).  The sink
+    assigns the pairing id; ids are consecutive from 0 in record order,
+    so deterministic recording yields deterministic traces. *)
+
+val async_count : t -> int
+
+val async_spans : t -> async_span list
+(** In record order.  Kept separate from {!spans}: async operations may
+    overlap on a track, which would violate the no-overlap property
+    tests reconcile on the complete-duration stream. *)
+
 val incr : t -> ?by:int -> string -> unit
 (** Bump a named monotonic counter (created at 0 on first touch). *)
 
@@ -61,7 +104,7 @@ val counters : t -> (string * float) list
 (** All counters, sorted by name (deterministic). *)
 
 val clear : t -> unit
-(** Drop all spans and counters. *)
+(** Drop all spans, async spans and counters; async ids restart at 0. *)
 
 val with_span :
   t ->

@@ -10,6 +10,7 @@ exception Event_limit
 type req = {
   r_cpe : int;
   r_tag : int;
+  r_issue : float;  (* CPE clock when the issue instruction started *)
   per_mc : int array;  (* transactions routed to each controller *)
   m_total : int;
   remote : bool;  (* touches a controller other than the home CG *)
@@ -51,9 +52,12 @@ type mc = { mutable bw_clock : float; mutable busy : float }
 
 type ev = Step of int | Req_admit of req | Gload_mc of int | Req_done of req
 
+type run_result = Finished of Metrics.t | Cutoff of { at : float; events : int }
+
 type state = {
   config : Config.t;
   recorder : (Trace.span -> unit) option;
+  req_recorder : (Trace.dma_req -> unit) option;
   cpes : cpe array;
   mcs : mc array;
   events : ev Sw_util.Heap.t;
@@ -147,12 +151,17 @@ let rec run_cpe st cpe =
             end;
             run_cpe st cpe
         | Program.Dma_issue ({ tag; _ } as d) ->
+            let t_issue = cpe.now in
             cpe.now <- cpe.now +. float_of_int st.config.dma_issue_cost;
             let p = st.config.params in
             let per_mc = route_counts p d.Program.accesses in
             let m_total = Array.fold_left ( + ) 0 per_mc in
+            (* allocation-free early-exit scan: this runs once per DMA
+               request, the hottest admin path in memory-bound sweeps *)
             let remote =
-              Array.exists (fun i -> i) (Array.mapi (fun i m -> m > 0 && i <> cpe.home_cg) per_mc)
+              let n = Array.length per_mc in
+              let rec scan i = i < n && ((per_mc.(i) > 0 && i <> cpe.home_cg) || scan (i + 1)) in
+              scan 0
             in
             let arrival = Stdlib.max cpe.engine_free cpe.now in
             (* the engine busies itself for the stream length; refined at
@@ -163,7 +172,7 @@ let rec run_cpe st cpe =
             cpe.outstanding_total <- cpe.outstanding_total + 1;
             st.dma_requests <- st.dma_requests + 1;
             st.payload_bytes <- st.payload_bytes + Program.dma_payload d;
-            let req = { r_cpe = cpe.id; r_tag = tag; per_mc; m_total; remote } in
+            let req = { r_cpe = cpe.id; r_tag = tag; r_issue = t_issue; per_mc; m_total; remote } in
             Sw_util.Heap.push st.events arrival (Req_admit req);
             run_cpe st cpe
         | Program.Dma_wait tag ->
@@ -200,6 +209,10 @@ let resume_after_wait st cpe ~at =
   | Not_blocked | On_gload _ -> ()
 
 let handle_req_done st req ~at =
+  (match st.req_recorder with
+  | Some record ->
+      record { Trace.req_cpe = req.r_cpe; req_tag = req.r_tag; t_issue = req.r_issue; t_done = at }
+  | None -> ());
   let cpe = st.cpes.(req.r_cpe) in
   let counter = outstanding_for cpe req.r_tag in
   assert (!counter > 0);
@@ -252,7 +265,7 @@ let handle_event st ~at = function
       | Not_blocked | On_tag _ | On_all _ ->
           invalid_arg "Engine: Gload_mc event for a CPE not blocked on a gload")
 
-let run_internal ?recorder (config : Config.t) programs =
+let run_internal ?recorder ?req_recorder ?cutoff ?event_budget (config : Config.t) programs =
   let p = config.params in
   (match Sw_arch.Params.validate p with
   | Ok _ -> ()
@@ -299,6 +312,7 @@ let run_internal ?recorder (config : Config.t) programs =
     {
       config;
       recorder;
+      req_recorder;
       cpes;
       mcs = Array.init p.n_cgs (fun _ -> { bw_clock = 0.0; busy = 0.0 });
       events = Sw_util.Heap.create ();
@@ -311,6 +325,14 @@ let run_internal ?recorder (config : Config.t) programs =
     }
   in
   Array.iter (fun cpe -> Sw_util.Heap.push st.events cpe.now (Step cpe.id)) cpes;
+  let cutoff = Option.value cutoff ~default:infinity in
+  let event_budget = Option.value event_budget ~default:max_int in
+  (* The heap delivers events in time order, so the clock of the next
+     unprocessed event is a lower bound on the final makespan: the
+     moment it passes [cutoff] the run cannot beat the incumbent and is
+     abandoned.  The comparison is strict so a run that exactly ties
+     the incumbent still completes — pruned searches keep the
+     earliest-index tie-break of the exhaustive argmin. *)
   let rec loop () =
     match Sw_util.Heap.pop st.events with
     | None ->
@@ -322,34 +344,59 @@ let run_internal ?recorder (config : Config.t) programs =
                    Array.iteri
                      (fun i c -> if (not c.finished) && !found < 0 then found := i)
                      st.cpes;
-                   !found)))
+                   !found)));
+        None
     | Some (at, ev) ->
-        st.processed <- st.processed + 1;
-        if st.processed > config.max_events then raise Event_limit;
-        handle_event st ~at ev;
-        loop ()
+        if at > cutoff || st.processed >= event_budget then Some at
+        else begin
+          st.processed <- st.processed + 1;
+          if st.processed > config.max_events then raise Event_limit;
+          handle_event st ~at ev;
+          loop ()
+        end
   in
-  loop ();
-  let finish = Array.map (fun c -> c.finish_time) cpes in
-  let maxf f = Array.fold_left (fun acc c -> Stdlib.max acc (f c)) 0.0 cpes in
-  {
-    Metrics.cycles = Array.fold_left Stdlib.max 0.0 finish;
-    per_cpe_finish = finish;
-    comp_cycles = maxf (fun c -> c.comp);
-    dma_wait_cycles = maxf (fun c -> c.dma_wait);
-    gload_cycles = maxf (fun c -> c.gload_wait);
-    comp_cycles_sum = Array.fold_left (fun acc c -> acc +. c.comp) 0.0 cpes;
-    transactions = st.transactions;
-    payload_bytes = st.payload_bytes;
-    dma_requests = st.dma_requests;
-    gload_requests = st.gload_requests;
-    mc_busy_cycles = Array.map (fun mc -> mc.busy) st.mcs;
-    events = st.processed;
-  }
+  match loop () with
+  | Some at -> Cutoff { at; events = st.processed }
+  | None ->
+      let finish = Array.map (fun c -> c.finish_time) cpes in
+      let maxf f = Array.fold_left (fun acc c -> Stdlib.max acc (f c)) 0.0 cpes in
+      Finished
+        {
+          Metrics.cycles = Array.fold_left Stdlib.max 0.0 finish;
+          per_cpe_finish = finish;
+          comp_cycles = maxf (fun c -> c.comp);
+          dma_wait_cycles = maxf (fun c -> c.dma_wait);
+          gload_cycles = maxf (fun c -> c.gload_wait);
+          comp_cycles_sum = Array.fold_left (fun acc c -> acc +. c.comp) 0.0 cpes;
+          transactions = st.transactions;
+          payload_bytes = st.payload_bytes;
+          dma_requests = st.dma_requests;
+          gload_requests = st.gload_requests;
+          mc_busy_cycles = Array.map (fun mc -> mc.busy) st.mcs;
+          events = st.processed;
+        }
 
-let run config programs = run_internal config programs
+let finished_exn = function
+  | Finished m -> m
+  | Cutoff _ -> assert false (* unreachable without ?cutoff/?event_budget *)
+
+let run config programs = finished_exn (run_internal config programs)
+
+let run_budget ?cutoff ?event_budget config programs =
+  run_internal ?cutoff ?event_budget config programs
+
+let run_traced_full config programs =
+  let spans = ref [] in
+  let reqs = ref [] in
+  let metrics =
+    finished_exn
+      (run_internal
+         ~recorder:(fun s -> spans := s :: !spans)
+         ~req_recorder:(fun r -> reqs := r :: !reqs)
+         config programs)
+  in
+  (metrics, List.rev !spans, List.rev !reqs)
 
 let run_traced config programs =
-  let spans = ref [] in
-  let metrics = run_internal ~recorder:(fun s -> spans := s :: !spans) config programs in
-  (metrics, List.rev !spans)
+  let metrics, spans, _ = run_traced_full config programs in
+  (metrics, spans)

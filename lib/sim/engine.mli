@@ -35,6 +35,38 @@ val run : Config.t -> Sw_isa.Program.t array -> Metrics.t
     CPE [i], which belongs to core group [i / cpes_per_cg]).  Programs
     must pass {!Sw_isa.Program.validate}. *)
 
+(** Outcome of a budgeted run: either complete metrics, or a typed
+    abandonment carrying how far the run got. *)
+type run_result =
+  | Finished of Metrics.t
+  | Cutoff of { at : float; events : int }
+      (** The run was abandoned: the next event's clock [at] (a lower
+          bound on the final makespan, since the heap pops events in
+          time order) passed the [cutoff], or [event_budget] events had
+          been processed.  [events] is the number actually processed. *)
+
+val run_budget :
+  ?cutoff:float ->
+  ?event_budget:int ->
+  Config.t ->
+  Sw_isa.Program.t array ->
+  run_result
+(** {!run} with early exit.  [cutoff] abandons the run as soon as the
+    event clock strictly exceeds it — a run whose makespan exactly
+    equals [cutoff] still finishes, so an incumbent-based pruned search
+    preserves exhaustive search's earliest-index tie-break.
+    [event_budget] bounds the number of events processed (a cheap
+    "racing" budget for successive halving); unlike [config.max_events]
+    — which still raises {!Event_limit} as a runaway guard — exhausting
+    it returns [Cutoff], not an exception.  Without either option the
+    result is always [Finished]. *)
+
 val run_traced : Config.t -> Sw_isa.Program.t array -> Metrics.t * Trace.t
 (** Like {!run}, additionally recording per-CPE activity spans (compute,
     DMA stalls, Gload stalls) for {!Trace.render}. *)
+
+val run_traced_full :
+  Config.t -> Sw_isa.Program.t array -> Metrics.t * Trace.t * Trace.dma_req list
+(** {!run_traced} plus the lifetime (issue clock to completion clock)
+    of every DMA request, in completion order — the async-arrow layer
+    of a Chrome trace. *)

@@ -4,6 +4,8 @@ type span = { cpe : int; kind : kind; t0 : float; t1 : float }
 
 type t = span list
 
+type dma_req = { req_cpe : int; req_tag : int; t_issue : float; t_done : float }
+
 let total spans kind =
   List.fold_left (fun acc s -> if s.kind = kind then acc +. (s.t1 -. s.t0) else acc) 0.0 spans
 

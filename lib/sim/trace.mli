@@ -16,6 +16,12 @@ type span = { cpe : int; kind : kind; t0 : float; t1 : float }
 type t = span list
 (** In completion order. *)
 
+type dma_req = { req_cpe : int; req_tag : int; t_issue : float; t_done : float }
+(** One DMA request's lifetime: issued on [req_cpe] at [t_issue]
+    (before issue overhead), completed at [t_done].  Unlike a {!span},
+    requests overlap freely — a CPE keeps several in flight — so they
+    render as async arrows, not timeline rows. *)
+
 val total : t -> kind -> float
 (** Summed duration of one activity across all CPEs. *)
 

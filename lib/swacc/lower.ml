@@ -290,3 +290,99 @@ let lower_exn params kernel variant =
   match lower params kernel variant with
   | Ok l -> l
   | Error msg -> invalid_arg (Printf.sprintf "Lower.lower_exn (%s): %s" kernel.Kernel.name msg)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-run lowering cache.
+
+   A pruned search assesses a variant (the backend lowers it) and then
+   re-runs the winner and the default (the tuner lowers them again).
+   Lowering is pure, so the result can be shared by everyone pricing
+   the same (params, kernel, variant).
+
+   The kernel is keyed by {e physical} identity: [Kernel.t] carries
+   closures (gload address generators), so two structurally-different
+   kernels can share a name ([Kernel.coalesce_gloads] keeps it) and no
+   structural key is sound.  Sweeps hold one kernel value across every
+   point, which is exactly when sharing pays.
+
+   The cache is mutex-guarded (tuning pools lower from several domains)
+   and FIFO-bounded: sweeps revisit a small working set per kernel, and
+   an unbounded table would pin every lowered program of a long bench
+   run in memory. *)
+
+type cache_key = {
+  ck_params : Sw_arch.Params.t;
+  ck_kernel : Kernel.t;  (* compared physically *)
+  ck_variant : Kernel.variant;
+}
+
+module Cache_tbl = Hashtbl.Make (struct
+  type t = cache_key
+
+  let equal a b =
+    a.ck_kernel == b.ck_kernel && a.ck_variant = b.ck_variant && a.ck_params = b.ck_params
+
+  let hash k =
+    Hashtbl.hash
+      ( k.ck_params,
+        k.ck_kernel.Kernel.name,
+        k.ck_kernel.Kernel.n_elements,
+        k.ck_kernel.Kernel.vector_width,
+        k.ck_variant )
+end)
+
+let cache_capacity = 64
+
+let cache_lock = Mutex.create ()
+
+let cache : (Lowered.t, string) result Cache_tbl.t = Cache_tbl.create cache_capacity
+
+let cache_fifo : cache_key Queue.t = Queue.create ()
+
+let cache_hits = ref 0
+
+let cache_misses = ref 0
+
+let locked f =
+  Mutex.lock cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_lock) f
+
+let clear_cache () =
+  locked (fun () ->
+      Cache_tbl.reset cache;
+      Queue.clear cache_fifo;
+      cache_hits := 0;
+      cache_misses := 0)
+
+let cache_stats () = locked (fun () -> (!cache_hits, !cache_misses))
+
+let lower_cached params kernel (variant : Kernel.variant) =
+  let key = { ck_params = params; ck_kernel = kernel; ck_variant = variant } in
+  match
+    locked (fun () ->
+        match Cache_tbl.find_opt cache key with
+        | Some r ->
+            incr cache_hits;
+            Some r
+        | None ->
+            incr cache_misses;
+            None)
+  with
+  | Some r -> r
+  | None ->
+      (* lower outside the lock: concurrent misses of the same key both
+         compute (results are equal), nobody blocks on codegen *)
+      let r = lower params kernel variant in
+      locked (fun () ->
+          if not (Cache_tbl.mem cache key) then begin
+            if Queue.length cache_fifo >= cache_capacity then
+              Cache_tbl.remove cache (Queue.pop cache_fifo);
+            Queue.push key cache_fifo;
+            Cache_tbl.add cache key r
+          end);
+      r
+
+let lower_cached_exn params kernel variant =
+  match lower_cached params kernel variant with
+  | Ok l -> l
+  | Error msg -> invalid_arg (Printf.sprintf "Lower.lower_cached_exn (%s): %s" kernel.Kernel.name msg)

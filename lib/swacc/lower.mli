@@ -27,3 +27,30 @@ val summarize :
 
 val spm_required : Kernel.t -> Kernel.variant -> int
 (** SPM bytes the variant needs (doubled under double buffering). *)
+
+(** {1 Lowering cache}
+
+    Lowering is pure, so its result is shared process-wide, keyed on
+    the machine parameters, the kernel value ({e physically} — a
+    [Kernel.t] carries gload closures, so only pointer identity is a
+    sound key; sweeps hold one kernel value across all points, which is
+    exactly when sharing pays) and the variant.  The table is
+    mutex-guarded (safe under {!Sw_util.Pool}
+    fan-out) and FIFO-bounded at a small capacity, sized for the
+    working set of a tuning sweep.  Both [Ok] and [Error] (infeasible)
+    results are cached. *)
+
+val lower_cached :
+  Sw_arch.Params.t -> Kernel.t -> Kernel.variant -> (Lowered.t, string) result
+(** {!lower} through the cache: a backend assessment and the tuner's
+    winner/default re-runs of the same variant lower once. *)
+
+val lower_cached_exn : Sw_arch.Params.t -> Kernel.t -> Kernel.variant -> Lowered.t
+(** @raise Invalid_argument when {!lower_cached} returns [Error]. *)
+
+val clear_cache : unit -> unit
+(** Drop all cached lowerings and zero the hit/miss counters (cold-run
+    benchmarking). *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] since creation or {!clear_cache}. *)

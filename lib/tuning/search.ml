@@ -1,0 +1,255 @@
+module Backend = Sw_backend.Backend
+
+type t =
+  | Exhaustive
+  | Shortlist of { rank : Backend.t; k : int }
+  | Successive_halving of { rungs : int }
+
+let exhaustive = Exhaustive
+
+let shortlist ?(rank = Backend.static_model) ~k () = Shortlist { rank; k }
+
+let successive_halving ~rungs =
+  if rungs < 1 then invalid_arg "Search.successive_halving: rungs must be >= 1";
+  Successive_halving { rungs }
+
+let name = function
+  | Exhaustive -> "exhaustive"
+  | Shortlist { rank; k } -> Printf.sprintf "shortlist(%s,k=%d)" (Backend.name rank) k
+  | Successive_halving { rungs } -> Printf.sprintf "successive-halving(rungs=%d)" rungs
+
+type result_ =
+  | Priced of Backend.verdict
+  | Rejected of Backend.infeasibility
+  | Pruned of Backend.cost
+
+type stats = {
+  strategy : string;
+  pruned : int;
+  rank_host_s : float;
+  rank_machine_us : float;
+}
+
+let map_points ?pool f points =
+  match pool with Some p -> Sw_util.Pool.map p f points | None -> List.map f points
+
+let observe_pruned obs n = match obs with Some sink when n > 0 -> Sw_obs.Sink.incr sink ~by:n "search.pruned" | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive: assess every point, in enumeration order — byte-for-byte
+   the pre-strategy tuner behaviour, at any pool size. *)
+
+let run_exhaustive ~backend ~active_cpes ?pool config kernel points =
+  map_points ?pool
+    (fun point ->
+      let variant = Space.to_variant point ~active_cpes in
+      match Backend.assess backend config kernel variant with
+      | Ok v -> (point, Priced v)
+      | Error e -> (point, Rejected e))
+    points
+
+(* ------------------------------------------------------------------ *)
+(* Shortlist: rank the whole space with a cheap backend (pooled), then
+   pay the expensive backend only for the k most promising points —
+   visited best-ranked first, so the running incumbent's cycles become
+   the cutoff that lets later verifications abandon early.
+
+   Determinism: ranking is order-preserving under the pool, the sort is
+   total (predicted cycles, then enumeration index), and verification
+   is sequential, so the outcome is identical at any pool size. *)
+
+let run_shortlist ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points =
+  let wall0 = Unix.gettimeofday () in
+  let ranked =
+    map_points ?pool
+      (fun point ->
+        (point, Backend.assess rank config kernel (Space.to_variant point ~active_cpes)))
+      points
+  in
+  let rank_host_s = Unix.gettimeofday () -. wall0 in
+  let rank_machine_us =
+    List.fold_left
+      (fun acc (_, r) ->
+        match r with Ok v -> acc +. v.Backend.cost.Backend.machine_us | Error _ -> acc)
+      0.0 ranked
+  in
+  let indexed = List.mapi (fun i (p, r) -> (i, p, r)) ranked in
+  let feasible =
+    List.filter_map (function i, p, Ok v -> Some (i, p, v) | _, _, Error _ -> None) indexed
+  in
+  let order =
+    List.sort
+      (fun (i1, _, (v1 : Backend.verdict)) (i2, _, v2) ->
+        compare (v1.Backend.cycles, i1) (v2.Backend.cycles, i2))
+      feasible
+  in
+  let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
+  let keep = take (Stdlib.max 1 k) order in
+  let verdicts : (int, result_) Hashtbl.t = Hashtbl.create 16 in
+  let incumbent = ref None in
+  List.iter
+    (fun (i, p, _) ->
+      let variant = Space.to_variant p ~active_cpes in
+      match Backend.assess_budget ?cutoff:!incumbent backend config kernel variant with
+      | Backend.Assessed v ->
+          (match !incumbent with
+          | Some c when v.Backend.cycles >= c -> ()
+          | _ -> incumbent := Some v.Backend.cycles);
+          Hashtbl.replace verdicts i (Priced v)
+      | Backend.Infeasible e -> Hashtbl.replace verdicts i (Rejected e)
+      | Backend.Cut_off { cost; _ } -> Hashtbl.replace verdicts i (Pruned cost))
+    keep;
+  let pruned = ref 0 in
+  let results =
+    List.map
+      (fun (i, p, r) ->
+        match Hashtbl.find_opt verdicts i with
+        | Some res ->
+            (match res with Pruned _ -> incr pruned | Priced _ | Rejected _ -> ());
+            (p, res)
+        | None -> (
+            match r with
+            | Error e -> (p, Rejected e)  (* the ranker's compile check rejected it *)
+            | Ok _ ->
+                incr pruned;
+                (p, Pruned Backend.zero_cost)))
+      indexed
+  in
+  observe_pruned obs !pruned;
+  ( results,
+    {
+      strategy = name (Shortlist { rank; k });
+      pruned = !pruned;
+      rank_host_s;
+      rank_machine_us;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Successive halving: race all points through rungs of growing event
+   budgets, halving the field between rungs by partial progress (the
+   event clock reached when the budget ran out — further along means a
+   slower candidate, since DMA-bound makespans grow with event count).
+
+   The first feasible point is assessed in full up front; its cycles
+   seed the incumbent cutoff and its event count is the yardstick the
+   rung budgets scale from.  The final rung runs unmetered (cutoff
+   only), so every survivor is either fully priced or provably beaten.
+
+   Determinism: the cutoff and budget are fixed before each pooled
+   rung, scores sort by (clock, enumeration index), and the incumbent
+   updates from completed verdicts in enumeration order. *)
+
+let run_halving ~rungs ~backend ~active_cpes ?pool ?obs config kernel points =
+  let n = List.length points in
+  let results : result_ option array = Array.make (Stdlib.max 1 n) None in
+  let sunk : Backend.cost array = Array.make (Stdlib.max 1 n) Backend.zero_cost in
+  let variant p = Space.to_variant p ~active_cpes in
+  let indexed = List.mapi (fun i p -> (i, p)) points in
+  let incumbent = ref None in
+  let yardstick = ref 0 in
+  (* seed: full-assess points in order until one is feasible *)
+  let rec seed = function
+    | [] -> []
+    | (i, p) :: rest -> (
+        match Backend.assess backend config kernel (variant p) with
+        | Ok v ->
+            results.(i) <- Some (Priced v);
+            incumbent := Some v.Backend.cycles;
+            yardstick := Stdlib.max 1 v.Backend.cost.Backend.machine_events;
+            rest
+        | Error e ->
+            results.(i) <- Some (Rejected e);
+            seed rest)
+  in
+  let racing = ref (seed indexed) in
+  for r = 1 to rungs - 1 do
+    if !racing <> [] then begin
+      (match obs with Some sink -> Sw_obs.Sink.incr sink "search.rungs" | None -> ());
+      let last = r = rungs - 1 in
+      let budget =
+        if last then None else Some (Stdlib.max 256 (!yardstick / (1 lsl (rungs - 1 - r))))
+      in
+      let cutoff = !incumbent in
+      let assessed =
+        map_points ?pool
+          (fun (i, p) ->
+            (i, p, Backend.assess_budget ?cutoff ?event_budget:budget backend config kernel (variant p)))
+          !racing
+      in
+      let survivors = ref [] in
+      List.iter
+        (fun (i, _, a) ->
+          match a with
+          | Backend.Assessed v ->
+              sunk.(i) <- Backend.add_cost sunk.(i) v.Backend.cost;
+              results.(i) <- Some (Priced { v with Backend.cost = sunk.(i) });
+              (match !incumbent with
+              | Some c when v.Backend.cycles >= c -> ()
+              | _ -> incumbent := Some v.Backend.cycles)
+          | Backend.Infeasible e -> results.(i) <- Some (Rejected e)
+          | Backend.Cut_off { at; cost } ->
+              sunk.(i) <- Backend.add_cost sunk.(i) cost;
+              (* a cut past the cycle cutoff is a proof of defeat, not a
+                 budget exhaustion: prune now instead of re-racing *)
+              let beaten = match cutoff with Some c -> at > c | None -> false in
+              if last || beaten then results.(i) <- Some (Pruned sunk.(i))
+              else survivors := (i, at) :: !survivors)
+        assessed;
+      if not last then begin
+        let scored =
+          List.sort (fun (i1, a1) (i2, a2) -> compare (a1, i1) (a2, i2)) (List.rev !survivors)
+        in
+        let keep_n = (List.length scored + 1) / 2 in
+        let rec split n = function
+          | x :: rest when n > 0 ->
+              let keep, drop = split (n - 1) rest in
+              (x :: keep, drop)
+          | rest -> ([], rest)
+        in
+        let keep, drop = split keep_n scored in
+        List.iter (fun (i, _) -> results.(i) <- Some (Pruned sunk.(i))) drop;
+        racing :=
+          List.filter (fun (i, _) -> List.mem_assoc i keep) indexed
+      end
+    end
+  done;
+  let pruned = ref 0 in
+  let final =
+    List.map
+      (fun (i, p) ->
+        match results.(i) with
+        | Some res ->
+            (match res with Pruned _ -> incr pruned | Priced _ | Rejected _ -> ());
+            (p, res)
+        | None ->
+            (* rungs = 1 never enters the loop; handled by the caller *)
+            assert false)
+      indexed
+  in
+  observe_pruned obs !pruned;
+  ( final,
+    {
+      strategy = name (Successive_halving { rungs });
+      pruned = !pruned;
+      rank_host_s = 0.0;
+      rank_machine_us = 0.0;
+    } )
+
+let run strategy ~backend ~active_cpes ?pool ?obs config kernel ~points =
+  match strategy with
+  | Exhaustive ->
+      ( run_exhaustive ~backend ~active_cpes ?pool config kernel points,
+        { strategy = "exhaustive"; pruned = 0; rank_host_s = 0.0; rank_machine_us = 0.0 } )
+  | Shortlist { rank; k } ->
+      run_shortlist ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points
+  | Successive_halving { rungs } when rungs <= 1 ->
+      (* one rung races nothing: identical to exhaustive by construction *)
+      ( run_exhaustive ~backend ~active_cpes ?pool config kernel points,
+        {
+          strategy = name (Successive_halving { rungs });
+          pruned = 0;
+          rank_host_s = 0.0;
+          rank_machine_us = 0.0;
+        } )
+  | Successive_halving { rungs } ->
+      run_halving ~rungs ~backend ~active_cpes ?pool ?obs config kernel points

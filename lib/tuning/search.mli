@@ -1,0 +1,87 @@
+(** Search strategies: how a tuner walks its space.
+
+    The paper's pitch is that a precise static model makes auto-tuning
+    affordable because a model evaluation is orders of magnitude
+    cheaper than a measurement.  This module turns that argument into
+    search structure: instead of paying the expensive backend
+    (simulator, hybrid) for {e every} point, a strategy decides which
+    points deserve a full-fidelity assessment and what budget each one
+    gets.
+
+    All strategies compose with {!Sw_util.Pool} (deterministic at any
+    pool size) and with an observability sink, and none of them ever
+    fabricates a cycles number: a point is either {!Priced} by the real
+    backend, {!Rejected} at compile time, or {!Pruned} with only its
+    sunk cost recorded. *)
+
+type t =
+  | Exhaustive
+      (** Assess every point with the main backend — the pre-strategy
+          behaviour, bit-identical at any pool size. *)
+  | Shortlist of { rank : Sw_backend.Backend.t; k : int }
+      (** Rank the whole space with the cheap [rank] backend (default
+          the static model), then verify only the [k] best-ranked
+          points with the main backend, best first, carrying the
+          running incumbent's cycles as a strict cutoff so losing
+          verifications abandon early.  Returns the same best variant
+          as [Exhaustive] whenever the ranker's top-[k] contains the
+          true argmin — the paper's model is precise enough that a
+          small [k] (a quarter of the space) suffices on every Table II
+          kernel. *)
+  | Successive_halving of { rungs : int }
+      (** Race all points through [rungs] rounds of growing
+          event-budget, halving the field between rounds by partial
+          progress; the final rung runs unmetered under the incumbent
+          cutoff.  [rungs <= 1] degrades to [Exhaustive] exactly. *)
+
+val exhaustive : t
+
+val shortlist : ?rank:Sw_backend.Backend.t -> k:int -> unit -> t
+(** [rank] defaults to {!Sw_backend.Backend.static_model}. *)
+
+val successive_halving : rungs:int -> t
+(** @raise Invalid_argument when [rungs < 1]. *)
+
+val name : t -> string
+(** Human/JSON label: ["exhaustive"], ["shortlist(model,k=6)"],
+    ["successive-halving(rungs=3)"]. *)
+
+(** What the search decided about one point. *)
+type result_ =
+  | Priced of Sw_backend.Backend.verdict  (** Fully assessed by the main backend. *)
+  | Rejected of Sw_backend.Backend.infeasibility  (** Compile-time infeasible. *)
+  | Pruned of Sw_backend.Backend.cost
+      (** Skipped (never assessed, zero cost) or abandoned mid-run (the
+          sunk prefix cost, summed across successive-halving rungs). *)
+
+type stats = {
+  strategy : string;  (** {!name} of the strategy that ran. *)
+  pruned : int;  (** Points with a [Pruned] result. *)
+  rank_host_s : float;  (** Host seconds of the shortlist ranking pass (0 otherwise). *)
+  rank_machine_us : float;
+      (** Machine time billed by the ranking backend (0 for the static
+          model; nonzero if a simulating backend ranks). *)
+}
+
+val run :
+  t ->
+  backend:Sw_backend.Backend.t ->
+  active_cpes:int ->
+  ?pool:Sw_util.Pool.t ->
+  ?obs:Sw_obs.Sink.t ->
+  Sw_sim.Config.t ->
+  Sw_swacc.Kernel.t ->
+  points:Space.point list ->
+  (Space.point * result_) list * stats
+(** Run the strategy over [points].  Results come back in enumeration
+    order, one per input point, so the caller's argmin (strict [<],
+    earliest index wins) sees exactly the exhaustive ordering.
+
+    With [obs], the search bumps ["search.pruned"] (points pruned) and
+    ["search.rungs"] (successive-halving rounds raced); per-assessment
+    telemetry comes from wrapping [backend] with
+    {!Sw_backend.Backend.instrument} before calling.
+
+    Determinism: for every strategy the result list — and therefore
+    the argmin — is identical at any pool size.  [Exhaustive] is
+    furthermore bit-identical to the pre-strategy tuner. *)

@@ -8,6 +8,7 @@ let backend_of_method = function
 
 type outcome = {
   backend : string;
+  strategy : string;
   best : Sw_swacc.Kernel.variant;
   best_cycles : float;
   default_cycles : float;
@@ -17,10 +18,13 @@ type outcome = {
   machine_time_us : float;
   evaluated : int;
   infeasible : int;
+  points_pruned : int;
+  rank_host_s : float;
+  rank_machine_us : float;
 }
 
-let tune ~backend ?(active_cpes = 64) ?default ?pool ?obs (config : Sw_sim.Config.t) kernel
-    ~points =
+let tune ~backend ?(strategy = Search.Exhaustive) ?(active_cpes = 64) ?default ?pool ?obs
+    (config : Sw_sim.Config.t) kernel ~points =
   let params = config.Sw_sim.Config.params in
   (* Observability never steers the search: [instrument] wraps the
      backend with pure recording, so verdicts — and hence the argmin —
@@ -33,27 +37,32 @@ let tune ~backend ?(active_cpes = 64) ?default ?pool ?obs (config : Sw_sim.Confi
   let cpu0 = Sys.time () in
   (* Assessing one point is pure up to the backend's internal
      mutex-guarded caches.  That makes the fan-out over a domain pool
-     safe, and verdicts arrive in enumeration order either way, so the
-     argmin below (strict [<], earliest index wins ties) is
+     safe, and every strategy returns results in enumeration order, so
+     the argmin below (strict [<], earliest index wins ties) is
      bit-identical to the sequential run. *)
-  let assess point =
-    let variant = Space.to_variant point ~active_cpes in
-    (point, Backend.assess backend config kernel variant)
-  in
-  let results =
-    match pool with
-    | Some p -> Sw_util.Pool.map p assess points
-    | None -> List.map assess points
+  let results, sstats =
+    Search.run strategy ~backend ~active_cpes ?pool ?obs config kernel ~points
   in
   let tuning_host_s = Unix.gettimeofday () -. wall0 in
   let tuning_cpu_s = Sys.time () -. cpu0 in
   let scored =
-    List.filter_map (function p, Ok v -> Some (p, v) | _, Error _ -> None) results
+    List.filter_map (function p, Search.Priced v -> Some (p, v) | _ -> None) results
   in
   let evaluated = List.length scored in
-  let infeasible = List.length points - evaluated in
+  let infeasible =
+    List.length (List.filter (function _, Search.Rejected _ -> true | _ -> false) results)
+  in
+  let points_pruned = sstats.Search.pruned in
+  (* The search's full machine bill: completed verdicts, the sunk
+     prefixes of pruned runs, and whatever the ranking pass simulated. *)
   let machine_time_us =
-    List.fold_left (fun acc (_, v) -> acc +. v.Backend.cost.Backend.machine_us) 0.0 scored
+    List.fold_left
+      (fun acc (_, r) ->
+        match r with
+        | Search.Priced v -> acc +. v.Backend.cost.Backend.machine_us
+        | Search.Pruned c -> acc +. c.Backend.machine_us
+        | Search.Rejected _ -> acc)
+      sstats.Search.rank_machine_us results
   in
   (match (obs, span_t0) with
   | Some sink, Some t0 ->
@@ -61,6 +70,7 @@ let tune ~backend ?(active_cpes = 64) ?default ?pool ?obs (config : Sw_sim.Confi
       Sw_obs.Sink.incr sink ~by:(List.length points) "tuner.points";
       Sw_obs.Sink.incr sink ~by:evaluated "tuner.evaluated";
       Sw_obs.Sink.incr sink ~by:infeasible "tuner.infeasible";
+      Sw_obs.Sink.incr sink ~by:points_pruned "tuner.pruned";
       Sw_obs.Sink.add sink "tuner.machine_us" machine_time_us;
       Sw_obs.Sink.record sink
         {
@@ -73,9 +83,11 @@ let tune ~backend ?(active_cpes = 64) ?default ?pool ?obs (config : Sw_sim.Confi
           args =
             [
               ("backend", Sw_obs.Sink.String (Backend.name backend));
+              ("strategy", Sw_obs.Sink.String sstats.Search.strategy);
               ("points", Sw_obs.Sink.Int (List.length points));
               ("evaluated", Sw_obs.Sink.Int evaluated);
               ("infeasible", Sw_obs.Sink.Int infeasible);
+              ("pruned", Sw_obs.Sink.Int points_pruned);
               ("machine_us", Sw_obs.Sink.Float machine_time_us);
             ];
         }
@@ -83,7 +95,9 @@ let tune ~backend ?(active_cpes = 64) ?default ?pool ?obs (config : Sw_sim.Confi
   match scored with
   | [] ->
       let detail =
-        match List.find_map (function _, Error e -> Some e | _ -> None) results with
+        match
+          List.find_map (function _, Search.Rejected e -> Some e | _ -> None) results
+        with
         | Some { Backend.backend = b; reason } -> Printf.sprintf " (%s: %s)" b reason
         | None -> ""
       in
@@ -101,9 +115,10 @@ let tune ~backend ?(active_cpes = 64) ?default ?pool ?obs (config : Sw_sim.Confi
       let best_variant = Space.to_variant best_point ~active_cpes in
       (* Quality is always judged on the machine, whichever backend
          searched: one validation run per variant, not billed as tuning
-         cost. *)
+         cost.  The cached lowering means re-running what the simulator
+         backend just assessed compiles nothing. *)
       let run_variant variant =
-        Sw_backend.Machine.cycles config (Sw_swacc.Lower.lower_exn params kernel variant)
+        Sw_backend.Machine.cycles config (Sw_swacc.Lower.lower_cached_exn params kernel variant)
       in
       let best_cycles = run_variant best_variant in
       let default_variant =
@@ -115,6 +130,7 @@ let tune ~backend ?(active_cpes = 64) ?default ?pool ?obs (config : Sw_sim.Confi
       Ok
         {
           backend = Backend.name backend;
+          strategy = sstats.Search.strategy;
           best = best_variant;
           best_cycles;
           default_cycles;
@@ -124,24 +140,27 @@ let tune ~backend ?(active_cpes = 64) ?default ?pool ?obs (config : Sw_sim.Confi
           machine_time_us;
           evaluated;
           infeasible;
+          points_pruned;
+          rank_host_s = sstats.Search.rank_host_s;
+          rank_machine_us = sstats.Search.rank_machine_us;
         }
 
-let tune_exn ~backend ?active_cpes ?default ?pool ?obs config kernel ~points =
-  match tune ~backend ?active_cpes ?default ?pool ?obs config kernel ~points with
+let tune_exn ~backend ?strategy ?active_cpes ?default ?pool ?obs config kernel ~points =
+  match tune ~backend ?strategy ?active_cpes ?default ?pool ?obs config kernel ~points with
   | Ok o -> o
   | Error (`No_feasible_point msg) -> invalid_arg ("Tuner.tune: " ^ msg)
 
-let tune_method ~method_ ?active_cpes ?default ?pool ?obs config kernel ~points =
-  tune ~backend:(backend_of_method method_) ?active_cpes ?default ?pool ?obs config kernel
-    ~points
+let tune_method ~method_ ?strategy ?active_cpes ?default ?pool ?obs config kernel ~points =
+  tune ~backend:(backend_of_method method_) ?strategy ?active_cpes ?default ?pool ?obs config
+    kernel ~points
 
 let quality_loss ~static ~empirical =
   (static.best_cycles -. empirical.best_cycles) /. empirical.best_cycles
 
 let pp_outcome fmt o =
   Format.fprintf fmt
-    "@[<v>%s tuner: best grain=%d unroll=%d db=%b@,speedup %.2fx (%.0f -> %.0f cycles)@,host %.3f \
-     s wall (%.3f s cpu), machine %.0f us, %d evaluated, %d infeasible@]"
-    o.backend o.best.Sw_swacc.Kernel.grain o.best.Sw_swacc.Kernel.unroll
+    "@[<v>%s tuner (%s): best grain=%d unroll=%d db=%b@,speedup %.2fx (%.0f -> %.0f cycles)@,\
+     host %.3f s wall (%.3f s cpu), machine %.0f us, %d evaluated, %d infeasible, %d pruned@]"
+    o.backend o.strategy o.best.Sw_swacc.Kernel.grain o.best.Sw_swacc.Kernel.unroll
     o.best.Sw_swacc.Kernel.double_buffer o.speedup o.default_cycles o.best_cycles o.tuning_host_s
-    o.tuning_cpu_s o.machine_time_us o.evaluated o.infeasible
+    o.tuning_cpu_s o.machine_time_us o.evaluated o.infeasible o.points_pruned

@@ -30,6 +30,7 @@ val backend_of_method : method_ -> Sw_backend.Backend.t
 
 type outcome = {
   backend : string;  (** Name of the backend that searched. *)
+  strategy : string;  (** {!Search.name} of the strategy that walked the space. *)
   best : Sw_swacc.Kernel.variant;
   best_cycles : float;
       (** Simulated cycles of the chosen variant (quality measure; this
@@ -48,12 +49,22 @@ type outcome = {
       (** Simulated machine microseconds billed by the backend's
           verdicts (0 for purely static backends; per-variant runs for
           the simulator; one profile per kernel for the hybrid). *)
-  evaluated : int;  (** Variants the backend priced. *)
-  infeasible : int;  (** Variants the backend rejected (SPM, …). *)
+  evaluated : int;  (** Variants the backend priced in full. *)
+  infeasible : int;  (** Variants rejected at compile time (SPM, …). *)
+  points_pruned : int;
+      (** Variants the strategy skipped or abandoned mid-run — never
+          priced by the main backend (0 under [Exhaustive]). *)
+  rank_host_s : float;
+      (** Host seconds of the shortlist ranking pass (0 otherwise);
+          included in [tuning_host_s]. *)
+  rank_machine_us : float;
+      (** Machine time billed by the shortlist ranking backend;
+          included in [machine_time_us]. *)
 }
 
 val tune :
   backend:Sw_backend.Backend.t ->
+  ?strategy:Search.t ->
   ?active_cpes:int ->
   ?default:Sw_swacc.Kernel.variant ->
   ?pool:Sw_util.Pool.t ->
@@ -64,27 +75,36 @@ val tune :
   (outcome, [ `No_feasible_point of string ]) result
 (** Search [points] under [backend] and return the outcome, or a typed
     error (carrying a human-readable message with the first backend
-    rejection) when every point is infeasible.  [default] defaults to
-    the first feasible point with unroll 1; [active_cpes] to one core
-    group's 64.
+    rejection) when every point is infeasible.  [strategy] (default
+    {!Search.Exhaustive}) decides which points the backend prices and
+    at what budget; [default] defaults to the first {e priced} point
+    with unroll 1 (pass an explicit [default] when comparing strategies
+    — a pruning strategy may not price the same first point);
+    [active_cpes] to one core group's 64.
 
     When [pool] is given, variant assessment fans out over its domains.
     The argmin is order-independent (strict improvement only, ties
     broken by enumeration index), so [best], [best_cycles], [evaluated]
     and [infeasible] are identical to the sequential search for any
-    pool size.
+    pool size — for every strategy.
+
+    [machine_time_us] bills everything the search simulated: completed
+    verdicts, the sunk prefixes of cut-off runs, and the ranking pass.
 
     When [obs] is given, the search is telemetered into that sink —
     the backend is wrapped with {!Sw_backend.Backend.instrument} (one
     host span per variant assessment, attributed to the pool domain
     that ran it), one ["tuner"] span covers the whole search, and the
     ["tuner.searches"/"tuner.points"/"tuner.evaluated"/
-    "tuner.infeasible"/"tuner.machine_us"] counters accumulate search
-    progress.  Tracing is purely an observer: the outcome is
-    bit-identical with and without [obs], at any pool size. *)
+    "tuner.infeasible"/"tuner.pruned"/"tuner.machine_us"] counters
+    accumulate search progress (pruning strategies additionally bump
+    ["search.pruned"]/["search.rungs"]).  Tracing is purely an
+    observer: the outcome is bit-identical with and without [obs], at
+    any pool size. *)
 
 val tune_exn :
   backend:Sw_backend.Backend.t ->
+  ?strategy:Search.t ->
   ?active_cpes:int ->
   ?default:Sw_swacc.Kernel.variant ->
   ?pool:Sw_util.Pool.t ->
@@ -97,6 +117,7 @@ val tune_exn :
 
 val tune_method :
   method_:method_ ->
+  ?strategy:Search.t ->
   ?active_cpes:int ->
   ?default:Sw_swacc.Kernel.variant ->
   ?pool:Sw_util.Pool.t ->

@@ -328,8 +328,8 @@ let test_register_custom_backend () =
 
       let description = "test backend"
 
-      let assess _ _ _ =
-        Ok { Backend.cycles = 42.0; cost = Backend.zero_cost; breakdown = None }
+      let assess ?cutoff:_ ?event_budget:_ _ _ _ =
+        Backend.Assessed { Backend.cycles = 42.0; cost = Backend.zero_cost; breakdown = None }
     end)
   in
   Backend.register "oracle" (fun () -> custom);

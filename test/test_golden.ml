@@ -96,6 +96,28 @@ let test_fig4_trace_golden () =
   check_golden ~file:"fig4_compute_trace.json" json
 
 (* ------------------------------------------------------------------ *)
+(* Figure 4, memory-bound scenario at 8 CPEs: the DMA-dominated
+   timeline, where the async request arrows and mc_busy bars carry the
+   story the compute-bound golden cannot *)
+
+let fig4_mem_outputs =
+  lazy
+    (let sink = Sink.create () in
+     let r = Sw_experiments.Fig4_timeline.run_memory_bound ~active_cpes:8 ~obs:sink () in
+     (r.Sw_experiments.Fig4_timeline.timeline, normalize (Chrome.to_string sink)))
+
+let test_fig4_mem_timeline_golden () =
+  let timeline, _ = Lazy.force fig4_mem_outputs in
+  check_golden ~file:"fig4_memory_timeline.txt" timeline
+
+let test_fig4_mem_trace_golden () =
+  let _, json = Lazy.force fig4_mem_outputs in
+  (match Json.validate json with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "normalized trace is invalid JSON: %s" msg);
+  check_golden ~file:"fig4_memory_trace.json" json
+
+(* ------------------------------------------------------------------ *)
 (* Table II kernel: kmeans, default variant, scale 0.25 *)
 
 let kmeans_outputs =
@@ -128,11 +150,55 @@ let test_kmeans_trace_golden () =
   | Error msg -> Alcotest.failf "normalized trace is invalid JSON: %s" msg);
   check_golden ~file:"kmeans_trace.json" json
 
+(* ------------------------------------------------------------------ *)
+(* Gload-heavy irregular kernel: bfs, default variant, small scale —
+   locks down the gload-stall span stream, which no other golden
+   exercises *)
+
+let bfs_outputs =
+  lazy
+    (let p = Sw_arch.Params.default in
+     let config = Sw_sim.Config.default p in
+     let e = Sw_workloads.Registry.find_exn "bfs" in
+     let kernel = e.Sw_workloads.Registry.build ~scale:0.02 in
+     (* 8 CPEs keep the golden small while still exercising gather
+        traffic from every simulated core *)
+     let variant = { e.Sw_workloads.Registry.variant with Sw_swacc.Kernel.active_cpes = 8 } in
+     let lowered = Sw_swacc.Lower.lower_exn p kernel variant in
+     let sink = Sink.create () in
+     let m, trace =
+       Probe.run_traced sink ~name:"bfs" config lowered.Sw_swacc.Lowered.programs
+     in
+     (match Probe.reconcile m trace with
+     | Ok () -> ()
+     | Error msg -> Alcotest.failf "bfs trace does not reconcile: %s" msg);
+     let timeline =
+       Sw_sim.Trace.render ~width:72 ~max_cpes:8 ~makespan:m.Sw_sim.Metrics.cycles trace
+     in
+     (timeline, normalize (Chrome.to_string sink)))
+
+let test_bfs_timeline_golden () =
+  let timeline, _ = Lazy.force bfs_outputs in
+  check_golden ~file:"bfs_timeline.txt" timeline
+
+let test_bfs_trace_golden () =
+  let _, json = Lazy.force bfs_outputs in
+  (match Json.validate json with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "normalized trace is invalid JSON: %s" msg);
+  check_golden ~file:"bfs_trace.json" json
+
 let tests =
   ( "golden",
     [
       Alcotest.test_case "fig4 timeline matches golden" `Quick test_fig4_timeline_golden;
       Alcotest.test_case "fig4 chrome trace matches golden" `Quick test_fig4_trace_golden;
+      Alcotest.test_case "fig4 memory timeline matches golden" `Quick
+        test_fig4_mem_timeline_golden;
+      Alcotest.test_case "fig4 memory chrome trace matches golden" `Quick
+        test_fig4_mem_trace_golden;
       Alcotest.test_case "kmeans timeline matches golden" `Quick test_kmeans_timeline_golden;
       Alcotest.test_case "kmeans chrome trace matches golden" `Quick test_kmeans_trace_golden;
+      Alcotest.test_case "bfs timeline matches golden" `Quick test_bfs_timeline_golden;
+      Alcotest.test_case "bfs chrome trace matches golden" `Quick test_bfs_trace_golden;
     ] )

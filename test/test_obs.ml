@@ -223,8 +223,18 @@ let test_probe_counters_match_metrics () =
     (c "sim.dma_requests");
   Alcotest.(check (float 0.0)) "comp_cycles_sum" m.Sw_sim.Metrics.comp_cycles_sum
     (c "sim.comp_cycles_sum");
-  Alcotest.(check int) "one machine span per trace span" (List.length trace)
-    (Sink.span_count sink)
+  (* machine spans = per-CPE activity + one mc_busy totals bar per
+     controller that served traffic; DMA lifetimes land in the separate
+     async stream, one per request *)
+  let mc_bars =
+    Array.fold_left
+      (fun acc b -> if b > 0.0 then acc + 1 else acc)
+      0 m.Sw_sim.Metrics.mc_busy_cycles
+  in
+  Alcotest.(check int) "machine spans = trace spans + mc busy bars"
+    (List.length trace + mc_bars) (Sink.span_count sink);
+  Alcotest.(check int) "one async span per dma request" m.Sw_sim.Metrics.dma_requests
+    (Sink.async_count sink)
 
 let test_probe_reconcile_ok () =
   let _, m, trace = observed_kmeans () in
