@@ -363,6 +363,52 @@ let backends () =
               ])
           rows))
 
+(* Argmin survival under deterministic fault plans: nominal pick vs the
+   Search.robust min-of-worst-case pick across SWPM_ROBUST_SEEDS (default
+   8) perturbed machines.  Gate: the robust pick's worst case is never
+   worse than the nominal pick's (gain >= 1). *)
+let robust () =
+  let seeds =
+    match Sys.getenv_opt "SWPM_ROBUST_SEEDS" with
+    | Some s -> (try Stdlib.max 1 (int_of_string s) with _ -> 8)
+    | None -> 8
+  in
+  section (Printf.sprintf "Robust: argmin survival under %d fault plans" seeds);
+  let rows = Sw_experiments.Robustness_study.run ~pool:(Lazy.force pool) ~seeds () in
+  Sw_experiments.Robustness_study.print rows;
+  let mean_survival =
+    List.fold_left (fun acc r -> acc +. r.Sw_experiments.Robustness_study.survival) 0.0 rows
+    /. float_of_int (Stdlib.max 1 (List.length rows))
+  in
+  let gain_ok =
+    List.for_all (fun r -> r.Sw_experiments.Robustness_study.worst_case_gain >= 1.0 -. 1e-9) rows
+  in
+  Printf.printf "mean argmin survival %.0f%%; robust pick never worse in the worst case: %b\n"
+    (100.0 *. mean_survival) gain_ok;
+  add_json "robust"
+    (json_obj
+       [
+         ("seeds", string_of_int seeds);
+         ("mean_survival", json_float mean_survival);
+         ("robust_never_worse", string_of_bool gain_ok);
+         ( "kernels",
+           json_list
+             (List.map
+                (fun (r : Sw_experiments.Robustness_study.row) ->
+                  json_obj
+                    [
+                      ("kernel", Printf.sprintf "%S" r.name);
+                      ("points", string_of_int r.points);
+                      ("survival", json_float r.survival);
+                      ("same_pick", string_of_bool r.same_pick);
+                      ("nominal_worst", json_float r.nominal_worst);
+                      ("robust_worst", json_float r.robust_worst);
+                      ("worst_case_gain", json_float r.worst_case_gain);
+                    ])
+                rows) );
+       ]);
+  if not gain_ok then exit 1
+
 (* ------------------------------------------------------------------ *)
 (* Observability: emit Chrome trace files for the Figure 4 scenarios
    and one Table II search, and prove they parse.  This is the CI obs
@@ -553,6 +599,7 @@ let all =
     ("parallel", parallel);
     ("prune", prune);
     ("backends", backends);
+    ("robust", robust);
     ("obs", obs);
     ("fig4", fig4);
     ("coalescing", coalescing);

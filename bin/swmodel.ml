@@ -48,6 +48,43 @@ let pool_of domains =
 
 let params_of_cgs cgs = Sw_arch.Params.with_cgs Sw_arch.Params.default cgs
 
+let seed_arg =
+  let doc =
+    "Process-wide PRNG seed: the simulator's start jitter and every fault plan derive from it, \
+     so two runs with the same seed are bit-identical."
+  in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let faults_arg =
+  let doc =
+    "Inject deterministic faults planned from $(docv): jittered latency/bandwidth, transient \
+     DMA failures (modeled retry + exponential backoff), straggler CPEs and throttled memory \
+     controllers.  Same seed, same faults."
+  in
+  Arg.(value & opt (some int) None & info [ "faults" ] ~docv:"SEED" ~doc)
+
+let fault_level_arg =
+  let doc = "Fault severity for --faults: $(b,none), $(b,mild) or $(b,harsh)." in
+  Arg.(value & opt string "mild" & info [ "fault-level" ] ~docv:"LEVEL" ~doc)
+
+let fault_spec_of level =
+  match Sw_fault.Fault.of_string level with
+  | Some spec -> spec
+  | None ->
+      Printf.eprintf "swmodel: unknown fault level %S (available: none, mild, harsh)\n" level;
+      exit 1
+
+(* --seed sets the process-wide default and reseeds the simulator's
+   start jitter; --faults then perturbs the configuration itself *)
+let config_of params ~seed ~faults ~fault_level =
+  Option.iter Sw_util.Prng.set_global_seed seed;
+  let config =
+    { (Sw_sim.Config.default params) with Sw_sim.Config.seed = Sw_util.Prng.global_seed () }
+  in
+  match faults with
+  | None -> config
+  | Some fseed -> Sw_fault.Fault.plan ~spec:(fault_spec_of fault_level) ~seed:fseed config
+
 let backend_arg =
   let doc =
     "Cost backend: $(b,model) (static model), $(b,sim) (cycle-level simulator), $(b,hybrid) \
@@ -111,12 +148,12 @@ let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Print the Table I machine parameters.") Term.(const run $ const ())
 
 let predict_cmd =
-  let run name scale cgs grain unroll cpes db backend_name trace =
+  let run name scale cgs grain unroll cpes db backend_name trace seed faults fault_level =
     let entry = Sw_workloads.Registry.find_exn name in
     let params = params_of_cgs cgs in
     let variant = variant_of entry grain unroll cpes db in
-    match (backend_name, trace) with
-    | ("model" | "static" | "static-model"), None ->
+    match (backend_name, trace, faults) with
+    | ("model" | "static" | "static-model"), None, None ->
         let lowered = lower_entry params entry scale variant in
         Format.printf "%a@.@.%a@." Sw_swacc.Lowered.pp_summary lowered.Sw_swacc.Lowered.summary
           Swpm.Predict.pp
@@ -129,7 +166,7 @@ let predict_cmd =
           | Some s -> Sw_backend.Backend.instrument s backend
           | None -> backend
         in
-        let config = Sw_sim.Config.default params in
+        let config = config_of params ~seed ~faults ~fault_level in
         let kernel = entry.Sw_workloads.Registry.build ~scale in
         match Sw_backend.Backend.assess backend config kernel variant with
         | Error { Sw_backend.Backend.backend = b; reason } ->
@@ -149,14 +186,16 @@ let predict_cmd =
     (Cmd.info "predict" ~doc:"Price a kernel variant through a cost backend (default: the model).")
     Term.(
       const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg
-      $ backend_arg $ trace_arg)
+      $ backend_arg $ trace_arg $ seed_arg $ faults_arg $ fault_level_arg)
 
 let simulate_cmd =
-  let run name scale cgs grain unroll cpes db =
+  let run name scale cgs grain unroll cpes db seed faults fault_level =
     let entry = Sw_workloads.Registry.find_exn name in
     let params = params_of_cgs cgs in
-    let lowered = lower_entry params entry scale (variant_of entry grain unroll cpes db) in
-    let config = Sw_sim.Config.default params in
+    let config = config_of params ~seed ~faults ~fault_level in
+    let lowered =
+      lower_entry config.Sw_sim.Config.params entry scale (variant_of entry grain unroll cpes db)
+    in
     let row = Sw_backend.Accuracy.evaluate config lowered in
     Format.printf "%a@.@.Prediction:@.%a@.@.error: %.1f%%@." Sw_sim.Metrics.pp
       row.Sw_backend.Accuracy.measured Swpm.Predict.pp row.Sw_backend.Accuracy.predicted
@@ -164,7 +203,9 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate a kernel and compare against the model.")
-    Term.(const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg)
+    Term.(
+      const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg
+      $ seed_arg $ faults_arg $ fault_level_arg)
 
 let strategy_arg =
   let doc =
@@ -206,33 +247,59 @@ let json_outcome (o : Sw_tuning.Tuner.outcome) =
      \"active_cpes\": %d, \"double_buffer\": %b}, \"best_cycles\": %.6g, \"default_cycles\": \
      %.6g, \"speedup\": %.6g, \"tuning_host_s\": %.6g, \"tuning_cpu_s\": %.6g, \
      \"machine_time_us\": %.6g, \"evaluated\": %d, \"infeasible\": %d, \"pruned\": %d, \
-     \"rank_host_s\": %.6g, \"rank_machine_us\": %.6g}"
+     \"rank_host_s\": %.6g, \"rank_machine_us\": %.6g, \"journal_hits\": %d, \
+     \"journal_misses\": %d}"
     o.Sw_tuning.Tuner.backend o.Sw_tuning.Tuner.strategy b.Sw_swacc.Kernel.grain
     b.Sw_swacc.Kernel.unroll b.Sw_swacc.Kernel.active_cpes b.Sw_swacc.Kernel.double_buffer
     o.Sw_tuning.Tuner.best_cycles o.Sw_tuning.Tuner.default_cycles o.Sw_tuning.Tuner.speedup
     o.Sw_tuning.Tuner.tuning_host_s o.Sw_tuning.Tuner.tuning_cpu_s
     o.Sw_tuning.Tuner.machine_time_us o.Sw_tuning.Tuner.evaluated o.Sw_tuning.Tuner.infeasible
     o.Sw_tuning.Tuner.points_pruned o.Sw_tuning.Tuner.rank_host_s
-    o.Sw_tuning.Tuner.rank_machine_us
+    o.Sw_tuning.Tuner.rank_machine_us o.Sw_tuning.Tuner.journal_hits
+    o.Sw_tuning.Tuner.journal_misses
+
+let checkpoint_arg =
+  let doc =
+    "Crash-safe tuning: journal every assessed point to $(docv) (append-only JSON lines, \
+     flushed per point).  Rerunning with the same $(docv) after an interruption replays the \
+     journaled points and reaches a bit-identical argmin without re-assessing them."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let robust_arg =
+  let doc =
+    "Robust tuning: after the shortlist pass, re-assess every surviving point under $(docv) \
+     seeded fault plans (severity from --fault-level) and pick the min-of-worst-case variant \
+     (0 = off)."
+  in
+  Arg.(value & opt int 0 & info [ "robust" ] ~docv:"SEEDS" ~doc)
 
 let tune_cmd =
-  let run name scale backend_name strategy_name shortlist_k rungs json domains trace =
+  let run name scale backend_name strategy_name shortlist_k rungs json domains trace seed faults
+      fault_level checkpoint robust_seeds =
     let entry = Sw_workloads.Registry.find_exn name in
-    let params = Sw_arch.Params.default in
-    let config = Sw_sim.Config.default params in
+    let config = config_of Sw_arch.Params.default ~seed ~faults ~fault_level in
     let kernel = entry.Sw_workloads.Registry.build ~scale in
     let points =
       Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
         ~unrolls:entry.Sw_workloads.Registry.unrolls ()
     in
+    let n_points = List.length points in
     let strategy =
-      strategy_of strategy_name ~shortlist_k ~rungs ~n_points:(List.length points)
+      if robust_seeds > 0 || strategy_name = "robust" then begin
+        let n = if robust_seeds > 0 then robust_seeds else 8 in
+        let k = if shortlist_k > 0 then shortlist_k else Stdlib.max 1 (n_points / 4) in
+        Sw_tuning.Search.robust ~k
+          ~seeds:(List.init n (fun i -> 1 + i))
+          ~spec:(fault_spec_of fault_level) ()
+      end
+      else strategy_of strategy_name ~shortlist_k ~rungs ~n_points
     in
     let backend = backend_of_name backend_name in
     let sink = Option.map (fun _ -> Sw_obs.Sink.create ()) trace in
     match
-      Sw_tuning.Tuner.tune ~backend ~strategy ?pool:(pool_of domains) ?obs:sink config kernel
-        ~points
+      Sw_tuning.Tuner.tune ~backend ~strategy ?pool:(pool_of domains) ?obs:sink ?checkpoint
+        config kernel ~points
     with
     | Ok outcome ->
         if json then print_endline (json_outcome outcome)
@@ -244,7 +311,8 @@ let tune_cmd =
                the trace its machine timeline, reconciled against the
                simulator's own accounting *)
             let lowered =
-              Sw_swacc.Lower.lower_exn params kernel outcome.Sw_tuning.Tuner.best
+              Sw_swacc.Lower.lower_exn config.Sw_sim.Config.params kernel
+                outcome.Sw_tuning.Tuner.best
             in
             let metrics, tr =
               Sw_obs.Probe.run_traced sink ~name:("best:" ^ name) config
@@ -263,7 +331,8 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Auto-tune a kernel's tile size and unroll factor under a cost backend.")
     Term.(
       const run $ kernel_arg $ scale_arg $ backend_arg $ strategy_arg $ shortlist_arg $ rungs_arg
-      $ json_arg $ domains_arg $ trace_arg)
+      $ json_arg $ domains_arg $ trace_arg $ seed_arg $ faults_arg $ fault_level_arg
+      $ checkpoint_arg $ robust_arg)
 
 let fig6_cmd =
   let run scale domains =
@@ -345,11 +414,12 @@ let asm_cmd =
       $ annotate_arg $ cpe_index_arg)
 
 let timeline_cmd =
-  let run name scale grain unroll cpes db trace_out =
+  let run name scale grain unroll cpes db trace_out seed faults fault_level =
     let entry = Sw_workloads.Registry.find_exn name in
-    let params = Sw_arch.Params.default in
-    let lowered = lower_entry params entry scale (variant_of entry grain unroll cpes db) in
-    let config = Sw_sim.Config.default params in
+    let config = config_of Sw_arch.Params.default ~seed ~faults ~fault_level in
+    let lowered =
+      lower_entry config.Sw_sim.Config.params entry scale (variant_of entry grain unroll cpes db)
+    in
     let sink = Option.map (fun _ -> Sw_obs.Sink.create ()) trace_out in
     let metrics, trace =
       match sink with
@@ -359,12 +429,16 @@ let timeline_cmd =
     print_string
       (Sw_sim.Trace.render ~width:100 ~max_cpes:16 ~makespan:metrics.Sw_sim.Metrics.cycles trace);
     Format.printf "makespan %a@." Sw_util.Units.pp_cycles metrics.Sw_sim.Metrics.cycles;
+    if metrics.Sw_sim.Metrics.retries > 0 then
+      Format.printf "dma retries %d (%.0f backoff cycles)@." metrics.Sw_sim.Metrics.retries
+        metrics.Sw_sim.Metrics.backoff_cycles;
     Option.iter (fun path -> write_trace path (Option.get sink)) trace_out
   in
   Cmd.v
     (Cmd.info "timeline" ~doc:"Render a simulated per-CPE activity timeline (Fig. 4 style).")
     Term.(
-      const run $ kernel_arg $ scale_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg $ trace_arg)
+      const run $ kernel_arg $ scale_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg $ trace_arg
+      $ seed_arg $ faults_arg $ fault_level_arg)
 
 let ablation_cmd =
   let run scale = Sw_experiments.Ablation_study.print (Sw_experiments.Ablation_study.run ~scale ()) in
@@ -399,6 +473,32 @@ let coalescing_cmd =
   Cmd.v
     (Cmd.info "coalescing" ~doc:"Gload coalescing on the irregular kernels.")
     Term.(const run $ scale_arg)
+
+let robustness_cmd =
+  let run scale domains seeds fault_level csv_out =
+    let rows =
+      Sw_experiments.Robustness_study.run ~scale ?pool:(pool_of domains) ~seeds
+        ~spec:(fault_spec_of fault_level) ()
+    in
+    Sw_experiments.Robustness_study.print rows;
+    match csv_out with
+    | Some path ->
+        Sw_util.Csv.save (Sw_experiments.Robustness_study.csv rows) path;
+        Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "seeds" ] ~docv:"N" ~doc:"Fault plans (seeds) to assess each kernel under.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "csv" ] ~docv:"FILE" ~doc:"Write rows as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "robustness"
+       ~doc:"Argmin survival under fault plans: nominal vs min-of-worst-case tuning.")
+    Term.(const run $ scale_arg $ domains_arg $ seeds_arg $ fault_level_arg $ csv_arg)
 
 let csv_out_arg =
   let doc = "Write the sweep as CSV to $(docv)." in
@@ -493,6 +593,7 @@ let main =
       sensitivity_cmd;
       gflops_cmd;
       coalescing_cmd;
+      robustness_cmd;
       sweep_cmd;
     ]
 

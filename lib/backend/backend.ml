@@ -311,10 +311,15 @@ type memo = {
   memo_clear : unit -> unit;
 }
 
+(* A key is either resolved or being computed right now; waiters block
+   on the condition until the computing domain publishes its result. *)
+type memo_slot = Memo_done of assessment | Memo_running
+
 let memoize ?sink (inner : t) : memo =
   let module I = (val inner : S) in
-  let table : (memo_key, assessment) Hashtbl.t = Hashtbl.create 64 in
+  let table : (memo_key, memo_slot) Hashtbl.t = Hashtbl.create 64 in
   let lock = Mutex.create () in
+  let cond = Condition.create () in
   let hits = Atomic.make 0 in
   let misses = Atomic.make 0 in
   (* hit/miss counters mirror the atomics one-for-one: both are bumped
@@ -338,14 +343,29 @@ let memoize ?sink (inner : t) : memo =
           mk_variant = variant;
         }
       in
-      let cached =
+      (* single-flight: racing misses of one key wait for the first
+         domain instead of computing again, so the inner backend is
+         asked exactly once per distinct key (Cut_off aside) and the
+         counters are exact under any fan-out *)
+      let decision =
         Mutex.lock lock;
         Fun.protect
           ~finally:(fun () -> Mutex.unlock lock)
-          (fun () -> Hashtbl.find_opt table key)
+          (fun () ->
+            let rec acquire () =
+              match Hashtbl.find_opt table key with
+              | Some (Memo_done r) -> `Hit r
+              | Some Memo_running ->
+                  Condition.wait cond lock;
+                  acquire ()
+              | None ->
+                  Hashtbl.replace table key Memo_running;
+                  `Miss
+            in
+            acquire ())
       in
-      match cached with
-      | Some r ->
+      match decision with
+      | `Hit r ->
           Atomic.incr hits;
           observe "memo.hits";
           (* the work was already paid for by the miss; a hit under a
@@ -355,20 +375,29 @@ let memoize ?sink (inner : t) : memo =
           | Assessed v -> Assessed { v with cost = zero_cost }
           | Infeasible _ as r -> r
           | Cut_off _ -> assert false (* never stored *))
-      | None ->
+      | `Miss ->
           Atomic.incr misses;
           observe "memo.misses";
-          let r = I.assess ?cutoff ?event_budget config kernel variant in
-          (* a Cut_off is budget-dependent, not a property of the
-             variant: don't poison the table with it *)
-          (match r with
-          | Cut_off _ -> ()
-          | Assessed _ | Infeasible _ ->
-              Mutex.lock lock;
-              Fun.protect
-                ~finally:(fun () -> Mutex.unlock lock)
-                (fun () -> if not (Hashtbl.mem table key) then Hashtbl.add table key r));
-          r
+          let publish slot =
+            Mutex.lock lock;
+            (match slot with
+            | Some r -> Hashtbl.replace table key (Memo_done r)
+            | None -> Hashtbl.remove table key);
+            Condition.broadcast cond;
+            Mutex.unlock lock
+          in
+          (match I.assess ?cutoff ?event_budget config kernel variant with
+          | exception e ->
+              publish None;
+              raise e
+          | Cut_off _ as r ->
+              (* a Cut_off is budget-dependent, not a property of the
+                 variant: don't poison the table with it *)
+              publish None;
+              r
+          | (Assessed _ | Infeasible _) as r ->
+              publish (Some r);
+              r)
   end in
   {
     memo_backend = (module M : S);
@@ -389,6 +418,332 @@ let memo_hits m = Atomic.get m.memo_hits
 let memo_misses m = Atomic.get m.memo_misses
 
 let memo_clear m = m.memo_clear ()
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation                                                *)
+
+exception Timeout of { backend : string; limit_s : float; elapsed_s : float }
+
+let with_timeout ?sink ~limit_s (inner : t) : t =
+  if not (limit_s >= 0.0) then invalid_arg "Backend.with_timeout: limit_s must be >= 0";
+  let module I = (val inner : S) in
+  let module W = struct
+    let name = Printf.sprintf "timeout(%s)" I.name
+
+    let description =
+      Printf.sprintf "%s, disqualified after %gs of host wall clock" I.description limit_s
+
+    (* OCaml cannot preempt a pure computation, so the watchdog is
+       post-hoc: the assessment runs to completion, and an answer that
+       arrived too late is discarded and reported as a Timeout — which
+       is exactly what a degradation chain needs to know. *)
+    let assess ?cutoff ?event_budget config kernel variant =
+      let t0 = Unix.gettimeofday () in
+      let r = I.assess ?cutoff ?event_budget config kernel variant in
+      let elapsed_s = Unix.gettimeofday () -. t0 in
+      if elapsed_s > limit_s then begin
+        (match sink with
+        | Some s -> Sw_obs.Sink.incr s (Printf.sprintf "backend.timeout.%s" I.name)
+        | None -> ());
+        raise (Timeout { backend = I.name; limit_s; elapsed_s })
+      end;
+      r
+  end in
+  (module W : S)
+
+let with_retry ?sink ~attempts ?(backoff_s = 0.0) (inner : t) : t =
+  if attempts < 1 then invalid_arg "Backend.with_retry: attempts must be >= 1";
+  if not (backoff_s >= 0.0) then invalid_arg "Backend.with_retry: backoff_s must be >= 0";
+  let module I = (val inner : S) in
+  let module W = struct
+    let name = Printf.sprintf "retry(%s)" I.name
+
+    let description =
+      Printf.sprintf "%s, retried up to %d times on exceptions" I.description attempts
+
+    let assess ?cutoff ?event_budget config kernel variant =
+      let rec go attempt =
+        match I.assess ?cutoff ?event_budget config kernel variant with
+        | r -> r
+        | exception e when attempt < attempts ->
+            (match sink with
+            | Some s -> Sw_obs.Sink.incr s (Printf.sprintf "backend.retry.%s" I.name)
+            | None -> ());
+            ignore e;
+            if backoff_s > 0.0 then
+              Unix.sleepf (backoff_s *. float_of_int (1 lsl (attempt - 1)));
+            go (attempt + 1)
+      in
+      go 1
+  end in
+  (module W : S)
+
+let fallback ?sink (chain : t list) : t =
+  if chain = [] then invalid_arg "Backend.fallback: empty chain";
+  let names = List.map name chain in
+  let module W = struct
+    let name = Printf.sprintf "fallback(%s)" (String.concat ">" names)
+
+    let description =
+      Printf.sprintf "degrades through %s; never raises" (String.concat " > " names)
+
+    let assess ?cutoff ?event_budget config kernel variant =
+      let degraded backend_name =
+        match sink with
+        | Some s -> Sw_obs.Sink.incr s (Printf.sprintf "backend.degraded.%s" backend_name)
+        | None -> ()
+      in
+      let rec go last_err = function
+        | [] ->
+            (* every estimator failed: surface a typed answer instead
+               of an exception, so tuners treat the point like any
+               other rejected variant *)
+            (match sink with
+            | Some s -> Sw_obs.Sink.incr s "backend.fallback.exhausted"
+            | None -> ());
+            Infeasible
+              {
+                backend = name;
+                reason = Printf.sprintf "all backends failed (last: %s)" last_err;
+              }
+        | (module B : S) :: rest -> (
+            match B.assess ?cutoff ?event_budget config kernel variant with
+            | r -> r
+            | exception e ->
+                degraded B.name;
+                go (Printexc.to_string e) rest)
+      in
+      go "none tried" chain
+  end in
+  (module W : S)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe journaling                                               *)
+
+type journal = {
+  j_backend : t;
+  j_hits : int Atomic.t;
+  j_misses : int Atomic.t;
+  j_close : unit -> unit;
+}
+
+type journal_entry =
+  | Journal_ok of { cycles : float; machine_us : float; machine_events : int }
+  | Journal_infeasible of { jbackend : string; jreason : string }
+
+let config_digest (config : Sw_sim.Config.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string config []))
+
+(* One JSON object per line, written with Printf and parsed back with
+   the mirror-image Scanf format.  Floats use %.17g, which round-trips
+   IEEE doubles exactly — replayed cycles are bit-identical to the run
+   that journaled them. *)
+let journal_header_fmt : _ format6 =
+  "{\"journal\": \"swpm\", \"version\": 1, \"config\": %S}"
+
+let journal_line_fmt : _ format6 =
+  "{\"kernel\": %S, \"elems\": %d, \"vw\": %d, \"grain\": %d, \"unroll\": %d, \
+   \"cpes\": %d, \"db\": %B, \"status\": %S, \"cycles\": %.17g, \
+   \"machine_us\": %.17g, \"events\": %d, \"backend\": %S, \"reason\": %S}"
+
+let journal_line_scan_fmt : _ format6 =
+  "{\"kernel\": %S, \"elems\": %d, \"vw\": %d, \"grain\": %d, \"unroll\": %d, \
+   \"cpes\": %d, \"db\": %B, \"status\": %S, \"cycles\": %f, \
+   \"machine_us\": %f, \"events\": %d, \"backend\": %S, \"reason\": %S}"
+
+type journal_key = {
+  jk_kernel : string;
+  jk_elems : int;
+  jk_vw : int;
+  jk_variant : Kernel.variant;
+}
+
+let parse_journal_line line =
+  try
+    Scanf.sscanf line journal_line_scan_fmt
+      (fun kernel elems vw grain unroll cpes db status cycles machine_us events jbackend
+           jreason ->
+        let key =
+          {
+            jk_kernel = kernel;
+            jk_elems = elems;
+            jk_vw = vw;
+            jk_variant = { Kernel.grain; unroll; active_cpes = cpes; double_buffer = db };
+          }
+        in
+        match status with
+        | "ok" -> Some (key, Journal_ok { cycles; machine_us; machine_events = events })
+        | "infeasible" -> Some (key, Journal_infeasible { jbackend; jreason })
+        | _ -> None)
+  with Scanf.Scan_failure _ | End_of_file | Failure _ -> None
+
+let journal ?sink ~path config (inner : t) : journal =
+  let module I = (val inner : S) in
+  let digest = config_digest config in
+  let table : (journal_key, journal_entry) Hashtbl.t = Hashtbl.create 64 in
+  (* Replay: accept the file only if its header names this exact
+     configuration; a truncated tail line (the crash case) parses as
+     nothing and is ignored. *)
+  let header_ok =
+    match open_in path with
+    | exception Sys_error _ -> false
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match input_line ic with
+            | exception End_of_file -> false
+            | header -> (
+                match
+                  Scanf.sscanf header "{\"journal\": %S, \"version\": %d, \"config\": %S}"
+                    (fun _ v d -> (v, d))
+                with
+                | exception (Scanf.Scan_failure _ | End_of_file | Failure _) -> false
+                | 1, d when d = digest ->
+                    (try
+                       while true do
+                         match parse_journal_line (input_line ic) with
+                         | Some (key, entry) -> Hashtbl.replace table key entry
+                         | None -> ()
+                       done
+                     with End_of_file -> ());
+                    true
+                | _ -> false))
+  in
+  let oc =
+    if header_ok then begin
+      (* Crash recovery: a kill mid-write can leave a partial final
+         line with no newline.  Appending after it would glue the first
+         new entry onto the stale tail, silently losing both on the
+         next replay — so cut the file back to its last complete line
+         before appending. *)
+      (let ic = open_in_bin path in
+       let len = in_channel_length ic in
+       let contents = really_input_string ic len in
+       close_in ic;
+       if len > 0 && contents.[len - 1] <> '\n' then
+         let keep =
+           match String.rindex_opt contents '\n' with Some i -> i + 1 | None -> 0
+         in
+         Unix.truncate path keep);
+      open_out_gen [ Open_append; Open_creat ] 0o644 path
+    end
+    else begin
+      let oc = open_out path in
+      Printf.fprintf oc journal_header_fmt digest;
+      output_char oc '\n';
+      flush oc;
+      oc
+    end
+  in
+  let lock = Mutex.create () in
+  let hits = Atomic.make 0 in
+  let misses = Atomic.make 0 in
+  let observe key =
+    match sink with Some s -> Sw_obs.Sink.incr s key | None -> ()
+  in
+  let write_line key entry =
+    let v = key.jk_variant in
+    let status, cycles, machine_us, events, jbackend, reason =
+      match entry with
+      | Journal_ok { cycles; machine_us; machine_events } ->
+          ("ok", cycles, machine_us, machine_events, "", "")
+      | Journal_infeasible { jbackend; jreason } ->
+          ("infeasible", 0.0, 0.0, 0, jbackend, jreason)
+    in
+    Printf.fprintf oc journal_line_fmt key.jk_kernel key.jk_elems key.jk_vw
+      v.Kernel.grain v.Kernel.unroll v.Kernel.active_cpes v.Kernel.double_buffer status
+      cycles machine_us events jbackend reason;
+    output_char oc '\n';
+    (* flush per line: a kill between lines loses at most the point in
+       flight, never a committed one *)
+    flush oc
+  in
+  let module J = struct
+    let name = Printf.sprintf "journal(%s)" I.name
+
+    let description = Printf.sprintf "%s, journaled to %s" I.description path
+
+    let assess ?cutoff ?event_budget run_config kernel (variant : Kernel.variant) =
+      if run_config <> config then
+        (* a different configuration than the journal is bound to:
+           pass straight through rather than replay a wrong answer *)
+        I.assess ?cutoff ?event_budget run_config kernel variant
+      else begin
+        let key =
+          {
+            jk_kernel = kernel.Kernel.name;
+            jk_elems = kernel.Kernel.n_elements;
+            jk_vw = kernel.Kernel.vector_width;
+            jk_variant = variant;
+          }
+        in
+        let cached =
+          Mutex.lock lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock lock)
+            (fun () -> Hashtbl.find_opt table key)
+        in
+        match cached with
+        | Some entry -> (
+            Atomic.incr hits;
+            observe "journal.hits";
+            match entry with
+            | Journal_ok { cycles; _ } ->
+                (* the cost was paid by the run that journaled it *)
+                Assessed { cycles; cost = zero_cost; breakdown = None }
+            | Journal_infeasible { jbackend; jreason } ->
+                Infeasible { backend = jbackend; reason = jreason })
+        | None -> (
+            Atomic.incr misses;
+            observe "journal.misses";
+            let r = I.assess ?cutoff ?event_budget run_config kernel variant in
+            match r with
+            | Cut_off _ ->
+                (* budget-dependent, not a property of the point: a
+                   resumed run must re-assess it *)
+                r
+            | Assessed v ->
+                let entry =
+                  Journal_ok
+                    {
+                      cycles = v.cycles;
+                      machine_us = v.cost.machine_us;
+                      machine_events = v.cost.machine_events;
+                    }
+                in
+                Mutex.lock lock;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock lock)
+                  (fun () ->
+                    Hashtbl.replace table key entry;
+                    write_line key entry);
+                r
+            | Infeasible e ->
+                let entry = Journal_infeasible { jbackend = e.backend; jreason = e.reason } in
+                Mutex.lock lock;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock lock)
+                  (fun () ->
+                    Hashtbl.replace table key entry;
+                    write_line key entry);
+                r)
+      end
+  end in
+  {
+    j_backend = (module J : S);
+    j_hits = hits;
+    j_misses = misses;
+    j_close = (fun () -> close_out_noerr oc);
+  }
+
+let journaled j = j.j_backend
+
+let journal_hits j = Atomic.get j.j_hits
+
+let journal_misses j = Atomic.get j.j_misses
+
+let journal_close j = j.j_close ()
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)

@@ -181,10 +181,12 @@ val instrument : Sw_obs.Sink.t -> t -> t
     count, vector width) and the variant.  Verdicts {e and}
     infeasibilities are cached; a hit returns the cached verdict with
     {!zero_cost}, since the work was already paid for.  The wrapper is
-    mutex-guarded and composes with {!Sw_util.Pool} fan-out; under
-    concurrent misses of the same key both domains compute (results are
-    equal), and the hit/miss counters are exact for sequential use and
-    close under races.
+    mutex-guarded and composes with {!Sw_util.Pool} fan-out: misses are
+    {e single-flight} — racing misses of one key block on a condition
+    until the first domain publishes, so the inner backend is asked
+    exactly once per distinct key and the hit/miss counters are exact
+    under any concurrency (waiters count as hits; they did not
+    compute).
 
     Budgets and the cache: a [Cut_off] is a property of the budget, not
     the variant, so it is never stored; a hit under a budget returns
@@ -207,6 +209,90 @@ val memo_hits : memo -> int
 val memo_misses : memo -> int
 
 val memo_clear : memo -> unit
+
+(** {1 Graceful degradation}
+
+    Estimators can misbehave: a simulation hits its event cap
+    ({!Sw_sim.Engine.Event_limit}), a fault-perturbed configuration
+    deadlocks, an assessment takes longer than the tuning loop can
+    afford.  These combinators turn such failures into {e policy} —
+    retry it, disqualify it, degrade to a cheaper estimator — with
+    every decision visible as a sink counter, so a robust tuning run
+    never dies mid-sweep and never hides what it did. *)
+
+exception Timeout of { backend : string; limit_s : float; elapsed_s : float }
+(** Raised by a {!with_timeout} wrapper whose inner assessment took
+    longer than the limit. *)
+
+val with_timeout : ?sink:Sw_obs.Sink.t -> limit_s:float -> t -> t
+(** [with_timeout ~limit_s b] disqualifies assessments that take more
+    than [limit_s] host wall-clock seconds by raising {!Timeout}.  The
+    watchdog is {e post-hoc} — OCaml cannot preempt a running
+    computation, so the answer is computed, then discarded if it came
+    too late; the point is to feed {!fallback} a typed failure, not to
+    bound latency hard.  With [sink], bumps
+    ["backend.timeout.<name>"]. *)
+
+val with_retry : ?sink:Sw_obs.Sink.t -> attempts:int -> ?backoff_s:float -> t -> t
+(** [with_retry ~attempts b] re-runs an assessment that {e raised}
+    (any exception) up to [attempts] total tries, sleeping
+    [backoff_s * 2^(k-1)] host seconds before the [k]-th retry
+    (default [0.]: no sleep).  The last exception propagates when the
+    budget is exhausted.  Deterministic backends fail deterministically
+    — retry exists for wrappers whose failures are transient (e.g. a
+    flaky measurement harness); with [sink], each retry bumps
+    ["backend.retry.<name>"]. *)
+
+val fallback : ?sink:Sw_obs.Sink.t -> t list -> t
+(** [fallback [sim; hybrid; model]] assesses with the first backend in
+    the chain and degrades to the next whenever one {e raises}
+    ({!Timeout}, {!Sw_sim.Engine.Event_limit}, deadlocks under fault
+    plans, …).  [Infeasible] is a typed answer, not a failure: it is
+    returned as-is.  If every backend raises, the result is an
+    [Infeasible] naming the chain — a fallback chain {e never} raises.
+    With [sink], each hop bumps ["backend.degraded.<name>"] (the
+    backend that failed) and total exhaustion bumps
+    ["backend.fallback.exhausted"].
+    @raise Invalid_argument on an empty chain. *)
+
+(** {1 Crash-safe journaling}
+
+    A journal wrapper persists every resolved assessment — one JSON
+    object per line, flushed as written — so an interrupted tuning
+    sweep can resume without repeating work.  Replay is {e exact}:
+    cycles are serialized with 17 significant digits (lossless for IEEE
+    doubles), so a resumed argmin is bit-identical to the uninterrupted
+    one.  The file is bound to one simulation configuration by a digest
+    in its header line; a journal written under different machine
+    parameters is discarded rather than replayed.  A truncated final
+    line — the kill-mid-write case — is ignored on replay, losing at
+    most the single point in flight.  [Cut_off] results are never
+    journaled (they depend on the caller's budget, not the point). *)
+
+type journal
+
+val journal : ?sink:Sw_obs.Sink.t -> path:string -> Sw_sim.Config.t -> t -> journal
+(** [journal ~path config b] opens (or resumes) the journal at [path]
+    for assessments under [config].  Points already journaled are
+    replayed with {!zero_cost} and a [None] breakdown instead of being
+    re-assessed; new resolutions are appended and flushed one line at a
+    time.  Assessments under a {e different} configuration pass through
+    unjournaled.  With [sink], hits/misses bump ["journal.hits"] /
+    ["journal.misses"], mirroring {!journal_hits} / {!journal_misses}. *)
+
+val journaled : journal -> t
+(** The wrapping backend (named ["journal(<inner>)"]). *)
+
+val journal_hits : journal -> int
+(** Assessments answered from the journal (replayed or repeated) —
+    each one is a point the resumed run did {e not} recompute. *)
+
+val journal_misses : journal -> int
+(** Assessments that ran the inner backend. *)
+
+val journal_close : journal -> unit
+(** Close the underlying channel (idempotent).  Writes are flushed per
+    line, so this is about file descriptors, not durability. *)
 
 (** {1 Registry}
 

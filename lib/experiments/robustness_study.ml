@@ -1,0 +1,138 @@
+module Tuner = Sw_tuning.Tuner
+module Search = Sw_tuning.Search
+module Backend = Sw_backend.Backend
+module Fault = Sw_fault.Fault
+module Kernel = Sw_swacc.Kernel
+
+type row = {
+  name : string;
+  points : int;
+  seeds : int;
+  nominal_best : Kernel.variant;
+  robust_best : Kernel.variant;
+  same_pick : bool;
+  survival : float;
+  nominal_worst : float;
+  robust_worst : float;
+  worst_case_gain : float;
+}
+
+let assess_cycles config kernel variant =
+  match Backend.assess Backend.simulator config kernel variant with
+  | Ok v -> v.Backend.cycles
+  | Error _ -> Float.infinity
+
+(* Worst-case (max) cycles of one variant across all fault plans. *)
+let worst_of plans kernel variant =
+  List.fold_left
+    (fun acc plan -> Stdlib.max acc (assess_cycles plan kernel variant))
+    0.0 plans
+
+let run ?(scale = 1.0) ?(params = Sw_arch.Params.default) ?pool ?(seeds = 8)
+    ?(spec = Fault.default) ?k () =
+  let config = Sw_sim.Config.default params in
+  let seed_list = List.init seeds (fun i -> 1 + i) in
+  let plans = List.map (fun seed -> Fault.plan ~spec ~seed config) seed_list in
+  List.map
+    (fun (e : Sw_workloads.Registry.entry) ->
+      let kernel = e.build ~scale in
+      let points = Sw_tuning.Space.enumerate ~grains:e.grains ~unrolls:e.unrolls () in
+      let default = Table2.guideline_default params kernel ~grains:e.grains in
+      let k = match k with Some k -> k | None -> Stdlib.max 1 ((List.length points + 1) / 2) in
+      let nominal =
+        Tuner.tune_exn ~backend:Backend.simulator ~default ?pool config kernel ~points
+      in
+      (* Per-seed argmin: re-tune the whole space under each perturbed
+         machine and ask whether the nominal pick is still the winner.
+         The survival rate is the paper-style fragility measure: how
+         often the "optimal" schedule stays optimal on a bad day. *)
+      let survived =
+        List.filter
+          (fun plan ->
+            let o =
+              Tuner.tune_exn ~backend:Backend.simulator ~default ?pool plan kernel ~points
+            in
+            o.Tuner.best = nominal.Tuner.best)
+          plans
+      in
+      let survival = float_of_int (List.length survived) /. float_of_int seeds in
+      let robust =
+        Tuner.tune_exn ~backend:Backend.simulator
+          ~strategy:(Search.robust ~k ~seeds:seed_list ~spec ())
+          ~default ?pool config kernel ~points
+      in
+      let nominal_worst = worst_of plans kernel nominal.Tuner.best in
+      let robust_worst = worst_of plans kernel robust.Tuner.best in
+      {
+        name = e.name;
+        points = List.length points;
+        seeds;
+        nominal_best = nominal.Tuner.best;
+        robust_best = robust.Tuner.best;
+        same_pick = nominal.Tuner.best = robust.Tuner.best;
+        survival;
+        nominal_worst;
+        robust_worst;
+        worst_case_gain = nominal_worst /. robust_worst;
+      })
+    Sw_workloads.Registry.tuning_subset
+
+let print rows =
+  let t =
+    Sw_util.Table.create ~title:"Robustness study: argmin survival under fault plans"
+      [
+        ("kernel", Sw_util.Table.Left);
+        ("points", Sw_util.Table.Right);
+        ("seeds", Sw_util.Table.Right);
+        ("survival", Sw_util.Table.Right);
+        ("same pick", Sw_util.Table.Left);
+        ("nominal worst", Sw_util.Table.Right);
+        ("robust worst", Sw_util.Table.Right);
+        ("worst-case gain", Sw_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Sw_util.Table.add_row t
+        [
+          r.name;
+          string_of_int r.points;
+          string_of_int r.seeds;
+          Sw_util.Table.cell_pct r.survival;
+          (if r.same_pick then "yes" else "no");
+          Printf.sprintf "%.0f" r.nominal_worst;
+          Printf.sprintf "%.0f" r.robust_worst;
+          Sw_util.Table.cell_x r.worst_case_gain;
+        ])
+    rows;
+  Sw_util.Table.print t
+
+let csv rows =
+  let doc =
+    Sw_util.Csv.create
+      [
+        "kernel";
+        "points";
+        "seeds";
+        "survival";
+        "same_pick";
+        "nominal_worst";
+        "robust_worst";
+        "worst_case_gain";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Sw_util.Csv.add_row doc
+        [
+          r.name;
+          string_of_int r.points;
+          string_of_int r.seeds;
+          Printf.sprintf "%.6g" r.survival;
+          (if r.same_pick then "1" else "0");
+          Printf.sprintf "%.6g" r.nominal_worst;
+          Printf.sprintf "%.6g" r.robust_worst;
+          Printf.sprintf "%.6g" r.worst_case_gain;
+        ])
+    rows;
+  doc

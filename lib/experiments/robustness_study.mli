@@ -1,0 +1,51 @@
+(** Robustness study: does the tuned argmin survive a misbehaving
+    machine?
+
+    The paper tunes on a quiet, exclusive machine; production
+    TaihuLight time is noisier — contended bandwidth, slow cores,
+    transiently failing DMA.  This experiment measures how fragile the
+    tuner's pick is: for each Table II kernel it re-tunes the full
+    space under [seeds] deterministic fault plans
+    ({!Sw_fault.Fault.plan}) and reports the {e argmin survival rate}
+    (the fraction of plans under which the nominal winner is still the
+    winner), then compares the nominal pick against the
+    {!Sw_tuning.Search.robust} min-of-worst-case pick on worst-case
+    cycles across the same plans. *)
+
+type row = {
+  name : string;
+  points : int;  (** Search-space size. *)
+  seeds : int;  (** Fault plans assessed. *)
+  nominal_best : Sw_swacc.Kernel.variant;  (** Fault-free argmin. *)
+  robust_best : Sw_swacc.Kernel.variant;
+      (** {!Sw_tuning.Search.robust} (worst-case quantile) pick. *)
+  same_pick : bool;  (** The two picks coincide. *)
+  survival : float;
+      (** Fraction of plans under which [nominal_best] is still the
+          per-plan argmin. *)
+  nominal_worst : float;  (** Worst cycles of [nominal_best] across plans. *)
+  robust_worst : float;  (** Worst cycles of [robust_best] across plans. *)
+  worst_case_gain : float;
+      (** [nominal_worst / robust_worst] — at least ~1.0 whenever the
+          robust shortlist contains the true robust argmin; exactly 1.0
+          when the picks coincide. *)
+}
+
+val run :
+  ?scale:float ->
+  ?params:Sw_arch.Params.t ->
+  ?pool:Sw_util.Pool.t ->
+  ?seeds:int ->
+  ?spec:Sw_fault.Fault.spec ->
+  ?k:int ->
+  unit ->
+  row list
+(** One row per Table II kernel.  [seeds] (default 8) fault plans are
+    derived with seeds [1..seeds]; [spec] defaults to
+    {!Sw_fault.Fault.default} (mild); [k] is the robust shortlist width
+    (default half the space).  Deterministic for fixed arguments at any
+    pool size. *)
+
+val print : row list -> unit
+
+val csv : row list -> Sw_util.Csv.t

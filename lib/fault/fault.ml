@@ -1,0 +1,121 @@
+module Config = Sw_sim.Config
+module Params = Sw_arch.Params
+module Prng = Sw_util.Prng
+
+type spec = {
+  latency_jitter : float;
+  bandwidth_jitter : float;
+  dma_fail_prob : float;
+  dma_max_retries : int;
+  dma_backoff_cycles : int;
+  n_stragglers : int;
+  straggler_slowdown : float;
+  n_throttles : int;
+  throttle_depth : float;
+  throttle_horizon : float;
+}
+
+let none =
+  {
+    latency_jitter = 0.0;
+    bandwidth_jitter = 0.0;
+    dma_fail_prob = 0.0;
+    dma_max_retries = 0;
+    dma_backoff_cycles = 0;
+    n_stragglers = 0;
+    straggler_slowdown = 1.0;
+    n_throttles = 0;
+    throttle_depth = 1.0;
+    throttle_horizon = 100_000.0;
+  }
+
+let mild =
+  {
+    none with
+    latency_jitter = 0.05;
+    bandwidth_jitter = 0.05;
+    dma_fail_prob = 0.01;
+    dma_max_retries = 3;
+    dma_backoff_cycles = 100;
+    n_stragglers = 1;
+    straggler_slowdown = 1.15;
+    n_throttles = 1;
+    throttle_depth = 0.75;
+  }
+
+let harsh =
+  {
+    none with
+    latency_jitter = 0.15;
+    bandwidth_jitter = 0.15;
+    dma_fail_prob = 0.05;
+    dma_max_retries = 5;
+    dma_backoff_cycles = 200;
+    n_stragglers = 4;
+    straggler_slowdown = 1.5;
+    n_throttles = 2;
+    throttle_depth = 0.5;
+  }
+
+let default = mild
+
+let of_string = function
+  | "none" -> Some none
+  | "mild" | "default" -> Some mild
+  | "harsh" -> Some harsh
+  | _ -> None
+
+let pp_spec ppf s =
+  Format.fprintf ppf
+    "{jitter lat=%.0f%% bw=%.0f%%; dma p=%.3f retries=%d backoff=%d; \
+     stragglers=%d x%.2f; throttles=%d @%.2f}"
+    (100.0 *. s.latency_jitter)
+    (100.0 *. s.bandwidth_jitter)
+    s.dma_fail_prob s.dma_max_retries s.dma_backoff_cycles s.n_stragglers
+    s.straggler_slowdown s.n_throttles s.throttle_depth
+
+(* Relative jitter: uniform in [1-j, 1+j).  Draw even when j = 0 so the
+   PRNG stream — and hence every downstream draw — is the same for every
+   spec, making plans with different levels comparable per seed. *)
+let jittered prng j v = v *. Prng.float_in prng (1.0 -. j) (1.0 +. j)
+
+let plan ?(spec = default) ~seed (config : Config.t) =
+  let prng = Prng.create seed in
+  let p = config.Config.params in
+  let l_base =
+    Stdlib.max 1 (int_of_float (Float.round (jittered prng spec.latency_jitter (float_of_int p.Params.l_base))))
+  in
+  let mem_bw = jittered prng spec.bandwidth_jitter p.Params.mem_bw_bytes_per_s in
+  let params = { p with Params.l_base; mem_bw_bytes_per_s = mem_bw } in
+  let total = Params.total_cpes params in
+  (* Distinct straggler CPEs via a seeded shuffle of all ids. *)
+  let ids = Array.init total Fun.id in
+  Prng.shuffle prng ids;
+  let n_stragglers = Stdlib.min spec.n_stragglers total in
+  let stragglers =
+    if spec.straggler_slowdown <= 1.0 then []
+    else
+      List.init n_stragglers (fun i -> (ids.(i), spec.straggler_slowdown))
+      |> List.sort compare
+  in
+  let h = spec.throttle_horizon in
+  let mc_throttles =
+    if spec.throttle_depth >= 1.0 then []
+    else
+      List.init spec.n_throttles (fun _ ->
+          let mc = Prng.int prng params.Params.n_cgs in
+          let from_cycle = Prng.float prng (0.75 *. h) in
+          let until_cycle = from_cycle +. Prng.float_in prng (0.05 *. h) (0.25 *. h) in
+          (mc, { Config.from_cycle; until_cycle; bw_factor = spec.throttle_depth }))
+  in
+  let faults =
+    {
+      Config.fault_seed = seed;
+      dma_fail_prob = spec.dma_fail_prob;
+      dma_max_retries = spec.dma_max_retries;
+      dma_backoff_cycles = spec.dma_backoff_cycles;
+      stragglers;
+      mc_throttles;
+    }
+  in
+  Config.validated { config with Config.params; faults }

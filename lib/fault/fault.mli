@@ -1,0 +1,72 @@
+(** Deterministic fault planning: seeded perturbations of a simulator
+    configuration.
+
+    A {!spec} describes {e how much} misbehaviour to inject; {!plan}
+    turns it into a concrete, validated {!Sw_sim.Config.t} — jittered
+    machine parameters plus a {!Sw_sim.Config.faults} record (transient
+    DMA failures, straggler CPEs, throttled memory-controller windows)
+    the engine resolves with modeled retry and exponential backoff.
+
+    Everything is a pure function of [(spec, seed, config)]: the same
+    triple yields the same perturbed configuration, and the engine's own
+    failure draws are seeded from the plan, so a faulty run is exactly
+    as reproducible as a fault-free one.  This is what lets the robust
+    search ({!Sw_tuning.Search.robust}) and the robustness study re-rank
+    candidate schedules under a {e fixed} set of adverse worlds instead
+    of chasing noise. *)
+
+type spec = {
+  latency_jitter : float;
+      (** Relative jitter on [l_base]: drawn uniformly in
+          [[1-j, 1+j)].  [0] leaves latency nominal. *)
+  bandwidth_jitter : float;
+      (** Relative jitter on [mem_bw_bytes_per_s], same convention. *)
+  dma_fail_prob : float;
+      (** Per-admission transient DMA failure probability, in [[0,1)]. *)
+  dma_max_retries : int;  (** Retry budget before a request is forced through. *)
+  dma_backoff_cycles : int;  (** First-retry backoff; doubles per attempt. *)
+  n_stragglers : int;  (** Distinct CPEs retiring compute slower. *)
+  straggler_slowdown : float;
+      (** Compute-time multiplier for each straggler ([>= 1]; [1]
+          disables the channel). *)
+  n_throttles : int;  (** Throttled memory-controller windows to place. *)
+  throttle_depth : float;
+      (** Bandwidth factor inside each window ([(0,1]]; [1] disables
+          the channel). *)
+  throttle_horizon : float;
+      (** Cycle range the windows are placed in: starts are uniform in
+          [[0, 0.75h)], lengths in [[0.05h, 0.25h)]. *)
+}
+
+val none : spec
+(** Identity: {!plan} with [none] returns the input configuration with
+    only {!Sw_sim.Config.no_faults}-equivalent fault state (still
+    validated). *)
+
+val mild : spec
+(** Small perturbations: 5% parameter jitter, 1% DMA failure rate, one
+    mild straggler, one shallow throttle window. *)
+
+val harsh : spec
+(** Hostile machine: 15% jitter, 5% DMA failures, four 1.5x stragglers,
+    two half-bandwidth windows. *)
+
+val default : spec
+(** [mild]. *)
+
+val of_string : string -> spec option
+(** ["none"], ["mild"] (or ["default"]), ["harsh"]. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+val plan : ?spec:spec -> seed:int -> Sw_sim.Config.t -> Sw_sim.Config.t
+(** [plan ~seed config] is a validated perturbation of [config]:
+    jittered [l_base] and memory bandwidth, [spec]'s DMA-failure
+    channel seeded with [seed], [n_stragglers] distinct CPEs chosen by
+    a seeded shuffle, and [n_throttles] windows placed inside
+    [throttle_horizon].  Deterministic in [(spec, seed, config)]; the
+    PRNG stream is consumed identically for every spec, so plans at
+    different severity levels are comparable draw-for-draw per seed.
+    Raises {!Sw_sim.Config.Invalid_config} if [spec] describes an
+    invalid fault state (e.g. [dma_fail_prob > 0] with a zero retry
+    budget). *)

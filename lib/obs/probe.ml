@@ -1,17 +1,33 @@
 module Metrics = Sw_sim.Metrics
 module Trace = Sw_sim.Trace
 
-let record_run sink ~name ?(dma = []) (m : Metrics.t) trace =
+let record_run sink ~name ?(dma = []) ?(dma_retries = []) (m : Metrics.t) trace =
   List.iter (Sink.record sink) (Chrome.events_of_trace ~name trace);
   (* One async lifetime per DMA request: issue clock to completion
      clock, on the issuing CPE's track.  These overlap the CPE's
-     compute spans by design — that is the latency-hiding picture. *)
+     compute spans by design — that is the latency-hiding picture.
+     The "retries" arg appears only on requests that actually survived
+     injected failures, so fault-free traces are unchanged. *)
   List.iter
     (fun (r : Trace.dma_req) ->
-      Sink.record_async sink ~track:r.Trace.req_cpe ~cat:"dma_req"
-        ~args:[ ("tag", Sink.Int r.Trace.req_tag) ]
+      let args = [ ("tag", Sink.Int r.Trace.req_tag) ] in
+      let args =
+        if r.Trace.req_retries > 0 then
+          args @ [ ("retries", Sink.Int r.Trace.req_retries) ]
+        else args
+      in
+      Sink.record_async sink ~track:r.Trace.req_cpe ~cat:"dma_req" ~args
         ~t0_us:r.Trace.t_issue ~t1_us:r.Trace.t_done name)
     dma;
+  (* One async backoff window per injected transient failure: from the
+     failed admission to the re-admission. *)
+  List.iter
+    (fun (r : Trace.dma_retry) ->
+      Sink.record_async sink ~track:r.Trace.rt_cpe ~cat:"dma_retry"
+        ~args:
+          [ ("tag", Sink.Int r.Trace.rt_tag); ("attempt", Sink.Int r.Trace.rt_attempt) ]
+        ~t0_us:r.Trace.t_fail ~t1_us:r.Trace.t_retry name)
+    dma_retries;
   (* Memory-controller busy time as one bar per controller, on its own
      track family: how much of the run each MC spent serving DRAM
      transactions.  Placement at t=0 is a totals bar, not a timeline —
@@ -37,13 +53,19 @@ let record_run sink ~name ?(dma = []) (m : Metrics.t) trace =
   Sink.add sink "sim.dma_requests" (float_of_int m.Metrics.dma_requests);
   Sink.add sink "sim.gload_requests" (float_of_int m.Metrics.gload_requests);
   Sink.add sink "sim.mc_busy_cycles" (Array.fold_left ( +. ) 0.0 m.Metrics.mc_busy_cycles);
-  Sink.add sink "sim.comp_cycles_sum" m.Metrics.comp_cycles_sum
+  Sink.add sink "sim.comp_cycles_sum" m.Metrics.comp_cycles_sum;
+  (* Fault-injection counters exist only on faulty runs so that
+     fault-free sinks (and their golden exports) are unchanged. *)
+  if m.Metrics.retries > 0 then begin
+    Sink.incr sink ~by:m.Metrics.retries "sim.dma_retries";
+    Sink.add sink "sim.backoff_cycles" m.Metrics.backoff_cycles
+  end
 
 let run_traced sink ~name config programs =
   let t0 = Sink.now_us sink in
-  let m, trace, dma = Sw_sim.Engine.run_traced_full config programs in
+  let m, trace, dma, dma_retries = Sw_sim.Engine.run_traced_full config programs in
   Sink.add sink "host.sim_wall_us" (Sink.now_us sink -. t0);
-  record_run sink ~name ~dma m trace;
+  record_run sink ~name ~dma ~dma_retries m trace;
   (m, trace)
 
 (* ------------------------------------------------------------------ *)

@@ -34,14 +34,21 @@ val record_run :
   Sink.t ->
   name:string ->
   ?dma:Sw_sim.Trace.dma_req list ->
+  ?dma_retries:Sw_sim.Trace.dma_retry list ->
   Sw_sim.Metrics.t ->
   Sw_sim.Trace.t ->
   unit
 (** Record an already-performed traced run (spans + counters, without
     the host timing) — for callers that hold a [(metrics, trace)]
-    pair.  [dma] (default none) adds one async span per request; the
+    pair.  [dma] (default none) adds one async span per request, with a
+    ["retries"] arg only on requests that survived injected failures;
+    [dma_retries] (default none) adds one ["dma_retry"] async span per
+    injected transient failure (failed admission → re-admission).  The
     metrics additionally yield one ["mc_busy"] totals bar per memory
-    controller with nonzero busy time, on the ["mc i"] track family. *)
+    controller with nonzero busy time, on the ["mc i"] track family,
+    and — only when [retries > 0] — the ["sim.dma_retries"] /
+    ["sim.backoff_cycles"] counters, so fault-free sinks are
+    byte-identical to what they were before fault injection existed. *)
 
 val reconcile : Sw_sim.Metrics.t -> Sw_sim.Trace.t -> (unit, string) result
 (** Check that a timeline and its metrics tell the same story, within

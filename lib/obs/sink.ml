@@ -27,6 +27,15 @@ let host_pid = 1
 
 let mc_track_base = 1000
 
+type pending_async = {
+  p_cat : string;
+  p_name : string;
+  p_pid : int;
+  p_track : int;
+  p_t0_us : float;
+  p_args : (string * arg) list;
+}
+
 type t = {
   lock : Mutex.t;
   mutable rev_spans : span list;
@@ -34,6 +43,8 @@ type t = {
   mutable rev_async : async_span list;
   mutable n_async : int;
   mutable next_async_id : int;
+  open_async : (int, pending_async) Hashtbl.t;
+  mutable n_async_dropped : int;
   counters : (string, float) Hashtbl.t;
   t0 : float;  (* host epoch at creation *)
 }
@@ -46,6 +57,8 @@ let create () =
     rev_async = [];
     n_async = 0;
     next_async_id = 0;
+    open_async = Hashtbl.create 16;
+    n_async_dropped = 0;
     counters = Hashtbl.create 16;
     t0 = Unix.gettimeofday ();
   }
@@ -79,6 +92,37 @@ let async_count t = locked t (fun () -> t.n_async)
 
 let async_spans t = locked t (fun () -> List.rev t.rev_async)
 
+let async_begin t ?(pid = machine_pid) ~track ~cat ?(args = []) ~t0_us name =
+  locked t (fun () ->
+      let id = t.next_async_id in
+      t.next_async_id <- id + 1;
+      Hashtbl.replace t.open_async id
+        { p_cat = cat; p_name = name; p_pid = pid; p_track = track;
+          p_t0_us = t0_us; p_args = args };
+      id)
+
+let async_end t ?(args = []) ~t1_us id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.open_async id with
+      | None ->
+          (* unmatched or double end: drop instead of emitting a dangling
+             "e" that would corrupt the Chrome export *)
+          t.n_async_dropped <- t.n_async_dropped + 1
+      | Some p ->
+          Hashtbl.remove t.open_async id;
+          if t1_us < p.p_t0_us then t.n_async_dropped <- t.n_async_dropped + 1
+          else begin
+            t.rev_async <-
+              { acat = p.p_cat; aname = p.p_name; apid = p.p_pid;
+                atrack = p.p_track; at0_us = p.p_t0_us; at1_us = t1_us;
+                aid = id; aargs = p.p_args @ args }
+              :: t.rev_async;
+            t.n_async <- t.n_async + 1
+          end)
+
+let async_dropped t =
+  locked t (fun () -> t.n_async_dropped + Hashtbl.length t.open_async)
+
 let add t key v =
   locked t (fun () ->
       let cur = Option.value (Hashtbl.find_opt t.counters key) ~default:0.0 in
@@ -101,6 +145,8 @@ let clear t =
       t.rev_async <- [];
       t.n_async <- 0;
       t.next_async_id <- 0;
+      Hashtbl.reset t.open_async;
+      t.n_async_dropped <- 0;
       Hashtbl.reset t.counters)
 
 let with_span t ?(pid = host_pid) ?track ~cat ?(args = []) name f =

@@ -91,6 +91,35 @@ val async_spans : t -> async_span list
     overlap on a track, which would violate the no-overlap property
     tests reconcile on the complete-duration stream. *)
 
+val async_begin :
+  t ->
+  ?pid:int ->
+  track:int ->
+  cat:string ->
+  ?args:(string * arg) list ->
+  t0_us:float ->
+  string ->
+  int
+(** Open one async operation whose end time is not yet known, returning
+    a token for {!async_end}.  Unlike {!record_async} — which takes both
+    timestamps and so cannot be unbalanced — this paired API can be
+    misused; the sink guards against that instead of corrupting the
+    Chrome export (see {!async_end} and {!async_dropped}). *)
+
+val async_end : t -> ?args:(string * arg) list -> t1_us:float -> int -> unit
+(** Close the operation opened by {!async_begin}, appending [args] to
+    the begin-side arguments.  Malformed calls are dropped and counted
+    in {!async_dropped} rather than recorded: an unknown or
+    already-closed token, or an end time earlier than the begin time.
+    Only balanced pairs ever reach {!async_spans}, so the Chrome
+    ["b"]/["e"] stream stays well-formed no matter how callers
+    misbehave. *)
+
+val async_dropped : t -> int
+(** Operations that will never appear in {!async_spans}: unmatched or
+    double {!async_end} calls, ends that travel backwards in time, plus
+    {!async_begin}s still open (never ended) at the time of the call. *)
+
 val incr : t -> ?by:int -> string -> unit
 (** Bump a named monotonic counter (created at 0 on first touch). *)
 
@@ -104,7 +133,8 @@ val counters : t -> (string * float) list
 (** All counters, sorted by name (deterministic). *)
 
 val clear : t -> unit
-(** Drop all spans, async spans and counters; async ids restart at 0. *)
+(** Drop all spans, async spans, open async operations, the dropped
+    count and counters; async ids restart at 0. *)
 
 val with_span :
   t ->

@@ -1,3 +1,29 @@
+exception Invalid_config of string
+
+type mc_throttle = { from_cycle : float; until_cycle : float; bw_factor : float }
+
+type faults = {
+  fault_seed : int;
+  dma_fail_prob : float;
+  dma_max_retries : int;
+  dma_backoff_cycles : int;
+  stragglers : (int * float) list;
+  mc_throttles : (int * mc_throttle) list;
+}
+
+let no_faults =
+  {
+    fault_seed = 0;
+    dma_fail_prob = 0.0;
+    dma_max_retries = 0;
+    dma_backoff_cycles = 0;
+    stragglers = [];
+    mc_throttles = [];
+  }
+
+let faults_active f =
+  f.dma_fail_prob > 0.0 || f.stragglers <> [] || f.mc_throttles <> []
+
 type t = {
   params : Sw_arch.Params.t;
   dma_issue_cost : int;
@@ -6,7 +32,51 @@ type t = {
   start_jitter : int;
   seed : int;
   max_events : int;
+  faults : faults;
 }
+
+let validate t =
+  let check cond msg acc =
+    match acc with Error _ -> acc | Ok _ -> if cond then acc else Error msg
+  in
+  let params_ok =
+    match Sw_arch.Params.validate t.params with
+    | Ok _ -> Ok t
+    | Error msg -> Error ("params: " ^ msg)
+  in
+  let f = t.faults in
+  params_ok
+  |> check (t.dma_issue_cost >= 0) "dma_issue_cost must be non-negative"
+  |> check (t.dma_wait_cost >= 0) "dma_wait_cost must be non-negative"
+  |> check (t.loop_overhead >= 0) "loop_overhead must be non-negative"
+  |> check (t.start_jitter >= 0) "start_jitter must be non-negative"
+  |> check (t.max_events > 0) "max_events must be positive"
+  |> check
+       (f.dma_fail_prob >= 0.0 && f.dma_fail_prob < 1.0)
+       "faults: dma_fail_prob must be in [0, 1)"
+  |> check (f.dma_max_retries >= 0) "faults: dma_max_retries must be non-negative"
+  |> check (f.dma_backoff_cycles >= 0) "faults: dma_backoff_cycles must be non-negative"
+  |> check
+       (f.dma_fail_prob = 0.0 || (f.dma_max_retries > 0 && f.dma_backoff_cycles > 0))
+       "faults: dma_fail_prob needs dma_max_retries and dma_backoff_cycles"
+  |> check
+       (List.for_all
+          (fun (cpe, slow) ->
+            cpe >= 0 && cpe < Sw_arch.Params.total_cpes t.params && slow >= 1.0)
+          f.stragglers)
+       "faults: stragglers must name valid CPEs with slowdown >= 1"
+  |> check
+       (List.for_all
+          (fun (mc, w) ->
+            mc >= 0 && mc < t.params.Sw_arch.Params.n_cgs
+            && w.from_cycle >= 0.0
+            && w.until_cycle > w.from_cycle
+            && w.bw_factor > 0.0 && w.bw_factor <= 1.0)
+          f.mc_throttles)
+       "faults: throttle windows must name valid MCs with 0 < bw_factor <= 1"
+
+let validated t =
+  match validate t with Ok t -> t | Error msg -> raise (Invalid_config msg)
 
 let default params =
   {
@@ -17,6 +87,7 @@ let default params =
     start_jitter = 48;
     seed = 0x5117;
     max_events = 200_000_000;
+    faults = no_faults;
   }
 
 let ideal params =

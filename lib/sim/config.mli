@@ -5,7 +5,51 @@
     ignores (DMA-issue instruction sequences, wait polling, loop
     control) and skews CPE start times slightly.  These are the
     second-order effects that make "measured" differ from "predicted"
-    in realistic ways. *)
+    in realistic ways.
+
+    A configuration also carries a {!faults} record — normally
+    {!no_faults} — describing deterministic hardware misbehaviour the
+    engine should model: transient DMA-request failures (resolved with
+    retry and exponential backoff), straggler CPEs, and throttled
+    memory-controller windows.  {!Sw_fault.Fault.plan} builds seeded
+    perturbed configurations from it. *)
+
+exception Invalid_config of string
+(** Raised by {!validated} (and by the engine at run entry) for a
+    configuration that would otherwise produce silent nonsense —
+    non-positive bandwidth/latency/CPE counts, negative overheads,
+    malformed fault specs. *)
+
+(** One throttled window on one memory controller: between [from_cycle]
+    and [until_cycle] the controller serves transactions at [bw_factor]
+    of its nominal bandwidth. *)
+type mc_throttle = { from_cycle : float; until_cycle : float; bw_factor : float }
+
+type faults = {
+  fault_seed : int;  (** Seed for the per-request failure draws. *)
+  dma_fail_prob : float;
+      (** Probability that a DMA request transiently fails at admission
+          and must be retried.  Must be in [[0, 1)]. *)
+  dma_max_retries : int;
+      (** Retry attempts before the engine forces the request through
+          (faults are transient, not fatal). *)
+  dma_backoff_cycles : int;
+      (** First-retry backoff; doubles on every further attempt
+          (exponential backoff). *)
+  stragglers : (int * float) list;
+      (** [(cpe, slowdown)]: that CPE's compute retires [slowdown]x
+          slower ([slowdown >= 1]). *)
+  mc_throttles : (int * mc_throttle) list;
+      (** Per-controller throttle windows. *)
+}
+
+val no_faults : faults
+(** The all-quiet spec: zero failure probability, no stragglers, no
+    throttles.  [default] and [ideal] use it. *)
+
+val faults_active : faults -> bool
+(** Whether any fault channel is live (the engine skips all fault
+    bookkeeping otherwise). *)
 
 type t = {
   params : Sw_arch.Params.t;
@@ -20,7 +64,17 @@ type t = {
           seeded), default 48. *)
   seed : int;  (** Seed for the jitter generator. *)
   max_events : int;  (** Hard safety cap on processed events. *)
+  faults : faults;  (** Injected-fault spec, default {!no_faults}. *)
 }
+
+val validate : t -> (t, string) result
+(** Full structural validation: machine parameters
+    ({!Sw_arch.Params.validate}), simulator overheads, and the fault
+    spec.  Jittered configurations (fault plans) go through this before
+    they reach the engine. *)
+
+val validated : t -> t
+(** [validate], raising {!Invalid_config} on [Error]. *)
 
 val default : Sw_arch.Params.t -> t
 

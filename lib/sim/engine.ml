@@ -14,6 +14,7 @@ type req = {
   per_mc : int array;  (* transactions routed to each controller *)
   m_total : int;
   remote : bool;  (* touches a controller other than the home CG *)
+  mutable r_attempts : int;  (* injected transient failures survived *)
 }
 
 type gload_pending = { g_addr : int; g_bytes : int; g_start : float }
@@ -58,10 +59,19 @@ type state = {
   config : Config.t;
   recorder : (Trace.span -> unit) option;
   req_recorder : (Trace.dma_req -> unit) option;
+  retry_recorder : (Trace.dma_retry -> unit) option;
   cpes : cpe array;
   mcs : mc array;
   events : ev Sw_util.Heap.t;
   block_costs : (Sw_isa.Instr.t array, float * float) Hashtbl.t;
+  (* fault-injection state: all derived from [config.faults], all
+     consumed inside the (deterministic, single-threaded) event loop *)
+  faults_on : bool;
+  fault_prng : Sw_util.Prng.t;
+  slowdown : float array;  (* per-CPE compute slowdown factor, 1.0 nominal *)
+  throttles : Config.mc_throttle list array;  (* per-MC throttle windows *)
+  mutable retries : int;
+  mutable backoff_cycles : float;
   mutable transactions : int;
   mutable payload_bytes : int;
   mutable dma_requests : int;
@@ -96,13 +106,27 @@ let route_counts (p : Sw_arch.Params.t) accesses =
     accesses;
   counts
 
+(* The bandwidth multiplier a throttled controller applies to a grant
+   starting at [at]: the deepest factor of any window covering it. *)
+let throttle_factor st mc_id ~at =
+  match st.throttles.(mc_id) with
+  | [] -> 1.0
+  | windows ->
+      List.fold_left
+        (fun acc (w : Config.mc_throttle) ->
+          if at >= w.Config.from_cycle && at < w.Config.until_cycle then
+            Stdlib.min acc w.Config.bw_factor
+          else acc)
+        1.0 windows
+
 (* Grant [m] transactions of bandwidth on one controller at time [t];
-   returns the grant time. *)
+   returns the grant time.  A throttled window stretches the per-
+   transaction service time by [1 / bw_factor]. *)
 let grant st mc_id ~at ~m =
   let p = st.config.params in
   let mc = st.mcs.(mc_id) in
   let start = Stdlib.max mc.bw_clock at in
-  let ttx = Sw_arch.Params.cycles_per_transaction p in
+  let ttx = Sw_arch.Params.cycles_per_transaction p /. throttle_factor st mc_id ~at:start in
   mc.bw_clock <- start +. (float_of_int m *. ttx);
   mc.busy <- mc.busy +. (float_of_int m *. ttx);
   st.transactions <- st.transactions + m;
@@ -136,7 +160,7 @@ let rec run_cpe st cpe =
         frame.idx <- frame.idx + 1;
         match item with
         | Program.Compute { block; trips } ->
-            let cost = compute_cost st block trips in
+            let cost = compute_cost st block trips *. st.slowdown.(cpe.id) in
             (match st.recorder with
             | Some record when cost > 0.0 ->
                 record { Trace.cpe = cpe.id; kind = Trace.Compute; t0 = cpe.now; t1 = cpe.now +. cost }
@@ -172,7 +196,10 @@ let rec run_cpe st cpe =
             cpe.outstanding_total <- cpe.outstanding_total + 1;
             st.dma_requests <- st.dma_requests + 1;
             st.payload_bytes <- st.payload_bytes + Program.dma_payload d;
-            let req = { r_cpe = cpe.id; r_tag = tag; r_issue = t_issue; per_mc; m_total; remote } in
+            let req =
+              { r_cpe = cpe.id; r_tag = tag; r_issue = t_issue; per_mc; m_total; remote;
+                r_attempts = 0 }
+            in
             Sw_util.Heap.push st.events arrival (Req_admit req);
             run_cpe st cpe
         | Program.Dma_wait tag ->
@@ -211,7 +238,9 @@ let resume_after_wait st cpe ~at =
 let handle_req_done st req ~at =
   (match st.req_recorder with
   | Some record ->
-      record { Trace.req_cpe = req.r_cpe; req_tag = req.r_tag; t_issue = req.r_issue; t_done = at }
+      record
+        { Trace.req_cpe = req.r_cpe; req_tag = req.r_tag; t_issue = req.r_issue; t_done = at;
+          req_retries = req.r_attempts }
   | None -> ());
   let cpe = st.cpes.(req.r_cpe) in
   let counter = outstanding_for cpe req.r_tag in
@@ -223,20 +252,51 @@ let handle_req_done st req ~at =
   | On_all _ when cpe.outstanding_total = 0 -> resume_after_wait st cpe ~at
   | Not_blocked | On_tag _ | On_all _ | On_gload _ -> ()
 
+(* With faults injected, a request may transiently fail admission: it
+   re-queues after an exponential backoff (base doubling per attempt),
+   up to [dma_max_retries] attempts — transient faults always resolve.
+   The failure draw consumes the fault PRNG inside the deterministic
+   event loop, so the same seed replays the same failures exactly. *)
+let admit_fails st req =
+  let f = st.config.Config.faults in
+  st.faults_on
+  && f.Config.dma_fail_prob > 0.0
+  && req.r_attempts < f.Config.dma_max_retries
+  && Sw_util.Prng.float st.fault_prng 1.0 < f.Config.dma_fail_prob
+
 let handle_admit st req ~at =
   let p = st.config.params in
   let cpe = st.cpes.(req.r_cpe) in
-  (* bandwidth grant on every controller the request touches *)
-  let latest_grant = ref at in
-  Array.iteri
-    (fun mc_id m -> if m > 0 then latest_grant := Stdlib.max !latest_grant (grant st mc_id ~at ~m))
-    req.per_mc;
-  let stream_tail = float_of_int ((req.m_total - 1) * p.delta_delay) in
-  let noc = if req.remote then float_of_int p.noc_extra_latency else 0.0 in
-  let completion = !latest_grant +. stream_tail +. float_of_int p.l_base +. noc in
-  (* the CPE's DMA engine is occupied until the stream drains *)
-  cpe.engine_free <- Stdlib.max cpe.engine_free (!latest_grant +. stream_tail);
-  Sw_util.Heap.push st.events completion (Req_done req)
+  if admit_fails st req then begin
+    req.r_attempts <- req.r_attempts + 1;
+    let backoff =
+      float_of_int
+        (st.config.Config.faults.Config.dma_backoff_cycles * (1 lsl (req.r_attempts - 1)))
+    in
+    st.retries <- st.retries + 1;
+    st.backoff_cycles <- st.backoff_cycles +. backoff;
+    (match st.retry_recorder with
+    | Some record ->
+        record
+          { Trace.rt_cpe = req.r_cpe; rt_tag = req.r_tag; rt_attempt = req.r_attempts;
+            t_fail = at; t_retry = at +. backoff }
+    | None -> ());
+    Sw_util.Heap.push st.events (at +. backoff) (Req_admit req)
+  end
+  else begin
+    (* bandwidth grant on every controller the request touches *)
+    let latest_grant = ref at in
+    Array.iteri
+      (fun mc_id m ->
+        if m > 0 then latest_grant := Stdlib.max !latest_grant (grant st mc_id ~at ~m))
+      req.per_mc;
+    let stream_tail = float_of_int ((req.m_total - 1) * p.delta_delay) in
+    let noc = if req.remote then float_of_int p.noc_extra_latency else 0.0 in
+    let completion = !latest_grant +. stream_tail +. float_of_int p.l_base +. noc in
+    (* the CPE's DMA engine is occupied until the stream drains *)
+    cpe.engine_free <- Stdlib.max cpe.engine_free (!latest_grant +. stream_tail);
+    Sw_util.Heap.push st.events completion (Req_done req)
+  end
 
 let handle_event st ~at = function
   | Step id ->
@@ -265,11 +325,12 @@ let handle_event st ~at = function
       | Not_blocked | On_tag _ | On_all _ ->
           invalid_arg "Engine: Gload_mc event for a CPE not blocked on a gload")
 
-let run_internal ?recorder ?req_recorder ?cutoff ?event_budget (config : Config.t) programs =
+let run_internal ?recorder ?req_recorder ?retry_recorder ?cutoff ?event_budget
+    (config : Config.t) programs =
   let p = config.params in
-  (match Sw_arch.Params.validate p with
+  (match Config.validate config with
   | Ok _ -> ()
-  | Error msg -> invalid_arg ("Engine.run: invalid params: " ^ msg));
+  | Error msg -> raise (Config.Invalid_config ("Engine.run: " ^ msg)));
   let n = Array.length programs in
   if n = 0 then invalid_arg "Engine.run: no programs";
   if n > Sw_arch.Params.total_cpes p then
@@ -308,15 +369,31 @@ let run_internal ?recorder ?req_recorder ?cutoff ?event_budget (config : Config.
           finish_time = 0.0;
         })
   in
+  let faults = config.Config.faults in
+  let slowdown = Array.make n 1.0 in
+  List.iter
+    (fun (id, factor) -> if id < n then slowdown.(id) <- factor)
+    faults.Config.stragglers;
+  let throttles = Array.make p.n_cgs [] in
+  List.iter
+    (fun (mc, w) -> throttles.(mc) <- throttles.(mc) @ [ w ])
+    faults.Config.mc_throttles;
   let st =
     {
       config;
       recorder;
       req_recorder;
+      retry_recorder;
       cpes;
       mcs = Array.init p.n_cgs (fun _ -> { bw_clock = 0.0; busy = 0.0 });
       events = Sw_util.Heap.create ();
       block_costs = Hashtbl.create 16;
+      faults_on = Config.faults_active faults;
+      fault_prng = Sw_util.Prng.create faults.Config.fault_seed;
+      slowdown;
+      throttles;
+      retries = 0;
+      backoff_cycles = 0.0;
       transactions = 0;
       payload_bytes = 0;
       dma_requests = 0;
@@ -374,6 +451,8 @@ let run_internal ?recorder ?req_recorder ?cutoff ?event_budget (config : Config.
           gload_requests = st.gload_requests;
           mc_busy_cycles = Array.map (fun mc -> mc.busy) st.mcs;
           events = st.processed;
+          retries = st.retries;
+          backoff_cycles = st.backoff_cycles;
         }
 
 let finished_exn = function
@@ -388,15 +467,17 @@ let run_budget ?cutoff ?event_budget config programs =
 let run_traced_full config programs =
   let spans = ref [] in
   let reqs = ref [] in
+  let retries = ref [] in
   let metrics =
     finished_exn
       (run_internal
          ~recorder:(fun s -> spans := s :: !spans)
          ~req_recorder:(fun r -> reqs := r :: !reqs)
+         ~retry_recorder:(fun r -> retries := r :: !retries)
          config programs)
   in
-  (metrics, List.rev !spans, List.rev !reqs)
+  (metrics, List.rev !spans, List.rev !reqs, List.rev !retries)
 
 let run_traced config programs =
-  let metrics, spans, _ = run_traced_full config programs in
+  let metrics, spans, _, _ = run_traced_full config programs in
   (metrics, spans)

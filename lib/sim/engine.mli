@@ -66,7 +66,11 @@ val run_traced : Config.t -> Sw_isa.Program.t array -> Metrics.t * Trace.t
     DMA stalls, Gload stalls) for {!Trace.render}. *)
 
 val run_traced_full :
-  Config.t -> Sw_isa.Program.t array -> Metrics.t * Trace.t * Trace.dma_req list
+  Config.t ->
+  Sw_isa.Program.t array ->
+  Metrics.t * Trace.t * Trace.dma_req list * Trace.dma_retry list
 (** {!run_traced} plus the lifetime (issue clock to completion clock)
     of every DMA request, in completion order — the async-arrow layer
-    of a Chrome trace. *)
+    of a Chrome trace — and, when {!Config.faults} injects transient
+    DMA failures, one {!Trace.dma_retry} per failed admission, in
+    failure order (empty for a fault-free run). *)

@@ -11,6 +11,8 @@ type t = {
   gload_requests : int;
   mc_busy_cycles : float array;
   events : int;
+  retries : int;
+  backoff_cycles : float;
 }
 
 let bandwidth_utilization t =
@@ -32,4 +34,7 @@ let pp fmt t =
     t.dma_wait_cycles Sw_util.Units.pp_cycles t.gload_cycles t.transactions t.dma_requests
     t.gload_requests
     (bandwidth_utilization t *. 100.0)
-    (effective_bandwidth_fraction t ~trans_size:256 *. 100.0)
+    (effective_bandwidth_fraction t ~trans_size:256 *. 100.0);
+  if t.retries > 0 then
+    Format.fprintf fmt "@,@[<v>dma retries     : %d@,backoff cycles  : %a@]" t.retries
+      Sw_util.Units.pp_cycles t.backoff_cycles

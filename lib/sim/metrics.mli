@@ -15,6 +15,11 @@ type t = {
   gload_requests : int;
   mc_busy_cycles : float array;  (** Per-core-group controller busy time. *)
   events : int;  (** Events processed (simulator diagnostics). *)
+  retries : int;
+      (** DMA requests re-admitted after an injected transient failure
+          ([0] unless {!Config.faults} injects failures). *)
+  backoff_cycles : float;
+      (** Total exponential-backoff delay charged to retried requests. *)
 }
 
 val bandwidth_utilization : t -> float

@@ -4,7 +4,9 @@ type span = { cpe : int; kind : kind; t0 : float; t1 : float }
 
 type t = span list
 
-type dma_req = { req_cpe : int; req_tag : int; t_issue : float; t_done : float }
+type dma_req = { req_cpe : int; req_tag : int; t_issue : float; t_done : float; req_retries : int }
+
+type dma_retry = { rt_cpe : int; rt_tag : int; rt_attempt : int; t_fail : float; t_retry : float }
 
 let total spans kind =
   List.fold_left (fun acc s -> if s.kind = kind then acc +. (s.t1 -. s.t0) else acc) 0.0 spans

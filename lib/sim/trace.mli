@@ -16,11 +16,19 @@ type span = { cpe : int; kind : kind; t0 : float; t1 : float }
 type t = span list
 (** In completion order. *)
 
-type dma_req = { req_cpe : int; req_tag : int; t_issue : float; t_done : float }
+type dma_req = { req_cpe : int; req_tag : int; t_issue : float; t_done : float; req_retries : int }
 (** One DMA request's lifetime: issued on [req_cpe] at [t_issue]
     (before issue overhead), completed at [t_done].  Unlike a {!span},
     requests overlap freely — a CPE keeps several in flight — so they
-    render as async arrows, not timeline rows. *)
+    render as async arrows, not timeline rows.  [req_retries] counts
+    how many injected transient failures the request survived (0 in a
+    fault-free run). *)
+
+type dma_retry = { rt_cpe : int; rt_tag : int; rt_attempt : int; t_fail : float; t_retry : float }
+(** One injected transient failure: the request failed admission at
+    [t_fail] and was re-admitted at [t_retry] after an exponential
+    backoff ([rt_attempt] counts from 1).  Rendered as async
+    ["dma_retry"] events on the issuing CPE's track. *)
 
 val total : t -> kind -> float
 (** Summed duration of one activity across all CPEs. *)

@@ -4,6 +4,13 @@ type t =
   | Exhaustive
   | Shortlist of { rank : Backend.t; k : int }
   | Successive_halving of { rungs : int }
+  | Robust of {
+      rank : Backend.t;
+      k : int;
+      seeds : int list;
+      quantile : float;
+      spec : Sw_fault.Fault.spec;
+    }
 
 let exhaustive = Exhaustive
 
@@ -13,10 +20,20 @@ let successive_halving ~rungs =
   if rungs < 1 then invalid_arg "Search.successive_halving: rungs must be >= 1";
   Successive_halving { rungs }
 
+let robust ?(rank = Backend.static_model) ~k ~seeds ?(quantile = 1.0)
+    ?(spec = Sw_fault.Fault.default) () =
+  if seeds = [] then invalid_arg "Search.robust: seeds must be non-empty";
+  if not (quantile > 0.0 && quantile <= 1.0) then
+    invalid_arg "Search.robust: quantile must be in (0, 1]";
+  Robust { rank; k; seeds; quantile; spec }
+
 let name = function
   | Exhaustive -> "exhaustive"
   | Shortlist { rank; k } -> Printf.sprintf "shortlist(%s,k=%d)" (Backend.name rank) k
   | Successive_halving { rungs } -> Printf.sprintf "successive-halving(rungs=%d)" rungs
+  | Robust { rank; k; seeds; quantile; _ } ->
+      Printf.sprintf "robust(%s,k=%d,seeds=%d,q=%.2f)" (Backend.name rank) k
+        (List.length seeds) quantile
 
 type result_ =
   | Priced of Backend.verdict
@@ -58,7 +75,13 @@ let run_exhaustive ~backend ~active_cpes ?pool config kernel points =
    total (predicted cycles, then enumeration index), and verification
    is sequential, so the outcome is identical at any pool size. *)
 
-let run_shortlist ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points =
+(* [cutoff_prune] (default true) lets the running incumbent's cycles
+   abandon verifications that provably can't win the *nominal* argmin.
+   The robust strategy turns it off: a point that is mediocre on the
+   quiet machine can still be the min-of-worst-case winner, so every
+   shortlisted survivor must be fully priced. *)
+let run_shortlist ?(cutoff_prune = true) ~rank ~k ~backend ~active_cpes ?pool ?obs config
+    kernel points =
   let wall0 = Unix.gettimeofday () in
   let ranked =
     map_points ?pool
@@ -90,7 +113,8 @@ let run_shortlist ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points
   List.iter
     (fun (i, p, _) ->
       let variant = Space.to_variant p ~active_cpes in
-      match Backend.assess_budget ?cutoff:!incumbent backend config kernel variant with
+      let cutoff = if cutoff_prune then !incumbent else None in
+      match Backend.assess_budget ?cutoff backend config kernel variant with
       | Backend.Assessed v ->
           (match !incumbent with
           | Some c when v.Backend.cycles >= c -> ()
@@ -235,6 +259,84 @@ let run_halving ~rungs ~backend ~active_cpes ?pool ?obs config kernel points =
       rank_machine_us = 0.0;
     } )
 
+(* ------------------------------------------------------------------ *)
+(* Robust: shortlist first, then re-assess every surviving (Priced)
+   point under each seeded fault plan and score it by the [quantile] of
+   its per-plan cycles (1.0 = worst case).  The argmin downstream then
+   picks the point whose *bad days* are cheapest — min-of-worst-case —
+   instead of the nominal winner.
+
+   Determinism: plans are pure functions of (spec, seed, config), the
+   point × seed fan-out is order-preserving under the pool, and the
+   quantile is computed from a total sort, so the outcome is identical
+   at any pool size. *)
+
+let quantile_of ~quantile sorted =
+  let n = Array.length sorted in
+  let idx =
+    Stdlib.min (n - 1)
+      (Stdlib.max 0 (int_of_float (Float.ceil (quantile *. float_of_int n)) - 1))
+  in
+  sorted.(idx)
+
+let run_robust ~rank ~k ~seeds ~quantile ~spec ~backend ~active_cpes ?pool ?obs config
+    kernel points =
+  let results, sstats =
+    run_shortlist ~cutoff_prune:false ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel
+      points
+  in
+  let plans = List.map (fun seed -> Sw_fault.Fault.plan ~spec ~seed config) seeds in
+  let survivors =
+    List.filter_map
+      (function i, (p, Priced v) -> Some (i, p, v) | _ -> None)
+      (List.mapi (fun i pr -> (i, pr)) results)
+  in
+  let jobs =
+    List.concat_map
+      (fun (i, p, _) -> List.map (fun plan -> (i, p, plan)) plans)
+      survivors
+  in
+  let assessed =
+    map_points ?pool
+      (fun (i, p, plan) ->
+        (i, Backend.assess backend plan kernel (Space.to_variant p ~active_cpes)))
+      jobs
+  in
+  (match obs with
+  | Some sink -> Sw_obs.Sink.incr sink ~by:(List.length jobs) "search.robust_assessments"
+  | None -> ());
+  let scored =
+    List.map
+      (fun (i, p, (v : Backend.verdict)) ->
+        let mine = List.filter_map (fun (j, r) -> if j = i then Some r else None) assessed in
+        let cycles =
+          List.map
+            (function
+              | Ok (pv : Backend.verdict) -> pv.Backend.cycles
+              (* a plan that breaks the point entirely is the worst
+                 case there is *)
+              | Error _ -> Float.infinity)
+            mine
+        in
+        let extra_cost =
+          List.fold_left
+            (fun acc -> function Ok pv -> Backend.add_cost acc pv.Backend.cost | Error _ -> acc)
+            Backend.zero_cost mine
+        in
+        let sorted = Array.of_list cycles in
+        Array.sort Float.compare sorted;
+        let score = quantile_of ~quantile sorted in
+        (i, (p, Priced { v with Backend.cycles = score; cost = Backend.add_cost v.Backend.cost extra_cost })))
+      survivors
+  in
+  let final =
+    List.mapi
+      (fun i pr -> match List.assoc_opt i scored with Some pr' -> pr' | None -> pr)
+      results
+  in
+  ( final,
+    { sstats with strategy = name (Robust { rank; k; seeds; quantile; spec }) } )
+
 let run strategy ~backend ~active_cpes ?pool ?obs config kernel ~points =
   match strategy with
   | Exhaustive ->
@@ -253,3 +355,6 @@ let run strategy ~backend ~active_cpes ?pool ?obs config kernel ~points =
         } )
   | Successive_halving { rungs } ->
       run_halving ~rungs ~backend ~active_cpes ?pool ?obs config kernel points
+  | Robust { rank; k; seeds; quantile; spec } ->
+      run_robust ~rank ~k ~seeds ~quantile ~spec ~backend ~active_cpes ?pool ?obs config
+        kernel points

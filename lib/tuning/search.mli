@@ -33,6 +33,22 @@ type t =
           event-budget, halving the field between rounds by partial
           progress; the final rung runs unmetered under the incumbent
           cutoff.  [rungs <= 1] degrades to [Exhaustive] exactly. *)
+  | Robust of {
+      rank : Sw_backend.Backend.t;
+      k : int;
+      seeds : int list;
+      quantile : float;
+      spec : Sw_fault.Fault.spec;
+    }
+      (** [Shortlist] first — but with the incumbent cutoff disabled,
+          so all [k] survivors are fully priced (a point that loses
+          nominally can still be the min-of-worst-case winner) — then
+          re-assess every survivor under one {!Sw_fault.Fault.plan} per
+          seed and score it by the [quantile] of its per-plan cycles
+          ([1.0] = worst case), so the downstream argmin picks
+          min-of-worst-case — the schedule whose bad days are cheapest
+          — instead of the nominal winner.  A plan under which a point
+          fails outright scores infinity. *)
 
 val exhaustive : t
 
@@ -42,9 +58,23 @@ val shortlist : ?rank:Sw_backend.Backend.t -> k:int -> unit -> t
 val successive_halving : rungs:int -> t
 (** @raise Invalid_argument when [rungs < 1]. *)
 
+val robust :
+  ?rank:Sw_backend.Backend.t ->
+  k:int ->
+  seeds:int list ->
+  ?quantile:float ->
+  ?spec:Sw_fault.Fault.spec ->
+  unit ->
+  t
+(** [rank] defaults to the static model, [quantile] to [1.0] (worst
+    case), [spec] to {!Sw_fault.Fault.default}.
+    @raise Invalid_argument on an empty seed list or a quantile outside
+    [(0, 1]]. *)
+
 val name : t -> string
 (** Human/JSON label: ["exhaustive"], ["shortlist(model,k=6)"],
-    ["successive-halving(rungs=3)"]. *)
+    ["successive-halving(rungs=3)"],
+    ["robust(model,k=6,seeds=8,q=1.00)"]. *)
 
 (** What the search decided about one point. *)
 type result_ =

@@ -21,10 +21,12 @@ type outcome = {
   points_pruned : int;
   rank_host_s : float;
   rank_machine_us : float;
+  journal_hits : int;
+  journal_misses : int;
 }
 
 let tune ~backend ?(strategy = Search.Exhaustive) ?(active_cpes = 64) ?default ?pool ?obs
-    (config : Sw_sim.Config.t) kernel ~points =
+    ?checkpoint (config : Sw_sim.Config.t) kernel ~points =
   let params = config.Sw_sim.Config.params in
   (* Observability never steers the search: [instrument] wraps the
      backend with pure recording, so verdicts — and hence the argmin —
@@ -32,6 +34,12 @@ let tune ~backend ?(strategy = Search.Exhaustive) ?(active_cpes = 64) ?default ?
   let backend =
     match obs with Some sink -> Backend.instrument sink backend | None -> backend
   in
+  (* The journal wraps outermost so replayed points skip the whole
+     stack (instrumentation included): a resumed sweep re-assesses
+     nothing it already resolved, and the replayed cycles are
+     bit-identical, so the argmin below cannot tell the difference. *)
+  let jnl = Option.map (fun path -> Backend.journal ?sink:obs ~path config backend) checkpoint in
+  let backend = match jnl with Some j -> Backend.journaled j | None -> backend in
   let span_t0 = Option.map (fun sink -> Sw_obs.Sink.now_us sink) obs in
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
@@ -92,6 +100,9 @@ let tune ~backend ?(strategy = Search.Exhaustive) ?(active_cpes = 64) ?default ?
             ];
         }
   | _ -> ());
+  let journal_hits = match jnl with Some j -> Backend.journal_hits j | None -> 0 in
+  let journal_misses = match jnl with Some j -> Backend.journal_misses j | None -> 0 in
+  Option.iter Backend.journal_close jnl;
   match scored with
   | [] ->
       let detail =
@@ -143,16 +154,22 @@ let tune ~backend ?(strategy = Search.Exhaustive) ?(active_cpes = 64) ?default ?
           points_pruned;
           rank_host_s = sstats.Search.rank_host_s;
           rank_machine_us = sstats.Search.rank_machine_us;
+          journal_hits;
+          journal_misses;
         }
 
-let tune_exn ~backend ?strategy ?active_cpes ?default ?pool ?obs config kernel ~points =
-  match tune ~backend ?strategy ?active_cpes ?default ?pool ?obs config kernel ~points with
+let tune_exn ~backend ?strategy ?active_cpes ?default ?pool ?obs ?checkpoint config kernel
+    ~points =
+  match
+    tune ~backend ?strategy ?active_cpes ?default ?pool ?obs ?checkpoint config kernel ~points
+  with
   | Ok o -> o
   | Error (`No_feasible_point msg) -> invalid_arg ("Tuner.tune: " ^ msg)
 
-let tune_method ~method_ ?strategy ?active_cpes ?default ?pool ?obs config kernel ~points =
-  tune ~backend:(backend_of_method method_) ?strategy ?active_cpes ?default ?pool ?obs config
-    kernel ~points
+let tune_method ~method_ ?strategy ?active_cpes ?default ?pool ?obs ?checkpoint config kernel
+    ~points =
+  tune ~backend:(backend_of_method method_) ?strategy ?active_cpes ?default ?pool ?obs
+    ?checkpoint config kernel ~points
 
 let quality_loss ~static ~empirical =
   (static.best_cycles -. empirical.best_cycles) /. empirical.best_cycles

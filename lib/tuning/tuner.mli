@@ -60,6 +60,14 @@ type outcome = {
   rank_machine_us : float;
       (** Machine time billed by the shortlist ranking backend;
           included in [machine_time_us]. *)
+  journal_hits : int;
+      (** Assessments answered from the [checkpoint] journal instead of
+          being recomputed (0 without a checkpoint).  On a resumed
+          sweep this counts exactly the points the interrupted run had
+          already resolved. *)
+  journal_misses : int;
+      (** Assessments that actually ran and were appended to the
+          journal (0 without a checkpoint). *)
 }
 
 val tune :
@@ -69,6 +77,7 @@ val tune :
   ?default:Sw_swacc.Kernel.variant ->
   ?pool:Sw_util.Pool.t ->
   ?obs:Sw_obs.Sink.t ->
+  ?checkpoint:string ->
   Sw_sim.Config.t ->
   Sw_swacc.Kernel.t ->
   points:Space.point list ->
@@ -98,9 +107,22 @@ val tune :
     ["tuner.searches"/"tuner.points"/"tuner.evaluated"/
     "tuner.infeasible"/"tuner.pruned"/"tuner.machine_us"] counters
     accumulate search progress (pruning strategies additionally bump
-    ["search.pruned"]/["search.rungs"]).  Tracing is purely an
+    ["search.pruned"]/["search.rungs"], the robust strategy
+    ["search.robust_assessments"]).  Tracing is purely an
     observer: the outcome is bit-identical with and without [obs], at
-    any pool size. *)
+    any pool size.
+
+    When [checkpoint] is given, the backend is additionally wrapped
+    (outermost) in a crash-safe {!Sw_backend.Backend.journal} bound to
+    [config] at that path: every resolved assessment is appended and
+    flushed one JSON line at a time, and a rerun after an interruption
+    — even a [SIGKILL] mid-write — replays the journaled points
+    verbatim instead of recomputing them, reaching a bit-identical
+    argmin.  [journal_hits]/[journal_misses] in the outcome prove what
+    was replayed vs recomputed.  [Cut_off] results are never journaled
+    (they depend on the run's budgets), and the robust strategy's
+    fault-plan re-assessments run under perturbed configurations, which
+    pass through the journal unrecorded. *)
 
 val tune_exn :
   backend:Sw_backend.Backend.t ->
@@ -109,6 +131,7 @@ val tune_exn :
   ?default:Sw_swacc.Kernel.variant ->
   ?pool:Sw_util.Pool.t ->
   ?obs:Sw_obs.Sink.t ->
+  ?checkpoint:string ->
   Sw_sim.Config.t ->
   Sw_swacc.Kernel.t ->
   points:Space.point list ->
@@ -122,6 +145,7 @@ val tune_method :
   ?default:Sw_swacc.Kernel.variant ->
   ?pool:Sw_util.Pool.t ->
   ?obs:Sw_obs.Sink.t ->
+  ?checkpoint:string ->
   Sw_sim.Config.t ->
   Sw_swacc.Kernel.t ->
   points:Space.point list ->

@@ -61,3 +61,14 @@ let exponential t ~mean =
   assert (mean > 0.0);
   let u = Stdlib.max 1e-300 (unit_float t) in
   -.mean *. log u
+
+(* Process-wide seed: CLI entry points set it once so every generator a
+   run derives (simulator jitter, fault plans, robust-search seeds) is
+   reproducible from a single command-line flag. *)
+let global_seed_ref = ref 0x5117
+
+let set_global_seed seed = global_seed_ref := seed
+
+let global_seed () = !global_seed_ref
+
+let global () = create !global_seed_ref

@@ -46,3 +46,22 @@ val choose : t -> 'a array -> 'a
 
 val exponential : t -> mean:float -> float
 (** Exponential deviate with the given mean. Requires [mean > 0]. *)
+
+(** {1 Process-wide seed}
+
+    Entry points (the [swmodel] CLI, the bench harness) set one seed so
+    every seeded component of a run — simulator start jitter, fault
+    plans, robust-search perturbations — is reproducible from a single
+    flag.  Libraries read it as a {e default}; explicit seeds always
+    win. *)
+
+val set_global_seed : int -> unit
+(** Set the process-wide default seed (initially [0x5117], matching
+    {!Sw_sim.Config.default}'s historical jitter seed). *)
+
+val global_seed : unit -> int
+(** The current process-wide default seed. *)
+
+val global : unit -> t
+(** A fresh generator seeded from {!global_seed}.  Two calls return
+    generators producing identical streams. *)
