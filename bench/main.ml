@@ -586,6 +586,137 @@ let microbench () =
   in
   List.iter benchmark tests
 
+(* The engine-throughput gate behind the tuning-time claims: events/sec
+   and minor-heap words/event on the Table II workloads, optimized
+   {!Sw_sim.Engine} vs the preserved reference path
+   {!Sw_sim.Engine_ref}.  Cold includes program lowering (compile
+   caches emptied first); warm is best-of-N with the caches populated —
+   the regime a tuning sweep or robustness study actually lives in.
+   Gates (exit 1): aggregate warm speedup >= 5x, and under one
+   minor-heap word per event on warm runs (the reference path spends
+   ~30+ on heap entries, boxed events and per-request records). *)
+let engine () =
+  section "Engine: event throughput vs the reference engine";
+  let params = Sw_arch.Params.default in
+  let config = Sw_sim.Config.default params in
+  let scale = try float_of_string (Sys.getenv "SWPM_ENGINE_SCALE") with _ -> 8.0 in
+  let reps = try int_of_string (Sys.getenv "SWPM_ENGINE_REPS") with _ -> 5 in
+  let t =
+    Sw_util.Table.create ~title:(Printf.sprintf "engine throughput, Table II kernels at scale %g" scale)
+      [
+        ("kernel", Sw_util.Table.Left);
+        ("events", Sw_util.Table.Right);
+        ("ref Mev/s", Sw_util.Table.Right);
+        ("cold Mev/s", Sw_util.Table.Right);
+        ("warm Mev/s", Sw_util.Table.Right);
+        ("speedup", Sw_util.Table.Right);
+        ("words/ev", Sw_util.Table.Right);
+        ("ref words/ev", Sw_util.Table.Right);
+      ]
+  in
+  let time_once f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let dt = time_once f in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let sum_ev = ref 0 and sum_warm = ref 0.0 and sum_ref = ref 0.0 in
+  let sum_words = ref 0.0 and sum_ref_words = ref 0.0 in
+  let rows =
+    List.map
+      (fun (entry : Sw_workloads.Registry.entry) ->
+        let kernel = entry.Sw_workloads.Registry.build ~scale in
+        let lowered =
+          Sw_swacc.Lower.lower_exn params kernel entry.Sw_workloads.Registry.variant
+        in
+        let progs = lowered.Sw_swacc.Lowered.programs in
+        (* cold: lowering + validation included *)
+        Sw_sim.Engine.clear_compile_cache ();
+        Sw_isa.Schedule.clear_cache ();
+        let t_cold = time_once (fun () -> Sw_sim.Engine.run config progs) in
+        let m = Sw_sim.Engine.run config progs in
+        let events = m.Sw_sim.Metrics.events in
+        let t_warm = time_best (fun () -> Sw_sim.Engine.run config progs) in
+        ignore (Sw_sim.Engine_ref.run config progs);
+        let t_ref = time_best (fun () -> Sw_sim.Engine_ref.run config progs) in
+        let words run =
+          let w0 = Gc.minor_words () in
+          ignore (run config progs);
+          (Gc.minor_words () -. w0) /. float_of_int events
+        in
+        let wpe = words Sw_sim.Engine.run in
+        let ref_wpe = words Sw_sim.Engine_ref.run in
+        sum_ev := !sum_ev + events;
+        sum_warm := !sum_warm +. t_warm;
+        sum_ref := !sum_ref +. t_ref;
+        sum_words := !sum_words +. (wpe *. float_of_int events);
+        sum_ref_words := !sum_ref_words +. (ref_wpe *. float_of_int events);
+        let mevs dt = float_of_int events /. dt /. 1e6 in
+        Sw_util.Table.add_row t
+          [
+            entry.name;
+            string_of_int events;
+            Printf.sprintf "%.2f" (mevs t_ref);
+            Printf.sprintf "%.2f" (mevs t_cold);
+            Printf.sprintf "%.2f" (mevs t_warm);
+            Printf.sprintf "%.2fx" (t_ref /. t_warm);
+            Printf.sprintf "%.2f" wpe;
+            Printf.sprintf "%.1f" ref_wpe;
+          ];
+        (entry.name, events, t_ref, t_cold, t_warm, wpe, ref_wpe))
+      Sw_workloads.Registry.tuning_subset
+  in
+  Sw_util.Table.print t;
+  let fev = float_of_int !sum_ev in
+  let speedup = !sum_ref /. !sum_warm in
+  let agg_wpe = !sum_words /. fev in
+  Printf.printf
+    "aggregate: %d events; ref %.2f Mev/s; warm %.2f Mev/s (%.2fx); %.3f words/event (ref %.1f)\n"
+    !sum_ev (fev /. !sum_ref /. 1e6) (fev /. !sum_warm /. 1e6) speedup agg_wpe
+    (!sum_ref_words /. fev);
+  let speed_ok = speedup >= 5.0 in
+  let alloc_ok = agg_wpe < 1.0 in
+  if not speed_ok then
+    Printf.printf "GATE FAILED: warm engine speedup %.2fx < 5x over the reference\n" speedup;
+  if not alloc_ok then
+    Printf.printf "GATE FAILED: %.3f minor words/event >= 1.0 on warm runs\n" agg_wpe;
+  add_json "engine"
+    (json_obj
+       [
+         ("scale", json_float scale);
+         ("reps", string_of_int reps);
+         ("events", string_of_int !sum_ev);
+         ("ref_events_per_s", json_float (fev /. !sum_ref));
+         ("warm_events_per_s", json_float (fev /. !sum_warm));
+         ("speedup", json_float speedup);
+         ("words_per_event", json_float agg_wpe);
+         ("ref_words_per_event", json_float (!sum_ref_words /. fev));
+         ( "rows",
+           json_list
+             (List.map
+                (fun (kernel, events, t_ref, t_cold, t_warm, wpe, ref_wpe) ->
+                  json_obj
+                    [
+                      ("kernel", Printf.sprintf "%S" kernel);
+                      ("events", string_of_int events);
+                      ("ref_events_per_s", json_float (float_of_int events /. t_ref));
+                      ("cold_events_per_s", json_float (float_of_int events /. t_cold));
+                      ("warm_events_per_s", json_float (float_of_int events /. t_warm));
+                      ("speedup", json_float (t_ref /. t_warm));
+                      ("words_per_event", json_float wpe);
+                      ("ref_words_per_event", json_float ref_wpe);
+                    ])
+                rows) );
+       ]);
+  if not (speed_ok && alloc_ok) then exit 1
+
 (* ------------------------------------------------------------------ *)
 
 let all =
@@ -609,6 +740,7 @@ let all =
     ("gflops", gflops);
     ("hybrid", hybrid);
     ("micro", microbench);
+    ("engine", engine);
   ]
 
 let () =

@@ -53,3 +53,24 @@ let wasted_fraction ~trans_size access =
   1.0 -. (float_of_int (payload_bytes access) /. float_of_int moved)
 
 let route_cg ~trans_size ~n_cgs block_addr = block_addr / trans_size mod n_cgs
+
+let count_per_cg ~trans_size ~n_cgs access counts =
+  (* the blocks of one chunk form the integer range [first..last];
+     controller r takes the members congruent to r (mod n_cgs), counted
+     with [members of [0, x) congruent to r] = (x + n_cgs - 1 - r) /
+     n_cgs — no per-transaction walk *)
+  let chunk addr bytes =
+    let first = addr / trans_size in
+    let last = (addr + bytes - 1) / trans_size in
+    for r = 0 to n_cgs - 1 do
+      let before_first = (first + n_cgs - 1 - r) / n_cgs in
+      let through_last = (last + n_cgs - r) / n_cgs in
+      counts.(r) <- counts.(r) + through_last - before_first
+    done
+  in
+  match access with
+  | Contiguous { addr; bytes } -> chunk addr bytes
+  | Strided { addr; row_bytes; stride; rows } ->
+      for i = 0 to rows - 1 do
+        chunk (addr + (i * stride)) row_bytes
+      done

@@ -50,3 +50,10 @@ val route_cg : trans_size:int -> n_cgs:int -> int -> int
 (** [route_cg ~trans_size ~n_cgs block_addr] maps a transaction block to
     a core-group memory controller; cross-section memory interleaves
     blocks round-robin across CGs. *)
+
+val count_per_cg : trans_size:int -> n_cgs:int -> access -> int array -> unit
+(** [count_per_cg ~trans_size ~n_cgs access counts] adds, per
+    controller, the number of the request's transactions that
+    {!route_cg} sends there — the histogram [iter_transactions] +
+    [route_cg] would produce, computed in closed form per chunk
+    (O(chunks * n_cgs), independent of request size). *)

@@ -116,6 +116,60 @@ let iterated_cycles params block ~trips =
     if trips = 1 then first else first +. (float_of_int (trips - 1) *. steady)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Flat per-block cost tables.
+
+   The simulator compiles each program once per run: every distinct
+   compute block is interned here to a dense id, and the (first, steady)
+   costs land in flat float arrays so the execution loop does two array
+   reads instead of a hashtable probe per frame.  Interning goes through
+   [block_costs], so the table shares the process-wide mutex-guarded
+   cache with the static model — across variants and tuning domains a
+   structurally identical block is still scheduled exactly once. *)
+
+module Table = struct
+  type table = {
+    t_params : Sw_arch.Params.t;
+    ids : (Instr.t array, int) Hashtbl.t;
+    mutable t_first : float array;
+    mutable t_steady : float array;
+    mutable n : int;
+  }
+
+  type t = table
+
+  let create t_params =
+    { t_params; ids = Hashtbl.create 16; t_first = Array.make 8 0.0;
+      t_steady = Array.make 8 0.0; n = 0 }
+
+  let intern t block =
+    match Hashtbl.find_opt t.ids block with
+    | Some id -> id
+    | None ->
+        let f, s = block_costs t.t_params block in
+        if t.n = Array.length t.t_first then begin
+          let grow a = let b = Array.make (2 * t.n) 0.0 in Array.blit a 0 b 0 t.n; b in
+          t.t_first <- grow t.t_first;
+          t.t_steady <- grow t.t_steady
+        end;
+        let id = t.n in
+        t.t_first.(id) <- f;
+        t.t_steady.(id) <- s;
+        t.n <- id + 1;
+        Hashtbl.add t.ids block id;
+        id
+
+  let first t id = t.t_first.(id)
+
+  let steady t id = t.t_steady.(id)
+
+  let size t = t.n
+
+  let iterated t id ~trips =
+    if trips <= 0 then 0.0
+    else first t id +. (float_of_int (trips - 1) *. steady t id)
+end
+
 let avg_ilp params block =
   let counts = Instr.count block in
   let work = Instr.Counts.work_cycles params counts in

@@ -43,6 +43,36 @@ val cache_stats : unit -> int * int
 val clear_cache : unit -> unit
 (** Drop every memoized block cost (mainly for tests and benchmarks). *)
 
+(** Flat per-block cost tables: distinct compute blocks intern to dense
+    ids and their [(first, steady)] costs live in flat [float array]s,
+    so a hot loop (the simulator's execution core) costs a block with
+    two array reads instead of a hashtable probe.  {!Table.intern} is
+    served from the same process-wide mutex-guarded cache as
+    {!block_costs}, so the table stays coherent with the static model
+    and with other tuning domains. *)
+module Table : sig
+  type t
+
+  val create : Sw_arch.Params.t -> t
+
+  val intern : t -> Instr.t array -> int
+  (** Dense id of the block, scheduling it (through the shared
+      {!block_costs} cache) the first time it is seen. *)
+
+  val first : t -> int -> float
+  (** Completion cycles of one cold execution of the block. *)
+
+  val steady : t -> int -> float
+  (** Steady-state cycles per loop iteration of the block. *)
+
+  val size : t -> int
+  (** Number of distinct blocks interned. *)
+
+  val iterated : t -> int -> trips:int -> float
+  (** [first + (trips - 1) * steady] ([0] when [trips <= 0]) — the same
+      arithmetic as {!iterated_cycles}, from the flat table. *)
+end
+
 val avg_ilp : Sw_arch.Params.t -> Instr.t array -> float
 (** Average instruction-level parallelism of the steady-state schedule:
     [Σ #t × L_t / steady_cycles] (the paper's avg_ILP).  Blocks with no

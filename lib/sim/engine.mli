@@ -35,6 +35,14 @@ val run : Config.t -> Sw_isa.Program.t array -> Metrics.t
     CPE [i], which belongs to core group [i / cpes_per_cg]).  Programs
     must pass {!Sw_isa.Program.validate}. *)
 
+val clear_compile_cache : unit -> unit
+(** Empty the process-wide cache of lowered programs.  Programs are
+    lowered once per (program physical identity, home core group,
+    params) and reused across runs — a pure memoization with no
+    observable effect beyond speed (and correspondingly fewer lookups
+    in the {!Sw_isa.Schedule} block-cost cache on warm runs).  Only
+    benchmarks and tests that measure cold-start behavior need this. *)
+
 (** Outcome of a budgeted run: either complete metrics, or a typed
     abandonment carrying how far the run got. *)
 type run_result =

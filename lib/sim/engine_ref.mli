@@ -1,0 +1,31 @@
+(** The preserved pre-optimization engine (heap of boxed events,
+    per-frame block recosting, per-issue transaction routing).
+
+    This is the reference semantics for {!Engine}: every observable —
+    {!Metrics.t}, spans, DMA request lifetimes, retry events, cutoff
+    points — must be bit-identical between the two on any (config,
+    programs) input.  The differential tests and the [bench engine]
+    section (events/sec gate, BENCH_engine.json) run both; nothing else
+    should call this module.  Kept deliberately unoptimized. *)
+
+exception Deadlock of string
+
+exception Event_limit
+
+val run : Config.t -> Sw_isa.Program.t array -> Metrics.t
+
+type run_result = Finished of Metrics.t | Cutoff of { at : float; events : int }
+
+val run_budget :
+  ?cutoff:float ->
+  ?event_budget:int ->
+  Config.t ->
+  Sw_isa.Program.t array ->
+  run_result
+
+val run_traced : Config.t -> Sw_isa.Program.t array -> Metrics.t * Trace.t
+
+val run_traced_full :
+  Config.t ->
+  Sw_isa.Program.t array ->
+  Metrics.t * Trace.t * Trace.dma_req list * Trace.dma_retry list

@@ -1,0 +1,363 @@
+(* Calendar queue (Brown 1988) specialised for the simulator: integer
+   payloads, struct-of-arrays arena, and an exact integer "year" test.
+
+   Every event occupies one arena slot split across parallel arrays so
+   the hot operations never allocate: [time] (unboxed float array),
+   [seq] (global insertion counter, the tie-break), [code] (caller's
+   packed payload), [abucket] (absolute bucket number
+   [floor (time / width)]) and [next] (intrusive singly-linked list,
+   sorted by [(time, seq)], one list per bucket).
+
+   The classic calendar-queue pitfall is testing "does this bucket's
+   head belong to the current year?" with float arithmetic: incremental
+   [cur_top +. width] drifts, and a drifted boundary can pop events out
+   of order.  We store the absolute bucket number per event and walk an
+   integer cursor instead, so the year test is exact. *)
+
+type t = {
+  (* arena *)
+  mutable time : float array;
+  mutable seq : int array;
+  mutable code : int array;
+  mutable abucket : int array;
+  mutable next : int array;
+  mutable cap : int;
+  mutable used : int;  (* bump allocator high-water mark *)
+  mutable free_head : int;  (* free-list through [next], -1 when empty *)
+  (* calendar *)
+  mutable buckets : int array;  (* head slot per bucket, -1 when empty *)
+  mutable tails : int array;  (* last slot per bucket, -1 when empty *)
+  mutable mask : int;  (* bucket count - 1 (power of two) *)
+  mutable width : float;
+  mutable cur_abs : int;  (* cursor: absolute bucket number *)
+  mutable len : int;
+  mutable next_seq : int;
+  mutable scan_work : int;  (* empty-bucket probes since the last rebuild *)
+  mutable order : int array;  (* rebuild scratch, arena-capacity sized *)
+}
+
+let min_buckets = 16
+
+let create ?(capacity = 64) () =
+  let cap = max 4 capacity in
+  {
+    time = Array.make cap 0.0;
+    seq = Array.make cap 0;
+    code = Array.make cap 0;
+    abucket = Array.make cap 0;
+    next = Array.make cap (-1);
+    cap;
+    used = 0;
+    free_head = -1;
+    buckets = Array.make min_buckets (-1);
+    tails = Array.make min_buckets (-1);
+    mask = min_buckets - 1;
+    width = 1.0;
+    cur_abs = 0;
+    len = 0;
+    next_seq = 0;
+    scan_work = 0;
+    order = Array.make cap 0;
+  }
+
+let size q = q.len
+
+let is_empty q = q.len = 0
+
+(* (time, seq) strict order — the heap's [less] on (prio, seq).
+   Unsafe accesses: both slots are live arena indices by construction
+   (callers only pass list members), and the equivalence suites in
+   test_calendar_queue.ml exercise every call site against the heap. *)
+let before q i j =
+  let ti = Array.unsafe_get q.time i and tj = Array.unsafe_get q.time j in
+  ti < tj || (ti = tj && Array.unsafe_get q.seq i < Array.unsafe_get q.seq j)
+
+(* Absolute bucket of the event in arena slot [i]:
+   floor (time / width) without the out-of-line libm [floor] call —
+   [int_of_float] truncates toward zero, which is floor for
+   non-negative quotients; adjust by one when a negative quotient
+   truncated upward.  Takes the slot, not the time: a float parameter
+   would be boxed at every call on the non-flambda compiler, putting
+   two minor words on the push fast path. *)
+let abs_bucket_slot q i =
+  let x = Array.unsafe_get q.time i /. q.width in
+  let b = int_of_float x in
+  if x >= 0.0 || float_of_int b = x then b else b - 1
+
+let grow_arena q =
+  let ncap = q.cap * 2 in
+  let copy mk a = let b = mk ncap in Array.blit a 0 b 0 q.cap; b in
+  q.time <- copy (fun n -> Array.make n 0.0) q.time;
+  q.seq <- copy (fun n -> Array.make n 0) q.seq;
+  q.code <- copy (fun n -> Array.make n 0) q.code;
+  q.abucket <- copy (fun n -> Array.make n 0) q.abucket;
+  q.next <- copy (fun n -> Array.make n (-1)) q.next;
+  q.order <- Array.make ncap 0;
+  q.cap <- ncap
+
+let alloc_slot q =
+  if q.free_head >= 0 then begin
+    let i = q.free_head in
+    q.free_head <- q.next.(i);
+    i
+  end
+  else begin
+    if q.used = q.cap then grow_arena q;
+    let i = q.used in
+    q.used <- q.used + 1;
+    i
+  end
+
+(* Insert slot [i] into its bucket's list, keeping the list sorted by
+   (time, seq).  Since [seq] grows monotonically, a new event with an
+   already-present time lands after its equals — FIFO.  The walk is a
+   top-level recursion (not a local closure, which the non-flambda
+   compiler would allocate per call) so a push never touches the minor
+   heap. *)
+let rec insert_after q i p =
+  let n = Array.unsafe_get q.next p in
+  if n < 0 || before q i n then begin
+    Array.unsafe_set q.next i n;
+    Array.unsafe_set q.next p i
+  end
+  else insert_after q i n
+
+let insert_sorted q i =
+  let b = Array.unsafe_get q.abucket i land q.mask in
+  let head = Array.unsafe_get q.buckets b in
+  if head < 0 then begin
+    Array.unsafe_set q.next i (-1);
+    Array.unsafe_set q.buckets b i;
+    Array.unsafe_set q.tails b i
+  end
+  else begin
+    let tl = Array.unsafe_get q.tails b in
+    if before q tl i then begin
+      (* O(1) append: the overwhelmingly common case, since a fresh
+         event carries the largest seq — FIFO ties and advancing times
+         both land at the tail.  Without this, a burst of same-time
+         events (64 CPEs in lockstep) degrades pushes to O(burst). *)
+      Array.unsafe_set q.next i (-1);
+      Array.unsafe_set q.next tl i;
+      Array.unsafe_set q.tails b i
+    end
+    else if before q i head then begin
+      Array.unsafe_set q.next i head;
+      Array.unsafe_set q.buckets b i
+    end
+    else
+      (* interior insert; [i] precedes the tail, which cannot change *)
+      insert_after q i head
+  end
+
+(* In-place heapsort of [a.(0 .. len-1)] by (time, seq).  A rebuild
+   must not allocate — bursty workloads (a fleet of CPEs in lockstep)
+   trigger scan-work rebuilds every few hundred pops, so per-rebuild
+   garbage would surface as a per-event cost; [Array.sort] would need
+   both a comparator closure and a whole-array view.  (time, seq) is a
+   total order with distinct keys, so heapsort's instability cannot
+   change the result. *)
+let rec sift_down q (a : int array) len i =
+  let l = (2 * i) + 1 in
+  if l < len then begin
+    let r = l + 1 in
+    let m =
+      if r < len && before q (Array.unsafe_get a l) (Array.unsafe_get a r) then r else l
+    in
+    if before q (Array.unsafe_get a i) (Array.unsafe_get a m) then begin
+      let t = Array.unsafe_get a i in
+      Array.unsafe_set a i (Array.unsafe_get a m);
+      Array.unsafe_set a m t;
+      sift_down q a len m
+    end
+  end
+
+let sort_range q a len =
+  for i = (len / 2) - 1 downto 0 do
+    sift_down q a len i
+  done;
+  for k = len - 1 downto 1 do
+    let t = a.(0) in
+    a.(0) <- a.(k);
+    a.(k) <- t;
+    sift_down q a k 0
+  done
+
+(* Rebuild the bucket table at [new_nb] buckets, re-estimating the
+   width so live events spread to roughly one per bucket.  O(n log n)
+   for the sort; amortized O(1) per push/pop since size changes happen
+   at doublings/halvings only.  Allocation-free at an unchanged size:
+   live slots collect into the preallocated [order] scratch and the
+   bucket arrays are reused in place. *)
+let rebuild q new_nb =
+  let live = q.order in
+  let len = q.len in
+  let k = ref 0 in
+  for b = 0 to Array.length q.buckets - 1 do
+    let i = ref q.buckets.(b) in
+    while !i >= 0 do
+      live.(!k) <- !i;
+      incr k;
+      i := q.next.(!i)
+    done
+  done;
+  if len > 0 then begin
+    let tmin = ref q.time.(live.(0)) and tmax = ref q.time.(live.(0)) in
+    for j = 1 to len - 1 do
+      let t = q.time.(live.(j)) in
+      if t < !tmin then tmin := t;
+      if t > !tmax then tmax := t
+    done;
+    let span = !tmax -. !tmin in
+    let magnitude = Float.max (Float.abs !tmin) (Float.abs !tmax) in
+    (* width ≈ mean gap of the live events, clamped so absolute bucket
+       numbers stay well inside int range even for dense clustering.
+       A zero span (every live event at one timestamp) carries no gap
+       information: keep the current width — any width buckets a
+       single-time cluster together, and shrinking to a floor would
+       strand the cursor epochs behind the next distinct time. *)
+    if span > 0.0 then begin
+      let w = Float.max (span /. float_of_int len) (magnitude *. 1e-12) in
+      if Float.is_finite w && w > 0.0 then q.width <- w
+    end
+  end;
+  if new_nb = q.mask + 1 then begin
+    Array.fill q.buckets 0 new_nb (-1);
+    Array.fill q.tails 0 new_nb (-1)
+  end
+  else begin
+    q.buckets <- Array.make new_nb (-1);
+    q.tails <- Array.make new_nb (-1);
+    q.mask <- new_nb - 1
+  end;
+  for j = 0 to len - 1 do
+    let i = live.(j) in
+    q.abucket.(i) <- abs_bucket_slot q i
+  done;
+  sort_range q live len;
+  (* append in globally sorted order: each bucket's list stays sorted *)
+  for j = 0 to len - 1 do
+    let i = live.(j) in
+    let b = q.abucket.(i) land q.mask in
+    q.next.(i) <- -1;
+    if q.tails.(b) < 0 then q.buckets.(b) <- i else q.next.(q.tails.(b)) <- i;
+    q.tails.(b) <- i
+  done;
+  if len > 0 then q.cur_abs <- q.abucket.(live.(0));
+  q.scan_work <- 0
+
+let finish_push q i codev =
+  (* finiteness test without the cross-module (boxing) Float.is_finite:
+     [t - t] is 0 for finite t, NaN for NaN and infinities *)
+  if not (q.time.(i) -. q.time.(i) = 0.0) then begin
+    (* return the slot before failing *)
+    q.next.(i) <- q.free_head;
+    q.free_head <- i;
+    invalid_arg "Calendar_queue.push: non-finite time"
+  end;
+  Array.unsafe_set q.seq i q.next_seq;
+  q.next_seq <- q.next_seq + 1;
+  Array.unsafe_set q.code i codev;
+  let ab = abs_bucket_slot q i in
+  Array.unsafe_set q.abucket i ab;
+  insert_sorted q i;
+  q.len <- q.len + 1;
+  if ab < q.cur_abs || q.len = 1 then q.cur_abs <- ab;
+  if q.len > 2 * (q.mask + 1) then rebuild q (2 * (q.mask + 1))
+
+let push q t codev =
+  let i = alloc_slot q in
+  q.time.(i) <- t;
+  finish_push q i codev
+
+let push_ref q (buf : float array) codev =
+  let i = alloc_slot q in
+  q.time.(i) <- buf.(0);
+  finish_push q i codev
+
+(* Find the arena slot of the minimum-(time, seq) event and park the
+   cursor on its year.  Walks one bucket per year; after a fruitless
+   full sweep of the table (every event more than [nb] years ahead),
+   scans bucket heads directly.  Every head is its bucket's minimum, so
+   the least head is the global minimum. *)
+let rec fm_direct q best b =
+  if b > q.mask then begin
+    q.cur_abs <- Array.unsafe_get q.abucket best;
+    best
+  end
+  else begin
+    let h = Array.unsafe_get q.buckets b in
+    let best = if h >= 0 && (best < 0 || before q h best) then h else best in
+    fm_direct q best (b + 1)
+  end
+
+let rec fm_scan q tries =
+  if tries >= q.mask + 1 then begin
+    q.scan_work <- q.scan_work + q.mask + 1;
+    fm_direct q (-1) 0
+  end
+  else begin
+    let h = Array.unsafe_get q.buckets (q.cur_abs land q.mask) in
+    if h >= 0 && Array.unsafe_get q.abucket h <= q.cur_abs then begin
+      q.scan_work <- q.scan_work + tries;
+      h
+    end
+    else begin
+      q.cur_abs <- q.cur_abs + 1;
+      fm_scan q (tries + 1)
+    end
+  end
+
+let find_min q = if q.len = 0 then -1 else fm_scan q 0
+
+let pop_into q (buf : float array) =
+  let i = find_min q in
+  if i < 0 then -1
+  else begin
+    let b = Array.unsafe_get q.abucket i land q.mask in
+    let nxt = Array.unsafe_get q.next i in
+    Array.unsafe_set q.buckets b nxt;
+    if nxt < 0 then Array.unsafe_set q.tails b (-1);
+    q.len <- q.len - 1;
+    buf.(0) <- Array.unsafe_get q.time i;
+    let codev = Array.unsafe_get q.code i in
+    Array.unsafe_set q.next i q.free_head;
+    q.free_head <- i;
+    let nb = q.mask + 1 in
+    if nb > min_buckets && q.len < nb / 4 then rebuild q (nb / 2)
+    else if q.scan_work > 64 + (4 * q.len) && q.len > 0 then
+      (* the cursor is wading through empty years: the width no longer
+         matches the live distribution (event spacing changed since the
+         last rebuild).  Rebuild at the same size to re-estimate it;
+         the cost is amortized against the probes already wasted. *)
+      rebuild q nb;
+    codev
+  end
+
+let peek_into q (buf : float array) =
+  let i = find_min q in
+  if i < 0 then -1
+  else begin
+    buf.(0) <- q.time.(i);
+    q.code.(i)
+  end
+
+let pop q =
+  let buf = [| 0.0 |] in
+  let c = pop_into q buf in
+  if c < 0 then None else Some (buf.(0), c)
+
+let peek q =
+  let buf = [| 0.0 |] in
+  let c = peek_into q buf in
+  if c < 0 then None else Some (buf.(0), c)
+
+let clear q =
+  Array.fill q.buckets 0 (Array.length q.buckets) (-1);
+  Array.fill q.tails 0 (Array.length q.tails) (-1);
+  q.used <- 0;
+  q.free_head <- -1;
+  q.len <- 0;
+  q.next_seq <- 0;
+  q.cur_abs <- 0;
+  q.scan_work <- 0

@@ -61,6 +61,39 @@ let prop_heapsort =
       let out = List.filter_map (fun _ -> Option.map snd (Heap.pop h)) xs in
       out = List.stable_sort compare xs)
 
+let prop_fifo_among_equal_keys =
+  (* The documented tie-break: among entries with equal priority, pop
+     returns them in global push order, even when pops interleave with
+     the pushes.  Priorities are drawn from a 3-value set so ties
+     dominate; each value carries its push index. *)
+  QCheck.Test.make ~name:"equal priorities pop in global push order" ~count:300
+    QCheck.(small_list (pair (oneofl [ 1.0; 2.0; 3.0 ]) bool))
+    (fun ops ->
+      let h = Heap.create () in
+      let popped = ref [] in
+      List.iteri
+        (fun i (prio, also_pop) ->
+          Heap.push h prio i;
+          if also_pop then
+            match Heap.pop h with Some pv -> popped := pv :: !popped | None -> ())
+        ops;
+      let rec drain () =
+        match Heap.pop h with
+        | Some pv ->
+            popped := pv :: !popped;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      (* within each priority class, push indices must appear ascending *)
+      let seen : (float, int) Hashtbl.t = Hashtbl.create 4 in
+      List.for_all
+        (fun (prio, idx) ->
+          let last = Option.value (Hashtbl.find_opt seen prio) ~default:(-1) in
+          Hashtbl.replace seen prio idx;
+          idx > last)
+        (List.rev !popped))
+
 let prop_size_tracks =
   QCheck.Test.make ~name:"size tracks pushes and pops" ~count:200
     QCheck.(small_list (float_range 0.0 100.0))
@@ -83,5 +116,6 @@ let tests =
       Alcotest.test_case "clear" `Quick test_clear;
       Alcotest.test_case "negative priorities" `Quick test_negative_priorities;
       QCheck_alcotest.to_alcotest prop_heapsort;
+      QCheck_alcotest.to_alcotest prop_fifo_among_equal_keys;
       QCheck_alcotest.to_alcotest prop_size_tracks;
     ] )
