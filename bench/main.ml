@@ -718,6 +718,205 @@ let engine () =
   if not (speed_ok && alloc_ok) then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* The serve daemon under a mixed Table II workload: sustained req/s
+   and tail latency through the real server loop (pipes, batching,
+   shared caches), plus the two correctness gates the service makes
+   sense under.  Gates (exit 1): every response ok; every phase-1
+   response bit-identical (volatile fields stripped) to a fresh
+   one-shot handler run of the same request — the CLI code path; at
+   least one degraded tune under a forced flood, answered by the model
+   backend; p99 latency bounded; sustained throughput >= 1 req/s. *)
+
+let serve_bench () =
+  section "Serve: daemon req/s and p99 on a mixed Table II workload";
+  let module J = Sw_obs.Json in
+  let module H = Sw_serve.Handler in
+  let module S = Sw_serve.Server in
+  (* run one server session over pipes in its own domain, writing the
+     request lines upfront (a burst) and timestamping each response *)
+  let run_session ~config lines =
+    let req_r, req_w = Unix.pipe () in
+    let resp_r, resp_w = Unix.pipe () in
+    let state = H.create () in
+    let server =
+      Domain.spawn (fun () ->
+          let output = Unix.out_channel_of_descr resp_w in
+          let stats = S.serve ~config state ~input:req_r ~output in
+          close_out output;
+          Unix.close req_r;
+          stats)
+    in
+    let t0 = Unix.gettimeofday () in
+    let wc = Unix.out_channel_of_descr req_w in
+    List.iter
+      (fun line ->
+        output_string wc line;
+        output_char wc '\n')
+      lines;
+    close_out wc;
+    let ic = Unix.in_channel_of_descr resp_r in
+    let responses = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         responses := (line, Unix.gettimeofday () -. t0) :: !responses
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let stats = Domain.join server in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (List.rev !responses, stats, elapsed)
+  in
+  let tune_req kernel =
+    { (H.tune_defaults ~kernel) with H.t_backend = "sim"; t_seed = Some 3 }
+  in
+  let phase1_reqs =
+    List.concat_map
+      (fun (entry : Sw_workloads.Registry.entry) ->
+        let kernel = entry.name in
+        [
+          H.Predict (H.predict_defaults ~kernel);
+          H.Predict
+            { (H.predict_defaults ~kernel) with H.p_backend = "sim"; p_seed = Some 3 };
+          H.Tune (tune_req kernel);
+          H.Timeline { (H.timeline_defaults ~kernel) with H.l_seed = Some 3 };
+        ])
+      Sw_workloads.Registry.tuning_subset
+  in
+  (* the wire format is the flat object the parser reads; build each
+     request line through the same Json builder the daemon answers in *)
+  let wire i verb =
+    let base =
+      match verb with
+      | H.Predict p ->
+          [
+            ("op", J.Str "predict");
+            ("kernel", J.Str p.H.p_kernel);
+            ("backend", J.Str p.H.p_backend);
+          ]
+          @ (match p.H.p_seed with Some s -> [ ("seed", J.Int s) ] | None -> [])
+      | H.Tune t ->
+          [
+            ("op", J.Str "tune");
+            ("kernel", J.Str t.H.t_kernel);
+            ("backend", J.Str t.H.t_backend);
+            ("strategy", J.Str t.H.t_strategy);
+          ]
+          @ (match t.H.t_seed with Some s -> [ ("seed", J.Int s) ] | None -> [])
+      | H.Timeline l ->
+          [ ("op", J.Str "timeline"); ("kernel", J.Str l.H.l_kernel) ]
+          @ (match l.H.l_seed with Some s -> [ ("seed", J.Int s) ] | None -> [])
+      | H.Ping -> [ ("op", J.Str "ping") ]
+      | H.Metrics -> [ ("op", J.Str "metrics") ]
+      | H.Shutdown -> [ ("op", J.Str "shutdown") ]
+    in
+    J.to_string (J.Obj (("id", J.Int i) :: base))
+  in
+  let phase1_lines = List.mapi wire phase1_reqs in
+  let no_shed =
+    { S.queue_capacity = 256; shed_watermark = 256; metrics_every = 0 }
+  in
+  let responses, stats, elapsed = run_session ~config:no_shed phase1_lines in
+  let n = List.length responses in
+  let all_ok =
+    List.for_all
+      (fun (line, _) ->
+        match J.parse line with
+        | Ok j -> Option.bind (J.member "ok" j) J.to_bool = Some true
+        | Error _ -> false)
+      responses
+  in
+  (* identity gate: each daemon result equals a fresh one-shot handler
+     run of the same request, volatile fields stripped *)
+  let identical =
+    List.for_all2
+      (fun verb (line, _) ->
+        let daemon =
+          match J.parse line with
+          | Ok j -> Option.map H.strip_volatile (J.member "result" j)
+          | Error _ -> None
+        in
+        let oneshot =
+          let state = H.create () in
+          match (H.run state { H.id = J.Null; verb }).H.result with
+          | Ok payload -> Some (H.strip_volatile payload)
+          | Error _ -> None
+        in
+        daemon <> None && daemon = oneshot)
+      phase1_reqs responses
+  in
+  let latencies = Array.of_list (List.map snd responses) in
+  Array.sort compare latencies;
+  let p50 = Sw_util.Stats.percentile latencies 50.0 in
+  let p99 = Sw_util.Stats.percentile latencies 99.0 in
+  let req_per_s = float_of_int n /. Stdlib.max 1e-9 elapsed in
+  Printf.printf
+    "mixed workload: %d responses in %.3fs (%.1f req/s), p50 %.3fs, p99 %.3fs, all ok: %b, \
+     identical to one-shot: %b\n"
+    n elapsed req_per_s p50 p99 all_ok identical;
+  (* flood: a burst of sim tunes past a low watermark must shed to
+     model-only scoring, marked degraded, rather than queue without
+     bound *)
+  let flood_lines =
+    List.init 10 (fun i -> wire i (H.Tune (tune_req "kmeans")))
+  in
+  let shed = { S.queue_capacity = 64; shed_watermark = 2; metrics_every = 0 } in
+  let flood_responses, flood_stats, flood_elapsed = run_session ~config:shed flood_lines in
+  let flood_ok =
+    List.for_all
+      (fun (line, _) ->
+        match J.parse line with
+        | Ok j -> Option.bind (J.member "ok" j) J.to_bool = Some true
+        | Error _ -> false)
+      flood_responses
+  in
+  let degraded_by_model =
+    List.for_all
+      (fun (line, _) ->
+        match J.parse line with
+        | Ok j when Option.bind (J.member "degraded" j) J.to_bool = Some true ->
+            Option.bind (J.member "result" j) (J.member "backend") = Some (J.Str "model")
+        | _ -> true)
+      flood_responses
+  in
+  Printf.printf
+    "flood: %d tunes in %.3fs, %d degraded (model-only scoring), all ok: %b, shed backend \
+     correct: %b\n"
+    flood_stats.S.served flood_elapsed flood_stats.S.degraded flood_ok degraded_by_model;
+  let shed_seen = flood_stats.S.degraded >= 1 in
+  let p99_ok = p99 <= 30.0 in
+  let rate_ok = req_per_s >= 1.0 in
+  if not all_ok then Printf.printf "GATE FAILED: some mixed-workload response not ok\n";
+  if not identical then
+    Printf.printf "GATE FAILED: a daemon response differs from its one-shot equivalent\n";
+  if not (flood_ok && degraded_by_model) then
+    Printf.printf "GATE FAILED: flood responses not ok or shed to a backend other than model\n";
+  if not shed_seen then Printf.printf "GATE FAILED: no degraded response under flood\n";
+  if not p99_ok then Printf.printf "GATE FAILED: p99 %.3fs > 30s\n" p99;
+  if not rate_ok then Printf.printf "GATE FAILED: %.2f req/s < 1\n" req_per_s;
+  add_json "serve"
+    (Sw_obs.Json.to_string
+       (J.Obj
+          [
+            ("requests", J.Int n);
+            ("elapsed_s", J.Float elapsed);
+            ("req_per_s", J.Float req_per_s);
+            ("p50_s", J.Float p50);
+            ("p99_s", J.Float p99);
+            ("batches", J.Int stats.S.batches);
+            ("max_batch", J.Int stats.S.max_batch);
+            ("all_ok", J.Bool all_ok);
+            ("identical_to_oneshot", J.Bool identical);
+            ("flood_requests", J.Int flood_stats.S.served);
+            ("flood_degraded", J.Int flood_stats.S.degraded);
+            ("flood_elapsed_s", J.Float flood_elapsed);
+            ("flood_all_ok", J.Bool flood_ok);
+            ("shed_backend_is_model", J.Bool degraded_by_model);
+          ]));
+  if not (all_ok && identical && flood_ok && degraded_by_model && shed_seen && p99_ok && rate_ok)
+  then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -741,6 +940,7 @@ let all =
     ("hybrid", hybrid);
     ("micro", microbench);
     ("engine", engine);
+    ("serve", serve_bench);
   ]
 
 let () =

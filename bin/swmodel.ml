@@ -93,15 +93,9 @@ let backend_arg =
   in
   Arg.(value & opt string "model" & info [ "backend"; "method" ] ~docv:"BACKEND" ~doc)
 
-(* resolve a --backend flag, exiting with a readable message (and the
-   list of known backends) instead of a backtrace on a typo *)
-let backend_of_name name =
-  match Sw_backend.Backend.find name with
-  | Some b -> b
-  | None ->
-      Printf.eprintf "swmodel: unknown backend %S (available: %s)\n" name
-        (String.concat ", " (Sw_backend.Backend.registered ()));
-      exit 1
+let json_arg =
+  let doc = "Print the outcome as a JSON object instead of the human summary." in
+  Arg.(value & flag & info [ "json" ] ~doc)
 
 let trace_arg =
   let doc =
@@ -147,46 +141,64 @@ let table1_cmd =
   let run () = Format.printf "%a@." Sw_arch.Params.pp Sw_arch.Params.default in
   Cmd.v (Cmd.info "table1" ~doc:"Print the Table I machine parameters.") Term.(const run $ const ())
 
+(* predict/tune/timeline delegate to Sw_serve.Handler — the same code
+   path the daemon runs, so `--json` output here is bit-identical to a
+   serve response's "result" for the same request *)
+let handler_error msg =
+  Printf.eprintf "swmodel: %s\n" msg;
+  exit 1
+
 let predict_cmd =
-  let run name scale cgs grain unroll cpes db backend_name trace seed faults fault_level =
-    let entry = Sw_workloads.Registry.find_exn name in
-    let params = params_of_cgs cgs in
-    let variant = variant_of entry grain unroll cpes db in
-    match (backend_name, trace, faults) with
-    | ("model" | "static" | "static-model"), None, None ->
-        let lowered = lower_entry params entry scale variant in
+  let run name scale cgs grain unroll cpes db backend_name trace seed faults fault_level json =
+    Option.iter Sw_util.Prng.set_global_seed seed;
+    let req =
+      {
+        (Sw_serve.Handler.predict_defaults ~kernel:name) with
+        Sw_serve.Handler.p_scale = scale;
+        p_cgs = cgs;
+        p_grain = grain;
+        p_unroll = unroll;
+        p_cpes = cpes;
+        p_db = db;
+        p_backend = backend_name;
+        p_seed = seed;
+        p_faults = faults;
+        p_fault_level = fault_level;
+      }
+    in
+    match (backend_name, trace, faults, json) with
+    | ("model" | "static" | "static-model"), None, None, false ->
+        let entry = Sw_workloads.Registry.find_exn name in
+        let params = params_of_cgs cgs in
+        let lowered = lower_entry params entry scale (variant_of entry grain unroll cpes db) in
         Format.printf "%a@.@.%a@." Sw_swacc.Lowered.pp_summary lowered.Sw_swacc.Lowered.summary
           Swpm.Predict.pp
           (Swpm.Predict.predict_lowered params lowered)
     | _ -> (
         let sink = Option.map (fun _ -> Sw_obs.Sink.create ()) trace in
-        let backend = backend_of_name backend_name in
-        let backend =
-          match sink with
-          | Some s -> Sw_backend.Backend.instrument s backend
-          | None -> backend
-        in
-        let config = config_of params ~seed ~faults ~fault_level in
-        let kernel = entry.Sw_workloads.Registry.build ~scale in
-        match Sw_backend.Backend.assess backend config kernel variant with
-        | Error { Sw_backend.Backend.backend = b; reason } ->
-            Printf.eprintf "swmodel: %s rejects %s: %s\n" b name reason;
-            exit 1
-        | Ok v ->
-            (match v.Sw_backend.Backend.breakdown with
-            | Some p -> Format.printf "%a@.@." Swpm.Predict.pp p
-            | None -> ());
-            Format.printf "%s: %.0f cycles (host %.3f s, machine %.0f us)@."
-              (Sw_backend.Backend.name backend)
-              v.Sw_backend.Backend.cycles v.Sw_backend.Backend.cost.Sw_backend.Backend.host_wall_s
-              v.Sw_backend.Backend.cost.Sw_backend.Backend.machine_us;
+        let state = Sw_serve.Handler.create () in
+        match Sw_serve.Handler.predict state ?obs:sink req with
+        | Error msg -> handler_error msg
+        | Ok pr ->
+            let v = pr.Sw_serve.Handler.pr_verdict in
+            if json then
+              print_endline (Sw_obs.Json.to_string (Sw_serve.Handler.predict_payload req pr))
+            else begin
+              (match v.Sw_backend.Backend.breakdown with
+              | Some p -> Format.printf "%a@.@." Swpm.Predict.pp p
+              | None -> ());
+              Format.printf "%s: %.0f cycles (host %.3f s, machine %.0f us)@."
+                pr.Sw_serve.Handler.pr_backend v.Sw_backend.Backend.cycles
+                v.Sw_backend.Backend.cost.Sw_backend.Backend.host_wall_s
+                v.Sw_backend.Backend.cost.Sw_backend.Backend.machine_us
+            end;
             Option.iter (fun path -> write_trace path (Option.get sink)) trace)
   in
   Cmd.v
     (Cmd.info "predict" ~doc:"Price a kernel variant through a cost backend (default: the model).")
     Term.(
       const run $ kernel_arg $ scale_arg $ cgs_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg
-      $ backend_arg $ trace_arg $ seed_arg $ faults_arg $ fault_level_arg)
+      $ backend_arg $ trace_arg $ seed_arg $ faults_arg $ fault_level_arg $ json_arg)
 
 let simulate_cmd =
   let run name scale cgs grain unroll cpes db seed faults fault_level =
@@ -224,40 +236,6 @@ let rungs_arg =
   let doc = "Number of budget rungs for --strategy halving." in
   Arg.(value & opt int 3 & info [ "rungs" ] ~docv:"N" ~doc)
 
-let json_arg =
-  let doc = "Print the outcome as a JSON object instead of the human summary." in
-  Arg.(value & flag & info [ "json" ] ~doc)
-
-let strategy_of name ~shortlist_k ~rungs ~n_points =
-  match name with
-  | "exhaustive" -> Sw_tuning.Search.exhaustive
-  | "shortlist" ->
-      let k = if shortlist_k > 0 then shortlist_k else Stdlib.max 1 (n_points / 4) in
-      Sw_tuning.Search.shortlist ~k ()
-  | "halving" | "successive-halving" -> Sw_tuning.Search.successive_halving ~rungs
-  | s ->
-      Printf.eprintf "swmodel: unknown strategy %S (available: exhaustive, shortlist, halving)\n"
-        s;
-      exit 1
-
-let json_outcome (o : Sw_tuning.Tuner.outcome) =
-  let b = o.Sw_tuning.Tuner.best in
-  Printf.sprintf
-    "{\"backend\": %S, \"strategy\": %S, \"best\": {\"grain\": %d, \"unroll\": %d, \
-     \"active_cpes\": %d, \"double_buffer\": %b}, \"best_cycles\": %.6g, \"default_cycles\": \
-     %.6g, \"speedup\": %.6g, \"tuning_host_s\": %.6g, \"tuning_cpu_s\": %.6g, \
-     \"machine_time_us\": %.6g, \"evaluated\": %d, \"infeasible\": %d, \"pruned\": %d, \
-     \"rank_host_s\": %.6g, \"rank_machine_us\": %.6g, \"journal_hits\": %d, \
-     \"journal_misses\": %d}"
-    o.Sw_tuning.Tuner.backend o.Sw_tuning.Tuner.strategy b.Sw_swacc.Kernel.grain
-    b.Sw_swacc.Kernel.unroll b.Sw_swacc.Kernel.active_cpes b.Sw_swacc.Kernel.double_buffer
-    o.Sw_tuning.Tuner.best_cycles o.Sw_tuning.Tuner.default_cycles o.Sw_tuning.Tuner.speedup
-    o.Sw_tuning.Tuner.tuning_host_s o.Sw_tuning.Tuner.tuning_cpu_s
-    o.Sw_tuning.Tuner.machine_time_us o.Sw_tuning.Tuner.evaluated o.Sw_tuning.Tuner.infeasible
-    o.Sw_tuning.Tuner.points_pruned o.Sw_tuning.Tuner.rank_host_s
-    o.Sw_tuning.Tuner.rank_machine_us o.Sw_tuning.Tuner.journal_hits
-    o.Sw_tuning.Tuner.journal_misses
-
 let checkpoint_arg =
   let doc =
     "Crash-safe tuning: journal every assessed point to $(docv) (append-only JSON lines, \
@@ -277,39 +255,46 @@ let robust_arg =
 let tune_cmd =
   let run name scale backend_name strategy_name shortlist_k rungs json domains trace seed faults
       fault_level checkpoint robust_seeds =
-    let entry = Sw_workloads.Registry.find_exn name in
-    let config = config_of Sw_arch.Params.default ~seed ~faults ~fault_level in
-    let kernel = entry.Sw_workloads.Registry.build ~scale in
-    let points =
-      Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
-        ~unrolls:entry.Sw_workloads.Registry.unrolls ()
+    Option.iter Sw_util.Prng.set_global_seed seed;
+    let req =
+      {
+        (Sw_serve.Handler.tune_defaults ~kernel:name) with
+        Sw_serve.Handler.t_scale = scale;
+        t_backend = backend_name;
+        t_strategy = strategy_name;
+        t_shortlist = shortlist_k;
+        t_rungs = rungs;
+        t_robust = robust_seeds;
+        t_seed = seed;
+        t_faults = faults;
+        t_fault_level = fault_level;
+        t_checkpoint = checkpoint;
+      }
     in
-    let n_points = List.length points in
-    let strategy =
-      if robust_seeds > 0 || strategy_name = "robust" then begin
-        let n = if robust_seeds > 0 then robust_seeds else 8 in
-        let k = if shortlist_k > 0 then shortlist_k else Stdlib.max 1 (n_points / 4) in
-        Sw_tuning.Search.robust ~k
-          ~seeds:(List.init n (fun i -> 1 + i))
-          ~spec:(fault_spec_of fault_level) ()
-      end
-      else strategy_of strategy_name ~shortlist_k ~rungs ~n_points
-    in
-    let backend = backend_of_name backend_name in
     let sink = Option.map (fun _ -> Sw_obs.Sink.create ()) trace in
-    match
-      Sw_tuning.Tuner.tune ~backend ~strategy ?pool:(pool_of domains) ?obs:sink ?checkpoint
-        config kernel ~points
-    with
-    | Ok outcome ->
-        if json then print_endline (json_outcome outcome)
-        else Format.printf "%a@." Sw_tuning.Tuner.pp_outcome outcome;
+    let state = Sw_serve.Handler.create () in
+    match Sw_serve.Handler.tune state ?pool:(pool_of domains) ?obs:sink req with
+    | Error msg -> handler_error msg
+    | Ok tr ->
+        let outcome = tr.Sw_serve.Handler.tr_outcome in
+        if json then
+          print_endline (Sw_obs.Json.to_string (Sw_serve.Handler.tune_payload req tr))
+        else
+          Format.printf "%a@." Sw_tuning.Tuner.pp_outcome
+            { outcome with Sw_tuning.Tuner.backend = tr.Sw_serve.Handler.tr_backend };
         Option.iter
           (fun path ->
             let sink = Option.get sink in
             (* one traced validation run of the winning variant gives
                the trace its machine timeline, reconciled against the
                simulator's own accounting *)
+            let config =
+              match Sw_serve.Handler.tune_config req with
+              | Ok config -> config
+              | Error msg -> handler_error msg
+            in
+            let entry = Sw_workloads.Registry.find_exn name in
+            let kernel = entry.Sw_workloads.Registry.build ~scale in
             let lowered =
               Sw_swacc.Lower.lower_exn config.Sw_sim.Config.params kernel
                 outcome.Sw_tuning.Tuner.best
@@ -323,9 +308,6 @@ let tune_cmd =
             | Error msg -> Printf.eprintf "swmodel: trace reconciliation failed: %s\n" msg);
             write_trace path sink)
           trace
-    | Error (`No_feasible_point msg) ->
-        Printf.eprintf "swmodel: %s\n" msg;
-        exit 1
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Auto-tune a kernel's tile size and unroll factor under a cost backend.")
@@ -414,31 +396,45 @@ let asm_cmd =
       $ annotate_arg $ cpe_index_arg)
 
 let timeline_cmd =
-  let run name scale grain unroll cpes db trace_out seed faults fault_level =
-    let entry = Sw_workloads.Registry.find_exn name in
-    let config = config_of Sw_arch.Params.default ~seed ~faults ~fault_level in
-    let lowered =
-      lower_entry config.Sw_sim.Config.params entry scale (variant_of entry grain unroll cpes db)
+  let run name scale grain unroll cpes db trace_out seed faults fault_level json =
+    Option.iter Sw_util.Prng.set_global_seed seed;
+    let req =
+      {
+        (Sw_serve.Handler.timeline_defaults ~kernel:name) with
+        Sw_serve.Handler.l_scale = scale;
+        l_grain = grain;
+        l_unroll = unroll;
+        l_cpes = cpes;
+        l_db = db;
+        l_seed = seed;
+        l_faults = faults;
+        l_fault_level = fault_level;
+      }
     in
     let sink = Option.map (fun _ -> Sw_obs.Sink.create ()) trace_out in
-    let metrics, trace =
-      match sink with
-      | Some s -> Sw_obs.Probe.run_traced s ~name config lowered.Sw_swacc.Lowered.programs
-      | None -> Sw_sim.Engine.run_traced config lowered.Sw_swacc.Lowered.programs
-    in
-    print_string
-      (Sw_sim.Trace.render ~width:100 ~max_cpes:16 ~makespan:metrics.Sw_sim.Metrics.cycles trace);
-    Format.printf "makespan %a@." Sw_util.Units.pp_cycles metrics.Sw_sim.Metrics.cycles;
-    if metrics.Sw_sim.Metrics.retries > 0 then
-      Format.printf "dma retries %d (%.0f backoff cycles)@." metrics.Sw_sim.Metrics.retries
-        metrics.Sw_sim.Metrics.backoff_cycles;
-    Option.iter (fun path -> write_trace path (Option.get sink)) trace_out
+    let state = Sw_serve.Handler.create () in
+    match Sw_serve.Handler.timeline state ?obs:sink req with
+    | Error msg -> handler_error msg
+    | Ok (metrics, trace) ->
+        if json then
+          print_endline
+            (Sw_obs.Json.to_string (Sw_serve.Handler.timeline_payload req metrics trace))
+        else begin
+          print_string
+            (Sw_sim.Trace.render ~width:100 ~max_cpes:16 ~makespan:metrics.Sw_sim.Metrics.cycles
+               trace);
+          Format.printf "makespan %a@." Sw_util.Units.pp_cycles metrics.Sw_sim.Metrics.cycles;
+          if metrics.Sw_sim.Metrics.retries > 0 then
+            Format.printf "dma retries %d (%.0f backoff cycles)@." metrics.Sw_sim.Metrics.retries
+              metrics.Sw_sim.Metrics.backoff_cycles
+        end;
+        Option.iter (fun path -> write_trace path (Option.get sink)) trace_out
   in
   Cmd.v
     (Cmd.info "timeline" ~doc:"Render a simulated per-CPE activity timeline (Fig. 4 style).")
     Term.(
       const run $ kernel_arg $ scale_arg $ grain_arg $ unroll_arg $ cpes_arg $ db_arg $ trace_arg
-      $ seed_arg $ faults_arg $ fault_level_arg)
+      $ seed_arg $ faults_arg $ fault_level_arg $ json_arg)
 
 let ablation_cmd =
   let run scale = Sw_experiments.Ablation_study.print (Sw_experiments.Ablation_study.run ~scale ()) in
@@ -571,6 +567,99 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Sweep one tuning dimension, printing measured vs predicted.")
     Term.(const run $ kernel_arg $ scale_arg $ what_arg $ csv_out_arg)
 
+let serve_cmd =
+  let run socket state_dir queue watermark metrics_every sim_timeout domains =
+    let state = Sw_serve.Handler.create ?state_dir ?sim_timeout_s:sim_timeout () in
+    let pool = pool_of domains in
+    let config =
+      {
+        Sw_serve.Server.queue_capacity = queue;
+        shed_watermark = watermark;
+        metrics_every;
+      }
+    in
+    let stats =
+      match socket with
+      | Some path -> Sw_serve.Server.serve_socket ~config ?pool state ~path
+      | None -> Sw_serve.Server.serve ~config ?pool state ~input:Unix.stdin ~output:stdout
+    in
+    Printf.eprintf
+      "swmodel serve: %d served (%d degraded, %d errors, %d resumed) in %d batches (deepest %d)\n"
+      stats.Sw_serve.Server.served stats.Sw_serve.Server.degraded stats.Sw_serve.Server.errors
+      stats.Sw_serve.Server.resumed stats.Sw_serve.Server.batches stats.Sw_serve.Server.max_batch
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv) instead of stdin/stdout.")
+  in
+  let state_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state" ] ~docv:"DIR"
+          ~doc:
+            "Crash recovery: log accepted requests under $(docv) and auto-checkpoint in-flight \
+             tunes there; on restart, interrupted requests are replayed (responses marked \
+             $(b,resumed)) and interrupted tunes resume from their journals.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N" ~doc:"Bounded request queue: at most $(docv) requests per batch.")
+  in
+  let watermark_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "watermark" ] ~docv:"N"
+          ~doc:
+            "Overload shedding: tune requests queued at or past position $(docv) in a batch are \
+             answered by model-only shortlist scoring and marked $(b,degraded).")
+  in
+  let metrics_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-every" ] ~docv:"N"
+          ~doc:"Dump Prometheus-style metrics to stderr every $(docv) responses (0 = never).")
+  in
+  let sim_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "sim-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Degrade predict requests whose simulation exceeds $(docv) host seconds to the \
+             static model (responses marked $(b,degraded)).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the tuning-as-a-service daemon: line-delimited JSON requests (predict, tune, \
+          timeline, ping, metrics, shutdown) in, one JSON response line out per request.")
+    Term.(
+      const run $ socket_arg $ state_arg $ queue_arg $ watermark_arg $ metrics_every_arg
+      $ sim_timeout_arg $ domains_arg)
+
+let metrics_cmd =
+  let run trace =
+    match trace with
+    | None ->
+        Printf.eprintf "swmodel: metrics needs --trace FILE (a Chrome trace written by --trace)\n";
+        exit 1
+    | Some path -> (
+        match Sw_serve.Handler.metrics_of_trace path with
+        | Ok text -> print_string text
+        | Error msg -> handler_error msg)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Render the counters of a recorded Chrome trace (--trace FILE) as the same \
+          Prometheus-style text the serve daemon's metrics request returns.")
+    Term.(const run $ trace_arg)
+
 let main =
   let info = Cmd.info "swmodel" ~doc:"SW26010 static performance model and auto-tuner." in
   Cmd.group info
@@ -580,6 +669,8 @@ let main =
       predict_cmd;
       simulate_cmd;
       tune_cmd;
+      serve_cmd;
+      metrics_cmd;
       fig6_cmd;
       fig7_cmd;
       fig8_cmd;

@@ -1,10 +1,110 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Serialization *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* Shortest decimal representation that round-trips the double exactly;
+   journals rely on the same property (%.17g there), so a parsed-back
+   value is bit-identical to the one serialized.  The result is always
+   lexically a non-integer so the Int/Float distinction survives a
+   round-trip. *)
+let float_lit f =
+  if not (Float.is_finite f) then Float.to_string f
+  else
+    let shortest =
+      let r15 = Printf.sprintf "%.15g" f in
+      if float_of_string r15 = f then r15
+      else
+        let r16 = Printf.sprintf "%.16g" f in
+        if float_of_string r16 = f then r16 else Printf.sprintf "%.17g" f
+    in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') shortest then shortest
+    else shortest ^ ".0"
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec emit = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then Buffer.add_string buf (float_lit f)
+        else emit (Str (Float.to_string f))
+    | Str s ->
+        Buffer.add_char buf '"';
+        escape_into buf s;
+        Buffer.add_char buf '"'
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ", ";
+            emit item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_string buf ", ";
+            Buffer.add_char buf '"';
+            escape_into buf k;
+            Buffer.add_string buf "\": ";
+            emit item)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  emit v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
 exception Bad of int * string
 
 let fail pos msg = raise (Bad (pos, msg))
 
-(* recursive-descent checker over the raw string; returns the position
-   after the parsed value *)
-let validate s =
+(* Encode one Unicode code point as UTF-8. *)
+let utf8_add buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse s =
   let n = String.length s in
   let peek i = if i < n then Some s.[i] else None in
   let rec skip_ws i =
@@ -18,64 +118,101 @@ let validate s =
     | Some x -> fail i (Printf.sprintf "expected %C, got %C" c x)
     | None -> fail i (Printf.sprintf "expected %C, got end of input" c)
   in
-  let literal i word =
+  let literal i word v =
     let l = String.length word in
-    if i + l <= n && String.sub s i l = word then i + l
+    if i + l <= n && String.sub s i l = word then (v, i + l)
     else fail i ("expected " ^ word)
   in
   let is_digit c = c >= '0' && c <= '9' in
   let rec digits i =
     match peek i with Some c when is_digit c -> digits (i + 1) | _ -> i
   in
-  let number i =
-    let i = match peek i with Some '-' -> i + 1 | _ -> i in
+  let number i0 =
+    let i = match peek i0 with Some '-' -> i0 + 1 | _ -> i0 in
     let i =
       match peek i with
       | Some '0' -> i + 1
       | Some c when is_digit c -> digits (i + 1)
       | _ -> fail i "expected digit"
     in
-    let i =
+    let i, fractional =
       match peek i with
       | Some '.' ->
           let j = digits (i + 1) in
-          if j = i + 1 then fail j "expected digit after '.'" else j
-      | _ -> i
+          if j = i + 1 then fail j "expected digit after '.'" else (j, true)
+      | _ -> (i, false)
     in
-    match peek i with
-    | Some ('e' | 'E') ->
-        let i = match peek (i + 1) with Some ('+' | '-') -> i + 2 | _ -> i + 1 in
-        let j = digits i in
-        if j = i then fail j "expected exponent digit" else j
-    | _ -> i
+    let i, fractional =
+      match peek i with
+      | Some ('e' | 'E') ->
+          let i = match peek (i + 1) with Some ('+' | '-') -> i + 2 | _ -> i + 1 in
+          let j = digits i in
+          if j = i then fail j "expected exponent digit" else (j, true)
+      | _ -> (i, fractional)
+    in
+    let tok = String.sub s i0 (i - i0) in
+    let v =
+      if fractional then Float (float_of_string tok)
+      else
+        (* integral syntax: keep the Int class when it fits *)
+        match int_of_string_opt tok with
+        | Some k -> Int k
+        | None -> Float (float_of_string tok)
+    in
+    (v, i)
+  in
+  let hex4 i =
+    let digit j =
+      match peek j with
+      | Some c when is_digit c -> Char.code c - Char.code '0'
+      | Some c when c >= 'a' && c <= 'f' -> Char.code c - Char.code 'a' + 10
+      | Some c when c >= 'A' && c <= 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail j "bad \\u escape"
+    in
+    (digit i * 0x1000) + (digit (i + 1) * 0x100) + (digit (i + 2) * 0x10) + digit (i + 3)
   in
   let string_ i =
     let i = expect i '"' in
+    let buf = Buffer.create 16 in
     let rec body i =
       match peek i with
       | None -> fail i "unterminated string"
-      | Some '"' -> i + 1
+      | Some '"' -> (Buffer.contents buf, i + 1)
       | Some '\\' -> (
           match peek (i + 1) with
-          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> body (i + 2)
+          | Some '"' -> Buffer.add_char buf '"'; body (i + 2)
+          | Some '\\' -> Buffer.add_char buf '\\'; body (i + 2)
+          | Some '/' -> Buffer.add_char buf '/'; body (i + 2)
+          | Some 'b' -> Buffer.add_char buf '\b'; body (i + 2)
+          | Some 'f' -> Buffer.add_char buf '\012'; body (i + 2)
+          | Some 'n' -> Buffer.add_char buf '\n'; body (i + 2)
+          | Some 'r' -> Buffer.add_char buf '\r'; body (i + 2)
+          | Some 't' -> Buffer.add_char buf '\t'; body (i + 2)
           | Some 'u' ->
-              let hex j =
-                match peek j with
-                | Some c
-                  when is_digit c
-                       || (c >= 'a' && c <= 'f')
-                       || (c >= 'A' && c <= 'F') ->
-                    ()
-                | _ -> fail j "bad \\u escape"
-              in
-              hex (i + 2);
-              hex (i + 3);
-              hex (i + 4);
-              hex (i + 5);
-              body (i + 6)
+              let cp = hex4 (i + 2) in
+              if cp >= 0xD800 && cp <= 0xDBFF && i + 7 < n && s.[i + 6] = '\\'
+                 && s.[i + 7] = 'u'
+              then begin
+                (* surrogate pair *)
+                let lo = hex4 (i + 8) in
+                if lo >= 0xDC00 && lo <= 0xDFFF then begin
+                  utf8_add buf (0x10000 + (((cp - 0xD800) lsl 10) lor (lo - 0xDC00)));
+                  body (i + 12)
+                end
+                else begin
+                  utf8_add buf cp;
+                  body (i + 6)
+                end
+              end
+              else begin
+                utf8_add buf cp;
+                body (i + 6)
+              end
           | _ -> fail (i + 1) "bad escape")
       | Some c when Char.code c < 0x20 -> fail i "raw control character in string"
-      | Some _ -> body (i + 1)
+      | Some c ->
+          Buffer.add_char buf c;
+          body (i + 1)
     in
     body i
   in
@@ -85,46 +222,84 @@ let validate s =
     | None -> fail i "expected a value"
     | Some '{' -> obj (i + 1)
     | Some '[' -> arr (i + 1)
-    | Some '"' -> string_ i
-    | Some 't' -> literal i "true"
-    | Some 'f' -> literal i "false"
-    | Some 'n' -> literal i "null"
+    | Some '"' ->
+        let str, i = string_ i in
+        (Str str, i)
+    | Some 't' -> literal i "true" (Bool true)
+    | Some 'f' -> literal i "false" (Bool false)
+    | Some 'n' -> literal i "null" Null
     | Some ('-' | '0' .. '9') -> number i
     | Some c -> fail i (Printf.sprintf "unexpected %C" c)
   and obj i =
     let i = skip_ws i in
     match peek i with
-    | Some '}' -> i + 1
+    | Some '}' -> (Obj [], i + 1)
     | _ ->
-        let rec members i =
+        let rec members acc i =
           let i = skip_ws i in
-          let i = string_ i in
+          let key, i = string_ i in
           let i = expect (skip_ws i) ':' in
-          let i = skip_ws (value i) in
+          let v, i = value i in
+          let i = skip_ws i in
+          let acc = (key, v) :: acc in
           match peek i with
-          | Some ',' -> members (i + 1)
-          | Some '}' -> i + 1
+          | Some ',' -> members acc (i + 1)
+          | Some '}' -> (Obj (List.rev acc), i + 1)
           | _ -> fail i "expected ',' or '}'"
         in
-        members i
+        members [] i
   and arr i =
     let i = skip_ws i in
     match peek i with
-    | Some ']' -> i + 1
+    | Some ']' -> (Arr [], i + 1)
     | _ ->
-        let rec elements i =
-          let i = skip_ws (value i) in
+        let rec elements acc i =
+          let v, i = value i in
+          let i = skip_ws i in
+          let acc = v :: acc in
           match peek i with
-          | Some ',' -> elements (i + 1)
-          | Some ']' -> i + 1
+          | Some ',' -> elements acc (i + 1)
+          | Some ']' -> (Arr (List.rev acc), i + 1)
           | _ -> fail i "expected ',' or ']'"
         in
-        elements i
+        elements [] i
   in
-  match skip_ws (value 0) with
-  | i when i = n -> Ok ()
-  | i -> Error (Printf.sprintf "trailing garbage at %d" i)
+  match value 0 with
+  | v, i when skip_ws i = n -> Ok v
+  | _, i -> Error (Printf.sprintf "trailing garbage at %d" (skip_ws i))
   | exception Bad (pos, msg) -> Error (Printf.sprintf "%s at %d" msg pos)
+
+let parse_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Interrogation *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f && Float.abs f <= 1e15 -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+
+let to_list = function Arr items -> Some items | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Validation: the parser is the checker.  (The original recursive-
+   descent validator survives as [parse]'s skeleton; building the value
+   costs little and keeps one grammar implementation.) *)
+
+let validate s = match parse s with Ok _ -> Ok () | Error msg -> Error msg
 
 let validate_file path =
   match In_channel.with_open_bin path In_channel.input_all with

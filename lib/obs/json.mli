@@ -1,11 +1,76 @@
-(** A minimal JSON syntax checker (no external dependencies).
+(** JSON: a validator, a parser and a builder (no external dependencies).
 
-    Trace files must load in [chrome://tracing]/Perfetto, whose first
-    failure mode is malformed JSON; {!validate} lets tests and the
-    bench harness prove an emitted file parses without shipping a full
-    JSON library.  It accepts exactly RFC 8259 syntax (objects, arrays,
+    Three clients share this module.  Trace files must load in
+    [chrome://tracing]/Perfetto, whose first failure mode is malformed
+    JSON — {!validate} lets tests and the bench harness prove an emitted
+    file parses.  The [swmodel serve] daemon speaks line-delimited JSON
+    — {!parse} turns a request line into a {!t} it can interrogate.
+    And every JSON the CLI or daemon emits is built from a {!t} via
+    {!to_string}, so one escaping/formatting path serves all outputs
+    (and round-trips this module's own validator by construction).
+
+    {!validate} accepts exactly RFC 8259 syntax (objects, arrays,
     strings with escapes, numbers, [true]/[false]/[null]) and rejects
-    trailing garbage. *)
+    trailing garbage; {!parse} accepts the same language. *)
+
+(** A JSON value.  Numbers keep their syntactic class: a token without
+    [.]/[e]/[E] that fits an OCaml [int] parses as [Int], everything
+    else as [Float] — and {!to_string} preserves the distinction, so
+    [parse (to_string v)] reproduces [v] for any [v] whose floats are
+    finite. *)
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, deterministic serialization (object fields in construction
+    order).  Floats print with the shortest decimal representation that
+    round-trips the IEEE double exactly, always marked as non-integers
+    (a ["."] or an exponent); non-finite floats — not representable in
+    JSON — serialize as their [Float.to_string] inside a JSON string.
+    The output always passes {!validate}. *)
+
+val float_lit : float -> string
+(** The float literal {!to_string} would emit — shortest exact
+    round-trip, e.g. ["0.1"], ["1.0"], ["6.5e-21"].  Exposed so other
+    text formats (the Prometheus dump) format numbers identically. *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value (trailing whitespace allowed, other
+    trailing garbage rejected).  [\u] escapes decode to UTF-8, surrogate
+    pairs included.  On failure the message carries a character
+    position. *)
+
+val parse_file : string -> (t, string) result
+(** {!parse} on a file's contents ([Error] if unreadable). *)
+
+(** {1 Interrogation}
+
+    Total accessors for picking requests apart: each returns [None] on
+    a type mismatch instead of raising, so a request parser can report
+    a readable error. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] ([None] for absent fields and non-objects). *)
+
+val to_str : t -> string option
+
+val to_int : t -> int option
+(** [Int n] and integral [Float]s within [int] range. *)
+
+val to_float : t -> float option
+(** [Float] and [Int] both. *)
+
+val to_bool : t -> bool option
+
+val to_list : t -> t list option
+
+(** {1 Validation} *)
 
 val validate : string -> (unit, string) result
 (** [Ok ()] if the whole string is one valid JSON value, otherwise

@@ -159,3 +159,49 @@ let with_span t ?(pid = host_pid) ?track ~cat ?(args = []) name f =
       let stop = now_us t in
       record t { cat; name; pid; track; t_us = start; dur_us = stop -. start; args })
     f
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style text rendering *)
+
+(* Prometheus metric names admit [a-zA-Z0-9_:] with a non-digit first
+   character; counter keys here use dots ("backend.sim.ok").  Map every
+   other character to '_' and prefix the exporter namespace. *)
+let metric_name key =
+  let b = Bytes.create (String.length key) in
+  String.iteri
+    (fun i c ->
+      Bytes.set b i
+        (match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_'))
+    key;
+  "swpm_" ^ Bytes.to_string b
+
+let metric_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Json.float_lit v
+
+let render_metrics_of pairs =
+  (* sanitization can collide distinct keys ("a.b" and "a_b"); merge by
+     summing so the dump never repeats a metric name *)
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (key, v) ->
+      let name = metric_name key in
+      (match Hashtbl.find_opt tbl name with
+      | None ->
+          order := name :: !order;
+          Hashtbl.add tbl name v
+      | Some cur -> Hashtbl.replace tbl name (cur +. v)))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) pairs);
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      let v = Hashtbl.find tbl name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" name (metric_value v)))
+    (List.rev !order);
+  Buffer.contents buf
+
+let render_metrics ?(extra = []) t = render_metrics_of (counters t @ extra)

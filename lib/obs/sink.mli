@@ -149,3 +149,17 @@ val with_span :
     records one span around it — also when [f] raises.  [pid] defaults
     to {!host_pid}, [track] to the calling domain's id (so pooled work
     is attributed to the domain that ran it). *)
+
+val render_metrics : ?extra:(string * float) list -> t -> string
+(** All counters (plus [extra] gauges, e.g. queue depth) as a
+    Prometheus-style plain-text exposition: per metric one
+    [# TYPE … counter] line and one [name value] line.  Names are
+    sanitized into the metric alphabet ([a-zA-Z0-9_:]) under a [swpm_]
+    prefix — ["backend.sim.ok"] becomes ["swpm_backend_sim_ok"] — with
+    colliding sanitizations merged by summing; output is sorted by the
+    original key, so the dump is deterministic.  Integral values print
+    without a decimal point, others with {!Json.float_lit}. *)
+
+val render_metrics_of : (string * float) list -> string
+(** {!render_metrics} over an explicit counter list — for offline
+    renderings (e.g. counters recovered from a Chrome trace file). *)

@@ -1,0 +1,746 @@
+module Json = Sw_obs.Json
+module Backend = Sw_backend.Backend
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Shared state *)
+
+type state = {
+  sink : Sw_obs.Sink.t;
+  state_dir : string option;
+  sim_timeout_s : float option;
+  lock : Mutex.t;
+  backends : (string, Backend.t) Hashtbl.t;  (* canonical name -> shared memo *)
+}
+
+let create ?sink ?state_dir ?sim_timeout_s () =
+  {
+    sink = (match sink with Some s -> s | None -> Sw_obs.Sink.create ());
+    state_dir;
+    sim_timeout_s;
+    lock = Mutex.create ();
+    backends = Hashtbl.create 8;
+  }
+
+let sink state = state.sink
+let state_dir state = state.state_dir
+
+(* One memoizing wrapper per canonical backend name, created on first
+   use and shared by every later request: the process-wide verdict
+   cache that makes a long-running server cheaper than one-shot CLI
+   calls.  The memo itself is single-flight and mutex-guarded, so
+   handing the same instance to several pool domains is safe. *)
+let backend state name =
+  match Backend.find name with
+  | None ->
+      Error
+        (Printf.sprintf "unknown backend %S (available: %s)" name
+           (String.concat ", " (Backend.registered ())))
+  | Some b ->
+      let canonical = Backend.name b in
+      Mutex.lock state.lock;
+      let shared =
+        match Hashtbl.find_opt state.backends canonical with
+        | Some shared -> shared
+        | None ->
+            let shared = Backend.memoized (Backend.memoize ~sink:state.sink b) in
+            Hashtbl.add state.backends canonical shared;
+            shared
+      in
+      Mutex.unlock state.lock;
+      Ok (canonical, shared)
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+type predict_req = {
+  p_kernel : string;
+  p_scale : float;
+  p_cgs : int;
+  p_grain : int option;
+  p_unroll : int option;
+  p_cpes : int option;
+  p_db : bool;
+  p_backend : string;
+  p_seed : int option;
+  p_faults : int option;
+  p_fault_level : string;
+}
+
+type tune_req = {
+  t_kernel : string;
+  t_scale : float;
+  t_backend : string;
+  t_strategy : string;
+  t_shortlist : int;
+  t_rungs : int;
+  t_robust : int;
+  t_seed : int option;
+  t_faults : int option;
+  t_fault_level : string;
+  t_checkpoint : string option;
+}
+
+type timeline_req = {
+  l_kernel : string;
+  l_scale : float;
+  l_grain : int option;
+  l_unroll : int option;
+  l_cpes : int option;
+  l_db : bool;
+  l_seed : int option;
+  l_faults : int option;
+  l_fault_level : string;
+}
+
+type verb =
+  | Ping
+  | Metrics
+  | Shutdown
+  | Predict of predict_req
+  | Tune of tune_req
+  | Timeline of timeline_req
+
+type request = { id : Json.t; verb : verb }
+
+let predict_defaults ~kernel =
+  {
+    p_kernel = kernel;
+    p_scale = 1.0;
+    p_cgs = 1;
+    p_grain = None;
+    p_unroll = None;
+    p_cpes = None;
+    p_db = false;
+    p_backend = "model";
+    p_seed = None;
+    p_faults = None;
+    p_fault_level = "mild";
+  }
+
+let tune_defaults ~kernel =
+  {
+    t_kernel = kernel;
+    t_scale = 1.0;
+    t_backend = "model";
+    t_strategy = "exhaustive";
+    t_shortlist = 0;
+    t_rungs = 3;
+    t_robust = 0;
+    t_seed = None;
+    t_faults = None;
+    t_fault_level = "mild";
+    t_checkpoint = None;
+  }
+
+let timeline_defaults ~kernel =
+  {
+    l_kernel = kernel;
+    l_scale = 1.0;
+    l_grain = None;
+    l_unroll = None;
+    l_cpes = None;
+    l_db = false;
+    l_seed = None;
+    l_faults = None;
+    l_fault_level = "mild";
+  }
+
+(* --- wire parsing ------------------------------------------------- *)
+
+let field name conv expected j =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok (Some x)
+      | None -> Error (Printf.sprintf "field %S: expected %s" name expected))
+
+let opt_str name j = field name Json.to_str "a string" j
+let opt_int name j = field name Json.to_int "an integer" j
+let opt_num name j = field name Json.to_float "a number" j
+let opt_bool name j = field name Json.to_bool "a boolean" j
+let dflt d r = Result.map (fun o -> Option.value o ~default:d) r
+
+let req_kernel j =
+  match Json.member "kernel" j with
+  | None -> Error "missing field \"kernel\""
+  | Some v -> (
+      match Json.to_str v with
+      | Some s -> Ok s
+      | None -> Error "field \"kernel\": expected a string")
+
+let parse_predict j =
+  let* p_kernel = req_kernel j in
+  let* p_scale = dflt 1.0 (opt_num "scale" j) in
+  let* p_cgs = dflt 1 (opt_int "cgs" j) in
+  let* p_grain = opt_int "grain" j in
+  let* p_unroll = opt_int "unroll" j in
+  let* p_cpes = opt_int "cpes" j in
+  let* p_db = dflt false (opt_bool "double_buffer" j) in
+  let* p_backend = dflt "model" (opt_str "backend" j) in
+  let* p_seed = opt_int "seed" j in
+  let* p_faults = opt_int "faults" j in
+  let* p_fault_level = dflt "mild" (opt_str "fault_level" j) in
+  Ok
+    {
+      p_kernel;
+      p_scale;
+      p_cgs;
+      p_grain;
+      p_unroll;
+      p_cpes;
+      p_db;
+      p_backend;
+      p_seed;
+      p_faults;
+      p_fault_level;
+    }
+
+let parse_tune j =
+  let* t_kernel = req_kernel j in
+  let* t_scale = dflt 1.0 (opt_num "scale" j) in
+  let* t_backend = dflt "model" (opt_str "backend" j) in
+  let* t_strategy = dflt "exhaustive" (opt_str "strategy" j) in
+  let* t_shortlist = dflt 0 (opt_int "shortlist" j) in
+  let* t_rungs = dflt 3 (opt_int "rungs" j) in
+  let* t_robust = dflt 0 (opt_int "robust" j) in
+  let* t_seed = opt_int "seed" j in
+  let* t_faults = opt_int "faults" j in
+  let* t_fault_level = dflt "mild" (opt_str "fault_level" j) in
+  let* t_checkpoint = opt_str "checkpoint" j in
+  Ok
+    {
+      t_kernel;
+      t_scale;
+      t_backend;
+      t_strategy;
+      t_shortlist;
+      t_rungs;
+      t_robust;
+      t_seed;
+      t_faults;
+      t_fault_level;
+      t_checkpoint;
+    }
+
+let parse_timeline j =
+  let* l_kernel = req_kernel j in
+  let* l_scale = dflt 1.0 (opt_num "scale" j) in
+  let* l_grain = opt_int "grain" j in
+  let* l_unroll = opt_int "unroll" j in
+  let* l_cpes = opt_int "cpes" j in
+  let* l_db = dflt false (opt_bool "double_buffer" j) in
+  let* l_seed = opt_int "seed" j in
+  let* l_faults = opt_int "faults" j in
+  let* l_fault_level = dflt "mild" (opt_str "fault_level" j) in
+  Ok { l_kernel; l_scale; l_grain; l_unroll; l_cpes; l_db; l_seed; l_faults; l_fault_level }
+
+let parse_request line =
+  let* j = Json.parse line in
+  let id = Option.value (Json.member "id" j) ~default:Json.Null in
+  let* op =
+    match Json.member "op" j with
+    | None -> Error "missing field \"op\""
+    | Some v -> (
+        match Json.to_str v with
+        | Some s -> Ok s
+        | None -> Error "field \"op\": expected a string")
+  in
+  let* verb =
+    match op with
+    | "ping" -> Ok Ping
+    | "metrics" -> Ok Metrics
+    | "shutdown" -> Ok Shutdown
+    | "predict" -> Result.map (fun r -> Predict r) (parse_predict j)
+    | "tune" -> Result.map (fun r -> Tune r) (parse_tune j)
+    | "timeline" -> Result.map (fun r -> Timeline r) (parse_timeline j)
+    | other ->
+        Error
+          (Printf.sprintf
+             "unknown op %S (available: ping, metrics, shutdown, predict, tune, timeline)" other)
+  in
+  Ok { id; verb }
+
+let is_tune r = match r.verb with Tune _ -> true | _ -> false
+
+let with_checkpoint r path =
+  match r.verb with
+  | Tune ({ t_checkpoint = None; _ } as t) ->
+      { r with verb = Tune { t with t_checkpoint = Some path } }
+  | _ -> r
+
+(* --- canonical form ----------------------------------------------- *)
+
+let jopt f = function None -> Json.Null | Some x -> f x
+let jint i = Json.Int i
+let jstr s = Json.Str s
+
+let verb_to_json = function
+  | Ping -> Json.Obj [ ("op", jstr "ping") ]
+  | Metrics -> Json.Obj [ ("op", jstr "metrics") ]
+  | Shutdown -> Json.Obj [ ("op", jstr "shutdown") ]
+  | Predict p ->
+      Json.Obj
+        [
+          ("op", jstr "predict");
+          ("kernel", jstr p.p_kernel);
+          ("scale", Json.Float p.p_scale);
+          ("cgs", jint p.p_cgs);
+          ("grain", jopt jint p.p_grain);
+          ("unroll", jopt jint p.p_unroll);
+          ("cpes", jopt jint p.p_cpes);
+          ("double_buffer", Json.Bool p.p_db);
+          ("backend", jstr p.p_backend);
+          ("seed", jopt jint p.p_seed);
+          ("faults", jopt jint p.p_faults);
+          ("fault_level", jstr p.p_fault_level);
+        ]
+  | Tune t ->
+      Json.Obj
+        [
+          ("op", jstr "tune");
+          ("kernel", jstr t.t_kernel);
+          ("scale", Json.Float t.t_scale);
+          ("backend", jstr t.t_backend);
+          ("strategy", jstr t.t_strategy);
+          ("shortlist", jint t.t_shortlist);
+          ("rungs", jint t.t_rungs);
+          ("robust", jint t.t_robust);
+          ("seed", jopt jint t.t_seed);
+          ("faults", jopt jint t.t_faults);
+          ("fault_level", jstr t.t_fault_level);
+        ]
+  | Timeline l ->
+      Json.Obj
+        [
+          ("op", jstr "timeline");
+          ("kernel", jstr l.l_kernel);
+          ("scale", Json.Float l.l_scale);
+          ("grain", jopt jint l.l_grain);
+          ("unroll", jopt jint l.l_unroll);
+          ("cpes", jopt jint l.l_cpes);
+          ("double_buffer", Json.Bool l.l_db);
+          ("seed", jopt jint l.l_seed);
+          ("faults", jopt jint l.l_faults);
+          ("fault_level", jstr l.l_fault_level);
+        ]
+
+(* The tune checkpoint is deliberately left out of [verb_to_json]: the
+   key must not depend on it, or an auto-assigned checkpoint (derived
+   from the key) would change the key. *)
+let request_key r = Digest.to_hex (Digest.string (Json.to_string (verb_to_json r.verb)))
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+type response = {
+  id : Json.t;
+  degraded : bool;
+  resumed : bool;
+  result : (Json.t, string) result;
+}
+
+let response_to_json r =
+  match r.result with
+  | Ok payload ->
+      Json.Obj
+        [
+          ("id", r.id);
+          ("ok", Json.Bool true);
+          ("degraded", Json.Bool r.degraded);
+          ("resumed", Json.Bool r.resumed);
+          ("result", payload);
+        ]
+  | Error msg ->
+      Json.Obj [ ("id", r.id); ("ok", Json.Bool false); ("error", Json.Str msg) ]
+
+let response_to_string r = Json.to_string (response_to_json r)
+
+let error_response ?(resumed = false) id msg =
+  { id; degraded = false; resumed; result = Error msg }
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let fault_spec_of level =
+  match Sw_fault.Fault.of_string level with
+  | Some spec -> Ok spec
+  | None -> Error (Printf.sprintf "unknown fault level %S (available: none, mild, harsh)" level)
+
+(* Mirrors the CLI's historical --seed/--faults semantics without
+   touching the process-wide PRNG: the config's own seed is all the
+   simulator reads, so setting it directly gives bit-identical results
+   while letting concurrent requests carry different seeds. *)
+let config_of ~cgs ~seed ~faults ~fault_level =
+  if cgs < 1 || cgs > 4 then Error (Printf.sprintf "cgs %d out of range (1-4)" cgs)
+  else
+    let params = Sw_arch.Params.with_cgs Sw_arch.Params.default cgs in
+    let config =
+      {
+        (Sw_sim.Config.default params) with
+        Sw_sim.Config.seed = Option.value seed ~default:(Sw_util.Prng.global_seed ());
+      }
+    in
+    match faults with
+    | None -> Ok config
+    | Some fseed ->
+        let* spec = fault_spec_of fault_level in
+        Ok (Sw_fault.Fault.plan ~spec ~seed:fseed config)
+
+let predict_config p =
+  config_of ~cgs:p.p_cgs ~seed:p.p_seed ~faults:p.p_faults ~fault_level:p.p_fault_level
+
+let tune_config t =
+  config_of ~cgs:1 ~seed:t.t_seed ~faults:t.t_faults ~fault_level:t.t_fault_level
+
+let timeline_config l =
+  config_of ~cgs:1 ~seed:l.l_seed ~faults:l.l_faults ~fault_level:l.l_fault_level
+
+let entry_of name =
+  match Sw_workloads.Registry.find name with
+  | Some e -> Ok e
+  | None ->
+      Error
+        (Printf.sprintf "unknown kernel %S (available: %s)" name
+           (String.concat ", " (Sw_workloads.Registry.names ())))
+
+let variant_of (entry : Sw_workloads.Registry.entry) grain unroll cpes db =
+  let base = entry.variant in
+  {
+    Sw_swacc.Kernel.grain = Option.value grain ~default:base.Sw_swacc.Kernel.grain;
+    unroll = Option.value unroll ~default:base.Sw_swacc.Kernel.unroll;
+    active_cpes = Option.value cpes ~default:base.Sw_swacc.Kernel.active_cpes;
+    double_buffer = db || base.Sw_swacc.Kernel.double_buffer;
+  }
+
+(* --- predict ------------------------------------------------------ *)
+
+type predict_result = {
+  pr_backend : string;
+  pr_variant : Sw_swacc.Kernel.variant;
+  pr_verdict : Backend.verdict;
+  pr_degraded : bool;
+}
+
+let simulating = function "sim" | "hybrid" -> true | _ -> false
+
+let predict state ?obs p =
+  let* entry = entry_of p.p_kernel in
+  let* config = predict_config p in
+  let kernel = entry.Sw_workloads.Registry.build ~scale:p.p_scale in
+  let variant = variant_of entry p.p_grain p.p_unroll p.p_cpes p.p_db in
+  let* canonical, shared = backend state p.p_backend in
+  (* The timeout chain degrades an over-budget simulation to the model
+     — the cheap backend kept hot for exactly this (the serve overload
+     policy).  The local sink tells us whether this particular request
+     degraded; its counters then merge into the shared sink. *)
+  let chain, local =
+    match state.sim_timeout_s with
+    | Some limit_s when simulating canonical ->
+        let local = Sw_obs.Sink.create () in
+        let model =
+          match backend state "model" with Ok (_, m) -> m | Error _ -> Backend.static_model
+        in
+        ( Backend.fallback ~sink:local
+            [ Backend.with_timeout ~sink:local ~limit_s shared; model ],
+          Some local )
+    | _ -> (shared, None)
+  in
+  let chain = match obs with Some s -> Backend.instrument s chain | None -> chain in
+  let outcome = Backend.assess chain config kernel variant in
+  let degraded =
+    match local with
+    | None -> false
+    | Some l ->
+        let pairs = Sw_obs.Sink.counters l in
+        List.iter (fun (k, v) -> Sw_obs.Sink.add state.sink k v) pairs;
+        List.exists
+          (fun (k, v) -> v > 0.0 && String.starts_with ~prefix:"backend.degraded." k)
+          pairs
+  in
+  match outcome with
+  | Ok v ->
+      Ok { pr_backend = canonical; pr_variant = variant; pr_verdict = v; pr_degraded = degraded }
+  | Error { Backend.backend = b; reason } ->
+      Error (Printf.sprintf "%s rejects %s: %s" b p.p_kernel reason)
+
+(* --- tune --------------------------------------------------------- *)
+
+type tune_result = {
+  tr_backend : string;
+  tr_outcome : Sw_tuning.Tuner.outcome;
+  tr_degraded : bool;
+}
+
+let strategy_of t ~n_points =
+  let shortlist_k () = if t.t_shortlist > 0 then t.t_shortlist else Stdlib.max 1 (n_points / 4) in
+  if t.t_robust > 0 || t.t_strategy = "robust" then
+    let n = if t.t_robust > 0 then t.t_robust else 8 in
+    let* spec = fault_spec_of t.t_fault_level in
+    Ok
+      (Sw_tuning.Search.robust ~k:(shortlist_k ()) ~seeds:(List.init n (fun i -> 1 + i)) ~spec ())
+  else
+    match t.t_strategy with
+    | "exhaustive" -> Ok Sw_tuning.Search.exhaustive
+    | "shortlist" -> Ok (Sw_tuning.Search.shortlist ~k:(shortlist_k ()) ())
+    | "halving" | "successive-halving" -> Ok (Sw_tuning.Search.successive_halving ~rungs:t.t_rungs)
+    | s ->
+        Error
+          (Printf.sprintf "unknown strategy %S (available: exhaustive, shortlist, halving, robust)"
+             s)
+
+let tune state ?(degrade = false) ?pool ?obs t =
+  let* entry = entry_of t.t_kernel in
+  let* config = tune_config t in
+  let kernel = entry.Sw_workloads.Registry.build ~scale:t.t_scale in
+  let points =
+    Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
+      ~unrolls:entry.Sw_workloads.Registry.unrolls ()
+  in
+  let n_points = List.length points in
+  let* canonical, shared, strategy =
+    if degrade then
+      (* Overload shedding: whatever was asked for, answer with the
+         cheapest credible search — model-only shortlist scoring over a
+         quarter of the space.  The response is marked degraded. *)
+      let* canonical, shared = backend state "model" in
+      Ok (canonical, shared, Sw_tuning.Search.shortlist ~k:(Stdlib.max 1 (n_points / 4)) ())
+    else
+      let* canonical, shared = backend state t.t_backend in
+      let* strategy = strategy_of t ~n_points in
+      Ok (canonical, shared, strategy)
+  in
+  match
+    Sw_tuning.Tuner.tune ~backend:shared ~strategy ?pool ?obs ?checkpoint:t.t_checkpoint config
+      kernel ~points
+  with
+  | Ok outcome -> Ok { tr_backend = canonical; tr_outcome = outcome; tr_degraded = degrade }
+  | Error (`No_feasible_point msg) -> Error msg
+
+(* --- timeline ----------------------------------------------------- *)
+
+let timeline state ?obs l =
+  ignore state;
+  let* entry = entry_of l.l_kernel in
+  let* config = timeline_config l in
+  let kernel = entry.Sw_workloads.Registry.build ~scale:l.l_scale in
+  let variant = variant_of entry l.l_grain l.l_unroll l.l_cpes l.l_db in
+  let* lowered =
+    match Sw_swacc.Lower.lower config.Sw_sim.Config.params kernel variant with
+    | Ok lowered -> Ok lowered
+    | Error reason -> Error (Printf.sprintf "cannot lower %s: %s" l.l_kernel reason)
+  in
+  let programs = lowered.Sw_swacc.Lowered.programs in
+  Ok
+    (match obs with
+    | Some s -> Sw_obs.Probe.run_traced s ~name:l.l_kernel config programs
+    | None -> Sw_sim.Engine.run_traced config programs)
+
+(* ------------------------------------------------------------------ *)
+(* Payloads *)
+
+let variant_json (v : Sw_swacc.Kernel.variant) =
+  Json.Obj
+    [
+      ("grain", Json.Int v.Sw_swacc.Kernel.grain);
+      ("unroll", Json.Int v.Sw_swacc.Kernel.unroll);
+      ("active_cpes", Json.Int v.Sw_swacc.Kernel.active_cpes);
+      ("double_buffer", Json.Bool v.Sw_swacc.Kernel.double_buffer);
+    ]
+
+let scenario_str = function
+  | Swpm.Predict.Compute_bound -> "compute-bound"
+  | Swpm.Predict.Memory_bound -> "memory-bound"
+
+let breakdown_json (p : Swpm.Predict.t) =
+  Json.Obj
+    [
+      ("t_total", Json.Float p.Swpm.Predict.t_total);
+      ("t_mem", Json.Float p.Swpm.Predict.t_mem);
+      ("t_dma", Json.Float p.Swpm.Predict.t_dma);
+      ("t_g", Json.Float p.Swpm.Predict.t_g);
+      ("t_comp", Json.Float p.Swpm.Predict.t_comp);
+      ("t_overlap", Json.Float p.Swpm.Predict.t_overlap);
+      ("scenario", Json.Str (scenario_str p.Swpm.Predict.scenario));
+      ("ng_dma", Json.Float p.Swpm.Predict.ng_dma);
+      ("mrp_dma", Json.Float p.Swpm.Predict.mrp_dma);
+      ("ng_g", Json.Float p.Swpm.Predict.ng_g);
+      ("mrp_g", Json.Float p.Swpm.Predict.mrp_g);
+      ("n_dma_reqs", Json.Float p.Swpm.Predict.n_dma_reqs);
+      ("avg_mrt_dma", Json.Float p.Swpm.Predict.avg_mrt_dma);
+      ("db_gain", Json.Float p.Swpm.Predict.db_gain);
+    ]
+
+let predict_payload p pr =
+  let v = pr.pr_verdict in
+  Json.Obj
+    [
+      ("op", Json.Str "predict");
+      ("kernel", Json.Str p.p_kernel);
+      ("scale", Json.Float p.p_scale);
+      ("cgs", Json.Int p.p_cgs);
+      ("backend", Json.Str pr.pr_backend);
+      ("variant", variant_json pr.pr_variant);
+      ("cycles", Json.Float v.Backend.cycles);
+      ("host_wall_s", Json.Float v.Backend.cost.Backend.host_wall_s);
+      ("host_cpu_s", Json.Float v.Backend.cost.Backend.host_cpu_s);
+      ("machine_us", Json.Float v.Backend.cost.Backend.machine_us);
+      ("machine_events", Json.Int v.Backend.cost.Backend.machine_events);
+      ( "breakdown",
+        match v.Backend.breakdown with Some b -> breakdown_json b | None -> Json.Null );
+    ]
+
+let tune_payload t tr =
+  let fields =
+    match Sw_tuning.Tuner.outcome_to_json tr.tr_outcome with
+    | Json.Obj fields ->
+        (* The outcome's backend string is the wrapped chain
+           ("journal(memo(sim))"); the stable field is the canonical
+           requested name, with the chain kept as a diagnostic. *)
+        List.map
+          (function
+            | "backend", chain -> ("backend_chain", chain) | (_, _) as field -> field)
+          fields
+    | other -> [ ("outcome", other) ]
+  in
+  Json.Obj
+    (("op", Json.Str "tune")
+    :: ("kernel", Json.Str t.t_kernel)
+    :: ("scale", Json.Float t.t_scale)
+    :: ("backend", Json.Str tr.tr_backend)
+    :: fields
+    @ [
+        ( "checkpoint",
+          match t.t_checkpoint with Some path -> Json.Str path | None -> Json.Null );
+      ])
+
+let timeline_payload l (metrics : Sw_sim.Metrics.t) trace =
+  Json.Obj
+    [
+      ("op", Json.Str "timeline");
+      ("kernel", Json.Str l.l_kernel);
+      ("scale", Json.Float l.l_scale);
+      ("makespan_cycles", Json.Float metrics.Sw_sim.Metrics.cycles);
+      ("events", Json.Int metrics.Sw_sim.Metrics.events);
+      ("retries", Json.Int metrics.Sw_sim.Metrics.retries);
+      ("backoff_cycles", Json.Float metrics.Sw_sim.Metrics.backoff_cycles);
+      ( "rendered",
+        Json.Str
+          (Sw_sim.Trace.render ~width:100 ~max_cpes:16
+             ~makespan:metrics.Sw_sim.Metrics.cycles trace) );
+    ]
+
+let metrics_text ?extra state = Sw_obs.Sink.render_metrics ?extra state.sink
+
+let metrics_of_trace path =
+  let* j = Json.parse_file path in
+  let* events =
+    match Json.member "traceEvents" j with
+    | Some v -> (
+        match Json.to_list v with
+        | Some l -> Ok l
+        | None -> Error "field \"traceEvents\": expected an array")
+    | None -> Error "not a Chrome trace file (no \"traceEvents\" field)"
+  in
+  let counters =
+    List.filter_map
+      (fun e ->
+        match Json.member "ph" e with
+        | Some (Json.Str "C") ->
+            let name = Option.bind (Json.member "name" e) Json.to_str in
+            let value =
+              Option.bind (Json.member "args" e) (fun args ->
+                  Option.bind (Json.member "value" args) Json.to_float)
+            in
+            (match (name, value) with Some n, Some v -> Some (n, v) | _ -> None)
+        | _ -> None)
+      events
+  in
+  Ok (Sw_obs.Sink.render_metrics_of counters)
+
+(* Fields that legitimately differ between two executions of the same
+   request: host timing, machine time billed against shared caches,
+   journal bookkeeping, file paths, and the live metrics dump. *)
+let volatile_keys =
+  [
+    "host_wall_s";
+    "host_cpu_s";
+    "tuning_host_s";
+    "tuning_cpu_s";
+    "rank_host_s";
+    "machine_us";
+    "machine_time_us";
+    "rank_machine_us";
+    "machine_events";
+    "events";
+    "journal_hits";
+    "journal_misses";
+    "backend_chain";
+    "checkpoint";
+    "resumed";
+    "text";
+    "counters";
+  ]
+
+let rec strip_volatile = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if List.mem k volatile_keys then None else Some (k, strip_volatile v))
+           fields)
+  | Json.Arr items -> Json.Arr (List.map strip_volatile items)
+  | v -> v
+
+(* ------------------------------------------------------------------ *)
+(* The daemon entry point *)
+
+let op_name = function
+  | Ping -> "ping"
+  | Metrics -> "metrics"
+  | Shutdown -> "shutdown"
+  | Predict _ -> "predict"
+  | Tune _ -> "tune"
+  | Timeline _ -> "timeline"
+
+let run state ?(degrade = false) ?(resumed = false) ?pool ?obs request =
+  Sw_obs.Sink.incr state.sink "handler.requests";
+  Sw_obs.Sink.incr state.sink ("handler." ^ op_name request.verb);
+  let result, degraded =
+    (* A request must never take the daemon down: anything the layers
+       below throw (event limits, invalid configs) is an error
+       response, not a crash. *)
+    try
+      match request.verb with
+      | Ping -> (Ok (Json.Obj [ ("op", Json.Str "ping"); ("pong", Json.Bool true) ]), false)
+      | Shutdown ->
+          (Ok (Json.Obj [ ("op", Json.Str "shutdown"); ("stopping", Json.Bool true) ]), false)
+      | Metrics ->
+          let text = metrics_text state in
+          ( Ok
+              (Json.Obj
+                 [
+                   ("op", Json.Str "metrics");
+                   ("format", Json.Str "prometheus");
+                   ("counters", Json.Int (List.length (Sw_obs.Sink.counters state.sink)));
+                   ("text", Json.Str text);
+                 ]),
+            false )
+      | Predict p -> (
+          match predict state ?obs p with
+          | Ok pr -> (Ok (predict_payload p pr), pr.pr_degraded)
+          | Error msg -> (Error msg, false))
+      | Tune t -> (
+          match tune state ~degrade ?pool ?obs t with
+          | Ok tr -> (Ok (tune_payload t tr), tr.tr_degraded)
+          | Error msg -> (Error msg, false))
+      | Timeline l -> (
+          match timeline state ?obs l with
+          | Ok (metrics, trace) -> (Ok (timeline_payload l metrics trace), false)
+          | Error msg -> (Error msg, false))
+    with exn -> (Error (Printexc.to_string exn), false)
+  in
+  if Result.is_error result then Sw_obs.Sink.incr state.sink "handler.errors";
+  { id = request.id; degraded; resumed; result }

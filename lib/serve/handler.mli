@@ -1,0 +1,218 @@
+(** The request layer shared by the CLI and the [swmodel serve] daemon.
+
+    Every operation the daemon answers — [predict], [tune], [timeline],
+    [ping], [metrics], [shutdown] — lives here as a typed request, one
+    execution function, and one {!Sw_obs.Json} payload builder.  The
+    CLI's [predict]/[tune]/[timeline] subcommands build the same request
+    records and serialize the same payloads through the same functions,
+    which is how a daemon response is {e bit-identical} to the
+    equivalent one-shot CLI invocation (same seed, same backend): there
+    is exactly one code path.
+
+    A {!state} is the process-wide shared context that makes a
+    long-running server worth having: one {!Sw_obs.Sink.t} accumulating
+    counters across requests, and one memoizing wrapper per backend
+    ({!Sw_backend.Backend.memoize}) so repeated assessments of the same
+    (config, kernel, variant) key are answered from cache — on top of
+    the global [Lower.lower_cached] and [Sw_isa.Schedule.block_costs]
+    caches that already survive across calls.  All of it is
+    mutex-guarded and safe to drive from several {!Sw_util.Pool}
+    domains at once. *)
+
+type state
+(** Shared cross-request context (sink, per-backend memo caches,
+    optional state directory and simulation timeout). *)
+
+val create :
+  ?sink:Sw_obs.Sink.t -> ?state_dir:string -> ?sim_timeout_s:float -> unit -> state
+(** [sink] defaults to a fresh one.  [state_dir] is where the server
+    keeps its request log and auto-assigned tune checkpoints (the
+    handler only records it; {!Server} does the journaling).
+    [sim_timeout_s] arms graceful degradation for [predict]: assessments
+    on a simulating backend are wrapped in
+    {!Sw_backend.Backend.with_timeout} chained ({!Sw_backend.Backend.fallback})
+    to the static model, so an over-budget simulation degrades to a
+    model answer (marked [degraded]) instead of stalling the queue. *)
+
+val sink : state -> Sw_obs.Sink.t
+
+val state_dir : state -> string option
+
+val backend : state -> string -> (string * Sw_backend.Backend.t, string) result
+(** [backend state name] resolves [name] (aliases included) to its
+    canonical key plus this state's {e shared memoized} instance —
+    created on first use, reused by every later request naming the same
+    backend. *)
+
+(** {1 Requests} *)
+
+type predict_req = {
+  p_kernel : string;
+  p_scale : float;
+  p_cgs : int;
+  p_grain : int option;
+  p_unroll : int option;
+  p_cpes : int option;
+  p_db : bool;
+  p_backend : string;
+  p_seed : int option;
+  p_faults : int option;
+  p_fault_level : string;
+}
+
+type tune_req = {
+  t_kernel : string;
+  t_scale : float;
+  t_backend : string;
+  t_strategy : string;
+  t_shortlist : int;  (** 0 = a quarter of the space. *)
+  t_rungs : int;
+  t_robust : int;  (** Robust-tuning seeds; 0 = off. *)
+  t_seed : int option;
+  t_faults : int option;
+  t_fault_level : string;
+  t_checkpoint : string option;
+}
+
+type timeline_req = {
+  l_kernel : string;
+  l_scale : float;
+  l_grain : int option;
+  l_unroll : int option;
+  l_cpes : int option;
+  l_db : bool;
+  l_seed : int option;
+  l_faults : int option;
+  l_fault_level : string;
+}
+
+type verb =
+  | Ping
+  | Metrics
+  | Shutdown
+  | Predict of predict_req
+  | Tune of tune_req
+  | Timeline of timeline_req
+
+type request = { id : Sw_obs.Json.t; verb : verb }
+(** [id] is echoed verbatim in the response ([Null] when absent). *)
+
+val predict_defaults : kernel:string -> predict_req
+val tune_defaults : kernel:string -> tune_req
+val timeline_defaults : kernel:string -> timeline_req
+
+val parse_request : string -> (request, string) result
+(** Parse one line-delimited JSON request.  The wire format is an
+    object with an ["op"] field naming the verb plus the flat fields of
+    the corresponding record (["kernel"], ["scale"], ["backend"],
+    ["seed"], …; ["double_buffer"] for the flag); absent fields take
+    the CLI's defaults, unknown fields are ignored, wrong-typed fields
+    are readable errors. *)
+
+val is_tune : request -> bool
+
+val with_checkpoint : request -> string -> request
+(** Fill a tune request's [t_checkpoint] if it has none (identity for
+    every other verb and for explicit checkpoints). *)
+
+val request_key : request -> string
+(** Digest of the request's canonical form, [id] excluded — two
+    requests asking for the same work share a key.  The server derives
+    auto-checkpoint paths from it, so a resumed tune finds the journal
+    its interrupted twin was writing. *)
+
+(** {1 Responses} *)
+
+type response = {
+  id : Sw_obs.Json.t;
+  degraded : bool;  (** Answered by a degraded path (shed or timeout). *)
+  resumed : bool;  (** Replayed from the server's request log. *)
+  result : (Sw_obs.Json.t, string) result;
+}
+
+val response_to_json : response -> Sw_obs.Json.t
+(** [{"id": …, "ok": true, "degraded": b, "resumed": b, "result": …}] on
+    success, [{"id": …, "ok": false, "error": msg}] on failure. *)
+
+val response_to_string : response -> string
+
+val error_response : ?resumed:bool -> Sw_obs.Json.t -> string -> response
+
+(** {1 Execution}
+
+    The typed functions are what the CLI calls (then formats humanly or
+    serializes the payload); {!run} is the daemon's single entry point
+    over a parsed {!request}. *)
+
+type predict_result = {
+  pr_backend : string;  (** Canonical name of the requested backend. *)
+  pr_variant : Sw_swacc.Kernel.variant;  (** Fully resolved variant. *)
+  pr_verdict : Sw_backend.Backend.verdict;
+  pr_degraded : bool;  (** A timeout fallback served this answer. *)
+}
+
+type tune_result = {
+  tr_backend : string;  (** Canonical name of the backend that searched. *)
+  tr_outcome : Sw_tuning.Tuner.outcome;
+  tr_degraded : bool;  (** Shed to model-only shortlist scoring. *)
+}
+
+val predict_config : predict_req -> (Sw_sim.Config.t, string) result
+val tune_config : tune_req -> (Sw_sim.Config.t, string) result
+val timeline_config : timeline_req -> (Sw_sim.Config.t, string) result
+
+val predict :
+  state -> ?obs:Sw_obs.Sink.t -> predict_req -> (predict_result, string) result
+
+val tune :
+  state ->
+  ?degrade:bool ->
+  ?pool:Sw_util.Pool.t ->
+  ?obs:Sw_obs.Sink.t ->
+  tune_req ->
+  (tune_result, string) result
+(** With [degrade] (the server's overload path), the request's backend
+    and strategy are replaced by model-only shortlist scoring (K = a
+    quarter of the space) — the cheapest search that still returns a
+    simulator-validated argmin. *)
+
+val timeline :
+  state ->
+  ?obs:Sw_obs.Sink.t ->
+  timeline_req ->
+  (Sw_sim.Metrics.t * Sw_sim.Trace.t, string) result
+
+val predict_payload : predict_req -> predict_result -> Sw_obs.Json.t
+val tune_payload : tune_req -> tune_result -> Sw_obs.Json.t
+val timeline_payload : timeline_req -> Sw_sim.Metrics.t -> Sw_sim.Trace.t -> Sw_obs.Json.t
+
+val metrics_text : ?extra:(string * float) list -> state -> string
+(** {!Sw_obs.Sink.render_metrics} of the shared sink. *)
+
+val metrics_of_trace : string -> (string, string) result
+(** Offline metrics: read a Chrome trace JSON file (as written by
+    {!Sw_obs.Chrome.write}), pick out its counter events ([ph = "C"])
+    and render them as the same Prometheus-style text — [swmodel
+    metrics --trace FILE]. *)
+
+val strip_volatile : Sw_obs.Json.t -> Sw_obs.Json.t
+(** Recursively drop payload fields that legitimately differ between
+    two executions of the same request (host wall/CPU seconds, machine
+    time billed against shared caches, journal hit counts, checkpoint
+    paths, metrics text).  What remains — cycles, variants, speedups,
+    verdicts — must be bit-identical between the CLI and the daemon;
+    the bench and tests compare through this. *)
+
+val run :
+  state ->
+  ?degrade:bool ->
+  ?resumed:bool ->
+  ?pool:Sw_util.Pool.t ->
+  ?obs:Sw_obs.Sink.t ->
+  request ->
+  response
+(** Execute one request.  Never raises: backend exceptions
+    ({!Sw_sim.Engine.Event_limit}, invalid configurations, …) become
+    error responses, so a malformed or explosive request cannot take
+    the daemon down.  Bumps ["handler.requests"], ["handler.<op>"] and
+    ["handler.errors"] on the shared sink. *)

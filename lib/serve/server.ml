@@ -1,0 +1,311 @@
+module Json = Sw_obs.Json
+
+type config = { queue_capacity : int; shed_watermark : int; metrics_every : int }
+
+let default_config = { queue_capacity = 64; shed_watermark = 8; metrics_every = 0 }
+
+type stats = {
+  served : int;
+  errors : int;
+  degraded : int;
+  resumed : int;
+  batches : int;
+  max_batch : int;
+  shutdown : bool;
+}
+
+let zero_stats =
+  { served = 0; errors = 0; degraded = 0; resumed = 0; batches = 0; max_batch = 0; shutdown = false }
+
+(* ------------------------------------------------------------------ *)
+(* Line reader over a raw file descriptor.
+
+   [In_channel] buffering would hide pending lines from [select], so
+   batching reads the descriptor directly: what is in [pending] plus
+   what [select] says is readable is exactly the queue depth the
+   admission policy can see. *)
+
+type reader = { fd : Unix.file_descr; mutable pending : string; mutable eof : bool }
+
+let reader fd = { fd; pending = ""; eof = false }
+
+let rec read_chunk r =
+  let chunk = Bytes.create 8192 in
+  match Unix.read r.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> r.eof <- true
+  | k -> r.pending <- r.pending ^ Bytes.sub_string chunk 0 k
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_chunk r
+
+let rec next_line r =
+  match String.index_opt r.pending '\n' with
+  | Some i ->
+      let line = String.sub r.pending 0 i in
+      r.pending <- String.sub r.pending (i + 1) (String.length r.pending - i - 1);
+      Some line
+  | None ->
+      if r.eof then
+        if r.pending = "" then None
+        else begin
+          let line = r.pending in
+          r.pending <- "";
+          Some line
+        end
+      else begin
+        read_chunk r;
+        next_line r
+      end
+
+let has_buffered_line r = String.contains r.pending '\n' || (r.eof && r.pending <> "")
+
+let readable_now r =
+  match Unix.select [ r.fd ] [] [] 0.0 with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let blank line = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') line
+
+(* Block for one request, then drain whatever else already arrived:
+   the batch size is the observed queue depth, which is what the shed
+   policy keys on. *)
+let read_batch config r =
+  let rec first () =
+    match next_line r with
+    | None -> None
+    | Some line when blank line -> first ()
+    | Some line -> Some line
+  in
+  match first () with
+  | None -> []
+  | Some line ->
+      let rec drain acc n =
+        if n >= config.queue_capacity then List.rev acc
+        else if has_buffered_line r || ((not r.eof) && readable_now r) then
+          match next_line r with
+          | None -> List.rev acc
+          | Some line when blank line -> drain acc n
+          | Some line -> drain (line :: acc) (n + 1)
+        else List.rev acc
+      in
+      drain [ line ] 1
+
+(* ------------------------------------------------------------------ *)
+(* Crash-recovery request log.
+
+   One line per event: {"rq": N, "ev": "begin", "req": "<raw line>"}
+   before a request executes, {"rq": N, "ev": "end"} after its response
+   is on the wire.  A begin without an end is a request some crash or
+   signal interrupted — replayed (marked [resumed]) on the next start.
+   Only predict/tune/timeline are logged; ping/metrics/shutdown are not
+   worth replaying. *)
+
+type request_log = { chan : out_channel; mutable seq : int }
+
+let log_line chan fields =
+  output_string chan (Json.to_string (Json.Obj fields));
+  output_char chan '\n';
+  flush chan
+
+let scan_log path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let begins = Hashtbl.create 16 in
+    let max_seq = ref 0 in
+    In_channel.with_open_bin path (fun ic ->
+        let rec go () =
+          match In_channel.input_line ic with
+          | None -> ()
+          | Some line ->
+              (* a torn final line (kill mid-write) parses as an error
+                 and is ignored, same as the backend journals *)
+              (match Json.parse line with
+              | Ok j -> (
+                  match
+                    ( Option.bind (Json.member "rq" j) Json.to_int,
+                      Option.bind (Json.member "ev" j) Json.to_str )
+                  with
+                  | Some rq, Some "begin" ->
+                      max_seq := Stdlib.max !max_seq rq;
+                      Option.iter
+                        (fun req -> Hashtbl.replace begins rq req)
+                        (Option.bind (Json.member "req" j) Json.to_str)
+                  | Some rq, Some "end" ->
+                      max_seq := Stdlib.max !max_seq rq;
+                      Hashtbl.remove begins rq
+                  | _ -> ())
+              | Error _ -> ());
+              go ()
+        in
+        go ());
+    let unfinished =
+      List.sort compare (Hashtbl.fold (fun rq req acc -> (rq, req) :: acc) begins [])
+    in
+    (unfinished, !max_seq)
+  end
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let open_log dir seq =
+  let path = Filename.concat dir "requests.jsonl" in
+  let chan = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  { chan; seq }
+
+let log_begin log line =
+  log.seq <- log.seq + 1;
+  let rq = log.seq in
+  log_line log.chan [ ("rq", Json.Int rq); ("ev", Json.Str "begin"); ("req", Json.Str line) ];
+  rq
+
+let log_end log rq = log_line log.chan [ ("rq", Json.Int rq); ("ev", Json.Str "end") ]
+
+let loggable (req : Handler.request) =
+  match req.Handler.verb with
+  | Handler.Predict _ | Handler.Tune _ | Handler.Timeline _ -> true
+  | Handler.Ping | Handler.Metrics | Handler.Shutdown -> false
+
+(* Auto-assign a checkpoint journal to tunes that did not bring one:
+   the path is a pure function of the request (its key), so the resume
+   pass reopens the journal the interrupted run was writing. *)
+let assign_checkpoint state req =
+  match Handler.state_dir state with
+  | Some dir when Handler.is_tune req ->
+      Handler.with_checkpoint req
+        (Filename.concat dir ("tune-" ^ Handler.request_key req ^ ".journal"))
+  | _ -> req
+
+(* ------------------------------------------------------------------ *)
+
+let serve ?(config = default_config) ?pool state ~input ~output =
+  let sink = Handler.sink state in
+  let stats = ref zero_stats in
+  let emit (resp : Handler.response) =
+    output_string output (Handler.response_to_string resp);
+    output_char output '\n';
+    flush output;
+    Sw_obs.Sink.incr sink "serve.responses";
+    let s = !stats in
+    stats :=
+      {
+        s with
+        served = s.served + 1;
+        errors = (s.errors + if Result.is_error resp.Handler.result then 1 else 0);
+        degraded = (s.degraded + if resp.Handler.degraded then 1 else 0);
+        resumed = (s.resumed + if resp.Handler.resumed then 1 else 0);
+      };
+    if Result.is_error resp.Handler.result then Sw_obs.Sink.incr sink "serve.errors";
+    if resp.Handler.degraded then Sw_obs.Sink.incr sink "serve.degraded";
+    if resp.Handler.resumed then Sw_obs.Sink.incr sink "serve.resumed";
+    if config.metrics_every > 0 && !stats.served mod config.metrics_every = 0 then
+      prerr_string (Handler.metrics_text state)
+  in
+  let log =
+    match Handler.state_dir state with
+    | None -> None
+    | Some dir ->
+        ensure_dir dir;
+        let unfinished, max_seq = scan_log (Filename.concat dir "requests.jsonl") in
+        let log = open_log dir max_seq in
+        (* replay what a crash interrupted before accepting new work *)
+        List.iter
+          (fun (rq, line) ->
+            (match Handler.parse_request line with
+            | Error msg -> emit (Handler.error_response ~resumed:true Json.Null msg)
+            | Ok req ->
+                let req = assign_checkpoint state req in
+                emit (Handler.run state ~resumed:true ?pool req));
+            log_end log rq)
+          unfinished;
+        Some log
+  in
+  let r = reader input in
+  let rec loop () =
+    match read_batch config r with
+    | [] -> ()
+    | lines ->
+        let depth = List.length lines in
+        Sw_obs.Sink.incr sink ~by:depth "serve.requests";
+        Sw_obs.Sink.incr sink "serve.batches";
+        stats :=
+          {
+            !stats with
+            batches = !stats.batches + 1;
+            max_batch = Stdlib.max !stats.max_batch depth;
+          };
+        let parsed =
+          List.mapi
+            (fun i line ->
+              match Handler.parse_request line with
+              | Error msg -> (i, line, Error msg)
+              | Ok req -> (i, line, Ok (assign_checkpoint state req)))
+            lines
+        in
+        (* begin markers hit the disk before any execution starts, so a
+           kill anywhere in the batch leaves a replayable record *)
+        let marked =
+          List.map
+            (fun (i, line, p) ->
+              let rq =
+                match (log, p) with
+                | Some log, Ok req when loggable req -> Some (log_begin log line)
+                | _ -> None
+              in
+              (i, p, rq))
+            parsed
+        in
+        let responses =
+          Sw_util.Pool.map_opt pool
+            (fun (i, p, rq) ->
+              let resp =
+                match p with
+                | Error msg -> Handler.error_response Json.Null msg
+                | Ok req ->
+                    let degrade = Handler.is_tune req && i >= config.shed_watermark in
+                    Handler.run state ~degrade req
+              in
+              (p, rq, resp))
+            marked
+        in
+        let stop =
+          List.fold_left
+            (fun stop (p, rq, resp) ->
+              emit resp;
+              (match (log, rq) with Some log, Some rq -> log_end log rq | _ -> ());
+              match p with
+              | Ok { Handler.verb = Handler.Shutdown; _ } -> true
+              | _ -> stop)
+            false responses
+        in
+        if stop then stats := { !stats with shutdown = true } else loop ()
+  in
+  loop ();
+  Option.iter (fun log -> close_out log.chan) log;
+  !stats
+
+let add_stats a b =
+  {
+    served = a.served + b.served;
+    errors = a.errors + b.errors;
+    degraded = a.degraded + b.degraded;
+    resumed = a.resumed + b.resumed;
+    batches = a.batches + b.batches;
+    max_batch = Stdlib.max a.max_batch b.max_batch;
+    shutdown = a.shutdown || b.shutdown;
+  }
+
+let serve_socket ?config ?pool state ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 8;
+  let rec accept_loop acc =
+    let client, _ = Unix.accept srv in
+    let output = Unix.out_channel_of_descr client in
+    let stats = serve ?config ?pool state ~input:client ~output in
+    (try Unix.close client with Unix.Unix_error _ -> ());
+    let acc = add_stats acc stats in
+    if stats.shutdown then acc else accept_loop acc
+  in
+  let stats = accept_loop zero_stats in
+  (try Unix.close srv with Unix.Unix_error _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  stats

@@ -1,0 +1,69 @@
+(** The [swmodel serve] request loop: line-delimited JSON in, one JSON
+    response line out per request, in request order.
+
+    {b Admission and overload.}  Requests are read in batches: the loop
+    blocks for the first line, then drains whatever else is already
+    pending (up to [queue_capacity]) and executes the batch on the
+    {!Sw_util.Pool} — so a burst is served concurrently while a trickle
+    costs nothing.  Within a batch, [tune] requests queued at or past
+    [shed_watermark] are shed to model-only shortlist scoring
+    ({!Handler.tune} with [degrade]): under flood the service answers
+    every request quickly with the cheap backend rather than letting
+    tail latency grow without bound, and marks those responses
+    [degraded: true].
+
+    {b Crash recovery.}  With a state directory
+    ({!Handler.create}'s [state_dir]), every accepted request is
+    appended to [requests.jsonl] ({e begin} marker before execution,
+    {e end} marker after its response is written), and [tune] requests
+    without an explicit checkpoint get one auto-assigned under the same
+    directory (derived from {!Handler.request_key}).  On startup the
+    server replays begin-without-end requests — the ones a crash or
+    [SIGTERM] interrupted — re-emitting their responses marked
+    [resumed: true]; an interrupted tune resumes from its checkpoint
+    journal and recomputes only the points it had not resolved. *)
+
+type config = {
+  queue_capacity : int;  (** Max requests drained into one batch. *)
+  shed_watermark : int;
+      (** Batch position from which [tune] requests degrade to
+          model-only scoring. *)
+  metrics_every : int;
+      (** Dump Prometheus metrics to [stderr] every N responses
+          (0 = never). *)
+}
+
+val default_config : config
+(** [{ queue_capacity = 64; shed_watermark = 8; metrics_every = 0 }] *)
+
+type stats = {
+  served : int;  (** Responses written (errors included). *)
+  errors : int;
+  degraded : int;
+  resumed : int;  (** Responses replayed from the request log. *)
+  batches : int;
+  max_batch : int;  (** Deepest batch observed (queue high-water mark). *)
+  shutdown : bool;  (** A [shutdown] request (vs EOF) ended the loop. *)
+}
+
+val serve :
+  ?config:config ->
+  ?pool:Sw_util.Pool.t ->
+  Handler.state ->
+  input:Unix.file_descr ->
+  output:out_channel ->
+  stats
+(** Serve until EOF on [input] or a [shutdown] request.  Responses are
+    written to [output] one line each, flushed, in the order the
+    requests arrived (concurrent execution never reorders).  Lines that
+    fail to parse get an [ok: false] response with a [null] id; blank
+    lines are skipped.  Bumps ["serve.requests"/"serve.responses"/
+    "serve.batches"/"serve.errors"/"serve.degraded"/"serve.resumed"]
+    on the handler's sink. *)
+
+val serve_socket :
+  ?config:config -> ?pool:Sw_util.Pool.t -> Handler.state -> path:string -> stats
+(** Bind a Unix-domain socket at [path] (replacing any stale file) and
+    serve connections one at a time — each connection is a {!serve}
+    session over the same shared state — until one sends [shutdown].
+    Returns the accumulated stats. *)

@@ -171,6 +171,35 @@ let tune_method ~method_ ?strategy ?active_cpes ?default ?pool ?obs ?checkpoint 
   tune ~backend:(backend_of_method method_) ?strategy ?active_cpes ?default ?pool ?obs
     ?checkpoint config kernel ~points
 
+let outcome_to_json o =
+  let open Sw_obs.Json in
+  Obj
+    [
+      ("backend", Str o.backend);
+      ("strategy", Str o.strategy);
+      ( "best",
+        Obj
+          [
+            ("grain", Int o.best.Sw_swacc.Kernel.grain);
+            ("unroll", Int o.best.Sw_swacc.Kernel.unroll);
+            ("active_cpes", Int o.best.Sw_swacc.Kernel.active_cpes);
+            ("double_buffer", Bool o.best.Sw_swacc.Kernel.double_buffer);
+          ] );
+      ("best_cycles", Float o.best_cycles);
+      ("default_cycles", Float o.default_cycles);
+      ("speedup", Float o.speedup);
+      ("tuning_host_s", Float o.tuning_host_s);
+      ("tuning_cpu_s", Float o.tuning_cpu_s);
+      ("machine_time_us", Float o.machine_time_us);
+      ("evaluated", Int o.evaluated);
+      ("infeasible", Int o.infeasible);
+      ("pruned", Int o.points_pruned);
+      ("rank_host_s", Float o.rank_host_s);
+      ("rank_machine_us", Float o.rank_machine_us);
+      ("journal_hits", Int o.journal_hits);
+      ("journal_misses", Int o.journal_misses);
+    ]
+
 let quality_loss ~static ~empirical =
   (static.best_cycles -. empirical.best_cycles) /. empirical.best_cycles
 

@@ -153,6 +153,13 @@ val tune_method :
 (** [tune ~backend:(backend_of_method method_)] — the paper's original
     interface.  Numerically identical to the pre-backend tuners. *)
 
+val outcome_to_json : outcome -> Sw_obs.Json.t
+(** The canonical machine-readable form of an outcome — the object the
+    CLI's [tune --json] prints and the [swmodel serve] daemon returns as
+    a tune response's [result] (which is how the two stay bit-identical:
+    they serialize the same value through {!Sw_obs.Json.to_string}).
+    Fields mirror the record; [points_pruned] appears as ["pruned"]. *)
+
 val quality_loss : static:outcome -> empirical:outcome -> float
 (** Relative slowdown of the static tuner's pick vs the empirical one's:
     [(static.best_cycles - empirical.best_cycles) / empirical.best_cycles]. *)

@@ -1,0 +1,592 @@
+(* The service layer: Json parse/build round-trips, the Prometheus
+   renderer, request parsing and keys, handler payloads (validated and
+   bit-identical between the daemon path and the one-shot CLI path),
+   shared-state safety under concurrent memoize+journal traffic, and
+   the server loop itself (ordering, shedding, error resilience, crash
+   resume) driven over real file descriptors. *)
+
+module Json = Sw_obs.Json
+module Sink = Sw_obs.Sink
+module Backend = Sw_backend.Backend
+module Handler = Sw_serve.Handler
+module Server = Sw_serve.Server
+
+let config = Sw_sim.Config.default Sw_arch.Params.default
+
+let entry name = Sw_workloads.Registry.find_exn name
+
+let json = Alcotest.testable (Fmt.of_to_string Json.to_string) ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Json builder/parser round-trips *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 0.1;
+      Json.Float 1.0;
+      Json.Float (-0.0);
+      Json.Float 1e300;
+      Json.Float 6.5e-21;
+      Json.Float 486038.40000000014;
+      Json.Str "";
+      Json.Str "plain";
+      Json.Str "esc \" \\ \n \t \r quotes";
+      Json.Str "caf\xc3\xa9";  (* utf-8 survives *)
+      Json.Arr [];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.Arr [ Json.Int 1; Json.Float 2.5; Json.Null ]);
+          ("b", Json.Obj [ ("nested", Json.Str "x") ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match Json.parse (Json.to_string v) with
+      | Ok v' -> Alcotest.check json (Json.to_string v) v v'
+      | Error msg -> Alcotest.failf "%s does not parse back: %s" (Json.to_string v) msg)
+    cases;
+  (* the Int/Float syntactic classes survive a round-trip *)
+  Alcotest.check json "float stays float" (Json.Float 3.0)
+    (Result.get_ok (Json.parse (Json.to_string (Json.Float 3.0))));
+  Alcotest.check json "int stays int" (Json.Int 3)
+    (Result.get_ok (Json.parse (Json.to_string (Json.Int 3))))
+
+let test_json_roundtrip_qcheck () =
+  let gen =
+    QCheck.float_range (-1e18) 1e18
+  in
+  let prop f =
+    match Json.parse (Json.float_lit f) with
+    | Ok (Json.Float f') -> Int64.bits_of_float f' = Int64.bits_of_float f
+    | Ok (Json.Int i) -> float_of_int i = f
+    | _ -> false
+  in
+  QCheck.Test.check_exn (QCheck.Test.make ~count:500 ~name:"float_lit round-trips" gen prop)
+
+let test_json_parse_unicode () =
+  (match Json.parse {|"café"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "bmp escape" "caf\xc3\xa9" s
+  | _ -> Alcotest.fail "bmp escape did not parse");
+  match Json.parse {|"😀"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair did not parse"
+
+let test_json_parse_errors () =
+  let rejects s =
+    match Json.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parser accepted %S" s
+  in
+  List.iter rejects
+    [
+      "";
+      "{";
+      "[1,]";
+      "{\"a\": }";
+      "0x10";
+      "1 2";
+      "\"unterminated";
+      "\"bad \\q escape\"";
+      "nul";
+      "{\"a\": 1,}";
+    ];
+  (* accessors are total *)
+  Alcotest.(check (option int)) "to_int on str" None (Json.to_int (Json.Str "3"));
+  Alcotest.(check (option int)) "to_int on integral float" (Some 3) (Json.to_int (Json.Float 3.0));
+  Alcotest.(check (option string)) "member on non-obj" None
+    (Option.bind (Json.member "k" (Json.Arr [])) Json.to_str)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus rendering *)
+
+let test_render_metrics () =
+  let s = Sink.create () in
+  Sink.incr s ~by:3 "serve.requests";
+  Sink.add s "tuner.machine_us" 12.5;
+  let text = Sink.render_metrics ~extra:[ ("up", 1.0) ] s in
+  Alcotest.(check string) "exact text"
+    "# TYPE swpm_serve_requests counter\nswpm_serve_requests 3\n# TYPE swpm_tuner_machine_us \
+     counter\nswpm_tuner_machine_us 12.5\n# TYPE swpm_up counter\nswpm_up 1\n"
+    text
+
+let test_render_metrics_collisions () =
+  (* sanitization collisions merge by summing instead of repeating a
+     metric name (which Prometheus scrapers reject) *)
+  let text = Sink.render_metrics_of [ ("a.b", 1.0); ("a_b", 2.0); ("z-y", 0.25) ] in
+  Alcotest.(check string) "merged"
+    "# TYPE swpm_a_b counter\nswpm_a_b 3\n# TYPE swpm_z_y counter\nswpm_z_y 0.25\n" text
+
+let test_metrics_of_trace () =
+  let s = Sink.create () in
+  Sink.incr s ~by:7 "backend.sim.ok";
+  Sink.add s "backend.sim.machine_us" 123.25;
+  let path = Filename.temp_file "serve_trace" ".json" in
+  Sw_obs.Chrome.write path s;
+  let offline = Handler.metrics_of_trace path in
+  Sys.remove path;
+  match offline with
+  | Error msg -> Alcotest.failf "metrics_of_trace: %s" msg
+  | Ok text ->
+      (* the offline dump restates the live renderer exactly *)
+      Alcotest.(check string) "offline = live" (Sink.render_metrics s) text
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing and keys *)
+
+let test_parse_request_defaults () =
+  match Handler.parse_request {|{"op": "tune", "kernel": "kmeans"}|} with
+  | Error msg -> Alcotest.fail msg
+  | Ok { Handler.id; verb } -> (
+      Alcotest.check json "absent id is null" Json.Null id;
+      match verb with
+      | Handler.Tune t ->
+          Alcotest.(check string) "backend default" "model" t.Handler.t_backend;
+          Alcotest.(check string) "strategy default" "exhaustive" t.Handler.t_strategy;
+          Alcotest.(check string) "fault level default" "mild" t.Handler.t_fault_level;
+          Alcotest.(check (option int)) "seed default" None t.Handler.t_seed;
+          Alcotest.(check (option string)) "checkpoint default" None t.Handler.t_checkpoint
+      | _ -> Alcotest.fail "wrong verb")
+
+let test_parse_request_errors () =
+  let err line =
+    match Handler.parse_request line with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.failf "accepted %S" line
+  in
+  Alcotest.(check bool) "invalid json" true (String.length (err "nonsense") > 0);
+  Alcotest.(check string) "missing op" "missing field \"op\"" (err {|{"kernel": "x"}|});
+  Alcotest.(check string) "missing kernel" "missing field \"kernel\"" (err {|{"op": "predict"}|});
+  Alcotest.(check string) "typed field" "field \"seed\": expected an integer"
+    (err {|{"op": "predict", "kernel": "kmeans", "seed": "7"}|});
+  Alcotest.(check bool) "unknown op named" true
+    (String.length (err {|{"op": "frobnicate"}|}) > 0)
+
+let test_request_key () =
+  let parse line = Result.get_ok (Handler.parse_request line) in
+  let a = parse {|{"id": 1, "op": "tune", "kernel": "kmeans", "seed": 5}|} in
+  let b = parse {|{"id": 2, "op": "tune", "kernel": "kmeans", "seed": 5}|} in
+  let c = parse {|{"id": 1, "op": "tune", "kernel": "kmeans", "seed": 6}|} in
+  Alcotest.(check string) "id does not change the key" (Handler.request_key a)
+    (Handler.request_key b);
+  Alcotest.(check bool) "seed changes the key" true
+    (Handler.request_key a <> Handler.request_key c);
+  (* an auto-assigned checkpoint must not move the key, or the resume
+     pass would derive a different journal path than the crashed run *)
+  Alcotest.(check string) "checkpoint does not change the key" (Handler.request_key a)
+    (Handler.request_key (Handler.with_checkpoint a "/tmp/x.journal"))
+
+let test_strip_volatile () =
+  let payload =
+    Json.Obj
+      [
+        ("cycles", Json.Float 42.0);
+        ("host_wall_s", Json.Float 0.1);
+        ("nested", Json.Obj [ ("machine_us", Json.Float 3.0); ("keep", Json.Int 1) ]);
+        ("arr", Json.Arr [ Json.Obj [ ("journal_hits", Json.Int 2) ] ]);
+      ]
+  in
+  Alcotest.check json "volatile stripped recursively"
+    (Json.Obj
+       [
+         ("cycles", Json.Float 42.0);
+         ("nested", Json.Obj [ ("keep", Json.Int 1) ]);
+         ("arr", Json.Arr [ Json.Obj [] ]);
+       ])
+    (Handler.strip_volatile payload)
+
+(* ------------------------------------------------------------------ *)
+(* Handler execution: every emitted JSON validates, and the daemon path
+   equals the one-shot CLI path *)
+
+let run_line state line =
+  Handler.run state (Result.get_ok (Handler.parse_request line))
+
+let test_every_response_validates () =
+  let state = Handler.create () in
+  let lines =
+    [
+      {|{"id": 1, "op": "ping"}|};
+      {|{"id": 2, "op": "metrics"}|};
+      {|{"id": 3, "op": "shutdown"}|};
+      {|{"id": 4, "op": "predict", "kernel": "kmeans"}|};
+      {|{"id": 5, "op": "predict", "kernel": "nbody", "backend": "sim", "seed": 7}|};
+      {|{"id": 6, "op": "tune", "kernel": "lud", "strategy": "shortlist"}|};
+      {|{"id": 7, "op": "timeline", "kernel": "kmeans", "faults": 3}|};
+      {|{"id": 8, "op": "predict", "kernel": "nope"}|};
+      {|{"id": 9, "op": "tune", "kernel": "kmeans", "strategy": "nope"}|};
+    ]
+  in
+  List.iter
+    (fun line ->
+      let resp = run_line state line in
+      let text = Handler.response_to_string resp in
+      (match Json.validate text with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s -> invalid response (%s): %s" line msg text);
+      (* serialization round-trips through this module's own parser *)
+      Alcotest.check json line (Handler.response_to_json resp)
+        (Result.get_ok (Json.parse text)))
+    lines;
+  (* error responses really are errors *)
+  let resp = run_line state {|{"id": 8, "op": "predict", "kernel": "nope"}|} in
+  Alcotest.(check bool) "unknown kernel is an error" true (Result.is_error resp.Handler.result)
+
+let test_daemon_equals_oneshot () =
+  let check_line line =
+    let daemon =
+      let state = Handler.create () in
+      match (run_line state line).Handler.result with
+      | Ok payload -> Handler.strip_volatile payload
+      | Error msg -> Alcotest.failf "daemon path failed: %s" msg
+    in
+    let oneshot =
+      let state = Handler.create () in
+      match (run_line state line).Handler.result with
+      | Ok payload -> Handler.strip_volatile payload
+      | Error msg -> Alcotest.failf "one-shot path failed: %s" msg
+    in
+    Alcotest.check json line daemon oneshot
+  in
+  (* two fresh states (daemon vs CLI one-shot are both Handler.run on a
+     fresh state) must agree bit-for-bit on the stable fields *)
+  List.iter check_line
+    [
+      {|{"op": "predict", "kernel": "nbody", "backend": "sim", "seed": 11}|};
+      {|{"op": "predict", "kernel": "kmeans", "backend": "hybrid"}|};
+      {|{"op": "tune", "kernel": "kmeans", "backend": "sim", "strategy": "shortlist", "seed": 11}|};
+      {|{"op": "timeline", "kernel": "lud", "seed": 11, "faults": 2}|};
+    ]
+
+let test_shared_memo_across_requests () =
+  let state = Handler.create () in
+  let line = {|{"op": "predict", "kernel": "nbody", "backend": "sim", "seed": 7}|} in
+  let cycles resp =
+    match resp.Handler.result with
+    | Ok payload -> Option.bind (Json.member "cycles" payload) Json.to_float
+    | Error msg -> Alcotest.failf "predict failed: %s" msg
+  in
+  let first = cycles (run_line state line) in
+  let hits_before = Sink.counter (Handler.sink state) "memo.hits" in
+  let second = cycles (run_line state line) in
+  Alcotest.(check (option (float 0.0))) "identical cycles" first second;
+  Alcotest.(check (float 0.0)) "second request hit the shared memo" (hits_before +. 1.0)
+    (Sink.counter (Handler.sink state) "memo.hits")
+
+let test_degraded_tune_uses_model () =
+  let state = Handler.create () in
+  let req =
+    { (Handler.tune_defaults ~kernel:"kmeans") with Handler.t_backend = "sim"; t_seed = Some 3 }
+  in
+  match Handler.tune state ~degrade:true req with
+  | Error msg -> Alcotest.fail msg
+  | Ok tr ->
+      Alcotest.(check bool) "marked degraded" true tr.Handler.tr_degraded;
+      Alcotest.(check string) "served by the model" "model" tr.Handler.tr_backend
+
+let test_predict_timeout_degrades_to_model () =
+  (* limit 0 disqualifies every simulation post-hoc, so the fallback
+     chain answers with the static model and flags degradation *)
+  let state = Handler.create ~sim_timeout_s:0.0 () in
+  let req =
+    {
+      (Handler.predict_defaults ~kernel:"kmeans") with
+      Handler.p_backend = "sim";
+      p_seed = Some 3;
+    }
+  in
+  match Handler.predict state req with
+  | Error msg -> Alcotest.fail msg
+  | Ok pr ->
+      Alcotest.(check bool) "degraded" true pr.Handler.pr_degraded;
+      let model =
+        let state = Handler.create () in
+        Result.get_ok (Handler.predict state { req with Handler.p_backend = "model" })
+      in
+      Alcotest.(check (float 0.0)) "model answered"
+        model.Handler.pr_verdict.Backend.cycles pr.Handler.pr_verdict.Backend.cycles
+
+(* ------------------------------------------------------------------ *)
+(* Shared-state safety: concurrent memoize + journal append from 4
+   domains with interleaved (repeated) requests gives exact hit/miss
+   counts and a bit-identical argmin versus sequential. *)
+
+let test_concurrent_memo_journal_exact () =
+  let e = entry "kmeans" in
+  let kernel = e.Sw_workloads.Registry.build ~scale:1.0 in
+  let points =
+    Sw_tuning.Space.enumerate ~grains:e.Sw_workloads.Registry.grains
+      ~unrolls:e.Sw_workloads.Registry.unrolls ()
+  in
+  let variants = List.map (Sw_tuning.Space.to_variant ~active_cpes:64) points in
+  let n = List.length variants in
+  let path = Filename.temp_file "serve_memo" ".journal" in
+  Sys.remove path;
+  (* memo outermost so every duplicate is answered single-flight (exact
+     counters under any interleaving); the journal underneath sees each
+     distinct key exactly once, appended from whichever domain got
+     there first *)
+  let jnl = Backend.journal ~path config Backend.simulator in
+  let memo = Backend.memoize (Backend.journaled jnl) in
+  let b = Backend.memoized memo in
+  let jobs = variants @ variants @ variants in
+  let pool = Sw_util.Pool.create ~size:4 () in
+  let par = Sw_util.Pool.map pool (fun v -> Backend.assess b config kernel v) jobs in
+  Backend.journal_close jnl;
+  Alcotest.(check int) "misses = distinct keys" n (Backend.memo_misses memo);
+  Alcotest.(check int) "hits = duplicates" (2 * n) (Backend.memo_hits memo);
+  Alcotest.(check int) "journal appends = distinct keys" n (Backend.journal_misses jnl);
+  (* every copy of every verdict is bit-identical to a fresh sequential
+     assessment *)
+  let seq = List.map (fun v -> Backend.assess Backend.simulator config kernel v) variants in
+  let cycles = function Ok v -> v.Backend.cycles | Error _ -> Float.nan in
+  List.iteri
+    (fun i r ->
+      let reference = List.nth seq (i mod n) in
+      Alcotest.(check bool)
+        (Printf.sprintf "job %d bit-identical" i)
+        true
+        (Int64.bits_of_float (cycles r) = Int64.bits_of_float (cycles reference)))
+    par;
+  (* a resumed run replays the whole journal and reaches the same
+     argmin without recomputing anything *)
+  let jnl2 = Backend.journal ~path config Backend.simulator in
+  let b2 = Backend.journaled jnl2 in
+  let replayed = List.map (fun v -> Backend.assess b2 config kernel v) variants in
+  Backend.journal_close jnl2;
+  Sys.remove path;
+  Alcotest.(check int) "replay answers everything" n (Backend.journal_hits jnl2);
+  let argmin rs =
+    List.fold_left
+      (fun (best_i, best_c) (i, r) ->
+        match r with
+        | Ok v when v.Backend.cycles < best_c -> (i, v.Backend.cycles)
+        | _ -> (best_i, best_c))
+      (-1, Float.infinity)
+      (List.mapi (fun i r -> (i, r)) rs)
+  in
+  let si, sc = argmin seq and ri, rc = argmin replayed in
+  Alcotest.(check int) "same argmin index" si ri;
+  Alcotest.(check bool) "argmin cycles bit-identical" true
+    (Int64.bits_of_float sc = Int64.bits_of_float rc)
+
+(* ------------------------------------------------------------------ *)
+(* The server loop over real descriptors *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "serve_state" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+(* feed the server its requests from a file (deterministic batching:
+   everything is readable at once) and collect response lines *)
+let run_server ?config:cfg ?state lines =
+  let state = match state with Some s -> s | None -> Handler.create () in
+  let req_path = Filename.temp_file "serve_req" ".jsonl" in
+  let out_path = Filename.temp_file "serve_out" ".jsonl" in
+  let oc = open_out req_path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  let input = Unix.openfile req_path [ Unix.O_RDONLY ] 0 in
+  let output = open_out out_path in
+  let stats = Server.serve ?config:cfg state ~input ~output in
+  Unix.close input;
+  close_out output;
+  let responses = In_channel.with_open_bin out_path In_channel.input_all in
+  Sys.remove req_path;
+  Sys.remove out_path;
+  let lines = String.split_on_char '\n' responses in
+  (List.filter (fun l -> l <> "") lines, stats)
+
+let parse_resp line =
+  match Json.parse line with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "response is not JSON (%s): %s" msg line
+
+let test_server_ordering_and_resilience () =
+  let lines =
+    [
+      {|{"id": 1, "op": "ping"}|};
+      "this is not json";
+      {|{"id": 2, "op": "predict", "kernel": "kmeans"}|};
+      "";
+      {|{"id": 3, "op": "predict", "kernel": "nope"}|};
+      {|{"id": 4, "op": "ping"}|};
+    ]
+  in
+  let responses, stats = run_server lines in
+  (* blank line skipped; every other line answered, in order *)
+  Alcotest.(check int) "five responses" 5 (List.length responses);
+  Alcotest.(check int) "stats agree" 5 stats.Server.served;
+  Alcotest.(check int) "two errors (bad json, bad kernel)" 2 stats.Server.errors;
+  let ids =
+    List.map (fun l -> Option.value (Json.member "id" (parse_resp l)) ~default:Json.Null) responses
+  in
+  Alcotest.(check (list json)) "ids echoed in request order"
+    [ Json.Int 1; Json.Null; Json.Int 2; Json.Int 3; Json.Int 4 ]
+    ids;
+  let oks =
+    List.map (fun l -> Option.bind (Json.member "ok" (parse_resp l)) Json.to_bool) responses
+  in
+  Alcotest.(check (list (option bool))) "ok flags"
+    [ Some true; Some false; Some true; Some false; Some true ]
+    oks
+
+let test_server_shed_watermark_exact () =
+  let lines =
+    List.init 5 (fun i ->
+        Printf.sprintf {|{"id": %d, "op": "tune", "kernel": "kmeans", "backend": "sim"}|} i)
+    @ [ Printf.sprintf {|{"id": 5, "op": "predict", "kernel": "kmeans"}|} ]
+  in
+  let cfg = { Server.default_config with Server.shed_watermark = 2 } in
+  let responses, stats = run_server ~config:cfg lines in
+  Alcotest.(check int) "all answered" 6 (List.length responses);
+  Alcotest.(check int) "exactly the tunes past the watermark shed" 3 stats.Server.degraded;
+  List.iteri
+    (fun i line ->
+      let j = parse_resp line in
+      let degraded = Option.bind (Json.member "degraded" j) Json.to_bool in
+      let expect = i >= 2 && i < 5 in
+      Alcotest.(check (option bool)) (Printf.sprintf "position %d" i) (Some expect) degraded;
+      if expect then
+        Alcotest.(check (option json)) "shed tune served by the model" (Some (Json.Str "model"))
+          (Option.map
+             (fun r -> Option.value (Json.member "backend" r) ~default:Json.Null)
+             (Json.member "result" j)))
+    responses
+
+let test_server_shutdown_and_pool () =
+  let pool = Sw_util.Pool.create ~size:4 () in
+  let lines =
+    [
+      {|{"id": 1, "op": "predict", "kernel": "kmeans", "backend": "sim"}|};
+      {|{"id": 2, "op": "predict", "kernel": "nbody", "backend": "sim"}|};
+      {|{"op": "shutdown"}|};
+      {|{"id": 99, "op": "ping"}|};
+    ]
+  in
+  let responses, stats = run_server lines in
+  let pooled_responses, pooled_stats =
+    let state = Handler.create () in
+    let req_path = Filename.temp_file "serve_req" ".jsonl" in
+    let out_path = Filename.temp_file "serve_out" ".jsonl" in
+    let oc = open_out req_path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    let input = Unix.openfile req_path [ Unix.O_RDONLY ] 0 in
+    let output = open_out out_path in
+    let stats = Server.serve ~pool state ~input ~output in
+    Unix.close input;
+    close_out output;
+    let all = In_channel.with_open_bin out_path In_channel.input_all in
+    Sys.remove req_path;
+    Sys.remove out_path;
+    (List.filter (fun l -> l <> "") (String.split_on_char '\n' all), stats)
+  in
+  Alcotest.(check bool) "shutdown stops the loop" true stats.Server.shutdown;
+  (* the shutdown request is answered; the ping after it in the same
+     batch is too (the batch completes), but nothing further is read *)
+  Alcotest.(check int) "batch completes" 4 (List.length responses);
+  Alcotest.(check bool) "pooled shutdown too" true pooled_stats.Server.shutdown;
+  (* pooled execution is invisible: same responses in the same order *)
+  Alcotest.(check (list json)) "pool(4) bit-identical to sequential"
+    (List.map (fun l -> Handler.strip_volatile (parse_resp l)) responses)
+    (List.map (fun l -> Handler.strip_volatile (parse_resp l)) pooled_responses)
+
+let test_server_resume_from_request_log () =
+  with_temp_dir (fun dir ->
+      let tune_line = {|{"id": "t1", "op": "tune", "kernel": "kmeans", "backend": "sim"}|} in
+      (* manufacture a crashed session: a begin marker with no end *)
+      let log = open_out (Filename.concat dir "requests.jsonl") in
+      output_string log
+        (Json.to_string
+           (Json.Obj
+              [ ("rq", Json.Int 1); ("ev", Json.Str "begin"); ("req", Json.Str tune_line) ])
+        ^ "\n");
+      close_out log;
+      let state = Handler.create ~state_dir:dir () in
+      let responses, stats = run_server ~state [] in
+      Alcotest.(check int) "one replayed response" 1 (List.length responses);
+      Alcotest.(check int) "counted as resumed" 1 stats.Server.resumed;
+      let j = parse_resp (List.hd responses) in
+      Alcotest.(check (option bool)) "marked resumed" (Some true)
+        (Option.bind (Json.member "resumed" j) Json.to_bool);
+      Alcotest.(check (option bool)) "and ok" (Some true)
+        (Option.bind (Json.member "ok" j) Json.to_bool);
+      (* the resumed tune ran under an auto-assigned checkpoint *)
+      let checkpoints =
+        List.filter
+          (fun f -> Filename.check_suffix f ".journal")
+          (Array.to_list (Sys.readdir dir))
+      in
+      Alcotest.(check int) "auto checkpoint created" 1 (List.length checkpoints);
+      (* its best matches the plain one-shot run bit for bit *)
+      let oneshot =
+        let state = Handler.create () in
+        match (run_line state tune_line).Handler.result with
+        | Ok payload -> Handler.strip_volatile payload
+        | Error msg -> Alcotest.fail msg
+      in
+      let resumed_payload =
+        Handler.strip_volatile (Option.get (Json.member "result" j))
+      in
+      Alcotest.check json "resumed result = one-shot result" oneshot resumed_payload;
+      (* a second start finds the end marker and replays nothing *)
+      let responses2, stats2 = run_server ~state:(Handler.create ~state_dir:dir ()) [] in
+      Alcotest.(check int) "nothing left to resume" 0 (List.length responses2);
+      Alcotest.(check int) "no resumed" 0 stats2.Server.resumed)
+
+let tests =
+  ( "serve",
+    [
+      Alcotest.test_case "json builder/parser round-trips" `Quick test_json_roundtrip;
+      Alcotest.test_case "json float literals round-trip (qcheck)" `Quick
+        test_json_roundtrip_qcheck;
+      Alcotest.test_case "json unicode escapes decode" `Quick test_json_parse_unicode;
+      Alcotest.test_case "json parser rejects, accessors total" `Quick test_json_parse_errors;
+      Alcotest.test_case "render_metrics exact text" `Quick test_render_metrics;
+      Alcotest.test_case "render_metrics merges collisions" `Quick
+        test_render_metrics_collisions;
+      Alcotest.test_case "metrics --trace restates live metrics" `Quick test_metrics_of_trace;
+      Alcotest.test_case "parse_request applies CLI defaults" `Quick
+        test_parse_request_defaults;
+      Alcotest.test_case "parse_request readable errors" `Quick test_parse_request_errors;
+      Alcotest.test_case "request keys ignore id and checkpoint" `Quick test_request_key;
+      Alcotest.test_case "strip_volatile is recursive" `Quick test_strip_volatile;
+      Alcotest.test_case "every response validates and round-trips" `Quick
+        test_every_response_validates;
+      Alcotest.test_case "daemon result = one-shot result" `Quick test_daemon_equals_oneshot;
+      Alcotest.test_case "memo cache survives across requests" `Quick
+        test_shared_memo_across_requests;
+      Alcotest.test_case "degraded tune sheds to the model" `Quick
+        test_degraded_tune_uses_model;
+      Alcotest.test_case "predict timeout degrades to the model" `Quick
+        test_predict_timeout_degrades_to_model;
+      Alcotest.test_case "concurrent memoize+journal is exact (4 domains)" `Quick
+        test_concurrent_memo_journal_exact;
+      Alcotest.test_case "server answers in order, survives bad input" `Quick
+        test_server_ordering_and_resilience;
+      Alcotest.test_case "server sheds exactly past the watermark" `Quick
+        test_server_shed_watermark_exact;
+      Alcotest.test_case "server shutdown; pool(4) bit-identical" `Quick
+        test_server_shutdown_and_pool;
+      Alcotest.test_case "server resumes an interrupted tune" `Quick
+        test_server_resume_from_request_log;
+    ] )
