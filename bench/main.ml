@@ -525,6 +525,218 @@ let gflops () =
   Sw_experiments.Gflops.print (Sw_experiments.Gflops.run ())
 
 (* ------------------------------------------------------------------ *)
+(* The learned surrogate: held-out fit quality, DiffTune-style
+   calibration recovery, and the dense-space tuning claim.
+
+   Gates (exit 1): held-out Spearman rho >= 0.85 on every tuning
+   kernel; >= 2 of 3 perturbed simulator parameters recovered within
+   10%; on a dense tuning space the adaptive surrogate-ranked search
+   returns the sim-exhaustive argmin for >= 5x less simulated machine
+   time, training bill included. *)
+
+let learn_bench () =
+  section "Learned surrogate: CV gates, calibration recovery, dense-space cut";
+  let params = Sw_arch.Params.default in
+  let config = Sw_sim.Config.default params in
+  let pool = Lazy.force pool in
+  (* --- held-out cross-validation on sim-labelled tuning spaces --- *)
+  let cv_table =
+    Sw_util.Table.create ~title:"held-out cross-validation (5-fold, sim labels, scale 0.25)"
+      Sw_util.Table.
+        [ ("kernel", Left); ("points", Right); ("MAPE", Right); ("Spearman rho", Right) ]
+  in
+  let cv_rows =
+    List.map
+      (fun (entry : Sw_workloads.Registry.entry) ->
+        let kernel = entry.Sw_workloads.Registry.build ~scale:0.25 in
+        let rows =
+          Sw_util.Pool.filter_map pool
+            (fun pt ->
+              let v = Sw_tuning.Space.to_variant pt ~active_cpes:64 in
+              match
+                ( Sw_learn.Features.of_variant params kernel v,
+                  Sw_backend.Backend.assess Sw_backend.Backend.simulator config kernel v )
+              with
+              | Ok x, Ok verdict -> Some (x, verdict.Sw_backend.Backend.cycles)
+              | _ -> None)
+            (Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
+               ~unrolls:entry.Sw_workloads.Registry.unrolls ())
+        in
+        let xs = Array.of_list (List.map fst rows) in
+        let ys = Array.of_list (List.map snd rows) in
+        let cv = Sw_learn.Regressor.cross_validate xs ys in
+        Sw_util.Table.add_row cv_table
+          [
+            entry.Sw_workloads.Registry.name;
+            string_of_int cv.Sw_learn.Regressor.n;
+            Printf.sprintf "%.1f%%" (100.0 *. cv.Sw_learn.Regressor.mape);
+            Printf.sprintf "%.3f" cv.Sw_learn.Regressor.rank_correlation;
+          ];
+        (entry.Sw_workloads.Registry.name, cv))
+      Sw_workloads.Registry.tuning_subset
+  in
+  Sw_util.Table.print cv_table;
+  let min_rho =
+    List.fold_left
+      (fun acc (_, cv) -> Float.min acc cv.Sw_learn.Regressor.rank_correlation)
+      1.0 cv_rows
+  in
+  let rho_ok = min_rho >= 0.85 in
+  Printf.printf "worst held-out Spearman rho %.3f (gate: >= 0.85)\n\n" min_rho;
+  (* --- prediction throughput: a trained surrogate vs the simulator --- *)
+  let entry = Sw_workloads.Registry.find_exn "kmeans" in
+  let kernel = entry.Sw_workloads.Registry.build ~scale:1.0 in
+  let variant = entry.Sw_workloads.Registry.variant in
+  Sw_learn.Surrogate.clear_cache ();
+  let surrogate = Sw_learn.Surrogate.make () in
+  ignore (Sw_backend.Backend.assess surrogate config kernel variant) (* train *);
+  let timed_rate n f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      f ()
+    done;
+    float_of_int n /. Float.max 1e-9 (Unix.gettimeofday () -. t0)
+  in
+  let surrogate_per_s =
+    timed_rate 200 (fun () ->
+        ignore (Sw_backend.Backend.assess surrogate config kernel variant))
+  in
+  let sim_per_s =
+    timed_rate 3 (fun () ->
+        ignore (Sw_backend.Backend.assess Sw_backend.Backend.simulator config kernel variant))
+  in
+  Printf.printf
+    "throughput (kmeans, scale 1.0): surrogate %.0f assessments/s, simulator %.1f/s (%.0fx)\n\n"
+    surrogate_per_s sim_per_s
+    (surrogate_per_s /. Float.max 1e-9 sim_per_s);
+  (* --- DiffTune inverse: recover perturbed simulator parameters --- *)
+  let calib = Sw_experiments.Calibration_study.run () in
+  Sw_experiments.Calibration_study.print calib;
+  let recovered =
+    List.filter
+      (fun r -> r.Sw_experiments.Calibration_study.r_error <= 0.10)
+      calib.Sw_experiments.Calibration_study.recoveries
+  in
+  let calib_ok = List.length recovered >= 2 in
+  Printf.printf "\n%d of %d parameters within 10%% (gate: >= 2)\n\n" (List.length recovered)
+    (List.length calib.Sw_experiments.Calibration_study.recoveries);
+  (* --- the dense-space claim: on the spaces a learned ranker exists
+     for, exhaustive simulation pays per point while the adaptive
+     search pays one twin-trained model plus a couple of rungs --- *)
+  let dense_grains = [ 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ] in
+  let dense_unrolls = [ 1; 2; 4; 8; 16 ] in
+  let dense_table =
+    Sw_util.Table.create ~title:"dense space (50 points), sim-exhaustive vs adaptive(surrogate)"
+      Sw_util.Table.
+        [
+          ("kernel", Left);
+          ("points", Right);
+          ("exhaustive us", Right);
+          ("adaptive us", Right);
+          ("cut", Right);
+          ("same argmin", Left);
+        ]
+  in
+  Sw_learn.Surrogate.clear_cache ();
+  let dense =
+    List.map
+      (fun name ->
+        let entry = Sw_workloads.Registry.find_exn name in
+        let kernel = entry.Sw_workloads.Registry.build ~scale:1.0 in
+        let points = Sw_tuning.Space.enumerate ~grains:dense_grains ~unrolls:dense_unrolls () in
+        let default =
+          Sw_experiments.Table2.guideline_default params kernel ~grains:dense_grains
+        in
+        let tune strategy =
+          Sw_isa.Schedule.clear_cache ();
+          Sw_swacc.Lower.clear_cache ();
+          Sw_tuning.Tuner.tune_exn ~backend:Sw_backend.Backend.simulator ~strategy ~default
+            ~pool config kernel ~points
+        in
+        let exhaustive = tune Sw_tuning.Search.exhaustive in
+        let adaptive =
+          tune (Sw_tuning.Search.adaptive_shortlist ~rank:(Sw_learn.Surrogate.make ()) ~k:6 ())
+        in
+        let same = adaptive.Sw_tuning.Tuner.best = exhaustive.Sw_tuning.Tuner.best in
+        let cut =
+          exhaustive.Sw_tuning.Tuner.machine_time_us
+          /. Float.max 1e-9 adaptive.Sw_tuning.Tuner.machine_time_us
+        in
+        Sw_util.Table.add_row dense_table
+          [
+            name;
+            string_of_int (List.length points);
+            Printf.sprintf "%.0f" exhaustive.Sw_tuning.Tuner.machine_time_us;
+            Printf.sprintf "%.0f" adaptive.Sw_tuning.Tuner.machine_time_us;
+            Printf.sprintf "%.1fx" cut;
+            (if same then "yes" else "NO");
+          ];
+        (name, exhaustive, adaptive, same))
+      [ "kmeans"; "vector-add" ]
+  in
+  Sw_util.Table.print dense_table;
+  let dense_same = List.for_all (fun (_, _, _, same) -> same) dense in
+  let ex_total =
+    List.fold_left
+      (fun acc (_, (e : Sw_tuning.Tuner.outcome), _, _) -> acc +. e.Sw_tuning.Tuner.machine_time_us)
+      0.0 dense
+  in
+  let ad_total =
+    List.fold_left
+      (fun acc (_, _, (a : Sw_tuning.Tuner.outcome), _) -> acc +. a.Sw_tuning.Tuner.machine_time_us)
+      0.0 dense
+  in
+  let dense_cut = ex_total /. Float.max 1e-9 ad_total in
+  let dense_ok = dense_same && dense_cut >= 5.0 in
+  Printf.printf "dense-space machine-time cut %.1fx, training bill included (gate: >= 5x)\n"
+    dense_cut;
+  if not rho_ok then Printf.printf "GATE FAILED: worst Spearman rho %.3f < 0.85\n" min_rho;
+  if not calib_ok then
+    Printf.printf "GATE FAILED: fewer than 2 parameters recovered within 10%%\n";
+  if not dense_same then
+    Printf.printf "GATE FAILED: adaptive surrogate changed the argmin on a dense space\n";
+  if dense_same && dense_cut < 5.0 then
+    Printf.printf "GATE FAILED: dense-space machine-time cut %.2fx < 5x\n" dense_cut;
+  add_json "learn"
+    (json_obj
+       [
+         ( "cv",
+           json_list
+             (List.map
+                (fun (name, (cv : Sw_learn.Regressor.cv)) ->
+                  json_obj
+                    [
+                      ("kernel", Printf.sprintf "%S" name);
+                      ("points", string_of_int cv.Sw_learn.Regressor.n);
+                      ("mape", json_float cv.Sw_learn.Regressor.mape);
+                      ("spearman", json_float cv.Sw_learn.Regressor.rank_correlation);
+                    ])
+                cv_rows) );
+         ("min_spearman", json_float min_rho);
+         ("surrogate_per_s", json_float surrogate_per_s);
+         ("simulator_per_s", json_float sim_per_s);
+         ( "calibration",
+           json_list
+             (List.map
+                (fun (r : Sw_experiments.Calibration_study.recovery) ->
+                  json_obj
+                    [
+                      ("name", Printf.sprintf "%S" r.Sw_experiments.Calibration_study.r_name);
+                      ("truth", json_float r.Sw_experiments.Calibration_study.r_truth);
+                      ("fitted", json_float r.Sw_experiments.Calibration_study.r_fitted);
+                      ("error", json_float r.Sw_experiments.Calibration_study.r_error);
+                    ])
+                calib.Sw_experiments.Calibration_study.recoveries) );
+         ("calibration_recovered", string_of_int (List.length recovered));
+         ("dense_exhaustive_machine_us", json_float ex_total);
+         ("dense_adaptive_machine_us", json_float ad_total);
+         ("dense_machine_reduction", json_float dense_cut);
+         ("dense_same_pick", string_of_bool dense_same);
+         ("gates_ok", string_of_bool (rho_ok && calib_ok && dense_ok));
+       ]);
+  if not (rho_ok && calib_ok && dense_ok) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: the cost centers behind Table II          *)
 
 let microbench () =
@@ -938,6 +1150,7 @@ let all =
     ("input-sensitivity", input_sensitivity);
     ("gflops", gflops);
     ("hybrid", hybrid);
+    ("learn", learn_bench);
     ("micro", microbench);
     ("engine", engine);
     ("serve", serve_bench);

@@ -88,8 +88,8 @@ let config_of params ~seed ~faults ~fault_level =
 let backend_arg =
   let doc =
     "Cost backend: $(b,model) (static model), $(b,sim) (cycle-level simulator), $(b,hybrid) \
-     (model + one profile) or $(b,roofline).  Aliases: static, static-model, empirical, \
-     simulator."
+     (model + one profile), $(b,roofline) or $(b,surrogate) (learned ridge regressor fitted on \
+     simulator-labelled samples).  Aliases: static, static-model, empirical, simulator."
   in
   Arg.(value & opt string "model" & info [ "backend"; "method" ] ~docv:"BACKEND" ~doc)
 
@@ -222,11 +222,20 @@ let simulate_cmd =
 let strategy_arg =
   let doc =
     "Search strategy: $(b,exhaustive) (assess every point), $(b,shortlist) (rank the space \
-     with the static model, assess only the top $(b,--shortlist) points) or $(b,halving) \
-     (successive halving over event budgets).  Pruned strategies cut tuning cost; the shortlist \
-     returns the exhaustive argmin whenever the model ranks the true best into the top K."
+     with the $(b,--rank) backend, assess only the top $(b,--shortlist) points), \
+     $(b,adaptive) (shortlist whose K doubles until the incumbent survives a whole rung) or \
+     $(b,halving) (successive halving over event budgets).  Pruned strategies cut tuning cost; \
+     the shortlist returns the exhaustive argmin whenever the ranker places the true best \
+     into the top K."
   in
   Arg.(value & opt string "exhaustive" & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let rank_arg =
+  let doc =
+    "Ranking backend for $(b,--strategy) shortlist/adaptive/robust: any backend name \
+     (e.g. $(b,surrogate) for the learned ranker); default the static model."
+  in
+  Arg.(value & opt (some string) None & info [ "rank" ] ~docv:"BACKEND" ~doc)
 
 let shortlist_arg =
   let doc = "Shortlist size K for --strategy shortlist (0 = a quarter of the space)." in
@@ -253,8 +262,8 @@ let robust_arg =
   Arg.(value & opt int 0 & info [ "robust" ] ~docv:"SEEDS" ~doc)
 
 let tune_cmd =
-  let run name scale backend_name strategy_name shortlist_k rungs json domains trace seed faults
-      fault_level checkpoint robust_seeds =
+  let run name scale backend_name strategy_name rank shortlist_k rungs json domains trace seed
+      faults fault_level checkpoint robust_seeds =
     Option.iter Sw_util.Prng.set_global_seed seed;
     let req =
       {
@@ -262,6 +271,7 @@ let tune_cmd =
         Sw_serve.Handler.t_scale = scale;
         t_backend = backend_name;
         t_strategy = strategy_name;
+        t_rank = rank;
         t_shortlist = shortlist_k;
         t_rungs = rungs;
         t_robust = robust_seeds;
@@ -312,8 +322,8 @@ let tune_cmd =
   Cmd.v
     (Cmd.info "tune" ~doc:"Auto-tune a kernel's tile size and unroll factor under a cost backend.")
     Term.(
-      const run $ kernel_arg $ scale_arg $ backend_arg $ strategy_arg $ shortlist_arg $ rungs_arg
-      $ json_arg $ domains_arg $ trace_arg $ seed_arg $ faults_arg $ fault_level_arg
+      const run $ kernel_arg $ scale_arg $ backend_arg $ strategy_arg $ rank_arg $ shortlist_arg
+      $ rungs_arg $ json_arg $ domains_arg $ trace_arg $ seed_arg $ faults_arg $ fault_level_arg
       $ checkpoint_arg $ robust_arg)
 
 let fig6_cmd =
@@ -469,6 +479,23 @@ let coalescing_cmd =
   Cmd.v
     (Cmd.info "coalescing" ~doc:"Gload coalescing on the irregular kernels.")
     Term.(const run $ scale_arg)
+
+let calibrate_cmd =
+  let run scale sweeps =
+    Sw_experiments.Calibration_study.print
+      (Sw_experiments.Calibration_study.run ~scale ~sweeps ())
+  in
+  let sweeps_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "sweeps" ] ~docv:"N" ~doc:"Coordinate-descent sweeps over the parameter set.")
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Calibration study: recover perturbed simulator parameters (latency, bandwidth) from \
+          measured cycles alone, DiffTune-style.")
+    Term.(const run $ scale_arg $ sweeps_arg)
 
 let robustness_cmd =
   let run scale domains seeds fault_level csv_out =
@@ -685,7 +712,12 @@ let main =
       gflops_cmd;
       coalescing_cmd;
       robustness_cmd;
+      calibrate_cmd;
       sweep_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* make "surrogate" resolvable even on code paths that never build a
+     handler (plain Backend.find users) *)
+  Sw_learn.Surrogate.install ();
+  exit (Cmd.eval main)

@@ -118,6 +118,37 @@ val cycles_exn :
   t -> Sw_sim.Config.t -> Sw_swacc.Kernel.t -> Sw_swacc.Kernel.variant -> float
 (** [(assess_exn …).cycles]. *)
 
+(** {1 Implementing estimators}
+
+    Helpers for third-party backends (the learned surrogate lives in a
+    separate library and registers itself through {!register}): [timed]
+    measures host wall/CPU seconds around an assessment body and builds
+    the {!cost} record; [static_result] applies the strict-cutoff
+    classification every closed-form estimator shares. *)
+
+val timed :
+  (unit ->
+  [ `Infeasible of infeasibility
+  | `Priced of float * float * int * Swpm.Predict.t option
+  | `Cut of float * float * int ]) ->
+  assessment
+(** Run the body and stamp its outcome with measured host seconds.
+    [`Priced (cycles, machine_us, machine_events, breakdown)] becomes
+    {!Assessed}; [`Cut (at, machine_us, machine_events)] becomes
+    {!Cut_off} with the sunk cost billed. *)
+
+val static_result :
+  ?cutoff:float ->
+  float ->
+  Swpm.Predict.t option ->
+  [ `Infeasible of infeasibility
+  | `Priced of float * float * int * Swpm.Predict.t option
+  | `Cut of float * float * int ]
+(** [static_result ?cutoff cycles breakdown] prices a closed-form
+    prediction at zero machine time, classifying it as [`Cut] when it
+    strictly exceeds the cutoff (ties are still priced, preserving
+    exhaustive tie-breaking). *)
+
 (** {1 The four estimators} *)
 
 val static_model : t

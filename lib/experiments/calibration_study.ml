@@ -1,0 +1,108 @@
+module Calibrate = Sw_learn.Calibrate
+module Config = Sw_sim.Config
+
+type recovery = {
+  r_name : string;
+  r_nominal : float;
+  r_truth : float;
+  r_fitted : float;
+  r_error : float;
+}
+
+type result = {
+  recoveries : recovery list;
+  n_points : int;
+  report : Calibrate.report;
+}
+
+let default_factors = [ ("l_base", 1.25); ("delta_delay", 1.5); ("mem_bw", 0.7) ]
+
+let perturb ?(factors = default_factors) config =
+  List.fold_left
+    (fun c (spec : Calibrate.param_spec) ->
+      match List.assoc_opt spec.Calibrate.p_name factors with
+      | Some f -> spec.Calibrate.p_set c (spec.Calibrate.p_get c *. f)
+      | None -> c)
+    config Calibrate.default_params
+
+(* Label small-scale kernels on the "real machine" — the simulator
+   running the perturbed configuration.  The mix matters: small grains
+   are latency-dominated (l_base, delta_delay), large grains are
+   bandwidth-dominated (mem_bw), and BFS adds gload traffic, so every
+   fitted parameter has points that move when it does. *)
+let points ?(scale = 0.25) truth =
+  let label (entry : Sw_workloads.Registry.entry) ~active_cpes =
+    let kernel = entry.Sw_workloads.Registry.build ~scale in
+    List.concat_map
+      (fun grain ->
+        List.filter_map
+          (fun unroll ->
+            let v = { Sw_swacc.Kernel.grain; unroll; active_cpes; double_buffer = false } in
+            match Sw_backend.Backend.assess Sw_backend.Backend.simulator truth kernel v with
+            | Ok verdict ->
+                Some
+                  {
+                    Calibrate.c_kernel = kernel;
+                    c_variant = v;
+                    c_cycles = verdict.Sw_backend.Backend.cycles;
+                  }
+            | Error _ -> None
+            | exception _ -> None)
+          entry.Sw_workloads.Registry.unrolls)
+      entry.Sw_workloads.Registry.grains
+  in
+  let kmeans = Sw_workloads.Registry.find_exn "kmeans" in
+  let bfs = Sw_workloads.Registry.find_exn "bfs" in
+  label kmeans ~active_cpes:64 @ label kmeans ~active_cpes:32 @ label bfs ~active_cpes:64
+
+let run ?scale ?factors ?(sweeps = 3) () =
+  let nominal = Config.default Sw_arch.Params.default in
+  let truth = perturb ?factors nominal in
+  let pts = points ?scale truth in
+  let report = Calibrate.fit ~sweeps nominal pts in
+  let recoveries =
+    List.map
+      (fun (spec : Calibrate.param_spec) ->
+        let r_nominal = spec.Calibrate.p_get nominal in
+        let r_truth = spec.Calibrate.p_get truth in
+        let r_fitted = spec.Calibrate.p_get report.Calibrate.fitted in
+        {
+          r_name = spec.Calibrate.p_name;
+          r_nominal;
+          r_truth;
+          r_fitted;
+          r_error = Float.abs (r_fitted -. r_truth) /. Float.max r_truth 1e-9;
+        })
+      Calibrate.default_params
+  in
+  { recoveries; n_points = List.length pts; report }
+
+let print r =
+  let t =
+    Sw_util.Table.create ~title:"Calibration study: recover a perturbed machine"
+      [
+        ("parameter", Sw_util.Table.Left);
+        ("nominal", Sw_util.Table.Right);
+        ("truth", Sw_util.Table.Right);
+        ("fitted", Sw_util.Table.Right);
+        ("error", Sw_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun rec_ ->
+      Sw_util.Table.add_row t
+        [
+          rec_.r_name;
+          Sw_util.Table.cell_f rec_.r_nominal;
+          Sw_util.Table.cell_f rec_.r_truth;
+          Sw_util.Table.cell_f rec_.r_fitted;
+          Sw_util.Table.cell_pct rec_.r_error;
+        ])
+    r.recoveries;
+  Sw_util.Table.print t;
+  Printf.printf
+    "%d measured points, %d loss evaluations; loss %.4f -> %.4f\n\
+     (DiffTune-style: coordinate descent on the simulator's latency/bandwidth parameters \
+     against measurements from the perturbed machine)\n"
+    r.n_points r.report.Calibrate.evals r.report.Calibrate.initial_loss
+    r.report.Calibrate.final_loss

@@ -1,0 +1,156 @@
+module Backend = Sw_backend.Backend
+module Config = Sw_sim.Config
+module Params = Sw_arch.Params
+
+type param_spec = {
+  p_name : string;
+  p_get : Config.t -> float;
+  p_set : Config.t -> float -> Config.t;
+  p_min : float;
+  p_max : float;
+}
+
+let set_params config params = { config with Config.params }
+
+let round_pos v = Stdlib.max 1 (int_of_float (Float.round v))
+
+let l_base =
+  {
+    p_name = "l_base";
+    p_get = (fun c -> float_of_int c.Config.params.Params.l_base);
+    p_set =
+      (fun c v ->
+        set_params c { c.Config.params with Params.l_base = round_pos v });
+    p_min = 16.0;
+    p_max = 4000.0;
+  }
+
+let delta_delay =
+  {
+    p_name = "delta_delay";
+    p_get = (fun c -> float_of_int c.Config.params.Params.delta_delay);
+    p_set =
+      (fun c v ->
+        set_params c { c.Config.params with Params.delta_delay = round_pos v });
+    p_min = 1.0;
+    p_max = 1000.0;
+  }
+
+let mem_bw =
+  {
+    p_name = "mem_bw";
+    p_get = (fun c -> c.Config.params.Params.mem_bw_bytes_per_s);
+    p_set =
+      (fun c v ->
+        set_params c { c.Config.params with Params.mem_bw_bytes_per_s = v });
+    p_min = 1e9;
+    p_max = 1e12;
+  }
+
+let dma_issue_cost =
+  {
+    p_name = "dma_issue_cost";
+    p_get = (fun c -> float_of_int c.Config.dma_issue_cost);
+    p_set = (fun c v -> { c with Config.dma_issue_cost = round_pos v });
+    p_min = 1.0;
+    p_max = 512.0;
+  }
+
+let dma_wait_cost =
+  {
+    p_name = "dma_wait_cost";
+    p_get = (fun c -> float_of_int c.Config.dma_wait_cost);
+    p_set = (fun c v -> { c with Config.dma_wait_cost = round_pos v });
+    p_min = 1.0;
+    p_max = 512.0;
+  }
+
+let default_params = [ l_base; delta_delay; mem_bw ]
+
+type point = {
+  c_kernel : Sw_swacc.Kernel.t;
+  c_variant : Sw_swacc.Kernel.variant;
+  c_cycles : float;
+}
+
+(* an infeasible or crashing point under a candidate configuration is a
+   strong vote against that candidate, not a reason to abort the fit *)
+let penalty = 1e6
+
+let loss ?(backend = Backend.simulator) config points =
+  let n = List.length points in
+  if n = 0 then invalid_arg "Calibrate.loss: no points";
+  let total =
+    List.fold_left
+      (fun acc p ->
+        let err =
+          match Backend.assess backend config p.c_kernel p.c_variant with
+          | Ok v ->
+              let d =
+                Float.log (Float.max v.Backend.cycles 1e-9)
+                -. Float.log (Float.max p.c_cycles 1e-9)
+              in
+              d *. d
+          | Error _ -> penalty
+          | exception _ -> penalty
+        in
+        acc +. err)
+      0.0 points
+  in
+  total /. float_of_int n
+
+type report = {
+  fitted : Config.t;
+  initial_loss : float;
+  final_loss : float;
+  evals : int;
+  trajectory : (string * float) list;
+}
+
+let fit ?(params = default_params) ?(sweeps = 3) ?(grid = 5) ?(span = 2.0) ?backend base
+    points =
+  if points = [] then invalid_arg "Calibrate.fit: no points";
+  if params = [] then invalid_arg "Calibrate.fit: no parameters";
+  let grid = Stdlib.max 3 grid in
+  let evals = ref 0 in
+  let eval config =
+    incr evals;
+    match Config.validate config with
+    | Error _ -> Float.infinity
+    | Ok config -> loss ?backend config points
+  in
+  let current = ref base in
+  let current_loss = ref (eval base) in
+  let initial_loss = !current_loss in
+  let sweep_span = ref span in
+  for _sweep = 1 to sweeps do
+    List.iter
+      (fun spec ->
+        let v0 = spec.p_get !current in
+        let lo = Float.max spec.p_min (v0 /. !sweep_span) in
+        let hi = Float.min spec.p_max (v0 *. !sweep_span) in
+        let llo = Float.log lo and lhi = Float.log hi in
+        for i = 0 to grid - 1 do
+          let v =
+            Float.exp (llo +. ((lhi -. llo) *. float_of_int i /. float_of_int (grid - 1)))
+          in
+          (* skip re-evaluating the incumbent value *)
+          if Float.abs (v -. v0) > 1e-9 *. Float.max 1.0 (Float.abs v0) then begin
+            let candidate = spec.p_set !current v in
+            let l = eval candidate in
+            if l < !current_loss then begin
+              current := candidate;
+              current_loss := l
+            end
+          end
+        done)
+      params;
+    sweep_span := Float.max 1.05 (sqrt !sweep_span)
+  done;
+  {
+    fitted = !current;
+    initial_loss;
+    final_loss = !current_loss;
+    evals = !evals;
+    trajectory = List.map (fun spec -> (spec.p_name, spec.p_get !current)) params;
+  }

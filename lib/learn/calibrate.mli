@@ -1,0 +1,81 @@
+(** DiffTune-style simulator calibration: fit latency/bandwidth
+    parameters of a {!Sw_sim.Config.t} against measured points.
+
+    The forward direction (the surrogate) learns to predict the
+    simulator; this is the inverse: given observations [(kernel,
+    variant, measured cycles)] from a machine whose parameters are
+    unknown — a fault-perturbed configuration, a future hardware
+    revision — recover the parameter values that make the simulator
+    reproduce the measurements.  The optimizer is plain coordinate
+    descent on a multiplicative grid (each sweep scans each parameter
+    over a log-spaced grid around its current value and keeps the best,
+    then the grid span contracts), minimizing mean squared log-error.
+    Every candidate configuration is validated before simulation and a
+    candidate that breaks a point outright scores a large penalty, so
+    the fit can never return a configuration the engine rejects. *)
+
+type param_spec = {
+  p_name : string;
+  p_get : Sw_sim.Config.t -> float;
+  p_set : Sw_sim.Config.t -> float -> Sw_sim.Config.t;
+      (** Integer-valued parameters round to the nearest int. *)
+  p_min : float;  (** Absolute clamp, inclusive. *)
+  p_max : float;
+}
+
+val l_base : param_spec
+(** Baseline memory latency ([params.l_base], cycles). *)
+
+val delta_delay : param_spec
+(** Per-extra-transaction delay ([params.delta_delay], cycles). *)
+
+val mem_bw : param_spec
+(** Per-core-group bandwidth ([params.mem_bw_bytes_per_s]). *)
+
+val dma_issue_cost : param_spec
+
+val dma_wait_cost : param_spec
+
+val default_params : param_spec list
+(** [[l_base; delta_delay; mem_bw]] — the subset the calibration study
+    perturbs and recovers. *)
+
+type point = {
+  c_kernel : Sw_swacc.Kernel.t;
+  c_variant : Sw_swacc.Kernel.variant;
+  c_cycles : float;  (** Measured cycles of that variant. *)
+}
+
+val loss :
+  ?backend:Sw_backend.Backend.t -> Sw_sim.Config.t -> point list -> float
+(** Mean squared log-error of the backend (default the simulator) under
+    this configuration against the measured points; infeasible or
+    raising points contribute a fixed large penalty. *)
+
+type report = {
+  fitted : Sw_sim.Config.t;
+  initial_loss : float;
+  final_loss : float;
+  evals : int;  (** Loss evaluations performed (each is [|points|] runs). *)
+  trajectory : (string * float) list;
+      (** Final value of every fitted parameter, in [params] order. *)
+}
+
+val fit :
+  ?params:param_spec list ->
+  ?sweeps:int ->
+  ?grid:int ->
+  ?span:float ->
+  ?backend:Sw_backend.Backend.t ->
+  Sw_sim.Config.t ->
+  point list ->
+  report
+(** [fit base points] starts from [base] and descends [params] (default
+    {!default_params}) for [sweeps] (default 3) rounds.  Each round
+    scans each parameter over [grid] (default 5, at least 3)
+    log-spaced candidates spanning a factor of [span] (default 2.0)
+    around its current value — clamped to the spec's absolute bounds —
+    and keeps a candidate only on strict improvement; the span
+    contracts by [sqrt] each sweep.  Deterministic: no randomness, ties
+    keep the incumbent.
+    @raise Invalid_argument on an empty point list or parameter list. *)

@@ -1,0 +1,146 @@
+module Kernel = Sw_swacc.Kernel
+module Lower = Sw_swacc.Lower
+module Lowered = Sw_swacc.Lowered
+
+let names =
+  [|
+    "log_grain";
+    "log_unroll";
+    "double_buffer";
+    "log_active_cpes";
+    "log_chunks_per_cpe";
+    "log_dma_reqs_per_cpe";
+    "avg_mrt";
+    "log_payload_per_req";
+    "dma_wasted_frac";
+    "log_gloads_per_cpe";
+    "log_gload_bytes";
+    "log_compute_cycles";
+    "avg_ilp";
+    "frac_float";
+    "frac_mem";
+    "spm_frac";
+    "log_op_intensity";
+    "memory_bound";
+    "log_model_cycles";
+    "log_roofline_cycles";
+  |]
+
+let dim = Array.length names
+
+(* sizes enter as log1p (always finite, monotone), ratios are guarded
+   against empty denominators — the finiteness property tests rely on
+   every component being finite for every feasible variant *)
+let log1p x = Float.log (1.0 +. Float.max 0.0 x)
+
+let finite x = if Float.is_finite x then x else 0.0
+
+let of_summary params (kernel : Kernel.t) (variant : Kernel.variant)
+    (s : Lowered.summary) =
+  let active = float_of_int (Stdlib.max 1 s.Lowered.active_cpes) in
+  let chunks = float_of_int (Kernel.total_chunks kernel ~grain:variant.Kernel.grain) in
+  let reqs = Lowered.dma_requests_per_cpe s in
+  let req_count = List.fold_left (fun a g -> a +. g.Lowered.count) 0.0 s.Lowered.dma_groups in
+  let payload_per_req =
+    if req_count > 0.0 then
+      List.fold_left
+        (fun a g -> a +. (float_of_int g.Lowered.payload_bytes *. g.Lowered.count))
+        0.0 s.Lowered.dma_groups
+      /. req_count
+    else 0.0
+  in
+  let trans_size = float_of_int params.Sw_arch.Params.trans_size in
+  let wasted =
+    if req_count > 0.0 then
+      List.fold_left
+        (fun a g ->
+          let moved = float_of_int g.Lowered.mrt *. trans_size in
+          let w =
+            if moved > 0.0 then 1.0 -. (float_of_int g.Lowered.payload_bytes /. moved)
+            else 0.0
+          in
+          a +. (Float.max 0.0 w *. g.Lowered.count))
+        0.0 s.Lowered.dma_groups
+      /. req_count
+    else 0.0
+  in
+  (* schedule facts: per-block cold/steady costs and ILP from the shared
+     block-cost cache, trip-weighted over the kernel's compute blocks *)
+  let compute_cycles, ilp_weighted, trips_total, counts =
+    List.fold_left
+      (fun (cycles, ilp, trips, counts) (c : Lowered.compute_summary) ->
+        let first, steady = Sw_isa.Schedule.block_costs params c.Lowered.block in
+        let t = Stdlib.max 0 c.Lowered.trips in
+        let block_cycles =
+          if t = 0 then 0.0 else first +. (float_of_int (t - 1) *. steady)
+        in
+        let w = float_of_int (Stdlib.max 1 t) in
+        ( cycles +. block_cycles,
+          ilp +. (Sw_isa.Schedule.avg_ilp params c.Lowered.block *. w),
+          trips +. w,
+          Sw_isa.Instr.Counts.add counts
+            (Sw_isa.Instr.Counts.scale (Sw_isa.Instr.count c.Lowered.block) (Stdlib.max 1 t))
+        ))
+      (0.0, 0.0, 0.0, Sw_isa.Instr.Counts.zero)
+      s.Lowered.computes
+  in
+  let avg_ilp = if trips_total > 0.0 then ilp_weighted /. trips_total else 1.0 in
+  let total_instr =
+    float_of_int
+      (counts.Sw_isa.Instr.Counts.fadd + counts.Sw_isa.Instr.Counts.fmul
+     + counts.Sw_isa.Instr.Counts.fmadd + counts.Sw_isa.Instr.Counts.fdiv
+     + counts.Sw_isa.Instr.Counts.fsqrt + counts.Sw_isa.Instr.Counts.fcmp
+     + counts.Sw_isa.Instr.Counts.ialu + counts.Sw_isa.Instr.Counts.spm_load
+     + counts.Sw_isa.Instr.Counts.spm_store + counts.Sw_isa.Instr.Counts.gload_use)
+  in
+  let frac_float =
+    if total_instr > 0.0 then
+      float_of_int
+        (counts.Sw_isa.Instr.Counts.fadd + counts.Sw_isa.Instr.Counts.fmul
+       + counts.Sw_isa.Instr.Counts.fmadd + counts.Sw_isa.Instr.Counts.fdiv
+       + counts.Sw_isa.Instr.Counts.fsqrt + counts.Sw_isa.Instr.Counts.fcmp)
+      /. total_instr
+    else 0.0
+  in
+  let frac_mem =
+    if total_instr > 0.0 then
+      float_of_int
+        (counts.Sw_isa.Instr.Counts.spm_load + counts.Sw_isa.Instr.Counts.spm_store
+       + counts.Sw_isa.Instr.Counts.gload_use)
+      /. total_instr
+    else 0.0
+  in
+  let spm_frac =
+    float_of_int (Lower.spm_required kernel variant)
+    /. float_of_int (Stdlib.max 1 params.Sw_arch.Params.spm_bytes)
+  in
+  let roofline = Swpm.Roofline.analyze params s in
+  let model = Swpm.Predict.run params s in
+  Array.map finite
+    [|
+      log1p (float_of_int variant.Kernel.grain);
+      log1p (float_of_int variant.Kernel.unroll);
+      (if s.Lowered.double_buffered then 1.0 else 0.0);
+      log1p active;
+      log1p (chunks /. active);
+      log1p reqs;
+      Lowered.avg_mrt s;
+      log1p payload_per_req;
+      wasted;
+      log1p (float_of_int s.Lowered.gload_count);
+      log1p (float_of_int s.Lowered.gload_bytes);
+      log1p compute_cycles;
+      avg_ilp;
+      frac_float;
+      frac_mem;
+      spm_frac;
+      log1p roofline.Swpm.Roofline.arithmetic_intensity;
+      (if roofline.Swpm.Roofline.memory_bound then 1.0 else 0.0);
+      log1p model.Swpm.Predict.t_total;
+      log1p roofline.Swpm.Roofline.predicted_cycles;
+    |]
+
+let of_variant params kernel variant =
+  match Lower.summarize params kernel variant with
+  | Error reason -> Error reason
+  | Ok s -> Ok (of_summary params kernel variant s)

@@ -1,0 +1,43 @@
+(** Feature extraction for the learned cost model.
+
+    A variant's feature vector is everything the static analyses can say
+    about it without executing anything: the schedule's instruction mix
+    and ILP ({!Sw_isa.Schedule}), the DMA request shapes and their
+    transaction arithmetic ({!Sw_arch.Mem_req} facts recorded in the
+    lowering summary), occupancy and SPM pressure, the Roofline
+    operational-intensity reading, and the closed-form model's own
+    prediction (residual learning: the regressor fits the {e gap}
+    between the analytic model and the machine, not the machine from
+    scratch — the DiffTune/learned-TPU-model recipe).
+
+    Vectors are a {e pure} function of (params, kernel, variant): the
+    same inputs give bit-identical vectors on any domain of a
+    {!Sw_util.Pool}, in any order.  Every component is finite by
+    construction (sizes enter as [log1p], ratios are clamped), so a
+    regressor can never be fed a NaN. *)
+
+val dim : int
+(** Width of every feature vector. *)
+
+val names : string array
+(** Human names of the components, [dim] of them, index-aligned with
+    {!of_variant}'s output — the bench and DESIGN.md feature table use
+    these. *)
+
+val of_summary :
+  Sw_arch.Params.t ->
+  Sw_swacc.Kernel.t ->
+  Sw_swacc.Kernel.variant ->
+  Sw_swacc.Lowered.summary ->
+  float array
+(** Extract from an already-computed lowering summary (the cheap path a
+    backend that just called {!Sw_swacc.Lower.summarize} uses). *)
+
+val of_variant :
+  Sw_arch.Params.t ->
+  Sw_swacc.Kernel.t ->
+  Sw_swacc.Kernel.variant ->
+  (float array, string) result
+(** Summarize the variant ({!Sw_swacc.Lower.summarize}) and extract;
+    [Error reason] exactly when the variant is compile-time infeasible
+    (SPM overflow, too many CPEs). *)

@@ -1,0 +1,260 @@
+module Json = Sw_obs.Json
+
+type transform = Identity | Log
+
+type t = {
+  mean : float array;
+  std : float array;
+  weights : float array;
+  intercept : float;
+  transform : transform;
+  lambda : float;
+}
+
+let moments xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Regressor.moments: empty sample";
+  let d = Array.length xs.(0) in
+  let mean = Array.make d 0.0 in
+  Array.iter
+    (fun x ->
+      if Array.length x <> d then invalid_arg "Regressor.moments: ragged sample";
+      Array.iteri (fun j v -> mean.(j) <- mean.(j) +. v) x)
+    xs;
+  Array.iteri (fun j s -> mean.(j) <- s /. float_of_int n) mean;
+  let var = Array.make d 0.0 in
+  Array.iter
+    (fun x -> Array.iteri (fun j v -> var.(j) <- var.(j) +. ((v -. mean.(j)) ** 2.0)) x)
+    xs;
+  let std =
+    Array.map
+      (fun v ->
+        let s = sqrt (v /. float_of_int n) in
+        if s > 1e-12 then s else 1.0)
+      var
+  in
+  (mean, std)
+
+let standardize ~mean ~std x = Array.mapi (fun j v -> (v -. mean.(j)) /. std.(j)) x
+
+let unstandardize ~mean ~std z = Array.mapi (fun j v -> (v *. std.(j)) +. mean.(j)) z
+
+(* Solve [a w = b] in place, Gaussian elimination with partial
+   pivoting.  The system here is the ridge normal equations, which are
+   positive definite for lambda > 0, so pivots never vanish. *)
+let solve a b =
+  let d = Array.length b in
+  for col = 0 to d - 1 do
+    let pivot = ref col in
+    for r = col + 1 to d - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!pivot).(col) then pivot := r
+    done;
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    let p = a.(col).(col) in
+    let p = if Float.abs p > 1e-12 then p else 1e-12 in
+    for r = col + 1 to d - 1 do
+      let f = a.(r).(col) /. p in
+      if f <> 0.0 then begin
+        for c = col to d - 1 do
+          a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+        done;
+        b.(r) <- b.(r) -. (f *. b.(col))
+      end
+    done
+  done;
+  let w = Array.make d 0.0 in
+  for row = d - 1 downto 0 do
+    let s = ref b.(row) in
+    for c = row + 1 to d - 1 do
+      s := !s -. (a.(row).(c) *. w.(c))
+    done;
+    let p = a.(row).(row) in
+    let p = if Float.abs p > 1e-12 then p else 1e-12 in
+    w.(row) <- !s /. p
+  done;
+  w
+
+let apply_transform transform y =
+  match transform with Identity -> y | Log -> Float.log (Float.max y 1e-9)
+
+let invert_transform transform y = match transform with Identity -> y | Log -> Float.exp y
+
+let fit ?(lambda = 0.05) ?(transform = Log) xs ys =
+  let n = Array.length xs in
+  if n = 0 || Array.length ys <> n then
+    invalid_arg "Regressor.fit: need one target per feature vector, at least one";
+  let d = Array.length xs.(0) in
+  let mean, std = moments xs in
+  let zs = Array.map (standardize ~mean ~std) xs in
+  let ts = Array.map (apply_transform transform) ys in
+  let t_mean = Array.fold_left ( +. ) 0.0 ts /. float_of_int n in
+  (* normal equations on centered targets: (Z'Z + n*lambda*I) w = Z'tc;
+     the intercept is the target mean and is never penalized *)
+  let a = Array.make_matrix d d 0.0 in
+  let b = Array.make d 0.0 in
+  Array.iteri
+    (fun i z ->
+      let tc = ts.(i) -. t_mean in
+      for j = 0 to d - 1 do
+        b.(j) <- b.(j) +. (z.(j) *. tc);
+        for k = j to d - 1 do
+          a.(j).(k) <- a.(j).(k) +. (z.(j) *. z.(k))
+        done
+      done)
+    zs;
+  for j = 0 to d - 1 do
+    for k = 0 to j - 1 do
+      a.(j).(k) <- a.(k).(j)
+    done;
+    a.(j).(j) <- a.(j).(j) +. (lambda *. float_of_int n)
+  done;
+  let weights = solve a b in
+  { mean; std; weights; intercept = t_mean; transform; lambda }
+
+let predict t x =
+  let z = standardize ~mean:t.mean ~std:t.std x in
+  let acc = ref t.intercept in
+  Array.iteri (fun j w -> acc := !acc +. (w *. z.(j))) t.weights;
+  let y = invert_transform t.transform !acc in
+  if Float.is_finite y then y else invert_transform t.transform t.intercept
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+(* average ranks on ties, then Pearson on the ranks *)
+let ranks a =
+  let n = Array.length a in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare (a.(i), i) (a.(j), j)) idx;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && a.(idx.(!j + 1)) = a.(idx.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j) /. 2.0 in
+    for k = !i to !j do
+      r.(idx.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let pearson a b =
+  let n = Array.length a in
+  let fa = float_of_int n in
+  let ma = Array.fold_left ( +. ) 0.0 a /. fa in
+  let mb = Array.fold_left ( +. ) 0.0 b /. fa in
+  let num = ref 0.0 and va = ref 0.0 and vb = ref 0.0 in
+  for i = 0 to n - 1 do
+    let da = a.(i) -. ma and db = b.(i) -. mb in
+    num := !num +. (da *. db);
+    va := !va +. (da *. da);
+    vb := !vb +. (db *. db)
+  done;
+  if !va <= 0.0 || !vb <= 0.0 then 0.0 else !num /. sqrt (!va *. !vb)
+
+let spearman a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Regressor.spearman: length mismatch";
+  if Array.length a < 2 then 1.0 else pearson (ranks a) (ranks b)
+
+type cv = { folds : int; n : int; mape : float; rank_correlation : float }
+
+let cross_validate ?(k = 5) ?lambda ?transform xs ys =
+  let n = Array.length xs in
+  if n < 2 || Array.length ys <> n then
+    invalid_arg "Regressor.cross_validate: need at least two labelled points";
+  let k = Stdlib.max 2 (Stdlib.min k n) in
+  let preds = Array.make n 0.0 in
+  for fold = 0 to k - 1 do
+    let train_x = ref [] and train_y = ref [] in
+    for i = n - 1 downto 0 do
+      if i mod k <> fold then begin
+        train_x := xs.(i) :: !train_x;
+        train_y := ys.(i) :: !train_y
+      end
+    done;
+    let model = fit ?lambda ?transform (Array.of_list !train_x) (Array.of_list !train_y) in
+    for i = 0 to n - 1 do
+      if i mod k = fold then preds.(i) <- predict model xs.(i)
+    done
+  done;
+  let pairs = Array.init n (fun i -> (preds.(i), ys.(i))) in
+  {
+    folds = k;
+    n;
+    mape = Sw_util.Stats.mape pairs;
+    rank_correlation = spearman preds ys;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Persistence *)
+
+let transform_name = function Identity -> "identity" | Log -> "log"
+
+let floats a = Json.Arr (Array.to_list (Array.map (fun v -> Json.Float v) a))
+
+let to_json t =
+  Json.Obj
+    [
+      ("model", Json.Str "ridge");
+      ("version", Json.Int 1);
+      ("transform", Json.Str (transform_name t.transform));
+      ("lambda", Json.Float t.lambda);
+      ("intercept", Json.Float t.intercept);
+      ("mean", floats t.mean);
+      ("std", floats t.std);
+      ("weights", floats t.weights);
+    ]
+
+let float_field name j =
+  match Option.bind (Json.member name j) Json.to_float with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "Regressor.of_json: missing float %S" name)
+
+let floats_field name j =
+  match Option.bind (Json.member name j) Json.to_list with
+  | None -> Error (Printf.sprintf "Regressor.of_json: missing array %S" name)
+  | Some items -> (
+      let vals = List.filter_map Json.to_float items in
+      if List.length vals = List.length items then Ok (Array.of_list vals)
+      else Error (Printf.sprintf "Regressor.of_json: non-numeric entry in %S" name))
+
+let ( let* ) r f = Result.bind r f
+
+let of_json j =
+  let* transform =
+    match Option.bind (Json.member "transform" j) Json.to_str with
+    | Some "identity" -> Ok Identity
+    | Some "log" -> Ok Log
+    | Some other -> Error (Printf.sprintf "Regressor.of_json: unknown transform %S" other)
+    | None -> Error "Regressor.of_json: missing transform"
+  in
+  let* lambda = float_field "lambda" j in
+  let* intercept = float_field "intercept" j in
+  let* mean = floats_field "mean" j in
+  let* std = floats_field "std" j in
+  let* weights = floats_field "weights" j in
+  if Array.length mean <> Array.length std || Array.length mean <> Array.length weights
+  then Error "Regressor.of_json: mismatched dimensions"
+  else Ok { mean; std; weights; intercept; transform; lambda }
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')
+
+let load path =
+  match Json.parse_file path with Error e -> Error e | Ok j -> of_json j

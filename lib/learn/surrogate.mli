@@ -1,0 +1,65 @@
+(** The learned surrogate backend — the fifth {!Sw_backend.Backend.t}.
+
+    A surrogate assessment is as cheap as the static model (summarize,
+    extract {!Features}, one dot product) but its prediction is fitted
+    to the simulator: the first assessment of a kernel trains a
+    {!Regressor} on a seeded sample of that kernel's tuning space,
+    labelled by the [train] backend (default the simulator) on a
+    {e reduced-scale twin} of the kernel — same copies, same body, same
+    schedule, fewer outer elements — so the training bill is a fraction
+    of one exhaustive sweep.  The regression target is the ratio of
+    simulated cycles to the analytic model's prediction (residual
+    learning): the model carries the shape of the space and the scale
+    change, the regressor learns only the simulator's correction to it,
+    and ridge shrinkage decays unlearned directions toward the analytic
+    ranking rather than toward an extrapolated fit.
+
+    The fitted model is cached {e process-wide}, keyed by the training
+    recipe, the simulation configuration and the kernel's identity, so
+    every instance returned by [Backend.find "surrogate"] — CLI, serve
+    daemon, bench — shares one fit per kernel.  The cache is
+    mutex-guarded and training is deterministic in its key, so pooled
+    and sequential searches agree bit-for-bit.  Like the hybrid's
+    profiling run, the training bill ([machine_us]/[machine_events] of
+    the labelling runs) sticks to the first verdict; later assessments
+    bill zero machine time. *)
+
+val make :
+  ?train:Sw_backend.Backend.t ->
+  ?sample:int ->
+  ?seed:int ->
+  ?lambda:float ->
+  unit ->
+  Sw_backend.Backend.t
+(** [train] defaults to {!Sw_backend.Backend.simulator}, [sample] (the
+    labelled points per kernel) to [10], [seed] to
+    {!Sw_util.Prng.global_seed}, [lambda] to the {!Regressor.fit}
+    default.  If fewer than four sampled points survive labelling (all
+    infeasible, or the trainer raised), training falls back to
+    static-model labels so the backend always answers. *)
+
+val install : unit -> unit
+(** Register ["surrogate"] (alias-free) in the
+    {!Sw_backend.Backend} registry.  Idempotent; every entry point that
+    wants [--backend surrogate] resolvable calls this once. *)
+
+val model_for :
+  ?train:Sw_backend.Backend.t ->
+  ?sample:int ->
+  ?seed:int ->
+  ?lambda:float ->
+  Sw_sim.Config.t ->
+  Sw_swacc.Kernel.t ->
+  active_cpes:int ->
+  Regressor.t
+(** The fitted model the backend would use for this kernel (training it
+    now if not cached) — exposed for tests and for {!Regressor.save}. *)
+
+val cache_stats : unit -> int * int
+(** [(fits, hits)]: models trained vs served from the process-wide
+    cache since start or {!clear_cache}. *)
+
+val clear_cache : unit -> unit
+(** Drop every fitted model (and zero the counters).  The serve layer
+    calls this after crash recovery so a resumed daemon retrains from
+    its own configuration instead of trusting stale state. *)

@@ -15,6 +15,10 @@ type state = {
 }
 
 let create ?sink ?state_dir ?sim_timeout_s () =
+  (* the learned backend lives in a library nothing here references by
+     module path, so its registration must be forced: every entry point
+     that builds a handler gets "surrogate" in the registry *)
+  Sw_learn.Surrogate.install ();
   {
     sink = (match sink with Some s -> s | None -> Sw_obs.Sink.create ());
     state_dir;
@@ -73,6 +77,7 @@ type tune_req = {
   t_scale : float;
   t_backend : string;
   t_strategy : string;
+  t_rank : string option;
   t_shortlist : int;
   t_rungs : int;
   t_robust : int;
@@ -125,6 +130,7 @@ let tune_defaults ~kernel =
     t_scale = 1.0;
     t_backend = "model";
     t_strategy = "exhaustive";
+    t_rank = None;
     t_shortlist = 0;
     t_rungs = 3;
     t_robust = 0;
@@ -203,6 +209,7 @@ let parse_tune j =
   let* t_scale = dflt 1.0 (opt_num "scale" j) in
   let* t_backend = dflt "model" (opt_str "backend" j) in
   let* t_strategy = dflt "exhaustive" (opt_str "strategy" j) in
+  let* t_rank = opt_str "rank" j in
   let* t_shortlist = dflt 0 (opt_int "shortlist" j) in
   let* t_rungs = dflt 3 (opt_int "rungs" j) in
   let* t_robust = dflt 0 (opt_int "robust" j) in
@@ -216,6 +223,7 @@ let parse_tune j =
       t_scale;
       t_backend;
       t_strategy;
+      t_rank;
       t_shortlist;
       t_rungs;
       t_robust;
@@ -305,6 +313,7 @@ let verb_to_json = function
           ("scale", Json.Float t.t_scale);
           ("backend", jstr t.t_backend);
           ("strategy", jstr t.t_strategy);
+          ("rank", jopt jstr t.t_rank);
           ("shortlist", jint t.t_shortlist);
           ("rungs", jint t.t_rungs);
           ("robust", jint t.t_robust);
@@ -474,22 +483,25 @@ type tune_result = {
   tr_degraded : bool;
 }
 
-let strategy_of t ~n_points =
+let strategy_of t ?rank ~n_points () =
   let shortlist_k () = if t.t_shortlist > 0 then t.t_shortlist else Stdlib.max 1 (n_points / 4) in
   if t.t_robust > 0 || t.t_strategy = "robust" then
     let n = if t.t_robust > 0 then t.t_robust else 8 in
     let* spec = fault_spec_of t.t_fault_level in
     Ok
-      (Sw_tuning.Search.robust ~k:(shortlist_k ()) ~seeds:(List.init n (fun i -> 1 + i)) ~spec ())
+      (Sw_tuning.Search.robust ?rank ~k:(shortlist_k ()) ~seeds:(List.init n (fun i -> 1 + i))
+         ~spec ())
   else
     match t.t_strategy with
     | "exhaustive" -> Ok Sw_tuning.Search.exhaustive
-    | "shortlist" -> Ok (Sw_tuning.Search.shortlist ~k:(shortlist_k ()) ())
+    | "shortlist" -> Ok (Sw_tuning.Search.shortlist ?rank ~k:(shortlist_k ()) ())
+    | "adaptive" | "adaptive-shortlist" ->
+        Ok (Sw_tuning.Search.adaptive_shortlist ?rank ~k:(shortlist_k ()) ())
     | "halving" | "successive-halving" -> Ok (Sw_tuning.Search.successive_halving ~rungs:t.t_rungs)
     | s ->
         Error
-          (Printf.sprintf "unknown strategy %S (available: exhaustive, shortlist, halving, robust)"
-             s)
+          (Printf.sprintf
+             "unknown strategy %S (available: exhaustive, shortlist, adaptive, halving, robust)" s)
 
 let tune state ?(degrade = false) ?pool ?obs t =
   let* entry = entry_of t.t_kernel in
@@ -509,7 +521,16 @@ let tune state ?(degrade = false) ?pool ?obs t =
       Ok (canonical, shared, Sw_tuning.Search.shortlist ~k:(Stdlib.max 1 (n_points / 4)) ())
     else
       let* canonical, shared = backend state t.t_backend in
-      let* strategy = strategy_of t ~n_points in
+      (* the rank backend shares this state's memo too, so a surrogate
+         ranker trains once per process, not once per request *)
+      let* rank =
+        match t.t_rank with
+        | None -> Ok None
+        | Some name ->
+            let* _, shared_rank = backend state name in
+            Ok (Some shared_rank)
+      in
+      let* strategy = strategy_of t ?rank ~n_points () in
       Ok (canonical, shared, strategy)
   in
   match

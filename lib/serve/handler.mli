@@ -32,7 +32,10 @@ val create :
     on a simulating backend are wrapped in
     {!Sw_backend.Backend.with_timeout} chained ({!Sw_backend.Backend.fallback})
     to the static model, so an over-budget simulation degrades to a
-    model answer (marked [degraded]) instead of stalling the queue. *)
+    model answer (marked [degraded]) instead of stalling the queue.
+    Creation also installs the learned backend
+    ({!Sw_learn.Surrogate.install}), so ["surrogate"] resolves like any
+    built-in backend for every request. *)
 
 val sink : state -> Sw_obs.Sink.t
 
@@ -65,6 +68,10 @@ type tune_req = {
   t_scale : float;
   t_backend : string;
   t_strategy : string;
+  t_rank : string option;
+      (** Ranking backend for shortlist/adaptive/robust strategies
+          (any registered backend name, e.g. ["surrogate"]); [None] =
+          the static model. *)
   t_shortlist : int;  (** 0 = a quarter of the space. *)
   t_rungs : int;
   t_robust : int;  (** Robust-tuning seeds; 0 = off. *)

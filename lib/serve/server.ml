@@ -205,7 +205,13 @@ let serve ?(config = default_config) ?pool state ~input ~output =
         ensure_dir dir;
         let unfinished, max_seq = scan_log (Filename.concat dir "requests.jsonl") in
         let log = open_log dir max_seq in
-        (* replay what a crash interrupted before accepting new work *)
+        (* replay what a crash interrupted before accepting new work;
+           fitted surrogate models never survive a crash (they are
+           process memory, not state-dir files), so drop any stale
+           in-process cache first and let the replayed requests retrain
+           from scratch — the training draw is seed-deterministic, so
+           the resumed argmin matches the interrupted run's *)
+        if unfinished <> [] then Sw_learn.Surrogate.clear_cache ();
         List.iter
           (fun (rq, line) ->
             (match Handler.parse_request line with

@@ -3,6 +3,7 @@ module Backend = Sw_backend.Backend
 type t =
   | Exhaustive
   | Shortlist of { rank : Backend.t; k : int }
+  | Adaptive_shortlist of { rank : Backend.t; k : int }
   | Successive_halving of { rungs : int }
   | Robust of {
       rank : Backend.t;
@@ -15,6 +16,10 @@ type t =
 let exhaustive = Exhaustive
 
 let shortlist ?(rank = Backend.static_model) ~k () = Shortlist { rank; k }
+
+let adaptive_shortlist ?(rank = Backend.static_model) ~k () =
+  if k < 1 then invalid_arg "Search.adaptive_shortlist: k must be >= 1";
+  Adaptive_shortlist { rank; k }
 
 let successive_halving ~rungs =
   if rungs < 1 then invalid_arg "Search.successive_halving: rungs must be >= 1";
@@ -30,6 +35,8 @@ let robust ?(rank = Backend.static_model) ~k ~seeds ?(quantile = 1.0)
 let name = function
   | Exhaustive -> "exhaustive"
   | Shortlist { rank; k } -> Printf.sprintf "shortlist(%s,k=%d)" (Backend.name rank) k
+  | Adaptive_shortlist { rank; k } ->
+      Printf.sprintf "adaptive(%s,k=%d)" (Backend.name rank) k
   | Successive_halving { rungs } -> Printf.sprintf "successive-halving(rungs=%d)" rungs
   | Robust { rank; k; seeds; quantile; _ } ->
       Printf.sprintf "robust(%s,k=%d,seeds=%d,q=%.2f)" (Backend.name rank) k
@@ -80,8 +87,14 @@ let run_exhaustive ~backend ~active_cpes ?pool config kernel points =
    The robust strategy turns it off: a point that is mediocre on the
    quiet machine can still be the min-of-worst-case winner, so every
    shortlisted survivor must be fully priced. *)
-let run_shortlist ?(cutoff_prune = true) ~rank ~k ~backend ~active_cpes ?pool ?obs config
-    kernel points =
+(* The ranking pass shared by every shortlist flavour: assess the whole
+   space with the (cheap) rank backend under the pool, and return the
+   indexed results plus the verification order — a total sort by
+   (predicted cycles, enumeration index) over the rank-feasible points.
+   [rank_machine_us] bills whatever the ranker simulated (0 for the
+   static model; the training bill for the learned surrogate; per-point
+   runs if the simulator itself ranks). *)
+let rank_space ~rank ~active_cpes ?pool config kernel points =
   let wall0 = Unix.gettimeofday () in
   let ranked =
     map_points ?pool
@@ -106,23 +119,11 @@ let run_shortlist ?(cutoff_prune = true) ~rank ~k ~backend ~active_cpes ?pool ?o
         compare (v1.Backend.cycles, i1) (v2.Backend.cycles, i2))
       feasible
   in
-  let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
-  let keep = take (Stdlib.max 1 k) order in
-  let verdicts : (int, result_) Hashtbl.t = Hashtbl.create 16 in
-  let incumbent = ref None in
-  List.iter
-    (fun (i, p, _) ->
-      let variant = Space.to_variant p ~active_cpes in
-      let cutoff = if cutoff_prune then !incumbent else None in
-      match Backend.assess_budget ?cutoff backend config kernel variant with
-      | Backend.Assessed v ->
-          (match !incumbent with
-          | Some c when v.Backend.cycles >= c -> ()
-          | _ -> incumbent := Some v.Backend.cycles);
-          Hashtbl.replace verdicts i (Priced v)
-      | Backend.Infeasible e -> Hashtbl.replace verdicts i (Rejected e)
-      | Backend.Cut_off { cost; _ } -> Hashtbl.replace verdicts i (Pruned cost))
-    keep;
+  (indexed, order, rank_host_s, rank_machine_us)
+
+(* Results in enumeration order: verified points from the table, points
+   the ranker rejected as Rejected, everything else pruned for free. *)
+let finish_shortlist ~strategy ~obs ~verdicts ~indexed ~rank_host_s ~rank_machine_us =
   let pruned = ref 0 in
   let results =
     List.map
@@ -140,13 +141,93 @@ let run_shortlist ?(cutoff_prune = true) ~rank ~k ~backend ~active_cpes ?pool ?o
       indexed
   in
   observe_pruned obs !pruned;
-  ( results,
-    {
-      strategy = name (Shortlist { rank; k });
-      pruned = !pruned;
-      rank_host_s;
-      rank_machine_us;
-    } )
+  (results, { strategy; pruned = !pruned; rank_host_s; rank_machine_us })
+
+let run_shortlist ?(cutoff_prune = true) ~rank ~k ~backend ~active_cpes ?pool ?obs config
+    kernel points =
+  let indexed, order, rank_host_s, rank_machine_us =
+    rank_space ~rank ~active_cpes ?pool config kernel points
+  in
+  let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
+  let keep = take (Stdlib.max 1 k) order in
+  let verdicts : (int, result_) Hashtbl.t = Hashtbl.create 16 in
+  let incumbent = ref None in
+  List.iter
+    (fun (i, p, _) ->
+      let variant = Space.to_variant p ~active_cpes in
+      let cutoff = if cutoff_prune then !incumbent else None in
+      match Backend.assess_budget ?cutoff backend config kernel variant with
+      | Backend.Assessed v ->
+          (match !incumbent with
+          | Some c when v.Backend.cycles >= c -> ()
+          | _ -> incumbent := Some v.Backend.cycles);
+          Hashtbl.replace verdicts i (Priced v)
+      | Backend.Infeasible e -> Hashtbl.replace verdicts i (Rejected e)
+      | Backend.Cut_off { cost; _ } -> Hashtbl.replace verdicts i (Pruned cost))
+    keep;
+  finish_shortlist
+    ~strategy:(name (Shortlist { rank; k }))
+    ~obs ~verdicts ~indexed ~rank_host_s ~rank_machine_us
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive shortlist: same ranking pass, but K is not a guess — the
+   ranked order is verified in rungs of k points and the search stops
+   as soon as the incumbent survives one whole rung without being
+   improved.  A perfectly-ranked space verifies exactly k points (the
+   seeding of the first incumbent does not count as an improvement); a
+   misranked one keeps paying, one rung at a time, until the ranking
+   proves itself — so the argmin is recovered whenever the true best is
+   ranked anywhere the growing prefix reaches, without hand-tuning K
+   per kernel.  Verification is sequential and the rung schedule
+   depends only on verdicts, so the outcome is pool-size
+   independent. *)
+
+let run_adaptive ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points =
+  let indexed, order, rank_host_s, rank_machine_us =
+    rank_space ~rank ~active_cpes ?pool config kernel points
+  in
+  let verdicts : (int, result_) Hashtbl.t = Hashtbl.create 16 in
+  let incumbent = ref None in
+  let improved = ref false in
+  let verify (i, p, _) =
+    let variant = Space.to_variant p ~active_cpes in
+    match Backend.assess_budget ?cutoff:!incumbent backend config kernel variant with
+    | Backend.Assessed v ->
+        (match !incumbent with
+        | Some c when v.Backend.cycles >= c -> ()
+        | Some _ ->
+            incumbent := Some v.Backend.cycles;
+            improved := true
+        | None ->
+            (* seeding the incumbent is not an improvement: a perfectly
+               ranked space must stop after its first rung *)
+            incumbent := Some v.Backend.cycles);
+        Hashtbl.replace verdicts i (Priced v)
+    | Backend.Infeasible e -> Hashtbl.replace verdicts i (Rejected e)
+    | Backend.Cut_off { cost; _ } -> Hashtbl.replace verdicts i (Pruned cost)
+  in
+  let rec split n = function
+    | x :: rest when n > 0 ->
+        let rung, rest = split (n - 1) rest in
+        (x :: rung, rest)
+    | rest -> ([], rest)
+  in
+  let rung_size = Stdlib.max 1 k in
+  let remaining = ref order in
+  let stop = ref false in
+  while (not !stop) && !remaining <> [] do
+    (match obs with Some sink -> Sw_obs.Sink.incr sink "search.rungs" | None -> ());
+    improved := false;
+    let rung, rest = split rung_size !remaining in
+    List.iter verify rung;
+    remaining := rest;
+    (* keep going while the incumbent is unset — a rung of rank-feasible
+       points the verifier rejected must not end the search *)
+    if (not !improved) && !incumbent <> None then stop := true
+  done;
+  finish_shortlist
+    ~strategy:(name (Adaptive_shortlist { rank; k }))
+    ~obs ~verdicts ~indexed ~rank_host_s ~rank_machine_us
 
 (* ------------------------------------------------------------------ *)
 (* Successive halving: race all points through rungs of growing event
@@ -344,6 +425,8 @@ let run strategy ~backend ~active_cpes ?pool ?obs config kernel ~points =
         { strategy = "exhaustive"; pruned = 0; rank_host_s = 0.0; rank_machine_us = 0.0 } )
   | Shortlist { rank; k } ->
       run_shortlist ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points
+  | Adaptive_shortlist { rank; k } ->
+      run_adaptive ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points
   | Successive_halving { rungs } when rungs <= 1 ->
       (* one rung races nothing: identical to exhaustive by construction *)
       ( run_exhaustive ~backend ~active_cpes ?pool config kernel points,

@@ -28,6 +28,17 @@ type t =
           true argmin — the paper's model is precise enough that a
           small [k] (a quarter of the space) suffices on every Table II
           kernel. *)
+  | Adaptive_shortlist of { rank : Sw_backend.Backend.t; k : int }
+      (** Like [Shortlist], but [k] is a rung size, not a budget: the
+          ranked order is verified in rungs of [k] points and the
+          search stops as soon as a whole rung completes without
+          strictly improving the incumbent (seeding the first incumbent
+          does not count as an improvement).  A well-ranked space thus
+          verifies exactly [k] points, while a misranked one keeps
+          paying, one rung at a time, until the ranking proves itself —
+          the argmin is recovered without hand-tuning [K] per kernel as
+          long as the ranker places the true best ahead of a full quiet
+          rung. *)
   | Successive_halving of { rungs : int }
       (** Race all points through [rungs] rounds of growing
           event-budget, halving the field between rounds by partial
@@ -55,6 +66,10 @@ val exhaustive : t
 val shortlist : ?rank:Sw_backend.Backend.t -> k:int -> unit -> t
 (** [rank] defaults to {!Sw_backend.Backend.static_model}. *)
 
+val adaptive_shortlist : ?rank:Sw_backend.Backend.t -> k:int -> unit -> t
+(** [rank] defaults to {!Sw_backend.Backend.static_model}.
+    @raise Invalid_argument when [k < 1]. *)
+
 val successive_halving : rungs:int -> t
 (** @raise Invalid_argument when [rungs < 1]. *)
 
@@ -73,7 +88,7 @@ val robust :
 
 val name : t -> string
 (** Human/JSON label: ["exhaustive"], ["shortlist(model,k=6)"],
-    ["successive-halving(rungs=3)"],
+    ["adaptive(surrogate,k=6)"], ["successive-halving(rungs=3)"],
     ["robust(model,k=6,seeds=8,q=1.00)"]. *)
 
 (** What the search decided about one point. *)
@@ -108,7 +123,8 @@ val run :
     earliest index wins) sees exactly the exhaustive ordering.
 
     With [obs], the search bumps ["search.pruned"] (points pruned) and
-    ["search.rungs"] (successive-halving rounds raced); per-assessment
+    ["search.rungs"] (successive-halving or adaptive-shortlist rounds
+    raced); per-assessment
     telemetry comes from wrapping [backend] with
     {!Sw_backend.Backend.instrument} before calling.
 

@@ -1,0 +1,136 @@
+(* Feature extraction properties: the learned backend is only as
+   deterministic as its inputs.  A feature vector must be a pure
+   function of (params, kernel, variant) — bit-identical across fresh
+   kernel builds and across pool sizes — every component must be finite
+   (a regressor fed one NaN poisons every weight), and the width must
+   agree with the published names so the bench's feature table cannot
+   drift from the code. *)
+
+module Features = Sw_learn.Features
+module Regressor = Sw_learn.Regressor
+module Registry = Sw_workloads.Registry
+module Space = Sw_tuning.Space
+
+let p = Sw_arch.Params.default
+
+let subset_entries = Array.of_list Registry.tuning_subset
+
+let variants entry =
+  List.map
+    (fun pt -> Space.to_variant pt ~active_cpes:64)
+    (Space.enumerate ~grains:entry.Registry.grains ~unrolls:entry.Registry.unrolls ())
+
+(* ------------------------------------------------------------------ *)
+(* Shape: the vector is exactly [dim] wide and [names] is its legend *)
+
+let test_dim_matches_names () =
+  Alcotest.(check int) "names cover every component" Features.dim
+    (Array.length Features.names);
+  let entry = Registry.find_exn "kmeans" in
+  let kernel = entry.Registry.build ~scale:0.25 in
+  List.iter
+    (fun v ->
+      match Features.of_variant p kernel v with
+      | Ok x -> Alcotest.(check int) "vector width" Features.dim (Array.length x)
+      | Error _ -> ())
+    (variants entry)
+
+(* ------------------------------------------------------------------ *)
+(* Purity: fresh builds of the same kernel give bit-identical vectors,
+   and a pooled extraction agrees with the sequential one on every
+   component *)
+
+let prop_deterministic_across_builds =
+  QCheck.Test.make ~name:"fresh kernel builds give bit-identical vectors" ~count:10
+    QCheck.(pair (int_range 0 (Array.length subset_entries - 1)) (int_range 0 1))
+    (fun (ei, si) ->
+      let entry = subset_entries.(ei) in
+      let scale = if si = 0 then 0.1 else 0.25 in
+      let a = entry.Registry.build ~scale in
+      let b = entry.Registry.build ~scale in
+      List.for_all
+        (fun v -> Features.of_variant p a v = Features.of_variant p b v)
+        (variants entry))
+
+let prop_pool_independent =
+  QCheck.Test.make ~name:"pooled extraction equals sequential" ~count:8
+    QCheck.(pair (int_range 0 (Array.length subset_entries - 1)) (int_range 1 4))
+    (fun (ei, pool_size) ->
+      let entry = subset_entries.(ei) in
+      let kernel = entry.Registry.build ~scale:0.25 in
+      let vs = variants entry in
+      let sequential = List.map (Features.of_variant p kernel) vs in
+      let pool = Sw_util.Pool.create ~size:pool_size () in
+      let pooled = Sw_util.Pool.map pool (Features.of_variant p kernel) vs in
+      sequential = pooled)
+
+(* ------------------------------------------------------------------ *)
+(* Finiteness: every component of every feasible variant in every
+   tuning space is a finite float *)
+
+let test_all_components_finite () =
+  Array.iter
+    (fun (entry : Registry.entry) ->
+      let kernel = entry.Registry.build ~scale:0.25 in
+      List.iter
+        (fun v ->
+          match Features.of_variant p kernel v with
+          | Error _ -> ()
+          | Ok x ->
+              Array.iteri
+                (fun i c ->
+                  if not (Float.is_finite c) then
+                    Alcotest.failf "%s: feature %s is %f" entry.Registry.name
+                      Features.names.(i) c)
+                x)
+        (variants entry))
+    subset_entries
+
+(* ------------------------------------------------------------------ *)
+(* Standardization round-trip: standardizing a sample with its own
+   moments and inverting is the identity (within float rounding), and
+   degenerate columns survive both directions *)
+
+let prop_standardize_roundtrip =
+  let gen =
+    QCheck.(list_of_size Gen.(int_range 2 8) (list_of_size (Gen.return 5) (float_range (-100.) 100.)))
+  in
+  QCheck.Test.make ~name:"standardize o unstandardize = id on the sample" ~count:50 gen
+    (fun rows ->
+      QCheck.assume (rows <> []);
+      let xs = Array.of_list (List.map Array.of_list rows) in
+      let mean, std = Regressor.moments xs in
+      Array.for_all
+        (fun row ->
+          let back =
+            Regressor.unstandardize ~mean ~std (Regressor.standardize ~mean ~std row)
+          in
+          Array.for_all2
+            (fun a b -> Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a))
+            row back)
+        xs)
+
+let test_constant_column_standardizes () =
+  (* a constant column gets unit scale, so both directions stay finite
+     and exact *)
+  let xs = [| [| 3.0; 1.0 |]; [| 3.0; 2.0 |]; [| 3.0; 3.0 |] |] in
+  let mean, std = Regressor.moments xs in
+  Alcotest.(check (float 0.0)) "degenerate std is 1" 1.0 std.(0);
+  let z = Regressor.standardize ~mean ~std [| 3.0; 2.0 |] in
+  Alcotest.(check (float 0.0)) "constant maps to 0" 0.0 z.(0);
+  let back = Regressor.unstandardize ~mean ~std z in
+  Alcotest.(check (float 1e-12)) "and back to itself" 3.0 back.(0)
+
+let tests =
+  ( "features",
+    [
+      Alcotest.test_case "dim matches names; vectors are dim wide" `Quick
+        test_dim_matches_names;
+      Alcotest.test_case "every feasible variant's features are finite" `Quick
+        test_all_components_finite;
+      Alcotest.test_case "constant columns standardize safely" `Quick
+        test_constant_column_standardizes;
+      QCheck_alcotest.to_alcotest prop_deterministic_across_builds;
+      QCheck_alcotest.to_alcotest prop_pool_independent;
+      QCheck_alcotest.to_alcotest prop_standardize_roundtrip;
+    ] )

@@ -1,0 +1,270 @@
+(* The learned surrogate, gated: cross-validation quality on
+   sim-labelled tuning spaces (MAPE and rank correlation), exact model
+   persistence, hybrid-style billing of the training run, the
+   paper-level differential — an adaptive surrogate-ranked search
+   reproduces the exhaustive Table II argmin for less simulated time —
+   and the DiffTune-style inverse: coordinate descent recovers
+   perturbed simulator parameters from measured cycles alone. *)
+
+module Backend = Sw_backend.Backend
+module Features = Sw_learn.Features
+module Regressor = Sw_learn.Regressor
+module Surrogate = Sw_learn.Surrogate
+module Registry = Sw_workloads.Registry
+module Space = Sw_tuning.Space
+module Search = Sw_tuning.Search
+module Tuner = Sw_tuning.Tuner
+
+let p = Sw_arch.Params.default
+
+let config = Sw_sim.Config.default p
+
+let points entry =
+  Space.enumerate ~grains:entry.Registry.grains ~unrolls:entry.Registry.unrolls ()
+
+(* features + simulator labels for every feasible point of a kernel's
+   registry space *)
+let labelled_space name ~scale =
+  let entry = Registry.find_exn name in
+  let kernel = entry.Registry.build ~scale in
+  let rows =
+    List.filter_map
+      (fun pt ->
+        let v = Space.to_variant pt ~active_cpes:64 in
+        match (Features.of_variant p kernel v, Backend.assess Backend.simulator config kernel v) with
+        | Ok x, Ok verdict -> Some (x, verdict.Backend.cycles)
+        | _ -> None)
+      (points entry)
+  in
+  (Array.of_list (List.map fst rows), Array.of_list (List.map snd rows))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation gates: held-out quality of the ridge fit on real
+   simulator labels must clear the thresholds the bench publishes *)
+
+let test_cv_gates () =
+  List.iter
+    (fun name ->
+      let xs, ys = labelled_space name ~scale:0.25 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: enough labelled points" name)
+        true
+        (Array.length ys >= 10);
+      let cv = Regressor.cross_validate xs ys in
+      if cv.Regressor.mape > 0.25 then
+        Alcotest.failf "%s: held-out MAPE %.3f above 0.25" name cv.Regressor.mape;
+      if cv.Regressor.rank_correlation < 0.85 then
+        Alcotest.failf "%s: held-out Spearman %.3f below 0.85" name
+          cv.Regressor.rank_correlation)
+    [ "kmeans"; "cfd"; "lud"; "hotspot"; "backprop" ]
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: a saved model predicts bit-identically after reload *)
+
+let test_regressor_roundtrip () =
+  let xs, ys = labelled_space "kmeans" ~scale:0.1 in
+  let model = Regressor.fit xs ys in
+  let path = Filename.temp_file "swpm_model" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Regressor.save model path;
+      match Regressor.load path with
+      | Error msg -> Alcotest.failf "reload failed: %s" msg
+      | Ok back ->
+          Alcotest.(check bool) "records equal" true (model = back);
+          Array.iter
+            (fun x ->
+              Alcotest.(check (float 0.0)) "prediction survives the round-trip"
+                (Regressor.predict model x) (Regressor.predict back x))
+            xs)
+
+let test_regressor_rejects_garbage () =
+  (match Regressor.of_json (Sw_obs.Json.Str "nope") with
+  | Ok _ -> Alcotest.fail "a string is not a model"
+  | Error _ -> ());
+  match
+    Regressor.of_json
+      (Sw_obs.Json.Obj [ ("mean", Sw_obs.Json.Arr []); ("weights", Sw_obs.Json.Null) ])
+  with
+  | Ok _ -> Alcotest.fail "mismatched arrays are not a model"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Billing: the training bill sticks to the first verdict, like the
+   hybrid's profiling run — later assessments are machine-free *)
+
+let test_surrogate_bills_training_once () =
+  Surrogate.clear_cache ();
+  let entry = Registry.find_exn "kmeans" in
+  let kernel = entry.Registry.build ~scale:0.25 in
+  let variant = entry.Registry.variant in
+  let surrogate = Surrogate.make () in
+  let first =
+    match Backend.assess surrogate config kernel variant with
+    | Ok v -> v
+    | Error r -> Alcotest.failf "first assessment failed: %s" r.Backend.reason
+  in
+  Alcotest.(check bool) "first verdict carries the training bill" true
+    (first.Backend.cost.Backend.machine_us > 0.0);
+  let second =
+    match Backend.assess surrogate config kernel variant with
+    | Ok v -> v
+    | Error r -> Alcotest.failf "second assessment failed: %s" r.Backend.reason
+  in
+  Alcotest.(check (float 0.0)) "second verdict is machine-free" 0.0
+    second.Backend.cost.Backend.machine_us;
+  Alcotest.(check (float 0.0)) "same prediction" first.Backend.cycles
+    second.Backend.cycles;
+  let fits, hits = Surrogate.cache_stats () in
+  Alcotest.(check int) "one fit" 1 fits;
+  Alcotest.(check bool) "served from cache afterwards" true (hits >= 1)
+
+let test_surrogate_shared_across_instances () =
+  (* two instances with the same recipe share one fit — the process-wide
+     cache is what makes CLI and daemon agree *)
+  Surrogate.clear_cache ();
+  let entry = Registry.find_exn "cfd" in
+  let kernel = entry.Registry.build ~scale:0.25 in
+  let variant = entry.Registry.variant in
+  let a = Result.get_ok (Backend.assess (Surrogate.make ()) config kernel variant) in
+  let b = Result.get_ok (Backend.assess (Surrogate.make ()) config kernel variant) in
+  let fits, _ = Surrogate.cache_stats () in
+  Alcotest.(check int) "one fit across instances" 1 fits;
+  Alcotest.(check (float 0.0)) "identical prediction" a.Backend.cycles b.Backend.cycles
+
+(* ------------------------------------------------------------------ *)
+(* The differential: adaptive surrogate-ranked search = exhaustive
+   argmin on every Table II tuning kernel, for less simulated time in
+   aggregate — training bill included *)
+
+let test_adaptive_surrogate_matches_exhaustive () =
+  Surrogate.clear_cache ();
+  let exhaustive_total = ref 0.0 in
+  let adaptive_total = ref 0.0 in
+  List.iter
+    (fun (entry : Registry.entry) ->
+      let kernel = entry.Registry.build ~scale:0.25 in
+      let pts = points entry in
+      let default = Sw_experiments.Table2.guideline_default p kernel ~grains:entry.Registry.grains in
+      let tune strategy =
+        Tuner.tune_exn ~backend:Backend.simulator ~strategy ~default config kernel ~points:pts
+      in
+      let exhaustive = tune Search.exhaustive in
+      let adaptive =
+        tune (Search.adaptive_shortlist ~rank:(Surrogate.make ()) ~k:6 ())
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: adaptive surrogate finds the argmin" entry.Registry.name)
+        true
+        (adaptive.Tuner.best = exhaustive.Tuner.best
+        && adaptive.Tuner.best_cycles = exhaustive.Tuner.best_cycles);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: ranking pass was billed" entry.Registry.name)
+        true
+        (adaptive.Tuner.machine_time_us >= adaptive.Tuner.rank_machine_us);
+      exhaustive_total := !exhaustive_total +. exhaustive.Tuner.machine_time_us;
+      adaptive_total := !adaptive_total +. adaptive.Tuner.machine_time_us)
+    Registry.tuning_subset;
+  (* simulated time is deterministic, so this ratio is a regression
+     gate, not a flaky benchmark: measured 1.65x at this scale with the
+     explicit guideline default (the bench gates the 5x claim at full
+     scale on a dense space, where the shrunken twin actually pays) *)
+  if !adaptive_total *. 1.5 > !exhaustive_total then
+    Alcotest.failf "aggregate machine-time cut %.2fx below the 1.5x gate"
+      (!exhaustive_total /. !adaptive_total)
+
+let test_adaptive_stops_after_quiet_rung () =
+  (* a perfectly-ranked space (rank backend = verify backend) verifies
+     exactly one extra rung beyond the argmin's *)
+  Surrogate.clear_cache ();
+  let entry = Registry.find_exn "lud" in
+  let kernel = entry.Registry.build ~scale:0.25 in
+  let pts = points entry in
+  let default = Sw_experiments.Table2.guideline_default p kernel ~grains:entry.Registry.grains in
+  let outcome =
+    Tuner.tune_exn ~backend:Backend.simulator
+      ~strategy:(Search.adaptive_shortlist ~rank:Backend.simulator ~k:3 ())
+      ~default config kernel ~points:pts
+  in
+  let exhaustive =
+    Tuner.tune_exn ~backend:Backend.simulator ~strategy:Search.exhaustive ~default config
+      kernel ~points:pts
+  in
+  Alcotest.(check bool) "self-ranked adaptive finds the argmin" true
+    (outcome.Tuner.best = exhaustive.Tuner.best);
+  (* rank = verify means rung 1 seeds the incumbent and stays quiet, so
+     at most one rung of 3 is verified: everything beyond it is pruned
+     unverified (cut-off rung members are pruned too, so the floor is
+     |space| - k) *)
+  Alcotest.(check bool) "at most one rung verified" true
+    (outcome.Tuner.points_pruned >= List.length pts - 3
+    && outcome.Tuner.evaluated <= 3)
+
+(* ------------------------------------------------------------------ *)
+(* The inverse problem: perturb the simulator's parameters, fit them
+   back from measured cycles (DiffTune on our own simulator) *)
+
+let test_calibration_recovers_parameters () =
+  let result = Sw_experiments.Calibration_study.run ~scale:0.125 ~sweeps:2 () in
+  Alcotest.(check bool) "a useful number of points" true (result.Sw_experiments.Calibration_study.n_points >= 30);
+  let report = result.Sw_experiments.Calibration_study.report in
+  Alcotest.(check bool) "descent improved the loss" true
+    (report.Sw_learn.Calibrate.final_loss < report.Sw_learn.Calibrate.initial_loss);
+  let close =
+    List.filter
+      (fun r -> r.Sw_experiments.Calibration_study.r_error <= 0.10)
+      result.Sw_experiments.Calibration_study.recoveries
+  in
+  if List.length close < 2 then
+    Alcotest.failf "only %d of %d parameters recovered within 10%%: %s"
+      (List.length close)
+      (List.length result.Sw_experiments.Calibration_study.recoveries)
+      (String.concat ", "
+         (List.map
+            (fun r ->
+              Printf.sprintf "%s %.1f%%" r.Sw_experiments.Calibration_study.r_name
+                (100.0 *. r.Sw_experiments.Calibration_study.r_error))
+            result.Sw_experiments.Calibration_study.recoveries))
+
+let test_calibration_identity_is_stable () =
+  (* fitting against points measured under the *nominal* configuration
+     must not wander away from it: zero initial loss, ties keep the
+     incumbent *)
+  let points = Sw_experiments.Calibration_study.points ~scale:0.125 config in
+  let report = Sw_learn.Calibrate.fit ~sweeps:1 config points in
+  Alcotest.(check bool) "already at the optimum" true
+    (report.Sw_learn.Calibrate.final_loss <= report.Sw_learn.Calibrate.initial_loss);
+  List.iter
+    (fun (name, v) ->
+      let spec =
+        List.find
+          (fun s -> s.Sw_learn.Calibrate.p_name = name)
+          Sw_learn.Calibrate.default_params
+      in
+      let nominal = spec.Sw_learn.Calibrate.p_get config in
+      if Float.abs (v -. nominal) > 1e-9 *. Float.abs nominal then
+        Alcotest.failf "%s drifted from %.2f to %.2f on nominal data" name nominal v)
+    report.Sw_learn.Calibrate.trajectory
+
+let tests =
+  ( "learn",
+    [
+      Alcotest.test_case "cross-validation clears the MAPE/Spearman gates" `Quick
+        test_cv_gates;
+      Alcotest.test_case "model JSON round-trip is exact" `Quick test_regressor_roundtrip;
+      Alcotest.test_case "model parser rejects malformed JSON" `Quick
+        test_regressor_rejects_garbage;
+      Alcotest.test_case "surrogate bills training once, like hybrid" `Quick
+        test_surrogate_bills_training_once;
+      Alcotest.test_case "surrogate instances share one fit" `Quick
+        test_surrogate_shared_across_instances;
+      Alcotest.test_case "adaptive surrogate search = exhaustive argmin, cheaper" `Quick
+        test_adaptive_surrogate_matches_exhaustive;
+      Alcotest.test_case "adaptive stops after one quiet rung" `Quick
+        test_adaptive_stops_after_quiet_rung;
+      Alcotest.test_case "calibration recovers perturbed parameters" `Quick
+        test_calibration_recovers_parameters;
+      Alcotest.test_case "calibration is stable at the optimum" `Quick
+        test_calibration_identity_is_stable;
+    ] )

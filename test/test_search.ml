@@ -231,6 +231,90 @@ let test_lower_cache_physical_identity () =
   Alcotest.(check bool) "coalesced lowering is not the cached plain one" true
     (not (plain == coalesced))
 
+(* ------------------------------------------------------------------ *)
+(* Ranker /= verifier cost accounting: the ranking pass is billed to
+   the outcome even when the verifying backend is machine-free, and an
+   adaptive search is exhaustive when its first rung is the whole
+   space *)
+
+let test_rank_backend_billed_separately () =
+  let entry = Sw_workloads.Registry.find_exn "kmeans" in
+  let kernel = entry.Sw_workloads.Registry.build ~scale:0.1 in
+  let pts = points entry in
+  let tune_model strategy =
+    Tuner.tune_exn ~backend:Sw_backend.Backend.static_model ~strategy
+      ~default:(default_of entry kernel) config kernel ~points:pts
+  in
+  let ranked =
+    tune_model (Search.shortlist ~rank:Sw_backend.Backend.simulator ~k:4 ())
+  in
+  (* the simulator ranked, so machine time was spent — all of it in the
+     ranking pass, because the static model verifies for free *)
+  Alcotest.(check bool) "rank pass billed" true (ranked.Tuner.rank_machine_us > 0.0);
+  Alcotest.(check (float 0.0)) "all machine time is the rank pass"
+    ranked.Tuner.rank_machine_us ranked.Tuner.machine_time_us;
+  Alcotest.(check bool) "rank host time recorded" true (ranked.Tuner.rank_host_s >= 0.0);
+  (* a free ranker on the same verifier bills no machine time at all *)
+  let free = tune_model (Search.shortlist ~k:4 ()) in
+  Alcotest.(check (float 0.0)) "static-ranked static verify is machine-free" 0.0
+    free.Tuner.machine_time_us;
+  (* sim-ranked model-verified finds the same best as exhaustive model:
+     kmeans's simulator ranking places the model argmin in the top 4 *)
+  let exhaustive = tune_model Search.exhaustive in
+  Alcotest.(check bool) "same argmin" true (ranked.Tuner.best = exhaustive.Tuner.best)
+
+let prop_adaptive_whole_space_is_exhaustive =
+  QCheck.Test.make ~name:"adaptive k=|space| matches exhaustive" ~count:8
+    QCheck.(pair (int_range 0 (Array.length subset_entries - 1)) (int_range 0 2))
+    (fun (ei, pool_size) ->
+      let entry = subset_entries.(ei) in
+      let kernel = entry.Sw_workloads.Registry.build ~scale:0.1 in
+      let pts = points entry in
+      with_pool pool_size (fun pool ->
+          let exhaustive = tune ?pool ~strategy:Search.exhaustive entry kernel pts in
+          let adaptive =
+            tune ?pool
+              ~strategy:(Search.adaptive_shortlist ~k:(List.length pts) ())
+              entry kernel pts
+          in
+          same_answer exhaustive adaptive))
+
+let prop_adaptive_pool_deterministic =
+  QCheck.Test.make ~name:"adaptive identical at any pool size" ~count:8
+    QCheck.(pair (int_range 0 (Array.length subset_entries - 1)) (int_range 1 4))
+    (fun (ei, pool_size) ->
+      let entry = subset_entries.(ei) in
+      let kernel = entry.Sw_workloads.Registry.build ~scale:0.1 in
+      let pts = points entry in
+      let sequential =
+        tune ~strategy:(Search.adaptive_shortlist ~k:3 ()) entry kernel pts
+      in
+      with_pool pool_size (fun pool ->
+          let pooled =
+            tune ?pool ~strategy:(Search.adaptive_shortlist ~k:3 ()) entry kernel pts
+          in
+          same_answer sequential pooled
+          && sequential.Tuner.points_pruned = pooled.Tuner.points_pruned
+          && sequential.Tuner.evaluated = pooled.Tuner.evaluated))
+
+let test_adaptive_same_best_on_table2 () =
+  (* the adaptive search with the default static ranker reproduces the
+     exhaustive argmin on every tuning kernel, like the fixed-K
+     shortlist, without K having to be chosen per kernel *)
+  List.iter
+    (fun (entry : Sw_workloads.Registry.entry) ->
+      let kernel = entry.Sw_workloads.Registry.build ~scale:0.25 in
+      let pts = points entry in
+      let exhaustive = tune ~strategy:Search.exhaustive entry kernel pts in
+      let adaptive =
+        tune ~strategy:(Search.adaptive_shortlist ~k:6 ()) entry kernel pts
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: adaptive finds the argmin" entry.name)
+        true
+        (same_answer exhaustive adaptive))
+    Sw_workloads.Registry.tuning_subset
+
 let tests =
   ( "search",
     [
@@ -249,6 +333,12 @@ let tests =
         test_shortlist_same_best_on_table2;
       Alcotest.test_case "shortlist cuts kmeans machine time 3x" `Quick
         test_shortlist_cheaper_machine_time;
+      Alcotest.test_case "ranking pass billed when ranker /= verifier" `Quick
+        test_rank_backend_billed_separately;
+      QCheck_alcotest.to_alcotest prop_adaptive_whole_space_is_exhaustive;
+      QCheck_alcotest.to_alcotest prop_adaptive_pool_deterministic;
+      Alcotest.test_case "table2: adaptive argmin matches exhaustive" `Quick
+        test_adaptive_same_best_on_table2;
       Alcotest.test_case "lowering cache hits on repeat" `Quick test_lower_cache_hits;
       Alcotest.test_case "lowering cache keys on physical kernel" `Quick
         test_lower_cache_physical_identity;

@@ -263,6 +263,7 @@ let test_daemon_equals_oneshot () =
       {|{"op": "predict", "kernel": "nbody", "backend": "sim", "seed": 11}|};
       {|{"op": "predict", "kernel": "kmeans", "backend": "hybrid"}|};
       {|{"op": "tune", "kernel": "kmeans", "backend": "sim", "strategy": "shortlist", "seed": 11}|};
+      {|{"op": "tune", "kernel": "cfd", "scale": 0.25, "backend": "sim", "strategy": "adaptive", "rank": "surrogate", "seed": 11}|};
       {|{"op": "timeline", "kernel": "lud", "seed": 11, "faults": 2}|};
     ]
 
@@ -291,6 +292,45 @@ let test_degraded_tune_uses_model () =
   | Ok tr ->
       Alcotest.(check bool) "marked degraded" true tr.Handler.tr_degraded;
       Alcotest.(check string) "served by the model" "model" tr.Handler.tr_backend
+
+let test_surrogate_ranked_tune_through_handler () =
+  (* the handler resolves --rank through the same shared memo as the
+     verifying backend and hands it to the adaptive strategy: the
+     argmin must match the plain exhaustive tune of the same request *)
+  Sw_learn.Surrogate.clear_cache ();
+  let state = Handler.create () in
+  let base =
+    {
+      (Handler.tune_defaults ~kernel:"kmeans") with
+      Handler.t_scale = 0.25;
+      t_backend = "sim";
+      t_seed = Some 11;
+    }
+  in
+  let ranked =
+    match
+      Handler.tune state
+        { base with Handler.t_strategy = "adaptive"; t_rank = Some "surrogate" }
+    with
+    | Ok tr -> tr
+    | Error msg -> Alcotest.failf "surrogate-ranked tune failed: %s" msg
+  in
+  let exhaustive =
+    match Handler.tune state { base with Handler.t_strategy = "exhaustive" } with
+    | Ok tr -> tr
+    | Error msg -> Alcotest.failf "exhaustive tune failed: %s" msg
+  in
+  Alcotest.(check bool) "same argmin" true
+    (ranked.Handler.tr_outcome.Sw_tuning.Tuner.best
+    = exhaustive.Handler.tr_outcome.Sw_tuning.Tuner.best);
+  Alcotest.(check bool) "ranking pass billed machine time" true
+    (ranked.Handler.tr_outcome.Sw_tuning.Tuner.rank_machine_us > 0.0);
+  let fits, _ = Sw_learn.Surrogate.cache_stats () in
+  Alcotest.(check int) "handler trained the surrogate once" 1 fits;
+  (* an unknown ranking backend is a typed error, not a crash *)
+  match Handler.tune state { base with Handler.t_rank = Some "nonsense" } with
+  | Ok _ -> Alcotest.fail "unknown rank backend must be rejected"
+  | Error _ -> ()
 
 let test_predict_timeout_degrades_to_model () =
   (* limit 0 disqualifies every simulation post-hoc, so the fallback
@@ -553,6 +593,56 @@ let test_server_resume_from_request_log () =
       Alcotest.(check int) "nothing left to resume" 0 (List.length responses2);
       Alcotest.(check int) "no resumed" 0 stats2.Server.resumed)
 
+let test_server_resume_rebuilds_surrogate_cache () =
+  (* models live in process memory, so a crash loses them: recovery
+     must drop whatever a prior life cached and retrain from its own
+     configuration.  Pre-polluting the cache with another kernel's fit
+     and counting fits after the resumed surrogate-ranked tune proves
+     the clear happened — only the resumed kernel's fit is counted. *)
+  with_temp_dir (fun dir ->
+      Sw_learn.Surrogate.clear_cache ();
+      let cfd = entry "cfd" in
+      let kernel = cfd.Sw_workloads.Registry.build ~scale:0.25 in
+      (match
+         Backend.assess (Sw_learn.Surrogate.make ()) config kernel
+           cfd.Sw_workloads.Registry.variant
+       with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "pre-pollution assessment must succeed");
+      let fits0, _ = Sw_learn.Surrogate.cache_stats () in
+      Alcotest.(check int) "stale fit in the cache" 1 fits0;
+      let tune_line =
+        {|{"id": "t1", "op": "tune", "kernel": "kmeans", "scale": 0.25, "backend": "sim", "strategy": "adaptive", "rank": "surrogate", "seed": 11}|}
+      in
+      let log = open_out (Filename.concat dir "requests.jsonl") in
+      output_string log
+        (Json.to_string
+           (Json.Obj
+              [ ("rq", Json.Int 1); ("ev", Json.Str "begin"); ("req", Json.Str tune_line) ])
+        ^ "\n");
+      close_out log;
+      let state = Handler.create ~state_dir:dir () in
+      let responses, stats = run_server ~state [] in
+      Alcotest.(check int) "one replayed response" 1 (List.length responses);
+      Alcotest.(check int) "counted as resumed" 1 stats.Server.resumed;
+      let j = parse_resp (List.hd responses) in
+      Alcotest.(check (option bool)) "resumed surrogate tune ok" (Some true)
+        (Option.bind (Json.member "ok" j) Json.to_bool);
+      let fits1, _ = Sw_learn.Surrogate.cache_stats () in
+      Alcotest.(check int) "recovery cleared the cache; only the resumed fit counts" 1
+        fits1;
+      (* and the retrained answer is the one-shot answer, bit for bit on
+         the stable fields *)
+      let oneshot =
+        let state = Handler.create () in
+        match (run_line state tune_line).Handler.result with
+        | Ok payload -> Handler.strip_volatile payload
+        | Error msg -> Alcotest.fail msg
+      in
+      Alcotest.check json "resumed = one-shot"
+        oneshot
+        (Handler.strip_volatile (Option.get (Json.member "result" j))))
+
 let tests =
   ( "serve",
     [
@@ -577,6 +667,8 @@ let tests =
         test_shared_memo_across_requests;
       Alcotest.test_case "degraded tune sheds to the model" `Quick
         test_degraded_tune_uses_model;
+      Alcotest.test_case "surrogate-ranked tune via the handler" `Quick
+        test_surrogate_ranked_tune_through_handler;
       Alcotest.test_case "predict timeout degrades to the model" `Quick
         test_predict_timeout_degrades_to_model;
       Alcotest.test_case "concurrent memoize+journal is exact (4 domains)" `Quick
@@ -589,4 +681,6 @@ let tests =
         test_server_shutdown_and_pool;
       Alcotest.test_case "server resumes an interrupted tune" `Quick
         test_server_resume_from_request_log;
+      Alcotest.test_case "crash recovery rebuilds the surrogate cache" `Quick
+        test_server_resume_rebuilds_surrogate_cache;
     ] )
