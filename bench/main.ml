@@ -111,10 +111,18 @@ let table2 () =
    cleared before each timed run so cold/cold comparisons are fair; a
    warm sequential rerun quantifies the cross-run cache on its own. *)
 let parallel () =
-  let domains = Sw_util.Pool.default_size () in
+  (* SWPM_DOMAINS still wins, but the fallback sizes from the host's
+     full recommended count (capped at 4) instead of Pool's
+     one-less-than-recommended default, which collapsed to a
+     1-domain pool — recording "domains": 1 — on small hosts. *)
+  let domains =
+    match Option.bind (Sys.getenv_opt "SWPM_DOMAINS") int_of_string_opt with
+    | Some n when n > 0 -> n
+    | _ -> Stdlib.min 4 (Domain.recommended_domain_count ())
+  in
   section
     (Printf.sprintf "Parallel tuning: Table II empirical search, 1 vs %d domain(s)" domains);
-  let pool = Sw_util.Pool.create () in
+  let pool = Sw_util.Pool.create ~size:domains () in
   let params = Sw_arch.Params.default in
   let config = Sw_sim.Config.default params in
   let time f =
@@ -1129,6 +1137,190 @@ let serve_bench () =
   then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Sharded multi-process tuning over a ~10^6-variant synthetic space.
+   Gates (exit 1): the sharded argmin equals the single-process oracle's
+   on the same space; host speedup >= 0.7 x min(workers, cores) (2.8x
+   at 4 workers on a 4-core host, ~1x on a 1-core one — the workers
+   then timeshare); and a worker SIGKILLed mid-run leaves journals a
+   rerun resumes from (journal hits >= 1) to a bit-identical argmin. *)
+
+let shard_bench () =
+  section "Shard: sharded multi-process tuning on a million-point space";
+  let module H = Sw_serve.Handler in
+  let swmodel =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      (Filename.concat "bin" "swmodel.exe")
+  in
+  if not (Sys.file_exists swmodel) then begin
+    Printf.printf "GATE FAILED: worker executable %s not built (run dune build first)\n" swmodel;
+    exit 1
+  end;
+  Unix.putenv "SWPM_WORKER_EXE" swmodel;
+  let workers = 4 in
+  let cores = Domain.recommended_domain_count () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let tune req =
+    match H.tune (H.create ()) req with
+    | Ok tr -> tr.H.tr_outcome
+    | Error msg ->
+        Printf.printf "GATE FAILED: tune: %s\n" msg;
+        exit 1
+  in
+  (* The synthetic space: grain x unroll x double-buffer product around
+     vector-add.  Grains run far past the SPM limit, so most points are
+     compile-time infeasible — exactly how a real million-point space
+     looks — and the feasible band sits at large grains where a model
+     assessment is cheap. *)
+  let grains = "1000..4905" and unrolls = "1..128" in
+  let n_points = Sw_tuning.Space.size ~grains:(Sw_tuning.Space.range 1000 4905)
+      ~unrolls:(Sw_tuning.Space.range 1 128) ~double_buffers:[ false; true ] ()
+  in
+  let req =
+    {
+      (H.tune_defaults ~kernel:"vector-add") with
+      H.t_scale = 0.01;
+      t_strategy = "shortlist";
+      t_shortlist = 64;
+      t_seed = Some 17;
+      t_grains = Some grains;
+      t_unrolls = Some unrolls;
+      t_db_both = true;
+    }
+  in
+  Printf.printf "space: %d points; oracle (1 process) ...\n%!" n_points;
+  let oracle, oracle_s = time (fun () -> tune req) in
+  Printf.printf "oracle: %.2fs, best grain=%d unroll=%d db=%b (%.0f cycles)\n%!" oracle_s
+    oracle.Sw_tuning.Tuner.best.Sw_swacc.Kernel.grain
+    oracle.Sw_tuning.Tuner.best.Sw_swacc.Kernel.unroll
+    oracle.Sw_tuning.Tuner.best.Sw_swacc.Kernel.double_buffer oracle.Sw_tuning.Tuner.best_cycles;
+  let sharded, sharded_s = time (fun () -> tune { req with H.t_workers = workers }) in
+  Printf.printf "sharded (%d workers): %.2fs, best grain=%d unroll=%d db=%b (%.0f cycles)\n%!"
+    workers sharded_s sharded.Sw_tuning.Tuner.best.Sw_swacc.Kernel.grain
+    sharded.Sw_tuning.Tuner.best.Sw_swacc.Kernel.unroll
+    sharded.Sw_tuning.Tuner.best.Sw_swacc.Kernel.double_buffer
+    sharded.Sw_tuning.Tuner.best_cycles;
+  let speedup = oracle_s /. Stdlib.max 1e-9 sharded_s in
+  let speedup_gate = 0.7 *. float_of_int (Stdlib.min workers cores) in
+  let same_pick =
+    oracle.Sw_tuning.Tuner.best = sharded.Sw_tuning.Tuner.best
+    && oracle.Sw_tuning.Tuner.best_cycles = sharded.Sw_tuning.Tuner.best_cycles
+  in
+  Printf.printf "speedup %.2fx on %d core(s) (gate >= %.2fx), same argmin: %b\n%!" speedup cores
+    speedup_gate same_pick;
+  (* Crash resume: an exhaustive 2-worker tune over a smaller all-
+     feasible slab (so journals fill steadily from the start), with
+     worker 0 SIGKILLed mid-run.  The journals persist under the
+     checkpoint path; the rerun replays them to the oracle argmin. *)
+  let ckpt = Filename.temp_file "swpm-bench-shard" ".journal" in
+  let shard_journal shard = Printf.sprintf "%s.shard%dof2" ckpt shard in
+  let kill_req =
+    {
+      (H.tune_defaults ~kernel:"vector-add") with
+      H.t_scale = 0.01;
+      t_seed = Some 17;
+      t_grains = Some "1000..2730:2";
+      t_unrolls = Some "1..16";
+      t_checkpoint = Some ckpt;
+    }
+  in
+  let kill_oracle = tune { kill_req with H.t_checkpoint = None } in
+  let count_lines path =
+    if not (Sys.file_exists path) then 0
+    else begin
+      let ic = open_in_bin path in
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      !n
+    end
+  in
+  let victim =
+    Sw_tuning.Shard.launch ~shard:0
+      ~argv:(H.worker_argv kill_req ~shard:0 ~shards:2 ~journal:(shard_journal 0))
+  in
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  (* wait for the journal header plus a few resolved entries *)
+  while count_lines (shard_journal 0) < 8 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  (try Unix.kill (Sw_tuning.Shard.pid victim) Sys.sigkill with Unix.Unix_error _ -> ());
+  let killed =
+    match Sw_tuning.Shard.coordinate [ victim ] with Ok _ -> false | Error _ -> true
+  in
+  let lines_at_kill = count_lines (shard_journal 0) in
+  Printf.printf "killed worker 0 (mid-run: %b) with %d journal lines; rerunning ...\n%!" killed
+    lines_at_kill;
+  let resumed = tune { kill_req with H.t_workers = 2 } in
+  let resume_identical =
+    resumed.Sw_tuning.Tuner.best = kill_oracle.Sw_tuning.Tuner.best
+    && resumed.Sw_tuning.Tuner.best_cycles = kill_oracle.Sw_tuning.Tuner.best_cycles
+  in
+  let resume_hits = resumed.Sw_tuning.Tuner.journal_hits in
+  let resume_ok = resume_identical && (lines_at_kill < 2 || resume_hits >= 1) in
+  Printf.printf "resumed: best grain=%d unroll=%d (%.0f cycles), %d journal hits, identical: %b\n%!"
+    resumed.Sw_tuning.Tuner.best.Sw_swacc.Kernel.grain
+    resumed.Sw_tuning.Tuner.best.Sw_swacc.Kernel.unroll resumed.Sw_tuning.Tuner.best_cycles
+    resume_hits resume_identical;
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ ckpt; shard_journal 0; shard_journal 1 ];
+  let speedup_ok = speedup >= speedup_gate in
+  if not same_pick then
+    Printf.printf "GATE FAILED: sharded argmin differs from the single-process oracle\n";
+  if not speedup_ok then
+    Printf.printf "GATE FAILED: sharded speedup %.2fx < %.2fx on %d core(s)\n" speedup
+      speedup_gate cores;
+  if not resume_ok then
+    Printf.printf
+      "GATE FAILED: killed-worker rerun (argmin identical: %b, journal hits %d, lines at kill \
+       %d)\n"
+      resume_identical resume_hits lines_at_kill;
+  let outcome_json label (o : Sw_tuning.Tuner.outcome) host_s =
+    ( label,
+      json_obj
+        [
+          ("host_s", json_float host_s);
+          ("best_grain", string_of_int o.Sw_tuning.Tuner.best.Sw_swacc.Kernel.grain);
+          ("best_unroll", string_of_int o.Sw_tuning.Tuner.best.Sw_swacc.Kernel.unroll);
+          ( "best_double_buffer",
+            string_of_bool o.Sw_tuning.Tuner.best.Sw_swacc.Kernel.double_buffer );
+          ("best_cycles", json_float o.Sw_tuning.Tuner.best_cycles);
+          ("evaluated", string_of_int o.Sw_tuning.Tuner.evaluated);
+          ("infeasible", string_of_int o.Sw_tuning.Tuner.infeasible);
+          ("pruned", string_of_int o.Sw_tuning.Tuner.points_pruned);
+          ("journal_hits", string_of_int o.Sw_tuning.Tuner.journal_hits);
+          ("journal_misses", string_of_int o.Sw_tuning.Tuner.journal_misses);
+        ] )
+  in
+  add_json "shard"
+    (json_obj
+       [
+         ("points", string_of_int n_points);
+         ("workers", string_of_int workers);
+         ("cores", string_of_int cores);
+         outcome_json "oracle" oracle oracle_s;
+         outcome_json "sharded" sharded sharded_s;
+         ("speedup", json_float speedup);
+         ("speedup_gate", json_float speedup_gate);
+         ("same_pick", string_of_bool same_pick);
+         ("killed_mid_run", string_of_bool killed);
+         ("journal_lines_at_kill", string_of_int lines_at_kill);
+         outcome_json "resumed" resumed 0.0;
+         ("resume_identical", string_of_bool resume_identical);
+       ]);
+  if not (same_pick && speedup_ok && resume_ok) then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -1154,6 +1346,7 @@ let all =
     ("micro", microbench);
     ("engine", engine);
     ("serve", serve_bench);
+    ("shard", shard_bench);
   ]
 
 let () =

@@ -261,9 +261,33 @@ let robust_arg =
   in
   Arg.(value & opt int 0 & info [ "robust" ] ~docv:"SEEDS" ~doc)
 
+let workers_arg =
+  let doc =
+    "Sharded tuning: partition the space across $(docv) worker processes (by a stable hash of \
+     the variant key), each journaling its shard and pruning against the global incumbent; the \
+     coordinator merges the journals and returns the single-process argmin.  With --checkpoint \
+     the per-shard journals persist as FILE.shard<i>of<N>, so a killed run resumes."
+  in
+  Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+
+let grains_arg =
+  let doc =
+    "Override the kernel's grain axis: $(b,lo..hi), $(b,lo..hi:step) or a comma list \
+     $(b,a,b,c)."
+  in
+  Arg.(value & opt (some string) None & info [ "grains" ] ~docv:"AXIS" ~doc)
+
+let unrolls_arg =
+  let doc = "Override the kernel's unroll axis (same syntax as --grains)." in
+  Arg.(value & opt (some string) None & info [ "unrolls" ] ~docv:"AXIS" ~doc)
+
+let db_both_arg =
+  let doc = "Search both double-buffer settings instead of only off." in
+  Arg.(value & flag & info [ "db-both" ] ~doc)
+
 let tune_cmd =
   let run name scale backend_name strategy_name rank shortlist_k rungs json domains trace seed
-      faults fault_level checkpoint robust_seeds =
+      faults fault_level checkpoint robust_seeds workers grains unrolls db_both =
     Option.iter Sw_util.Prng.set_global_seed seed;
     let req =
       {
@@ -279,6 +303,10 @@ let tune_cmd =
         t_faults = faults;
         t_fault_level = fault_level;
         t_checkpoint = checkpoint;
+        t_workers = workers;
+        t_grains = grains;
+        t_unrolls = unrolls;
+        t_db_both = db_both;
       }
     in
     let sink = Option.map (fun _ -> Sw_obs.Sink.create ()) trace in
@@ -324,7 +352,29 @@ let tune_cmd =
     Term.(
       const run $ kernel_arg $ scale_arg $ backend_arg $ strategy_arg $ rank_arg $ shortlist_arg
       $ rungs_arg $ json_arg $ domains_arg $ trace_arg $ seed_arg $ faults_arg $ fault_level_arg
-      $ checkpoint_arg $ robust_arg)
+      $ checkpoint_arg $ robust_arg $ workers_arg $ grains_arg $ unrolls_arg $ db_both_arg)
+
+let shard_worker_cmd =
+  let run spec =
+    match Sw_serve.Handler.worker_main spec with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "swmodel shard-worker: %s\n%!" msg;
+        exit 1
+  in
+  let spec_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"JSON" ~doc:"Worker spec built by the coordinating tune.")
+  in
+  Cmd.v
+    (Cmd.info "shard-worker"
+       ~doc:
+         "Internal: one shard of a sharded tune.  Launched by $(b,tune --workers N); searches \
+          its shard with the cutoff link on stdin/stdout and journals every resolved point."
+       ~docs:Cmdliner.Manpage.s_none)
+    Term.(const run $ spec_arg)
 
 let fig6_cmd =
   let run scale domains =
@@ -696,6 +746,7 @@ let main =
       predict_cmd;
       simulate_cmd;
       tune_cmd;
+      shard_worker_cmd;
       serve_cmd;
       metrics_cmd;
       fig6_cmd;

@@ -745,6 +745,78 @@ let journal_misses j = Atomic.get j.j_misses
 
 let journal_close j = j.j_close ()
 
+(* Offline journal access: the shard coordinator merges per-worker
+   journals without ever opening them for appending. *)
+
+exception Journal_mismatch of { path : string; expected : string; found : string }
+
+let journal_key_of (kernel : Kernel.t) (variant : Kernel.variant) =
+  {
+    jk_kernel = kernel.Kernel.name;
+    jk_elems = kernel.Kernel.n_elements;
+    jk_vw = kernel.Kernel.vector_width;
+    jk_variant = variant;
+  }
+
+let journal_header_line config =
+  Printf.sprintf journal_header_fmt (config_digest config)
+
+let journal_entry_line key entry =
+  let v = key.jk_variant in
+  let status, cycles, machine_us, events, jbackend, reason =
+    match entry with
+    | Journal_ok { cycles; machine_us; machine_events } ->
+        ("ok", cycles, machine_us, machine_events, "", "")
+    | Journal_infeasible { jbackend; jreason } -> ("infeasible", 0.0, 0.0, 0, jbackend, jreason)
+  in
+  Printf.sprintf journal_line_fmt key.jk_kernel key.jk_elems key.jk_vw v.Kernel.grain
+    v.Kernel.unroll v.Kernel.active_cpes v.Kernel.double_buffer status cycles machine_us
+    events jbackend reason
+
+let journal_read ~config path =
+  let digest = config_digest config in
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | exception End_of_file -> [] (* created but never written: nothing to replay *)
+          | header -> (
+              match
+                Scanf.sscanf header "{\"journal\": %S, \"version\": %d, \"config\": %S}"
+                  (fun _ v d -> (v, d))
+              with
+              | exception (Scanf.Scan_failure _ | End_of_file | Failure _) ->
+                  raise
+                    (Journal_mismatch { path; expected = digest; found = "<malformed header>" })
+              | 1, d when d = digest ->
+                  let entries = ref [] in
+                  (try
+                     while true do
+                       (* a truncated tail line (kill mid-write) parses as
+                          nothing and is dropped, same as the resume path *)
+                       match parse_journal_line (input_line ic) with
+                       | Some kv -> entries := kv :: !entries
+                       | None -> ()
+                     done
+                   with End_of_file -> ());
+                  List.rev !entries
+              | v, d ->
+                  let found = if v <> 1 then Printf.sprintf "<version %d>" v else d in
+                  raise (Journal_mismatch { path; expected = digest; found })))
+
+let journal_merge ~config paths =
+  let merged : (journal_key, journal_entry) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun path ->
+      List.iter
+        (fun (key, entry) -> if not (Hashtbl.mem merged key) then Hashtbl.add merged key entry)
+        (journal_read ~config path))
+    paths;
+  merged
+
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 

@@ -325,6 +325,70 @@ val journal_close : journal -> unit
 (** Close the underlying channel (idempotent).  Writes are flushed per
     line, so this is about file descriptors, not durability. *)
 
+(** {2 Offline journal access}
+
+    The sharded tuner fans one search out across worker processes, each
+    appending to its own journal; the coordinator then merges those
+    files into one result set {e without} opening them for appending.
+    These readers share the resume parser above: the same header/digest
+    check, the same per-line Scanf, the same tolerance for a truncated
+    final line. *)
+
+type journal_key = {
+  jk_kernel : string;
+  jk_elems : int;
+  jk_vw : int;
+  jk_variant : Sw_swacc.Kernel.variant;
+}
+(** What one journal line identifies: a kernel (by name, element count
+    and vector width) at one tuning variant. *)
+
+type journal_entry =
+  | Journal_ok of { cycles : float; machine_us : float; machine_events : int }
+  | Journal_infeasible of { jbackend : string; jreason : string }
+      (** A resolved assessment as journaled: either priced ([cycles]
+          round-trips bit-exactly) or compile-time infeasible.
+          [Cut_off] results are never journaled. *)
+
+exception Journal_mismatch of { path : string; expected : string; found : string }
+(** Raised by {!journal_read} / {!journal_merge} when a journal file
+    exists but is bound to a different configuration digest (or has a
+    malformed or wrong-version header).  [expected] is the digest of
+    the caller's configuration; [found] is what the file declared. *)
+
+val config_digest : Sw_sim.Config.t -> string
+(** The digest a journal header binds its file to (MD5 of the
+    marshalled configuration, hex). *)
+
+val journal_key_of : Sw_swacc.Kernel.t -> Sw_swacc.Kernel.variant -> journal_key
+(** The key {!journal} writes for an assessment of [kernel] at
+    [variant] — use it to look merged results back up. *)
+
+val journal_header_line : Sw_sim.Config.t -> string
+(** The exact header line (no newline) a fresh journal starts with. *)
+
+val journal_entry_line : journal_key -> journal_entry -> string
+(** The exact line (no newline) {!journal} appends for one resolved
+    assessment — exposed so tests and tools can craft journal files
+    byte-compatible with the writer. *)
+
+val journal_read : config:Sw_sim.Config.t -> string -> (journal_key * journal_entry) list
+(** [journal_read ~config path] parses one journal file into its
+    entries, in write order.  A missing or empty file reads as [[]] (a
+    worker that died before its first write is not an error); a
+    truncated final line is dropped, exactly as the resume path does.
+    @raise Journal_mismatch when the file's header names a different
+    configuration. *)
+
+val journal_merge :
+  config:Sw_sim.Config.t -> string list -> (journal_key, journal_entry) Hashtbl.t
+(** [journal_merge ~config paths] folds {!journal_read} over [paths]
+    into one table.  Duplicate keys resolve to the {e first}-written
+    entry, in [paths] order — deterministic backends journal the same
+    verdict everywhere, so this only matters for crafted inputs, but
+    the rule is fixed so merged argmins are reproducible.
+    @raise Journal_mismatch as {!journal_read}. *)
+
 (** {1 Registry}
 
     String-keyed lookup for CLI flags and bench sections.  Built-ins:

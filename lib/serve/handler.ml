@@ -85,6 +85,10 @@ type tune_req = {
   t_faults : int option;
   t_fault_level : string;
   t_checkpoint : string option;
+  t_workers : int;
+  t_grains : string option;
+  t_unrolls : string option;
+  t_db_both : bool;
 }
 
 type timeline_req = {
@@ -138,6 +142,10 @@ let tune_defaults ~kernel =
     t_faults = None;
     t_fault_level = "mild";
     t_checkpoint = None;
+    t_workers = 1;
+    t_grains = None;
+    t_unrolls = None;
+    t_db_both = false;
   }
 
 let timeline_defaults ~kernel =
@@ -217,6 +225,10 @@ let parse_tune j =
   let* t_faults = opt_int "faults" j in
   let* t_fault_level = dflt "mild" (opt_str "fault_level" j) in
   let* t_checkpoint = opt_str "checkpoint" j in
+  let* t_workers = dflt 1 (opt_int "workers" j) in
+  let* t_grains = opt_str "grains" j in
+  let* t_unrolls = opt_str "unrolls" j in
+  let* t_db_both = dflt false (opt_bool "db_both" j) in
   Ok
     {
       t_kernel;
@@ -231,6 +243,10 @@ let parse_tune j =
       t_faults;
       t_fault_level;
       t_checkpoint;
+      t_workers;
+      t_grains;
+      t_unrolls;
+      t_db_both;
     }
 
 let parse_timeline j =
@@ -306,21 +322,31 @@ let verb_to_json = function
           ("fault_level", jstr p.p_fault_level);
         ]
   | Tune t ->
+      (* Space overrides change what work is requested, so they belong
+         in the canonical form — but only when non-default, so every
+         pre-override request keeps the key (and hence the checkpoint
+         path) it always had. *)
+      let space_overrides =
+        (match t.t_grains with None -> [] | Some g -> [ ("grains", jstr g) ])
+        @ (match t.t_unrolls with None -> [] | Some u -> [ ("unrolls", jstr u) ])
+        @ if t.t_db_both then [ ("db_both", Json.Bool true) ] else []
+      in
       Json.Obj
-        [
-          ("op", jstr "tune");
-          ("kernel", jstr t.t_kernel);
-          ("scale", Json.Float t.t_scale);
-          ("backend", jstr t.t_backend);
-          ("strategy", jstr t.t_strategy);
-          ("rank", jopt jstr t.t_rank);
-          ("shortlist", jint t.t_shortlist);
-          ("rungs", jint t.t_rungs);
-          ("robust", jint t.t_robust);
-          ("seed", jopt jint t.t_seed);
-          ("faults", jopt jint t.t_faults);
-          ("fault_level", jstr t.t_fault_level);
-        ]
+        ([
+           ("op", jstr "tune");
+           ("kernel", jstr t.t_kernel);
+           ("scale", Json.Float t.t_scale);
+           ("backend", jstr t.t_backend);
+           ("strategy", jstr t.t_strategy);
+           ("rank", jopt jstr t.t_rank);
+           ("shortlist", jint t.t_shortlist);
+           ("rungs", jint t.t_rungs);
+           ("robust", jint t.t_robust);
+           ("seed", jopt jint t.t_seed);
+           ("faults", jopt jint t.t_faults);
+           ("fault_level", jstr t.t_fault_level);
+         ]
+        @ space_overrides)
   | Timeline l ->
       Json.Obj
         [
@@ -338,7 +364,10 @@ let verb_to_json = function
 
 (* The tune checkpoint is deliberately left out of [verb_to_json]: the
    key must not depend on it, or an auto-assigned checkpoint (derived
-   from the key) would change the key. *)
+   from the key) would change the key.  [t_workers] is left out for the
+   same family of reason — how many processes search does not change
+   what is searched, and a tune resumed with a different worker count
+   must find the same checkpoint journals. *)
 let request_key r = Digest.to_hex (Digest.string (Json.to_string (verb_to_json r.verb)))
 
 (* ------------------------------------------------------------------ *)
@@ -503,15 +532,100 @@ let strategy_of t ?rank ~n_points () =
           (Printf.sprintf
              "unknown strategy %S (available: exhaustive, shortlist, adaptive, halving, robust)" s)
 
+(* The one place the search space is built: the registry entry's axes,
+   each optionally overridden by a request axis spec (Space.parse_axis
+   syntax).  CLI tune, daemon tune, and every shard worker call this,
+   so all of them enumerate the exact same points in the exact same
+   order — the property the sharded argmin proof rests on. *)
+let tune_points t (entry : Sw_workloads.Registry.entry) =
+  let axis name dflt = function
+    | None -> Ok dflt
+    | Some spec -> (
+        match Sw_tuning.Space.parse_axis spec with
+        | Ok vs -> Ok vs
+        | Error msg -> Error (Printf.sprintf "axis %S: %s" name msg))
+  in
+  let* grains = axis "grains" entry.Sw_workloads.Registry.grains t.t_grains in
+  let* unrolls = axis "unrolls" entry.Sw_workloads.Registry.unrolls t.t_unrolls in
+  let double_buffers = if t.t_db_both then [ false; true ] else [ false ] in
+  Ok (Sw_tuning.Space.enumerate ~grains ~unrolls ~double_buffers ())
+
+(* --- sharded dispatch --------------------------------------------- *)
+
+let worker_exe () =
+  match Sys.getenv_opt "SWPM_WORKER_EXE" with
+  | Some exe when exe <> "" -> exe
+  | _ -> Sys.executable_name
+
+(* One worker's complete marching orders, as a single JSON argument:
+   the tune request in canonical form (Null fields dropped so the spec
+   re-parses through [parse_tune]) plus its shard coordinates and
+   journal path.  The seed is resolved before the spec is built, so
+   the worker's journal binds to byte-identical config regardless of
+   either process's global PRNG state. *)
+let resolve_seed t =
+  { t with t_seed = Some (Option.value t.t_seed ~default:(Sw_util.Prng.global_seed ())) }
+
+let worker_spec t ~shard ~shards ~journal =
+  let fields =
+    match verb_to_json (Tune t) with
+    | Json.Obj fields -> List.filter (fun (_, v) -> v <> Json.Null) fields
+    | other -> [ ("req", other) ]
+  in
+  Json.to_string
+    (Json.Obj
+       (fields
+       @ [ ("shard", Json.Int shard); ("shards", Json.Int shards); ("journal", jstr journal) ]
+       ))
+
+let worker_argv t ~shard ~shards ~journal =
+  [| worker_exe (); "shard-worker"; "--spec"; worker_spec t ~shard ~shards ~journal |]
+
+let shard_journals t ~workers =
+  match t.t_checkpoint with
+  | Some path ->
+      Array.init workers (fun shard -> Printf.sprintf "%s.shard%dof%d" path shard workers)
+  | None ->
+      Array.init workers (fun shard ->
+          Filename.temp_file (Printf.sprintf "swpm-shard%dof%d-" shard workers) ".journal")
+
+let sharded_tune state t config kernel points =
+  let t = resolve_seed t in
+  let workers = t.t_workers in
+  let* canonical, _ = backend state t.t_backend in
+  (* Validate the strategy (and rank backend) here so a typo surfaces
+     as a readable request error, not as N worker failures. *)
+  let* _ =
+    match t.t_rank with None -> Ok None | Some name -> Result.map Option.some (backend state name)
+  in
+  let* strategy = strategy_of t ~n_points:(List.length points) () in
+  let journals = shard_journals t ~workers in
+  let cleanup () =
+    (* ephemeral journals only: a --checkpoint'ed tune keeps its shard
+       journals so an interrupted run can resume from them *)
+    if t.t_checkpoint = None then
+      Array.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) journals
+  in
+  let result =
+    Sw_tuning.Tuner.tune_sharded ~backend_name:canonical
+      ~strategy_name:(Sw_tuning.Search.name strategy) ~workers
+      ~argv:(fun ~shard ~journal -> worker_argv t ~shard ~shards:workers ~journal)
+      ~journal_of:(fun shard -> journals.(shard))
+      config kernel ~points
+  in
+  cleanup ();
+  match result with
+  | Ok outcome -> Ok { tr_backend = canonical; tr_outcome = outcome; tr_degraded = false }
+  | Error (`No_feasible_point msg) | Error (`Worker_failure msg) -> Error msg
+
 let tune state ?(degrade = false) ?pool ?obs t =
   let* entry = entry_of t.t_kernel in
   let* config = tune_config t in
   let kernel = entry.Sw_workloads.Registry.build ~scale:t.t_scale in
-  let points =
-    Sw_tuning.Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
-      ~unrolls:entry.Sw_workloads.Registry.unrolls ()
-  in
+  let* points = tune_points t entry in
   let n_points = List.length points in
+  if (not degrade) && t.t_workers > 1 then sharded_tune state t config kernel points
+  else
   let* canonical, shared, strategy =
     if degrade then
       (* Overload shedding: whatever was asked for, answer with the
@@ -539,6 +653,80 @@ let tune state ?(degrade = false) ?pool ?obs t =
   with
   | Ok outcome -> Ok { tr_backend = canonical; tr_outcome = outcome; tr_degraded = degrade }
   | Error (`No_feasible_point msg) -> Error msg
+
+(* --- shard worker entrypoint -------------------------------------- *)
+
+(* The body of [swmodel shard-worker]: parse the spec the coordinator
+   passed on the command line, rebuild the identical space, keep only
+   this shard's points, and run the ordinary search over them with the
+   cutoff link wired to stdin/stdout.  Ground truth goes to the journal
+   (closed before the Done line, so the coordinator never merges behind
+   an open write); the pipe carries only advisory incumbents/stats. *)
+let worker_main spec =
+  let req_int name j =
+    match Option.bind (Json.member name j) Json.to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "worker spec: missing integer field %S" name)
+  in
+  let* j = Json.parse spec in
+  let* t = parse_tune j in
+  let* shard = req_int "shard" j in
+  let* shards = req_int "shards" j in
+  let* journal =
+    match Option.bind (Json.member "journal" j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error "worker spec: missing string field \"journal\""
+  in
+  if shards < 1 || shard < 0 || shard >= shards then
+    Error (Printf.sprintf "worker spec: shard %d of %d out of range" shard shards)
+  else
+    let* entry = entry_of t.t_kernel in
+    let* config = tune_config t in
+    let kernel = entry.Sw_workloads.Registry.build ~scale:t.t_scale in
+    let* points = tune_points t entry in
+    let mine = Sw_tuning.Shard.mine ~shard ~shards points in
+    (* a worker is its own process: fresh state, private memo caches *)
+    let state = create () in
+    let* _, shared = backend state t.t_backend in
+    let* rank =
+      match t.t_rank with
+      | None -> Ok None
+      | Some name ->
+          let* _, r = backend state name in
+          Ok (Some r)
+    in
+    let* strategy = strategy_of t ?rank ~n_points:(List.length mine) () in
+    let jnl = Backend.journal ~path:journal config shared in
+    let link = Sw_tuning.Shard.worker_link () in
+    let cpu0 = Sys.time () in
+    let results, sstats =
+      Sw_tuning.Search.run strategy ~backend:(Backend.journaled jnl) ~active_cpes:64 ~link
+        config kernel ~points:mine
+    in
+    let machine_us =
+      List.fold_left
+        (fun acc (_, r) ->
+          match r with
+          | Sw_tuning.Search.Priced v -> acc +. v.Backend.cost.Backend.machine_us
+          | Sw_tuning.Search.Pruned c -> acc +. c.Backend.machine_us
+          | Sw_tuning.Search.Rejected _ -> acc)
+        sstats.Sw_tuning.Search.rank_machine_us results
+    in
+    let stats =
+      Json.Obj
+        [
+          ("shard", Json.Int shard);
+          ("cpu_s", Json.Float (Sys.time () -. cpu0));
+          ("machine_us", Json.Float machine_us);
+          ("rank_host_s", Json.Float sstats.Sw_tuning.Search.rank_host_s);
+          ("rank_machine_us", Json.Float sstats.Sw_tuning.Search.rank_machine_us);
+          ("journal_hits", Json.Float (float_of_int (Backend.journal_hits jnl)));
+          ("journal_misses", Json.Float (float_of_int (Backend.journal_misses jnl)));
+        ]
+    in
+    Backend.journal_close jnl;
+    Sw_tuning.Shard.emit_done stats;
+    Ok ()
 
 (* --- timeline ----------------------------------------------------- *)
 

@@ -79,6 +79,17 @@ type tune_req = {
   t_faults : int option;
   t_fault_level : string;
   t_checkpoint : string option;
+  t_workers : int;
+      (** Worker processes for a sharded tune; 1 (the default) searches
+          in-process.  Excluded from {!request_key}: how many processes
+          search does not change what is searched. *)
+  t_grains : string option;
+      (** Grain-axis override in {!Sw_tuning.Space.parse_axis} syntax
+          (["lo..hi"], ["lo..hi:step"], ["a,b,c"]); [None] = the
+          registry entry's axis. *)
+  t_unrolls : string option;  (** Unroll-axis override, same syntax. *)
+  t_db_both : bool;
+      (** Search both double-buffer settings instead of just [false]. *)
 }
 
 type timeline_req = {
@@ -181,7 +192,36 @@ val tune :
 (** With [degrade] (the server's overload path), the request's backend
     and strategy are replaced by model-only shortlist scoring (K = a
     quarter of the space) — the cheapest search that still returns a
-    simulator-validated argmin. *)
+    simulator-validated argmin.
+
+    With [t_workers > 1] (and not degraded), the search fans out over
+    that many [swmodel shard-worker] processes via
+    {!Sw_tuning.Tuner.tune_sharded}: the space is partitioned by
+    {!Sw_tuning.Shard.assign}, each worker journals its shard to
+    [<checkpoint>.shard<i>of<N>] (temp files when no checkpoint), and
+    the merged journals yield the argmin.  The worker executable is
+    [$SWPM_WORKER_EXE] when set (tests and bench point it at a built
+    [swmodel]), else [Sys.executable_name]. *)
+
+val tune_points :
+  tune_req -> Sw_workloads.Registry.entry -> (Sw_tuning.Space.point list, string) result
+(** The request's search space: the registry entry's axes with the
+    request's [grains]/[unrolls]/[db_both] overrides applied.  The CLI,
+    the daemon and every shard worker enumerate through this one
+    function, in one deterministic order. *)
+
+val worker_argv :
+  tune_req -> shard:int -> shards:int -> journal:string -> string array
+(** The command line {!tune} launches for one shard worker —
+    [\[| exe; "shard-worker"; "--spec"; <json> |\]].  Exposed so the
+    bench can launch (and kill) a lone worker; pass an explicit
+    [t_seed] so the spec's config matches the coordinating process. *)
+
+val worker_main : string -> (unit, string) result
+(** Body of the [swmodel shard-worker] entrypoint: parse a
+    {!worker_argv} spec, search this shard's points with the cutoff
+    link on stdin/stdout while journaling every resolved assessment,
+    close the journal, and emit the [Done] stats line. *)
 
 val timeline :
   state ->

@@ -175,10 +175,12 @@ let assign_checkpoint state req =
 
 (* ------------------------------------------------------------------ *)
 
-let serve ?(config = default_config) ?pool state ~input ~output =
+(* Emit one response to [output], updating the shared counters.  Every
+   connection gets one of these closures over its own output channel;
+   the stats ref and sink are shared across all of them. *)
+let emitter config state stats output =
   let sink = Handler.sink state in
-  let stats = ref zero_stats in
-  let emit (resp : Handler.response) =
+  fun (resp : Handler.response) ->
     output_string output (Handler.response_to_string resp);
     output_char output '\n';
     flush output;
@@ -197,121 +199,186 @@ let serve ?(config = default_config) ?pool state ~input ~output =
     if resp.Handler.resumed then Sw_obs.Sink.incr sink "serve.resumed";
     if config.metrics_every > 0 && !stats.served mod config.metrics_every = 0 then
       prerr_string (Handler.metrics_text state)
+
+(* Open the request log, replaying whatever a crash interrupted to
+   [emit] before any new work is accepted. *)
+let setup_log ?pool state emit =
+  match Handler.state_dir state with
+  | None -> None
+  | Some dir ->
+      ensure_dir dir;
+      let unfinished, max_seq = scan_log (Filename.concat dir "requests.jsonl") in
+      let log = open_log dir max_seq in
+      (* replay what a crash interrupted before accepting new work;
+         fitted surrogate models never survive a crash (they are
+         process memory, not state-dir files), so drop any stale
+         in-process cache first and let the replayed requests retrain
+         from scratch — the training draw is seed-deterministic, so
+         the resumed argmin matches the interrupted run's *)
+      if unfinished <> [] then Sw_learn.Surrogate.clear_cache ();
+      List.iter
+        (fun (rq, line) ->
+          (match Handler.parse_request line with
+          | Error msg -> emit (Handler.error_response ~resumed:true Json.Null msg)
+          | Ok req ->
+              let req = assign_checkpoint state req in
+              emit (Handler.run state ~resumed:true ?pool req));
+          log_end log rq)
+        unfinished;
+      Some log
+
+(* Execute one drained batch, emitting every response in request order.
+   Returns [true] when the batch contained a shutdown request. *)
+let process_batch config ?pool state ~log ~stats ~emit lines =
+  let sink = Handler.sink state in
+  let depth = List.length lines in
+  Sw_obs.Sink.incr sink ~by:depth "serve.requests";
+  Sw_obs.Sink.incr sink "serve.batches";
+  stats :=
+    { !stats with batches = !stats.batches + 1; max_batch = Stdlib.max !stats.max_batch depth };
+  let parsed =
+    List.mapi
+      (fun i line ->
+        match Handler.parse_request line with
+        | Error msg -> (i, line, Error msg)
+        | Ok req -> (i, line, Ok (assign_checkpoint state req)))
+      lines
   in
-  let log =
-    match Handler.state_dir state with
-    | None -> None
-    | Some dir ->
-        ensure_dir dir;
-        let unfinished, max_seq = scan_log (Filename.concat dir "requests.jsonl") in
-        let log = open_log dir max_seq in
-        (* replay what a crash interrupted before accepting new work;
-           fitted surrogate models never survive a crash (they are
-           process memory, not state-dir files), so drop any stale
-           in-process cache first and let the replayed requests retrain
-           from scratch — the training draw is seed-deterministic, so
-           the resumed argmin matches the interrupted run's *)
-        if unfinished <> [] then Sw_learn.Surrogate.clear_cache ();
-        List.iter
-          (fun (rq, line) ->
-            (match Handler.parse_request line with
-            | Error msg -> emit (Handler.error_response ~resumed:true Json.Null msg)
-            | Ok req ->
-                let req = assign_checkpoint state req in
-                emit (Handler.run state ~resumed:true ?pool req));
-            log_end log rq)
-          unfinished;
-        Some log
+  (* begin markers hit the disk before any execution starts, so a
+     kill anywhere in the batch leaves a replayable record *)
+  let marked =
+    List.map
+      (fun (i, line, p) ->
+        let rq =
+          match (log, p) with
+          | Some log, Ok req when loggable req -> Some (log_begin log line)
+          | _ -> None
+        in
+        (i, p, rq))
+      parsed
   in
+  let responses =
+    Sw_util.Pool.map_opt pool
+      (fun (i, p, rq) ->
+        let resp =
+          match p with
+          | Error msg -> Handler.error_response Json.Null msg
+          | Ok req ->
+              let degrade = Handler.is_tune req && i >= config.shed_watermark in
+              Handler.run state ~degrade req
+        in
+        (p, rq, resp))
+      marked
+  in
+  List.fold_left
+    (fun stop (p, rq, resp) ->
+      emit resp;
+      (match (log, rq) with Some log, Some rq -> log_end log rq | _ -> ());
+      match p with Ok { Handler.verb = Handler.Shutdown; _ } -> true | _ -> stop)
+    false responses
+
+let serve ?(config = default_config) ?pool state ~input ~output =
+  let stats = ref zero_stats in
+  let emit = emitter config state stats output in
+  let log = setup_log ?pool state emit in
   let r = reader input in
   let rec loop () =
     match read_batch config r with
     | [] -> ()
     | lines ->
-        let depth = List.length lines in
-        Sw_obs.Sink.incr sink ~by:depth "serve.requests";
-        Sw_obs.Sink.incr sink "serve.batches";
-        stats :=
-          {
-            !stats with
-            batches = !stats.batches + 1;
-            max_batch = Stdlib.max !stats.max_batch depth;
-          };
-        let parsed =
-          List.mapi
-            (fun i line ->
-              match Handler.parse_request line with
-              | Error msg -> (i, line, Error msg)
-              | Ok req -> (i, line, Ok (assign_checkpoint state req)))
-            lines
-        in
-        (* begin markers hit the disk before any execution starts, so a
-           kill anywhere in the batch leaves a replayable record *)
-        let marked =
-          List.map
-            (fun (i, line, p) ->
-              let rq =
-                match (log, p) with
-                | Some log, Ok req when loggable req -> Some (log_begin log line)
-                | _ -> None
-              in
-              (i, p, rq))
-            parsed
-        in
-        let responses =
-          Sw_util.Pool.map_opt pool
-            (fun (i, p, rq) ->
-              let resp =
-                match p with
-                | Error msg -> Handler.error_response Json.Null msg
-                | Ok req ->
-                    let degrade = Handler.is_tune req && i >= config.shed_watermark in
-                    Handler.run state ~degrade req
-              in
-              (p, rq, resp))
-            marked
-        in
-        let stop =
-          List.fold_left
-            (fun stop (p, rq, resp) ->
-              emit resp;
-              (match (log, rq) with Some log, Some rq -> log_end log rq | _ -> ());
-              match p with
-              | Ok { Handler.verb = Handler.Shutdown; _ } -> true
-              | _ -> stop)
-            false responses
-        in
-        if stop then stats := { !stats with shutdown = true } else loop ()
+        if process_batch config ?pool state ~log ~stats ~emit lines then
+          stats := { !stats with shutdown = true }
+        else loop ()
   in
   loop ();
   Option.iter (fun log -> close_out log.chan) log;
   !stats
 
-let add_stats a b =
-  {
-    served = a.served + b.served;
-    errors = a.errors + b.errors;
-    degraded = a.degraded + b.degraded;
-    resumed = a.resumed + b.resumed;
-    batches = a.batches + b.batches;
-    max_batch = Stdlib.max a.max_batch b.max_batch;
-    shutdown = a.shutdown || b.shutdown;
-  }
+(* ------------------------------------------------------------------ *)
+(* Socket serving: one listener, several concurrent connections.
 
-let serve_socket ?config ?pool state ~path =
+   The loop multiplexes with [select] over the listener and every
+   connected client, so a second client connecting while the first is
+   mid-session is accepted and served interleaved (batch by batch)
+   instead of queueing behind the first connection's EOF.  The request
+   log is opened — and its unfinished requests replayed — on the first
+   accepted connection, which is therefore the one that receives the
+   [resumed] responses, exactly as the old one-connection-at-a-time
+   loop behaved. *)
+
+type client = { cr : reader; out : out_channel }
+
+let close_client c =
+  (* close_out closes the underlying descriptor; the second close
+     catches the EBADF so nothing leaks if the first already did it *)
+  (try close_out c.out with Sys_error _ -> ());
+  try Unix.close c.cr.fd with Unix.Unix_error _ -> ()
+
+let serve_socket ?(config = default_config) ?pool state ~path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind srv (Unix.ADDR_UNIX path);
   Unix.listen srv 8;
-  let rec accept_loop acc =
-    let client, _ = Unix.accept srv in
-    let output = Unix.out_channel_of_descr client in
-    let stats = serve ?config ?pool state ~input:client ~output in
-    (try Unix.close client with Unix.Unix_error _ -> ());
-    let acc = add_stats acc stats in
-    if stats.shutdown then acc else accept_loop acc
+  let stats = ref zero_stats in
+  let log = ref None in
+  let first = ref true in
+  let clients = ref [] in
+  let accept_client ~block =
+    let ready =
+      if block then true
+      else
+        match Unix.select [ srv ] [] [] 0.0 with
+        | [ _ ], _, _ -> true
+        | _ -> false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if ready then begin
+      let fd, _ = Unix.accept srv in
+      let c = { cr = reader fd; out = Unix.out_channel_of_descr fd } in
+      if !first then begin
+        first := false;
+        log := setup_log ?pool state (emitter config state stats c.out)
+      end;
+      clients := !clients @ [ c ]
+    end
   in
-  let stats = accept_loop zero_stats in
+  let shutdown = ref false in
+  let serve_client c =
+    match read_batch config c.cr with
+    | [] ->
+        clients := List.filter (fun c' -> c' != c) !clients;
+        close_client c
+    | lines ->
+        let emit = emitter config state stats c.out in
+        if process_batch config ?pool state ~log:!log ~stats ~emit lines then shutdown := true
+  in
+  let rec loop () =
+    if !shutdown then ()
+    else begin
+      (match !clients with
+      | [] -> accept_client ~block:true
+      | cs -> (
+          (* a line already buffered in some reader would be invisible
+             to select — serve that client first *)
+          match List.find_opt (fun c -> has_buffered_line c.cr) cs with
+          | Some c -> serve_client c
+          | None -> (
+              let fds = srv :: List.map (fun c -> c.cr.fd) cs in
+              match Unix.select fds [] [] (-1.0) with
+              | readable, _, _ -> (
+                  if List.mem srv readable then accept_client ~block:false;
+                  match List.find_opt (fun c -> List.mem c.cr.fd readable) cs with
+                  | Some c -> serve_client c
+                  | None -> ())
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())));
+      loop ()
+    end
+  in
+  loop ();
+  if !shutdown then stats := { !stats with shutdown = true };
+  List.iter close_client !clients;
+  clients := [];
+  (match !log with Some log -> close_out log.chan | None -> ());
   (try Unix.close srv with Unix.Unix_error _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ -> ());
-  stats
+  !stats

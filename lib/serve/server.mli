@@ -64,6 +64,12 @@ val serve :
 val serve_socket :
   ?config:config -> ?pool:Sw_util.Pool.t -> Handler.state -> path:string -> stats
 (** Bind a Unix-domain socket at [path] (replacing any stale file) and
-    serve connections one at a time — each connection is a {!serve}
-    session over the same shared state — until one sends [shutdown].
-    Returns the accumulated stats. *)
+    serve its connections {e concurrently}: the loop multiplexes over
+    the listener and every connected client, so a client connecting
+    while another is mid-session is accepted immediately and served
+    interleaved, batch by batch, over the same shared state — not
+    queued behind the first connection's EOF.  The request log is
+    opened (and its unfinished requests replayed) on the first accepted
+    connection.  A [shutdown] request from any client stops the whole
+    loop; otherwise serving continues across connect/disconnect cycles
+    indefinitely.  Returns the accumulated stats. *)

@@ -47,6 +47,28 @@ type result_ =
   | Rejected of Backend.infeasibility
   | Pruned of Backend.cost
 
+(* ------------------------------------------------------------------ *)
+(* Cutoff link: how a sharded worker prunes against the *global*
+   incumbent.  [current] is polled before each verification and folded
+   (min) into the local incumbent; [publish] is called whenever the
+   local incumbent strictly improves.  Pruning is advisory — a stale or
+   absent remote cutoff only costs work, never the argmin, because
+   cutoffs are strict (a point whose cycles equal the incumbent is
+   still fully priced). *)
+
+type link = { publish : float -> unit; current : unit -> float option }
+
+let min_cutoff a b =
+  match (a, b) with
+  | Some a, Some b -> Some (Float.min a b)
+  | (Some _ as c), None | None, (Some _ as c) -> c
+  | None, None -> None
+
+let link_cutoff link local =
+  match link with None -> local | Some l -> min_cutoff local (l.current ())
+
+let link_publish link cycles = match link with None -> () | Some l -> l.publish cycles
+
 type stats = {
   strategy : string;
   pruned : int;
@@ -143,8 +165,8 @@ let finish_shortlist ~strategy ~obs ~verdicts ~indexed ~rank_host_s ~rank_machin
   observe_pruned obs !pruned;
   (results, { strategy; pruned = !pruned; rank_host_s; rank_machine_us })
 
-let run_shortlist ?(cutoff_prune = true) ~rank ~k ~backend ~active_cpes ?pool ?obs config
-    kernel points =
+let run_shortlist ?(cutoff_prune = true) ?link ~rank ~k ~backend ~active_cpes ?pool ?obs
+    config kernel points =
   let indexed, order, rank_host_s, rank_machine_us =
     rank_space ~rank ~active_cpes ?pool config kernel points
   in
@@ -155,12 +177,14 @@ let run_shortlist ?(cutoff_prune = true) ~rank ~k ~backend ~active_cpes ?pool ?o
   List.iter
     (fun (i, p, _) ->
       let variant = Space.to_variant p ~active_cpes in
-      let cutoff = if cutoff_prune then !incumbent else None in
+      let cutoff = if cutoff_prune then link_cutoff link !incumbent else None in
       match Backend.assess_budget ?cutoff backend config kernel variant with
       | Backend.Assessed v ->
           (match !incumbent with
           | Some c when v.Backend.cycles >= c -> ()
-          | _ -> incumbent := Some v.Backend.cycles);
+          | _ ->
+              incumbent := Some v.Backend.cycles;
+              link_publish link v.Backend.cycles);
           Hashtbl.replace verdicts i (Priced v)
       | Backend.Infeasible e -> Hashtbl.replace verdicts i (Rejected e)
       | Backend.Cut_off { cost; _ } -> Hashtbl.replace verdicts i (Pruned cost))
@@ -182,7 +206,7 @@ let run_shortlist ?(cutoff_prune = true) ~rank ~k ~backend ~active_cpes ?pool ?o
    depends only on verdicts, so the outcome is pool-size
    independent. *)
 
-let run_adaptive ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points =
+let run_adaptive ?link ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points =
   let indexed, order, rank_host_s, rank_machine_us =
     rank_space ~rank ~active_cpes ?pool config kernel points
   in
@@ -191,17 +215,21 @@ let run_adaptive ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points 
   let improved = ref false in
   let verify (i, p, _) =
     let variant = Space.to_variant p ~active_cpes in
-    match Backend.assess_budget ?cutoff:!incumbent backend config kernel variant with
+    match
+      Backend.assess_budget ?cutoff:(link_cutoff link !incumbent) backend config kernel variant
+    with
     | Backend.Assessed v ->
         (match !incumbent with
         | Some c when v.Backend.cycles >= c -> ()
         | Some _ ->
             incumbent := Some v.Backend.cycles;
-            improved := true
+            improved := true;
+            link_publish link v.Backend.cycles
         | None ->
             (* seeding the incumbent is not an improvement: a perfectly
                ranked space must stop after its first rung *)
-            incumbent := Some v.Backend.cycles);
+            incumbent := Some v.Backend.cycles;
+            link_publish link v.Backend.cycles);
         Hashtbl.replace verdicts i (Priced v)
     | Backend.Infeasible e -> Hashtbl.replace verdicts i (Rejected e)
     | Backend.Cut_off { cost; _ } -> Hashtbl.replace verdicts i (Pruned cost)
@@ -244,7 +272,7 @@ let run_adaptive ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points 
    rung, scores sort by (clock, enumeration index), and the incumbent
    updates from completed verdicts in enumeration order. *)
 
-let run_halving ~rungs ~backend ~active_cpes ?pool ?obs config kernel points =
+let run_halving ?link ~rungs ~backend ~active_cpes ?pool ?obs config kernel points =
   let n = List.length points in
   let results : result_ option array = Array.make (Stdlib.max 1 n) None in
   let sunk : Backend.cost array = Array.make (Stdlib.max 1 n) Backend.zero_cost in
@@ -260,6 +288,7 @@ let run_halving ~rungs ~backend ~active_cpes ?pool ?obs config kernel points =
         | Ok v ->
             results.(i) <- Some (Priced v);
             incumbent := Some v.Backend.cycles;
+            link_publish link v.Backend.cycles;
             yardstick := Stdlib.max 1 v.Backend.cost.Backend.machine_events;
             rest
         | Error e ->
@@ -274,7 +303,7 @@ let run_halving ~rungs ~backend ~active_cpes ?pool ?obs config kernel points =
       let budget =
         if last then None else Some (Stdlib.max 256 (!yardstick / (1 lsl (rungs - 1 - r))))
       in
-      let cutoff = !incumbent in
+      let cutoff = link_cutoff link !incumbent in
       let assessed =
         map_points ?pool
           (fun (i, p) ->
@@ -290,7 +319,9 @@ let run_halving ~rungs ~backend ~active_cpes ?pool ?obs config kernel points =
               results.(i) <- Some (Priced { v with Backend.cost = sunk.(i) });
               (match !incumbent with
               | Some c when v.Backend.cycles >= c -> ()
-              | _ -> incumbent := Some v.Backend.cycles)
+              | _ ->
+                  incumbent := Some v.Backend.cycles;
+                  link_publish link v.Backend.cycles)
           | Backend.Infeasible e -> results.(i) <- Some (Rejected e)
           | Backend.Cut_off { at; cost } ->
               sunk.(i) <- Backend.add_cost sunk.(i) cost;
@@ -418,15 +449,18 @@ let run_robust ~rank ~k ~seeds ~quantile ~spec ~backend ~active_cpes ?pool ?obs 
   ( final,
     { sstats with strategy = name (Robust { rank; k; seeds; quantile; spec }) } )
 
-let run strategy ~backend ~active_cpes ?pool ?obs config kernel ~points =
+let run strategy ~backend ~active_cpes ?pool ?obs ?link config kernel ~points =
   match strategy with
   | Exhaustive ->
+      (* exhaustive's contract is to price every point: the link's
+         cutoff is never applied (and there is nothing to publish a
+         final incumbent against that the merge won't recompute) *)
       ( run_exhaustive ~backend ~active_cpes ?pool config kernel points,
         { strategy = "exhaustive"; pruned = 0; rank_host_s = 0.0; rank_machine_us = 0.0 } )
   | Shortlist { rank; k } ->
-      run_shortlist ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points
+      run_shortlist ?link ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points
   | Adaptive_shortlist { rank; k } ->
-      run_adaptive ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points
+      run_adaptive ?link ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points
   | Successive_halving { rungs } when rungs <= 1 ->
       (* one rung races nothing: identical to exhaustive by construction *)
       ( run_exhaustive ~backend ~active_cpes ?pool config kernel points,
@@ -437,7 +471,9 @@ let run strategy ~backend ~active_cpes ?pool ?obs config kernel ~points =
           rank_machine_us = 0.0;
         } )
   | Successive_halving { rungs } ->
-      run_halving ~rungs ~backend ~active_cpes ?pool ?obs config kernel points
+      run_halving ?link ~rungs ~backend ~active_cpes ?pool ?obs config kernel points
   | Robust { rank; k; seeds; quantile; spec } ->
+      (* robust disables cutoff pruning entirely (every survivor must
+         be fully priced), so the link does not apply *)
       run_robust ~rank ~k ~seeds ~quantile ~spec ~backend ~active_cpes ?pool ?obs config
         kernel points

@@ -99,6 +99,19 @@ type result_ =
       (** Skipped (never assessed, zero cost) or abandoned mid-run (the
           sunk prefix cost, summed across successive-halving rungs). *)
 
+type link = { publish : float -> unit; current : unit -> float option }
+(** A cutoff link lets a search prune against an incumbent held {e
+    outside} the process — the sharded tuner's coordinator rebroadcasts
+    the best cycles seen by any worker, and each worker folds it (min)
+    into its local incumbent before every verification.  [current] is
+    polled per verification; [publish] fires whenever the local
+    incumbent strictly improves (including its seeding).  The link is
+    purely advisory: cutoffs stay strict, so a stale, lossy or absent
+    remote value costs extra verifications, never the argmin.  Applied
+    by the shortlist, adaptive and successive-halving strategies;
+    [Exhaustive] (price everything) and [Robust] (cutoff pruning
+    disabled by design) ignore it. *)
+
 type stats = {
   strategy : string;  (** {!name} of the strategy that ran. *)
   pruned : int;  (** Points with a [Pruned] result. *)
@@ -114,6 +127,7 @@ val run :
   active_cpes:int ->
   ?pool:Sw_util.Pool.t ->
   ?obs:Sw_obs.Sink.t ->
+  ?link:link ->
   Sw_sim.Config.t ->
   Sw_swacc.Kernel.t ->
   points:Space.point list ->

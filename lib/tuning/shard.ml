@@ -1,0 +1,361 @@
+(* Sharded multi-process tuning: deterministic partition of a variant
+   space across N worker processes, a line-delimited JSON control
+   protocol over the workers' stdin/stdout pipes, and a coordinator
+   that rebroadcasts the global incumbent as a cutoff and fails fast
+   when a worker dies.
+
+   Ground truth lives in the per-shard Backend.journal files, never in
+   the pipes: every protocol message is advisory (a lost cutoff costs
+   work, a lost incumbent costs pruning), so the merged argmin is a
+   pure function of the journals. *)
+
+module Json = Sw_obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Assignment: a stable hash of the canonical variant key, so shard
+   membership depends only on the point itself — never on enumeration
+   order, OCaml version (Hashtbl.hash is not stable) or process. *)
+
+let canonical_key (p : Space.point) =
+  Printf.sprintf "g%d|u%d|db%b" p.Space.grain p.Space.unroll p.Space.double_buffer
+
+(* FNV-1a, 64-bit: fixed constants, byte-at-a-time — stable across
+   versions and architectures, and cheap enough to assign a million
+   points in tens of milliseconds. *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let assign ~shards p =
+  if shards < 1 then invalid_arg "Shard.assign: shards must be >= 1";
+  Int64.to_int (Int64.rem (Int64.logand (fnv1a64 (canonical_key p)) Int64.max_int)
+                  (Int64.of_int shards))
+
+let mine ~shard ~shards points =
+  if shard < 0 || shard >= shards then invalid_arg "Shard.mine: shard out of range";
+  List.filter (fun p -> assign ~shards p = shard) points
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: one JSON object per line.  Floats serialize through
+   {!Sw_obs.Json.float_lit} (shortest exact round-trip), so a cutoff
+   arrives bit-identical to the incumbent that produced it. *)
+
+type msg =
+  | Incumbent of float  (** worker -> coordinator: local best improved *)
+  | Cutoff of float  (** coordinator -> worker: global best so far *)
+  | Done of Json.t  (** worker -> coordinator: search finished, stats attached *)
+
+let encode = function
+  | Incumbent c -> Json.to_string (Json.Obj [ ("ev", Json.Str "incumbent"); ("cycles", Json.Float c) ])
+  | Cutoff c -> Json.to_string (Json.Obj [ ("ev", Json.Str "cutoff"); ("cycles", Json.Float c) ])
+  | Done stats -> Json.to_string (Json.Obj [ ("ev", Json.Str "done"); ("stats", stats) ])
+
+let decode line =
+  match Json.parse line with
+  | Error _ -> None
+  | Ok j -> (
+      let cycles () = Option.bind (Json.member "cycles" j) Json.to_float in
+      match Option.bind (Json.member "ev" j) Json.to_str with
+      | Some "incumbent" -> Option.map (fun c -> Incumbent c) (cycles ())
+      | Some "cutoff" -> Option.map (fun c -> Cutoff c) (cycles ())
+      | Some "done" -> Option.map (fun s -> Done s) (Json.member "stats" j)
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Shared low-level IO *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Split the buffered bytes into complete lines, keeping the unfinished
+   tail buffered. *)
+let take_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear buf;
+      Buffer.add_substring buf s (last + 1) (String.length s - last - 1);
+      String.split_on_char '\n' (String.sub s 0 last)
+
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | old -> fun () -> ignore (Sys.signal Sys.sigpipe old)
+  | exception (Invalid_argument _ | Sys_error _) -> fun () -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Worker side: a Search.link over the process's own stdin/stdout.
+   [current] drains whatever cutoff lines the coordinator has sent so
+   far (non-blocking; the last one wins is the smallest, but take min
+   anyway to be robust to reordering); [publish] writes an incumbent
+   line.  The coordinator vanishing mid-run is not fatal to the worker
+   — the journal, not the pipe, is the result. *)
+
+let worker_link ?(input = Unix.stdin) ?(output = Unix.stdout) () =
+  (* the worker owns its process: a coordinator that died must surface
+     as EPIPE (handled below), never as a fatal SIGPIPE *)
+  ignore (ignore_sigpipe () : unit -> unit);
+  let lock = Mutex.create () in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let remote = ref None in
+  let closed = ref false in
+  let drain () =
+    let continue = ref (not !closed) in
+    while !continue do
+      match Unix.select [ input ] [] [] 0.0 with
+      | [], _, _ -> continue := false
+      | _ -> (
+          match Unix.read input chunk 0 (Bytes.length chunk) with
+          | 0 ->
+              (* coordinator closed its end: keep the last cutoff *)
+              closed := true;
+              continue := false
+          | n -> Buffer.add_subbytes buf chunk 0 n
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              continue := false)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    List.iter
+      (fun line ->
+        match decode line with
+        | Some (Cutoff c) -> (
+            match !remote with
+            | Some b when b <= c -> ()
+            | _ -> remote := Some c)
+        | Some (Incumbent _ | Done _) | None -> ())
+      (take_lines buf)
+  in
+  let current () =
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        drain ();
+        !remote)
+  in
+  let publish cycles =
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+        try write_all output (encode (Incumbent cycles) ^ "\n")
+        with Unix.Unix_error (Unix.EPIPE, _, _) -> ())
+  in
+  { Search.publish; current }
+
+let emit_done ?(output = Unix.stdout) stats =
+  try write_all output (encode (Done stats) ^ "\n")
+  with Unix.Unix_error (Unix.EPIPE, _, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator side *)
+
+type proc = {
+  pid : int;
+  shard : int;
+  to_worker : Unix.file_descr;
+  from_worker : Unix.file_descr;
+  rbuf : Buffer.t;
+  mutable pending : string;  (* unsent tail of a cutoff line (partial write) *)
+  mutable finished : Json.t option;
+  mutable eof : bool;
+  mutable reaped : bool;
+}
+
+let pid p = p.pid
+
+let launch ~shard ~argv =
+  (* cloexec on the parent's ends so later workers don't inherit this
+     worker's pipes (which would defer EOF detection until *they* exit);
+     create_process dup2s the child ends onto stdin/stdout, and the
+     dup'ed descriptors lose the flag. *)
+  let c2w_r, c2w_w = Unix.pipe ~cloexec:true () in
+  let w2c_r, w2c_w = Unix.pipe ~cloexec:true () in
+  let pid = Unix.create_process argv.(0) argv c2w_r w2c_w Unix.stderr in
+  Unix.close c2w_r;
+  Unix.close w2c_w;
+  Unix.set_nonblock c2w_w;
+  {
+    pid;
+    shard;
+    to_worker = c2w_w;
+    from_worker = w2c_r;
+    rbuf = Buffer.create 256;
+    pending = "";
+    finished = None;
+    eof = false;
+    reaped = false;
+  }
+
+(* Non-blocking send towards one worker.  A full pipe drops the line
+   (cutoffs are advisory); a partially-written line must complete
+   before anything else is sent, so its tail parks in [pending]. *)
+let send p line =
+  if not p.eof then begin
+    (* a parked partial line goes out before anything new; while one is
+       parked, fresh cutoff lines are dropped rather than queued *)
+    let s = if p.pending <> "" then p.pending else line in
+    if s <> "" then
+      match
+        let b = Bytes.of_string s in
+        Unix.write p.to_worker b 0 (Bytes.length b)
+      with
+      | n when n = String.length s -> p.pending <- ""
+      | n -> p.pending <- String.sub s n (String.length s - n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          () (* nothing written: a fresh line is dropped, a parked one stays parked *)
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) -> p.pending <- ""
+  end
+
+let reap p =
+  if not p.reaped then begin
+    let rec wait () =
+      match Unix.waitpid [] p.pid with
+      | _, status -> status
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> Unix.WEXITED 0
+    in
+    let status = wait () in
+    p.reaped <- true;
+    Some status
+  end
+  else None
+
+let status_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+
+(* Terminate every still-running worker: SIGTERM, a short grace period
+   of WNOHANG polls, SIGKILL for the stubborn, then a blocking reap so
+   no zombie outlives the coordinator. *)
+let terminate procs =
+  let running = List.filter (fun p -> not p.reaped) procs in
+  List.iter
+    (fun p -> try Unix.kill p.pid Sys.sigterm with Unix.Unix_error _ -> ())
+    running;
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec grace remaining =
+    if remaining <> [] && Unix.gettimeofday () < deadline then begin
+      let still =
+        List.filter
+          (fun p ->
+            match Unix.waitpid [ Unix.WNOHANG ] p.pid with
+            | 0, _ -> true
+            | _ ->
+                p.reaped <- true;
+                false
+            | exception Unix.Unix_error _ ->
+                p.reaped <- true;
+                false)
+          remaining
+      in
+      if still <> [] then Unix.sleepf 0.02;
+      grace still
+    end
+    else
+      List.iter
+        (fun p ->
+          (try Unix.kill p.pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (reap p))
+        remaining
+  in
+  grace running
+
+let close_fds procs =
+  List.iter
+    (fun p ->
+      (try Unix.close p.to_worker with Unix.Unix_error _ -> ());
+      try Unix.close p.from_worker with Unix.Unix_error _ -> ())
+    procs
+
+(* Drive the workers to completion.  The coordinator's whole job is
+   relaying incumbents back out as cutoffs; correctness never depends
+   on it (the journals do not record cutoffs).  A worker that reaches
+   EOF without a done message, exits nonzero, or dies on a signal fails
+   the run: the rest are terminated and the caller decides whether to
+   re-run (which resumes from the journals). *)
+let coordinate procs =
+  let restore_sigpipe = ignore_sigpipe () in
+  let best = ref None in
+  let failure = ref None in
+  let chunk = Bytes.create 8192 in
+  let fail msg = if !failure = None then failure := Some msg in
+  let handle p line =
+    match decode line with
+    | Some (Incumbent c) ->
+        let improved = match !best with Some b -> c < b | None -> true in
+        if improved then begin
+          best := Some c;
+          List.iter (fun q -> if q.shard <> p.shard then send q (encode (Cutoff c) ^ "\n")) procs
+        end
+    | Some (Done stats) -> p.finished <- Some stats
+    | Some (Cutoff _) | None -> () (* not a worker->coordinator message: ignore *)
+  in
+  let on_readable p =
+    match Unix.read p.from_worker chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | 0 -> (
+        p.eof <- true;
+        (try Unix.close p.to_worker with Unix.Unix_error _ -> ());
+        List.iter (handle p) (take_lines p.rbuf);
+        match reap p with
+        | Some (Unix.WEXITED 0) when p.finished <> None -> ()
+        | Some (Unix.WEXITED 0) ->
+            fail (Printf.sprintf "shard %d exited without reporting completion" p.shard)
+        | Some status ->
+            fail (Printf.sprintf "shard %d (pid %d) %s" p.shard p.pid (status_string status))
+        | None -> ())
+    | n ->
+        Buffer.add_subbytes p.rbuf chunk 0 n;
+        List.iter (handle p) (take_lines p.rbuf)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      terminate procs;
+      close_fds procs;
+      restore_sigpipe ())
+    (fun () ->
+      let rec loop () =
+        if !failure <> None then ()
+        else
+          let open_procs = List.filter (fun p -> not p.eof) procs in
+          if open_procs = [] then ()
+          else begin
+            let fds = List.map (fun p -> p.from_worker) open_procs in
+            (match Unix.select fds [] [] 0.5 with
+            | readable, _, _ ->
+                List.iter
+                  (fun p -> if List.mem p.from_worker readable then on_readable p)
+                  open_procs;
+                (* retry any parked partial cutoff line *)
+                List.iter (fun p -> if p.pending <> "" then send p "") procs
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            loop ()
+          end
+      in
+      loop ();
+      match !failure with
+      | Some msg -> Error msg
+      | None ->
+          Ok
+            (List.map
+               (fun p ->
+                 match p.finished with
+                 | Some stats -> stats
+                 | None -> Json.Null (* unreachable: EOF without done fails the run *))
+               (List.sort (fun a b -> compare a.shard b.shard) procs)))

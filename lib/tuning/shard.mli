@@ -1,0 +1,92 @@
+(** Sharded multi-process tuning: partition a variant space across N
+    worker processes, coordinate them over pipes, and keep the ground
+    truth in per-shard {!Sw_backend.Backend.journal} files.
+
+    The division of labour: {!assign}/{!mine} split the space by a
+    stable hash of the canonical variant key (membership never depends
+    on enumeration order or process); each worker runs an ordinary
+    {!Search} strategy over its shard with a {!Search.link} wired to
+    its stdin/stdout ({!worker_link}), journaling every resolved
+    assessment; the coordinator ({!launch} + {!coordinate}) relays each
+    worker's incumbent back out to the others as a global cutoff.
+    Every pipe message is advisory — a dropped cutoff costs extra
+    verifications, never the argmin, because cutoffs are strict and the
+    merged result set is read back from the journals alone
+    ({!Sw_backend.Backend.journal_merge}). *)
+
+(** {1 Partition} *)
+
+val canonical_key : Space.point -> string
+(** The canonical variant key shard assignment hashes — a pure function
+    of the point's fields. *)
+
+val assign : shards:int -> Space.point -> int
+(** Which shard (in [0 .. shards-1]) owns a point: FNV-1a (64-bit, fixed
+    constants — stable across OCaml versions, unlike [Hashtbl.hash]) of
+    {!canonical_key}, mod [shards].
+    @raise Invalid_argument when [shards < 1]. *)
+
+val mine : shard:int -> shards:int -> Space.point list -> Space.point list
+(** The sub-list a shard owns, in enumeration order.  The [shards]
+    sub-lists partition the input exactly.
+    @raise Invalid_argument when [shard] is outside [0 .. shards-1]. *)
+
+(** {1 Protocol}
+
+    One JSON object per line.  Floats serialize with the shortest exact
+    round-trip ({!Sw_obs.Json.float_lit}), so a cutoff arrives
+    bit-identical to the incumbent that produced it. *)
+
+type msg =
+  | Incumbent of float  (** worker -> coordinator: local best improved *)
+  | Cutoff of float  (** coordinator -> worker: global best so far *)
+  | Done of Sw_obs.Json.t  (** worker -> coordinator: finished, stats attached *)
+
+val encode : msg -> string
+(** One line, without the trailing newline. *)
+
+val decode : string -> msg option
+(** [None] for anything that isn't a well-formed protocol line. *)
+
+(** {1 Worker side} *)
+
+val worker_link :
+  ?input:Unix.file_descr -> ?output:Unix.file_descr -> unit -> Search.link
+(** A {!Search.link} over the worker's own pipes (default
+    stdin/stdout).  [current] drains pending [Cutoff] lines without
+    blocking and returns the smallest seen; [publish] writes an
+    [Incumbent] line.  Installs a SIGPIPE-ignore handler: the
+    coordinator vanishing mid-run degrades the link to a no-op rather
+    than killing the worker — the journal, not the pipe, carries the
+    result. *)
+
+val emit_done : ?output:Unix.file_descr -> Sw_obs.Json.t -> unit
+(** Write the final [Done] line (default stdout). *)
+
+(** {1 Coordinator side} *)
+
+type proc
+(** One launched worker: pid, its two pipe ends, and read/send state. *)
+
+val launch : shard:int -> argv:string array -> proc
+(** Fork [argv] (via [Unix.create_process], [argv.(0)] as the
+    executable) with its stdin/stdout connected to fresh pipes; stderr
+    is inherited.  The parent's pipe ends are close-on-exec, so workers
+    never hold each other's descriptors open (which would defer EOF
+    detection of a dead sibling). *)
+
+val pid : proc -> int
+
+val coordinate : proc list -> (Sw_obs.Json.t list, string) result
+(** Drive the workers to completion: relay every strictly-improving
+    [Incumbent] back out as a [Cutoff] to the other workers
+    (non-blocking writes — a full pipe drops the line, a partial write
+    is completed before anything newer), and collect each worker's
+    [Done] stats.  Returns the stats in shard order.
+
+    Fail-fast: a worker that reaches EOF without a [Done], exits
+    nonzero, or dies on a signal turns the run into [Error]; the
+    remaining workers are terminated (SIGTERM, short grace, SIGKILL)
+    and reaped first.  Their journals survive, so re-running resumes
+    rather than restarts.  All pipe descriptors are closed and all
+    children reaped on every path. *)

@@ -20,3 +20,15 @@ val feasible :
 (** Points whose chunk fits the SPM. *)
 
 val size : grains:int list -> unrolls:int list -> ?double_buffers:bool list -> unit -> int
+
+val range : ?step:int -> int -> int -> int list
+(** [range lo hi] is the inclusive integer range, [step] apart (default
+    1) — the product-space generator the synthetic million-point bench
+    spaces are built from.
+    @raise Invalid_argument when [step < 1]. *)
+
+val parse_axis : string -> (int list, string) result
+(** One product-space axis from the command line: ["lo..hi"],
+    ["lo..hi:step"], or a comma list ["a,b,c"] (a single integer is a
+    one-element list).  Values must be positive; errors name the
+    offending axis. *)

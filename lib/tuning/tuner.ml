@@ -158,6 +158,112 @@ let tune ~backend ?(strategy = Search.Exhaustive) ?(active_cpes = 64) ?default ?
           journal_misses;
         }
 
+(* ------------------------------------------------------------------ *)
+(* Sharded tuning: fan the same search out across worker processes.
+   The coordinator never assesses a point itself — each worker journals
+   its shard's resolved assessments, and the merged journals are the
+   whole result set.  The argmin below walks [points] in global
+   enumeration order with the same strict [<] fold as [tune], so the
+   sharded pick ties-break identically to the single-process oracle. *)
+
+let sum_stat dones key =
+  List.fold_left
+    (fun acc stats ->
+      match Option.bind (Sw_obs.Json.member key stats) Sw_obs.Json.to_float with
+      | Some v -> acc +. v
+      | None -> acc)
+    0.0 dones
+
+let max_stat dones key =
+  List.fold_left
+    (fun acc stats ->
+      match Option.bind (Sw_obs.Json.member key stats) Sw_obs.Json.to_float with
+      | Some v -> Float.max acc v
+      | None -> acc)
+    0.0 dones
+
+let tune_sharded ~backend_name ~strategy_name ~workers ~argv ~journal_of
+    ?(active_cpes = 64) ?default (config : Sw_sim.Config.t) kernel ~points =
+  if workers < 1 then invalid_arg "Tuner.tune_sharded: workers must be >= 1";
+  let params = config.Sw_sim.Config.params in
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  let procs =
+    List.init workers (fun shard ->
+        Shard.launch ~shard ~argv:(argv ~shard ~journal:(journal_of shard)))
+  in
+  match Shard.coordinate procs with
+  | Error msg -> Error (`Worker_failure msg)
+  | Ok dones -> (
+      match Backend.journal_merge ~config (List.init workers journal_of) with
+      | exception Backend.Journal_mismatch { path; expected; found } ->
+          Error
+            (`Worker_failure
+              (Printf.sprintf "shard journal %s is bound to config %s, expected %s" path
+                 found expected))
+      | merged ->
+          let tuning_host_s = Unix.gettimeofday () -. wall0 in
+          let evaluated = ref 0 and infeasible = ref 0 and pruned = ref 0 in
+          let best = ref None in
+          let first_ok = ref None in
+          List.iter
+            (fun p ->
+              let key = Backend.journal_key_of kernel (Space.to_variant p ~active_cpes) in
+              match Hashtbl.find_opt merged key with
+              | Some (Backend.Journal_ok { cycles; _ }) ->
+                  incr evaluated;
+                  if !first_ok = None then first_ok := Some p;
+                  (match !best with
+                  | Some (_, bc) when cycles >= bc -> ()
+                  | _ -> best := Some (p, cycles))
+              | Some (Backend.Journal_infeasible _) -> incr infeasible
+              | None -> incr pruned)
+            points;
+          match !best with
+          | None ->
+              Error
+                (`No_feasible_point
+                  (Printf.sprintf
+                     "sharded %s tuner: no feasible point among %d in the search space"
+                     backend_name (List.length points)))
+          | Some (best_point, _) ->
+              let best_variant = Space.to_variant best_point ~active_cpes in
+              let run_variant variant =
+                Sw_backend.Machine.cycles config
+                  (Sw_swacc.Lower.lower_cached_exn params kernel variant)
+              in
+              let best_cycles = run_variant best_variant in
+              let default_variant =
+                match (default, !first_ok) with
+                | Some v, _ -> v
+                | None, Some p0 ->
+                    Space.to_variant { p0 with unroll = 1; double_buffer = false } ~active_cpes
+                | None, None -> best_variant
+              in
+              let default_cycles = run_variant default_variant in
+              Ok
+                {
+                  backend = Printf.sprintf "sharded(%s,workers=%d)" backend_name workers;
+                  strategy = strategy_name;
+                  best = best_variant;
+                  best_cycles;
+                  default_cycles;
+                  speedup = default_cycles /. best_cycles;
+                  tuning_host_s;
+                  (* the coordinator's own cpu plus what the workers report:
+                     the real compute bill, not the coordinator's idle wait *)
+                  tuning_cpu_s = Sys.time () -. cpu0 +. sum_stat dones "cpu_s";
+                  machine_time_us = sum_stat dones "machine_us";
+                  evaluated = !evaluated;
+                  infeasible = !infeasible;
+                  points_pruned = !pruned;
+                  (* workers rank concurrently: the wall bill is the slowest *)
+                  rank_host_s = max_stat dones "rank_host_s";
+                  rank_machine_us = sum_stat dones "rank_machine_us";
+                  journal_hits = int_of_float (sum_stat dones "journal_hits");
+                  journal_misses = int_of_float (sum_stat dones "journal_misses");
+                })
+
 let tune_exn ~backend ?strategy ?active_cpes ?default ?pool ?obs ?checkpoint config kernel
     ~points =
   match

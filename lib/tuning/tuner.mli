@@ -124,6 +124,53 @@ val tune :
     fault-plan re-assessments run under perturbed configurations, which
     pass through the journal unrecorded. *)
 
+val tune_sharded :
+  backend_name:string ->
+  strategy_name:string ->
+  workers:int ->
+  argv:(shard:int -> journal:string -> string array) ->
+  journal_of:(int -> string) ->
+  ?active_cpes:int ->
+  ?default:Sw_swacc.Kernel.variant ->
+  Sw_sim.Config.t ->
+  Sw_swacc.Kernel.t ->
+  points:Space.point list ->
+  (outcome, [ `No_feasible_point of string | `Worker_failure of string ]) result
+(** Fan one search out across [workers] processes.  [argv ~shard
+    ~journal] names the command line for one worker (a [swmodel
+    shard-worker] invocation); [journal_of shard] is the
+    {!Sw_backend.Backend.journal} path that worker appends to and the
+    coordinator merges from — the caller owns both so the daemon can
+    key them by request digest and the CLI by [--checkpoint].
+
+    Each worker runs the ordinary {!Search} strategy over the shard
+    {!Shard.assign} gives it, pruning against the {e global} incumbent
+    via the {!Shard} cutoff protocol.  The coordinator assesses nothing
+    itself: it merges the per-shard journals
+    ({!Sw_backend.Backend.journal_merge} — config-digest-checked,
+    truncated tails dropped, first-written entry wins) and folds the
+    argmin over [points] in global enumeration order with the same
+    strict [<] tie-break as {!tune}, so the sharded pick is the
+    single-process pick whenever each worker's search finds its shard's
+    minimum (shortlist/adaptive/halving with the rank backend equal to
+    the verify backend, or exhaustive, guarantee this: cutoffs are
+    strict, so a shard's minimum is always fully priced and journaled).
+
+    Crash-resumable end to end: killing any worker mid-run fails the
+    whole tune ([`Worker_failure]; the others are terminated and
+    reaped), but the journals survive, and re-running with the same
+    [journal_of] replays every resolved point — [journal_hits] counts
+    them — to a bit-identical argmin.
+
+    The outcome's [backend] reads ["sharded(<backend_name>,workers=N)"];
+    [tuning_host_s] is the coordinator's wall clock, [tuning_cpu_s] the
+    summed worker CPU bill, [rank_host_s] the slowest worker's ranking
+    pass, and the counts ([evaluated]/[infeasible]/[points_pruned])
+    are recomputed from the merged journals, so a resumed run reports
+    the same totals as an uninterrupted one.  [best_cycles] and
+    [default_cycles] are the usual one-per-variant validation runs,
+    executed by the coordinator. *)
+
 val tune_exn :
   backend:Sw_backend.Backend.t ->
   ?strategy:Search.t ->

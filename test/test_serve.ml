@@ -643,6 +643,76 @@ let test_server_resume_rebuilds_surrogate_cache () =
         oneshot
         (Handler.strip_volatile (Option.get (Json.member "result" j))))
 
+(* ------------------------------------------------------------------ *)
+(* Socket serving: two concurrent connections *)
+
+let send_line fd s =
+  let line = s ^ "\n" in
+  ignore (Unix.write_substring fd line 0 (String.length line))
+
+(* one response line, with a deadline: a serialized accept loop makes
+   this fail cleanly instead of hanging the suite *)
+let recv_line fd =
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 1 in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    if Unix.gettimeofday () > deadline then
+      Alcotest.fail "timed out waiting for a response line"
+    else
+      match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> go ()
+      | _ -> (
+          match Unix.read fd b 0 1 with
+          | 0 -> Alcotest.fail "server closed the connection early"
+          | _ ->
+              if Bytes.get b 0 = '\n' then Buffer.contents buf
+              else (
+                Buffer.add_char buf (Bytes.get b 0);
+                go ()))
+  in
+  go ()
+
+let test_server_socket_two_clients () =
+  let path = Filename.temp_file "serve_sock" ".sock" in
+  Sys.remove path;
+  let state = Handler.create () in
+  let server = Domain.spawn (fun () -> Server.serve_socket state ~path) in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while not (Sys.file_exists path) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  in
+  let a = connect () in
+  let b = connect () in
+  let id_of line = Json.member "id" (parse_resp line) in
+  (* the second connection is served while the first sits idle
+     mid-session — queued-behind-EOF serving would time out here *)
+  send_line b {|{"id": "b1", "op": "ping"}|};
+  Alcotest.(check (option json)) "pending client served" (Some (Json.Str "b1"))
+    (id_of (recv_line b));
+  (* and the first connection still works, interleaved *)
+  send_line a {|{"id": "a1", "op": "ping"}|};
+  Alcotest.(check (option json)) "first client interleaved" (Some (Json.Str "a1"))
+    (id_of (recv_line a));
+  send_line b {|{"id": "b2", "op": "ping"}|};
+  Alcotest.(check (option json)) "second round-trip" (Some (Json.Str "b2"))
+    (id_of (recv_line b));
+  (* shutdown from either client stops the whole loop *)
+  send_line a {|{"id": "a2", "op": "shutdown"}|};
+  Alcotest.(check (option json)) "shutdown acknowledged" (Some (Json.Str "a2"))
+    (id_of (recv_line a));
+  let stats = Domain.join server in
+  Unix.close a;
+  Unix.close b;
+  Alcotest.(check bool) "shutdown stopped the loop" true stats.Server.shutdown;
+  Alcotest.(check int) "four responses served" 4 stats.Server.served;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path)
+
 let tests =
   ( "serve",
     [
@@ -683,4 +753,6 @@ let tests =
         test_server_resume_from_request_log;
       Alcotest.test_case "crash recovery rebuilds the surrogate cache" `Quick
         test_server_resume_rebuilds_surrogate_cache;
+      Alcotest.test_case "socket serves two concurrent clients" `Quick
+        test_server_socket_two_clients;
     ] )

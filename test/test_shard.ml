@@ -1,0 +1,303 @@
+(* Sharded tuning: the partition must be a stable pure function of the
+   point (hard-coded FNV-1a expectations pin it across OCaml versions),
+   the offline journal readers must merge deterministically and survive
+   crafted duplicate / mismatched / truncated inputs, the pipe protocol
+   must round-trip bit-exact floats, and the cutoff link must stay
+   advisory — wired or not, right or wrong, the argmin never moves. *)
+
+open Sw_tuning
+module Backend = Sw_backend.Backend
+module Json = Sw_obs.Json
+
+let p = Sw_arch.Params.default
+
+let config = Sw_sim.Config.default p
+
+let pt grain unroll double_buffer = { Space.grain; unroll; double_buffer }
+
+(* ------------------------------------------------------------------ *)
+(* Partition *)
+
+(* The shard hash is part of the journal-compatibility contract: a
+   coordinator and its workers (possibly different builds) must agree
+   on who owns what.  Pin it to values computed independently. *)
+let test_assign_stable () =
+  Alcotest.(check string)
+    "canonical key" "g32|u4|dbtrue"
+    (Shard.canonical_key (pt 32 4 true));
+  let expect point shard =
+    Alcotest.(check int) (Shard.canonical_key point) shard (Shard.assign ~shards:4 point)
+  in
+  expect (pt 32 1 false) 2;
+  expect (pt 32 4 true) 2;
+  expect (pt 100 8 false) 3;
+  (* in range for every shard count *)
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun point ->
+          let s = Shard.assign ~shards point in
+          if s < 0 || s >= shards then
+            Alcotest.failf "assign ~shards:%d %s = %d" shards (Shard.canonical_key point) s)
+        [ pt 1 1 false; pt 4096 128 true; pt 7 3 false ])
+    [ 1; 2; 3; 4; 7; 16 ];
+  (try
+     ignore (Shard.assign ~shards:0 (pt 1 1 false));
+     Alcotest.fail "shards=0 accepted"
+   with Invalid_argument _ -> ())
+
+let test_mine_partitions () =
+  let points =
+    Space.enumerate ~grains:(Space.range 1 50) ~unrolls:(Space.range 1 8)
+      ~double_buffers:[ false; true ] ()
+  in
+  let shards = 4 in
+  let mined = List.init shards (fun shard -> Shard.mine ~shard ~shards points) in
+  (* each sub-list is exactly the owned points in enumeration order *)
+  List.iteri
+    (fun shard sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d = filter" shard)
+        true
+        (sub = List.filter (fun point -> Shard.assign ~shards point = shard) points))
+    mined;
+  (* the sub-lists partition the space exactly *)
+  Alcotest.(check int) "partition total" (List.length points)
+    (List.fold_left (fun n sub -> n + List.length sub) 0 mined);
+  (* this particular 800-point space splits perfectly (fixed hash, so
+     the counts are deterministic — a changed hash shows up here) *)
+  List.iteri
+    (fun shard sub ->
+      Alcotest.(check int) (Printf.sprintf "shard %d count" shard) 200 (List.length sub))
+    mined;
+  (* membership is a function of the point, not of enumeration order *)
+  List.iteri
+    (fun shard sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d order-independent" shard)
+        true
+        (Shard.mine ~shard ~shards (List.rev points) = List.rev sub))
+    mined;
+  (try
+     ignore (Shard.mine ~shard:4 ~shards:4 points);
+     Alcotest.fail "shard out of range accepted"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Offline journal readers *)
+
+let entry = Sw_workloads.Registry.find_exn "vector-add"
+
+let kernel = entry.Sw_workloads.Registry.build ~scale:0.1
+
+let key point = Backend.journal_key_of kernel (Space.to_variant point ~active_cpes:64)
+
+let write_file path lines =
+  let oc = open_out_bin path in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let ok cycles = Backend.Journal_ok { cycles; machine_us = 1.5; machine_events = 42 }
+
+let cycles_of = function
+  | Some (Backend.Journal_ok { cycles; _ }) -> cycles
+  | Some (Backend.Journal_infeasible _) -> Alcotest.fail "infeasible entry"
+  | None -> Alcotest.fail "key missing from merge"
+
+let test_merge_first_written_wins () =
+  let k1 = key (pt 32 1 false) and k2 = key (pt 32 2 false) in
+  let a = Filename.temp_file "swpm_shard_a" ".jsonl" in
+  let b = Filename.temp_file "swpm_shard_b" ".jsonl" in
+  write_file a
+    [ Backend.journal_header_line config; Backend.journal_entry_line k1 (ok 100.) ];
+  write_file b
+    [
+      Backend.journal_header_line config;
+      Backend.journal_entry_line k1 (ok 200.);
+      Backend.journal_entry_line k2 (ok 300.);
+    ];
+  let merged = Backend.journal_merge ~config [ a; b ] in
+  Alcotest.(check int) "two distinct keys" 2 (Hashtbl.length merged);
+  Alcotest.(check (float 0.)) "duplicate keeps first-written" 100.
+    (cycles_of (Hashtbl.find_opt merged k1));
+  Alcotest.(check (float 0.)) "unique key from second file" 300.
+    (cycles_of (Hashtbl.find_opt merged k2));
+  (* path order decides which write is first *)
+  let swapped = Backend.journal_merge ~config [ b; a ] in
+  Alcotest.(check (float 0.)) "swapped order keeps b's entry" 200.
+    (cycles_of (Hashtbl.find_opt swapped k1));
+  Sys.remove a;
+  Sys.remove b
+
+let test_digest_mismatch () =
+  let other = { config with Sw_sim.Config.seed = config.Sw_sim.Config.seed + 1 } in
+  let path = Filename.temp_file "swpm_shard_mismatch" ".jsonl" in
+  write_file path
+    [ Backend.journal_header_line other; Backend.journal_entry_line (key (pt 32 1 false)) (ok 1.) ];
+  Alcotest.check_raises "typed mismatch"
+    (Backend.Journal_mismatch
+       {
+         path;
+         expected = Backend.config_digest config;
+         found = Backend.config_digest other;
+       })
+    (fun () -> ignore (Backend.journal_read ~config path));
+  Alcotest.check_raises "merge propagates the mismatch"
+    (Backend.Journal_mismatch
+       {
+         path;
+         expected = Backend.config_digest config;
+         found = Backend.config_digest other;
+       })
+    (fun () -> ignore (Backend.journal_merge ~config [ path ]));
+  Sys.remove path
+
+let test_truncated_tail () =
+  let k1 = key (pt 32 1 false) and k2 = key (pt 32 2 false) in
+  let truncated = Filename.temp_file "swpm_shard_trunc" ".jsonl" in
+  let good = Filename.temp_file "swpm_shard_good" ".jsonl" in
+  let full = Backend.journal_entry_line k2 (ok 200.) in
+  let oc = open_out_bin truncated in
+  output_string oc (Backend.journal_header_line config);
+  output_char oc '\n';
+  output_string oc (Backend.journal_entry_line k1 (ok 100.));
+  output_char oc '\n';
+  (* the kill-mid-write case: half an entry, no newline *)
+  output_string oc (String.sub full 0 (String.length full / 2));
+  close_out oc;
+  let entries = Backend.journal_read ~config truncated in
+  Alcotest.(check int) "partial tail dropped" 1 (List.length entries);
+  Alcotest.(check (float 0.)) "surviving entry intact" 100.
+    (cycles_of (Option.map snd (List.nth_opt entries 0)));
+  (* a truncated shard does not poison the merge *)
+  write_file good
+    [ Backend.journal_header_line config; Backend.journal_entry_line k2 (ok 200.) ];
+  let merged = Backend.journal_merge ~config [ truncated; good ] in
+  Alcotest.(check int) "both shards merged" 2 (Hashtbl.length merged);
+  Alcotest.(check (float 0.)) "good shard's entry present" 200.
+    (cycles_of (Hashtbl.find_opt merged k2));
+  Sys.remove truncated;
+  Sys.remove good
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_protocol_roundtrip () =
+  let cases =
+    [
+      Shard.Incumbent 1140894.5999990494;  (* needs all 17 digits *)
+      Shard.Cutoff 18463.2;
+      Shard.Done (Json.Obj [ ("shard", Json.Int 0); ("cpu_s", Json.Float 1.5) ]);
+    ]
+  in
+  List.iter
+    (fun msg ->
+      let line = Shard.encode msg in
+      match Shard.decode line with
+      | Some msg' -> Alcotest.(check bool) line true (msg = msg')
+      | None -> Alcotest.failf "%s does not decode" line)
+    cases;
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (Printf.sprintf "reject %S" line) true (Shard.decode line = None))
+    [ "not json"; "{\"ev\": \"nope\"}"; "{\"ev\": \"incumbent\"}"; "{}"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Cutoff link: advisory by construction *)
+
+let best_priced results =
+  List.fold_left
+    (fun acc (_, r) ->
+      match r with
+      | Search.Priced v -> (
+          match acc with
+          | Some c when c <= v.Backend.cycles -> acc
+          | _ -> Some v.Backend.cycles)
+      | _ -> acc)
+    None results
+
+(* costs carry measured host seconds; compare what the tuner folds *)
+let shape results =
+  List.map
+    (fun (point, r) ->
+      ( point,
+        match r with
+        | Search.Priced v -> `Priced v.Backend.cycles
+        | Search.Rejected _ -> `Rejected
+        | Search.Pruned _ -> `Pruned ))
+    results
+
+let test_link_advisory () =
+  let kernel = entry.Sw_workloads.Registry.build ~scale:0.05 in
+  let points =
+    Space.enumerate ~grains:entry.Sw_workloads.Registry.grains
+      ~unrolls:entry.Sw_workloads.Registry.unrolls ()
+  in
+  let run ?link () =
+    Search.run (Search.shortlist ~k:4 ()) ~backend:Backend.simulator ~active_cpes:64 ?link
+      config kernel ~points
+  in
+  let baseline, _ = run () in
+  let best = Option.get (best_priced baseline) in
+  (* a no-op link changes nothing and sees every incumbent improvement *)
+  let published = ref [] in
+  let noop =
+    { Search.publish = (fun c -> published := c :: !published); current = (fun () -> None) }
+  in
+  let linked, _ = run ~link:noop () in
+  Alcotest.(check bool) "no-op link: identical results" true (shape baseline = shape linked);
+  Alcotest.(check bool) "publish fired" true (!published <> []);
+  Alcotest.(check (float 0.)) "final incumbent published" best
+    (List.fold_left Stdlib.min infinity !published);
+  (* a remote incumbent equal to the true minimum prunes the rest but —
+     cutoffs being strict — still prices the minimum itself *)
+  let tight = { Search.publish = ignore; current = (fun () -> Some best) } in
+  let pruned, _ = run ~link:tight () in
+  Alcotest.(check (float 0.)) "tight remote cutoff keeps the argmin" best
+    (Option.get (best_priced pruned))
+
+(* ------------------------------------------------------------------ *)
+(* Axis parsing (the CLI surface the bench spaces come through) *)
+
+let test_axis_syntax () =
+  Alcotest.(check (list int)) "range" [ 1; 2; 3; 4 ] (Space.range 1 4);
+  Alcotest.(check (list int)) "range step" [ 2; 5; 8 ] (Space.range ~step:3 2 10);
+  Alcotest.(check (list int)) "range empty" [] (Space.range 5 4);
+  (try
+     ignore (Space.range ~step:0 1 4);
+     Alcotest.fail "step=0 accepted"
+   with Invalid_argument _ -> ());
+  let ok spec expected =
+    match Space.parse_axis spec with
+    | Ok vs -> Alcotest.(check (list int)) spec expected vs
+    | Error msg -> Alcotest.failf "%s rejected: %s" spec msg
+  in
+  ok "1..4" [ 1; 2; 3; 4 ];
+  ok "2..10:3" [ 2; 5; 8 ];
+  ok "5" [ 5 ];
+  ok "1,2,9" [ 1; 2; 9 ];
+  List.iter
+    (fun spec ->
+      match Space.parse_axis spec with
+      | Ok _ -> Alcotest.failf "%s accepted" spec
+      | Error _ -> ())
+    [ "0..3"; "x"; "1.."; ""; "3..1:0" ]
+
+let tests =
+  ( "shard",
+    [
+      Alcotest.test_case "assign is a stable pure hash" `Quick test_assign_stable;
+      Alcotest.test_case "mine partitions the space exactly" `Quick test_mine_partitions;
+      Alcotest.test_case "merge keeps the first-written duplicate" `Quick
+        test_merge_first_written_wins;
+      Alcotest.test_case "digest mismatch raises the typed error" `Quick test_digest_mismatch;
+      Alcotest.test_case "truncated tail dropped without poisoning the merge" `Quick
+        test_truncated_tail;
+      Alcotest.test_case "protocol lines round-trip bit-exactly" `Quick test_protocol_roundtrip;
+      Alcotest.test_case "cutoff link is advisory" `Slow test_link_advisory;
+      Alcotest.test_case "axis syntax" `Quick test_axis_syntax;
+    ] )
