@@ -1058,7 +1058,7 @@ let serve_bench () =
         in
         let oneshot =
           let state = H.create () in
-          match (H.run state { H.id = J.Null; verb }).H.result with
+          match (H.run state { H.id = J.Null; verb; deadline_ms = None }).H.result with
           | Ok payload -> Some (H.strip_volatile payload)
           | Error _ -> None
         in
@@ -1247,6 +1247,7 @@ let shard_bench () =
   let victim =
     Sw_tuning.Shard.launch ~shard:0
       ~argv:(H.worker_argv kill_req ~shard:0 ~shards:2 ~journal:(shard_journal 0))
+      ()
   in
   let deadline = Unix.gettimeofday () +. 60.0 in
   (* wait for the journal header plus a few resolved entries *)
@@ -1321,6 +1322,261 @@ let shard_bench () =
   if not (same_pick && speedup_ok && resume_ok) then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: a seeded sweep of process-level fault plans (SWPM_CHAOS)
+   against supervised sharded tuning, plus a deadline-admission flood
+   through the daemon.  Gates (exit 1): every chaos run terminates
+   within the wall cap (no hangs); when no shard was quarantined the
+   argmin is bit-identical to the fault-free single-process oracle;
+   a quarantined shard always surfaces as a degraded result; restarts
+   stay within the per-shard budget; every flood response is typed
+   (ok, degraded, or error = "deadline_exceeded" — no silent deadline
+   misses); and the Prometheus export carries the supervision and
+   deadline counters. *)
+
+let chaos_bench () =
+  section "Chaos: fault-injected sharded tuning and deadline admission";
+  let module J = Sw_obs.Json in
+  let module H = Sw_serve.Handler in
+  let module S = Sw_serve.Server in
+  let module Chaos = Sw_fault.Fault.Chaos in
+  let swmodel =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      (Filename.concat "bin" "swmodel.exe")
+  in
+  if not (Sys.file_exists swmodel) then begin
+    Printf.printf "GATE FAILED: worker executable %s not built (run dune build first)\n" swmodel;
+    exit 1
+  end;
+  Unix.putenv "SWPM_WORKER_EXE" swmodel;
+  let tune req =
+    match H.tune (H.create ()) req with
+    | Ok tr -> tr
+    | Error msg ->
+        Printf.printf "GATE FAILED: tune: %s\n" msg;
+        exit 1
+  in
+  (* an all-feasible slab, so shard journals fill steadily from the
+     first assessment and every generated kill/stall trigger fires *)
+  let req =
+    {
+      (H.tune_defaults ~kernel:"vector-add") with
+      H.t_scale = 0.01;
+      t_seed = Some 17;
+      t_grains = Some "1000..1640:4";
+      t_unrolls = Some "1..8";
+    }
+  in
+  let workers = 2 and max_restarts = 2 in
+  let seeds = 25 and wall_cap_s = 120.0 in
+  let oracle = (tune req).H.tr_outcome in
+  Printf.printf "oracle: best grain=%d unroll=%d (%.0f cycles); sweeping %d chaos seeds ...\n%!"
+    oracle.Sw_tuning.Tuner.best.Sw_swacc.Kernel.grain
+    oracle.Sw_tuning.Tuner.best.Sw_swacc.Kernel.unroll oracle.Sw_tuning.Tuner.best_cycles seeds;
+  let identical = ref 0
+  and quarantined_runs = ref 0
+  and restarts_total = ref 0
+  and dropped_total = ref 0
+  and max_run_s = ref 0.0
+  and sweep_ok = ref true in
+  for seed = 0 to seeds - 1 do
+    let plans = Chaos.generate ~seed ~shards:workers in
+    Unix.putenv Chaos.env_var (Chaos.to_spec plans);
+    let t0 = Unix.gettimeofday () in
+    let tr =
+      tune
+        {
+          req with
+          H.t_workers = workers;
+          t_max_restarts = max_restarts;
+          t_hang_timeout_s = Some 1.0;
+        }
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Unix.putenv Chaos.env_var "";
+    if elapsed > !max_run_s then max_run_s := elapsed;
+    let o = tr.H.tr_outcome in
+    let quarantined = o.Sw_tuning.Tuner.quarantined in
+    restarts_total := !restarts_total + o.Sw_tuning.Tuner.restarts;
+    dropped_total := !dropped_total + o.Sw_tuning.Tuner.link_lines_dropped;
+    let same =
+      o.Sw_tuning.Tuner.best = oracle.Sw_tuning.Tuner.best
+      && o.Sw_tuning.Tuner.best_cycles = oracle.Sw_tuning.Tuner.best_cycles
+    in
+    Printf.printf "seed %2d  %-40s  %.2fs  restarts=%d dropped=%d %s\n%!" seed
+      (Chaos.to_spec plans) elapsed o.Sw_tuning.Tuner.restarts
+      o.Sw_tuning.Tuner.link_lines_dropped
+      (match quarantined with
+      | [] -> if same then "argmin identical" else "ARGMIN DIFFERS"
+      | q -> Printf.sprintf "quarantined [%s]" (String.concat ";" (List.map string_of_int q)));
+    if elapsed > wall_cap_s then begin
+      Printf.printf "GATE FAILED: seed %d ran %.2fs > %.0fs wall cap\n" seed elapsed wall_cap_s;
+      sweep_ok := false
+    end;
+    if o.Sw_tuning.Tuner.restarts > workers * max_restarts then begin
+      Printf.printf "GATE FAILED: seed %d made %d restarts > budget %d\n" seed
+        o.Sw_tuning.Tuner.restarts (workers * max_restarts);
+      sweep_ok := false
+    end;
+    match quarantined with
+    | [] ->
+        if same then incr identical
+        else begin
+          Printf.printf "GATE FAILED: seed %d argmin differs with no shard quarantined\n" seed;
+          sweep_ok := false
+        end
+    | _ :: _ ->
+        incr quarantined_runs;
+        if not tr.H.tr_degraded then begin
+          Printf.printf "GATE FAILED: seed %d quarantined a shard but was not degraded\n" seed;
+          sweep_ok := false
+        end
+  done;
+  Printf.printf
+    "sweep: %d/%d argmin-identical, %d quarantined (degraded), %d restarts, %d link lines \
+     dropped, slowest run %.2fs\n%!"
+    !identical seeds !quarantined_runs !restarts_total !dropped_total !max_run_s;
+  (* Deadline flood: a burst of tunes with deadlines the estimator
+     cannot meet must come back as typed refusals (or degraded runs),
+     never as silent latency. *)
+  let run_session ~config lines =
+    let req_r, req_w = Unix.pipe () in
+    let resp_r, resp_w = Unix.pipe () in
+    let state = H.create () in
+    let server =
+      Domain.spawn (fun () ->
+          let output = Unix.out_channel_of_descr resp_w in
+          let stats = S.serve ~config state ~input:req_r ~output in
+          close_out output;
+          Unix.close req_r;
+          stats)
+    in
+    let wc = Unix.out_channel_of_descr req_w in
+    List.iter
+      (fun line ->
+        output_string wc line;
+        output_char wc '\n')
+      lines;
+    close_out wc;
+    let ic = Unix.in_channel_of_descr resp_r in
+    let responses = ref [] in
+    (try
+       while true do
+         responses := input_line ic :: !responses
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let stats = Domain.join server in
+    (List.rev !responses, stats)
+  in
+  let wire ?deadline_ms i fields =
+    let tail = match deadline_ms with Some d -> [ ("deadline_ms", J.Int d) ] | None -> [] in
+    J.to_string (J.Obj ((("id", J.Int i) :: fields) @ tail))
+  in
+  let tune_fields =
+    [
+      ("op", J.Str "tune");
+      ("kernel", J.Str "vector-add");
+      ("grains", J.Str "64..256:16");
+      ("unrolls", J.Str "1..4");
+      ("seed", J.Int 3);
+      ("scale", J.Float 0.01);
+    ]
+  in
+  let flood_lines =
+    [ wire 0 [ ("op", J.Str "ping") ] ]
+    @ List.init 6 (fun i -> wire ~deadline_ms:1 (1 + i) tune_fields)
+    @ [ wire ~deadline_ms:70 7 tune_fields ]
+    @ List.init 6 (fun i -> wire ~deadline_ms:60_000 (8 + i) tune_fields)
+    @ [ wire 14 [ ("op", J.Str "metrics") ] ]
+  in
+  let config = { S.queue_capacity = 256; shed_watermark = 256; metrics_every = 0 } in
+  let responses, _stats = run_session ~config flood_lines in
+  let ok_n = ref 0 and refused = ref 0 and degraded = ref 0 and late = ref 0 and bad = ref 0 in
+  List.iter
+    (fun line ->
+      match J.parse line with
+      | Error _ -> incr bad
+      | Ok j -> (
+          let late_mark = Option.bind (J.member "deadline_exceeded" j) J.to_bool = Some true in
+          if Option.bind (J.member "degraded" j) J.to_bool = Some true then incr degraded;
+          match Option.bind (J.member "ok" j) J.to_bool with
+          | Some true ->
+              incr ok_n;
+              if late_mark then incr late
+          | Some false
+            when (match J.member "error" j with
+                 | Some (J.Str "deadline_exceeded") -> true
+                 | _ -> false)
+                 && late_mark ->
+              incr refused
+          | _ -> incr bad))
+    responses;
+  let metrics_txt =
+    match List.rev responses with
+    | last :: _ -> (
+        match J.parse last with
+        | Ok j -> (
+            match Option.bind (J.member "result" j) (J.member "text") with
+            | Some (J.Str t) -> t
+            | _ -> "")
+        | Error _ -> "")
+    | [] -> ""
+  in
+  let contains hay needle =
+    let h = String.length hay and n = String.length needle in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    n > 0 && go 0
+  in
+  let counter_names =
+    [
+      "serve_deadline_exceeded";
+      "serve_deadline_degraded";
+      "serve_deadline_missed";
+      "shard_restarts";
+      "shard_quarantined";
+      "link_lines_dropped";
+    ]
+  in
+  let counters_ok = List.for_all (contains metrics_txt) counter_names in
+  Printf.printf
+    "flood: %d responses (%d ok, %d refused, %d degraded, %d late-marked, %d untyped), \
+     counters exported: %b\n%!"
+    (List.length responses) !ok_n !refused !degraded !late !bad counters_ok;
+  let flood_ok =
+    !bad = 0
+    && !refused >= 1
+    && !degraded >= 1
+    && !ok_n >= 1
+    && List.length responses = List.length flood_lines
+  in
+  if not flood_ok then
+    Printf.printf "GATE FAILED: flood left untyped or missing responses (%d untyped)\n" !bad;
+  if not counters_ok then
+    Printf.printf "GATE FAILED: Prometheus export is missing a supervision/deadline counter\n";
+  add_json "chaos"
+    (json_obj
+       [
+         ("seeds", string_of_int seeds);
+         ("workers", string_of_int workers);
+         ("max_restarts", string_of_int max_restarts);
+         ("argmin_identical", string_of_int !identical);
+         ("quarantined_runs", string_of_int !quarantined_runs);
+         ("restarts_total", string_of_int !restarts_total);
+         ("link_lines_dropped_total", string_of_int !dropped_total);
+         ("slowest_run_s", json_float !max_run_s);
+         ("wall_cap_s", json_float wall_cap_s);
+         ("flood_responses", string_of_int (List.length responses));
+         ("flood_ok", string_of_int !ok_n);
+         ("flood_refused", string_of_int !refused);
+         ("flood_degraded", string_of_int !degraded);
+         ("flood_late_marked", string_of_int !late);
+         ("flood_untyped", string_of_int !bad);
+         ("counters_exported", string_of_bool counters_ok);
+       ]);
+  if not (!sweep_ok && flood_ok && counters_ok) then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -1347,6 +1603,7 @@ let all =
     ("engine", engine);
     ("serve", serve_bench);
     ("shard", shard_bench);
+    ("chaos", chaos_bench);
   ]
 
 let () =

@@ -270,6 +270,23 @@ let workers_arg =
   in
   Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
 
+let max_restarts_arg =
+  let doc =
+    "Sharded tuning: relaunch a crashed (or hung, see --hang-timeout) worker up to $(docv) \
+     times per shard, resuming from its journal to a bit-identical argmin.  A shard that \
+     exhausts the budget is quarantined: the tune completes as a partial argmin over the \
+     surviving shards and reports the quarantined shard numbers."
+  in
+  Arg.(value & opt int 2 & info [ "max-restarts" ] ~docv:"N" ~doc)
+
+let hang_timeout_arg =
+  let doc =
+    "Sharded tuning: a worker whose link stays silent for $(docv) seconds (workers heartbeat \
+     every 0.25s) is presumed hung, killed and relaunched under the --max-restarts budget \
+     (0 = no hang detection)."
+  in
+  Arg.(value & opt float 0.0 & info [ "hang-timeout" ] ~docv:"SECS" ~doc)
+
 let grains_arg =
   let doc =
     "Override the kernel's grain axis: $(b,lo..hi), $(b,lo..hi:step) or a comma list \
@@ -287,7 +304,8 @@ let db_both_arg =
 
 let tune_cmd =
   let run name scale backend_name strategy_name rank shortlist_k rungs json domains trace seed
-      faults fault_level checkpoint robust_seeds workers grains unrolls db_both =
+      faults fault_level checkpoint robust_seeds workers max_restarts hang_timeout grains
+      unrolls db_both =
     Option.iter Sw_util.Prng.set_global_seed seed;
     let req =
       {
@@ -304,6 +322,8 @@ let tune_cmd =
         t_fault_level = fault_level;
         t_checkpoint = checkpoint;
         t_workers = workers;
+        t_max_restarts = max_restarts;
+        t_hang_timeout_s = (if hang_timeout > 0.0 then Some hang_timeout else None);
         t_grains = grains;
         t_unrolls = unrolls;
         t_db_both = db_both;
@@ -352,7 +372,8 @@ let tune_cmd =
     Term.(
       const run $ kernel_arg $ scale_arg $ backend_arg $ strategy_arg $ rank_arg $ shortlist_arg
       $ rungs_arg $ json_arg $ domains_arg $ trace_arg $ seed_arg $ faults_arg $ fault_level_arg
-      $ checkpoint_arg $ robust_arg $ workers_arg $ grains_arg $ unrolls_arg $ db_both_arg)
+      $ checkpoint_arg $ robust_arg $ workers_arg $ max_restarts_arg $ hang_timeout_arg
+      $ grains_arg $ unrolls_arg $ db_both_arg)
 
 let shard_worker_cmd =
   let run spec =

@@ -584,21 +584,32 @@ let journal ?sink ~path config (inner : t) : journal =
   (* Replay: accept the file only if its header names this exact
      configuration; a truncated tail line (the crash case) parses as
      nothing and is ignored. *)
-  let header_ok =
+  (* Three-way open: no prior file (fresh), a replayable file, or a
+     file that exists but cannot be trusted — empty, garbage bytes, a
+     foreign digest.  The last falls back to a fresh journal (the run
+     recomputes; correctness never depends on the replay) but is worth
+     a warning counter: an operator seeing ["journal.unreadable"] climb
+     knows checkpoints are being discarded, not used. *)
+  let header_state =
     match open_in path with
-    | exception Sys_error _ -> false
+    | exception Sys_error _ -> `Fresh
     | ic ->
         Fun.protect
           ~finally:(fun () -> close_in_noerr ic)
           (fun () ->
             match input_line ic with
-            | exception End_of_file -> false
+            (* a zero-length file has nothing to lose: it is what
+               [Filename.temp_file] pre-creates, so open it fresh
+               silently rather than warning about every ephemeral
+               shard journal *)
+            | exception End_of_file -> `Fresh
             | header -> (
                 match
                   Scanf.sscanf header "{\"journal\": %S, \"version\": %d, \"config\": %S}"
                     (fun _ v d -> (v, d))
                 with
-                | exception (Scanf.Scan_failure _ | End_of_file | Failure _) -> false
+                | exception (Scanf.Scan_failure _ | End_of_file | Failure _) ->
+                    `Rejected "malformed header"
                 | 1, d when d = digest ->
                     (try
                        while true do
@@ -607,9 +618,20 @@ let journal ?sink ~path config (inner : t) : journal =
                          | None -> ()
                        done
                      with End_of_file -> ());
-                    true
-                | _ -> false))
+                    `Replayed
+                | v, d ->
+                    `Rejected
+                      (if v <> 1 then Printf.sprintf "version %d" v
+                       else Printf.sprintf "config digest %s" d)))
   in
+  (match header_state with
+  | `Rejected reason ->
+      (match sink with
+      | Some s -> Sw_obs.Sink.incr s "journal.unreadable"
+      | None -> ());
+      Printf.eprintf "swpm: journal %s unreadable (%s): starting fresh\n%!" path reason
+  | `Fresh | `Replayed -> ());
+  let header_ok = header_state = `Replayed in
   let oc =
     if header_ok then begin
       (* Crash recovery: a kill mid-write can leave a partial final
@@ -773,24 +795,36 @@ let journal_entry_line key entry =
     v.Kernel.unroll v.Kernel.active_cpes v.Kernel.double_buffer status cycles machine_us
     events jbackend reason
 
+type journal_issue =
+  | Journal_mismatched of { path : string; expected : string; found : string }
+  | Journal_unreadable of { path : string; reason : string }
+
+let journal_issue_string = function
+  | Journal_mismatched { path; expected; found } ->
+      Printf.sprintf "journal %s is bound to config %s, expected %s" path found expected
+  | Journal_unreadable { path; reason } ->
+      Printf.sprintf "journal %s is unreadable: %s" path reason
+
 let journal_read ~config path =
   let digest = config_digest config in
   match open_in path with
-  | exception Sys_error _ -> []
+  | exception Sys_error _ -> Ok [] (* never created: nothing to replay *)
   | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
           match input_line ic with
-          | exception End_of_file -> [] (* created but never written: nothing to replay *)
+          | exception End_of_file ->
+              (* a zero-length journal is not a journal: surface it
+                 rather than silently reporting an empty result set *)
+              Error (Journal_unreadable { path; reason = "empty file" })
           | header -> (
               match
                 Scanf.sscanf header "{\"journal\": %S, \"version\": %d, \"config\": %S}"
                   (fun _ v d -> (v, d))
               with
               | exception (Scanf.Scan_failure _ | End_of_file | Failure _) ->
-                  raise
-                    (Journal_mismatch { path; expected = digest; found = "<malformed header>" })
+                  Error (Journal_unreadable { path; reason = "malformed header" })
               | 1, d when d = digest ->
                   let entries = ref [] in
                   (try
@@ -802,18 +836,28 @@ let journal_read ~config path =
                        | None -> ()
                      done
                    with End_of_file -> ());
-                  List.rev !entries
+                  Ok (List.rev !entries)
               | v, d ->
                   let found = if v <> 1 then Printf.sprintf "<version %d>" v else d in
-                  raise (Journal_mismatch { path; expected = digest; found })))
+                  Error (Journal_mismatched { path; expected = digest; found })))
 
-let journal_merge ~config paths =
+let journal_merge ?on_issue ~config paths =
   let merged : (journal_key, journal_entry) Hashtbl.t = Hashtbl.create 256 in
   List.iter
     (fun path ->
-      List.iter
-        (fun (key, entry) -> if not (Hashtbl.mem merged key) then Hashtbl.add merged key entry)
-        (journal_read ~config path))
+      match journal_read ~config path with
+      | Ok entries ->
+          List.iter
+            (fun (key, entry) ->
+              if not (Hashtbl.mem merged key) then Hashtbl.add merged key entry)
+            entries
+      | Error issue -> (
+          match (on_issue, issue) with
+          | Some f, _ -> f issue (* the caller decides; the file contributes nothing *)
+          | None, Journal_mismatched { path; expected; found } ->
+              (* a digest conflict is a caller bug, not an IO accident *)
+              raise (Journal_mismatch { path; expected; found })
+          | None, Journal_unreadable _ -> () (* damaged file: merge what survives *)))
     paths;
   merged
 

@@ -351,10 +351,22 @@ type journal_entry =
           [Cut_off] results are never journaled. *)
 
 exception Journal_mismatch of { path : string; expected : string; found : string }
-(** Raised by {!journal_read} / {!journal_merge} when a journal file
-    exists but is bound to a different configuration digest (or has a
-    malformed or wrong-version header).  [expected] is the digest of
-    the caller's configuration; [found] is what the file declared. *)
+(** Raised by {!journal_merge} (without [on_issue]) when a journal file
+    exists but is bound to a different configuration digest.
+    [expected] is the digest of the caller's configuration; [found] is
+    what the file declared. *)
+
+(** Why a journal file could not be read.  A {e mismatched} journal is
+    well-formed but bound to a different configuration — replaying it
+    would be wrong; an {e unreadable} one (zero-length, garbage bytes,
+    torn header) carries no usable information at all and readers fall
+    back to recomputing. *)
+type journal_issue =
+  | Journal_mismatched of { path : string; expected : string; found : string }
+  | Journal_unreadable of { path : string; reason : string }
+
+val journal_issue_string : journal_issue -> string
+(** One-line human rendering. *)
 
 val config_digest : Sw_sim.Config.t -> string
 (** The digest a journal header binds its file to (MD5 of the
@@ -372,22 +384,32 @@ val journal_entry_line : journal_key -> journal_entry -> string
     assessment — exposed so tests and tools can craft journal files
     byte-compatible with the writer. *)
 
-val journal_read : config:Sw_sim.Config.t -> string -> (journal_key * journal_entry) list
+val journal_read :
+  config:Sw_sim.Config.t ->
+  string ->
+  ((journal_key * journal_entry) list, journal_issue) result
 (** [journal_read ~config path] parses one journal file into its
-    entries, in write order.  A missing or empty file reads as [[]] (a
-    worker that died before its first write is not an error); a
-    truncated final line is dropped, exactly as the resume path does.
-    @raise Journal_mismatch when the file's header names a different
-    configuration. *)
+    entries, in write order.  A missing file reads as [Ok []] (a worker
+    that never started writing is not an error); a truncated final line
+    is dropped, exactly as the resume path does.  Never raises: a
+    zero-length or garbage file is [Error Journal_unreadable], a
+    well-formed file bound to a different configuration is
+    [Error Journal_mismatched]. *)
 
 val journal_merge :
-  config:Sw_sim.Config.t -> string list -> (journal_key, journal_entry) Hashtbl.t
+  ?on_issue:(journal_issue -> unit) ->
+  config:Sw_sim.Config.t ->
+  string list ->
+  (journal_key, journal_entry) Hashtbl.t
 (** [journal_merge ~config paths] folds {!journal_read} over [paths]
     into one table.  Duplicate keys resolve to the {e first}-written
     entry, in [paths] order — deterministic backends journal the same
     verdict everywhere, so this only matters for crafted inputs, but
-    the rule is fixed so merged argmins are reproducible.
-    @raise Journal_mismatch as {!journal_read}. *)
+    the rule is fixed so merged argmins are reproducible.  A file that
+    fails to read contributes nothing: with [on_issue] the issue is
+    reported to the callback; without it an unreadable file is skipped
+    silently and a mismatched one raises {!Journal_mismatch} (a digest
+    conflict is a caller bug, not an IO accident). *)
 
 (** {1 Registry}
 

@@ -70,3 +70,78 @@ val plan : ?spec:spec -> seed:int -> Sw_sim.Config.t -> Sw_sim.Config.t
     Raises {!Sw_sim.Config.Invalid_config} if [spec] describes an
     invalid fault state (e.g. [dma_fail_prob > 0] with a zero retry
     budget). *)
+
+(** Deterministic {e process-level} fault plans for the sharded tuning
+    path.  Where {!plan} perturbs the simulated machine, a chaos plan
+    perturbs the worker processes themselves: SIGKILL after [n] journal
+    lines, a pipe stall, a corrupted journal tail, dropped or
+    duplicated incumbent-link lines.  Plans travel between processes as
+    a compact spec string in the [SWPM_CHAOS] environment variable
+    ({!Chaos.env_var}), honored by [swmodel shard-worker]; with
+    {!Chaos.generate} the whole scenario is a pure function of a seed,
+    so every failure replays exactly. *)
+module Chaos : sig
+  type action =
+    | Kill_after of int
+        (** SIGKILL the worker once it has written this many {e new}
+            journal lines (replayed hits don't count). *)
+    | Stall_after of { lines : int; secs : float }
+        (** Sleep [secs] (no heartbeats, no progress) after [lines]
+            new journal lines — a hung pipe.  Short stalls resume;
+            stalls longer than the supervisor's progress deadline get
+            the worker killed and relaunched. *)
+    | Corrupt_journal of { mode : string }
+        (** Damage the shard journal at worker startup, before it is
+            opened: ["tail"] tears the last entry mid-line (the shape a
+            mid-write SIGKILL produces), ["garbage"] overwrites the
+            file with non-JSON bytes, ["zero"] truncates it to empty. *)
+    | Drop_incumbents of int  (** Silently drop every k-th incumbent line. *)
+    | Dup_incumbents of int  (** Write every k-th incumbent line twice. *)
+
+  type cplan = { shard : int; sticky : bool; action : action }
+  (** One plan, targeting one shard.  Kills and stalls fire only in the
+      worker's first incarnation unless [sticky] (a sticky kill re-arms
+      after every relaunch, exhausting the restart budget — the
+      quarantine path); corruption and link loss stay armed in every
+      incarnation. *)
+
+  type t = cplan list
+
+  val env_var : string
+  (** ["SWPM_CHAOS"] — carries {!to_spec} output to worker processes. *)
+
+  val incarnation_var : string
+  (** ["SWPM_CHAOS_INCARNATION"] — set by the supervisor on each
+      relaunch (0 for the first launch), so non-[sticky] kills and
+      stalls fire exactly once. *)
+
+  val to_spec : t -> string
+  (** Spec grammar: semicolon-separated plans, each
+      [kind:key=val,...] — e.g.
+      ["kill:shard=0,after=6;stall:shard=1,after=3,secs=2.5"].
+      Kinds: [kill] ([after]), [stall] ([after], [secs]), [corrupt]
+      ([mode]), [drop]/[dup] ([every]); any plan takes [sticky=1]. *)
+
+  val parse : string -> (t, string) result
+  (** Inverse of {!to_spec}; [Ok []] for the empty string. *)
+
+  val of_env : unit -> t
+  (** Parse {!env_var} from the environment; unset, empty or malformed
+      (with a warning on stderr) yields []. *)
+
+  val incarnation : unit -> int
+  (** Parse {!incarnation_var} from the environment; defaults to 0. *)
+
+  val armed : shard:int -> incarnation:int -> t -> action list
+  (** The actions a worker must apply: plans targeting [shard],
+      filtered by the incarnation rule on {!cplan}. *)
+
+  val generate : seed:int -> shards:int -> t
+  (** A deterministic scenario drawn from [seed]: one victim shard and
+      one failure mode (kill, short stall, long stall, kill+corrupt,
+      link drop, link dup, or a sticky kill that forces quarantine). *)
+
+  val corrupt_file : mode:string -> string -> bool
+  (** Apply a {!Corrupt_journal} mode to a file in place; [false] when
+      the file does not exist. *)
+end

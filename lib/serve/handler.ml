@@ -12,6 +12,7 @@ type state = {
   sim_timeout_s : float option;
   lock : Mutex.t;
   backends : (string, Backend.t) Hashtbl.t;  (* canonical name -> shared memo *)
+  estimates : (string, float) Hashtbl.t;  (* service class -> EWMA host seconds *)
 }
 
 let create ?sink ?state_dir ?sim_timeout_s () =
@@ -25,6 +26,7 @@ let create ?sink ?state_dir ?sim_timeout_s () =
     sim_timeout_s;
     lock = Mutex.create ();
     backends = Hashtbl.create 8;
+    estimates = Hashtbl.create 8;
   }
 
 let sink state = state.sink
@@ -86,6 +88,8 @@ type tune_req = {
   t_fault_level : string;
   t_checkpoint : string option;
   t_workers : int;
+  t_max_restarts : int;
+  t_hang_timeout_s : float option;
   t_grains : string option;
   t_unrolls : string option;
   t_db_both : bool;
@@ -111,7 +115,7 @@ type verb =
   | Tune of tune_req
   | Timeline of timeline_req
 
-type request = { id : Json.t; verb : verb }
+type request = { id : Json.t; verb : verb; deadline_ms : int option }
 
 let predict_defaults ~kernel =
   {
@@ -143,6 +147,8 @@ let tune_defaults ~kernel =
     t_fault_level = "mild";
     t_checkpoint = None;
     t_workers = 1;
+    t_max_restarts = 2;
+    t_hang_timeout_s = None;
     t_grains = None;
     t_unrolls = None;
     t_db_both = false;
@@ -226,6 +232,8 @@ let parse_tune j =
   let* t_fault_level = dflt "mild" (opt_str "fault_level" j) in
   let* t_checkpoint = opt_str "checkpoint" j in
   let* t_workers = dflt 1 (opt_int "workers" j) in
+  let* t_max_restarts = dflt 2 (opt_int "max_restarts" j) in
+  let* t_hang_timeout_s = opt_num "hang_timeout_s" j in
   let* t_grains = opt_str "grains" j in
   let* t_unrolls = opt_str "unrolls" j in
   let* t_db_both = dflt false (opt_bool "db_both" j) in
@@ -244,6 +252,8 @@ let parse_tune j =
       t_fault_level;
       t_checkpoint;
       t_workers;
+      t_max_restarts;
+      t_hang_timeout_s;
       t_grains;
       t_unrolls;
       t_db_both;
@@ -285,7 +295,13 @@ let parse_request line =
           (Printf.sprintf
              "unknown op %S (available: ping, metrics, shutdown, predict, tune, timeline)" other)
   in
-  Ok { id; verb }
+  let* deadline_ms =
+    let* d = opt_int "deadline_ms" j in
+    match d with
+    | Some ms when ms <= 0 -> Error "field \"deadline_ms\": expected a positive integer"
+    | d -> Ok d
+  in
+  Ok { id; verb; deadline_ms }
 
 let is_tune r = match r.verb with Tune _ -> true | _ -> false
 
@@ -367,7 +383,10 @@ let verb_to_json = function
    from the key) would change the key.  [t_workers] is left out for the
    same family of reason — how many processes search does not change
    what is searched, and a tune resumed with a different worker count
-   must find the same checkpoint journals. *)
+   must find the same checkpoint journals.  [t_max_restarts] /
+   [t_hang_timeout_s] (supervision policy) and the request-level
+   [deadline_ms] (admission policy) are likewise execution knobs, not
+   part of what is computed. *)
 let request_key r = Digest.to_hex (Digest.string (Json.to_string (verb_to_json r.verb)))
 
 (* ------------------------------------------------------------------ *)
@@ -377,27 +396,42 @@ type response = {
   id : Json.t;
   degraded : bool;
   resumed : bool;
+  deadline_exceeded : bool;
   result : (Json.t, string) result;
 }
 
 let response_to_json r =
+  (* [deadline_exceeded] is rendered only when set so every pre-deadline
+     response (and its golden transcript) is byte-identical to before *)
+  let deadline = if r.deadline_exceeded then [ ("deadline_exceeded", Json.Bool true) ] else [] in
   match r.result with
   | Ok payload ->
       Json.Obj
-        [
-          ("id", r.id);
-          ("ok", Json.Bool true);
-          ("degraded", Json.Bool r.degraded);
-          ("resumed", Json.Bool r.resumed);
-          ("result", payload);
-        ]
+        ([
+           ("id", r.id);
+           ("ok", Json.Bool true);
+           ("degraded", Json.Bool r.degraded);
+           ("resumed", Json.Bool r.resumed);
+         ]
+        @ deadline
+        @ [ ("result", payload) ])
   | Error msg ->
-      Json.Obj [ ("id", r.id); ("ok", Json.Bool false); ("error", Json.Str msg) ]
+      Json.Obj
+        ([ ("id", r.id); ("ok", Json.Bool false) ] @ deadline @ [ ("error", Json.Str msg) ])
 
 let response_to_string r = Json.to_string (response_to_json r)
 
 let error_response ?(resumed = false) id msg =
-  { id; degraded = false; resumed; result = Error msg }
+  { id; degraded = false; resumed; deadline_exceeded = false; result = Error msg }
+
+let deadline_response ?(resumed = false) id =
+  {
+    id;
+    degraded = false;
+    resumed;
+    deadline_exceeded = true;
+    result = Error "deadline_exceeded";
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
@@ -611,11 +645,22 @@ let sharded_tune state t config kernel points =
       ~strategy_name:(Sw_tuning.Search.name strategy) ~workers
       ~argv:(fun ~shard ~journal -> worker_argv t ~shard ~shards:workers ~journal)
       ~journal_of:(fun shard -> journals.(shard))
-      config kernel ~points
+      ~max_restarts:t.t_max_restarts ?hang_timeout_s:t.t_hang_timeout_s config kernel
+      ~points
   in
   cleanup ();
   match result with
-  | Ok outcome -> Ok { tr_backend = canonical; tr_outcome = outcome; tr_degraded = false }
+  | Ok outcome ->
+      let restarts = outcome.Sw_tuning.Tuner.restarts in
+      let quarantined = outcome.Sw_tuning.Tuner.quarantined in
+      Sw_obs.Sink.add state.sink "shard.restarts" (float_of_int restarts);
+      Sw_obs.Sink.add state.sink "shard.quarantined"
+        (float_of_int (List.length quarantined));
+      Sw_obs.Sink.add state.sink "link.lines_dropped"
+        (float_of_int outcome.Sw_tuning.Tuner.link_lines_dropped);
+      (* a quarantined shard means this is a partial argmin: surface it
+         the same way overload shedding does, as a degraded response *)
+      Ok { tr_backend = canonical; tr_outcome = outcome; tr_degraded = quarantined <> [] }
   | Error (`No_feasible_point msg) | Error (`Worker_failure msg) -> Error msg
 
 let tune state ?(degrade = false) ?pool ?obs t =
@@ -655,6 +700,44 @@ let tune state ?(degrade = false) ?pool ?obs t =
   | Error (`No_feasible_point msg) -> Error msg
 
 (* --- shard worker entrypoint -------------------------------------- *)
+
+(* Deterministic fault injection for the chaos harness: a kill or stall
+   plan armed for this worker fires once it has journaled [after] new
+   lines.  Counting journal lines (not assessments) makes the trigger
+   deterministic across incarnations — a relaunched worker replays its
+   journal as hits, so "6 new lines" lands on the 6th un-journaled
+   point no matter how many were already resolved. *)
+let chaos_backend ~actions ~jnl inner =
+  let triggers =
+    List.filter_map
+      (function
+        | Sw_fault.Fault.Chaos.Kill_after n -> Some (`Kill n)
+        | Sw_fault.Fault.Chaos.Stall_after { lines; secs } -> Some (`Stall (lines, secs))
+        | _ -> None)
+      actions
+  in
+  if triggers = [] then inner
+  else
+    let module Inner = (val inner : Backend.S) in
+    let stalled = ref false in
+    let module Chaotic = struct
+      let name = Inner.name
+      let description = Inner.description
+
+      let assess ?cutoff ?event_budget config kernel variant =
+        let r = Inner.assess ?cutoff ?event_budget config kernel variant in
+        let lines = Backend.journal_misses jnl in
+        List.iter
+          (function
+            | `Kill n when lines >= n -> Unix.kill (Unix.getpid ()) Sys.sigkill
+            | `Stall (n, secs) when lines >= n && not !stalled ->
+                stalled := true;
+                Unix.sleepf secs
+            | _ -> ())
+          triggers;
+        r
+    end in
+    (module Chaotic : Backend.S)
 
 (* The body of [swmodel shard-worker]: parse the spec the coordinator
    passed on the command line, rebuild the identical space, keep only
@@ -696,12 +779,37 @@ let worker_main spec =
           Ok (Some r)
     in
     let* strategy = strategy_of t ?rank ~n_points:(List.length mine) () in
+    (* the chaos harness plants SWPM_CHAOS in our environment (and the
+       supervisor stamps SWPM_CHAOS_INCARNATION on relaunch); honor
+       whatever is armed for this shard in this incarnation *)
+    let actions =
+      Sw_fault.Fault.Chaos.armed ~shard
+        ~incarnation:(Sw_fault.Fault.Chaos.incarnation ())
+        (Sw_fault.Fault.Chaos.of_env ())
+    in
+    List.iter
+      (function
+        | Sw_fault.Fault.Chaos.Corrupt_journal { mode } ->
+            ignore (Sw_fault.Fault.Chaos.corrupt_file ~mode journal : bool)
+        | _ -> ())
+      actions;
     let jnl = Backend.journal ~path:journal config shared in
-    let link = Sw_tuning.Shard.worker_link () in
+    let drop_every =
+      List.find_map
+        (function Sw_fault.Fault.Chaos.Drop_incumbents k -> Some k | _ -> None)
+        actions
+    in
+    let dup_every =
+      List.find_map
+        (function Sw_fault.Fault.Chaos.Dup_incumbents k -> Some k | _ -> None)
+        actions
+    in
+    let link = Sw_tuning.Shard.worker_link ?drop_every ?dup_every () in
     let cpu0 = Sys.time () in
     let results, sstats =
-      Sw_tuning.Search.run strategy ~backend:(Backend.journaled jnl) ~active_cpes:64 ~link
-        config kernel ~points:mine
+      Sw_tuning.Search.run strategy
+        ~backend:(chaos_backend ~actions ~jnl (Backend.journaled jnl))
+        ~active_cpes:64 ~link config kernel ~points:mine
     in
     let machine_us =
       List.fold_left
@@ -891,6 +999,12 @@ let volatile_keys =
     "resumed";
     "text";
     "counters";
+    (* supervision bookkeeping: how many relaunches a run needed (or
+       how many protocol lines its links lost) is execution weather,
+       not part of the answer *)
+    "restarts";
+    "quarantined";
+    "link_lines_dropped";
   ]
 
 let rec strip_volatile = function
@@ -913,6 +1027,42 @@ let op_name = function
   | Predict _ -> "predict"
   | Tune _ -> "tune"
   | Timeline _ -> "timeline"
+
+(* --- service-time estimation -------------------------------------- *)
+
+(* Deadline admission needs a service-time forecast before the work
+   runs.  Requests are bucketed into coarse classes (op x does-it-
+   simulate x degraded) and each class keeps an EWMA of observed host
+   seconds, seeded with a conservative prior so the very first
+   simulation request is not admitted against a 1 ms guess. *)
+let estimate_class ?(degrade = false) verb =
+  match verb with
+  | Ping -> ("ping", 1e-4)
+  | Shutdown -> ("shutdown", 1e-4)
+  | Metrics -> ("metrics", 1e-3)
+  | Predict p -> if simulating p.p_backend then ("predict:sim", 0.1) else ("predict:static", 2e-3)
+  | Timeline _ -> ("timeline", 0.1)
+  | Tune t ->
+      if degrade then ("tune:degraded", 0.05)
+      else if simulating t.t_backend || Option.fold ~none:false ~some:simulating t.t_rank then
+        ("tune:sim", 2.0)
+      else ("tune:static", 0.1)
+
+let estimate_s state ?degrade request =
+  let cls, prior = estimate_class ?degrade request.verb in
+  Mutex.lock state.lock;
+  let v = Option.value (Hashtbl.find_opt state.estimates cls) ~default:prior in
+  Mutex.unlock state.lock;
+  v
+
+let observe_service state ?degrade request seconds =
+  if seconds >= 0.0 then begin
+    let cls, prior = estimate_class ?degrade request.verb in
+    Mutex.lock state.lock;
+    let prev = Option.value (Hashtbl.find_opt state.estimates cls) ~default:prior in
+    Hashtbl.replace state.estimates cls ((0.7 *. prev) +. (0.3 *. seconds));
+    Mutex.unlock state.lock
+  end
 
 let run state ?(degrade = false) ?(resumed = false) ?pool ?obs request =
   Sw_obs.Sink.incr state.sink "handler.requests";
@@ -952,4 +1102,4 @@ let run state ?(degrade = false) ?(resumed = false) ?pool ?obs request =
     with exn -> (Error (Printexc.to_string exn), false)
   in
   if Result.is_error result then Sw_obs.Sink.incr state.sink "handler.errors";
-  { id = request.id; degraded; resumed; result }
+  { id = request.id; degraded; resumed; deadline_exceeded = false; result }

@@ -83,6 +83,14 @@ type tune_req = {
       (** Worker processes for a sharded tune; 1 (the default) searches
           in-process.  Excluded from {!request_key}: how many processes
           search does not change what is searched. *)
+  t_max_restarts : int;
+      (** Per-shard relaunch budget under {!Sw_tuning.Shard.supervise}
+          (default 2).  Supervision policy, so excluded from
+          {!request_key}. *)
+  t_hang_timeout_s : float option;
+      (** Progress deadline: a worker whose link stays silent this long
+          is presumed hung, killed and relaunched.  [None] (default)
+          disables hang detection.  Excluded from {!request_key}. *)
   t_grains : string option;
       (** Grain-axis override in {!Sw_tuning.Space.parse_axis} syntax
           (["lo..hi"], ["lo..hi:step"], ["a,b,c"]); [None] = the
@@ -112,8 +120,13 @@ type verb =
   | Tune of tune_req
   | Timeline of timeline_req
 
-type request = { id : Sw_obs.Json.t; verb : verb }
-(** [id] is echoed verbatim in the response ([Null] when absent). *)
+type request = { id : Sw_obs.Json.t; verb : verb; deadline_ms : int option }
+(** [id] is echoed verbatim in the response ([Null] when absent).
+    [deadline_ms] is the client's latency budget: the server refuses
+    ({!deadline_response}) or degrades work it estimates cannot finish
+    in time, and retroactively marks responses that missed anyway.
+    [None] = no deadline (never refused).  Like the supervision knobs
+    it is excluded from {!request_key}. *)
 
 val predict_defaults : kernel:string -> predict_req
 val tune_defaults : kernel:string -> tune_req
@@ -145,16 +158,27 @@ type response = {
   id : Sw_obs.Json.t;
   degraded : bool;  (** Answered by a degraded path (shed or timeout). *)
   resumed : bool;  (** Replayed from the server's request log. *)
+  deadline_exceeded : bool;
+      (** The request's [deadline_ms] was (or would have been) blown:
+          either refused up front by admission or marked after the fact
+          when execution overran.  Never silently false-negative. *)
   result : (Sw_obs.Json.t, string) result;
 }
 
 val response_to_json : response -> Sw_obs.Json.t
 (** [{"id": …, "ok": true, "degraded": b, "resumed": b, "result": …}] on
-    success, [{"id": …, "ok": false, "error": msg}] on failure. *)
+    success, [{"id": …, "ok": false, "error": msg}] on failure.
+    ["deadline_exceeded": true] is inserted before [result]/[error]
+    when set, and omitted entirely otherwise (pre-deadline transcripts
+    stay byte-identical). *)
 
 val response_to_string : response -> string
 
 val error_response : ?resumed:bool -> Sw_obs.Json.t -> string -> response
+
+val deadline_response : ?resumed:bool -> Sw_obs.Json.t -> response
+(** The typed admission refusal: [ok = false], [error =
+    "deadline_exceeded"], [deadline_exceeded = true]. *)
 
 (** {1 Execution}
 
@@ -199,8 +223,12 @@ val tune :
     {!Sw_tuning.Tuner.tune_sharded}: the space is partitioned by
     {!Sw_tuning.Shard.assign}, each worker journals its shard to
     [<checkpoint>.shard<i>of<N>] (temp files when no checkpoint), and
-    the merged journals yield the argmin.  The worker executable is
-    [$SWPM_WORKER_EXE] when set (tests and bench point it at a built
+    the merged journals yield the argmin.  The workers run supervised
+    ([t_max_restarts]/[t_hang_timeout_s]): a crashed or hung worker is
+    relaunched and replays its journal; a shard that exhausts its
+    budget is quarantined and the response comes back [degraded] with
+    the outcome's [quarantined] list naming it.  The worker executable
+    is [$SWPM_WORKER_EXE] when set (tests and bench point it at a built
     [swmodel]), else [Sys.executable_name]. *)
 
 val tune_points :
@@ -221,7 +249,12 @@ val worker_main : string -> (unit, string) result
 (** Body of the [swmodel shard-worker] entrypoint: parse a
     {!worker_argv} spec, search this shard's points with the cutoff
     link on stdin/stdout while journaling every resolved assessment,
-    close the journal, and emit the [Done] stats line. *)
+    close the journal, and emit the [Done] stats line.  Honors
+    {!Sw_fault.Fault.Chaos} plans from [$SWPM_CHAOS] (filtered by
+    shard and [$SWPM_CHAOS_INCARNATION]): journal corruption is
+    applied before the journal opens, link loss is wired into the
+    worker link, and kills/stalls fire after the planned number of
+    newly journaled lines. *)
 
 val timeline :
   state ->
@@ -249,6 +282,18 @@ val strip_volatile : Sw_obs.Json.t -> Sw_obs.Json.t
     paths, metrics text).  What remains — cycles, variants, speedups,
     verdicts — must be bit-identical between the CLI and the daemon;
     the bench and tests compare through this. *)
+
+val estimate_s : state -> ?degrade:bool -> request -> float
+(** Forecast host seconds for serving [request], from an EWMA of
+    observed service times bucketed by coarse request class (op ×
+    simulating-or-not × degraded), seeded with conservative priors.
+    The server's deadline admission compares this (plus queue backlog)
+    against [deadline_ms]. *)
+
+val observe_service : state -> ?degrade:bool -> request -> float -> unit
+(** Feed one observed service time (host seconds) back into the class
+    EWMA ([new = 0.7*old + 0.3*obs]); negative observations are
+    ignored. *)
 
 val run :
   state ->

@@ -35,6 +35,9 @@ let rec read_chunk r =
   | 0 -> r.eof <- true
   | k -> r.pending <- r.pending ^ Bytes.sub_string chunk 0 k
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_chunk r
+  (* a client that died mid-session is an EOF, not a daemon crash *)
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF | Unix.EPIPE), _, _) ->
+      r.eof <- true
 
 let rec next_line r =
   match String.index_opt r.pending '\n' with
@@ -175,15 +178,41 @@ let assign_checkpoint state req =
 
 (* ------------------------------------------------------------------ *)
 
+(* The counters the robustness machinery may never get to touch on a
+   healthy run: registered at 0 up front so a metrics scrape (or the
+   bench gates) can always distinguish "nothing happened" from "not
+   instrumented". *)
+let preregister_counters state =
+  let sink = Handler.sink state in
+  List.iter
+    (fun k -> Sw_obs.Sink.add sink k 0.0)
+    [
+      "serve.deadline_exceeded";
+      "serve.deadline_degraded";
+      "serve.deadline_missed";
+      "serve.client_disconnects";
+      "shard.restarts";
+      "shard.quarantined";
+      "link.lines_dropped";
+    ]
+
 (* Emit one response to [output], updating the shared counters.  Every
    connection gets one of these closures over its own output channel;
-   the stats ref and sink are shared across all of them. *)
-let emitter config state stats output =
+   the stats ref and sink are shared across all of them.  A write to a
+   client that hung up (EPIPE/reset — with SIGPIPE ignored it surfaces
+   as an exception) must never take the daemon down: it is counted and
+   reported to [on_error] so the caller can drop the connection. *)
+let emitter ?on_error config state stats output =
   let sink = Handler.sink state in
   fun (resp : Handler.response) ->
-    output_string output (Handler.response_to_string resp);
-    output_char output '\n';
-    flush output;
+    (try
+       output_string output (Handler.response_to_string resp);
+       output_char output '\n';
+       flush output
+     with
+    | Sys_error _ | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        Sw_obs.Sink.incr sink "serve.client_disconnects";
+        Option.iter (fun f -> f ()) on_error);
     Sw_obs.Sink.incr sink "serve.responses";
     let s = !stats in
     stats :=
@@ -227,8 +256,26 @@ let setup_log ?pool state emit =
         unfinished;
       Some log
 
-(* Execute one drained batch, emitting every response in request order.
-   Returns [true] when the batch contained a shutdown request. *)
+(* Pseudo-deadline for deadline-less requests under EDF ordering: they
+   age as if due this many seconds after arrival, so a stream of tight
+   deadlines cannot starve them indefinitely. *)
+let aging_horizon_s = 5.0
+
+(* Execute one drained batch, emitting every response in request
+   {e arrival} order.  Returns [true] when the batch contained a
+   shutdown request.
+
+   Deadline admission runs before anything executes: walking the batch
+   in arrival order, each deadlined request is admitted only if the
+   backlog of already-admitted work plus its own service-time estimate
+   ({!Handler.estimate_s}) fits its budget; a tune that does not fit is
+   retried against the degraded estimate (and admitted degraded); what
+   still does not fit is refused with the typed
+   {!Handler.deadline_response} — ahead of time, not after burning the
+   work.  Admitted requests then execute in earliest-deadline-first
+   order (deadline-less ones aged by {!aging_horizon_s}) and any that
+   overran their budget anyway are marked [deadline_exceeded]
+   retroactively — a miss is never silent. *)
 let process_batch config ?pool state ~log ~stats ~emit lines =
   let sink = Handler.sink state in
   let depth = List.length lines in
@@ -236,6 +283,7 @@ let process_batch config ?pool state ~log ~stats ~emit lines =
   Sw_obs.Sink.incr sink "serve.batches";
   stats :=
     { !stats with batches = !stats.batches + 1; max_batch = Stdlib.max !stats.max_batch depth };
+  let arrived = Unix.gettimeofday () in
   let parsed =
     List.mapi
       (fun i line ->
@@ -244,40 +292,95 @@ let process_batch config ?pool state ~log ~stats ~emit lines =
         | Ok req -> (i, line, Ok (assign_checkpoint state req)))
       lines
   in
-  (* begin markers hit the disk before any execution starts, so a
-     kill anywhere in the batch leaves a replayable record *)
-  let marked =
+  let backlog = ref 0.0 in
+  let admitted =
     List.map
       (fun (i, line, p) ->
-        let rq =
-          match (log, p) with
-          | Some log, Ok req when loggable req -> Some (log_begin log line)
-          | _ -> None
-        in
-        (i, p, rq))
+        match p with
+        | Error msg -> (i, line, `Parse_error msg)
+        | Ok req -> (
+            let shed = Handler.is_tune req && i >= config.shed_watermark in
+            match req.Handler.deadline_ms with
+            | None ->
+                backlog := !backlog +. Handler.estimate_s state ~degrade:shed req;
+                (i, line, `Admit (req, shed, None))
+            | Some ms ->
+                let budget = float_of_int ms /. 1000.0 in
+                let est = Handler.estimate_s state ~degrade:shed req in
+                if !backlog +. est <= budget then begin
+                  backlog := !backlog +. est;
+                  (i, line, `Admit (req, shed, Some budget))
+                end
+                else
+                  let est_d = Handler.estimate_s state ~degrade:true req in
+                  if Handler.is_tune req && !backlog +. est_d <= budget then begin
+                    Sw_obs.Sink.incr sink "serve.deadline_degraded";
+                    backlog := !backlog +. est_d;
+                    (i, line, `Admit (req, true, Some budget))
+                  end
+                  else begin
+                    Sw_obs.Sink.incr sink "serve.deadline_exceeded";
+                    (i, line, `Refuse req.Handler.id)
+                  end))
       parsed
   in
+  (* begin markers hit the disk before any execution starts, so a
+     kill anywhere in the batch leaves a replayable record; refused
+     requests never executed, so they are not logged (nothing to
+     replay) *)
+  let marked =
+    List.map
+      (fun (i, line, d) ->
+        let rq =
+          match (log, d) with
+          | Some log, `Admit (req, _, _) when loggable req -> Some (log_begin log line)
+          | _ -> None
+        in
+        (i, d, rq))
+      admitted
+  in
+  let edf_key (_, d, _) =
+    match d with
+    | `Admit (_, _, Some budget) -> arrived +. budget
+    | `Admit (_, _, None) -> arrived +. aging_horizon_s
+    | `Parse_error _ | `Refuse _ -> arrived
+  in
+  let exec_order = List.stable_sort (fun a b -> compare (edf_key a) (edf_key b)) marked in
   let responses =
     Sw_util.Pool.map_opt pool
-      (fun (i, p, rq) ->
+      (fun (i, d, rq) ->
         let resp =
-          match p with
-          | Error msg -> Handler.error_response Json.Null msg
-          | Ok req ->
-              let degrade = Handler.is_tune req && i >= config.shed_watermark in
-              Handler.run state ~degrade req
+          match d with
+          | `Parse_error msg -> Handler.error_response Json.Null msg
+          | `Refuse id -> Handler.deadline_response id
+          | `Admit (req, degrade, budget) -> (
+              let t0 = Unix.gettimeofday () in
+              let resp = Handler.run state ~degrade req in
+              let now = Unix.gettimeofday () in
+              Handler.observe_service state ~degrade req (now -. t0);
+              match budget with
+              | Some b when now > arrived +. b ->
+                  Sw_obs.Sink.incr sink "serve.deadline_missed";
+                  { resp with Handler.deadline_exceeded = true }
+              | _ -> resp)
         in
-        (p, rq, resp))
-      marked
+        (i, d, rq, resp))
+      exec_order
+  in
+  let in_arrival =
+    List.sort (fun (a, _, _, _) (b, _, _, _) -> compare (a : int) b) responses
   in
   List.fold_left
-    (fun stop (p, rq, resp) ->
+    (fun stop (_, d, rq, resp) ->
       emit resp;
       (match (log, rq) with Some log, Some rq -> log_end log rq | _ -> ());
-      match p with Ok { Handler.verb = Handler.Shutdown; _ } -> true | _ -> stop)
-    false responses
+      match d with
+      | `Admit ({ Handler.verb = Handler.Shutdown; _ }, _, _) -> true
+      | _ -> stop)
+    false in_arrival
 
 let serve ?(config = default_config) ?pool state ~input ~output =
+  preregister_counters state;
   let stats = ref zero_stats in
   let emit = emitter config state stats output in
   let log = setup_log ?pool state emit in
@@ -315,6 +418,10 @@ let close_client c =
   try Unix.close c.cr.fd with Unix.Unix_error _ -> ()
 
 let serve_socket ?(config = default_config) ?pool state ~path =
+  preregister_counters state;
+  (* a client hanging up mid-response must surface as EPIPE (caught in
+     the emitter), not as a process-killing SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind srv (Unix.ADDR_UNIX path);
@@ -343,14 +450,19 @@ let serve_socket ?(config = default_config) ?pool state ~path =
     end
   in
   let shutdown = ref false in
+  let drop_client c =
+    clients := List.filter (fun c' -> c' != c) !clients;
+    close_client c
+  in
   let serve_client c =
     match read_batch config c.cr with
-    | [] ->
-        clients := List.filter (fun c' -> c' != c) !clients;
-        close_client c
+    | [] -> drop_client c
     | lines ->
-        let emit = emitter config state stats c.out in
-        if process_batch config ?pool state ~log:!log ~stats ~emit lines then shutdown := true
+        let dead = ref false in
+        let emit = emitter ~on_error:(fun () -> dead := true) config state stats c.out in
+        if process_batch config ?pool state ~log:!log ~stats ~emit lines then shutdown := true;
+        (* responses went nowhere: the client is gone, reclaim the slot *)
+        if !dead then drop_client c
   in
   let rec loop () =
     if !shutdown then ()

@@ -12,6 +12,30 @@
     tail latency grow without bound, and marks those responses
     [degraded: true].
 
+    {b Deadlines.}  A request carrying [deadline_ms] is admitted only
+    if the batch's already-admitted backlog plus its own service-time
+    estimate ({!Handler.estimate_s}, an EWMA fed by observed service
+    times) fits the budget; a tune that does not fit is re-tried
+    against the degraded estimate and admitted degraded; what still
+    does not fit is refused {e before} executing with the typed
+    [deadline_exceeded] error response.  Admitted work executes
+    earliest-deadline-first (deadline-less requests age with a 5 s
+    pseudo-deadline so they cannot starve) while responses are still
+    emitted in arrival order, and a response that overran its budget
+    anyway is marked [deadline_exceeded: true] retroactively — a miss
+    is never silent.  Counters: ["serve.deadline_exceeded"] (refused),
+    ["serve.deadline_degraded"] (admitted degraded),
+    ["serve.deadline_missed"] (retroactive) — all pre-registered at 0
+    alongside the supervision counters ["shard.restarts"]/
+    ["shard.quarantined"]/["link.lines_dropped"] so scrapes can tell
+    "nothing happened" from "not instrumented".
+
+    {b Client failures.}  [SIGPIPE] is ignored while serving a socket;
+    a write to a client that hung up surfaces as EPIPE/reset, is
+    counted (["serve.client_disconnects"]) and drops that connection —
+    never the daemon.  A read error from a dead client is treated as
+    EOF the same way.
+
     {b Crash recovery.}  With a state directory
     ({!Handler.create}'s [state_dir]), every accepted request is
     appended to [requests.jsonl] ({e begin} marker before execution,

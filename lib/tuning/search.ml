@@ -85,9 +85,15 @@ let observe_pruned obs n = match obs with Some sink when n > 0 -> Sw_obs.Sink.in
 (* Exhaustive: assess every point, in enumeration order — byte-for-byte
    the pre-strategy tuner behaviour, at any pool size. *)
 
-let run_exhaustive ~backend ~active_cpes ?pool config kernel points =
+(* [link] is never applied to exhaustive results — the contract is to
+   price every point — but it is still *ticked* once per assessment:
+   [current] drains pipe input and lets a worker link emit its periodic
+   heartbeat, so an exhaustive shard under supervision is observably
+   alive.  The returned cutoff is discarded; results are unchanged. *)
+let run_exhaustive ~backend ~active_cpes ?pool ?link config kernel points =
   map_points ?pool
     (fun point ->
+      (match link with Some l -> ignore (l.current () : float option) | None -> ());
       let variant = Space.to_variant point ~active_cpes in
       match Backend.assess backend config kernel variant with
       | Ok v -> (point, Priced v)
@@ -116,11 +122,22 @@ let run_exhaustive ~backend ~active_cpes ?pool config kernel points =
    [rank_machine_us] bills whatever the ranker simulated (0 for the
    static model; the training bill for the learned surrogate; per-point
    runs if the simulator itself ranks). *)
-let rank_space ~rank ~active_cpes ?pool config kernel points =
+let rank_space ~rank ~active_cpes ?pool ?link config kernel points =
   let wall0 = Unix.gettimeofday () in
+  (* tick the link every 32 rankings (ranking backends are cheap and
+     spaces are huge — a drain per point would be all syscalls): the
+     heartbeat keeps flowing through the long ranking pass, and the
+     cutoff value is deliberately unused (ranking never prunes).  The
+     counter races harmlessly under the pool; ticks are advisory. *)
+  let ticks = ref 0 in
   let ranked =
     map_points ?pool
       (fun point ->
+        (match link with
+        | Some l ->
+            incr ticks;
+            if !ticks land 31 = 0 then ignore (l.current () : float option)
+        | None -> ());
         (point, Backend.assess rank config kernel (Space.to_variant point ~active_cpes)))
       points
   in
@@ -168,7 +185,7 @@ let finish_shortlist ~strategy ~obs ~verdicts ~indexed ~rank_host_s ~rank_machin
 let run_shortlist ?(cutoff_prune = true) ?link ~rank ~k ~backend ~active_cpes ?pool ?obs
     config kernel points =
   let indexed, order, rank_host_s, rank_machine_us =
-    rank_space ~rank ~active_cpes ?pool config kernel points
+    rank_space ~rank ~active_cpes ?pool ?link config kernel points
   in
   let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
   let keep = take (Stdlib.max 1 k) order in
@@ -208,7 +225,7 @@ let run_shortlist ?(cutoff_prune = true) ?link ~rank ~k ~backend ~active_cpes ?p
 
 let run_adaptive ?link ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points =
   let indexed, order, rank_host_s, rank_machine_us =
-    rank_space ~rank ~active_cpes ?pool config kernel points
+    rank_space ~rank ~active_cpes ?pool ?link config kernel points
   in
   let verdicts : (int, result_) Hashtbl.t = Hashtbl.create 16 in
   let incumbent = ref None in
@@ -391,11 +408,11 @@ let quantile_of ~quantile sorted =
   in
   sorted.(idx)
 
-let run_robust ~rank ~k ~seeds ~quantile ~spec ~backend ~active_cpes ?pool ?obs config
+let run_robust ?link ~rank ~k ~seeds ~quantile ~spec ~backend ~active_cpes ?pool ?obs config
     kernel points =
   let results, sstats =
-    run_shortlist ~cutoff_prune:false ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel
-      points
+    run_shortlist ~cutoff_prune:false ?link ~rank ~k ~backend ~active_cpes ?pool ?obs config
+      kernel points
   in
   let plans = List.map (fun seed -> Sw_fault.Fault.plan ~spec ~seed config) seeds in
   let survivors =
@@ -411,6 +428,8 @@ let run_robust ~rank ~k ~seeds ~quantile ~spec ~backend ~active_cpes ?pool ?obs 
   let assessed =
     map_points ?pool
       (fun (i, p, plan) ->
+        (* liveness tick only: robust scoring never prunes on the link *)
+        (match link with Some l -> ignore (l.current () : float option) | None -> ());
         (i, Backend.assess backend plan kernel (Space.to_variant p ~active_cpes)))
       jobs
   in
@@ -453,9 +472,8 @@ let run strategy ~backend ~active_cpes ?pool ?obs ?link config kernel ~points =
   match strategy with
   | Exhaustive ->
       (* exhaustive's contract is to price every point: the link's
-         cutoff is never applied (and there is nothing to publish a
-         final incumbent against that the merge won't recompute) *)
-      ( run_exhaustive ~backend ~active_cpes ?pool config kernel points,
+         cutoff is never applied, but it still ticks (heartbeats) *)
+      ( run_exhaustive ~backend ~active_cpes ?pool ?link config kernel points,
         { strategy = "exhaustive"; pruned = 0; rank_host_s = 0.0; rank_machine_us = 0.0 } )
   | Shortlist { rank; k } ->
       run_shortlist ?link ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points
@@ -463,7 +481,7 @@ let run strategy ~backend ~active_cpes ?pool ?obs ?link config kernel ~points =
       run_adaptive ?link ~rank ~k ~backend ~active_cpes ?pool ?obs config kernel points
   | Successive_halving { rungs } when rungs <= 1 ->
       (* one rung races nothing: identical to exhaustive by construction *)
-      ( run_exhaustive ~backend ~active_cpes ?pool config kernel points,
+      ( run_exhaustive ~backend ~active_cpes ?pool ?link config kernel points,
         {
           strategy = name (Successive_halving { rungs });
           pruned = 0;
@@ -474,6 +492,6 @@ let run strategy ~backend ~active_cpes ?pool ?obs ?link config kernel ~points =
       run_halving ?link ~rungs ~backend ~active_cpes ?pool ?obs config kernel points
   | Robust { rank; k; seeds; quantile; spec } ->
       (* robust disables cutoff pruning entirely (every survivor must
-         be fully priced), so the link does not apply *)
-      run_robust ~rank ~k ~seeds ~quantile ~spec ~backend ~active_cpes ?pool ?obs config
-        kernel points
+         be fully priced); the link only carries heartbeats *)
+      run_robust ?link ~rank ~k ~seeds ~quantile ~spec ~backend ~active_cpes ?pool ?obs
+        config kernel points

@@ -1,13 +1,14 @@
 (* Sharded multi-process tuning: deterministic partition of a variant
    space across N worker processes, a line-delimited JSON control
-   protocol over the workers' stdin/stdout pipes, and a coordinator
-   that rebroadcasts the global incumbent as a cutoff and fails fast
-   when a worker dies.
+   protocol over the workers' stdin/stdout pipes, and a supervising
+   coordinator that rebroadcasts the global incumbent as a cutoff and
+   relaunches dead or hung workers from their journals.
 
    Ground truth lives in the per-shard Backend.journal files, never in
    the pipes: every protocol message is advisory (a lost cutoff costs
    work, a lost incumbent costs pruning), so the merged argmin is a
-   pure function of the journals. *)
+   pure function of the journals — which is exactly why a worker can be
+   SIGKILLed and relaunched without the result changing by a bit. *)
 
 module Json = Sw_obs.Json
 
@@ -42,15 +43,29 @@ let mine ~shard ~shards points =
 (* ------------------------------------------------------------------ *)
 (* Protocol: one JSON object per line.  Floats serialize through
    {!Sw_obs.Json.float_lit} (shortest exact round-trip), so a cutoff
-   arrives bit-identical to the incumbent that produced it. *)
+   arrives bit-identical to the incumbent that produced it.
+
+   Worker->coordinator lines (incumbents and heartbeats) carry a
+   per-worker sequence number from one shared counter, so the
+   coordinator can *count* lost lines instead of merely tolerating
+   them: a gap in the sequence is a dropped line, a repeat is a
+   duplicate.  Cutoffs stay unnumbered — they are pure advice. *)
 
 type msg =
-  | Incumbent of float  (** worker -> coordinator: local best improved *)
+  | Incumbent of { cycles : float; seq : int }
+      (** worker -> coordinator: local best improved *)
+  | Heartbeat of { seq : int }
+      (** worker -> coordinator: alive and searching *)
   | Cutoff of float  (** coordinator -> worker: global best so far *)
   | Done of Json.t  (** worker -> coordinator: search finished, stats attached *)
 
 let encode = function
-  | Incumbent c -> Json.to_string (Json.Obj [ ("ev", Json.Str "incumbent"); ("cycles", Json.Float c) ])
+  | Incumbent { cycles; seq } ->
+      Json.to_string
+        (Json.Obj
+           [ ("ev", Json.Str "incumbent"); ("cycles", Json.Float cycles); ("seq", Json.Int seq) ])
+  | Heartbeat { seq } ->
+      Json.to_string (Json.Obj [ ("ev", Json.Str "hb"); ("seq", Json.Int seq) ])
   | Cutoff c -> Json.to_string (Json.Obj [ ("ev", Json.Str "cutoff"); ("cycles", Json.Float c) ])
   | Done stats -> Json.to_string (Json.Obj [ ("ev", Json.Str "done"); ("stats", stats) ])
 
@@ -59,8 +74,13 @@ let decode line =
   | Error _ -> None
   | Ok j -> (
       let cycles () = Option.bind (Json.member "cycles" j) Json.to_float in
+      let seq () = Option.bind (Json.member "seq" j) Json.to_int in
       match Option.bind (Json.member "ev" j) Json.to_str with
-      | Some "incumbent" -> Option.map (fun c -> Incumbent c) (cycles ())
+      | Some "incumbent" -> (
+          match (cycles (), seq ()) with
+          | Some cycles, Some seq -> Some (Incumbent { cycles; seq })
+          | _ -> None)
+      | Some "hb" -> Option.map (fun seq -> Heartbeat { seq }) (seq ())
       | Some "cutoff" -> Option.map (fun c -> Cutoff c) (cycles ())
       | Some "done" -> Option.map (fun s -> Done s) (Json.member "stats" j)
       | _ -> None)
@@ -101,9 +121,18 @@ let ignore_sigpipe () =
    far (non-blocking; the last one wins is the smallest, but take min
    anyway to be robust to reordering); [publish] writes an incumbent
    line.  The coordinator vanishing mid-run is not fatal to the worker
-   — the journal, not the pipe, is the result. *)
+   — the journal, not the pipe, is the result.
 
-let worker_link ?(input = Unix.stdin) ?(output = Unix.stdout) () =
+   [current] doubles as the liveness channel: strategies poll it at
+   least once per assessment, so emitting a numbered heartbeat line
+   whenever [heartbeat_s] has elapsed turns "the search is advancing"
+   into observable pipe traffic the supervisor can hold against a
+   progress deadline.  [drop_every]/[dup_every] are chaos hooks: they
+   consume/repeat sequence numbers exactly as a lossy transport would,
+   which is what makes the dropped-line counter testable. *)
+
+let worker_link ?(input = Unix.stdin) ?(output = Unix.stdout) ?(heartbeat_s = 0.25)
+    ?drop_every ?dup_every () =
   (* the worker owns its process: a coordinator that died must surface
      as EPIPE (handled below), never as a fatal SIGPIPE *)
   ignore (ignore_sigpipe () : unit -> unit);
@@ -112,6 +141,13 @@ let worker_link ?(input = Unix.stdin) ?(output = Unix.stdout) () =
   let chunk = Bytes.create 4096 in
   let remote = ref None in
   let closed = ref false in
+  let seq = ref 0 in
+  let sent = ref 0 in
+  let last_hb = ref (Unix.gettimeofday ()) in
+  let write_line line =
+    try write_all output (line ^ "\n")
+    with Unix.Unix_error (Unix.EPIPE, _, _) -> ()
+  in
   let drain () =
     let continue = ref (not !closed) in
     while !continue do
@@ -136,8 +172,19 @@ let worker_link ?(input = Unix.stdin) ?(output = Unix.stdout) () =
             match !remote with
             | Some b when b <= c -> ()
             | _ -> remote := Some c)
-        | Some (Incumbent _ | Done _) | None -> ())
+        | Some (Incumbent _ | Heartbeat _ | Done _) | None -> ())
       (take_lines buf)
+  in
+  let heartbeat () =
+    if heartbeat_s > 0.0 then begin
+      let now = Unix.gettimeofday () in
+      if now -. !last_hb >= heartbeat_s then begin
+        last_hb := now;
+        let s = !seq in
+        incr seq;
+        write_line (encode (Heartbeat { seq = s }))
+      end
+    end
   in
   let current () =
     Mutex.lock lock;
@@ -145,6 +192,7 @@ let worker_link ?(input = Unix.stdin) ?(output = Unix.stdout) () =
       ~finally:(fun () -> Mutex.unlock lock)
       (fun () ->
         drain ();
+        heartbeat ();
         !remote)
   in
   let publish cycles =
@@ -152,8 +200,19 @@ let worker_link ?(input = Unix.stdin) ?(output = Unix.stdout) () =
     Fun.protect
       ~finally:(fun () -> Mutex.unlock lock)
       (fun () ->
-        try write_all output (encode (Incumbent cycles) ^ "\n")
-        with Unix.Unix_error (Unix.EPIPE, _, _) -> ())
+        let s = !seq in
+        incr seq;
+        incr sent;
+        let line = encode (Incumbent { cycles; seq = s }) in
+        let dropped =
+          match drop_every with Some k -> !sent mod k = 0 | None -> false
+        in
+        if not dropped then begin
+          write_line line;
+          match dup_every with
+          | Some k when !sent mod k = 0 -> write_line line
+          | _ -> ()
+        end)
   in
   { Search.publish; current }
 
@@ -167,6 +226,7 @@ let emit_done ?(output = Unix.stdout) stats =
 type proc = {
   pid : int;
   shard : int;
+  argv : string array;  (* remembered for supervised relaunch *)
   to_worker : Unix.file_descr;
   from_worker : Unix.file_descr;
   rbuf : Buffer.t;
@@ -178,20 +238,38 @@ type proc = {
 
 let pid p = p.pid
 
-let launch ~shard ~argv =
+let with_env_var key value =
+  let prefix = key ^ "=" in
+  let env =
+    Array.to_list (Unix.environment ())
+    |> List.filter (fun s -> not (String.length s >= String.length prefix
+                                  && String.sub s 0 (String.length prefix) = prefix))
+  in
+  Array.of_list (env @ [ prefix ^ value ])
+
+let launch ?incarnation ~shard ~argv () =
   (* cloexec on the parent's ends so later workers don't inherit this
      worker's pipes (which would defer EOF detection until *they* exit);
      create_process dup2s the child ends onto stdin/stdout, and the
      dup'ed descriptors lose the flag. *)
   let c2w_r, c2w_w = Unix.pipe ~cloexec:true () in
   let w2c_r, w2c_w = Unix.pipe ~cloexec:true () in
-  let pid = Unix.create_process argv.(0) argv c2w_r w2c_w Unix.stderr in
+  let pid =
+    match incarnation with
+    | None -> Unix.create_process argv.(0) argv c2w_r w2c_w Unix.stderr
+    | Some n ->
+        (* stamp the relaunch count into the child's environment so
+           one-shot chaos plans know they already fired *)
+        let env = with_env_var Sw_fault.Fault.Chaos.incarnation_var (string_of_int n) in
+        Unix.create_process_env argv.(0) argv env c2w_r w2c_w Unix.stderr
+  in
   Unix.close c2w_r;
   Unix.close w2c_w;
   Unix.set_nonblock c2w_w;
   {
     pid;
     shard;
+    argv;
     to_worker = c2w_w;
     from_worker = w2c_r;
     rbuf = Buffer.create 256;
@@ -283,79 +361,196 @@ let close_fds procs =
       try Unix.close p.from_worker with Unix.Unix_error _ -> ())
     procs
 
-(* Drive the workers to completion.  The coordinator's whole job is
-   relaying incumbents back out as cutoffs; correctness never depends
-   on it (the journals do not record cutoffs).  A worker that reaches
-   EOF without a done message, exits nonzero, or dies on a signal fails
-   the run: the rest are terminated and the caller decides whether to
-   re-run (which resumes from the journals). *)
-let coordinate procs =
+(* ------------------------------------------------------------------ *)
+(* Supervision.
+
+   One engine drives both entry points.  Each launched worker occupies
+   a slot; the slot survives the worker.  A worker that reaches EOF
+   without a Done, exits nonzero, or dies on a signal — or that shows
+   no pipe traffic for [hang_timeout_s] (heartbeats make silence
+   meaningful) and is SIGKILLed for it — either fails the whole run
+   (fail-fast mode, the old [coordinate] contract) or is relaunched
+   from its remembered argv.  The relaunch is safe precisely because
+   the journal is the ground truth: the new incarnation replays every
+   entry its predecessor committed (torn tails are truncated on open)
+   and recomputes only what was in flight, so the merged argmin is
+   bit-identical to an undisturbed run.  A slot that exhausts
+   [max_restarts] is quarantined: its fds are closed, its stats stay
+   [Null], and the run completes degraded instead of dying. *)
+
+type health = Completed | Degraded of int list
+
+type report = {
+  stats : Json.t list;
+  health : health;
+  restarts : int;
+  lines_dropped : int;
+}
+
+type slot = {
+  mutable proc : proc;
+  mutable restarts : int;
+  mutable quarantined : bool;
+  mutable last_activity : float;
+  mutable expected_seq : int;
+}
+
+let drive ~fail_fast ~max_restarts ~hang_timeout_s procs =
   let restore_sigpipe = ignore_sigpipe () in
+  let now () = Unix.gettimeofday () in
+  let slots =
+    List.map
+      (fun p ->
+        { proc = p; restarts = 0; quarantined = false; last_activity = now ();
+          expected_seq = 0 })
+      procs
+  in
   let best = ref None in
   let failure = ref None in
+  let dropped = ref 0 in
   let chunk = Bytes.create 8192 in
   let fail msg = if !failure = None then failure := Some msg in
-  let handle p line =
+  let live_slots () =
+    List.filter (fun s -> not (s.quarantined || s.proc.eof)) slots
+  in
+  let note_seq s seq =
+    if seq >= s.expected_seq then begin
+      dropped := !dropped + (seq - s.expected_seq);
+      s.expected_seq <- seq + 1
+    end
+    (* seq < expected: a duplicated line — already counted, ignore *)
+  in
+  let handle s line =
     match decode line with
-    | Some (Incumbent c) ->
+    | Some (Incumbent { cycles = c; seq }) ->
+        note_seq s seq;
         let improved = match !best with Some b -> c < b | None -> true in
         if improved then begin
           best := Some c;
-          List.iter (fun q -> if q.shard <> p.shard then send q (encode (Cutoff c) ^ "\n")) procs
+          List.iter
+            (fun q ->
+              if q.proc.shard <> s.proc.shard then send q.proc (encode (Cutoff c) ^ "\n"))
+            (live_slots ())
         end
-    | Some (Done stats) -> p.finished <- Some stats
+    | Some (Heartbeat { seq }) -> note_seq s seq
+    | Some (Done stats) -> s.proc.finished <- Some stats
     | Some (Cutoff _) | None -> () (* not a worker->coordinator message: ignore *)
   in
-  let on_readable p =
+  (* A slot whose worker died (or was killed for hanging): relaunch it
+     with a fresh incarnation number, or fail / quarantine. *)
+  let on_death s reason =
+    let p = s.proc in
+    (try Unix.close p.to_worker with Unix.Unix_error _ -> ());
+    (try Unix.close p.from_worker with Unix.Unix_error _ -> ());
+    if fail_fast then fail reason
+    else if s.restarts < max_restarts then begin
+      s.restarts <- s.restarts + 1;
+      let p' = launch ~incarnation:s.restarts ~shard:p.shard ~argv:p.argv () in
+      s.proc <- p';
+      s.expected_seq <- 0;
+      s.last_activity <- now ();
+      (* seed the newcomer with the global incumbent so it prunes from
+         the first verification *)
+      match !best with Some c -> send p' (encode (Cutoff c) ^ "\n") | None -> ()
+    end
+    else s.quarantined <- true
+  in
+  let on_readable s =
+    let p = s.proc in
     match Unix.read p.from_worker chunk 0 (Bytes.length chunk) with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | 0 -> (
         p.eof <- true;
         (try Unix.close p.to_worker with Unix.Unix_error _ -> ());
-        List.iter (handle p) (take_lines p.rbuf);
+        List.iter (handle s) (take_lines p.rbuf);
         match reap p with
         | Some (Unix.WEXITED 0) when p.finished <> None -> ()
         | Some (Unix.WEXITED 0) ->
-            fail (Printf.sprintf "shard %d exited without reporting completion" p.shard)
+            on_death s (Printf.sprintf "shard %d exited without reporting completion" p.shard)
         | Some status ->
-            fail (Printf.sprintf "shard %d (pid %d) %s" p.shard p.pid (status_string status))
+            on_death s (Printf.sprintf "shard %d (pid %d) %s" p.shard p.pid (status_string status))
         | None -> ())
     | n ->
+        s.last_activity <- now ();
         Buffer.add_subbytes p.rbuf chunk 0 n;
-        List.iter (handle p) (take_lines p.rbuf)
+        List.iter (handle s) (take_lines p.rbuf)
+  in
+  (* The progress deadline: a live worker silent past [hang_timeout_s]
+     is declared hung, SIGKILLed, and handed to the restart policy.
+     Heartbeats flow whenever the strategy polls the link, so silence
+     means stuck, not merely busy. *)
+  let check_hangs () =
+    match hang_timeout_s with
+    | None -> ()
+    | Some limit ->
+        List.iter
+          (fun s ->
+            if now () -. s.last_activity > limit then begin
+              let p = s.proc in
+              (try Unix.kill p.pid Sys.sigkill with Unix.Unix_error _ -> ());
+              ignore (reap p);
+              p.eof <- true;
+              on_death s (Printf.sprintf "shard %d (pid %d) hung: no progress in %.1fs"
+                            p.shard p.pid limit)
+            end)
+          (live_slots ())
   in
   Fun.protect
     ~finally:(fun () ->
-      terminate procs;
-      close_fds procs;
+      let current = List.map (fun s -> s.proc) slots in
+      terminate current;
+      close_fds current;
       restore_sigpipe ())
     (fun () ->
       let rec loop () =
         if !failure <> None then ()
         else
-          let open_procs = List.filter (fun p -> not p.eof) procs in
-          if open_procs = [] then ()
+          let open_slots = live_slots () in
+          if open_slots = [] then ()
           else begin
-            let fds = List.map (fun p -> p.from_worker) open_procs in
-            (match Unix.select fds [] [] 0.5 with
+            let fds = List.map (fun s -> s.proc.from_worker) open_slots in
+            (match Unix.select fds [] [] 0.1 with
             | readable, _, _ ->
                 List.iter
-                  (fun p -> if List.mem p.from_worker readable then on_readable p)
-                  open_procs;
+                  (fun s -> if List.mem s.proc.from_worker readable then on_readable s)
+                  open_slots;
                 (* retry any parked partial cutoff line *)
-                List.iter (fun p -> if p.pending <> "" then send p "") procs
+                List.iter
+                  (fun s -> if s.proc.pending <> "" then send s.proc "")
+                  (live_slots ());
+                check_hangs ()
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
             loop ()
           end
       in
       loop ();
+      let quarantined =
+        List.filter_map (fun s -> if s.quarantined then Some s.proc.shard else None) slots
+        |> List.sort_uniq compare
+      in
+      let restarts = List.fold_left (fun acc s -> acc + s.restarts) 0 slots in
+      let stats =
+        List.map
+          (fun s -> match s.proc.finished with Some stats -> stats | None -> Json.Null)
+          (List.sort (fun a b -> compare a.proc.shard b.proc.shard) slots)
+      in
       match !failure with
       | Some msg -> Error msg
       | None ->
           Ok
-            (List.map
-               (fun p ->
-                 match p.finished with
-                 | Some stats -> stats
-                 | None -> Json.Null (* unreachable: EOF without done fails the run *))
-               (List.sort (fun a b -> compare a.shard b.shard) procs)))
+            {
+              stats;
+              health = (if quarantined = [] then Completed else Degraded quarantined);
+              restarts;
+              lines_dropped = !dropped;
+            })
+
+let supervise ?(max_restarts = 2) ?hang_timeout_s procs =
+  match drive ~fail_fast:false ~max_restarts ~hang_timeout_s procs with
+  | Ok report -> report
+  | Error _ -> assert false (* fail_fast:false never produces Error *)
+
+let coordinate procs =
+  match drive ~fail_fast:true ~max_restarts:0 ~hang_timeout_s:None procs with
+  | Ok report -> Ok report.stats
+  | Error msg -> Error msg

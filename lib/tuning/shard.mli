@@ -7,12 +7,17 @@
     on enumeration order or process); each worker runs an ordinary
     {!Search} strategy over its shard with a {!Search.link} wired to
     its stdin/stdout ({!worker_link}), journaling every resolved
-    assessment; the coordinator ({!launch} + {!coordinate}) relays each
-    worker's incumbent back out to the others as a global cutoff.
-    Every pipe message is advisory — a dropped cutoff costs extra
-    verifications, never the argmin, because cutoffs are strict and the
-    merged result set is read back from the journals alone
-    ({!Sw_backend.Backend.journal_merge}). *)
+    assessment; the coordinator ({!launch} + {!supervise} or
+    {!coordinate}) relays each worker's incumbent back out to the
+    others as a global cutoff.  Every pipe message is advisory — a
+    dropped cutoff costs extra verifications, never the argmin, because
+    cutoffs are strict and the merged result set is read back from the
+    journals alone ({!Sw_backend.Backend.journal_merge}).
+
+    That same invariant is what makes supervision safe: a worker that
+    dies or hangs can be relaunched ({!supervise}) and will replay its
+    journal, recomputing only what was in flight, so the merged argmin
+    of a supervised run is bit-identical to an undisturbed one. *)
 
 (** {1 Partition} *)
 
@@ -35,10 +40,21 @@ val mine : shard:int -> shards:int -> Space.point list -> Space.point list
 
     One JSON object per line.  Floats serialize with the shortest exact
     round-trip ({!Sw_obs.Json.float_lit}), so a cutoff arrives
-    bit-identical to the incumbent that produced it. *)
+    bit-identical to the incumbent that produced it.
+
+    Worker-to-coordinator lines (incumbents and heartbeats) are
+    numbered from one per-worker counter: a gap in the sequence is a
+    dropped line the coordinator can count ([lines_dropped] in the
+    {!report}), a repeat is a harmless duplicate.  Cutoff lines are
+    unnumbered — they are pure advice. *)
 
 type msg =
-  | Incumbent of float  (** worker -> coordinator: local best improved *)
+  | Incumbent of { cycles : float; seq : int }
+      (** worker -> coordinator: local best improved *)
+  | Heartbeat of { seq : int }
+      (** worker -> coordinator: alive and searching (emitted by
+          {!worker_link} whenever the strategy polls the link and the
+          heartbeat interval has elapsed) *)
   | Cutoff of float  (** coordinator -> worker: global best so far *)
   | Done of Sw_obs.Json.t  (** worker -> coordinator: finished, stats attached *)
 
@@ -51,14 +67,27 @@ val decode : string -> msg option
 (** {1 Worker side} *)
 
 val worker_link :
-  ?input:Unix.file_descr -> ?output:Unix.file_descr -> unit -> Search.link
+  ?input:Unix.file_descr ->
+  ?output:Unix.file_descr ->
+  ?heartbeat_s:float ->
+  ?drop_every:int ->
+  ?dup_every:int ->
+  unit ->
+  Search.link
 (** A {!Search.link} over the worker's own pipes (default
     stdin/stdout).  [current] drains pending [Cutoff] lines without
-    blocking and returns the smallest seen; [publish] writes an
-    [Incumbent] line.  Installs a SIGPIPE-ignore handler: the
-    coordinator vanishing mid-run degrades the link to a no-op rather
-    than killing the worker — the journal, not the pipe, carries the
-    result. *)
+    blocking and returns the smallest seen; [publish] writes a
+    sequence-numbered [Incumbent] line.  [current] also emits a
+    [Heartbeat] line once per [heartbeat_s] (default 0.25s; 0 disables)
+    — strategies poll the link at least once per assessment, so
+    heartbeats turn liveness into pipe traffic the supervisor can hold
+    against its progress deadline.  [drop_every]/[dup_every] are
+    deterministic chaos hooks ({!Sw_fault.Fault.Chaos}): every k-th
+    published incumbent is silently dropped / written twice, consuming
+    sequence numbers exactly as a lossy transport would.  Installs a
+    SIGPIPE-ignore handler: the coordinator vanishing mid-run degrades
+    the link to a no-op rather than killing the worker — the journal,
+    not the pipe, carries the result. *)
 
 val emit_done : ?output:Unix.file_descr -> Sw_obs.Json.t -> unit
 (** Write the final [Done] line (default stdout). *)
@@ -66,27 +95,62 @@ val emit_done : ?output:Unix.file_descr -> Sw_obs.Json.t -> unit
 (** {1 Coordinator side} *)
 
 type proc
-(** One launched worker: pid, its two pipe ends, and read/send state. *)
+(** One launched worker: pid, its two pipe ends, read/send state, and
+    the argv it was launched from (for supervised relaunch). *)
 
-val launch : shard:int -> argv:string array -> proc
+val launch : ?incarnation:int -> shard:int -> argv:string array -> unit -> proc
 (** Fork [argv] (via [Unix.create_process], [argv.(0)] as the
     executable) with its stdin/stdout connected to fresh pipes; stderr
     is inherited.  The parent's pipe ends are close-on-exec, so workers
     never hold each other's descriptors open (which would defer EOF
-    detection of a dead sibling). *)
+    detection of a dead sibling).  [incarnation] (used by {!supervise}
+    on relaunch) is exported to the child as
+    {!Sw_fault.Fault.Chaos.incarnation_var} so one-shot chaos plans
+    know they already fired. *)
 
 val pid : proc -> int
 
-val coordinate : proc list -> (Sw_obs.Json.t list, string) result
-(** Drive the workers to completion: relay every strictly-improving
-    [Incumbent] back out as a [Cutoff] to the other workers
-    (non-blocking writes — a full pipe drops the line, a partial write
-    is completed before anything newer), and collect each worker's
-    [Done] stats.  Returns the stats in shard order.
+(** {1 Supervision} *)
 
-    Fail-fast: a worker that reaches EOF without a [Done], exits
-    nonzero, or dies on a signal turns the run into [Error]; the
-    remaining workers are terminated (SIGTERM, short grace, SIGKILL)
-    and reaped first.  Their journals survive, so re-running resumes
-    rather than restarts.  All pipe descriptors are closed and all
-    children reaped on every path. *)
+type health =
+  | Completed  (** Every shard reported [Done]. *)
+  | Degraded of int list
+      (** These shards exhausted their restart budget and were
+          quarantined; the others completed.  The caller decides what a
+          partial merge is worth. *)
+
+type report = {
+  stats : Sw_obs.Json.t list;
+      (** Per-shard [Done] stats in shard order; [Null] for a
+          quarantined shard. *)
+  health : health;
+  restarts : int;  (** Total relaunches across all shards. *)
+  lines_dropped : int;
+      (** Worker->coordinator lines lost in transit, counted from
+          sequence-number gaps. *)
+}
+
+val supervise : ?max_restarts:int -> ?hang_timeout_s:float -> proc list -> report
+(** Drive the workers to completion under a restart policy: relay every
+    strictly-improving [Incumbent] back out as a [Cutoff] to the other
+    workers (non-blocking writes — a full pipe drops the line, a
+    partial write is completed before anything newer), and collect each
+    worker's [Done] stats.
+
+    A worker that reaches EOF without a [Done], exits nonzero, or dies
+    on a signal is relaunched from its remembered argv, up to
+    [max_restarts] times per shard (default 2); the newcomer replays
+    its journal and is immediately seeded with the global incumbent
+    cutoff.  With [hang_timeout_s] set, a live worker with no pipe
+    traffic (heartbeats included) for that long is declared hung,
+    SIGKILLed, and handed to the same restart policy.  A shard that
+    exhausts its budget is quarantined — [Degraded], never an error.
+    All pipe descriptors are closed and all children reaped on every
+    path. *)
+
+val coordinate : proc list -> (Sw_obs.Json.t list, string) result
+(** The pre-supervision fail-fast contract, same engine: any worker
+    death turns the run into [Error] immediately; the remaining workers
+    are terminated (SIGTERM, short grace, SIGKILL) and reaped first.
+    Their journals survive, so re-running resumes rather than
+    restarts.  Returns the stats in shard order. *)

@@ -23,6 +23,9 @@ type outcome = {
   rank_machine_us : float;
   journal_hits : int;
   journal_misses : int;
+  restarts : int;
+  quarantined : int list;
+  link_lines_dropped : int;
 }
 
 let tune ~backend ?(strategy = Search.Exhaustive) ?(active_cpes = 64) ?default ?pool ?obs
@@ -156,6 +159,10 @@ let tune ~backend ?(strategy = Search.Exhaustive) ?(active_cpes = 64) ?default ?
           rank_machine_us = sstats.Search.rank_machine_us;
           journal_hits;
           journal_misses;
+          (* single-process: no workers to restart, no link to lose *)
+          restarts = 0;
+          quarantined = [];
+          link_lines_dropped = 0;
         }
 
 (* ------------------------------------------------------------------ *)
@@ -183,25 +190,44 @@ let max_stat dones key =
     0.0 dones
 
 let tune_sharded ~backend_name ~strategy_name ~workers ~argv ~journal_of
-    ?(active_cpes = 64) ?default (config : Sw_sim.Config.t) kernel ~points =
+    ?(active_cpes = 64) ?default ?(max_restarts = 2) ?hang_timeout_s
+    (config : Sw_sim.Config.t) kernel ~points =
   if workers < 1 then invalid_arg "Tuner.tune_sharded: workers must be >= 1";
   let params = config.Sw_sim.Config.params in
   let wall0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
   let procs =
     List.init workers (fun shard ->
-        Shard.launch ~shard ~argv:(argv ~shard ~journal:(journal_of shard)))
+        Shard.launch ~shard ~argv:(argv ~shard ~journal:(journal_of shard)) ())
   in
-  match Shard.coordinate procs with
-  | Error msg -> Error (`Worker_failure msg)
-  | Ok dones -> (
-      match Backend.journal_merge ~config (List.init workers journal_of) with
-      | exception Backend.Journal_mismatch { path; expected; found } ->
-          Error
-            (`Worker_failure
-              (Printf.sprintf "shard journal %s is bound to config %s, expected %s" path
-                 found expected))
-      | merged ->
+  let report = Shard.supervise ~max_restarts ?hang_timeout_s procs in
+  let dones = List.filter (fun s -> s <> Sw_obs.Json.Null) report.Shard.stats in
+  let supervision_quarantined =
+    match report.Shard.health with Shard.Completed -> [] | Shard.Degraded q -> q
+  in
+  (* The merge decides what each journal is worth: a digest mismatch is
+     a caller bug and fails the run; an unreadable journal (the shard
+     died before its first write, or chaos shredded the file) just
+     quarantines that shard — its points count as pruned, the rest of
+     the merge stands. *)
+  let mismatch = ref None in
+  let unreadable = ref [] in
+  let journal_paths = List.init workers journal_of in
+  let on_issue issue =
+    match issue with
+    | Backend.Journal_mismatched _ ->
+        if !mismatch = None then mismatch := Some (Backend.journal_issue_string issue)
+    | Backend.Journal_unreadable { path; _ } ->
+        List.iteri (fun shard p -> if p = path then unreadable := shard :: !unreadable)
+          journal_paths
+  in
+  let merged = Backend.journal_merge ~on_issue ~config journal_paths in
+  let quarantined =
+    List.sort_uniq compare (supervision_quarantined @ !unreadable)
+  in
+  match !mismatch with
+  | Some msg -> Error (`Worker_failure msg)
+  | None -> (
           let tuning_host_s = Unix.gettimeofday () -. wall0 in
           let evaluated = ref 0 and infeasible = ref 0 and pruned = ref 0 in
           let best = ref None in
@@ -262,6 +288,9 @@ let tune_sharded ~backend_name ~strategy_name ~workers ~argv ~journal_of
                   rank_machine_us = sum_stat dones "rank_machine_us";
                   journal_hits = int_of_float (sum_stat dones "journal_hits");
                   journal_misses = int_of_float (sum_stat dones "journal_misses");
+                  restarts = report.Shard.restarts;
+                  quarantined;
+                  link_lines_dropped = report.Shard.lines_dropped;
                 })
 
 let tune_exn ~backend ?strategy ?active_cpes ?default ?pool ?obs ?checkpoint config kernel
@@ -304,6 +333,9 @@ let outcome_to_json o =
       ("rank_machine_us", Float o.rank_machine_us);
       ("journal_hits", Int o.journal_hits);
       ("journal_misses", Int o.journal_misses);
+      ("restarts", Int o.restarts);
+      ("quarantined", Arr (List.map (fun s -> Int s) o.quarantined));
+      ("link_lines_dropped", Int o.link_lines_dropped);
     ]
 
 let quality_loss ~static ~empirical =

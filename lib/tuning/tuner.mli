@@ -68,6 +68,19 @@ type outcome = {
   journal_misses : int;
       (** Assessments that actually ran and were appended to the
           journal (0 without a checkpoint). *)
+  restarts : int;
+      (** Worker relaunches the supervisor performed ({!tune_sharded}
+          only; 0 in-process). *)
+  quarantined : int list;
+      (** Shards that exhausted their restart budget (or whose journal
+          came back unreadable) and contributed nothing: non-empty
+          means this outcome is a {e partial} result — the argmin over
+          every shard that completed.  Always [[]] in-process. *)
+  link_lines_dropped : int;
+      (** Worker->coordinator protocol lines lost in transit, counted
+          from per-worker sequence-number gaps.  Lost lines cost extra
+          verifications, never the argmin — this counter is what makes
+          that loss observable instead of silent. *)
 }
 
 val tune :
@@ -132,6 +145,8 @@ val tune_sharded :
   journal_of:(int -> string) ->
   ?active_cpes:int ->
   ?default:Sw_swacc.Kernel.variant ->
+  ?max_restarts:int ->
+  ?hang_timeout_s:float ->
   Sw_sim.Config.t ->
   Sw_swacc.Kernel.t ->
   points:Space.point list ->
@@ -156,11 +171,18 @@ val tune_sharded :
     the verify backend, or exhaustive, guarantee this: cutoffs are
     strict, so a shard's minimum is always fully priced and journaled).
 
-    Crash-resumable end to end: killing any worker mid-run fails the
-    whole tune ([`Worker_failure]; the others are terminated and
-    reaped), but the journals survive, and re-running with the same
-    [journal_of] replays every resolved point — [journal_hits] counts
-    them — to a bit-identical argmin.
+    Self-healing: the workers run under {!Shard.supervise} — one that
+    dies (or, with [hang_timeout_s], hangs) is relaunched up to
+    [max_restarts] times (default 2) and replays its journal, so the
+    argmin of a disturbed run is bit-identical to an undisturbed one.
+    A shard that exhausts its budget, or whose journal comes back
+    unreadable, lands in the outcome's [quarantined] list and the tune
+    completes as a typed partial result over the surviving shards (its
+    points count as pruned) instead of failing.  [`Worker_failure] is
+    reserved for a journal digest mismatch — a caller bug.  The
+    journals also survive the coordinator itself dying: re-running
+    with the same [journal_of] replays every resolved point —
+    [journal_hits] counts them — to a bit-identical argmin.
 
     The outcome's [backend] reads ["sharded(<backend_name>,workers=N)"];
     [tuning_host_s] is the coordinator's wall clock, [tuning_cpu_s] the

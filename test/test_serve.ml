@@ -145,7 +145,7 @@ let test_metrics_of_trace () =
 let test_parse_request_defaults () =
   match Handler.parse_request {|{"op": "tune", "kernel": "kmeans"}|} with
   | Error msg -> Alcotest.fail msg
-  | Ok { Handler.id; verb } -> (
+  | Ok { Handler.id; verb; deadline_ms = _ } -> (
       Alcotest.check json "absent id is null" Json.Null id;
       match verb with
       | Handler.Tune t ->
@@ -673,6 +673,99 @@ let recv_line fd =
   in
   go ()
 
+(* Deadline admission: a budget no estimate fits is refused with the
+   typed response before any work runs; a budget only the degraded
+   estimate fits is admitted degraded; a roomy budget is untouched. *)
+let test_server_deadline_admission () =
+  let state = Handler.create () in
+  let lines =
+    [
+      (* tune:static prior 0.1s, degraded prior 0.05s: 1ms fits neither *)
+      {|{"id": 1, "op": "tune", "kernel": "kmeans", "deadline_ms": 1}|};
+      (* 70ms fits only the degraded estimate *)
+      {|{"id": 2, "op": "tune", "kernel": "kmeans", "deadline_ms": 70}|};
+      (* 60s fits everything *)
+      {|{"id": 3, "op": "tune", "kernel": "kmeans", "deadline_ms": 60000}|};
+      (* no deadline: never refused *)
+      {|{"id": 4, "op": "ping"}|};
+    ]
+  in
+  let responses, stats = run_server ~state lines in
+  Alcotest.(check int) "all four answered" 4 (List.length responses);
+  let resp i = parse_resp (List.nth responses i) in
+  (* refused: typed, ok=false, marked, and in arrival order *)
+  let r1 = resp 0 in
+  Alcotest.(check (option json)) "refused id first" (Some (Json.Int 1)) (Json.member "id" r1);
+  Alcotest.(check (option bool)) "refused not ok" (Some false)
+    (Option.bind (Json.member "ok" r1) Json.to_bool);
+  Alcotest.(check (option json)) "typed error" (Some (Json.Str "deadline_exceeded"))
+    (Json.member "error" r1);
+  Alcotest.(check (option bool)) "refusal marked" (Some true)
+    (Option.bind (Json.member "deadline_exceeded" r1) Json.to_bool);
+  (* degraded admission: served, marked degraded, not deadline_exceeded *)
+  let r2 = resp 1 in
+  Alcotest.(check (option bool)) "tight budget served" (Some true)
+    (Option.bind (Json.member "ok" r2) Json.to_bool);
+  Alcotest.(check (option bool)) "tight budget degraded" (Some true)
+    (Option.bind (Json.member "degraded" r2) Json.to_bool);
+  (* roomy budget: a plain response, no deadline field at all *)
+  let r3 = resp 2 in
+  Alcotest.(check (option bool)) "roomy budget served" (Some true)
+    (Option.bind (Json.member "ok" r3) Json.to_bool);
+  Alcotest.(check (option bool)) "roomy budget not degraded" (Some false)
+    (Option.bind (Json.member "degraded" r3) Json.to_bool);
+  Alcotest.(check (option json)) "no deadline field when unset" None
+    (Json.member "deadline_exceeded" r3);
+  Alcotest.(check int) "refusals are not errors-counter errors" 1 stats.Server.errors;
+  let counter name = Sw_obs.Sink.counter (Handler.sink state) name in
+  Alcotest.(check (float 0.)) "refusal counted" 1. (counter "serve.deadline_exceeded");
+  Alcotest.(check (float 0.)) "degradation counted" 1. (counter "serve.deadline_degraded");
+  (* pre-registered at zero even though nothing quarantined *)
+  Alcotest.(check (float 0.)) "quarantine counter exists" 0. (counter "shard.quarantined");
+  Alcotest.(check bool) "counters rendered" true
+    (let text = Handler.metrics_text state in
+     let contains needle =
+       let nh = String.length text and nn = String.length needle in
+       let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+       nn = 0 || go 0
+     in
+     List.for_all contains
+       [ "serve_deadline_exceeded"; "serve_deadline_missed"; "shard_restarts" ])
+
+(* A client that hangs up between sending a request and receiving its
+   response costs the daemon one dropped connection, never the loop:
+   later clients are served normally. *)
+let test_server_socket_client_disconnect () =
+  let path = Filename.temp_file "serve_sock_epipe" ".sock" in
+  Sys.remove path;
+  let state = Handler.create () in
+  let server = Domain.spawn (fun () -> Server.serve_socket state ~path) in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while not (Sys.file_exists path) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  in
+  (* the doomed client: ask for real work, vanish before the answer *)
+  let doomed = connect () in
+  send_line doomed {|{"id": "gone", "op": "tune", "kernel": "kmeans"}|};
+  Unix.close doomed;
+  (* the daemon must still be there for the next client *)
+  let a = connect () in
+  send_line a {|{"id": "alive", "op": "ping"}|};
+  Alcotest.(check (option json)) "daemon survives the dead client" (Some (Json.Str "alive"))
+    (Json.member "id" (parse_resp (recv_line a)));
+  send_line a {|{"id": "bye", "op": "shutdown"}|};
+  ignore (recv_line a);
+  let stats = Domain.join server in
+  Unix.close a;
+  Alcotest.(check bool) "shutdown stopped the loop" true stats.Server.shutdown;
+  Alcotest.(check bool) "disconnect counted" true
+    (Sw_obs.Sink.counter (Handler.sink state) "serve.client_disconnects" >= 1.)
+
 let test_server_socket_two_clients () =
   let path = Filename.temp_file "serve_sock" ".sock" in
   Sys.remove path;
@@ -755,4 +848,8 @@ let tests =
         test_server_resume_rebuilds_surrogate_cache;
       Alcotest.test_case "socket serves two concurrent clients" `Quick
         test_server_socket_two_clients;
+      Alcotest.test_case "deadline admission refuses, degrades, admits" `Quick
+        test_server_deadline_admission;
+      Alcotest.test_case "dead client drops the connection, not the daemon" `Quick
+        test_server_socket_client_disconnect;
     ] )

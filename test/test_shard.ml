@@ -138,14 +138,13 @@ let test_digest_mismatch () =
   let path = Filename.temp_file "swpm_shard_mismatch" ".jsonl" in
   write_file path
     [ Backend.journal_header_line other; Backend.journal_entry_line (key (pt 32 1 false)) (ok 1.) ];
-  Alcotest.check_raises "typed mismatch"
-    (Backend.Journal_mismatch
-       {
-         path;
-         expected = Backend.config_digest config;
-         found = Backend.config_digest other;
-       })
-    (fun () -> ignore (Backend.journal_read ~config path));
+  (match Backend.journal_read ~config path with
+  | Error (Backend.Journal_mismatched { path = p; expected; found }) ->
+      Alcotest.(check string) "mismatch path" path p;
+      Alcotest.(check string) "expected digest" (Backend.config_digest config) expected;
+      Alcotest.(check string) "found digest" (Backend.config_digest other) found
+  | Error (Backend.Journal_unreadable _) -> Alcotest.fail "mismatch misread as unreadable"
+  | Ok _ -> Alcotest.fail "mismatched journal read back as Ok");
   Alcotest.check_raises "merge propagates the mismatch"
     (Backend.Journal_mismatch
        {
@@ -169,7 +168,11 @@ let test_truncated_tail () =
   (* the kill-mid-write case: half an entry, no newline *)
   output_string oc (String.sub full 0 (String.length full / 2));
   close_out oc;
-  let entries = Backend.journal_read ~config truncated in
+  let entries =
+    match Backend.journal_read ~config truncated with
+    | Ok entries -> entries
+    | Error issue -> Alcotest.failf "truncated tail: %s" (Backend.journal_issue_string issue)
+  in
   Alcotest.(check int) "partial tail dropped" 1 (List.length entries);
   Alcotest.(check (float 0.)) "surviving entry intact" 100.
     (cycles_of (Option.map snd (List.nth_opt entries 0)));
@@ -189,7 +192,9 @@ let test_truncated_tail () =
 let test_protocol_roundtrip () =
   let cases =
     [
-      Shard.Incumbent 1140894.5999990494;  (* needs all 17 digits *)
+      Shard.Incumbent { cycles = 1140894.5999990494; seq = 0 };  (* needs all 17 digits *)
+      Shard.Incumbent { cycles = 18463.25; seq = 41 };
+      Shard.Heartbeat { seq = 7 };
       Shard.Cutoff 18463.2;
       Shard.Done (Json.Obj [ ("shard", Json.Int 0); ("cpu_s", Json.Float 1.5) ]);
     ]
